@@ -1,0 +1,330 @@
+//! Property abstraction of numerical-valued device attributes (Sec. 4.2.1).
+//!
+//! A thermostat with 45 temperature values and a power meter with 100 energy levels
+//! would otherwise yield thousands of states. Soteria's property abstraction keeps one
+//! abstract value per *source* that can flow into an actuated numeric attribute (plus
+//! one value representing "the rest"), and partitions read-only numeric attributes at
+//! the comparison cut-points used in path predicates.
+
+use crate::dependence::analyze_numeric_attribute;
+use crate::effects::TransitionSpec;
+use crate::symbolic::SymValue;
+use soteria_capability::{AttributeDomain, AttributeValue, CapabilityRegistry};
+use soteria_ir::AppIr;
+
+use std::collections::BTreeMap;
+
+/// Key identifying one device attribute of the app: `(device handle, attribute)`.
+pub type AttrKey = (String, String);
+
+/// The abstract value domain of every device attribute of an app.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Abstraction {
+    /// Abstract domains per attribute. Enumerated domains are kept exact; numeric
+    /// domains are reduced to their sources / cut-point intervals plus `other`.
+    pub domains: BTreeMap<AttrKey, Vec<AttributeValue>>,
+    /// Concrete (unreduced) cardinality per attribute, for the Fig. 11 comparison.
+    pub unreduced: BTreeMap<AttrKey, usize>,
+}
+
+impl Abstraction {
+    /// Number of states before reduction (product of concrete attribute domain sizes).
+    pub fn states_before(&self) -> usize {
+        self.unreduced.values().product::<usize>().max(1)
+    }
+
+    /// Number of states after reduction (product of abstract domain sizes).
+    pub fn states_after(&self) -> usize {
+        self.domains.values().map(|d| d.len().max(1)).product::<usize>().max(1)
+    }
+
+    /// The abstract domain of one attribute.
+    pub fn domain(&self, handle: &str, attribute: &str) -> Option<&[AttributeValue]> {
+        self.domains.get(&(handle.to_string(), attribute.to_string())).map(|v| v.as_slice())
+    }
+
+    /// Maps a concrete written value onto the abstract domain of the attribute: exact
+    /// abstract values are kept, anything else collapses to `other`.
+    pub fn abstract_value(&self, handle: &str, attribute: &str, value: &SymValue) -> AttributeValue {
+        let key = (handle.to_string(), attribute.to_string());
+        let Some(domain) = self.domains.get(&key) else {
+            return concrete_of(value);
+        };
+        // Symbolic (user input / state variable) writes map onto the user-defined
+        // abstract value when one exists.
+        if value.as_const().is_none() && value.as_number().is_none() {
+            if let Some(user) = domain.iter().find(|v| v.as_symbol() == Some("user-defined")) {
+                return user.clone();
+            }
+        }
+        let concrete = concrete_of(value);
+        if domain.contains(&concrete) {
+            concrete
+        } else {
+            AttributeValue::symbol("other")
+        }
+    }
+}
+
+fn concrete_of(value: &SymValue) -> AttributeValue {
+    match value.as_number() {
+        Some(n) => AttributeValue::Number(n),
+        None => match value.as_const() {
+            Some(v) => v.clone(),
+            None => AttributeValue::symbol("other"),
+        },
+    }
+}
+
+/// Computes the abstraction of every device attribute of an app.
+///
+/// `specs` are the app's transition specifications (used to harvest the comparison
+/// cut-points of read-only numeric attributes). Passing an empty slice is allowed and
+/// simply skips cut-point partitioning.
+pub fn abstract_domains(
+    ir: &AppIr,
+    registry: &CapabilityRegistry,
+    specs: &[TransitionSpec],
+) -> Abstraction {
+    let mut abstraction = Abstraction::default();
+    for permission in &ir.permissions {
+        let Some(capability) = registry.capability(&permission.capability) else { continue };
+        for attr in &capability.attributes {
+            let key = (permission.handle.clone(), attr.name.clone());
+            abstraction.unreduced.insert(key.clone(), attr.domain.cardinality());
+            match &attr.domain {
+                AttributeDomain::Enumerated(values) => {
+                    abstraction.domains.insert(
+                        key,
+                        values.iter().map(|v| AttributeValue::symbol(v.clone())).collect(),
+                    );
+                }
+                AttributeDomain::Numeric { .. } => {
+                    let dependence = analyze_numeric_attribute(
+                        ir,
+                        registry,
+                        &permission.handle,
+                        &attr.name,
+                    );
+                    let mut values: Vec<AttributeValue> = dependence
+                        .constant_sources()
+                        .into_iter()
+                        .map(AttributeValue::Number)
+                        .collect();
+                    if dependence.has_symbolic_source() {
+                        values.push(AttributeValue::symbol("user-defined"));
+                    }
+                    if values.is_empty() {
+                        // Read-only numeric attribute: partition at predicate cut-points.
+                        let cutpoints = cutpoints_for(specs, &permission.handle, &attr.name);
+                        values = interval_values(&cutpoints);
+                    } else {
+                        values.push(AttributeValue::symbol("other"));
+                    }
+                    abstraction.domains.insert(key, values);
+                }
+            }
+        }
+    }
+    // Location mode becomes a state attribute when the app subscribes to or changes it.
+    if ir.subscribes_to_mode() || ir.changes_mode() {
+        let modes = registry
+            .enumerated_domain("location", "mode")
+            .unwrap_or_else(|| vec!["home".into(), "away".into()]);
+        let key = ("location".to_string(), "mode".to_string());
+        abstraction.unreduced.insert(key.clone(), modes.len());
+        abstraction
+            .domains
+            .insert(key, modes.into_iter().map(AttributeValue::Symbol).collect());
+    }
+    abstraction
+}
+
+/// Collects the numeric constants an attribute is compared against in any transition's
+/// path condition.
+fn cutpoints_for(specs: &[TransitionSpec], handle: &str, attribute: &str) -> Vec<i64> {
+    let mut out = Vec::new();
+    for spec in specs {
+        for atom in &spec.condition.atoms {
+            let atom = atom.normalised();
+            let subject_matches = matches!(
+                &atom.lhs,
+                SymValue::DeviceAttr { handle: h, attribute: a } if h == handle && a == attribute
+            );
+            if subject_matches && atom.op.is_comparison() {
+                if let Some(n) = atom.rhs.as_number() {
+                    out.push(n);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Builds interval abstract values from sorted cut-points: `c1 < c2 < …` produce the
+/// symbols `"<c1"`, `"c1..c2"`, …, `">=cn"`. No cut-points produce the single value
+/// `"any"`.
+fn interval_values(cutpoints: &[i64]) -> Vec<AttributeValue> {
+    if cutpoints.is_empty() {
+        return vec![AttributeValue::symbol("any")];
+    }
+    let mut values = Vec::with_capacity(cutpoints.len() + 1);
+    values.push(AttributeValue::symbol(format!("<{}", cutpoints[0])));
+    for window in cutpoints.windows(2) {
+        values.push(AttributeValue::symbol(format!("{}..{}", window[0], window[1])));
+    }
+    values.push(AttributeValue::symbol(format!(">={}", cutpoints[cutpoints.len() - 1])));
+    values
+}
+
+/// The ratio of reduction achieved (before / after), reported in the Fig. 11
+/// reproduction.
+pub fn reduction_factor(abstraction: &Abstraction) -> f64 {
+    abstraction.states_before() as f64 / abstraction.states_after() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::executor::SymbolicExecutor;
+
+    fn analyze(src: &str) -> (Abstraction, usize, usize) {
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("t", src, &registry).unwrap();
+        let exec = SymbolicExecutor::new(&ir, &registry, AnalysisConfig::paper());
+        let specs = exec.transition_specs();
+        let a = abstract_domains(&ir, &registry, &specs);
+        let before = a.states_before();
+        let after = a.states_after();
+        (a, before, after)
+    }
+
+    #[test]
+    fn thermostat_setpoint_reduces_to_two_states() {
+        // The paper's example: the heating setpoint is always set to the constant 68,
+        // so its 45-value domain reduces to {68, other}.
+        let src = r#"
+            definition(name: "Thermo")
+            preferences { section("d") { input "ther", "capability.thermostat" } }
+            def installed() { subscribe(location, "mode", h) }
+            def h(evt) {
+                def temp = 68
+                setTemp(temp)
+            }
+            def setTemp(t) { ther.setHeatingSetpoint(t) }
+        "#;
+        let (a, before, after) = analyze(src);
+        let domain = a.domain("ther", "heatingSetpoint").unwrap();
+        assert_eq!(domain, &[AttributeValue::Number(68), AttributeValue::symbol("other")]);
+        assert!(before > after, "before={before} after={after}");
+        assert!(reduction_factor(&a) > 10.0);
+    }
+
+    #[test]
+    fn power_meter_partitions_at_predicate_cutpoints() {
+        let src = r#"
+            definition(name: "Energy")
+            preferences { section("d") {
+                input "the_switch", "capability.switch"
+                input "power_meter", "capability.powerMeter"
+            } }
+            def installed() { subscribe(power_meter, "power", handler) }
+            def handler(evt) {
+                def power_val = power_meter.currentValue("power")
+                if (power_val > 50) { the_switch.off() }
+                if (power_val < 5) { the_switch.on() }
+            }
+        "#;
+        let (a, before, after) = analyze(src);
+        let domain = a.domain("power_meter", "power").unwrap();
+        // Cut-points 5 and 50 yield three intervals.
+        assert_eq!(domain.len(), 3);
+        assert!(before >= 100);
+        assert_eq!(after, 2 * 3); // switch × power intervals
+    }
+
+    #[test]
+    fn unactuated_unread_numeric_attribute_collapses_to_one_value() {
+        let src = r#"
+            definition(name: "BatteryApp")
+            preferences { section("d") {
+                input "the_battery", "capability.battery"
+                input "sw", "capability.switch"
+            } }
+            def installed() { subscribe(sw, "switch.on", h) }
+            def h(evt) { }
+        "#;
+        let (a, _, after) = analyze(src);
+        assert_eq!(a.domain("the_battery", "battery").unwrap().len(), 1);
+        assert_eq!(after, 2);
+    }
+
+    #[test]
+    fn user_defined_source_keeps_symbolic_value() {
+        let src = r#"
+            definition(name: "UserSetpoint")
+            preferences { section("d") {
+                input "ther", "capability.thermostat"
+                input "target", "number"
+            } }
+            def installed() { subscribe(location, "mode", h) }
+            def h(evt) { ther.setHeatingSetpoint(target) }
+        "#;
+        let (a, _, _) = analyze(src);
+        let domain = a.domain("ther", "heatingSetpoint").unwrap();
+        assert!(domain.contains(&AttributeValue::symbol("user-defined")));
+        // A symbolic write maps to the user-defined abstract value; a concrete write of
+        // a value outside the domain maps to `other`.
+        assert_eq!(
+            a.abstract_value("ther", "heatingSetpoint", &SymValue::UserInput("target".into())),
+            AttributeValue::symbol("user-defined")
+        );
+        assert_eq!(
+            a.abstract_value("ther", "heatingSetpoint", &SymValue::number(72)),
+            AttributeValue::symbol("other")
+        );
+    }
+
+    #[test]
+    fn mode_included_when_subscribed() {
+        let src = r#"
+            definition(name: "ModeApp")
+            preferences { section("d") { input "sw", "capability.switch" } }
+            def installed() { subscribe(location, "mode", h) }
+            def h(evt) { sw.on() }
+        "#;
+        let (a, _, _) = analyze(src);
+        assert!(a.domain("location", "mode").is_some());
+    }
+
+    #[test]
+    fn interval_labels() {
+        assert_eq!(interval_values(&[]), vec![AttributeValue::symbol("any")]);
+        assert_eq!(
+            interval_values(&[5, 50]),
+            vec![
+                AttributeValue::symbol("<5"),
+                AttributeValue::symbol("5..50"),
+                AttributeValue::symbol(">=50"),
+            ]
+        );
+    }
+
+    #[test]
+    fn abstract_value_exact_match_kept() {
+        let src = r#"
+            definition(name: "Thermo")
+            preferences { section("d") { input "ther", "capability.thermostat" } }
+            def installed() { subscribe(location, "mode", h) }
+            def h(evt) { ther.setHeatingSetpoint(68) }
+        "#;
+        let (a, _, _) = analyze(src);
+        assert_eq!(
+            a.abstract_value("ther", "heatingSetpoint", &SymValue::number(68)),
+            AttributeValue::Number(68)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Analysis configuration (and ablation switches).
+
+/// Configuration of the path-sensitive analysis.
+///
+/// The defaults correspond to the paper's system; the flags exist so the benches can
+/// ablate individual design choices (path sensitivity, ESP merging, infeasible-path
+/// pruning, the reflection over-approximation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Explore paths separately and label transitions with path predicates
+    /// (Sec. 4.2.2). When false, one flow-insensitive path collecting every effect is
+    /// produced (the "earlier version of Soteria" with coarse labels).
+    pub path_sensitive: bool,
+    /// Merge paths whose end states agree, following the ESP algorithm.
+    pub esp_merge: bool,
+    /// Discard paths whose path condition is unsatisfiable according to the simple
+    /// custom checker.
+    pub prune_infeasible: bool,
+    /// Over-approximate calls by reflection to every method of the app (Sec. 4.2.3).
+    /// When false, reflective calls are treated as no-ops.
+    pub reflection_over_approx: bool,
+    /// Maximum method-inlining depth (the paper uses depth-one call-site sensitivity
+    /// for matching calls and returns; inlining two levels covers the corpus's
+    /// handler → helper → getter chains).
+    pub inline_depth: usize,
+    /// Hard cap on the number of concurrently tracked paths per handler.
+    pub max_paths: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            path_sensitive: true,
+            esp_merge: true,
+            prune_infeasible: true,
+            reflection_over_approx: true,
+            inline_depth: 3,
+            max_paths: 256,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Ablation: path-insensitive analysis.
+    pub fn without_path_sensitivity() -> Self {
+        AnalysisConfig { path_sensitive: false, ..Self::default() }
+    }
+
+    /// Ablation: no ESP merging.
+    pub fn without_esp_merge() -> Self {
+        AnalysisConfig { esp_merge: false, ..Self::default() }
+    }
+
+    /// Ablation: no infeasible-path pruning.
+    pub fn without_pruning() -> Self {
+        AnalysisConfig { prune_infeasible: false, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AnalysisConfig::paper();
+        assert!(c.path_sensitive);
+        assert!(c.esp_merge);
+        assert!(c.prune_infeasible);
+        assert!(c.reflection_over_approx);
+        assert!(c.max_paths >= 64);
+    }
+
+    #[test]
+    fn ablations_flip_one_flag() {
+        assert!(!AnalysisConfig::without_path_sensitivity().path_sensitive);
+        assert!(!AnalysisConfig::without_esp_merge().esp_merge);
+        assert!(!AnalysisConfig::without_pruning().prune_infeasible);
+    }
+}

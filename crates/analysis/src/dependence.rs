@@ -1,0 +1,379 @@
+//! Backward dependence analysis for numerical-valued device attributes (Algorithm 1).
+//!
+//! The goal of the algorithm is to identify the set of possible *sources* that a
+//! numerical-valued attribute can take during the execution of an app. The worklist is
+//! initialised with the identifiers used in the arguments of device action calls that
+//! change the attribute; definitions are followed backwards (including through
+//! parameter passing, treated as inter-procedural definitions), and the dependence
+//! relation `dep` is recorded. The resulting sources are developer-defined constants,
+//! user inputs, device-state reads, or persistent state variables.
+
+use crate::symbolic::SymValue;
+use soteria_capability::{CapabilityRegistry, EffectValue};
+use soteria_ir::AppIr;
+use soteria_lang::{Expr, Stmt};
+use std::collections::BTreeSet;
+
+/// A use or definition point: `(method, identifier)` — the paper labels worklist
+/// entries with node information; the method name plus identifier is sufficient at the
+/// granularity our corpus requires.
+pub type DepPoint = (String, String);
+
+/// Result of the dependence analysis for one `(device handle, attribute)` pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DependenceResult {
+    /// The dependence relation: `(use point, definition point)` pairs.
+    pub dep: Vec<(DepPoint, DepPoint)>,
+    /// The sources that may flow into the attribute.
+    pub sources: Vec<SymValue>,
+}
+
+impl DependenceResult {
+    /// The constant numeric source values (each becomes its own abstract state).
+    pub fn constant_sources(&self) -> Vec<i64> {
+        let mut out: Vec<i64> = self.sources.iter().filter_map(|s| s.as_number()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if any source is a user input or another non-constant value, in which case
+    /// the abstract domain keeps a symbolic "user/other" value.
+    pub fn has_symbolic_source(&self) -> bool {
+        self.sources.iter().any(|s| s.as_number().is_none())
+    }
+}
+
+/// Runs Algorithm 1 for the numeric `attribute` of device `handle`.
+pub fn analyze_numeric_attribute(
+    ir: &AppIr,
+    registry: &CapabilityRegistry,
+    handle: &str,
+    attribute: &str,
+) -> DependenceResult {
+    let mut result = DependenceResult::default();
+    let mut worklist: Vec<(String, Expr)> = Vec::new();
+
+    // Initialise the worklist with the arguments of device action calls that set the
+    // attribute (Algorithm 1, lines 2–4).
+    let Some(capability) = ir.capability_of(handle) else { return result };
+    for method in ir.program.methods() {
+        for stmt in &method.body.stmts {
+            stmt.walk_exprs(&mut |e| {
+                let Expr::MethodCall { object: Some(obj), method: action, args, .. } = e else {
+                    return;
+                };
+                let Expr::Ident(obj_handle) = obj.as_ref() else { return };
+                if obj_handle != handle {
+                    return;
+                }
+                let Some(effects) = registry.action_effects(capability, action) else { return };
+                for effect in effects {
+                    if effect.attribute != attribute {
+                        continue;
+                    }
+                    if let EffectValue::Argument(i) = effect.value {
+                        if let Some(arg) = args.get(i) {
+                            worklist.push((method.name.clone(), arg.value.clone()));
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    // Worklist loop (Algorithm 1, lines 5–12).
+    let mut done: BTreeSet<DepPoint> = BTreeSet::new();
+    while let Some((method, expr)) = worklist.pop() {
+        match &expr {
+            Expr::Number(n) => result.sources.push(SymValue::number(*n)),
+            Expr::Str(s) => result.sources.push(SymValue::string(s.clone())),
+            Expr::Ident(id) => {
+                let point = (method.clone(), id.clone());
+                if done.contains(&point) {
+                    continue;
+                }
+                done.insert(point.clone());
+                resolve_identifier(ir, &method, id, &point, &mut worklist, &mut result);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                // Simple arithmetic (`x = y + 10`): both operands are followed.
+                worklist.push((method.clone(), lhs.as_ref().clone()));
+                worklist.push((method.clone(), rhs.as_ref().clone()));
+            }
+            Expr::Elvis { value, default } => {
+                worklist.push((method.clone(), value.as_ref().clone()));
+                worklist.push((method.clone(), default.as_ref().clone()));
+            }
+            Expr::Property { object, name } => {
+                if let Expr::Ident(o) = object.as_ref() {
+                    if o == "state" || o == "atomicState" {
+                        result.sources.push(SymValue::StateVar(name.clone()));
+                        continue;
+                    }
+                    if ir.capability_of(o).is_some() && name.starts_with("current") {
+                        result.sources.push(SymValue::DeviceAttr {
+                            handle: o.clone(),
+                            attribute: name.trim_start_matches("current").to_lowercase(),
+                        });
+                        continue;
+                    }
+                }
+                result.sources.push(SymValue::Unknown(format!("prop:{name}")));
+            }
+            Expr::MethodCall { object, method: callee, args, .. } => {
+                resolve_call(ir, &method, object.as_deref(), callee, args, &mut worklist, &mut result);
+            }
+            other => {
+                result.sources.push(SymValue::Unknown(format!("{other:?}")));
+            }
+        }
+    }
+
+    result.sources.sort();
+    result.sources.dedup();
+    result.dep.sort();
+    result.dep.dedup();
+    result
+}
+
+/// Resolves one identifier use to its definitions (Algorithm 1, line 8) within the
+/// method, through user inputs, and through parameter passing.
+fn resolve_identifier(
+    ir: &AppIr,
+    method: &str,
+    id: &str,
+    use_point: &DepPoint,
+    worklist: &mut Vec<(String, Expr)>,
+    result: &mut DependenceResult,
+) {
+    // User inputs are terminal sources.
+    if ir.user_inputs.iter().any(|u| u.handle == id) {
+        result.sources.push(SymValue::UserInput(id.to_string()));
+        return;
+    }
+    let Some(def) = ir.program.method(method) else {
+        result.sources.push(SymValue::Unknown(format!("ident:{id}")));
+        return;
+    };
+    let mut found_def = false;
+    let mut defs: Vec<Expr> = Vec::new();
+    collect_defs(&def.body.stmts, id, &mut defs);
+    for rhs in defs {
+        found_def = true;
+        if let Expr::Ident(rhs_id) = &rhs {
+            result.dep.push((use_point.clone(), (method.to_string(), rhs_id.clone())));
+        }
+        worklist.push((method.to_string(), rhs));
+    }
+    // Parameter passing is treated as an inter-procedural definition: find call sites
+    // of `method` in other methods and follow the corresponding argument.
+    if let Some(param_idx) = def.params.iter().position(|p| p == id) {
+        for caller in ir.program.methods() {
+            for stmt in &caller.body.stmts {
+                stmt.walk_exprs(&mut |e| {
+                    if let Expr::MethodCall { object: None, method: callee, args, .. } = e {
+                        if callee == method {
+                            if let Some(arg) = args.get(param_idx) {
+                                found_def = true;
+                                if let Expr::Ident(arg_id) = &arg.value {
+                                    result.dep.push((
+                                        use_point.clone(),
+                                        (caller.name.clone(), arg_id.clone()),
+                                    ));
+                                }
+                                worklist.push((caller.name.clone(), arg.value.clone()));
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+    if !found_def {
+        result.sources.push(SymValue::Unknown(format!("ident:{id}")));
+    }
+}
+
+/// Follows a call on the right-hand side of a definition: device reads become sources,
+/// app-defined getters are followed through their `return` expressions.
+fn resolve_call(
+    ir: &AppIr,
+    method: &str,
+    object: Option<&Expr>,
+    callee: &str,
+    args: &[soteria_lang::Arg],
+    worklist: &mut Vec<(String, Expr)>,
+    result: &mut DependenceResult,
+) {
+    if let Some(Expr::Ident(handle)) = object {
+        if ir.capability_of(handle).is_some()
+            && matches!(callee, "currentValue" | "currentState" | "latestValue")
+        {
+            let attr = args
+                .first()
+                .and_then(|a| a.value.as_str())
+                .unwrap_or("value")
+                .to_string();
+            result.sources.push(SymValue::DeviceAttr { handle: handle.clone(), attribute: attr });
+            return;
+        }
+    }
+    if object.is_none() {
+        if let Some(target) = ir.program.method(callee) {
+            let mut returns = Vec::new();
+            collect_returns(&target.body.stmts, &mut returns);
+            for r in returns {
+                worklist.push((target.name.clone(), r));
+            }
+            return;
+        }
+    }
+    let _ = method;
+    result.sources.push(SymValue::Unknown(format!("call:{callee}")));
+}
+
+/// Collects the right-hand sides of every definition of `id` in a statement block.
+fn collect_defs(stmts: &[Stmt], id: &str, out: &mut Vec<Expr>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::LocalDef { name, init: Some(rhs), .. } if name == id => out.push(rhs.clone()),
+            Stmt::Assign { target: soteria_lang::LValue::Ident(name), value, .. } if name == id => {
+                out.push(value.clone())
+            }
+            Stmt::If { then_block, else_block, .. } => {
+                collect_defs(&then_block.stmts, id, out);
+                if let Some(b) = else_block {
+                    collect_defs(&b.stmts, id, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects the expressions of every `return` statement in a block.
+fn collect_returns(stmts: &[Stmt], out: &mut Vec<Expr>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Return { value: Some(e), .. } => out.push(e.clone()),
+            Stmt::If { then_block, else_block, .. } => {
+                collect_returns(&then_block.stmts, out);
+                if let Some(b) = else_block {
+                    collect_returns(&b.stmts, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THERMO: &str = r#"
+        definition(name: "Thermostat-Energy-Control")
+        preferences {
+            section("d") {
+                input "ther", "capability.thermostat"
+                input "user_temp", "number", title: "target"
+            }
+        }
+        def installed() { subscribe(location, "mode", modeChangeHandler) }
+        def modeChangeHandler(evt) {
+            def temp = 68
+            setTemp(temp)
+        }
+        def setTemp(t) {
+            ther.setHeatingSetpoint(t)
+        }
+    "#;
+
+    fn build(src: &str) -> (AppIr, CapabilityRegistry) {
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("t", src, &registry).unwrap();
+        (ir, registry)
+    }
+
+    #[test]
+    fn paper_fig6_example_resolves_to_constant_68() {
+        let (ir, registry) = build(THERMO);
+        let result = analyze_numeric_attribute(&ir, &registry, "ther", "heatingSetpoint");
+        assert_eq!(result.constant_sources(), vec![68]);
+        assert!(!result.has_symbolic_source());
+        // The dep relation records (setTemp:t, modeChangeHandler:temp), mirroring the
+        // paper's (6:t, 3:temp) entry.
+        assert!(result.dep.iter().any(|(u, d)| u.1 == "t" && d.1 == "temp"));
+    }
+
+    #[test]
+    fn user_input_source_is_kept_symbolic() {
+        let src = r#"
+            definition(name: "UserTemp")
+            preferences {
+                section("d") {
+                    input "ther", "capability.thermostat"
+                    input "user_temp", "number"
+                }
+            }
+            def installed() { subscribe(location, "mode", h) }
+            def h(evt) {
+                def t = user_temp
+                ther.setHeatingSetpoint(t)
+            }
+        "#;
+        let (ir, registry) = build(src);
+        let result = analyze_numeric_attribute(&ir, &registry, "ther", "heatingSetpoint");
+        assert!(result.constant_sources().is_empty());
+        assert!(result.has_symbolic_source());
+        assert!(result.sources.contains(&SymValue::UserInput("user_temp".into())));
+    }
+
+    #[test]
+    fn arithmetic_on_user_input_follows_both_operands() {
+        // Footnote 3's pattern: user input stored in y, x = y + 10, attribute set to x.
+        let src = r#"
+            definition(name: "Arith")
+            preferences {
+                section("d") {
+                    input "the_level", "capability.switchLevel"
+                    input "y", "number"
+                }
+            }
+            def installed() { subscribe(location, "mode", h) }
+            def h(evt) {
+                def x = y + 10
+                the_level.setLevel(x)
+            }
+        "#;
+        let (ir, registry) = build(src);
+        let result = analyze_numeric_attribute(&ir, &registry, "the_level", "level");
+        assert!(result.sources.contains(&SymValue::UserInput("y".into())));
+        assert_eq!(result.constant_sources(), vec![10]);
+    }
+
+    #[test]
+    fn no_action_calls_means_no_sources() {
+        let (ir, registry) = build(THERMO);
+        let result = analyze_numeric_attribute(&ir, &registry, "ther", "coolingSetpoint");
+        assert!(result.sources.is_empty());
+        assert!(result.dep.is_empty());
+    }
+
+    #[test]
+    fn state_variable_source() {
+        let src = r#"
+            definition(name: "StateSource")
+            preferences { section("d") { input "the_level", "capability.switchLevel" } }
+            def installed() { subscribe(location, "mode", h) }
+            def h(evt) {
+                def lvl = state.savedLevel
+                the_level.setLevel(lvl)
+            }
+        "#;
+        let (ir, registry) = build(src);
+        let result = analyze_numeric_attribute(&ir, &registry, "the_level", "level");
+        assert!(result.sources.contains(&SymValue::StateVar("savedLevel".into())));
+    }
+}

@@ -1,0 +1,204 @@
+//! Device-state effects and per-handler analysis summaries.
+
+use crate::predicate::PathCondition;
+use crate::symbolic::SymValue;
+use soteria_capability::Event;
+use std::fmt;
+
+/// A single attribute change performed along a path (a device action call, a
+/// `setLocationMode` call, or an abstract-attribute change).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrChange {
+    /// Device handle (or `"location"` for mode changes).
+    pub handle: String,
+    /// Device capability (or `"location"`).
+    pub capability: String,
+    /// Attribute written.
+    pub attribute: String,
+    /// The written value (constant for most actions, symbolic for `set*` commands).
+    pub value: SymValue,
+}
+
+impl AttrChange {
+    /// True if `other` writes the same attribute of the same device with a *different*
+    /// constant value (a conflicting change — general property S.1/S.4).
+    pub fn conflicts_with(&self, other: &AttrChange) -> bool {
+        self.handle == other.handle
+            && self.attribute == other.attribute
+            && match (self.value.as_const(), other.value.as_const()) {
+                (Some(a), Some(b)) => a != b,
+                // Symbolic writes to the same attribute are treated as potentially
+                // conflicting only if the expressions differ.
+                _ => self.value != other.value,
+            }
+    }
+
+    /// True if `other` writes the same attribute of the same device with the *same*
+    /// value (a repeated change — general property S.2/S.3).
+    pub fn repeats(&self, other: &AttrChange) -> bool {
+        self.handle == other.handle
+            && self.attribute == other.attribute
+            && self.value == other.value
+    }
+}
+
+impl fmt::Display for AttrChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} := {}", self.handle, self.attribute, self.value)
+    }
+}
+
+/// One feasible execution path of an event handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerPath {
+    /// The path condition that must hold for this path to execute.
+    pub condition: PathCondition,
+    /// Attribute changes in execution order (duplicates preserved — S.2 needs them).
+    pub effects: Vec<AttrChange>,
+    /// True if the path sends a user notification (push/SMS); informational only —
+    /// data-leak analysis is outside Soteria's scope (MalIoT App11).
+    pub sends_notification: bool,
+    /// True if this path was produced by the reflection over-approximation (it inlines
+    /// a method only reachable through a `"$name"()` call).
+    pub via_reflection: bool,
+}
+
+impl HandlerPath {
+    /// The effects deduplicated to their final value per attribute, i.e. what the path
+    /// leaves the devices at.
+    pub fn net_effects(&self) -> Vec<AttrChange> {
+        let mut out: Vec<AttrChange> = Vec::new();
+        for e in &self.effects {
+            if let Some(existing) =
+                out.iter_mut().find(|x| x.handle == e.handle && x.attribute == e.attribute)
+            {
+                *existing = e.clone();
+            } else {
+                out.push(e.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Analysis summary of one event handler: its feasible paths and the `evt.value`
+/// cases it dispatches on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HandlerSummary {
+    /// The handler method name.
+    pub handler: String,
+    /// All feasible paths through the handler.
+    pub paths: Vec<HandlerPath>,
+    /// String values the handler compares `evt.value` against (general property S.5
+    /// checks these against the subscribed events).
+    pub evt_value_cases: Vec<String>,
+    /// Number of paths discarded as infeasible by the path-condition checker.
+    pub infeasible_paths_pruned: usize,
+    /// Number of path merges performed by the ESP-style merging.
+    pub paths_merged: usize,
+}
+
+impl HandlerSummary {
+    /// All attribute changes across all paths.
+    pub fn all_effects(&self) -> impl Iterator<Item = &AttrChange> {
+        self.paths.iter().flat_map(|p| p.effects.iter())
+    }
+
+    /// True if any path actuates the given device attribute.
+    pub fn touches(&self, handle: &str, attribute: &str) -> bool {
+        self.all_effects().any(|e| e.handle == handle && e.attribute == attribute)
+    }
+}
+
+/// A state transition specification extracted from a handler path: the triggering
+/// event plus the path's condition and effects (Sec. 4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionSpec {
+    /// The event triggering the handler.
+    pub event: Event,
+    /// The handler that runs.
+    pub handler: String,
+    /// The guarding path condition.
+    pub condition: PathCondition,
+    /// The attribute changes the transition performs.
+    pub effects: Vec<AttrChange>,
+    /// True if the transition only exists under the reflection over-approximation.
+    pub via_reflection: bool,
+}
+
+impl fmt::Display for TransitionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let effects: Vec<String> = self.effects.iter().map(|e| e.to_string()).collect();
+        write!(
+            f,
+            "{} [{}] -> {{{}}}",
+            self.event,
+            self.condition,
+            effects.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn change(handle: &str, attr: &str, value: &str) -> AttrChange {
+        AttrChange {
+            handle: handle.into(),
+            capability: "switch".into(),
+            attribute: attr.into(),
+            value: SymValue::string(value),
+        }
+    }
+
+    #[test]
+    fn conflict_and_repeat_detection() {
+        let on = change("sw", "switch", "on");
+        let off = change("sw", "switch", "off");
+        let on2 = change("sw", "switch", "on");
+        let other = change("sw2", "switch", "off");
+        assert!(on.conflicts_with(&off));
+        assert!(!on.conflicts_with(&on2));
+        assert!(on.repeats(&on2));
+        assert!(!on.repeats(&off));
+        assert!(!on.conflicts_with(&other));
+    }
+
+    #[test]
+    fn net_effects_keep_last_write() {
+        let path = HandlerPath {
+            condition: PathCondition::top(),
+            effects: vec![
+                change("sw", "switch", "on"),
+                change("valve", "valve", "open"),
+                change("sw", "switch", "off"),
+            ],
+            sends_notification: false,
+            via_reflection: false,
+        };
+        let net = path.net_effects();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net[0].value, SymValue::string("off"));
+        assert_eq!(net[1].attribute, "valve");
+    }
+
+    #[test]
+    fn summary_queries() {
+        let summary = HandlerSummary {
+            handler: "h".into(),
+            paths: vec![HandlerPath {
+                condition: PathCondition::top(),
+                effects: vec![change("sw", "switch", "on")],
+                sends_notification: false,
+                via_reflection: false,
+            }],
+            evt_value_cases: vec!["active".into()],
+            infeasible_paths_pruned: 0,
+            paths_merged: 0,
+        };
+        assert!(summary.touches("sw", "switch"));
+        assert!(!summary.touches("sw", "level"));
+        assert_eq!(summary.all_effects().count(), 1);
+    }
+}

@@ -1,0 +1,1217 @@
+//! Path-sensitive symbolic execution of event handlers (Sec. 4.2.2).
+//!
+//! The executor starts at the entry of an event handler, performs forward symbolic
+//! execution along all paths, accumulates path conditions, records device-state
+//! effects, merges paths ESP-style when their end states agree, and discards
+//! infeasible paths with the simple custom path-condition checker. Calls by reflection
+//! are over-approximated by inlining every method of the app as a possible target.
+
+use crate::config::AnalysisConfig;
+use crate::effects::{AttrChange, HandlerPath, HandlerSummary, TransitionSpec};
+use crate::predicate::{Atom, PathCondition};
+use crate::symbolic::SymValue;
+use soteria_capability::{CapabilityRegistry, EffectValue};
+use soteria_ir::AppIr;
+use soteria_lang::{Arg, BinOp, Expr, LValue, Stmt, UnaryOp};
+use std::collections::BTreeMap;
+
+/// Methods that send user notifications; they do not change device state.
+const NOTIFICATION_METHODS: &[&str] =
+    &["sendSms", "sendPush", "sendNotification", "sendNotificationToContacts", "sendSmsMessage", "sendPushMessage"];
+
+/// Methods that never change device state and are skipped by the executor.
+const NEUTRAL_METHODS: &[&str] = &[
+    "subscribe", "unsubscribe", "unschedule", "log", "debug", "trace", "info", "warn", "error",
+    "runIn", "runOnce", "schedule", "runEvery1Minute", "runEvery5Minutes", "runEvery10Minutes",
+    "runEvery15Minutes", "runEvery30Minutes", "runEvery1Hour", "runEvery3Hours", "now",
+    "getSunriseAndSunset", "timeOfDayIsBetween", "refresh", "poll",
+];
+
+/// One in-flight execution path.
+#[derive(Debug, Clone, PartialEq)]
+struct PathState {
+    env: BTreeMap<String, SymValue>,
+    cond: PathCondition,
+    effects: Vec<AttrChange>,
+    sends_notification: bool,
+    via_reflection: bool,
+    returned: Option<SymValue>,
+}
+
+impl PathState {
+    fn initial() -> Self {
+        PathState {
+            env: BTreeMap::new(),
+            cond: PathCondition::top(),
+            effects: Vec::new(),
+            sends_notification: false,
+            via_reflection: false,
+            returned: None,
+        }
+    }
+
+    /// The part of the state compared by ESP merging: everything except the condition.
+    fn merge_key(&self) -> (Vec<AttrChange>, Vec<(String, SymValue)>, bool, Option<SymValue>) {
+        (
+            self.effects.clone(),
+            self.env.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            self.sends_notification,
+            self.returned.clone(),
+        )
+    }
+}
+
+/// Path-sensitive symbolic executor for one app.
+pub struct SymbolicExecutor<'a> {
+    ir: &'a AppIr,
+    registry: &'a CapabilityRegistry,
+    config: AnalysisConfig,
+}
+
+impl<'a> SymbolicExecutor<'a> {
+    /// Creates an executor over an app IR.
+    pub fn new(ir: &'a AppIr, registry: &'a CapabilityRegistry, config: AnalysisConfig) -> Self {
+        SymbolicExecutor { ir, registry, config }
+    }
+
+    /// Analyzes one event handler and produces its path summary.
+    pub fn analyze_handler(&self, handler: &str) -> HandlerSummary {
+        let mut summary = HandlerSummary { handler: handler.to_string(), ..Default::default() };
+        let Some(method) = self.ir.program.method(handler) else {
+            return summary;
+        };
+        let mut merges = 0usize;
+        let mut pruned = 0usize;
+        let states = self.exec_stmts(
+            &method.body.stmts,
+            vec![PathState::initial()],
+            0,
+            &mut merges,
+            &mut pruned,
+        );
+        summary.paths_merged = merges;
+        summary.infeasible_paths_pruned = pruned;
+
+        let mut paths: Vec<HandlerPath> = states
+            .into_iter()
+            .map(|s| HandlerPath {
+                condition: s.cond,
+                effects: s.effects,
+                sends_notification: s.sends_notification,
+                via_reflection: s.via_reflection,
+            })
+            .collect();
+        paths.dedup();
+
+        if !self.config.path_sensitive {
+            // Ablation: collapse to one flow-insensitive path with every effect.
+            let mut all_effects = Vec::new();
+            let mut notified = false;
+            for p in &paths {
+                for e in &p.effects {
+                    if !all_effects.contains(e) {
+                        all_effects.push(e.clone());
+                    }
+                }
+                notified |= p.sends_notification;
+            }
+            paths = vec![HandlerPath {
+                condition: PathCondition::top(),
+                effects: all_effects,
+                sends_notification: notified,
+                via_reflection: paths.iter().any(|p| p.via_reflection),
+            }];
+        }
+        summary.paths = paths;
+        summary.evt_value_cases = self.collect_evt_value_cases(handler);
+        summary
+    }
+
+    /// Analyzes every entry point and produces the transition specifications of the
+    /// whole app (one per subscription × feasible handler path).
+    pub fn transition_specs(&self) -> Vec<TransitionSpec> {
+        let mut specs = Vec::new();
+        let mut summaries: BTreeMap<String, HandlerSummary> = BTreeMap::new();
+        for sub in &self.ir.subscriptions {
+            let summary = summaries
+                .entry(sub.handler.clone())
+                .or_insert_with(|| self.analyze_handler(&sub.handler));
+            for path in &summary.paths {
+                // Attribute-level subscriptions (`subscribe(dev, "smoke", h)`) are
+                // refined to value-specific events when the path dispatches on
+                // `evt.value` (Sec. 4.2.3, "Platform-specific Interfaces").
+                let mut event = sub.event.clone();
+                let needs_value = matches!(
+                    &event.kind,
+                    soteria_capability::EventKind::Device { value: None, .. }
+                        | soteria_capability::EventKind::Mode { value: None }
+                );
+                if needs_value {
+                    let dispatched = path.condition.atoms.iter().find_map(|atom| {
+                        let atom = atom.normalised();
+                        if atom.op == BinOp::Eq && atom.lhs == SymValue::EventValue {
+                            atom.rhs
+                                .as_const()
+                                .and_then(|c| c.as_symbol().map(|s| s.to_string()))
+                        } else {
+                            None
+                        }
+                    });
+                    if let Some(value) = dispatched {
+                        match &mut event.kind {
+                            soteria_capability::EventKind::Device { value: v, .. } => {
+                                *v = Some(value);
+                            }
+                            soteria_capability::EventKind::Mode { value: v } => {
+                                *v = Some(value);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                specs.push(TransitionSpec {
+                    event,
+                    handler: sub.handler.clone(),
+                    condition: path.condition.clone(),
+                    effects: path.effects.clone(),
+                    via_reflection: path.via_reflection,
+                });
+            }
+        }
+        specs
+    }
+
+    /// Summaries of every entry point, keyed by handler name.
+    pub fn handler_summaries(&self) -> BTreeMap<String, HandlerSummary> {
+        let mut out = BTreeMap::new();
+        for handler in self.ir.entry_points() {
+            out.insert(handler.to_string(), self.analyze_handler(handler));
+        }
+        out
+    }
+
+    // ----------------------------------------------------------------- statements
+
+    fn exec_stmts(
+        &self,
+        stmts: &[Stmt],
+        mut states: Vec<PathState>,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<PathState> {
+        for stmt in stmts {
+            let mut next = Vec::new();
+            for st in states {
+                if st.returned.is_some() {
+                    next.push(st);
+                    continue;
+                }
+                next.extend(self.exec_stmt(stmt, st, depth, merges, pruned));
+            }
+            next.truncate(self.config.max_paths);
+            states = next;
+        }
+        states
+    }
+
+    fn exec_stmt(
+        &self,
+        stmt: &Stmt,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<PathState> {
+        match stmt {
+            Stmt::LocalDef { name, init, .. } => match init {
+                Some(expr) => self
+                    .eval_expr(expr, st, depth, merges, pruned)
+                    .into_iter()
+                    .map(|(mut s, v)| {
+                        s.env.insert(name.clone(), v);
+                        s
+                    })
+                    .collect(),
+                None => {
+                    let mut s = st;
+                    s.env.insert(name.clone(), SymValue::Unknown(format!("uninit:{name}")));
+                    vec![s]
+                }
+            },
+            Stmt::Assign { target, value, .. } => self
+                .eval_expr(value, st, depth, merges, pruned)
+                .into_iter()
+                .map(|(mut s, v)| {
+                    match target {
+                        LValue::Ident(name) => {
+                            s.env.insert(name.clone(), v);
+                        }
+                        LValue::StateField(field) => {
+                            s.env.insert(format!("state.{field}"), v);
+                        }
+                        LValue::Property { .. } => {}
+                    }
+                    s
+                })
+                .collect(),
+            Stmt::Return { value, .. } => match value {
+                Some(expr) => self
+                    .eval_expr(expr, st, depth, merges, pruned)
+                    .into_iter()
+                    .map(|(mut s, v)| {
+                        s.returned = Some(v);
+                        s
+                    })
+                    .collect(),
+                None => {
+                    let mut s = st;
+                    s.returned = Some(SymValue::Unknown("void".to_string()));
+                    vec![s]
+                }
+            },
+            Stmt::If { cond, then_block, else_block, .. } => {
+                self.exec_if(cond, then_block, else_block.as_ref(), st, depth, merges, pruned)
+            }
+            Stmt::Expr { expr, .. } => self
+                .eval_expr(expr, st, depth, merges, pruned)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_if(
+        &self,
+        cond: &Expr,
+        then_block: &soteria_lang::Block,
+        else_block: Option<&soteria_lang::Block>,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<PathState> {
+        let mut out = Vec::new();
+        for (base, true_atoms, false_atoms) in self.eval_condition(cond, st, depth, merges, pruned)
+        {
+            // True branch.
+            let mut then_states = Vec::new();
+            let then_cond = base.cond.and_all(&true_atoms);
+            if !self.config.prune_infeasible || then_cond.is_feasible() {
+                let mut s = base.clone();
+                s.cond = then_cond;
+                then_states = self.exec_stmts(&then_block.stmts, vec![s], depth, merges, pruned);
+            } else {
+                *pruned += 1;
+            }
+            // False branch.
+            let mut else_states = Vec::new();
+            let else_cond = base.cond.and_all(&false_atoms);
+            if !self.config.prune_infeasible || else_cond.is_feasible() {
+                let mut s = base.clone();
+                s.cond = else_cond;
+                else_states = match else_block {
+                    Some(b) => self.exec_stmts(&b.stmts, vec![s], depth, merges, pruned),
+                    None => vec![s],
+                };
+            } else {
+                *pruned += 1;
+            }
+
+            // ESP-style merging: when the end states of the two branches agree on
+            // everything but the path condition, keep a single merged path whose
+            // condition rolls back to the pre-branch condition.
+            if self.config.esp_merge
+                && !then_states.is_empty()
+                && then_states.len() == else_states.len()
+            {
+                let then_keys: Vec<_> = then_states.iter().map(|s| s.merge_key()).collect();
+                let else_keys: Vec<_> = else_states.iter().map(|s| s.merge_key()).collect();
+                if then_keys == else_keys {
+                    *merges += then_states.len();
+                    for mut s in then_states {
+                        s.cond = base.cond.clone();
+                        out.push(s);
+                    }
+                    continue;
+                }
+            }
+            out.extend(then_states);
+            out.extend(else_states);
+        }
+        out
+    }
+
+    /// Evaluates a branch condition into `(state, true-branch atoms, false-branch
+    /// atoms)` triples. Conditions the custom checker cannot interpret produce opaque
+    /// atoms that never prune paths.
+    fn eval_condition(
+        &self,
+        cond: &Expr,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, Vec<Atom>, Vec<Atom>)> {
+        match cond {
+            Expr::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let mut out = Vec::new();
+                for (s1, lv) in self.eval_expr(lhs, st, depth, merges, pruned) {
+                    for (s2, rv) in self.eval_expr(rhs, s1, depth, merges, pruned) {
+                        let atom = Atom::new(lv.clone(), *op, rv.clone());
+                        let neg = atom.negated();
+                        out.push((s2, vec![atom], vec![neg]));
+                    }
+                }
+                out
+            }
+            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                let mut out = Vec::new();
+                for (s, lt, lf) in self.eval_condition(lhs, st, depth, merges, pruned) {
+                    for (s2, rt, _rf) in self.eval_condition(rhs, s.clone(), depth, merges, pruned)
+                    {
+                        let mut true_atoms = lt.clone();
+                        true_atoms.extend(rt);
+                        // The negation of a conjunction is a disjunction, which the
+                        // simple checker cannot represent; use an opaque atom.
+                        let false_atoms = vec![opaque_atom("neg-of-conjunction")];
+                        let _ = &lf;
+                        out.push((s2, true_atoms, false_atoms));
+                    }
+                }
+                out
+            }
+            Expr::Binary { op: BinOp::Or, lhs, rhs } => {
+                let mut out = Vec::new();
+                for (s, _lt, lf) in self.eval_condition(lhs, st, depth, merges, pruned) {
+                    for (s2, _rt, rf) in self.eval_condition(rhs, s.clone(), depth, merges, pruned)
+                    {
+                        // True branch of a disjunction is opaque; false branch is the
+                        // conjunction of both negations.
+                        let mut false_atoms = lf.clone();
+                        false_atoms.extend(rf);
+                        out.push((s2, vec![opaque_atom("disjunction")], false_atoms));
+                    }
+                }
+                out
+            }
+            Expr::Unary { op: UnaryOp::Not, operand } => self
+                .eval_condition(operand, st, depth, merges, pruned)
+                .into_iter()
+                .map(|(s, t, f)| (s, f, t))
+                .collect(),
+            other => {
+                // Truthiness test of an arbitrary value (`if (phone) { ... }`).
+                self.eval_expr(other, st, depth, merges, pruned)
+                    .into_iter()
+                    .map(|(s, v)| {
+                        let atom = Atom::new(v.clone(), BinOp::NotEq, SymValue::string("null"));
+                        (s, vec![atom.clone()], vec![atom.negated()])
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- expressions
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn eval_expr(
+        &self,
+        expr: &Expr,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        match expr {
+            Expr::Number(n) => vec![(st, SymValue::number(*n))],
+            Expr::Str(s) => vec![(st, SymValue::string(s.clone()))],
+            Expr::Bool(b) => vec![(st, SymValue::string(if *b { "true" } else { "false" }))],
+            Expr::Null => vec![(st, SymValue::string("null"))],
+            Expr::GString { text, .. } => {
+                vec![(st, SymValue::Unknown(format!("gstring:{text}")))]
+            }
+            Expr::Ident(name) => {
+                let value = self.resolve_ident(name, &st);
+                vec![(st, value)]
+            }
+            Expr::Property { object, name } => self.eval_property(object, name, st, depth, merges, pruned),
+            Expr::MethodCall { object, method, args, closure } => {
+                self.eval_call(object.as_deref(), method, args, closure.as_deref(), st, depth, merges, pruned)
+            }
+            Expr::DynamicCall { .. } => self.eval_reflection(st, depth, merges, pruned),
+            Expr::Unary { op, operand } => self
+                .eval_expr(operand, st, depth, merges, pruned)
+                .into_iter()
+                .map(|(s, v)| {
+                    let value = match op {
+                        UnaryOp::Neg => match v.as_number() {
+                            Some(n) => SymValue::number(-n),
+                            None => SymValue::Unknown("neg".to_string()),
+                        },
+                        UnaryOp::Not => SymValue::Unknown("not".to_string()),
+                    };
+                    (s, value)
+                })
+                .collect(),
+            Expr::Binary { op, lhs, rhs } => {
+                let mut out = Vec::new();
+                for (s1, lv) in self.eval_expr(lhs, st, depth, merges, pruned) {
+                    for (s2, rv) in self.eval_expr(rhs, s1, depth, merges, pruned) {
+                        let value = if op.is_comparison() || *op == BinOp::And || *op == BinOp::Or
+                        {
+                            SymValue::Unknown("bool-expr".to_string())
+                        } else {
+                            let arith = SymValue::Arith {
+                                op: *op,
+                                lhs: Box::new(lv.clone()),
+                                rhs: Box::new(rv.clone()),
+                            };
+                            match arith.as_number() {
+                                Some(n) => SymValue::number(n),
+                                None => arith,
+                            }
+                        };
+                        out.push((s2, value));
+                    }
+                }
+                out
+            }
+            Expr::Elvis { value, default } => {
+                let results = self.eval_expr(value, st, depth, merges, pruned);
+                results
+                    .into_iter()
+                    .flat_map(|(s, v)| match v {
+                        SymValue::Unknown(_) => self
+                            .eval_expr(default, s, depth, merges, pruned)
+                            .into_iter()
+                            .collect::<Vec<_>>(),
+                        other => vec![(s, other)],
+                    })
+                    .collect()
+            }
+            Expr::Ternary { cond: _, then, els } => {
+                // Ternaries are rare in the corpus; both arms are explored and the
+                // value is joined conservatively.
+                let mut out = self.eval_expr(then, st.clone(), depth, merges, pruned);
+                out.extend(self.eval_expr(els, st, depth, merges, pruned));
+                out
+            }
+            Expr::Index { object, .. } => self
+                .eval_expr(object, st, depth, merges, pruned)
+                .into_iter()
+                .map(|(s, _)| (s, SymValue::Unknown("index".to_string())))
+                .collect(),
+            Expr::List(_) => vec![(st, SymValue::Unknown("list".to_string()))],
+            Expr::Closure(_) => vec![(st, SymValue::Unknown("closure".to_string()))],
+            Expr::New { class, .. } => vec![(st, SymValue::Unknown(format!("new:{class}")))],
+        }
+    }
+
+    fn resolve_ident(&self, name: &str, st: &PathState) -> SymValue {
+        if let Some(v) = st.env.get(name) {
+            return v.clone();
+        }
+        if self.ir.user_inputs.iter().any(|u| u.handle == name) {
+            return SymValue::UserInput(name.to_string());
+        }
+        if self.ir.permissions.iter().any(|p| p.handle == name) {
+            return SymValue::Unknown(format!("device:{name}"));
+        }
+        SymValue::Unknown(format!("ident:{name}"))
+    }
+
+    fn eval_property(
+        &self,
+        object: &Expr,
+        name: &str,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        // `evt.value` and `evt.<anything>`.
+        if let Expr::Ident(obj) = object {
+            if obj == "evt" {
+                let value = if name == "value" {
+                    SymValue::EventValue
+                } else {
+                    SymValue::Unknown(format!("evt.{name}"))
+                };
+                return vec![(st, value)];
+            }
+            if obj == "state" || obj == "atomicState" {
+                let key = format!("state.{name}");
+                let value =
+                    st.env.get(&key).cloned().unwrap_or(SymValue::StateVar(name.to_string()));
+                return vec![(st, value)];
+            }
+            if obj == "location" && name == "mode" {
+                return vec![(
+                    st,
+                    SymValue::DeviceAttr { handle: "location".into(), attribute: "mode".into() },
+                )];
+            }
+            // `device.currentTemperature`-style platform-specific attribute reads.
+            if self.ir.permissions.iter().any(|p| p.handle == obj.as_str()) {
+                if let Some(attr) = name.strip_prefix("current") {
+                    if !attr.is_empty() {
+                        return vec![(
+                            st,
+                            SymValue::DeviceAttr {
+                                handle: obj.clone(),
+                                attribute: decapitalise(attr),
+                            },
+                        )];
+                    }
+                }
+            }
+        }
+        // Passthrough conversions (`x.integerValue`, `x.intValue`).
+        if matches!(name, "integerValue" | "intValue" | "value") {
+            return self.eval_expr(object, st, depth, merges, pruned);
+        }
+        self.eval_expr(object, st, depth, merges, pruned)
+            .into_iter()
+            .map(|(s, _)| (s, SymValue::Unknown(format!("prop:{name}"))))
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_call(
+        &self,
+        object: Option<&Expr>,
+        method: &str,
+        args: &[Arg],
+        closure: Option<&soteria_lang::Closure>,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        match object {
+            None => self.eval_bare_call(method, args, closure, st, depth, merges, pruned),
+            Some(Expr::Ident(handle)) => {
+                self.eval_receiver_call(handle, method, args, closure, st, depth, merges, pruned)
+            }
+            Some(other) => {
+                // Calls on computed receivers (`resp.data.toString()`, `events.count {..}`)
+                // have no device-state effect; passthrough conversions keep the value.
+                let results = self.eval_expr(other, st, depth, merges, pruned);
+                if matches!(method, "toString" | "toInteger" | "toFloat" | "intValue") {
+                    results
+                } else {
+                    results
+                        .into_iter()
+                        .map(|(s, _)| (s, SymValue::Unknown(format!("call:{method}"))))
+                        .collect()
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_bare_call(
+        &self,
+        method: &str,
+        args: &[Arg],
+        closure: Option<&soteria_lang::Closure>,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        if NOTIFICATION_METHODS.contains(&method) {
+            let mut s = st;
+            s.sends_notification = true;
+            return vec![(s, SymValue::Unknown("notification".to_string()))];
+        }
+        if method == "setLocationMode" {
+            return self.apply_mode_change(args, st, depth, merges, pruned);
+        }
+        if NEUTRAL_METHODS.contains(&method) {
+            // Evaluate the arguments for completeness but drop effects of closures
+            // scheduled for later execution (their handlers are separate entry points).
+            return vec![(st, SymValue::Unknown(format!("neutral:{method}")))];
+        }
+        // User-defined method: inline up to the configured depth.
+        if let Some(callee) = self.ir.program.method(method) {
+            if depth < self.config.inline_depth {
+                return self.inline_method(callee, args, st, depth, merges, pruned);
+            }
+            return vec![(st, SymValue::Unknown(format!("depth-limit:{method}")))];
+        }
+        // Platform calls with callbacks (`httpGet(url) { resp -> ... }`) execute the
+        // callback body for its effects, with parameters unknown.
+        if let Some(cl) = closure {
+            let mut s = st;
+            for p in &cl.params {
+                s.env.insert(p.clone(), SymValue::Unknown(format!("closure-param:{p}")));
+            }
+            let states = self.exec_stmts(&cl.body.stmts, vec![s], depth, merges, pruned);
+            return states
+                .into_iter()
+                .map(|mut s| {
+                    s.returned = None;
+                    (s, SymValue::Unknown(format!("callback:{method}")))
+                })
+                .collect();
+        }
+        vec![(st, SymValue::Unknown(format!("extern:{method}")))]
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_receiver_call(
+        &self,
+        handle: &str,
+        method: &str,
+        args: &[Arg],
+        closure: Option<&soteria_lang::Closure>,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        // Logger calls (`log.debug(...)`) and similar.
+        if handle == "log" {
+            return vec![(st, SymValue::Unknown("log".to_string()))];
+        }
+        if handle == "location" && (method == "setMode" || method == "mode") {
+            return self.apply_mode_change(args, st, depth, merges, pruned);
+        }
+        let Some(capability) = self.ir.capability_of(handle).map(|s| s.to_string()) else {
+            // Unknown receiver: evaluate closure callbacks if present, otherwise no-op.
+            if let Some(cl) = closure {
+                let mut s = st;
+                for p in &cl.params {
+                    s.env.insert(p.clone(), SymValue::Unknown(format!("closure-param:{p}")));
+                }
+                let states = self.exec_stmts(&cl.body.stmts, vec![s], depth, merges, pruned);
+                return states
+                    .into_iter()
+                    .map(|mut s| {
+                        s.returned = None;
+                        (s, SymValue::Unknown(format!("callback:{method}")))
+                    })
+                    .collect();
+            }
+            return vec![(st, SymValue::Unknown(format!("recv:{handle}.{method}")))];
+        };
+
+        // Attribute reads.
+        if matches!(method, "currentValue" | "currentState" | "latestValue" | "latestState") {
+            let attribute = args
+                .first()
+                .and_then(|a| a.value.as_str())
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "value".to_string());
+            return vec![(
+                st,
+                SymValue::DeviceAttr { handle: handle.to_string(), attribute },
+            )];
+        }
+
+        // Device actions from the capability reference.
+        if let Some(effects) = self.registry.action_effects(&capability, method) {
+            let effects = effects.to_vec();
+            // Evaluate arguments (multiplying paths if evaluation forks).
+            let mut arg_states: Vec<(PathState, Vec<SymValue>)> = vec![(st, Vec::new())];
+            for arg in args {
+                let mut next = Vec::new();
+                for (s, values) in arg_states {
+                    for (s2, v) in self.eval_expr(&arg.value, s, depth, merges, pruned) {
+                        let mut values = values.clone();
+                        values.push(v);
+                        next.push((s2, values));
+                    }
+                }
+                arg_states = next;
+            }
+            return arg_states
+                .into_iter()
+                .map(|(mut s, values)| {
+                    for effect in &effects {
+                        let value = match &effect.value {
+                            EffectValue::Const(v) => SymValue::Const(v.clone()),
+                            EffectValue::Argument(i) => values
+                                .get(*i)
+                                .cloned()
+                                .unwrap_or_else(|| SymValue::Unknown("missing-arg".to_string())),
+                        };
+                        s.effects.push(AttrChange {
+                            handle: handle.to_string(),
+                            capability: capability.clone(),
+                            attribute: effect.attribute.clone(),
+                            value,
+                        });
+                    }
+                    (s, SymValue::Unknown(format!("action:{method}")))
+                })
+                .collect();
+        }
+        // Unknown device command (e.g. `refresh()`): state-neutral.
+        vec![(st, SymValue::Unknown(format!("device-call:{handle}.{method}")))]
+    }
+
+    fn apply_mode_change(
+        &self,
+        args: &[Arg],
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        let arg = args.first().map(|a| &a.value);
+        let values = match arg {
+            Some(expr) => self.eval_expr(expr, st, depth, merges, pruned),
+            None => vec![(st, SymValue::Unknown("mode".to_string()))],
+        };
+        values
+            .into_iter()
+            .map(|(mut s, v)| {
+                s.effects.push(AttrChange {
+                    handle: "location".to_string(),
+                    capability: "location".to_string(),
+                    attribute: "mode".to_string(),
+                    value: v,
+                });
+                (s, SymValue::Unknown("setLocationMode".to_string()))
+            })
+            .collect()
+    }
+
+    fn inline_method(
+        &self,
+        callee: &soteria_lang::MethodDef,
+        args: &[Arg],
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        // Evaluate arguments in the caller's environment.
+        let mut arg_states: Vec<(PathState, Vec<SymValue>)> = vec![(st, Vec::new())];
+        for arg in args {
+            let mut next = Vec::new();
+            for (s, values) in arg_states {
+                for (s2, v) in self.eval_expr(&arg.value, s, depth, merges, pruned) {
+                    let mut values = values.clone();
+                    values.push(v);
+                    next.push((s2, values));
+                }
+            }
+            arg_states = next;
+        }
+        let mut out = Vec::new();
+        for (caller_state, values) in arg_states {
+            let caller_env = caller_state.env.clone();
+            let mut callee_state = caller_state;
+            // Callee environment: parameters plus the persistent state fields.
+            let mut callee_env: BTreeMap<String, SymValue> = caller_env
+                .iter()
+                .filter(|(k, _)| k.starts_with("state."))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            for (i, param) in callee.params.iter().enumerate() {
+                callee_env.insert(
+                    param.clone(),
+                    values.get(i).cloned().unwrap_or_else(|| {
+                        SymValue::Unknown(format!("param:{param}"))
+                    }),
+                );
+            }
+            callee_state.env = callee_env;
+            let results =
+                self.exec_stmts(&callee.body.stmts, vec![callee_state], depth + 1, merges, pruned);
+            for mut s in results {
+                let ret = s
+                    .returned
+                    .take()
+                    .unwrap_or_else(|| SymValue::Unknown(format!("void:{}", callee.name)));
+                // Restore the caller's locals, keeping updated persistent state fields.
+                let mut restored = caller_env.clone();
+                for (k, v) in &s.env {
+                    if k.starts_with("state.") {
+                        restored.insert(k.clone(), v.clone());
+                    }
+                }
+                s.env = restored;
+                out.push((s, ret));
+            }
+        }
+        out
+    }
+
+    /// Reflection over-approximation: a `"$name"()` call may target any method of the
+    /// app (Sec. 4.2.3), so every method is inlined on its own alternative path.
+    fn eval_reflection(
+        &self,
+        st: PathState,
+        depth: usize,
+        merges: &mut usize,
+        pruned: &mut usize,
+    ) -> Vec<(PathState, SymValue)> {
+        if !self.config.reflection_over_approx || depth >= self.config.inline_depth {
+            return vec![(st, SymValue::Unknown("reflection".to_string()))];
+        }
+        let mut out = vec![(st.clone(), SymValue::Unknown("reflection:none".to_string()))];
+        for method in self.ir.program.methods() {
+            // Lifecycle methods are not interesting reflection targets.
+            if matches!(method.name.as_str(), "installed" | "updated" | "initialize") {
+                continue;
+            }
+            let results = self.inline_method(method, &[], st.clone(), depth, merges, pruned);
+            for (mut s, v) in results {
+                s.via_reflection = true;
+                out.push((s, v));
+            }
+        }
+        out.truncate(self.config.max_paths);
+        out
+    }
+
+    /// Scans the handler (and its callees) for comparisons of `evt.value` against
+    /// string constants; used by general property S.5.
+    fn collect_evt_value_cases(&self, handler: &str) -> Vec<String> {
+        let mut cases = Vec::new();
+        let graph = self.ir.call_graphs.get(handler);
+        let reachable: Vec<String> = match graph {
+            Some(g) => g.reachable().into_iter().collect(),
+            None => vec![handler.to_string()],
+        };
+        for name in reachable {
+            let Some(method) = self.ir.program.method(&name) else { continue };
+            for stmt in &method.body.stmts {
+                stmt.walk_exprs(&mut |e| {
+                    if let Expr::Binary { op: BinOp::Eq, lhs, rhs } = e {
+                        let is_evt_value = |x: &Expr| {
+                            matches!(x, Expr::Property { object, name }
+                                if name == "value" && matches!(object.as_ref(), Expr::Ident(o) if o == "evt"))
+                        };
+                        if is_evt_value(lhs) {
+                            if let Some(s) = rhs.as_str() {
+                                cases.push(s.to_string());
+                            }
+                        } else if is_evt_value(rhs) {
+                            if let Some(s) = lhs.as_str() {
+                                cases.push(s.to_string());
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        cases.sort();
+        cases.dedup();
+        cases
+    }
+}
+
+fn opaque_atom(reason: &str) -> Atom {
+    Atom::new(
+        SymValue::Unknown(reason.to_string()),
+        BinOp::Eq,
+        SymValue::Unknown("opaque".to_string()),
+    )
+}
+
+fn decapitalise(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str, handler: &str) -> HandlerSummary {
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("test", src, &registry).unwrap();
+        let exec = SymbolicExecutor::new(&ir, &registry, AnalysisConfig::paper());
+        exec.analyze_handler(handler)
+    }
+
+    const SMOKE_ALARM: &str = r#"
+        definition(name: "Smoke-Alarm")
+        preferences {
+            section("d") {
+                input "smoke_detector", "capability.smokeDetector"
+                input "the_switch", "capability.switch"
+                input "the_alarm", "capability.alarm"
+                input "the_valve", "capability.valve"
+                input "the_battery", "capability.battery"
+                input "thrshld", "number", title: "Low Battery Threshold"
+            }
+        }
+        def installed() {
+            subscribe(smoke_detector, "smoke", h1)
+            subscribe(the_battery, "battery", h2)
+        }
+        def h1(evt) {
+            if (evt.value == "detected") {
+                the_alarm.siren()
+                the_valve.open()
+            }
+            if (evt.value == "clear") {
+                the_alarm.off()
+                the_valve.close()
+            }
+        }
+        def h2(evt) {
+            def check = thrshld
+            def batteryLevel = p()
+            if (batteryLevel < check) {
+                the_switch.on()
+            }
+        }
+        def p() {
+            return the_battery.currentValue("battery")
+        }
+    "#;
+
+    #[test]
+    fn smoke_alarm_paths_and_effects() {
+        let summary = analyze(SMOKE_ALARM, "h1");
+        // Feasible combinations: detected (siren+open), clear (off+close), neither.
+        // The detected&&clear combination is pruned as infeasible.
+        assert!(summary.infeasible_paths_pruned >= 1);
+        let with_siren: Vec<&HandlerPath> = summary
+            .paths
+            .iter()
+            .filter(|p| p.effects.iter().any(|e| e.value == SymValue::string("siren")))
+            .collect();
+        assert_eq!(with_siren.len(), 1);
+        assert!(with_siren[0]
+            .effects
+            .iter()
+            .any(|e| e.attribute == "valve" && e.value == SymValue::string("open")));
+        // The empty path (no event match) exists too.
+        assert!(summary.paths.iter().any(|p| p.effects.is_empty()));
+        assert_eq!(summary.evt_value_cases, vec!["clear".to_string(), "detected".to_string()]);
+    }
+
+    #[test]
+    fn inlined_helper_resolves_device_read_and_user_input() {
+        let summary = analyze(SMOKE_ALARM, "h2");
+        let on_path = summary
+            .paths
+            .iter()
+            .find(|p| !p.effects.is_empty())
+            .expect("a path that turns on the switch");
+        assert_eq!(on_path.effects[0].attribute, "switch");
+        // The path condition compares the battery device read against the user input.
+        let cond = on_path.condition.to_string();
+        assert!(cond.contains("currentValue(the_battery.battery)"), "cond: {cond}");
+        assert!(cond.contains("thrshld"), "cond: {cond}");
+    }
+
+    #[test]
+    fn thermostat_energy_control_predicates() {
+        let src = r#"
+            definition(name: "Thermostat-Energy-Control")
+            preferences {
+                section("d") {
+                    input "the_switch", "capability.switch"
+                    input "power_meter", "capability.powerMeter"
+                }
+            }
+            def installed() { subscribe(power_meter, "power", handler) }
+            def handler(evt) {
+                def above = 50
+                def below = 5
+                def power_val = get_power()
+                if (power_val > above) {
+                    the_switch.off()
+                }
+                if (power_val < below) {
+                    the_switch.on()
+                }
+            }
+            def get_power() {
+                def latest_power = power_meter.currentValue("power")
+                return latest_power
+            }
+        "#;
+        let summary = analyze(src, "handler");
+        // The both-branches-taken path (power > 50 && power < 5) must be pruned, so
+        // no feasible path both turns the switch off and on.
+        assert!(summary.paths.iter().all(|p| {
+            !(p.effects.iter().any(|e| e.value == SymValue::string("off"))
+                && p.effects.iter().any(|e| e.value == SymValue::string("on")))
+        }));
+        assert!(summary.infeasible_paths_pruned >= 1);
+        // The off path is guarded by currentValue(power) > 50.
+        let off = summary
+            .paths
+            .iter()
+            .find(|p| p.effects.iter().any(|e| e.value == SymValue::string("off")))
+            .unwrap();
+        assert!(off.condition.to_string().contains("currentValue(power_meter.power) > 50"));
+    }
+
+    #[test]
+    fn esp_merging_collapses_identical_branches() {
+        let src = r#"
+            definition(name: "Merge")
+            preferences { section("d") { input "sw", "capability.switch" \n input "m", "capability.motionSensor" } }
+            def installed() { subscribe(m, "motion.active", h) }
+            def h(evt) {
+                if (evt.value == "active") {
+                    log.debug("motion")
+                } else {
+                    log.debug("no motion")
+                }
+                sw.on()
+            }
+        "#;
+        let src = src.replace("\\n", "\n");
+        let summary = analyze(&src, "h");
+        // Both branches have identical device effects, so ESP merging keeps one path.
+        assert_eq!(summary.paths.len(), 1);
+        assert!(summary.paths_merged >= 1);
+        assert!(summary.paths[0].condition.is_trivial());
+    }
+
+    #[test]
+    fn mode_change_and_setpoint_effects() {
+        let src = r#"
+            definition(name: "ThermoMode")
+            preferences { section("d") { input "ther", "capability.thermostat"
+                input "the_lock", "capability.lock" } }
+            def installed() { subscribe(location, "mode", modeChangeHandler) }
+            def modeChangeHandler(evt) {
+                def temp = 68
+                setTemp(temp)
+                the_lock.lock()
+                setLocationMode("home")
+            }
+            def setTemp(t) {
+                ther.setHeatingSetpoint(t)
+            }
+        "#;
+        let summary = analyze(src, "modeChangeHandler");
+        assert_eq!(summary.paths.len(), 1);
+        let effects = &summary.paths[0].effects;
+        // Dependence through the helper resolves the setpoint to the constant 68.
+        assert!(effects.iter().any(|e| e.attribute == "heatingSetpoint"
+            && e.value == SymValue::number(68)));
+        assert!(effects.iter().any(|e| e.attribute == "lock" && e.value == SymValue::string("locked")));
+        assert!(effects.iter().any(|e| e.handle == "location"
+            && e.attribute == "mode"
+            && e.value == SymValue::string("home")));
+    }
+
+    #[test]
+    fn state_variable_guard_is_tracked() {
+        let src = r#"
+            definition(name: "Counter")
+            preferences { section("d") { input "theSwitch", "capability.switch" } }
+            def installed() { subscribe(theSwitch, "switch.on", turnedOnHandler) }
+            def turnedOnHandler(evt) {
+                state.counter = state.counter + 1
+                if (state.counter > 10) {
+                    theSwitch.off()
+                }
+            }
+        "#;
+        let summary = analyze(src, "turnedOnHandler");
+        let off_path = summary
+            .paths
+            .iter()
+            .find(|p| !p.effects.is_empty())
+            .expect("path turning the switch off");
+        assert!(off_path.condition.to_string().contains("state.counter"));
+    }
+
+    #[test]
+    fn reflection_over_approximation_reaches_all_methods() {
+        let src = r#"
+            definition(name: "Reflect")
+            preferences { section("d") { input "the_alarm", "capability.alarm"
+                input "smoke", "capability.smokeDetector" } }
+            def installed() { subscribe(smoke, "smoke.detected", h) }
+            def h(evt) {
+                getMethod()
+            }
+            def getMethod() {
+                httpGet("http://example.org") { resp ->
+                    name = resp.data
+                }
+                "$name"()
+            }
+            def foo() { the_alarm.siren() }
+            def bar() { the_alarm.off() }
+        "#;
+        let summary = analyze(src, "h");
+        let values: Vec<String> = summary
+            .all_effects()
+            .map(|e| e.value.as_const().map(|v| v.to_string()).unwrap_or_default())
+            .collect();
+        assert!(values.contains(&"siren".to_string()));
+        assert!(values.contains(&"off".to_string()));
+        assert!(summary.paths.iter().any(|p| p.via_reflection));
+
+        // With the over-approximation disabled, no alarm effect is visible.
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("test", src, &registry).unwrap();
+        let mut cfg = AnalysisConfig::paper();
+        cfg.reflection_over_approx = false;
+        let exec = SymbolicExecutor::new(&ir, &registry, cfg);
+        let summary2 = exec.analyze_handler("h");
+        assert_eq!(summary2.all_effects().count(), 0);
+    }
+
+    #[test]
+    fn notification_flag_set() {
+        let src = r#"
+            definition(name: "Notify")
+            preferences { section("d") { input "w", "capability.waterSensor" } }
+            def installed() { subscribe(w, "water.wet", h) }
+            def h(evt) {
+                sendSms("5551234", "wet!")
+            }
+        "#;
+        let summary = analyze(src, "h");
+        assert!(summary.paths[0].sends_notification);
+        assert!(summary.paths[0].effects.is_empty());
+    }
+
+    #[test]
+    fn transition_specs_cover_all_subscriptions() {
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("test", SMOKE_ALARM, &registry).unwrap();
+        let exec = SymbolicExecutor::new(&ir, &registry, AnalysisConfig::paper());
+        let specs = exec.transition_specs();
+        assert!(specs.iter().any(|s| s.handler == "h1"));
+        assert!(specs.iter().any(|s| s.handler == "h2"));
+        // Each spec's display includes the event and its effects.
+        let detected = specs
+            .iter()
+            .find(|s| s.handler == "h1" && !s.effects.is_empty())
+            .unwrap();
+        assert!(detected.to_string().contains("smoke"));
+    }
+
+    #[test]
+    fn path_insensitive_ablation_collapses_paths() {
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("test", SMOKE_ALARM, &registry).unwrap();
+        let exec = SymbolicExecutor::new(
+            &ir,
+            &registry,
+            AnalysisConfig::without_path_sensitivity(),
+        );
+        let summary = exec.analyze_handler("h1");
+        assert_eq!(summary.paths.len(), 1);
+        // The single path contains both the siren and the off effects (the coarse
+        // over-approximation the paper describes as producing false positives).
+        let values: Vec<&SymValue> = summary.paths[0].effects.iter().map(|e| &e.value).collect();
+        assert!(values.contains(&&SymValue::string("siren")));
+        assert!(values.contains(&&SymValue::string("off")));
+    }
+}

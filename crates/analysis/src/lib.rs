@@ -1,0 +1,31 @@
+//! Static analyses backing Soteria's state-model extraction (Sec. 4.2).
+//!
+//! This crate implements, from scratch:
+//!
+//! * **symbolic values and source labels** ([`SymValue`], [`SourceLabel`]) — constants,
+//!   user inputs, device-state reads, persistent state variables;
+//! * **path conditions** with the paper's simple custom feasibility checker
+//!   ([`PathCondition`], [`Atom`]) — no SMT solver, just comparisons against constants;
+//! * **path-sensitive symbolic execution** of event handlers with ESP-style path
+//!   merging, infeasible-path pruning, depth-limited inlining, field-sensitive state
+//!   variables and the reflection over-approximation ([`SymbolicExecutor`]);
+//! * **dependence analysis** (Algorithm 1) identifying the sources of numerical-valued
+//!   attributes ([`analyze_numeric_attribute`]);
+//! * **property abstraction** collapsing numeric domains to their sources/cut-points
+//!   ([`abstract_domains`], [`Abstraction`]).
+
+pub mod abstraction;
+pub mod config;
+pub mod dependence;
+pub mod effects;
+pub mod executor;
+pub mod predicate;
+pub mod symbolic;
+
+pub use abstraction::{abstract_domains, reduction_factor, Abstraction, AttrKey};
+pub use config::AnalysisConfig;
+pub use dependence::{analyze_numeric_attribute, DepPoint, DependenceResult};
+pub use effects::{AttrChange, HandlerPath, HandlerSummary, TransitionSpec};
+pub use executor::SymbolicExecutor;
+pub use predicate::{Atom, PathCondition};
+pub use symbolic::{SourceLabel, SymValue};

@@ -1,0 +1,435 @@
+//! Path conditions and the simple custom feasibility checker.
+//!
+//! The paper observes that predicates in IoT apps are "extremely simple in the form of
+//! comparisons between variables and constants (such as `x = c` and `x > c`)" and so
+//! implements a custom checker for path conditions instead of a general SMT solver
+//! (Sec. 4.2.1). This module reproduces that checker.
+
+use crate::symbolic::{SourceLabel, SymValue};
+use soteria_capability::AttributeValue;
+use soteria_lang::BinOp;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One atomic comparison in a path condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Left-hand side (the tracked subject).
+    pub lhs: SymValue,
+    /// Comparison operator.
+    pub op: BinOp,
+    /// Right-hand side.
+    pub rhs: SymValue,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(lhs: SymValue, op: BinOp, rhs: SymValue) -> Self {
+        Atom { lhs, op, rhs }
+    }
+
+    /// The logically negated atom (`x > c` becomes `x <= c`).
+    pub fn negated(&self) -> Atom {
+        match self.op.negate_comparison() {
+            Some(op) => Atom { lhs: self.lhs.clone(), op, rhs: self.rhs.clone() },
+            None => Atom {
+                // Non-comparison operators only appear in opaque atoms; represent the
+                // negation as inequality with an unknown, which never prunes paths.
+                lhs: self.lhs.clone(),
+                op: BinOp::NotEq,
+                rhs: SymValue::Unknown("negated-opaque".to_string()),
+            },
+        }
+    }
+
+    /// Normalises the atom so that a trackable subject is on the left and a constant on
+    /// the right, when possible.
+    pub fn normalised(&self) -> Atom {
+        if self.lhs.as_const().is_some() && self.rhs.as_const().is_none() {
+            let flipped = match self.op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            };
+            Atom { lhs: self.rhs.clone(), op: flipped, rhs: self.lhs.clone() }
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Source labels of both operands (used for transition labeling).
+    pub fn source_labels(&self) -> (SourceLabel, SourceLabel) {
+        (self.lhs.source_label(), self.rhs.source_label())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A conjunction of atoms collected along one execution path.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct PathCondition {
+    /// The conjunct atoms, in the order they were collected.
+    pub atoms: Vec<Atom>,
+}
+
+impl PathCondition {
+    /// The trivially true condition.
+    pub fn top() -> Self {
+        PathCondition::default()
+    }
+
+    /// Extends the condition with one more atom.
+    pub fn and(&self, atom: Atom) -> Self {
+        let mut atoms = self.atoms.clone();
+        atoms.push(atom);
+        PathCondition { atoms }
+    }
+
+    /// Extends the condition with several atoms.
+    pub fn and_all(&self, extra: &[Atom]) -> Self {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(extra.iter().cloned());
+        PathCondition { atoms }
+    }
+
+    /// True if the condition has no atoms.
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The paper's custom feasibility check: group atoms by subject (same identifier /
+    /// device read / user input), derive numeric interval and symbolic equality
+    /// constraints against constants, and report a contradiction when the constraints
+    /// cannot be satisfied simultaneously. Opaque atoms never cause infeasibility.
+    pub fn is_feasible(&self) -> bool {
+        #[derive(Default)]
+        struct Constraint {
+            lower: Option<i64>,          // exclusive lower bound
+            lower_inc: Option<i64>,      // inclusive lower bound
+            upper: Option<i64>,          // exclusive upper bound
+            upper_inc: Option<i64>,      // inclusive upper bound
+            eq_num: Option<i64>,
+            neq_nums: Vec<i64>,
+            eq_sym: Option<String>,
+            neq_syms: Vec<String>,
+        }
+
+        // Pairwise contradiction check for comparisons of the same subject against the
+        // same (possibly symbolic) right-hand side: `x < t` and `x >= t` cannot hold
+        // together even when `t` is a user input rather than a constant.
+        let normalised: Vec<Atom> = self.atoms.iter().map(|a| a.normalised()).collect();
+        for (i, a) in normalised.iter().enumerate() {
+            for b in normalised.iter().skip(i + 1) {
+                if a.lhs.key() == b.lhs.key()
+                    && a.rhs.key() == b.rhs.key()
+                    && !matches!(a.lhs, SymValue::Unknown(_))
+                    && ops_contradict(a.op, b.op)
+                {
+                    return false;
+                }
+            }
+        }
+
+        let mut per_subject: BTreeMap<String, Constraint> = BTreeMap::new();
+        for atom in &self.atoms {
+            let atom = atom.normalised();
+            // Only comparisons of a non-constant subject against a constant are
+            // interpreted; everything else is treated as opaque (always satisfiable).
+            let Some(rhs_const) = atom.rhs.as_const().cloned().or_else(|| {
+                atom.rhs.as_number().map(AttributeValue::Number)
+            }) else {
+                continue;
+            };
+            if atom.lhs.as_const().is_some() {
+                // Constant vs constant: evaluate directly.
+                if let (Some(l), Some(r)) = (atom.lhs.as_number(), atom.rhs.as_number()) {
+                    let holds = match atom.op {
+                        BinOp::Eq => l == r,
+                        BinOp::NotEq => l != r,
+                        BinOp::Lt => l < r,
+                        BinOp::Le => l <= r,
+                        BinOp::Gt => l > r,
+                        BinOp::Ge => l >= r,
+                        _ => true,
+                    };
+                    if !holds {
+                        return false;
+                    }
+                } else if let (Some(l), Some(r)) =
+                    (atom.lhs.as_const(), atom.rhs.as_const())
+                {
+                    let holds = match atom.op {
+                        BinOp::Eq => l == r,
+                        BinOp::NotEq => l != r,
+                        _ => true,
+                    };
+                    if !holds {
+                        return false;
+                    }
+                }
+                continue;
+            }
+            let entry = per_subject.entry(atom.lhs.key()).or_default();
+            match (&rhs_const, atom.op) {
+                (AttributeValue::Number(n), BinOp::Eq) => {
+                    if let Some(prev) = entry.eq_num {
+                        if prev != *n {
+                            return false;
+                        }
+                    }
+                    entry.eq_num = Some(*n);
+                }
+                (AttributeValue::Number(n), BinOp::NotEq) => entry.neq_nums.push(*n),
+                (AttributeValue::Number(n), BinOp::Lt) => {
+                    entry.upper = Some(entry.upper.map_or(*n, |u| u.min(*n)));
+                }
+                (AttributeValue::Number(n), BinOp::Le) => {
+                    entry.upper_inc = Some(entry.upper_inc.map_or(*n, |u| u.min(*n)));
+                }
+                (AttributeValue::Number(n), BinOp::Gt) => {
+                    entry.lower = Some(entry.lower.map_or(*n, |l| l.max(*n)));
+                }
+                (AttributeValue::Number(n), BinOp::Ge) => {
+                    entry.lower_inc = Some(entry.lower_inc.map_or(*n, |l| l.max(*n)));
+                }
+                (AttributeValue::Symbol(s), BinOp::Eq) => {
+                    if let Some(prev) = &entry.eq_sym {
+                        if prev != s {
+                            return false;
+                        }
+                    }
+                    entry.eq_sym = Some(s.clone());
+                }
+                (AttributeValue::Symbol(s), BinOp::NotEq) => entry.neq_syms.push(s.clone()),
+                _ => {}
+            }
+        }
+
+        for c in per_subject.values() {
+            // Effective bounds: tightest of inclusive/exclusive forms.
+            let min_allowed = match (c.lower, c.lower_inc) {
+                (Some(l), Some(li)) => Some((l + 1).max(li)),
+                (Some(l), None) => Some(l + 1),
+                (None, Some(li)) => Some(li),
+                (None, None) => None,
+            };
+            let max_allowed = match (c.upper, c.upper_inc) {
+                (Some(u), Some(ui)) => Some((u - 1).min(ui)),
+                (Some(u), None) => Some(u - 1),
+                (None, Some(ui)) => Some(ui),
+                (None, None) => None,
+            };
+            if let (Some(lo), Some(hi)) = (min_allowed, max_allowed) {
+                if lo > hi {
+                    return false;
+                }
+            }
+            if let Some(eq) = c.eq_num {
+                if let Some(lo) = min_allowed {
+                    if eq < lo {
+                        return false;
+                    }
+                }
+                if let Some(hi) = max_allowed {
+                    if eq > hi {
+                        return false;
+                    }
+                }
+                if c.neq_nums.contains(&eq) {
+                    return false;
+                }
+            }
+            if let Some(eq) = &c.eq_sym {
+                if c.neq_syms.contains(eq) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Source labels appearing in the condition (deduplicated), used to label the
+    /// transition in the state model.
+    pub fn source_labels(&self) -> Vec<SourceLabel> {
+        let mut labels: Vec<SourceLabel> = self
+            .atoms
+            .iter()
+            .flat_map(|a| {
+                let (l, r) = a.source_labels();
+                [l, r]
+            })
+            .filter(|l| *l != SourceLabel::Unknown)
+            .collect();
+        labels.sort_by_key(|l| format!("{l}"));
+        labels.dedup();
+        labels
+    }
+}
+
+/// True if two comparison operators over the same operands cannot hold simultaneously.
+fn ops_contradict(a: BinOp, b: BinOp) -> bool {
+    use BinOp::{Eq, Ge, Gt, Le, Lt, NotEq};
+    matches!(
+        (a, b),
+        (Eq, NotEq)
+            | (NotEq, Eq)
+            | (Eq, Lt)
+            | (Lt, Eq)
+            | (Eq, Gt)
+            | (Gt, Eq)
+            | (Lt, Gt)
+            | (Gt, Lt)
+            | (Lt, Ge)
+            | (Ge, Lt)
+            | (Le, Gt)
+            | (Gt, Le)
+    )
+}
+
+impl fmt::Display for PathCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(" && "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power() -> SymValue {
+        SymValue::DeviceAttr { handle: "pm".into(), attribute: "power".into() }
+    }
+
+    #[test]
+    fn contradictory_numeric_bounds_are_infeasible() {
+        // The paper's example: x > 1 && x < 0 is infeasible.
+        let pc = PathCondition::top()
+            .and(Atom::new(power(), BinOp::Gt, SymValue::number(1)))
+            .and(Atom::new(power(), BinOp::Lt, SymValue::number(0)));
+        assert!(!pc.is_feasible());
+
+        // x > 50 && x < 5 (Thermostat-Energy-Control's two branches) is infeasible.
+        let pc2 = PathCondition::top()
+            .and(Atom::new(power(), BinOp::Gt, SymValue::number(50)))
+            .and(Atom::new(power(), BinOp::Lt, SymValue::number(5)));
+        assert!(!pc2.is_feasible());
+    }
+
+    #[test]
+    fn compatible_bounds_are_feasible() {
+        let pc = PathCondition::top()
+            .and(Atom::new(power(), BinOp::Gt, SymValue::number(5)))
+            .and(Atom::new(power(), BinOp::Lt, SymValue::number(50)));
+        assert!(pc.is_feasible());
+        assert!(PathCondition::top().is_feasible());
+    }
+
+    #[test]
+    fn equality_conflicts() {
+        let ev = SymValue::EventValue;
+        let pc = PathCondition::top()
+            .and(Atom::new(ev.clone(), BinOp::Eq, SymValue::string("detected")))
+            .and(Atom::new(ev.clone(), BinOp::Eq, SymValue::string("clear")));
+        assert!(!pc.is_feasible());
+
+        let pc2 = PathCondition::top()
+            .and(Atom::new(ev.clone(), BinOp::Eq, SymValue::string("detected")))
+            .and(Atom::new(ev.clone(), BinOp::NotEq, SymValue::string("detected")));
+        assert!(!pc2.is_feasible());
+
+        let pc3 = PathCondition::top()
+            .and(Atom::new(ev.clone(), BinOp::Eq, SymValue::string("detected")))
+            .and(Atom::new(ev, BinOp::NotEq, SymValue::string("clear")));
+        assert!(pc3.is_feasible());
+    }
+
+    #[test]
+    fn numeric_equality_vs_bounds() {
+        let bat = SymValue::DeviceAttr { handle: "b".into(), attribute: "battery".into() };
+        let pc = PathCondition::top()
+            .and(Atom::new(bat.clone(), BinOp::Eq, SymValue::number(80)))
+            .and(Atom::new(bat, BinOp::Lt, SymValue::number(10)));
+        assert!(!pc.is_feasible());
+    }
+
+    #[test]
+    fn inclusive_bounds_edge_cases() {
+        let x = SymValue::UserInput("x".into());
+        // x >= 5 && x <= 5 is feasible (x = 5)…
+        let pc = PathCondition::top()
+            .and(Atom::new(x.clone(), BinOp::Ge, SymValue::number(5)))
+            .and(Atom::new(x.clone(), BinOp::Le, SymValue::number(5)));
+        assert!(pc.is_feasible());
+        // …but x > 5 && x <= 5 is not.
+        let pc2 = PathCondition::top()
+            .and(Atom::new(x.clone(), BinOp::Gt, SymValue::number(5)))
+            .and(Atom::new(x, BinOp::Le, SymValue::number(5)));
+        assert!(!pc2.is_feasible());
+    }
+
+    #[test]
+    fn opaque_atoms_never_prune() {
+        let pc = PathCondition::top().and(Atom::new(
+            SymValue::Unknown("http-response".into()),
+            BinOp::Eq,
+            SymValue::Unknown("other".into()),
+        ));
+        assert!(pc.is_feasible());
+    }
+
+    #[test]
+    fn constant_vs_constant_is_evaluated() {
+        let pc = PathCondition::top().and(Atom::new(
+            SymValue::number(3),
+            BinOp::Gt,
+            SymValue::number(10),
+        ));
+        assert!(!pc.is_feasible());
+        let pc2 = PathCondition::top().and(Atom::new(
+            SymValue::string("on"),
+            BinOp::Eq,
+            SymValue::string("off"),
+        ));
+        assert!(!pc2.is_feasible());
+    }
+
+    #[test]
+    fn normalisation_flips_constant_on_left() {
+        let a = Atom::new(SymValue::number(50), BinOp::Lt, power());
+        let n = a.normalised();
+        assert_eq!(n.lhs, power());
+        assert_eq!(n.op, BinOp::Gt);
+    }
+
+    #[test]
+    fn negation() {
+        let a = Atom::new(power(), BinOp::Gt, SymValue::number(50));
+        assert_eq!(a.negated().op, BinOp::Le);
+        let eq = Atom::new(SymValue::EventValue, BinOp::Eq, SymValue::string("wet"));
+        assert_eq!(eq.negated().op, BinOp::NotEq);
+    }
+
+    #[test]
+    fn display_and_labels() {
+        let pc = PathCondition::top()
+            .and(Atom::new(power(), BinOp::Gt, SymValue::number(50)))
+            .and(Atom::new(SymValue::UserInput("thr".into()), BinOp::Lt, SymValue::number(10)));
+        let s = pc.to_string();
+        assert!(s.contains("currentValue(pm.power) > 50"));
+        let labels = pc.source_labels();
+        assert!(labels.contains(&SourceLabel::DeviceState));
+        assert!(labels.contains(&SourceLabel::DeveloperDefined));
+        assert!(labels.contains(&SourceLabel::UserDefined));
+        assert_eq!(PathCondition::top().to_string(), "true");
+    }
+}

@@ -1,0 +1,259 @@
+//! Symbolic values used by the path-sensitive analysis.
+//!
+//! Soteria labels the sources of values flowing into device actions and predicates as
+//! "developer-defined" (constants), "user-defined" (install-time inputs),
+//! "device-state" (attribute reads), or "state-variable" (persistent `state` object
+//! fields) — Sec. 4.2.2 "Labeling Transitions with Predicates".
+
+use soteria_capability::AttributeValue;
+use soteria_lang::BinOp;
+use std::fmt;
+
+/// Source classification of a symbolic value (predicate/transition labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceLabel {
+    /// A constant hard-coded by the developer.
+    DeveloperDefined,
+    /// A value entered by the user at install time.
+    UserDefined,
+    /// A device attribute read (`currentValue(...)`).
+    DeviceState,
+    /// A persistent `state` / `atomicState` field.
+    StateVariable,
+    /// The triggering event's value (`evt.value`).
+    EventValue,
+    /// A value the analysis cannot track precisely.
+    Unknown,
+}
+
+impl fmt::Display for SourceLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SourceLabel::DeveloperDefined => "developer-defined",
+            SourceLabel::UserDefined => "user-defined",
+            SourceLabel::DeviceState => "device-state",
+            SourceLabel::StateVariable => "state-variable",
+            SourceLabel::EventValue => "event-value",
+            SourceLabel::Unknown => "unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A symbolic value tracked by the executor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymValue {
+    /// A concrete constant (number or string).
+    Const(AttributeValue),
+    /// An install-time user input, by handle name.
+    UserInput(String),
+    /// A device attribute read.
+    DeviceAttr {
+        /// Device handle.
+        handle: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// A persistent state variable (`state.<field>`).
+    StateVar(String),
+    /// The value carried by the triggering event (`evt.value`).
+    EventValue,
+    /// An arithmetic combination of symbolic values.
+    Arith {
+        /// Operator (`+`, `-`, `*`, `/`, `%`).
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<SymValue>,
+        /// Right operand.
+        rhs: Box<SymValue>,
+    },
+    /// An untracked value with a short description of its origin.
+    Unknown(String),
+}
+
+impl SymValue {
+    /// A numeric constant.
+    pub fn number(n: i64) -> Self {
+        SymValue::Const(AttributeValue::Number(n))
+    }
+
+    /// A string constant.
+    pub fn string(s: impl Into<String>) -> Self {
+        SymValue::Const(AttributeValue::Symbol(s.into()))
+    }
+
+    /// Returns the concrete constant if the value is a constant.
+    pub fn as_const(&self) -> Option<&AttributeValue> {
+        match self {
+            SymValue::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric constant payload, folding constant arithmetic.
+    pub fn as_number(&self) -> Option<i64> {
+        match self {
+            SymValue::Const(AttributeValue::Number(n)) => Some(*n),
+            SymValue::Arith { op, lhs, rhs } => {
+                let (l, r) = (lhs.as_number()?, rhs.as_number()?);
+                match op {
+                    BinOp::Add => Some(l + r),
+                    BinOp::Sub => Some(l - r),
+                    BinOp::Mul => Some(l * r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            None
+                        } else {
+                            Some(l / r)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if r == 0 {
+                            None
+                        } else {
+                            Some(l % r)
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The source label of the value, used for predicate labeling.
+    pub fn source_label(&self) -> SourceLabel {
+        match self {
+            SymValue::Const(_) => SourceLabel::DeveloperDefined,
+            SymValue::UserInput(_) => SourceLabel::UserDefined,
+            SymValue::DeviceAttr { .. } => SourceLabel::DeviceState,
+            SymValue::StateVar(_) => SourceLabel::StateVariable,
+            SymValue::EventValue => SourceLabel::EventValue,
+            SymValue::Arith { lhs, rhs, .. } => {
+                // An arithmetic value inherits the "most external" operand label:
+                // user input dominates device state, which dominates constants.
+                let labels = [lhs.source_label(), rhs.source_label()];
+                if labels.contains(&SourceLabel::Unknown) {
+                    SourceLabel::Unknown
+                } else if labels.contains(&SourceLabel::UserDefined) {
+                    SourceLabel::UserDefined
+                } else if labels.contains(&SourceLabel::StateVariable) {
+                    SourceLabel::StateVariable
+                } else if labels.contains(&SourceLabel::DeviceState) {
+                    SourceLabel::DeviceState
+                } else {
+                    SourceLabel::DeveloperDefined
+                }
+            }
+            SymValue::Unknown(_) => SourceLabel::Unknown,
+        }
+    }
+
+    /// Leaf sources of the value (constants, user inputs, device reads, state vars).
+    /// These are the "sources" Algorithm 1's dependence analysis computes.
+    pub fn sources(&self) -> Vec<&SymValue> {
+        match self {
+            SymValue::Arith { lhs, rhs, .. } => {
+                let mut out = lhs.sources();
+                out.extend(rhs.sources());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// A stable textual key used to compare predicate subjects (the "same identifier"
+    /// requirement of the custom path-condition checker).
+    pub fn key(&self) -> String {
+        match self {
+            SymValue::Const(v) => format!("const:{v}"),
+            SymValue::UserInput(h) => format!("user:{h}"),
+            SymValue::DeviceAttr { handle, attribute } => format!("dev:{handle}.{attribute}"),
+            SymValue::StateVar(f) => format!("state:{f}"),
+            SymValue::EventValue => "evt.value".to_string(),
+            SymValue::Arith { op, lhs, rhs } => format!("({} {} {})", lhs.key(), op, rhs.key()),
+            SymValue::Unknown(d) => format!("unknown:{d}"),
+        }
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Const(v) => write!(f, "{v}"),
+            SymValue::UserInput(h) => write!(f, "${h}"),
+            SymValue::DeviceAttr { handle, attribute } => {
+                write!(f, "currentValue({handle}.{attribute})")
+            }
+            SymValue::StateVar(field) => write!(f, "state.{field}"),
+            SymValue::EventValue => write!(f, "evt.value"),
+            SymValue::Arith { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            SymValue::Unknown(d) => write!(f, "?{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let v = SymValue::Arith {
+            op: BinOp::Add,
+            lhs: Box::new(SymValue::number(10)),
+            rhs: Box::new(SymValue::Arith {
+                op: BinOp::Mul,
+                lhs: Box::new(SymValue::number(5)),
+                rhs: Box::new(SymValue::number(2)),
+            }),
+        };
+        assert_eq!(v.as_number(), Some(20));
+        assert_eq!(SymValue::string("on").as_number(), None);
+        let div_zero = SymValue::Arith {
+            op: BinOp::Div,
+            lhs: Box::new(SymValue::number(5)),
+            rhs: Box::new(SymValue::number(0)),
+        };
+        assert_eq!(div_zero.as_number(), None);
+    }
+
+    #[test]
+    fn source_labels() {
+        assert_eq!(SymValue::number(68).source_label(), SourceLabel::DeveloperDefined);
+        assert_eq!(SymValue::UserInput("thrshld".into()).source_label(), SourceLabel::UserDefined);
+        assert_eq!(
+            SymValue::DeviceAttr { handle: "pm".into(), attribute: "power".into() }.source_label(),
+            SourceLabel::DeviceState
+        );
+        assert_eq!(SymValue::StateVar("counter".into()).source_label(), SourceLabel::StateVariable);
+        // `user input + 10` is user-defined overall (paper footnote 3).
+        let v = SymValue::Arith {
+            op: BinOp::Add,
+            lhs: Box::new(SymValue::UserInput("y".into())),
+            rhs: Box::new(SymValue::number(10)),
+        };
+        assert_eq!(v.source_label(), SourceLabel::UserDefined);
+    }
+
+    #[test]
+    fn sources_flatten_arithmetic() {
+        let v = SymValue::Arith {
+            op: BinOp::Add,
+            lhs: Box::new(SymValue::UserInput("y".into())),
+            rhs: Box::new(SymValue::number(10)),
+        };
+        let sources = v.sources();
+        assert_eq!(sources.len(), 2);
+        assert!(sources.contains(&&SymValue::UserInput("y".into())));
+    }
+
+    #[test]
+    fn display_and_keys() {
+        let v = SymValue::DeviceAttr { handle: "power_meter".into(), attribute: "power".into() };
+        assert_eq!(v.to_string(), "currentValue(power_meter.power)");
+        assert_eq!(v.key(), "dev:power_meter.power");
+        assert_eq!(SymValue::EventValue.key(), "evt.value");
+        assert_eq!(SourceLabel::DeviceState.to_string(), "device-state");
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation bench for the design choices called out in DESIGN.md: path sensitivity,
+//! ESP path merging, and infeasible-path pruning (Sec. 4.2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soteria::Soteria;
+use soteria_analysis::AnalysisConfig;
+use soteria_corpus::running;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let configs = [
+        ("paper", AnalysisConfig::paper()),
+        ("no_path_sensitivity", AnalysisConfig::without_path_sensitivity()),
+        ("no_esp_merge", AnalysisConfig::without_esp_merge()),
+        ("no_pruning", AnalysisConfig::without_pruning()),
+    ];
+    let mut group = c.benchmark_group("ablation_thermostat_energy_control");
+    group.sample_size(20);
+    for (name, config) in configs {
+        let soteria = Soteria::with_config(config);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                soteria
+                    .analyze_app(
+                        black_box("Thermostat-Energy-Control"),
+                        black_box(running::THERMOSTAT_ENERGY_CONTROL),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

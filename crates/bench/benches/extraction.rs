@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 11 (bottom): state-model extraction time as a function of
+//! model size, measured on representative corpus apps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soteria::Soteria;
+use soteria_corpus::{all_market_apps, running};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let soteria = Soteria::new();
+    let mut group = c.benchmark_group("fig11_extraction");
+    group.sample_size(20);
+
+    for (name, source) in [
+        ("water_leak_detector", running::WATER_LEAK_DETECTOR.to_string()),
+        ("smoke_alarm", running::SMOKE_ALARM.to_string()),
+        ("thermostat_energy_control", running::THERMOSTAT_ENERGY_CONTROL.to_string()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| soteria.analyze_app(black_box(name), black_box(&source)).unwrap())
+        });
+    }
+
+    // The largest market app by state count exercises the worst case of Fig. 11.
+    let largest = all_market_apps()
+        .into_iter()
+        .max_by_key(|app| {
+            soteria.analyze_app(&app.id, &app.source).map(|a| a.model.state_count()).unwrap_or(0)
+        })
+        .expect("corpus not empty");
+    group.bench_function("largest_market_app", |b| {
+        b.iter(|| soteria.analyze_app(black_box(&largest.id), black_box(&largest.source)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Sec. 6.3 union-algorithm micro-benchmark: building the
+//! union state model of an interacting app group (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soteria::Soteria;
+use soteria_corpus::{all_market_apps, market_groups};
+use soteria_model::{union_models, StateModel, UnionOptions};
+use std::hint::black_box;
+
+fn bench_union(c: &mut Criterion) {
+    let soteria = Soteria::new();
+    let corpus = all_market_apps();
+    let mut group_bench = c.benchmark_group("union_algorithm");
+    group_bench.sample_size(10);
+
+    for group in market_groups() {
+        let members: Vec<StateModel> = group
+            .members
+            .iter()
+            .map(|id| {
+                let app = corpus.iter().find(|a| &a.id == id).expect("member exists");
+                soteria.analyze_app(&app.id, &app.source).expect("member parses").model
+            })
+            .collect();
+        group_bench.bench_function(group.id, |b| {
+            b.iter(|| {
+                let refs: Vec<&StateModel> = members.iter().collect();
+                union_models(black_box(group.id), &refs, &UnionOptions::default())
+            })
+        });
+    }
+    group_bench.finish();
+}
+
+criterion_group!(benches, bench_union);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Sec. 6.3 property-verification micro-benchmark: checking a
+//! single property on an extracted model takes on the order of microseconds to
+//! milliseconds, and the two engines can be compared directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soteria::{default_initial_kripke, Soteria};
+use soteria_checker::{Ctl, Engine, ModelChecker};
+use soteria_corpus::running;
+use std::hint::black_box;
+
+fn bench_verification(c: &mut Criterion) {
+    let soteria = Soteria::new();
+    let analysis = soteria
+        .analyze_app("Smoke-Alarm", running::SMOKE_ALARM)
+        .expect("running example analyses");
+    let kripke = default_initial_kripke(&analysis.model);
+    let formula = Ctl::atom("event:smoke.detected")
+        .implies(Ctl::atom("attr:the_alarm.alarm=siren"))
+        .always_globally();
+
+    let mut group = c.benchmark_group("property_verification");
+    for engine in [Engine::Symbolic, Engine::Explicit] {
+        let name = format!("{engine:?}").to_lowercase();
+        group.bench_function(format!("p10_smoke_alarm_{name}"), |b| {
+            let checker = ModelChecker::new(&kripke, engine);
+            b.iter(|| checker.check(black_box(&formula)))
+        });
+    }
+    group.bench_function("kripke_construction", |b| {
+        b.iter(|| default_initial_kripke(black_box(&analysis.model)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

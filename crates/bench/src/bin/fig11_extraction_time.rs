@@ -1,0 +1,53 @@
+//! Regenerates Fig. 11 (bottom): state-model extraction time as a function of the
+//! number of states, plus the multi-app union construction and per-property
+//! verification timings reported in Sec. 6.3.
+
+use soteria::Soteria;
+use soteria_corpus::{all_market_apps, market_groups};
+
+fn main() {
+    let soteria = Soteria::new();
+    println!("Fig. 11 (bottom) — state-model extraction time vs number of states");
+    println!("{:<8} {:>8} {:>13} {:>18} {:>18}", "App", "States", "Transitions", "Extraction (ms)", "Verification (ms)");
+    let corpus = all_market_apps();
+    let mut analyses = Vec::new();
+    for app in &corpus {
+        let analysis = soteria.analyze_app(&app.id, &app.source).expect("corpus app parses");
+        println!(
+            "{:<8} {:>8} {:>13} {:>18.2} {:>18.2}",
+            app.id,
+            analysis.model.state_count(),
+            analysis.model.transition_count(),
+            analysis.extraction_time.as_secs_f64() * 1000.0,
+            analysis.verification_time.as_secs_f64() * 1000.0
+        );
+        analyses.push((app.id.clone(), analysis));
+    }
+    let total_extraction: f64 =
+        analyses.iter().map(|(_, a)| a.extraction_time.as_secs_f64()).sum();
+    println!(
+        "\naverage extraction time: {:.2} ms per app (paper: up to ~17 s for a 180-state app on \
+         the Groovy/JVM toolchain; the Rust pipeline is orders of magnitude faster, the shape —\n\
+         time growing with state count and branching — is preserved)",
+        total_extraction * 1000.0 / analyses.len() as f64
+    );
+
+    println!("\nSec. 6.3 — union-model construction for the interacting groups");
+    for group in market_groups() {
+        let members: Vec<_> = group
+            .members
+            .iter()
+            .map(|id| analyses.iter().find(|(aid, _)| aid == id).unwrap().1.clone())
+            .collect();
+        let env = soteria.analyze_environment(group.id, &members);
+        println!(
+            "  {:<5} {:>3} apps {:>6} union states {:>8} transitions  union: {:.2} ms  verification: {:.2} ms",
+            group.id,
+            members.len(),
+            env.union_model.state_count(),
+            env.union_model.transition_count(),
+            env.union_time.as_secs_f64() * 1000.0,
+            env.verification_time.as_secs_f64() * 1000.0
+        );
+    }
+}

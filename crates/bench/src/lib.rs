@@ -1,0 +1,90 @@
+//! Benchmark harness for the Soteria reproduction.
+//!
+//! The library exposes helpers shared by the Criterion benches and by the
+//! table/figure-reproduction binaries (`table2_dataset`, `table3_individual`,
+//! `table4_multiapp`, `maliot_results`, `fig11_state_reduction`,
+//! `fig11_extraction_time`). Each binary regenerates one table or figure of the
+//! paper's evaluation (Sec. 6); EXPERIMENTS.md records the paper-reported values next
+//! to the values measured here.
+
+use soteria::{AppAnalysis, Soteria};
+use soteria_corpus::CorpusApp;
+
+/// Analyses every app of a corpus slice, panicking on parse errors (corpus sources are
+/// under our control).
+pub fn analyze_all(soteria: &Soteria, apps: &[CorpusApp]) -> Vec<AppAnalysis> {
+    apps.iter()
+        .map(|app| {
+            soteria
+                .analyze_app(&app.id, &app.source)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.id))
+        })
+        .collect()
+}
+
+/// Summary statistics of one corpus group (a Table 2 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetRow {
+    /// Group name ("Official" / "Third-party").
+    pub group: String,
+    /// Number of apps.
+    pub apps: usize,
+    /// Number of distinct device capabilities across the group.
+    pub unique_devices: usize,
+    /// Average state count (after reduction).
+    pub avg_states: usize,
+    /// Maximum state count (after reduction).
+    pub max_states: usize,
+    /// Average non-blank lines of code.
+    pub avg_loc: usize,
+    /// Maximum non-blank lines of code.
+    pub max_loc: usize,
+}
+
+/// Computes a Table 2 row from a group of analyses.
+pub fn dataset_row(group: &str, analyses: &[AppAnalysis]) -> DatasetRow {
+    let unique: std::collections::BTreeSet<String> = analyses
+        .iter()
+        .flat_map(|a| a.ir.capabilities().into_iter().map(String::from))
+        .collect();
+    let states: Vec<usize> = analyses.iter().map(|a| a.model.state_count()).collect();
+    let loc: Vec<usize> = analyses.iter().map(|a| a.ir.lines_of_code).collect();
+    DatasetRow {
+        group: group.to_string(),
+        apps: analyses.len(),
+        unique_devices: unique.len(),
+        avg_states: states.iter().sum::<usize>() / states.len().max(1),
+        max_states: states.iter().copied().max().unwrap_or(0),
+        avg_loc: loc.iter().sum::<usize>() / loc.len().max(1),
+        max_loc: loc.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Formats a Table 2 row.
+pub fn format_dataset_row(row: &DatasetRow) -> String {
+    format!(
+        "{:<12} {:>4} {:>15} {:>10}/{:<5} {:>8}/{:<5}",
+        row.group, row.apps, row.unique_devices, row.avg_states, row.max_states, row.avg_loc,
+        row.max_loc
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_corpus::third_party_apps;
+
+    #[test]
+    fn dataset_row_aggregates() {
+        let soteria = Soteria::new();
+        let apps: Vec<CorpusApp> = third_party_apps().into_iter().take(4).collect();
+        let analyses = analyze_all(&soteria, &apps);
+        let row = dataset_row("Third-party", &analyses);
+        assert_eq!(row.apps, 4);
+        assert!(row.unique_devices >= 2);
+        assert!(row.max_states >= row.avg_states);
+        assert!(row.max_loc >= row.avg_loc);
+        let line = format_dataset_row(&row);
+        assert!(line.contains("Third-party"));
+    }
+}

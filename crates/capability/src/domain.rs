@@ -1,0 +1,239 @@
+//! Attribute value domains.
+//!
+//! Every device attribute ranges over a domain: an enumerated set of symbolic values
+//! (e.g. `switch ∈ {on, off}`) or a numerical range (e.g. `battery ∈ [0, 100]`).
+//! Numerical domains are the ones the paper's property abstraction (Sec. 4.2.1)
+//! collapses into a small number of representative values.
+
+use std::fmt;
+
+/// A single attribute value.
+///
+/// Symbolic values are the enumerated device states SmartThings reports (`"on"`,
+/// `"detected"`, ...); numeric values appear for attributes such as `battery`,
+/// `power`, or `temperature`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttributeValue {
+    /// A symbolic (enumerated) value such as `"on"` or `"wet"`.
+    Symbol(String),
+    /// A concrete numeric value. Stored as an integer because every numeric attribute
+    /// the corpus uses (battery %, power W, temperature °F, illuminance lux) is
+    /// integer-valued in the SmartThings capability model.
+    Number(i64),
+}
+
+impl AttributeValue {
+    /// Builds a symbolic value.
+    pub fn symbol(s: impl Into<String>) -> Self {
+        AttributeValue::Symbol(s.into())
+    }
+
+    /// Builds a numeric value.
+    pub fn number(n: i64) -> Self {
+        AttributeValue::Number(n)
+    }
+
+    /// Returns the symbolic payload if this is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            AttributeValue::Symbol(s) => Some(s),
+            AttributeValue::Number(_) => None,
+        }
+    }
+
+    /// Returns the numeric payload if this is a number.
+    pub fn as_number(&self) -> Option<i64> {
+        match self {
+            AttributeValue::Number(n) => Some(*n),
+            AttributeValue::Symbol(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttributeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeValue::Symbol(s) => write!(f, "{s}"),
+            AttributeValue::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<&str> for AttributeValue {
+    fn from(s: &str) -> Self {
+        AttributeValue::Symbol(s.to_string())
+    }
+}
+
+impl From<i64> for AttributeValue {
+    fn from(n: i64) -> Self {
+        AttributeValue::Number(n)
+    }
+}
+
+/// The domain an attribute ranges over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttributeDomain {
+    /// A finite, enumerated set of symbolic values. The first entry is the default
+    /// value used when constructing initial states.
+    Enumerated(Vec<String>),
+    /// A numeric range `[min, max]` (inclusive) with an optional unit. Without
+    /// property abstraction, every integer in the range is a distinct state.
+    Numeric {
+        /// Lower bound of the range.
+        min: i64,
+        /// Upper bound of the range.
+        max: i64,
+        /// Measurement unit, e.g. `"W"` or `"°F"`; informational only.
+        unit: &'static str,
+    },
+}
+
+impl AttributeDomain {
+    /// Builds an enumerated domain from string slices.
+    pub fn enumerated(values: &[&str]) -> Self {
+        AttributeDomain::Enumerated(values.iter().map(|v| v.to_string()).collect())
+    }
+
+    /// Returns true if the domain is numeric (candidate for property abstraction).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, AttributeDomain::Numeric { .. })
+    }
+
+    /// The number of distinct concrete values in the domain.
+    ///
+    /// For numeric domains this is the unreduced state count the paper's Fig. 11 (top)
+    /// reports "before state reduction".
+    pub fn cardinality(&self) -> usize {
+        match self {
+            AttributeDomain::Enumerated(vs) => vs.len(),
+            AttributeDomain::Numeric { min, max, .. } => (max - min + 1).max(0) as usize,
+        }
+    }
+
+    /// The default value of the domain, used for initial model states.
+    pub fn default_value(&self) -> AttributeValue {
+        match self {
+            AttributeDomain::Enumerated(vs) => AttributeValue::Symbol(
+                vs.first().cloned().unwrap_or_else(|| "unknown".to_string()),
+            ),
+            AttributeDomain::Numeric { min, .. } => AttributeValue::Number(*min),
+        }
+    }
+
+    /// Checks that a value is a member of the domain.
+    pub fn contains(&self, value: &AttributeValue) -> bool {
+        match (self, value) {
+            (AttributeDomain::Enumerated(vs), AttributeValue::Symbol(s)) => {
+                vs.iter().any(|v| v == s)
+            }
+            (AttributeDomain::Numeric { min, max, .. }, AttributeValue::Number(n)) => {
+                *min <= *n && *n <= *max
+            }
+            _ => false,
+        }
+    }
+
+    /// Enumerates every concrete value of the domain.
+    ///
+    /// Only intended for enumerated domains and for the "before reduction" state counts;
+    /// numeric domains yield every integer in range.
+    pub fn values(&self) -> Vec<AttributeValue> {
+        match self {
+            AttributeDomain::Enumerated(vs) => {
+                vs.iter().map(|v| AttributeValue::symbol(v.clone())).collect()
+            }
+            AttributeDomain::Numeric { min, max, .. } => {
+                (*min..=*max).map(AttributeValue::Number).collect()
+            }
+        }
+    }
+
+    /// Returns the complementary value of `value` when the domain is a two-valued
+    /// enumeration (e.g. the complement of `open` is `closed`).
+    ///
+    /// Complement values identify the "complement events" of general properties S.3
+    /// and S.4.
+    pub fn complement_of(&self, value: &str) -> Option<String> {
+        match self {
+            AttributeDomain::Enumerated(vs) if vs.len() == 2 => {
+                if vs[0] == value {
+                    Some(vs[1].clone())
+                } else if vs[1] == value {
+                    Some(vs[0].clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttributeDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeDomain::Enumerated(vs) => write!(f, "{{{}}}", vs.join(", ")),
+            AttributeDomain::Numeric { min, max, unit } => {
+                write!(f, "[{min}, {max}] {unit}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerated_cardinality_and_default() {
+        let d = AttributeDomain::enumerated(&["off", "on"]);
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.default_value(), AttributeValue::symbol("off"));
+        assert!(d.contains(&AttributeValue::symbol("on")));
+        assert!(!d.contains(&AttributeValue::symbol("blinking")));
+        assert!(!d.contains(&AttributeValue::number(1)));
+    }
+
+    #[test]
+    fn numeric_cardinality_matches_paper_example() {
+        // The paper's thermostat example: 45 values in 50–95 °F.
+        let d = AttributeDomain::Numeric { min: 50, max: 94, unit: "°F" };
+        assert_eq!(d.cardinality(), 45);
+        assert!(d.is_numeric());
+        assert!(d.contains(&AttributeValue::number(68)));
+        assert!(!d.contains(&AttributeValue::number(120)));
+    }
+
+    #[test]
+    fn complement_only_for_binary_domains() {
+        let binary = AttributeDomain::enumerated(&["active", "inactive"]);
+        assert_eq!(binary.complement_of("active").as_deref(), Some("inactive"));
+        assert_eq!(binary.complement_of("inactive").as_deref(), Some("active"));
+        assert_eq!(binary.complement_of("bogus"), None);
+
+        let ternary = AttributeDomain::enumerated(&["detected", "clear", "tested"]);
+        assert_eq!(ternary.complement_of("detected"), None);
+    }
+
+    #[test]
+    fn values_enumeration() {
+        let d = AttributeDomain::Numeric { min: 1, max: 3, unit: "" };
+        assert_eq!(
+            d.values(),
+            vec![
+                AttributeValue::number(1),
+                AttributeValue::number(2),
+                AttributeValue::number(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = AttributeDomain::enumerated(&["wet", "dry"]);
+        assert_eq!(d.to_string(), "{wet, dry}");
+        assert_eq!(AttributeValue::symbol("wet").to_string(), "wet");
+        assert_eq!(AttributeValue::number(42).to_string(), "42");
+    }
+}

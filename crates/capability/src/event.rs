@@ -1,0 +1,186 @@
+//! Events that trigger IoT app entry points.
+//!
+//! SmartThings apps subscribe to *device events* (changes of a device attribute,
+//! optionally to a specific value, e.g. `"water.wet"`), and to *abstract events*:
+//! location-mode changes, app-touch (icon tap) events, and timer schedules
+//! (Sec. 4.1 and 4.2.3 of the paper).
+
+use std::fmt;
+
+/// The kind of event, without the subscribing device handle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A device attribute change. `value = None` subscribes to every value of the
+    /// attribute (the handler then dispatches on `evt.value`).
+    Device {
+        /// Capability of the subscribed device (e.g. `"motionSensor"`).
+        capability: String,
+        /// Attribute whose change triggers the event (e.g. `"motion"`).
+        attribute: String,
+        /// Specific value subscribed to, if any (e.g. `"active"`).
+        value: Option<String>,
+    },
+    /// A location-mode change event, optionally restricted to a target mode.
+    Mode {
+        /// Specific mode subscribed to, if any (e.g. `"away"`).
+        value: Option<String>,
+    },
+    /// The user tapped the app icon (`subscribe(app, appTouch, handler)`).
+    AppTouch,
+    /// A timer/schedule event (`runIn`, `runEvery…`, `schedule`, sunrise/sunset).
+    Timer {
+        /// Human-readable schedule description, e.g. `"every 30 seconds"`, `"sunset"`.
+        schedule: String,
+    },
+}
+
+impl EventKind {
+    /// Builds a device event kind.
+    pub fn device(
+        capability: impl Into<String>,
+        attribute: impl Into<String>,
+        value: Option<&str>,
+    ) -> Self {
+        EventKind::Device {
+            capability: capability.into(),
+            attribute: attribute.into(),
+            value: value.map(|v| v.to_string()),
+        }
+    }
+
+    /// True for abstract events (mode, app touch, timer).
+    pub fn is_abstract(&self) -> bool {
+        !matches!(self, EventKind::Device { .. })
+    }
+
+    /// Returns `(attribute, value)` for a value-specific device event.
+    pub fn device_attribute_value(&self) -> Option<(&str, &str)> {
+        match self {
+            EventKind::Device { attribute, value: Some(v), .. } => Some((attribute, v)),
+            _ => None,
+        }
+    }
+
+    /// A short, stable label used in transition labels and atomic propositions,
+    /// e.g. `"motion.active"`, `"mode.home"`, `"app.touch"`, `"timer"`.
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::Device { attribute, value, .. } => match value {
+                Some(v) => format!("{attribute}.{v}"),
+                None => attribute.clone(),
+            },
+            EventKind::Mode { value } => match value {
+                Some(v) => format!("mode.{v}"),
+                None => "mode".to_string(),
+            },
+            EventKind::AppTouch => "app.touch".to_string(),
+            EventKind::Timer { .. } => "timer".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Timer { schedule } => write!(f, "timer({schedule})"),
+            other => write!(f, "{}", other.label()),
+        }
+    }
+}
+
+/// A concrete event: the subscribing device handle plus the event kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Event {
+    /// The device handle (identifier declared in the permissions block) the event is
+    /// attached to. Abstract events use synthetic handles (`"location"`, `"app"`,
+    /// `"timer"`).
+    pub handle: String,
+    /// The event kind.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Builds an event.
+    pub fn new(handle: impl Into<String>, kind: EventKind) -> Self {
+        Event { handle: handle.into(), kind }
+    }
+
+    /// True if two events are *complementary*: device events on the same attribute of
+    /// the same device whose subscribed values are the two values of a binary domain
+    /// (e.g. `contact.open` vs `contact.closed`). Used by general properties S.3/S.4.
+    pub fn is_complement_of(&self, other: &Event, domain_of: impl Fn(&str, &str) -> Option<Vec<String>>) -> bool {
+        if self.handle != other.handle {
+            return false;
+        }
+        match (&self.kind, &other.kind) {
+            (
+                EventKind::Device { capability, attribute, value: Some(v1) },
+                EventKind::Device { capability: c2, attribute: a2, value: Some(v2) },
+            ) if capability == c2 && attribute == a2 && v1 != v2 => {
+                match domain_of(capability, attribute) {
+                    Some(domain) if domain.len() == 2 => {
+                        domain.contains(v1) && domain.contains(v2)
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.handle, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary_domain(_cap: &str, attr: &str) -> Option<Vec<String>> {
+        match attr {
+            "contact" => Some(vec!["open".into(), "closed".into()]),
+            "smoke" => Some(vec!["detected".into(), "clear".into(), "tested".into()]),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EventKind::device("motionSensor", "motion", Some("active")).label(), "motion.active");
+        assert_eq!(EventKind::device("powerMeter", "power", None).label(), "power");
+        assert_eq!(EventKind::Mode { value: Some("away".into()) }.label(), "mode.away");
+        assert_eq!(EventKind::AppTouch.label(), "app.touch");
+        assert_eq!(EventKind::Timer { schedule: "sunset".into() }.label(), "timer");
+        assert_eq!(EventKind::Timer { schedule: "sunset".into() }.to_string(), "timer(sunset)");
+    }
+
+    #[test]
+    fn complement_detection() {
+        let open = Event::new("door", EventKind::device("contactSensor", "contact", Some("open")));
+        let closed = Event::new("door", EventKind::device("contactSensor", "contact", Some("closed")));
+        assert!(open.is_complement_of(&closed, binary_domain));
+        assert!(closed.is_complement_of(&open, binary_domain));
+
+        // Same event is not its own complement.
+        assert!(!open.is_complement_of(&open, binary_domain));
+
+        // Ternary domain: no complements.
+        let det = Event::new("sd", EventKind::device("smokeDetector", "smoke", Some("detected")));
+        let clr = Event::new("sd", EventKind::device("smokeDetector", "smoke", Some("clear")));
+        assert!(!det.is_complement_of(&clr, binary_domain));
+
+        // Different handles never complement.
+        let other = Event::new("door2", EventKind::device("contactSensor", "contact", Some("closed")));
+        assert!(!open.is_complement_of(&other, binary_domain));
+    }
+
+    #[test]
+    fn abstract_flags() {
+        assert!(EventKind::AppTouch.is_abstract());
+        assert!(EventKind::Mode { value: None }.is_abstract());
+        assert!(!EventKind::device("switch", "switch", Some("on")).is_abstract());
+    }
+}

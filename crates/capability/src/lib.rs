@@ -1,0 +1,66 @@
+//! Device capability reference for the Soteria reproduction.
+//!
+//! The original system crawled the SmartThings device-handler repository to build a
+//! "device capability reference file" listing, for every device capability, the complete
+//! set of attributes (device states) and actions (commands) together with the attribute
+//! values each action produces. This crate is the in-code equivalent of that reference
+//! file: a [`CapabilityRegistry`] describing every capability used by the corpus, plus
+//! the abstract capabilities (location mode, app touch, timer) the paper treats
+//! specially.
+//!
+//! Downstream crates use the registry to
+//! * enumerate the attribute domain of every device an app declares (state extraction),
+//! * map device action calls (`the_valve.close()`) to attribute changes
+//!   (`valve := closed`), and
+//! * recognise complementary events (`motion.active` / `motion.inactive`) for the
+//!   general properties S.3 and S.4.
+
+pub mod domain;
+pub mod event;
+pub mod registry;
+pub mod spec;
+
+pub use domain::{AttributeDomain, AttributeValue};
+pub use event::{Event, EventKind};
+pub use registry::CapabilityRegistry;
+pub use spec::{ActionEffect, ActionSpec, AttributeSpec, Capability, EffectValue};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_core_smartthings_capabilities() {
+        let reg = CapabilityRegistry::standard();
+        for cap in [
+            "switch",
+            "smokeDetector",
+            "alarm",
+            "valve",
+            "battery",
+            "waterSensor",
+            "motionSensor",
+            "presenceSensor",
+            "contactSensor",
+            "lock",
+            "thermostat",
+            "powerMeter",
+            "location",
+        ] {
+            assert!(reg.capability(cap).is_some(), "missing capability {cap}");
+        }
+    }
+
+    #[test]
+    fn switch_action_effects_resolve() {
+        let reg = CapabilityRegistry::standard();
+        let sw = reg.capability("switch").unwrap();
+        let on = sw.action("on").unwrap();
+        assert_eq!(on.effects.len(), 1);
+        assert_eq!(on.effects[0].attribute, "switch");
+        assert_eq!(
+            on.effects[0].value,
+            EffectValue::Const(AttributeValue::symbol("on"))
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The standard capability registry.
+//!
+//! This is the Rust equivalent of the paper's *device capability reference file*:
+//! the complete attribute/action inventory the crawler extracted from the SmartThings
+//! device-handler repository, covering every capability used by the evaluation corpus.
+
+use crate::domain::{AttributeDomain, AttributeValue};
+use crate::spec::{ActionEffect, ActionSpec, AttributeSpec, Capability, EffectValue};
+use std::collections::BTreeMap;
+
+/// Registry of device capabilities keyed by capability name.
+#[derive(Debug, Clone, Default)]
+pub struct CapabilityRegistry {
+    capabilities: BTreeMap<String, Capability>,
+}
+
+impl CapabilityRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a capability.
+    pub fn register(&mut self, capability: Capability) {
+        self.capabilities.insert(capability.name.clone(), capability);
+    }
+
+    /// Looks up a capability by name. Accepts both `"switch"` and
+    /// `"capability.switch"` spellings.
+    pub fn capability(&self, name: &str) -> Option<&Capability> {
+        let key = name.strip_prefix("capability.").unwrap_or(name);
+        self.capabilities.get(key)
+    }
+
+    /// Iterates over all registered capabilities.
+    pub fn iter(&self) -> impl Iterator<Item = &Capability> {
+        self.capabilities.values()
+    }
+
+    /// Number of registered capabilities.
+    pub fn len(&self) -> usize {
+        self.capabilities.len()
+    }
+
+    /// True if no capability is registered.
+    pub fn is_empty(&self) -> bool {
+        self.capabilities.is_empty()
+    }
+
+    /// Returns the enumerated value domain of `capability.attribute`, if any.
+    pub fn enumerated_domain(&self, capability: &str, attribute: &str) -> Option<Vec<String>> {
+        let cap = self.capability(capability)?;
+        match &cap.attribute(attribute)?.domain {
+            AttributeDomain::Enumerated(vs) => Some(vs.clone()),
+            AttributeDomain::Numeric { .. } => None,
+        }
+    }
+
+    /// Resolves a device action to its attribute effects, searching the capability's
+    /// action table. Returns `None` for unknown actions (e.g. `refresh()` or
+    /// notification-only commands), which the analysis treats as state-neutral.
+    pub fn action_effects(&self, capability: &str, action: &str) -> Option<&[ActionEffect]> {
+        self.capability(capability)?.action(action).map(|a| a.effects.as_slice())
+    }
+
+    /// The standard SmartThings-like registry used throughout the reproduction.
+    pub fn standard() -> Self {
+        let mut reg = CapabilityRegistry::new();
+
+        let bin = |name: &str, attr: &str, off: &str, on: &str| {
+            Capability::new(
+                name,
+                vec![AttributeSpec::new(attr, AttributeDomain::enumerated(&[off, on]))],
+                vec![],
+            )
+        };
+
+        // -- Actuators -------------------------------------------------------------
+        reg.register(Capability::new(
+            "switch",
+            vec![AttributeSpec::new("switch", AttributeDomain::enumerated(&["off", "on"]))],
+            vec![
+                ActionSpec::setter("on", "switch", "on"),
+                ActionSpec::setter("off", "switch", "off"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "switchLevel",
+            vec![
+                AttributeSpec::new("switch", AttributeDomain::enumerated(&["off", "on"])),
+                AttributeSpec::new("level", AttributeDomain::Numeric { min: 0, max: 100, unit: "%" }),
+            ],
+            vec![
+                ActionSpec::setter("on", "switch", "on"),
+                ActionSpec::setter("off", "switch", "off"),
+                ActionSpec::arg_setter("setLevel", "level"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "alarm",
+            vec![AttributeSpec::new(
+                "alarm",
+                AttributeDomain::enumerated(&["off", "siren", "strobe", "both"]),
+            )],
+            vec![
+                ActionSpec::setter("siren", "alarm", "siren"),
+                ActionSpec::setter("strobe", "alarm", "strobe"),
+                ActionSpec::setter("both", "alarm", "both"),
+                ActionSpec::setter("off", "alarm", "off"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "valve",
+            vec![AttributeSpec::new("valve", AttributeDomain::enumerated(&["open", "closed"]))],
+            vec![
+                ActionSpec::setter("open", "valve", "open"),
+                ActionSpec::setter("close", "valve", "closed"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "lock",
+            vec![AttributeSpec::new("lock", AttributeDomain::enumerated(&["unlocked", "locked"]))],
+            vec![
+                ActionSpec::setter("lock", "lock", "locked"),
+                ActionSpec::setter("unlock", "lock", "unlocked"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "doorControl",
+            vec![AttributeSpec::new("door", AttributeDomain::enumerated(&["closed", "open"]))],
+            vec![
+                ActionSpec::setter("open", "door", "open"),
+                ActionSpec::setter("close", "door", "closed"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "garageDoorControl",
+            vec![AttributeSpec::new("door", AttributeDomain::enumerated(&["closed", "open"]))],
+            vec![
+                ActionSpec::setter("open", "door", "open"),
+                ActionSpec::setter("close", "door", "closed"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "windowShade",
+            vec![AttributeSpec::new(
+                "windowShade",
+                AttributeDomain::enumerated(&["closed", "open"]),
+            )],
+            vec![
+                ActionSpec::setter("open", "windowShade", "open"),
+                ActionSpec::setter("close", "windowShade", "closed"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "musicPlayer",
+            vec![AttributeSpec::new(
+                "status",
+                AttributeDomain::enumerated(&["stopped", "playing", "paused"]),
+            )],
+            vec![
+                ActionSpec::setter("play", "status", "playing"),
+                ActionSpec::setter("pause", "status", "paused"),
+                ActionSpec::setter("stop", "status", "stopped"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "thermostat",
+            vec![
+                AttributeSpec::new(
+                    "temperature",
+                    AttributeDomain::Numeric { min: 50, max: 94, unit: "°F" },
+                ),
+                AttributeSpec::new(
+                    "heatingSetpoint",
+                    AttributeDomain::Numeric { min: 50, max: 94, unit: "°F" },
+                ),
+                AttributeSpec::new(
+                    "coolingSetpoint",
+                    AttributeDomain::Numeric { min: 50, max: 94, unit: "°F" },
+                ),
+                AttributeSpec::new(
+                    "thermostatMode",
+                    AttributeDomain::enumerated(&["off", "heat", "cool", "auto"]),
+                ),
+            ],
+            vec![
+                ActionSpec::arg_setter("setHeatingSetpoint", "heatingSetpoint"),
+                ActionSpec::arg_setter("setCoolingSetpoint", "coolingSetpoint"),
+                ActionSpec::setter("heat", "thermostatMode", "heat"),
+                ActionSpec::setter("cool", "thermostatMode", "cool"),
+                ActionSpec::setter("auto", "thermostatMode", "auto"),
+                ActionSpec::setter("off", "thermostatMode", "off"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "securitySystem",
+            vec![AttributeSpec::new(
+                "securitySystemStatus",
+                AttributeDomain::enumerated(&["armedAway", "armedStay", "disarmed"]),
+            )],
+            vec![
+                ActionSpec::setter("armAway", "securitySystemStatus", "armedAway"),
+                ActionSpec::setter("armStay", "securitySystemStatus", "armedStay"),
+                ActionSpec::setter("disarm", "securitySystemStatus", "disarmed"),
+            ],
+        ));
+        reg.register(Capability::new(
+            "imageCapture",
+            vec![AttributeSpec::new(
+                "image",
+                AttributeDomain::enumerated(&["idle", "captured"]),
+            )],
+            vec![ActionSpec::setter("take", "image", "captured")],
+        ));
+        reg.register(Capability::new(
+            "colorControl",
+            vec![
+                AttributeSpec::new("switch", AttributeDomain::enumerated(&["off", "on"])),
+                AttributeSpec::new("hue", AttributeDomain::Numeric { min: 0, max: 100, unit: "%" }),
+            ],
+            vec![
+                ActionSpec::setter("on", "switch", "on"),
+                ActionSpec::setter("off", "switch", "off"),
+                ActionSpec::arg_setter("setHue", "hue"),
+            ],
+        ));
+
+        // -- Sensors ---------------------------------------------------------------
+        reg.register(Capability::new(
+            "smokeDetector",
+            vec![AttributeSpec::new(
+                "smoke",
+                AttributeDomain::enumerated(&["clear", "detected", "tested"]),
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "carbonMonoxideDetector",
+            vec![AttributeSpec::new(
+                "carbonMonoxide",
+                AttributeDomain::enumerated(&["clear", "detected", "tested"]),
+            )],
+            vec![],
+        ));
+        reg.register(bin("waterSensor", "water", "dry", "wet"));
+        reg.register(bin("motionSensor", "motion", "inactive", "active"));
+        reg.register(bin("contactSensor", "contact", "closed", "open"));
+        reg.register(bin("accelerationSensor", "acceleration", "inactive", "active"));
+        reg.register(bin("presenceSensor", "presence", "not present", "present"));
+        reg.register(bin("sleepSensor", "sleeping", "not sleeping", "sleeping"));
+        reg.register(bin("beacon", "presence", "not present", "present"));
+        reg.register(Capability::new(
+            "button",
+            vec![AttributeSpec::new(
+                "button",
+                AttributeDomain::enumerated(&["pushed", "held"]),
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "battery",
+            vec![AttributeSpec::new(
+                "battery",
+                AttributeDomain::Numeric { min: 0, max: 100, unit: "%" },
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "powerMeter",
+            vec![AttributeSpec::new(
+                "power",
+                AttributeDomain::Numeric { min: 0, max: 99, unit: "W" },
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "energyMeter",
+            vec![AttributeSpec::new(
+                "energy",
+                AttributeDomain::Numeric { min: 0, max: 99, unit: "kWh" },
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "temperatureMeasurement",
+            vec![AttributeSpec::new(
+                "temperature",
+                AttributeDomain::Numeric { min: 30, max: 109, unit: "°F" },
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "relativeHumidityMeasurement",
+            vec![AttributeSpec::new(
+                "humidity",
+                AttributeDomain::Numeric { min: 0, max: 100, unit: "%" },
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "illuminanceMeasurement",
+            vec![AttributeSpec::new(
+                "illuminance",
+                AttributeDomain::Numeric { min: 0, max: 99, unit: "lux" },
+            )],
+            vec![],
+        ));
+        reg.register(Capability::new(
+            "waterLevel",
+            vec![AttributeSpec::new(
+                "waterLevel",
+                AttributeDomain::Numeric { min: 0, max: 99, unit: "%" },
+            )],
+            vec![],
+        ));
+
+        // -- Abstract capabilities ---------------------------------------------------
+        reg.register(
+            Capability::new(
+                "location",
+                vec![AttributeSpec::new(
+                    "mode",
+                    AttributeDomain::enumerated(&["home", "away", "night", "sleeping"]),
+                )],
+                vec![ActionSpec {
+                    name: "setLocationMode".to_string(),
+                    arity: 1,
+                    effects: vec![ActionEffect {
+                        attribute: "mode".to_string(),
+                        value: EffectValue::Argument(0),
+                    }],
+                }],
+            )
+            .abstract_capability(),
+        );
+        reg.register(
+            Capability::new(
+                "app",
+                vec![AttributeSpec::new(
+                    "touch",
+                    AttributeDomain::enumerated(&["idle", "touched"]),
+                )],
+                vec![],
+            )
+            .abstract_capability(),
+        );
+        reg.register(
+            Capability::new(
+                "timer",
+                vec![AttributeSpec::new(
+                    "timer",
+                    AttributeDomain::enumerated(&["idle", "fired"]),
+                )],
+                vec![],
+            )
+            .abstract_capability(),
+        );
+
+        reg
+    }
+
+    /// Default attribute value used for initial states, e.g. `switch = off`,
+    /// `lock = locked`, `mode = home`.
+    pub fn default_value(&self, capability: &str, attribute: &str) -> Option<AttributeValue> {
+        let cap = self.capability(capability)?;
+        let attr = cap.attribute(attribute)?;
+        Some(attr.domain.default_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_size() {
+        let reg = CapabilityRegistry::standard();
+        assert!(reg.len() >= 25, "expected at least 25 capabilities, got {}", reg.len());
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn capability_prefix_is_stripped() {
+        let reg = CapabilityRegistry::standard();
+        assert!(reg.capability("capability.waterSensor").is_some());
+        assert!(reg.capability("waterSensor").is_some());
+        assert!(reg.capability("capability.doesNotExist").is_none());
+    }
+
+    #[test]
+    fn action_effects_lookup() {
+        let reg = CapabilityRegistry::standard();
+        let effects = reg.action_effects("valve", "close").unwrap();
+        assert_eq!(effects[0].attribute, "valve");
+        assert_eq!(effects[0].value, EffectValue::Const(AttributeValue::symbol("closed")));
+        assert!(reg.action_effects("valve", "refresh").is_none());
+    }
+
+    #[test]
+    fn thermostat_setpoint_takes_argument() {
+        let reg = CapabilityRegistry::standard();
+        let effects = reg.action_effects("thermostat", "setHeatingSetpoint").unwrap();
+        assert_eq!(effects[0].attribute, "heatingSetpoint");
+        assert_eq!(effects[0].value, EffectValue::Argument(0));
+    }
+
+    #[test]
+    fn enumerated_domain_excludes_numeric() {
+        let reg = CapabilityRegistry::standard();
+        assert_eq!(
+            reg.enumerated_domain("contactSensor", "contact"),
+            Some(vec!["closed".to_string(), "open".to_string()])
+        );
+        assert_eq!(reg.enumerated_domain("powerMeter", "power"), None);
+    }
+
+    #[test]
+    fn abstract_capabilities_are_marked() {
+        let reg = CapabilityRegistry::standard();
+        assert!(reg.capability("location").unwrap().is_abstract);
+        assert!(reg.capability("app").unwrap().is_abstract);
+        assert!(reg.capability("timer").unwrap().is_abstract);
+        assert!(!reg.capability("switch").unwrap().is_abstract);
+    }
+
+    #[test]
+    fn default_values() {
+        let reg = CapabilityRegistry::standard();
+        assert_eq!(reg.default_value("switch", "switch"), Some(AttributeValue::symbol("off")));
+        assert_eq!(reg.default_value("lock", "lock"), Some(AttributeValue::symbol("unlocked")));
+        assert_eq!(reg.default_value("battery", "battery"), Some(AttributeValue::number(0)));
+        assert_eq!(reg.default_value("switch", "nope"), None);
+    }
+
+    #[test]
+    fn numeric_capabilities_flagged_for_reduction() {
+        let reg = CapabilityRegistry::standard();
+        let numeric: Vec<&str> = reg
+            .iter()
+            .filter(|c| c.has_numeric_attribute())
+            .map(|c| c.name.as_str())
+            .collect();
+        // The paper reports ten devices with numerical-valued attributes among the
+        // analyzed apps; our registry provides at least that many.
+        assert!(numeric.len() >= 10, "numeric capabilities: {numeric:?}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Capability specifications: attributes and actions of a device kind.
+
+use crate::domain::{AttributeDomain, AttributeValue};
+use std::fmt;
+
+/// Specification of a single device attribute (a component of device state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeSpec {
+    /// Attribute name as SmartThings reports it in events, e.g. `"switch"`, `"smoke"`.
+    pub name: String,
+    /// The value domain of the attribute.
+    pub domain: AttributeDomain,
+}
+
+impl AttributeSpec {
+    /// Builds an attribute spec.
+    pub fn new(name: impl Into<String>, domain: AttributeDomain) -> Self {
+        AttributeSpec { name: name.into(), domain }
+    }
+}
+
+/// The value an action writes into an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EffectValue {
+    /// A fixed value, e.g. `on()` sets `switch := on`.
+    Const(AttributeValue),
+    /// The action's n-th argument, e.g. `setHeatingSetpoint(t)` sets
+    /// `heatingSetpoint := t`.
+    Argument(usize),
+}
+
+impl fmt::Display for EffectValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EffectValue::Const(v) => write!(f, "{v}"),
+            EffectValue::Argument(i) => write!(f, "arg{i}"),
+        }
+    }
+}
+
+/// One attribute update performed by an action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionEffect {
+    /// The attribute the action writes.
+    pub attribute: String,
+    /// The value written.
+    pub value: EffectValue,
+}
+
+/// Specification of a device action (command), e.g. `on()`, `lock()`,
+/// `setHeatingSetpoint(value)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionSpec {
+    /// Action (command) name.
+    pub name: String,
+    /// Number of arguments the action takes.
+    pub arity: usize,
+    /// Attribute updates the action performs.
+    pub effects: Vec<ActionEffect>,
+}
+
+impl ActionSpec {
+    /// A zero-argument action setting a single attribute to a constant value.
+    pub fn setter(name: &str, attribute: &str, value: &str) -> Self {
+        ActionSpec {
+            name: name.to_string(),
+            arity: 0,
+            effects: vec![ActionEffect {
+                attribute: attribute.to_string(),
+                value: EffectValue::Const(AttributeValue::symbol(value)),
+            }],
+        }
+    }
+
+    /// A one-argument action that writes its argument into an attribute.
+    pub fn arg_setter(name: &str, attribute: &str) -> Self {
+        ActionSpec {
+            name: name.to_string(),
+            arity: 1,
+            effects: vec![ActionEffect {
+                attribute: attribute.to_string(),
+                value: EffectValue::Argument(0),
+            }],
+        }
+    }
+}
+
+/// A device capability: the complete set of attributes and actions a device kind
+/// exposes. Corresponds to one entry of the paper's device capability reference file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capability {
+    /// Capability name as used in `preferences` blocks, e.g. `"switch"` for
+    /// `capability.switch`.
+    pub name: String,
+    /// Whether the capability is *abstract* (location mode, app touch, timer) rather
+    /// than backed by a physical device.
+    pub is_abstract: bool,
+    /// The attributes (device states).
+    pub attributes: Vec<AttributeSpec>,
+    /// The actions (device commands).
+    pub actions: Vec<ActionSpec>,
+}
+
+impl Capability {
+    /// Builds a capability with the given attributes and actions.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<AttributeSpec>,
+        actions: Vec<ActionSpec>,
+    ) -> Self {
+        Capability { name: name.into(), is_abstract: false, attributes, actions }
+    }
+
+    /// Marks the capability as abstract (mode, app touch, timer).
+    pub fn abstract_capability(mut self) -> Self {
+        self.is_abstract = true;
+        self
+    }
+
+    /// Looks up an attribute spec by name.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeSpec> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up an action spec by name.
+    pub fn action(&self, name: &str) -> Option<&ActionSpec> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// True if the capability has at least one action, i.e. the device can be actuated.
+    pub fn is_actuator(&self) -> bool {
+        !self.actions.is_empty()
+    }
+
+    /// True if the capability has any numeric attribute (a state-reduction candidate).
+    pub fn has_numeric_attribute(&self) -> bool {
+        self.attributes.iter().any(|a| a.domain.is_numeric())
+    }
+
+    /// The primary attribute of the capability: the one sharing the capability's name
+    /// if it exists, otherwise the first declared attribute.
+    pub fn primary_attribute(&self) -> Option<&AttributeSpec> {
+        self.attribute(&self.name).or_else(|| self.attributes.first())
+    }
+
+    /// Number of concrete states of this capability before any reduction (product of
+    /// its attribute domain cardinalities).
+    pub fn unreduced_state_count(&self) -> usize {
+        self.attributes.iter().map(|a| a.domain.cardinality()).product()
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "capability.{}", self.name)?;
+        for a in &self.attributes {
+            writeln!(f, "  attribute {}: {}", a.name, a.domain)?;
+        }
+        for act in &self.actions {
+            let effects: Vec<String> = act
+                .effects
+                .iter()
+                .map(|e| format!("{} := {}", e.attribute, e.value))
+                .collect();
+            writeln!(f, "  action {}({}) {{ {} }}", act.name, act.arity, effects.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switch_cap() -> Capability {
+        Capability::new(
+            "switch",
+            vec![AttributeSpec::new("switch", AttributeDomain::enumerated(&["off", "on"]))],
+            vec![ActionSpec::setter("on", "switch", "on"), ActionSpec::setter("off", "switch", "off")],
+        )
+    }
+
+    #[test]
+    fn lookup_attribute_and_action() {
+        let cap = switch_cap();
+        assert!(cap.attribute("switch").is_some());
+        assert!(cap.attribute("bogus").is_none());
+        assert!(cap.action("on").is_some());
+        assert!(cap.action("toggle").is_none());
+        assert!(cap.is_actuator());
+        assert!(!cap.has_numeric_attribute());
+    }
+
+    #[test]
+    fn primary_attribute_prefers_name_match() {
+        let cap = Capability::new(
+            "thermostat",
+            vec![
+                AttributeSpec::new(
+                    "temperature",
+                    AttributeDomain::Numeric { min: 50, max: 95, unit: "°F" },
+                ),
+                AttributeSpec::new(
+                    "thermostat",
+                    AttributeDomain::enumerated(&["off", "heat", "cool"]),
+                ),
+            ],
+            vec![],
+        );
+        assert_eq!(cap.primary_attribute().unwrap().name, "thermostat");
+        assert!(cap.has_numeric_attribute());
+        assert!(!cap.is_actuator());
+    }
+
+    #[test]
+    fn unreduced_state_count_is_product() {
+        let cap = Capability::new(
+            "thermostat",
+            vec![
+                AttributeSpec::new(
+                    "temperature",
+                    AttributeDomain::Numeric { min: 1, max: 10, unit: "" },
+                ),
+                AttributeSpec::new("mode", AttributeDomain::enumerated(&["a", "b", "c"])),
+            ],
+            vec![],
+        );
+        assert_eq!(cap.unreduced_state_count(), 30);
+    }
+
+    #[test]
+    fn arg_setter_effect() {
+        let a = ActionSpec::arg_setter("setLevel", "level");
+        assert_eq!(a.arity, 1);
+        assert_eq!(a.effects[0].value, EffectValue::Argument(0));
+        assert_eq!(a.effects[0].value.to_string(), "arg0");
+    }
+
+    #[test]
+    fn display_contains_attributes_and_actions() {
+        let s = switch_cap().to_string();
+        assert!(s.contains("capability.switch"));
+        assert!(s.contains("attribute switch"));
+        assert!(s.contains("action on"));
+    }
+}

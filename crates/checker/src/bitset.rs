@@ -1,0 +1,163 @@
+//! Fixed-size bit sets used by the symbolic (set-based) model-checking engine.
+//!
+//! NuSMV represents state sets with BDDs; for the model sizes Soteria produces (tens
+//! to a few thousand states) packed bit vectors give the same fixpoint algorithms with
+//! exact semantics and predictable performance.
+
+/// A fixed-capacity set of state indices backed by 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `len` states.
+    pub fn empty(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// The full set over a universe of `len` states.
+    pub fn full(len: usize) -> Self {
+        let mut set = Self::empty(len);
+        for i in 0..len {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// The universe size.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts a state index.
+    pub fn insert(&mut self, index: usize) {
+        debug_assert!(index < self.len);
+        self.words[index / 64] |= 1 << (index % 64);
+    }
+
+    /// Removes a state index.
+    pub fn remove(&mut self, index: usize) {
+        debug_assert!(index < self.len);
+        self.words[index / 64] &= !(1 << (index % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, index: usize) -> bool {
+        index < self.len && (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Set union (in place).
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Set intersection (in place).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Set complement (in place), restricted to the universe.
+    pub fn complement(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        // Clear bits beyond the universe.
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            let mask = u64::MAX >> extra;
+            if let Some(last) = self.words.last_mut() {
+                *last &= mask;
+            }
+        }
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |i| self.contains(*i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::empty(100);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1));
+        assert!(!s.contains(100));
+        assert_eq!(s.count(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = BitSet::empty(10);
+        a.insert(1);
+        a.insert(2);
+        let mut b = BitSet::empty(10);
+        b.insert(2);
+        b.insert(3);
+        let mut union = a.clone();
+        union.union_with(&b);
+        assert_eq!(union.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![2]);
+        assert!(inter.is_subset_of(&a));
+        assert!(inter.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn complement_respects_universe() {
+        let mut s = BitSet::empty(70);
+        s.insert(0);
+        s.insert(69);
+        s.complement();
+        assert!(!s.contains(0));
+        assert!(!s.contains(69));
+        assert!(s.contains(1));
+        assert_eq!(s.count(), 68);
+        // Double complement restores the original.
+        s.complement();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 69]);
+    }
+
+    #[test]
+    fn full_set() {
+        let s = BitSet::full(65);
+        assert_eq!(s.count(), 65);
+        assert!(s.contains(64));
+        assert_eq!(s.capacity(), 65);
+    }
+}

@@ -1,0 +1,357 @@
+//! CTL model checking over Kripke structures, with counter-example extraction.
+//!
+//! Two engines are provided with identical semantics:
+//!
+//! * [`Engine::Symbolic`] — the default; computes satisfaction sets with packed bitset
+//!   fixpoints (the role BDDs play in NuSMV);
+//! * [`Engine::Explicit`] — a straightforward per-state labelling over `Vec<bool>`,
+//!   used for differential testing and the engine-comparison bench.
+
+use crate::bitset::BitSet;
+use crate::ctl::Ctl;
+use crate::kripke::Kripke;
+
+/// Which fixpoint engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Packed bitset fixpoints (BDD-style set computation).
+    #[default]
+    Symbolic,
+    /// Per-state boolean vectors.
+    Explicit,
+}
+
+/// The outcome of checking one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// True if every initial state satisfies the formula.
+    pub holds: bool,
+    /// Number of initial states violating the formula.
+    pub violating_initial_states: usize,
+    /// A counter-example trace (state names) when the property fails, starting from a
+    /// violating initial state. For `AG`-shaped properties this is a path to a state
+    /// where the body fails; otherwise it is the violating initial state itself.
+    pub counterexample: Option<Vec<String>>,
+}
+
+/// A CTL model checker over one Kripke structure.
+pub struct ModelChecker<'a> {
+    kripke: &'a Kripke,
+    engine: Engine,
+    predecessors: Vec<Vec<usize>>,
+}
+
+impl<'a> ModelChecker<'a> {
+    /// Creates a checker.
+    pub fn new(kripke: &'a Kripke, engine: Engine) -> Self {
+        let mut predecessors = vec![Vec::new(); kripke.state_count()];
+        for (from, succs) in kripke.successors.iter().enumerate() {
+            for &to in succs {
+                predecessors[to].push(from);
+            }
+        }
+        ModelChecker { kripke, engine, predecessors }
+    }
+
+    /// The set of states satisfying a formula.
+    pub fn sat(&self, formula: &Ctl) -> BitSet {
+        let n = self.kripke.state_count();
+        match formula {
+            Ctl::True => BitSet::full(n),
+            Ctl::False => BitSet::empty(n),
+            Ctl::Atom(a) => {
+                let mut set = BitSet::empty(n);
+                if let Some(idx) = self.kripke.atom_index(a) {
+                    for s in 0..n {
+                        if self.kripke.labels[s].contains(&idx) {
+                            set.insert(s);
+                        }
+                    }
+                }
+                set
+            }
+            Ctl::Not(f) => {
+                let mut set = self.sat(f);
+                set.complement();
+                set
+            }
+            Ctl::And(a, b) => {
+                let mut set = self.sat(a);
+                set.intersect_with(&self.sat(b));
+                set
+            }
+            Ctl::Or(a, b) => {
+                let mut set = self.sat(a);
+                set.union_with(&self.sat(b));
+                set
+            }
+            Ctl::Implies(a, b) => {
+                // a -> b  ≡  !a | b
+                let mut not_a = self.sat(a);
+                not_a.complement();
+                not_a.union_with(&self.sat(b));
+                not_a
+            }
+            Ctl::Ex(f) => self.pre_exists(&self.sat(f)),
+            Ctl::Ef(f) => {
+                // EF f = E [true U f]
+                self.least_fixpoint_eu(&BitSet::full(n), &self.sat(f))
+            }
+            Ctl::Eu(a, b) => self.least_fixpoint_eu(&self.sat(a), &self.sat(b)),
+            Ctl::Eg(f) => self.greatest_fixpoint_eg(&self.sat(f)),
+            Ctl::Ax(f) => {
+                // AX f = !EX !f
+                let mut not_f = self.sat(f);
+                not_f.complement();
+                let mut result = self.pre_exists(&not_f);
+                result.complement();
+                result
+            }
+            Ctl::Af(f) => {
+                // AF f = !EG !f
+                let mut not_f = self.sat(f);
+                not_f.complement();
+                let mut result = self.greatest_fixpoint_eg(&not_f);
+                result.complement();
+                result
+            }
+            Ctl::Ag(f) => {
+                // AG f = !EF !f
+                let mut not_f = self.sat(f);
+                not_f.complement();
+                let mut result = self.least_fixpoint_eu(&BitSet::full(n), &not_f);
+                result.complement();
+                result
+            }
+            Ctl::Au(a, b) => {
+                // A [a U b] = !(E [!b U (!a & !b)] | EG !b)
+                let sat_a = self.sat(a);
+                let sat_b = self.sat(b);
+                let mut not_a = sat_a.clone();
+                not_a.complement();
+                let mut not_b = sat_b.clone();
+                not_b.complement();
+                let mut not_a_and_not_b = not_a;
+                not_a_and_not_b.intersect_with(&not_b);
+                let mut bad = self.least_fixpoint_eu(&not_b, &not_a_and_not_b);
+                bad.union_with(&self.greatest_fixpoint_eg(&not_b));
+                bad.complement();
+                bad
+            }
+        }
+    }
+
+    /// States with at least one successor in `target` (the existential pre-image).
+    fn pre_exists(&self, target: &BitSet) -> BitSet {
+        let n = self.kripke.state_count();
+        let mut result = BitSet::empty(n);
+        match self.engine {
+            Engine::Symbolic => {
+                for to in target.iter() {
+                    for &from in &self.predecessors[to] {
+                        result.insert(from);
+                    }
+                }
+            }
+            Engine::Explicit => {
+                for from in 0..n {
+                    if self.kripke.successors[from].iter().any(|&s| target.contains(s)) {
+                        result.insert(from);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Least fixpoint for `E [a U b]`.
+    fn least_fixpoint_eu(&self, sat_a: &BitSet, sat_b: &BitSet) -> BitSet {
+        let mut result = sat_b.clone();
+        loop {
+            let mut pre = self.pre_exists(&result);
+            pre.intersect_with(sat_a);
+            pre.union_with(&result);
+            if pre == result {
+                return result;
+            }
+            result = pre;
+        }
+    }
+
+    /// Greatest fixpoint for `EG f`.
+    fn greatest_fixpoint_eg(&self, sat_f: &BitSet) -> BitSet {
+        let mut result = sat_f.clone();
+        loop {
+            let mut pre = self.pre_exists(&result);
+            pre.intersect_with(sat_f);
+            if pre == result {
+                return result;
+            }
+            result = pre;
+        }
+    }
+
+    /// Checks a formula against the Kripke structure's initial states and extracts a
+    /// counter-example when it fails.
+    pub fn check(&self, formula: &Ctl) -> CheckResult {
+        let sat = self.sat(formula);
+        let violating: Vec<usize> = self
+            .kripke
+            .initial
+            .iter()
+            .copied()
+            .filter(|s| !sat.contains(*s))
+            .collect();
+        if violating.is_empty() {
+            return CheckResult { holds: true, violating_initial_states: 0, counterexample: None };
+        }
+        let counterexample = self.counterexample(formula, violating[0]);
+        CheckResult {
+            holds: false,
+            violating_initial_states: violating.len(),
+            counterexample: Some(counterexample),
+        }
+    }
+
+    /// Builds a counter-example trace starting at `from`. For `AG f` the trace is the
+    /// shortest path from `from` to a state violating `f`; for other shapes the trace
+    /// is the violating initial state alone.
+    fn counterexample(&self, formula: &Ctl, from: usize) -> Vec<String> {
+        if let Ctl::Ag(body) = formula {
+            let mut bad = self.sat(body);
+            bad.complement();
+            if let Some(path) = self.shortest_path(from, &bad) {
+                return path.into_iter().map(|s| self.trace_name(s)).collect();
+            }
+        }
+        vec![self.trace_name(from)]
+    }
+
+    fn trace_name(&self, state: usize) -> String {
+        self.kripke.state_names[state].clone()
+    }
+
+    /// Breadth-first shortest path from `from` to any state in `targets`.
+    fn shortest_path(&self, from: usize, targets: &BitSet) -> Option<Vec<usize>> {
+        let n = self.kripke.state_count();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(s) = queue.pop_front() {
+            if targets.contains(s) {
+                let mut path = vec![s];
+                let mut cur = s;
+                while let Some(p) = parent[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &succ in &self.kripke.successors[s] {
+                if !visited[succ] {
+                    visited[succ] = true;
+                    parent[succ] = Some(s);
+                    queue.push_back(succ);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// A hand-built three-state Kripke structure:
+    /// s0 --> s1 --> s2, s2 loops; atoms: p on s0 and s1, q on s2.
+    fn line_kripke() -> Kripke {
+        Kripke {
+            atoms: vec!["p".into(), "q".into()],
+            labels: vec![
+                BTreeSet::from([0]),
+                BTreeSet::from([0]),
+                BTreeSet::from([1]),
+            ],
+            state_names: vec!["s0".into(), "s1".into(), "s2".into()],
+            successors: vec![vec![1], vec![2], vec![2]],
+            initial: vec![0],
+            model_state: vec![0, 1, 2],
+            incoming_event: vec![None, None, None],
+            incoming_app: vec![None, None, None],
+        }
+    }
+
+    fn check(engine: Engine, formula: &Ctl) -> CheckResult {
+        let kripke = line_kripke();
+        ModelChecker::new(&kripke, engine).check(formula)
+    }
+
+    #[test]
+    fn basic_temporal_operators() {
+        for engine in [Engine::Symbolic, Engine::Explicit] {
+            // AF q: every path eventually reaches s2.
+            assert!(check(engine, &Ctl::atom("q").always_finally()).holds);
+            // AG p fails (s2 has no p).
+            let r = check(engine, &Ctl::atom("p").always_globally());
+            assert!(!r.holds);
+            assert_eq!(r.violating_initial_states, 1);
+            // EF q holds, EG p fails, EX p holds (s0 -> s1 has p).
+            assert!(check(engine, &Ctl::atom("q").exists_finally()).holds);
+            assert!(!check(engine, &Ctl::Eg(Box::new(Ctl::atom("p")))).holds);
+            assert!(check(engine, &Ctl::Ex(Box::new(Ctl::atom("p")))).holds);
+            // AX p holds at s0 (only successor s1 has p).
+            assert!(check(engine, &Ctl::atom("p").all_next()).holds);
+            // A [p U q] holds on the single path.
+            assert!(check(engine, &Ctl::Au(Box::new(Ctl::atom("p")), Box::new(Ctl::atom("q")))).holds);
+            // E [p U q] holds as well.
+            assert!(check(engine, &Ctl::Eu(Box::new(Ctl::atom("p")), Box::new(Ctl::atom("q")))).holds);
+            // AG (p | q) holds everywhere.
+            assert!(check(engine, &Ctl::atom("p").or(Ctl::atom("q")).always_globally()).holds);
+            // Implication and negation.
+            assert!(check(engine, &Ctl::atom("q").implies(Ctl::atom("q")).always_globally()).holds);
+            assert!(check(engine, &Ctl::False.not()).holds);
+        }
+    }
+
+    #[test]
+    fn counterexample_path_for_ag() {
+        let kripke = line_kripke();
+        let checker = ModelChecker::new(&kripke, Engine::Symbolic);
+        let result = checker.check(&Ctl::atom("p").always_globally());
+        let trace = result.counterexample.unwrap();
+        assert_eq!(trace, vec!["s0".to_string(), "s1".to_string(), "s2".to_string()]);
+    }
+
+    #[test]
+    fn engines_agree_on_random_like_formulas() {
+        let kripke = line_kripke();
+        let formulas = vec![
+            Ctl::atom("p").and(Ctl::atom("q").not()).exists_finally(),
+            Ctl::Ag(Box::new(Ctl::atom("p").implies(Ctl::atom("q").exists_finally()))),
+            Ctl::Af(Box::new(Ctl::atom("q").and(Ctl::atom("p").not()))),
+            Ctl::Eg(Box::new(Ctl::atom("q"))),
+            Ctl::Au(Box::new(Ctl::True), Box::new(Ctl::atom("q"))),
+        ];
+        let symbolic = ModelChecker::new(&kripke, Engine::Symbolic);
+        let explicit = ModelChecker::new(&kripke, Engine::Explicit);
+        for f in formulas {
+            let a = symbolic.sat(&f);
+            let b = explicit.sat(&f);
+            assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>(), "formula {f}");
+        }
+    }
+
+    #[test]
+    fn unknown_atom_is_false_everywhere() {
+        let kripke = line_kripke();
+        let checker = ModelChecker::new(&kripke, Engine::Symbolic);
+        assert!(checker.sat(&Ctl::atom("missing")).is_empty());
+        let result = checker.check(&Ctl::atom("missing").always_globally());
+        assert!(!result.holds);
+    }
+}

@@ -1,0 +1,247 @@
+//! Kripke structures derived from state models (Sec. 5, "Model Checking with NuSMV").
+//!
+//! The translation makes every transition label observable as an atomic proposition:
+//! a Kripke state is a pair of a model state and the event that produced it, so
+//! properties of the form "when event E occurs, X must hold" become `AG(event_E → X)`
+//! (the paper's `water.wet → AX valve.on` example).
+
+use soteria_model::{StateId, StateModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A Kripke structure: states labelled with atomic propositions and a total
+/// transition relation.
+#[derive(Debug, Clone, Default)]
+pub struct Kripke {
+    /// The atomic-proposition universe.
+    pub atoms: Vec<String>,
+    /// For each state, the indices (into `atoms`) of the propositions holding there.
+    pub labels: Vec<BTreeSet<usize>>,
+    /// Human-readable state names (for counter-example traces).
+    pub state_names: Vec<String>,
+    /// Successor lists; the relation is made total by adding self-loops to deadlocked
+    /// states.
+    pub successors: Vec<Vec<usize>>,
+    /// Initial states.
+    pub initial: Vec<usize>,
+    /// The underlying model state of each Kripke state.
+    pub model_state: Vec<StateId>,
+    /// The event label (if any) that produced each Kripke state.
+    pub incoming_event: Vec<Option<String>>,
+    /// The app (if any) whose transition produced each Kripke state.
+    pub incoming_app: Vec<Option<String>>,
+}
+
+impl Kripke {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Index of an atom, if it exists in the universe.
+    pub fn atom_index(&self, atom: &str) -> Option<usize> {
+        self.atoms.iter().position(|a| a == atom)
+    }
+
+    /// True if the atom holds in the state.
+    pub fn holds(&self, state: usize, atom: &str) -> bool {
+        match self.atom_index(atom) {
+            Some(i) => self.labels[state].contains(&i),
+            None => false,
+        }
+    }
+
+    /// All atoms holding in one state.
+    pub fn atoms_of(&self, state: usize) -> Vec<&str> {
+        self.labels[state].iter().map(|i| self.atoms[*i].as_str()).collect()
+    }
+
+    /// Builds the Kripke structure of a state model.
+    ///
+    /// Kripke states are `(model state, incoming transition label)` pairs: one
+    /// "quiescent" state per model state (no incoming event) plus one state per
+    /// distinct `(destination, event, app)` combination among the transitions.
+    pub fn from_state_model(model: &StateModel) -> Kripke {
+        let mut kripke = Kripke::default();
+        let mut atom_index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut intern = |atoms: &mut Vec<String>, name: String| -> usize {
+            if let Some(&i) = atom_index.get(&name) {
+                return i;
+            }
+            let i = atoms.len();
+            atom_index.insert(name.clone(), i);
+            atoms.push(name);
+            i
+        };
+
+        // Key: (model state, event label, app) — `None` for quiescent states.
+        let mut state_key_to_id: BTreeMap<(StateId, Option<(String, String)>), usize> =
+            BTreeMap::new();
+        let mut add_state = |kripke: &mut Kripke,
+                             intern: &mut dyn FnMut(&mut Vec<String>, String) -> usize,
+                             model_state: StateId,
+                             incoming: Option<(String, String)>|
+         -> usize {
+            if let Some(&id) = state_key_to_id.get(&(model_state, incoming.clone())) {
+                return id;
+            }
+            let id = kripke.labels.len();
+            state_key_to_id.insert((model_state, incoming.clone()), id);
+            let mut labels = BTreeSet::new();
+            // Attribute propositions.
+            for ((handle, attribute), value) in &model.states[model_state].values {
+                labels.insert(intern(
+                    &mut kripke.atoms,
+                    format!("attr:{handle}.{attribute}={value}"),
+                ));
+            }
+            // Event propositions (handle-qualified and bare).
+            let name = match &incoming {
+                Some((event, app)) => {
+                    labels.insert(intern(&mut kripke.atoms, format!("event:{event}")));
+                    labels.insert(intern(&mut kripke.atoms, "triggered".to_string()));
+                    labels.insert(intern(&mut kripke.atoms, format!("by-app:{app}")));
+                    format!("{} after {}", model.states[model_state].label(), event)
+                }
+                None => model.states[model_state].label(),
+            };
+            kripke.labels.push(labels);
+            kripke.state_names.push(name);
+            kripke.successors.push(Vec::new());
+            kripke.model_state.push(model_state);
+            kripke.incoming_event.push(incoming.as_ref().map(|(e, _)| e.clone()));
+            kripke.incoming_app.push(incoming.as_ref().map(|(_, a)| a.clone()));
+            id
+        };
+
+        // Quiescent states: one per model state, all initial.
+        for s in 0..model.state_count() {
+            let id = add_state(&mut kripke, &mut intern, s, None);
+            kripke.initial.push(id);
+        }
+        // Event states: one per (destination, event label, app).
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for t in &model.transitions {
+            let incoming = Some((t.label.event.kind.label(), t.label.app.clone()));
+            let to_id = add_state(&mut kripke, &mut intern, t.to, incoming);
+            let _ = to_id;
+        }
+        // Transitions: every Kripke state sharing the source model state gets an edge
+        // to the (destination, label) Kripke state.
+        let total_states = kripke.labels.len();
+        for t in &model.transitions {
+            let incoming = Some((t.label.event.kind.label(), t.label.app.clone()));
+            let to_id = state_key_to_id[&(t.to, incoming)];
+            for from_id in 0..total_states {
+                if kripke.model_state[from_id] == t.from {
+                    edges.push((from_id, to_id));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for (from, to) in edges {
+            kripke.successors[from].push(to);
+        }
+        // Totalise the relation: deadlocked states loop on themselves.
+        for s in 0..total_states {
+            if kripke.successors[s].is_empty() {
+                kripke.successors[s].push(s);
+            }
+        }
+        kripke
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_analysis::PathCondition;
+    use soteria_capability::{AttributeValue, Event, EventKind};
+    use soteria_model::{Transition, TransitionLabel};
+    use std::collections::BTreeMap;
+
+    fn water_leak_model() -> StateModel {
+        let mut attrs = BTreeMap::new();
+        attrs.insert(
+            ("sensor".to_string(), "water".to_string()),
+            vec![AttributeValue::symbol("dry"), AttributeValue::symbol("wet")],
+        );
+        attrs.insert(
+            ("valve".to_string(), "valve".to_string()),
+            vec![AttributeValue::symbol("open"), AttributeValue::symbol("closed")],
+        );
+        let mut model = StateModel::with_attributes("WaterLeak", attrs);
+        let index = model.state_index();
+        let wet_closed = index
+            .iter()
+            .find(|(s, _)| {
+                s.get("sensor", "water") == Some(&AttributeValue::symbol("wet"))
+                    && s.get("valve", "valve") == Some(&AttributeValue::symbol("closed"))
+            })
+            .map(|(_, &i)| i)
+            .unwrap();
+        let mut transitions = Vec::new();
+        for from in 0..model.state_count() {
+            transitions.push(Transition {
+                from,
+                to: wet_closed,
+                label: TransitionLabel {
+                    event: Event::new("sensor", EventKind::device("waterSensor", "water", Some("wet"))),
+                    condition: PathCondition::top(),
+                    app: "WaterLeak".into(),
+                    handler: "h".into(),
+                    via_reflection: false,
+                },
+            });
+        }
+        for t in transitions {
+            model.add_transition(t);
+        }
+        model
+    }
+
+    #[test]
+    fn kripke_has_quiescent_and_event_states() {
+        let model = water_leak_model();
+        let kripke = Kripke::from_state_model(&model);
+        // 4 quiescent states + 1 event state (wet/closed after water.wet).
+        assert_eq!(kripke.state_count(), 5);
+        assert_eq!(kripke.initial.len(), 4);
+        let event_state = (0..kripke.state_count())
+            .find(|s| kripke.incoming_event[*s].is_some())
+            .unwrap();
+        assert!(kripke.holds(event_state, "event:water.wet"));
+        assert!(kripke.holds(event_state, "triggered"));
+        assert!(kripke.holds(event_state, "attr:valve.valve=closed"));
+        assert!(kripke.holds(event_state, "by-app:WaterLeak"));
+        assert!(!kripke.holds(0, "triggered"));
+    }
+
+    #[test]
+    fn relation_is_total() {
+        let model = water_leak_model();
+        let kripke = Kripke::from_state_model(&model);
+        assert!(kripke.successors.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn every_source_state_reaches_the_event_state() {
+        let model = water_leak_model();
+        let kripke = Kripke::from_state_model(&model);
+        let event_state = (0..kripke.state_count())
+            .find(|s| kripke.incoming_event[*s].is_some())
+            .unwrap();
+        for init in &kripke.initial {
+            assert!(kripke.successors[*init].contains(&event_state));
+        }
+    }
+
+    #[test]
+    fn unknown_atom_never_holds() {
+        let model = water_leak_model();
+        let kripke = Kripke::from_state_model(&model);
+        assert!(!kripke.holds(0, "attr:missing.device=on"));
+        assert_eq!(kripke.atom_index("nonexistent"), None);
+        assert!(!kripke.atoms_of(0).is_empty());
+    }
+}

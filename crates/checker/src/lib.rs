@@ -1,0 +1,24 @@
+//! A from-scratch symbolic model checker standing in for NuSMV (Sec. 5 of the paper).
+//!
+//! Soteria translates each extracted state model into a Kripke structure and verifies
+//! temporal-logic properties with NuSMV. This crate provides the equivalent substrate:
+//!
+//! * [`Kripke`] — Kripke structures derived from state models, with event labels
+//!   exposed as atomic propositions;
+//! * [`Ctl`] — CTL formula syntax with convenience builders;
+//! * [`ModelChecker`] — exact CTL model checking with two engines (packed-bitset
+//!   "symbolic" fixpoints and an explicit per-state labelling) plus counter-example
+//!   extraction;
+//! * [`render_smv`] — SMV-format output of models and specs for external inspection.
+
+pub mod bitset;
+pub mod checker;
+pub mod ctl;
+pub mod kripke;
+pub mod smv;
+
+pub use bitset::BitSet;
+pub use checker::{CheckResult, Engine, ModelChecker};
+pub use ctl::Ctl;
+pub use kripke::Kripke;
+pub use smv::{render_smv, smv_formula};

@@ -1,0 +1,405 @@
+//! Benign app templates used to fill out the market corpus.
+//!
+//! Each template is a realistic SmartThings-style automation that satisfies every
+//! property in the catalogue; the generator varies device handle names and thresholds
+//! so the corpus covers a spread of devices, sizes, and functionality.
+
+/// A benign app template.
+#[derive(Debug, Clone, Copy)]
+pub struct BenignTemplate {
+    /// Template name (used in documentation and stats).
+    pub name: &'static str,
+    /// The SmartThings market category the generated app declares.
+    pub category: &'static str,
+    build: fn(&str, &str, u32) -> String,
+}
+
+impl BenignTemplate {
+    /// Instantiates the template for an app id, deriving handle suffixes and
+    /// thresholds from `seed`.
+    pub fn instantiate(&self, id: &str, seed: u32) -> String {
+        let suffix = ["a", "b", "c", "d", "e"][(seed % 5) as usize];
+        (self.build)(id, suffix, seed)
+    }
+}
+
+/// The benign templates used by the corpus generator.
+pub fn benign_templates() -> Vec<BenignTemplate> {
+    vec![
+        BenignTemplate { name: "motion-light", category: "Convenience", build: motion_light },
+        BenignTemplate { name: "leak-valve", category: "Safety & Security", build: leak_valve },
+        BenignTemplate { name: "smoke-siren", category: "Safety & Security", build: smoke_siren },
+        BenignTemplate { name: "presence-lock", category: "Safety & Security", build: presence_lock },
+        BenignTemplate { name: "contact-light", category: "Convenience", build: contact_light },
+        BenignTemplate { name: "garage-arrival", category: "Convenience", build: garage_arrival },
+        BenignTemplate { name: "door-notify", category: "Home Automation", build: door_notify },
+        BenignTemplate { name: "battery-notify", category: "Personal Care", build: battery_notify },
+        BenignTemplate { name: "energy-monitor", category: "Green Living", build: energy_monitor },
+        BenignTemplate { name: "humidity-fan", category: "Green Living", build: humidity_fan },
+        BenignTemplate { name: "mode-security", category: "Safety & Security", build: mode_security },
+        BenignTemplate { name: "camera-motion", category: "Safety & Security", build: camera_motion },
+        BenignTemplate { name: "sunset-porch", category: "Convenience", build: sunset_porch },
+        BenignTemplate { name: "thermostat-away", category: "Green Living", build: thermostat_away },
+    ]
+}
+
+fn motion_light(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Convenience")
+preferences {{
+    section("devices") {{
+        input "motion_{suffix}", "capability.motionSensor", required: true
+        input "light_{suffix}", "capability.switch", required: true
+    }}
+}}
+def installed() {{
+    subscribe(motion_{suffix}, "motion.active", activeHandler)
+    subscribe(motion_{suffix}, "motion.inactive", inactiveHandler)
+}}
+def activeHandler(evt) {{
+    light_{suffix}.on()
+}}
+def inactiveHandler(evt) {{
+    light_{suffix}.off()
+}}
+"#
+    )
+}
+
+fn leak_valve(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Safety & Security")
+preferences {{
+    section("devices") {{
+        input "moisture_{suffix}", "capability.waterSensor", required: true
+        input "main_valve_{suffix}", "capability.valve", required: true
+    }}
+}}
+def installed() {{
+    subscribe(moisture_{suffix}, "water.wet", wetHandler)
+}}
+def wetHandler(evt) {{
+    main_valve_{suffix}.close()
+    sendPush("water detected, valve closed")
+}}
+"#
+    )
+}
+
+fn smoke_siren(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Safety & Security")
+preferences {{
+    section("devices") {{
+        input "smoke_{suffix}", "capability.smokeDetector", required: true
+        input "siren_{suffix}", "capability.alarm", required: true
+    }}
+}}
+def installed() {{
+    subscribe(smoke_{suffix}, "smoke", smokeHandler)
+}}
+def smokeHandler(evt) {{
+    if (evt.value == "detected") {{
+        siren_{suffix}.siren()
+    }}
+    if (evt.value == "clear") {{
+        siren_{suffix}.off()
+    }}
+}}
+"#
+    )
+}
+
+fn presence_lock(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Safety & Security")
+preferences {{
+    section("devices") {{
+        input "everyone_{suffix}", "capability.presenceSensor", required: true
+        input "door_{suffix}", "capability.lock", required: true
+    }}
+}}
+def installed() {{
+    subscribe(everyone_{suffix}, "presence.not present", leftHandler)
+    subscribe(everyone_{suffix}, "presence.present", arrivedHandler)
+}}
+def leftHandler(evt) {{
+    door_{suffix}.lock()
+}}
+def arrivedHandler(evt) {{
+    door_{suffix}.unlock()
+}}
+"#
+    )
+}
+
+fn contact_light(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Convenience")
+preferences {{
+    section("devices") {{
+        input "closet_contact_{suffix}", "capability.contactSensor", required: true
+        input "closet_light_{suffix}", "capability.switch", required: true
+    }}
+}}
+def installed() {{
+    subscribe(closet_contact_{suffix}, "contact.open", openHandler)
+    subscribe(closet_contact_{suffix}, "contact.closed", closedHandler)
+}}
+def openHandler(evt) {{
+    closet_light_{suffix}.on()
+}}
+def closedHandler(evt) {{
+    closet_light_{suffix}.off()
+}}
+"#
+    )
+}
+
+fn garage_arrival(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Convenience")
+preferences {{
+    section("devices") {{
+        input "car_presence_{suffix}", "capability.presenceSensor", required: true
+        input "garage_{suffix}", "capability.garageDoorControl", required: true
+    }}
+}}
+def installed() {{
+    subscribe(car_presence_{suffix}, "presence.present", arrivedHandler)
+    subscribe(car_presence_{suffix}, "presence.not present", leftHandler)
+}}
+def arrivedHandler(evt) {{
+    garage_{suffix}.open()
+}}
+def leftHandler(evt) {{
+    garage_{suffix}.close()
+}}
+"#
+    )
+}
+
+fn door_notify(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Home Automation")
+preferences {{
+    section("devices") {{
+        input "door_contact_{suffix}", "capability.contactSensor", required: true
+        input "phone_{suffix}", "phone", title: "Phone number", required: false
+    }}
+}}
+def installed() {{
+    subscribe(door_contact_{suffix}, "contact.open", openHandler)
+}}
+def openHandler(evt) {{
+    if (phone_{suffix}) {{
+        sendSms(phone_{suffix}, "the door was opened")
+    }} else {{
+        sendPush("the door was opened")
+    }}
+}}
+"#
+    )
+}
+
+fn battery_notify(id: &str, suffix: &str, seed: u32) -> String {
+    let threshold = 10 + (seed % 4) * 5;
+    format!(
+        r#"
+definition(name: "{id}", category: "Personal Care")
+preferences {{
+    section("devices") {{
+        input "sensor_battery_{suffix}", "capability.battery", required: true
+        input "low_threshold_{suffix}", "number", title: "Warn below", defaultValue: {threshold}
+    }}
+}}
+def installed() {{
+    subscribe(sensor_battery_{suffix}, "battery", batteryHandler)
+}}
+def batteryHandler(evt) {{
+    def level = sensor_battery_{suffix}.currentValue("battery")
+    if (level < low_threshold_{suffix}) {{
+        sendPush("battery is low")
+    }}
+}}
+"#
+    )
+}
+
+fn energy_monitor(id: &str, suffix: &str, seed: u32) -> String {
+    let high = 40 + (seed % 5) * 10;
+    let low = 3 + (seed % 3);
+    format!(
+        r#"
+definition(name: "{id}", category: "Green Living")
+preferences {{
+    section("devices") {{
+        input "meter_{suffix}", "capability.powerMeter", required: true
+        input "outlet_{suffix}", "capability.switch", required: true
+    }}
+}}
+def installed() {{
+    subscribe(meter_{suffix}, "power", powerHandler)
+}}
+def powerHandler(evt) {{
+    def usage = meter_{suffix}.currentValue("power")
+    if (usage > {high}) {{
+        outlet_{suffix}.off()
+    }}
+    if (usage < {low}) {{
+        outlet_{suffix}.on()
+    }}
+}}
+"#
+    )
+}
+
+fn humidity_fan(id: &str, suffix: &str, seed: u32) -> String {
+    let threshold = 55 + (seed % 4) * 5;
+    format!(
+        r#"
+definition(name: "{id}", category: "Green Living")
+preferences {{
+    section("devices") {{
+        input "humidity_{suffix}", "capability.relativeHumidityMeasurement", required: true
+        input "fan_{suffix}", "capability.switch", required: true
+    }}
+}}
+def installed() {{
+    subscribe(humidity_{suffix}, "humidity", humidityHandler)
+}}
+def humidityHandler(evt) {{
+    def reading = humidity_{suffix}.currentValue("humidity")
+    if (reading > {threshold}) {{
+        fan_{suffix}.on()
+    }} else {{
+        fan_{suffix}.off()
+    }}
+}}
+"#
+    )
+}
+
+fn mode_security(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Safety & Security")
+preferences {{
+    section("devices") {{
+        input "alarm_system_{suffix}", "capability.securitySystem", required: true
+    }}
+}}
+def installed() {{
+    subscribe(location, "mode.away", awayHandler)
+    subscribe(location, "mode.home", homeHandler)
+}}
+def awayHandler(evt) {{
+    alarm_system_{suffix}.armAway()
+}}
+def homeHandler(evt) {{
+    alarm_system_{suffix}.disarm()
+}}
+"#
+    )
+}
+
+fn camera_motion(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Safety & Security")
+preferences {{
+    section("devices") {{
+        input "yard_motion_{suffix}", "capability.motionSensor", required: true
+        input "yard_camera_{suffix}", "capability.imageCapture", required: true
+    }}
+}}
+def installed() {{
+    subscribe(yard_motion_{suffix}, "motion.active", motionHandler)
+}}
+def motionHandler(evt) {{
+    yard_camera_{suffix}.take()
+}}
+"#
+    )
+}
+
+fn sunset_porch(id: &str, suffix: &str, _seed: u32) -> String {
+    format!(
+        r#"
+definition(name: "{id}", category: "Convenience")
+preferences {{
+    section("devices") {{
+        input "porch_light_{suffix}", "capability.switch", required: true
+    }}
+}}
+def installed() {{
+    subscribe(location, "sunset", sunsetHandler)
+    subscribe(location, "sunrise", sunriseHandler)
+}}
+def sunsetHandler(evt) {{
+    porch_light_{suffix}.on()
+}}
+def sunriseHandler(evt) {{
+    porch_light_{suffix}.off()
+}}
+"#
+    )
+}
+
+fn thermostat_away(id: &str, suffix: &str, seed: u32) -> String {
+    let default_temp = 62 + (seed % 6);
+    format!(
+        r#"
+definition(name: "{id}", category: "Green Living")
+preferences {{
+    section("devices") {{
+        input "thermostat_{suffix}", "capability.thermostat", required: true
+        input "eco_temp_{suffix}", "number", title: "Eco setpoint", defaultValue: {default_temp}
+    }}
+}}
+def installed() {{
+    subscribe(location, "mode", modeHandler)
+}}
+def modeHandler(evt) {{
+    thermostat_{suffix}.setHeatingSetpoint(eco_temp_{suffix})
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_instantiate_and_parse() {
+        for (i, template) in benign_templates().iter().enumerate() {
+            let source = template.instantiate("Example", i as u32);
+            let program = soteria_lang::parse(&source)
+                .unwrap_or_else(|e| panic!("template {} fails to parse: {e}", template.name));
+            assert_eq!(program.app_name(), Some("Example"));
+            assert!(program.inputs().iter().any(|d| d.is_device()));
+            assert!(program.methods().count() >= 2);
+        }
+    }
+
+    #[test]
+    fn seeds_vary_handles_and_thresholds() {
+        let template = benign_templates()[8]; // energy-monitor
+        let a = template.instantiate("X", 1);
+        let b = template.instantiate("X", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn there_are_enough_templates_for_the_corpus_spread() {
+        assert!(benign_templates().len() >= 12);
+    }
+}

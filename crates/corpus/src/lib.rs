@@ -1,0 +1,130 @@
+//! Evaluation corpora for the Soteria reproduction (Sec. 6 of the paper).
+//!
+//! * [`running`] — the three running example apps of Sec. 3 / Appendix A;
+//! * [`market`] — the synthetic re-creation of the 65-app market dataset (35 official
+//!   O1–O35 + 30 third-party TP1–TP30) and the interacting groups G.1–G.3;
+//! * [`maliot`] — the 17-app MalIoT test suite with per-app ground truth;
+//! * [`generator`] — the benign templates used to fill out the market corpus.
+
+pub mod generator;
+pub mod maliot;
+pub mod market;
+pub mod running;
+
+pub use generator::{benign_templates, BenignTemplate};
+pub use maliot::{maliot_groups, maliot_suite};
+pub use market::{market_groups, official_apps, third_party_apps, MarketGroup};
+
+/// One expected property violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expectation {
+    /// Property identifier in the paper's notation (`"S.1"`, `"P.30"`, ...).
+    pub property: String,
+    /// True if the paper reports the finding as a false positive (MalIoT App5).
+    pub false_positive: bool,
+}
+
+/// Ground truth attached to a corpus app.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Properties expected to be violated.
+    pub expectations: Vec<Expectation>,
+    /// If set, the violations only manifest when the app is installed together with
+    /// the listed apps.
+    pub multi_app_group: Option<Vec<String>>,
+    /// If set, the app's flaw is outside the static analysis' scope (with the reason).
+    pub out_of_scope: Option<String>,
+}
+
+impl GroundTruth {
+    /// No expected violations.
+    pub fn clean() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Individual-app violations.
+    pub fn violations(properties: &[&str]) -> Self {
+        GroundTruth {
+            expectations: properties
+                .iter()
+                .map(|p| Expectation { property: p.to_string(), false_positive: false })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// A violation the paper classifies as a false positive.
+    pub fn false_positive(property: &str) -> Self {
+        GroundTruth {
+            expectations: vec![Expectation {
+                property: property.to_string(),
+                false_positive: true,
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// Violations that only appear when installed together with `group`.
+    pub fn multi_app(properties: &[&str], group: &[&str]) -> Self {
+        GroundTruth {
+            expectations: properties
+                .iter()
+                .map(|p| Expectation { property: p.to_string(), false_positive: false })
+                .collect(),
+            multi_app_group: Some(group.iter().map(|s| s.to_string()).collect()),
+            ..Default::default()
+        }
+    }
+
+    /// The app's flaw cannot be found statically (dynamic permissions, data leaks,
+    /// run-time reflection targets).
+    pub fn out_of_scope(reason: &str) -> Self {
+        GroundTruth { out_of_scope: Some(reason.to_string()), ..Default::default() }
+    }
+
+    /// The expected property identifiers, sorted.
+    pub fn expected_properties(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.expectations.iter().map(|e| e.property.as_str()).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// One app of a corpus: its identifier, DSL source, and ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusApp {
+    /// Identifier (`"O3"`, `"TP12"`, `"App5"`, ...).
+    pub id: String,
+    /// SmartApp DSL source code.
+    pub source: String,
+    /// Expected analysis outcome.
+    pub ground_truth: GroundTruth,
+}
+
+/// The whole market corpus (official followed by third-party apps).
+pub fn all_market_apps() -> Vec<CorpusApp> {
+    let mut apps = official_apps();
+    apps.extend(third_party_apps());
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_constructors() {
+        assert!(GroundTruth::clean().expectations.is_empty());
+        let v = GroundTruth::violations(&["S.1", "P.12"]);
+        assert_eq!(v.expected_properties(), vec!["P.12", "S.1"]);
+        assert!(GroundTruth::false_positive("P.10").expectations[0].false_positive);
+        let m = GroundTruth::multi_app(&["P.3"], &["App12", "App13"]);
+        assert_eq!(m.multi_app_group.as_ref().unwrap().len(), 2);
+        assert!(GroundTruth::out_of_scope("leak").out_of_scope.is_some());
+    }
+
+    #[test]
+    fn full_market_corpus_has_65_apps() {
+        assert_eq!(all_market_apps().len(), 65);
+    }
+}

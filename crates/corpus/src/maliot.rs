@@ -1,0 +1,447 @@
+//! MalIoT: the open-source test corpus of flawed IoT apps (Sec. 6.2, Appendix C).
+//!
+//! Seventeen hand-crafted apps containing safety and security violations in individual
+//! apps and in multi-app environments, re-authored in the SmartApp DSL. Each app
+//! carries its ground truth: the properties expected to be violated, whether the
+//! violation only manifests in a multi-app group, and the special cases (the App5
+//! reflection false positive and the App9/App10/App11 out-of-scope apps).
+
+use crate::{CorpusApp, GroundTruth};
+
+fn app(id: &'static str, source: &'static str, truth: GroundTruth) -> CorpusApp {
+    CorpusApp { id: id.to_string(), source: source.to_string(), ground_truth: truth }
+}
+
+/// The 17 MalIoT apps in order.
+pub fn maliot_suite() -> Vec<CorpusApp> {
+    vec![
+        app("App1", APP1, GroundTruth::violations(&["P.2"])),
+        app("App2", APP2, GroundTruth::violations(&["P.9"])),
+        app("App3", APP3, GroundTruth::violations(&["S.2"])),
+        app("App4", APP4, GroundTruth::violations(&["S.1"])),
+        app("App5", APP5, GroundTruth::false_positive("P.10")),
+        app("App6", APP6, GroundTruth::violations(&["P.1", "P.12"])),
+        app("App7", APP7, GroundTruth::violations(&["S.4"])),
+        app("App8", APP8, GroundTruth::violations(&["S.5", "P.1"])),
+        app("App9", APP9, GroundTruth::out_of_scope("requires dynamic analysis of the reflective mode change")),
+        app("App10", APP10, GroundTruth::out_of_scope("dynamic device permissions are outside the threat model")),
+        app("App11", APP11, GroundTruth::out_of_scope("sensitive data leaks are outside the threat model")),
+        app("App12", APP12, GroundTruth::multi_app(&["P.3"], &["App12", "App13", "App14"])),
+        app("App13", APP13, GroundTruth::multi_app(&["P.3"], &["App12", "App13", "App14"])),
+        app("App14", APP14, GroundTruth::multi_app(&["P.3"], &["App12", "App13", "App14"])),
+        app("App15", APP15, GroundTruth::multi_app(&["S.1"], &["App1", "App15"])),
+        app("App16", APP16, GroundTruth::multi_app(&["P.14"], &["App16", "App17"])),
+        app("App17", APP17, GroundTruth::violations(&["P.14"])),
+    ]
+}
+
+/// The multi-app groups of the MalIoT suite, as `(group name, member ids, expected
+/// violated properties)`.
+pub fn maliot_groups() -> Vec<(&'static str, Vec<&'static str>, Vec<&'static str>)> {
+    vec![
+        ("MalIoT-G1", vec!["App12", "App13", "App14"], vec!["P.3"]),
+        ("MalIoT-G2", vec!["App1", "App15"], vec!["S.1"]),
+        ("MalIoT-G3", vec!["App16", "App17"], vec!["P.14"]),
+    ]
+}
+
+/// App1: the lights are turned off at night when motion is detected (violates P.2).
+const APP1: &str = r#"
+definition(name: "App1", category: "Convenience")
+preferences {
+    section("devices") {
+        input "the_light", "capability.switch", required: true
+        input "the_motion", "capability.motionSensor", required: true
+    }
+}
+def installed() {
+    subscribe(the_motion, "motion.active", motionActiveHandler)
+}
+def motionActiveHandler(evt) {
+    the_light.off()
+}
+"#;
+
+/// App2: the security system is disarmed when nobody is at home (violates P.9), with a
+/// state-variable guard requiring predicate analysis.
+const APP2: &str = r#"
+definition(name: "App2", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "security", "capability.securitySystem", required: true
+        input "presence", "capability.presenceSensor", required: true
+    }
+}
+def installed() {
+    subscribe(presence, "presence.not present", departureHandler)
+}
+def departureHandler(evt) {
+    state.departures = state.departures + 1
+    if (state.departures > 0) {
+        security.disarm()
+    }
+}
+"#;
+
+/// App3: a battery-operated switch is commanded off repeatedly (violates S.2).
+const APP3: &str = r#"
+definition(name: "App3", category: "Green Living")
+preferences {
+    section("devices") {
+        input "battery_switch", "capability.switch", required: true
+        input "the_battery", "capability.battery", required: true
+    }
+}
+def installed() {
+    runIn(30, drainHandler)
+}
+def drainHandler() {
+    battery_switch.off()
+    battery_switch.off()
+}
+"#;
+
+/// App4: the energy-saver handler turns the switch off and back on in the same path
+/// (violates S.1).
+const APP4: &str = r#"
+definition(name: "App4", category: "Green Living")
+preferences {
+    section("devices") {
+        input "the_outlet", "capability.switch", required: true
+        input "delay_minutes", "number", title: "Turn off after (minutes)", required: true
+    }
+}
+def installed() {
+    subscribe(app, appTouch, saveEnergyHandler)
+    runIn(60, saveEnergyHandler)
+}
+def saveEnergyHandler(evt) {
+    the_outlet.off()
+    the_outlet.on()
+}
+"#;
+
+/// App5: sounds the alarm on smoke but also contains a method (only reachable through
+/// call by reflection) that silences it; Soteria's over-approximation reports a P.10
+/// violation that is a false positive.
+const APP5: &str = r#"
+definition(name: "App5", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "smoke_detector", "capability.smokeDetector", required: true
+        input "the_alarm", "capability.alarm", required: true
+    }
+}
+def installed() {
+    subscribe(smoke_detector, "smoke.detected", smokeHandler)
+}
+def smokeHandler(evt) {
+    the_alarm.siren()
+    state.mode = "alerting"
+    dispatch()
+}
+def dispatch() {
+    httpGet("http://example.org/policy") { resp ->
+        if (resp.status == 200) {
+            name = resp.data.toString()
+        }
+    }
+    "$name"()
+}
+def keepSirening() {
+    the_alarm.siren()
+}
+def silenceAlarm() {
+    the_alarm.off()
+}
+"#;
+
+/// App6: when the user leaves, the porch light level changes and the door is unlocked
+/// a few minutes later (violates P.1 and leaves devices on while away).
+const APP6: &str = r#"
+definition(name: "App6", category: "Convenience")
+preferences {
+    section("devices") {
+        input "porch_light", "capability.switch", required: true
+        input "front_door", "capability.lock", required: true
+        input "presence", "capability.presenceSensor", required: true
+    }
+}
+def installed() {
+    subscribe(presence, "presence.not present", departedHandler)
+}
+def departedHandler(evt) {
+    porch_light.on()
+    runIn(300, unlockForPets)
+}
+def unlockForPets() {
+    front_door.unlock()
+}
+"#;
+
+/// App7: the switch turns on when the user arrives and off at a user-specified time;
+/// the two events may occur together (violates S.4).
+const APP7: &str = r#"
+definition(name: "App7", category: "Convenience")
+preferences {
+    section("devices") {
+        input "the_switch", "capability.switch", required: true
+        input "presence", "capability.presenceSensor", required: true
+        input "off_time", "time", title: "Turn off at", required: true
+    }
+}
+def installed() {
+    subscribe(presence, "presence.present", arrivedHandler)
+    schedule(off_time, scheduledOffHandler)
+}
+def arrivedHandler(evt) {
+    the_switch.on()
+}
+def scheduledOffHandler() {
+    the_switch.off()
+}
+"#;
+
+/// App8: the presence handler has a case for the user leaving but the app never
+/// subscribes that event (violates S.5), so the door is never locked while the user is
+/// away (violates P.1).
+const APP8: &str = r#"
+definition(name: "App8", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "front_door", "capability.lock", required: true
+        input "presence", "capability.presenceSensor", required: true
+        input "mailbox", "capability.contactSensor", required: true
+    }
+}
+def installed() {
+    subscribe(presence, "presence.present", presenceHandler)
+    subscribe(mailbox, "contact.open", mailboxHandler)
+}
+def presenceHandler(evt) {
+    if (evt.value == "present") {
+        front_door.unlock()
+    }
+    if (evt.value == "not present") {
+        front_door.lock()
+    }
+}
+def mailboxHandler(evt) {
+    sendPush("mailbox opened")
+}
+"#;
+
+/// App9: the location mode is set through a string fetched over HTTP and invoked by
+/// reflection; deciding whether the mode is wrong requires dynamic analysis.
+const APP9: &str = r#"
+definition(name: "App9", category: "Convenience")
+preferences {
+    section("devices") {
+        input "the_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(the_switch, "switch.off", offHandler)
+}
+def offHandler(evt) {
+    fetchMode()
+}
+def fetchMode() {
+    httpGet("http://example.org/mode") { resp ->
+        if (resp.status == 200) {
+            target_mode = resp.data.toString()
+        }
+    }
+    setLocationMode(target_mode)
+}
+"#;
+
+/// App10: dynamic device permissions selected through preference pages; outside the
+/// scope of the static analysis.
+const APP10: &str = r#"
+definition(name: "App10", category: "Convenience")
+preferences {
+    page(name: "firstPage") {
+        section("pick a sensor type") {
+            input "sensor_type", "enum", title: "Sensor?", required: true
+        }
+        section("devices") {
+            input "chosen_device", "capability.switch", required: false
+        }
+    }
+}
+def installed() {
+    subscribe(chosen_device, "switch.on", onHandler)
+}
+def onHandler(evt) {
+    log.debug("dynamic device turned on")
+}
+"#;
+
+/// App11: notifies the user when the kids leave home, but also texts an attacker's
+/// number; data leaks are outside Soteria's threat model.
+const APP11: &str = r#"
+definition(name: "App11", category: "Family")
+preferences {
+    section("devices") {
+        input "kids_presence", "capability.presenceSensor", required: true
+        input "parent_phone", "phone", title: "Parent phone", required: true
+    }
+}
+def installed() {
+    subscribe(kids_presence, "presence.not present", leftHandler)
+}
+def leftHandler(evt) {
+    sendSms(parent_phone, "the kids left home")
+    sendSms("5550100", "the kids left home")
+}
+"#;
+
+/// App12: turns on the light switches when the smoke alarm sounds.
+const APP12: &str = r#"
+definition(name: "App12", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "smoke_detector", "capability.smokeDetector", required: true
+        input "hall_light", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(smoke_detector, "smoke.detected", smokeHandler)
+}
+def smokeHandler(evt) {
+    hall_light.on()
+}
+"#;
+
+/// App13: changes the mode from away to home when the light switch turns on.
+const APP13: &str = r#"
+definition(name: "App13", category: "Convenience")
+preferences {
+    section("devices") {
+        input "hall_light", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(hall_light, "switch.on", lightOnHandler)
+}
+def lightOnHandler(evt) {
+    setLocationMode("home")
+}
+"#;
+
+/// App14: locks the front door when the home mode is set.
+const APP14: &str = r#"
+definition(name: "App14", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "front_door", "capability.lock", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode.home", homeModeHandler)
+}
+def homeModeHandler(evt) {
+    front_door.lock()
+}
+"#;
+
+/// App15: turns the lights on when motion is detected (conflicts with App1, which
+/// turns them off on the same event).
+const APP15: &str = r#"
+definition(name: "App15", category: "Convenience")
+preferences {
+    section("devices") {
+        input "the_light", "capability.switch", required: true
+        input "the_motion", "capability.motionSensor", required: true
+    }
+}
+def installed() {
+    subscribe(the_motion, "motion.active", motionActiveHandler)
+}
+def motionActiveHandler(evt) {
+    the_light.on()
+}
+"#;
+
+/// App16: changes the mode to sleeping when the bedroom light is turned off.
+const APP16: &str = r#"
+definition(name: "App16", category: "Convenience")
+preferences {
+    section("devices") {
+        input "bedroom_light", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(bedroom_light, "switch.off", lightsOutHandler)
+}
+def lightsOutHandler(evt) {
+    setLocationMode("sleeping")
+}
+"#;
+
+/// App17: turns off all plugged devices, including the security system, when the
+/// sleeping mode is set (violates P.14).
+const APP17: &str = r#"
+definition(name: "App17", category: "Green Living")
+preferences {
+    section("devices") {
+        input "security", "capability.securitySystem", required: true
+        input "tv_outlet", "capability.switch", required: true
+        input "camera_outlet", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode.sleeping", sleepingHandler)
+}
+def sleepingHandler(evt) {
+    tv_outlet.off()
+    camera_outlet.off()
+    security.disarm()
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maliot_has_seventeen_apps_that_parse() {
+        let suite = maliot_suite();
+        assert_eq!(suite.len(), 17);
+        for app in &suite {
+            let program = soteria_lang::parse(&app.source)
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", app.id));
+            assert_eq!(program.app_name(), Some(app.id.as_str()));
+        }
+    }
+
+    #[test]
+    fn ground_truth_shape_matches_the_paper() {
+        let suite = maliot_suite();
+        let out_of_scope = suite.iter().filter(|a| a.ground_truth.out_of_scope.is_some()).count();
+        let false_positives = suite
+            .iter()
+            .filter(|a| a.ground_truth.expectations.iter().any(|e| e.false_positive))
+            .count();
+        assert_eq!(out_of_scope, 3, "App9, App10, App11");
+        assert_eq!(false_positives, 1, "App5");
+        // Every remaining app has at least one expected violation.
+        assert!(suite
+            .iter()
+            .filter(|a| a.ground_truth.out_of_scope.is_none())
+            .all(|a| !a.ground_truth.expectations.is_empty()));
+    }
+
+    #[test]
+    fn groups_reference_existing_apps() {
+        let suite = maliot_suite();
+        for (name, members, expected) in maliot_groups() {
+            assert!(!name.is_empty());
+            assert!(!expected.is_empty());
+            for member in members {
+                assert!(suite.iter().any(|a| a.id == member), "{member} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! The market dataset: 35 official apps (O1–O35) and 30 community-contributed
+//! third-party apps (TP1–TP30), plus the interacting app groups G.1–G.3 (Sec. 6,
+//! Tables 2–4).
+//!
+//! The original market sources are not redistributable, so the corpus is a synthetic
+//! re-creation: the apps named in Tables 3 and 4 are hand-authored to exhibit exactly
+//! the violations the paper reports, and the remaining apps are generated from benign
+//! templates covering the same device and functionality spectrum (security and safety,
+//! green living, convenience, home automation, personal care).
+
+use crate::generator::benign_templates;
+use crate::{CorpusApp, GroundTruth};
+
+/// A group of apps installed together (Table 4).
+#[derive(Debug, Clone)]
+pub struct MarketGroup {
+    /// Group identifier (G.1–G.3).
+    pub id: &'static str,
+    /// Member app identifiers.
+    pub members: Vec<&'static str>,
+    /// Properties the paper reports as violated by the group.
+    pub expected: Vec<&'static str>,
+}
+
+/// The 35 official (vetted) apps. None of them violates a property individually.
+pub fn official_apps() -> Vec<CorpusApp> {
+    let mut apps: Vec<CorpusApp> = Vec::new();
+    let special: &[(&str, &str)] = &[
+        ("O3", O3),
+        ("O4", O4),
+        ("O7", O7),
+        ("O8", O8),
+        ("O9", O9),
+        ("O12", O12),
+        ("O14", O14),
+        ("O16", O16),
+        ("O30", O30),
+        ("O31", O31),
+    ];
+    let templates = benign_templates();
+    for i in 1..=35u32 {
+        let id = format!("O{i}");
+        if let Some((_, src)) = special.iter().find(|(sid, _)| *sid == id) {
+            apps.push(CorpusApp {
+                id,
+                source: src.to_string(),
+                ground_truth: GroundTruth::clean(),
+            });
+        } else {
+            let template = &templates[(i as usize) % templates.len()];
+            apps.push(CorpusApp {
+                id: id.clone(),
+                source: template.instantiate(&id, i),
+                ground_truth: GroundTruth::clean(),
+            });
+        }
+    }
+    apps
+}
+
+/// The 30 community-contributed third-party apps. TP1–TP9 carry the individual
+/// violations of Table 3; TP12, TP19, TP21 and TP22 participate in the groups of
+/// Table 4; the rest are benign.
+pub fn third_party_apps() -> Vec<CorpusApp> {
+    let mut apps: Vec<CorpusApp> = Vec::new();
+    let special: &[(&str, &str, GroundTruth)] = &[
+        ("TP1", TP1, GroundTruth::violations(&["P.13"])),
+        ("TP2", TP2, GroundTruth::violations(&["P.12"])),
+        ("TP3", TP3, GroundTruth::violations(&["S.4"])),
+        ("TP4", TP4, GroundTruth::violations(&["P.29"])),
+        ("TP5", TP5, GroundTruth::violations(&["P.28"])),
+        ("TP6", TP6, GroundTruth::violations(&["P.12", "S.1"])),
+        ("TP7", TP7, GroundTruth::violations(&["S.1"])),
+        ("TP8", TP8, GroundTruth::violations(&["P.1"])),
+        ("TP9", TP9, GroundTruth::violations(&["S.2"])),
+        ("TP12", TP12, GroundTruth::clean()),
+        ("TP19", TP19, GroundTruth::clean()),
+        ("TP21", TP21, GroundTruth::clean()),
+        ("TP22", TP22, GroundTruth::clean()),
+    ];
+    let templates = benign_templates();
+    for i in 1..=30u32 {
+        let id = format!("TP{i}");
+        if let Some((_, src, truth)) = special.iter().find(|(sid, _, _)| *sid == id) {
+            apps.push(CorpusApp { id, source: src.to_string(), ground_truth: truth.clone() });
+        } else {
+            let template = &templates[(i as usize + 3) % templates.len()];
+            apps.push(CorpusApp {
+                id: id.clone(),
+                source: template.instantiate(&id, i + 100),
+                ground_truth: GroundTruth::clean(),
+            });
+        }
+    }
+    apps
+}
+
+/// The interacting app groups of Table 4 and the properties they violate.
+pub fn market_groups() -> Vec<MarketGroup> {
+    vec![
+        MarketGroup {
+            id: "G.1",
+            members: vec!["O3", "O4", "O8", "TP12"],
+            expected: vec!["S.1", "S.2", "S.3"],
+        },
+        MarketGroup {
+            id: "G.2",
+            members: vec!["O14", "O9", "O16", "TP3", "TP2"],
+            expected: vec!["S.2", "S.4"],
+        },
+        MarketGroup {
+            id: "G.3",
+            members: vec!["O7", "TP3", "O30", "TP21", "O31", "TP22", "O12", "TP19"],
+            expected: vec!["P.12", "P.13", "P.14", "P.17", "S.1", "S.2"],
+        },
+    ]
+}
+
+// --------------------------------------------------------------------------- official
+
+/// O3: turns the hallway switch on when the entrance contact opens.
+const O3: &str = r#"
+definition(name: "O3", category: "Convenience")
+preferences {
+    section("devices") {
+        input "entrance_contact", "capability.contactSensor", required: true
+        input "hall_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(entrance_contact, "contact.open", openHandler)
+}
+def openHandler(evt) {
+    hall_switch.on()
+}
+"#;
+
+/// O4: turns the hallway switch off when the contact opens and on when it closes.
+const O4: &str = r#"
+definition(name: "O4", category: "Green Living")
+preferences {
+    section("devices") {
+        input "entrance_contact", "capability.contactSensor", required: true
+        input "hall_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(entrance_contact, "contact.open", openHandler)
+    subscribe(entrance_contact, "contact.closed", closedHandler)
+}
+def openHandler(evt) {
+    hall_switch.off()
+}
+def closedHandler(evt) {
+    hall_switch.on()
+}
+"#;
+
+/// O7: switches the location mode to away when the goodbye switch is turned off.
+const O7: &str = r#"
+definition(name: "O7", category: "Mode Magic")
+preferences {
+    section("devices") {
+        input "goodbye_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(goodbye_switch, "switch.off", goodbyeHandler)
+}
+def goodbyeHandler(evt) {
+    setLocationMode("away")
+}
+"#;
+
+/// O8: turns the hallway switch off when the contact closes.
+const O8: &str = r#"
+definition(name: "O8", category: "Green Living")
+preferences {
+    section("devices") {
+        input "entrance_contact", "capability.contactSensor", required: true
+        input "hall_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(entrance_contact, "contact.closed", closedHandler)
+}
+def closedHandler(evt) {
+    hall_switch.off()
+}
+"#;
+
+/// O9: turns the hallway switch on when motion is detected.
+const O9: &str = r#"
+definition(name: "O9", category: "Convenience")
+preferences {
+    section("devices") {
+        input "hall_motion", "capability.motionSensor", required: true
+        input "hall_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(hall_motion, "motion.active", motionHandler)
+}
+def motionHandler(evt) {
+    hall_switch.on()
+}
+"#;
+
+/// O12: applies the user-configured heating setpoint on location-mode changes.
+const O12: &str = r#"
+definition(name: "O12", category: "Green Living")
+preferences {
+    section("devices") {
+        input "ther", "capability.thermostat", required: true
+        input "heating_temp", "number", title: "Heating setpoint", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    ther.setHeatingSetpoint(heating_temp)
+}
+"#;
+
+/// O14: turns the hallway switch off when the entrance contact opens.
+const O14: &str = r#"
+definition(name: "O14", category: "Green Living")
+preferences {
+    section("devices") {
+        input "entrance_contact", "capability.contactSensor", required: true
+        input "hall_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(entrance_contact, "contact.open", openHandler)
+}
+def openHandler(evt) {
+    hall_switch.off()
+}
+"#;
+
+/// O16: turns the hallway switch on when motion is detected (night-light variant).
+const O16: &str = r#"
+definition(name: "O16", category: "Convenience")
+preferences {
+    section("devices") {
+        input "hall_motion", "capability.motionSensor", required: true
+        input "hall_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(hall_motion, "motion.active", nightLightHandler)
+}
+def nightLightHandler(evt) {
+    hall_switch.on()
+}
+"#;
+
+/// O30: powers down the heater outlet and disarms the security system when the
+/// location mode changes (energy-saving scene).
+const O30: &str = r#"
+definition(name: "O30", category: "Green Living")
+preferences {
+    section("devices") {
+        input "security", "capability.securitySystem", required: true
+        input "heater_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    heater_switch.off()
+    security.disarm()
+}
+"#;
+
+/// O31: powers up the comfort devices (A/C, coffee machine, TV) when the location mode
+/// changes (welcome scene).
+const O31: &str = r#"
+definition(name: "O31", category: "Convenience")
+preferences {
+    section("devices") {
+        input "ac_switch", "capability.switch", required: true
+        input "coffee_switch", "capability.switch", required: true
+        input "tv_player", "capability.musicPlayer", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    ac_switch.on()
+    coffee_switch.on()
+    tv_player.play()
+}
+"#;
+
+// ------------------------------------------------------------------------ third party
+
+/// TP1: starts the music player when the user leaves home (violates P.13).
+const TP1: &str = r#"
+definition(name: "TP1", category: "Convenience")
+preferences {
+    section("devices") {
+        input "speaker", "capability.musicPlayer", required: true
+        input "presence", "capability.presenceSensor", required: true
+    }
+}
+def installed() {
+    subscribe(presence, "presence.not present", awayHandler)
+}
+def awayHandler(evt) {
+    speaker.play()
+}
+"#;
+
+/// TP2: turns the lights on when nobody is present, and on app touch (violates P.12).
+const TP2: &str = r#"
+definition(name: "TP2", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "front_lights", "capability.switch", required: true
+        input "presence", "capability.presenceSensor", required: true
+    }
+}
+def installed() {
+    subscribe(presence, "presence.not present", vacancyHandler)
+    subscribe(app, appTouch, touchHandler)
+}
+def vacancyHandler(evt) {
+    front_lights.on()
+}
+def touchHandler(evt) {
+    front_lights.on()
+}
+"#;
+
+/// TP3: changes the location to different modes when the switch turns off and when
+/// motion becomes inactive (violates S.4).
+const TP3: &str = r#"
+definition(name: "TP3", category: "Mode Magic")
+preferences {
+    section("devices") {
+        input "goodbye_switch", "capability.switch", required: true
+        input "hall_motion", "capability.motionSensor", required: true
+    }
+}
+def installed() {
+    subscribe(goodbye_switch, "switch.off", switchOffHandler)
+    subscribe(hall_motion, "motion.inactive", motionStoppedHandler)
+}
+def switchOffHandler(evt) {
+    setLocationMode("away")
+}
+def motionStoppedHandler(evt) {
+    setLocationMode("home")
+}
+"#;
+
+/// TP4: sounds the alarm when the flood sensor reports *no* water (violates P.29).
+const TP4: &str = r#"
+definition(name: "TP4", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "flood_sensor", "capability.waterSensor", required: true
+        input "siren", "capability.alarm", required: true
+    }
+}
+def installed() {
+    subscribe(flood_sensor, "water.dry", dryHandler)
+    subscribe(flood_sensor, "water.wet", wetHandler)
+}
+def dryHandler(evt) {
+    siren.siren()
+}
+def wetHandler(evt) {
+    siren.off()
+}
+"#;
+
+/// TP5: starts the music player when the household enters the sleeping mode
+/// (violates P.28).
+const TP5: &str = r#"
+definition(name: "TP5", category: "Convenience")
+preferences {
+    section("devices") {
+        input "speaker", "capability.musicPlayer", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode.sleeping", sleepHandler)
+}
+def sleepHandler(evt) {
+    speaker.play()
+}
+"#;
+
+/// TP6: cycles the lights (off then on) when nobody is at home, leaving them on
+/// (violates P.12 and S.1).
+const TP6: &str = r#"
+definition(name: "TP6", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "living_lights", "capability.switch", required: true
+        input "presence", "capability.presenceSensor", required: true
+    }
+}
+def installed() {
+    subscribe(presence, "presence.not present", simulateOccupancy)
+}
+def simulateOccupancy(evt) {
+    living_lights.off()
+    living_lights.on()
+}
+"#;
+
+/// TP7: toggles the lights on and off in the same handler when the app icon is tapped
+/// (violates S.1).
+const TP7: &str = r#"
+definition(name: "TP7", category: "Convenience")
+preferences {
+    section("devices") {
+        input "party_lights", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(app, appTouch, blinkHandler)
+}
+def blinkHandler(evt) {
+    party_lights.on()
+    party_lights.off()
+}
+"#;
+
+/// TP8: unlocks the door at sunrise and locks it at sunset (violates P.1).
+const TP8: &str = r#"
+definition(name: "TP8", category: "Convenience")
+preferences {
+    section("devices") {
+        input "front_door", "capability.lock", required: true
+        input "presence", "capability.presenceSensor", title: "Only when present?", required: false
+    }
+}
+def installed() {
+    subscribe(location, "sunrise", sunriseHandler)
+    subscribe(location, "sunset", sunsetHandler)
+}
+def sunriseHandler(evt) {
+    front_door.unlock()
+}
+def sunsetHandler(evt) {
+    front_door.lock()
+}
+"#;
+
+/// TP9: locks the door twice when it closes (violates S.2).
+const TP9: &str = r#"
+definition(name: "TP9", category: "Safety & Security")
+preferences {
+    section("devices") {
+        input "front_door", "capability.lock", required: true
+        input "door_contact", "capability.contactSensor", required: true
+    }
+}
+def installed() {
+    subscribe(door_contact, "contact.closed", closedHandler)
+}
+def closedHandler(evt) {
+    front_door.lock()
+    front_door.lock()
+}
+"#;
+
+/// TP12: turns the hallway switch off when the contact closes (clean alone; conflicts
+/// inside G.1).
+const TP12: &str = r#"
+definition(name: "TP12", category: "Green Living")
+preferences {
+    section("devices") {
+        input "entrance_contact", "capability.contactSensor", required: true
+        input "hall_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(entrance_contact, "contact.closed", closedHandler)
+}
+def closedHandler(evt) {
+    hall_switch.off()
+}
+"#;
+
+/// TP19: applies the user-configured cooling setpoint on location-mode changes.
+const TP19: &str = r#"
+definition(name: "TP19", category: "Green Living")
+preferences {
+    section("devices") {
+        input "ther", "capability.thermostat", required: true
+        input "cooling_temp", "number", title: "Cooling setpoint", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    ther.setCoolingSetpoint(cooling_temp)
+}
+"#;
+
+/// TP21: disarms the security system and powers down the smoke-detector outlet when
+/// the location mode changes.
+const TP21: &str = r#"
+definition(name: "TP21", category: "Green Living")
+preferences {
+    section("devices") {
+        input "security", "capability.securitySystem", required: true
+        input "detector_outlet", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    detector_outlet.off()
+    security.disarm()
+}
+"#;
+
+/// TP22: powers up the heater and the coffee machine when the location mode changes.
+const TP22: &str = r#"
+definition(name: "TP22", category: "Convenience")
+preferences {
+    section("devices") {
+        input "heater_switch", "capability.switch", required: true
+        input "coffee_switch", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    heater_switch.on()
+    coffee_switch.on()
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sizes_match_table2() {
+        assert_eq!(official_apps().len(), 35);
+        assert_eq!(third_party_apps().len(), 30);
+    }
+
+    #[test]
+    fn every_market_app_parses_with_its_id_as_name() {
+        for app in official_apps().iter().chain(third_party_apps().iter()) {
+            let program = soteria_lang::parse(&app.source)
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", app.id));
+            assert_eq!(program.app_name(), Some(app.id.as_str()), "app {}", app.id);
+            assert!(program.inputs().iter().any(|i| i.is_device()), "{} has no devices", app.id);
+        }
+    }
+
+    #[test]
+    fn table3_apps_have_expected_ground_truth() {
+        let tps = third_party_apps();
+        let tp6 = tps.iter().find(|a| a.id == "TP6").unwrap();
+        assert_eq!(tp6.ground_truth.expected_properties(), vec!["P.12", "S.1"]);
+        let tp9 = tps.iter().find(|a| a.id == "TP9").unwrap();
+        assert_eq!(tp9.ground_truth.expected_properties(), vec!["S.2"]);
+        // Official apps are all expected to be clean.
+        assert!(official_apps().iter().all(|a| a.ground_truth.expectations.is_empty()));
+    }
+
+    #[test]
+    fn groups_reference_existing_members() {
+        let ids: Vec<String> = official_apps()
+            .iter()
+            .chain(third_party_apps().iter())
+            .map(|a| a.id.clone())
+            .collect();
+        for group in market_groups() {
+            assert!(group.members.len() >= 4);
+            for member in &group.members {
+                assert!(ids.contains(&member.to_string()), "{member} missing from corpus");
+            }
+        }
+    }
+
+    #[test]
+    fn functionality_spectrum_covers_multiple_categories() {
+        let categories: std::collections::BTreeSet<String> = official_apps()
+            .iter()
+            .chain(third_party_apps().iter())
+            .filter_map(|a| {
+                soteria_lang::parse(&a.source).ok().and_then(|p| p.category().map(String::from))
+            })
+            .collect();
+        assert!(categories.len() >= 4, "categories: {categories:?}");
+    }
+}

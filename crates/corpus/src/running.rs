@@ -1,0 +1,252 @@
+//! The paper's three running example apps (Sec. 3 and Appendix A), re-authored in the
+//! SmartApp DSL.
+
+/// The Smoke-Alarm app (Appendix A.1): sounds the alarm and opens the water valve when
+/// smoke is detected, clears both when smoke clears, and turns on a switch when the
+/// smoke-detector battery is low.
+pub const SMOKE_ALARM: &str = r#"
+definition(name: "Smoke-Alarm", category: "Safety & Security", author: "Soteria")
+
+preferences {
+    section("Select smoke detector: ") {
+        input "smoke_detector", "capability.smokeDetector", title: "Which detector?", required: true
+    }
+    section("Select switch for low battery notification: ") {
+        input "the_switch", "capability.switch", title: "Which switch?", required: true
+    }
+    section("Select alarm device: ") {
+        input "the_alarm", "capability.alarm", title: "Which alarm?", required: true
+    }
+    section("Select water valve: ") {
+        input "the_valve", "capability.valve", title: "Which valve?", required: true
+    }
+    section("Select battery settings: ") {
+        input "the_battery", "capability.battery", title: "Which battery?", required: true
+    }
+    section("Low battery warning: ") {
+        input "thrshld", "number", title: "Low Battery Threshold", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+private initialize() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+    subscribe(the_battery, "battery", batteryHandler)
+}
+
+def smokeHandler(evt) {
+    log.trace("smoke event")
+    def String theMessage
+    if (evt.value == "tested") {
+        theMessage = "smoke detector tested"
+    } else if (evt.value == "clear") {
+        theMessage = "clear of smoke"
+        the_alarm.off()
+        the_valve.close()
+    } else if (evt.value == "detected") {
+        theMessage = "smoke detected"
+        the_alarm.siren()
+        the_valve.open()
+    }
+    log.warn("$theMessage")
+}
+
+def batteryHandler(evt) {
+    def check = thrshld
+    def battLevel = findBatteryLevel()
+    if (battLevel < check) {
+        the_switch.on()
+    }
+}
+
+def findBatteryLevel() {
+    return the_battery.currentValue("battery").integerValue
+}
+"#;
+
+/// The Water-Leak-Detector app (Appendix A.2): shuts the main water valve when the
+/// moisture sensor reports a leak and notifies the user.
+pub const WATER_LEAK_DETECTOR: &str = r#"
+definition(name: "Water-Leak-Detector", category: "Safety & Security", author: "Soteria")
+
+preferences {
+    section("When there's water detected...") {
+        input "water_sensor", "capability.waterSensor", title: "Where?"
+        input "valve_device", "capability.valve", title: "Valve device"
+    }
+    section("Send a notification to...") {
+        input("recipients", "contact", title: "Recipients", description: "Send notifications to") {
+            input "phone", "phone", title: "Phone number?", required: false
+        }
+    }
+}
+
+def installed() {
+    subscribe(water_sensor, "water.wet", waterWetHandler)
+}
+
+def updated() {
+    unsubscribe()
+    subscribe(water_sensor, "water.wet", waterWetHandler)
+}
+
+def waterWetHandler(evt) {
+    def deltaSeconds = 60
+    def timeAgo = new Date(now() - (1000 * deltaSeconds))
+    def recentEvents = water_sensor.eventsSince(timeAgo)
+    valve_device.close()
+    def alreadySentSms = recentEvents.count { it.value == "wet" } > 1
+    if (alreadySentSms) {
+        log.debug("SMS already sent")
+    } else {
+        def msg = "water sensor is wet"
+        if (location.contactBookEnabled) {
+            sendNotificationToContacts(msg, recipients)
+        } else {
+            sendPush(msg)
+            if (phone) {
+                sendSms(phone, msg)
+            }
+        }
+    }
+}
+"#;
+
+/// The Thermostat-Energy-Control app (Appendix A.3): locks the door and sets the
+/// heating setpoint on mode changes, and switches the heater outlet off/on around the
+/// configured energy-consumption thresholds.
+pub const THERMOSTAT_ENERGY_CONTROL: &str = r#"
+definition(name: "Thermostat-Energy-Control", category: "Green Living", author: "Soteria")
+
+preferences {
+    section("Control") {
+        input "ther", "capability.thermostat", title: "Thermostat", required: true
+    }
+    section("Select the door lock:") {
+        input "the_lock", "capability.lock", required: true
+    }
+    section("Select the thermostat energy meter to monitor:") {
+        input "power_meter", "capability.powerMeter", title: "Energy Meters", required: true
+        input "price_kwh", "number", title: "threshold value for energy usage", required: true
+    }
+    section("Select the heater outlet switch:") {
+        input "the_switch", "capability.switch", title: "Outlets", required: true
+    }
+    section("Notifications") {
+        input("recipients", "contact", title: "Send notifications to", required: false) {
+            input "phoneNumber", "phone", title: "Warn with text message (optional)", required: false
+        }
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    unschedule()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode", modeChangeHandler)
+    subscribe(power_meter, "power", powerHandler)
+}
+
+def modeChangeHandler(evt) {
+    def temp = 68
+    setTemp(temp)
+    the_lock.lock()
+}
+
+def setTemp(t) {
+    ther.setHeatingSetpoint(t)
+    def msg = "heating point set, door is locked"
+    send(msg)
+}
+
+def powerHandler(evt) {
+    def above_thrshld_val = 50
+    def below_thrshld_val = 5
+    power_val = get_power()
+    if (power_val > above_thrshld_val) {
+        def msg = "energy usage above threshold"
+        the_switch.off()
+        send(msg)
+    }
+    if (power_val < below_thrshld_val) {
+        def msg = "energy usage below threshold"
+        the_switch.on()
+        send(msg)
+    }
+}
+
+def get_power() {
+    latest_power = power_meter.currentValue("power")
+    return latest_power
+}
+
+def send(msg) {
+    if (location.contactBookEnabled) {
+        if (recipients) {
+            sendNotificationToContacts(msg, recipients)
+        }
+    }
+    if (phoneNumber) {
+        sendSms(phoneNumber, msg)
+    }
+}
+"#;
+
+/// A deliberately buggy variant of the Smoke-Alarm used in Sec. 3's motivating
+/// example: the alarm is silenced again right after it sounds.
+pub const BUGGY_SMOKE_ALARM: &str = r#"
+definition(name: "Buggy-Smoke-Alarm", category: "Safety & Security")
+
+preferences {
+    section("devices") {
+        input "smoke_detector", "capability.smokeDetector", required: true
+        input "the_alarm", "capability.alarm", required: true
+    }
+}
+
+def installed() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        the_alarm.siren()
+        the_alarm.off()
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_examples_parse() {
+        for src in [SMOKE_ALARM, WATER_LEAK_DETECTOR, THERMOSTAT_ENERGY_CONTROL, BUGGY_SMOKE_ALARM] {
+            let program = soteria_lang::parse(src).expect("running example parses");
+            assert!(program.app_name().is_some());
+            assert!(program.methods().count() >= 1);
+        }
+    }
+
+    #[test]
+    fn smoke_alarm_declares_six_inputs() {
+        let program = soteria_lang::parse(SMOKE_ALARM).unwrap();
+        assert_eq!(program.inputs().len(), 6);
+    }
+}

@@ -1,0 +1,255 @@
+//! Construction of the full app IR from parsed source (Sec. 4.1).
+
+use crate::callgraph::CallGraph;
+use crate::cfg::Icfg;
+use crate::permission::{classify_inputs, Permission, UserInput};
+use crate::subscription::{extract_subscriptions, Subscription};
+use soteria_capability::CapabilityRegistry;
+use soteria_lang::{ParseError, Program};
+use std::collections::BTreeMap;
+
+/// The intermediate representation of one IoT app: permissions, events/actions, and
+/// per-entry-point call graphs (Fig. 4 of the paper), plus the retained AST that the
+/// state-model extraction analyses.
+#[derive(Debug, Clone)]
+pub struct AppIr {
+    /// App name from the `definition` block (or a caller-supplied fallback).
+    pub name: String,
+    /// App category from the `definition` block (used for the Table 2 functionality
+    /// spectrum statistic).
+    pub category: Option<String>,
+    /// Non-blank source line count (Table 2 LOC statistic).
+    pub lines_of_code: usize,
+    /// Device permissions.
+    pub permissions: Vec<Permission>,
+    /// User-defined inputs.
+    pub user_inputs: Vec<UserInput>,
+    /// Event subscriptions (the events/actions block).
+    pub subscriptions: Vec<Subscription>,
+    /// Call graph per entry point, keyed by handler name.
+    pub call_graphs: BTreeMap<String, CallGraph>,
+    /// Statement-level CFGs for every method.
+    pub icfg: Icfg,
+    /// The parsed program, used by the downstream analyses.
+    pub program: Program,
+    /// True if any entry point may reach a call by reflection.
+    pub uses_reflection: bool,
+}
+
+impl AppIr {
+    /// Builds the IR of an app from source code.
+    pub fn from_source(
+        name_fallback: &str,
+        source: &str,
+        registry: &CapabilityRegistry,
+    ) -> Result<Self, ParseError> {
+        let program = soteria_lang::parse(source)?;
+        Ok(Self::from_program(name_fallback, source, program, registry))
+    }
+
+    /// Builds the IR of an app from an already parsed program.
+    pub fn from_program(
+        name_fallback: &str,
+        source: &str,
+        program: Program,
+        registry: &CapabilityRegistry,
+    ) -> Self {
+        let inputs = program.inputs();
+        let (permissions, user_inputs) = classify_inputs(&inputs);
+        let subscriptions = extract_subscriptions(&program, &permissions, registry);
+        let mut call_graphs = BTreeMap::new();
+        let mut uses_reflection = false;
+        for sub in &subscriptions {
+            let graph = call_graphs
+                .entry(sub.handler.clone())
+                .or_insert_with(|| CallGraph::build(&program, &sub.handler));
+            uses_reflection |= graph.uses_reflection;
+        }
+        let icfg = Icfg::build(&program);
+        AppIr {
+            name: program.app_name().unwrap_or(name_fallback).to_string(),
+            category: program.category().map(|s| s.to_string()),
+            lines_of_code: Program::line_count(source),
+            permissions,
+            user_inputs,
+            subscriptions,
+            call_graphs,
+            icfg,
+            program,
+            uses_reflection,
+        }
+    }
+
+    /// The distinct entry-point handler names, in subscription order.
+    pub fn entry_points(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for sub in &self.subscriptions {
+            if !seen.contains(&sub.handler.as_str()) {
+                seen.push(sub.handler.as_str());
+            }
+        }
+        seen
+    }
+
+    /// All subscriptions whose handler is `handler`.
+    pub fn subscriptions_of(&self, handler: &str) -> Vec<&Subscription> {
+        self.subscriptions.iter().filter(|s| s.handler == handler).collect()
+    }
+
+    /// Looks up the capability granted to a device handle.
+    pub fn capability_of(&self, handle: &str) -> Option<&str> {
+        self.permissions
+            .iter()
+            .find(|p| p.handle == handle)
+            .map(|p| p.capability.as_str())
+    }
+
+    /// The distinct capabilities the app uses (Table 2 "unique devices").
+    pub fn capabilities(&self) -> Vec<&str> {
+        let mut caps: Vec<&str> = self.permissions.iter().map(|p| p.capability.as_str()).collect();
+        caps.sort_unstable();
+        caps.dedup();
+        caps
+    }
+
+    /// True if the app declares a device of every listed capability; used to decide
+    /// which app-specific properties apply ("we check the app against a property if all
+    /// of the devices in the property are included in the app", Sec. 4.3).
+    pub fn has_capabilities(&self, required: &[&str]) -> bool {
+        required.iter().all(|r| {
+            self.permissions.iter().any(|p| &p.capability == r)
+                || (*r == "location" && self.subscribes_to_mode())
+                || (*r == "location" && self.changes_mode())
+        })
+    }
+
+    /// True if the app subscribes to location-mode change events.
+    pub fn subscribes_to_mode(&self) -> bool {
+        self.subscriptions
+            .iter()
+            .any(|s| matches!(s.event.kind, soteria_capability::EventKind::Mode { .. }))
+    }
+
+    /// True if any method calls `setLocationMode` (the app changes the mode itself).
+    pub fn changes_mode(&self) -> bool {
+        let mut found = false;
+        for m in self.program.methods() {
+            for stmt in &m.body.stmts {
+                stmt.walk_exprs(&mut |e| {
+                    if let soteria_lang::Expr::MethodCall { method, .. } = e {
+                        if method == "setLocationMode" {
+                            found = true;
+                        }
+                    }
+                });
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THERMOSTAT_ENERGY: &str = r#"
+        definition(name: "Thermostat-Energy-Control", category: "Green Living")
+        preferences {
+            section("Control") {
+                input "ther", "capability.thermostat", title: "Thermostat", required: true
+            }
+            section("Select the door lock:") {
+                input "the_lock", "capability.lock", required: true
+            }
+            section("Select the thermostat energy meter to monitor:") {
+                input "power_meter", "capability.powerMeter", title: "Energy Meters", required: true
+                input "price_kwh", "number", title: "threshold value for energy usage", required: true
+            }
+            section("Select the heater outlet switch:") {
+                input "the_switch", "capability.switch", title: "Outlets", required: true
+            }
+        }
+        def installed() { initialize() }
+        def updated() {
+            unsubscribe()
+            initialize()
+        }
+        def initialize() {
+            subscribe(location, "mode", modeChangeHandler)
+            subscribe(power_meter, "power", powerHandler)
+        }
+        def modeChangeHandler(evt) {
+            def temp = 68
+            setTemp(temp)
+            the_lock.lock()
+        }
+        def setTemp(t) {
+            ther.setHeatingSetpoint(t)
+        }
+        def powerHandler(evt) {
+            def above_thrshld_val = 50
+            def below_thrshld_val = 5
+            power_val = get_power()
+            if (power_val > above_thrshld_val) {
+                the_switch.off()
+            }
+            if (power_val < below_thrshld_val) {
+                the_switch.on()
+            }
+        }
+        def get_power() {
+            latest_power = power_meter.currentValue("power")
+            return latest_power
+        }
+    "#;
+
+    #[test]
+    fn builds_thermostat_energy_control_ir() {
+        let reg = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("fallback", THERMOSTAT_ENERGY, &reg).unwrap();
+        assert_eq!(ir.name, "Thermostat-Energy-Control");
+        assert_eq!(ir.category.as_deref(), Some("Green Living"));
+        assert_eq!(ir.permissions.len(), 4);
+        assert_eq!(ir.user_inputs.len(), 1);
+        assert_eq!(ir.subscriptions.len(), 2);
+        assert_eq!(ir.entry_points().len(), 2);
+        assert!(ir.capability_of("ther") == Some("thermostat"));
+        assert!(ir.capabilities().contains(&"powerMeter"));
+        assert!(!ir.uses_reflection);
+        assert!(ir.lines_of_code > 30);
+    }
+
+    #[test]
+    fn call_graph_per_entry_point() {
+        let reg = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("x", THERMOSTAT_ENERGY, &reg).unwrap();
+        let mode_graph = &ir.call_graphs["modeChangeHandler"];
+        assert!(mode_graph.may_call("modeChangeHandler", "setTemp"));
+        let power_graph = &ir.call_graphs["powerHandler"];
+        assert!(power_graph.may_call("powerHandler", "get_power"));
+        assert!(!power_graph.reachable().contains("setTemp"));
+    }
+
+    #[test]
+    fn capability_applicability_check() {
+        let reg = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("x", THERMOSTAT_ENERGY, &reg).unwrap();
+        assert!(ir.has_capabilities(&["thermostat", "lock"]));
+        assert!(ir.has_capabilities(&["location"])); // subscribes to mode events
+        assert!(!ir.has_capabilities(&["waterSensor"]));
+    }
+
+    #[test]
+    fn fallback_name_used_when_definition_missing() {
+        let reg = CapabilityRegistry::standard();
+        let ir = AppIr::from_source(
+            "NoName",
+            "def installed() { }\n def h(evt) { }",
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(ir.name, "NoName");
+        assert!(ir.subscriptions.is_empty());
+        assert!(ir.entry_points().is_empty());
+    }
+}

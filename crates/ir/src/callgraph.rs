@@ -1,0 +1,196 @@
+//! Per-entry-point call graphs (Sec. 4.1, "Call Graphs").
+//!
+//! Soteria creates a separate call graph for each entry point (event handler). Direct
+//! calls are resolved by name; calls by reflection (`"$name"()`) are over-approximated
+//! by adding every method of the app as a possible target (Sec. 4.2.3).
+
+use soteria_lang::{Expr, MethodDef, Program, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Call graph rooted at one entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraph {
+    /// The entry-point method the graph is rooted at.
+    pub root: String,
+    /// Direct call edges `caller -> callees` (only app-defined methods).
+    pub edges: BTreeMap<String, BTreeSet<String>>,
+    /// Methods containing at least one reflective call site.
+    pub reflective_callers: BTreeSet<String>,
+    /// True if any reachable method performs a call by reflection.
+    pub uses_reflection: bool,
+}
+
+impl CallGraph {
+    /// Builds the call graph reachable from `root`.
+    pub fn build(program: &Program, root: &str) -> Self {
+        let method_names: BTreeSet<String> =
+            program.methods().map(|m| m.name.clone()).collect();
+        let mut graph = CallGraph {
+            root: root.to_string(),
+            edges: BTreeMap::new(),
+            reflective_callers: BTreeSet::new(),
+            uses_reflection: false,
+        };
+        let mut worklist = vec![root.to_string()];
+        let mut visited = BTreeSet::new();
+        while let Some(name) = worklist.pop() {
+            if !visited.insert(name.clone()) {
+                continue;
+            }
+            let Some(method) = program.method(&name) else { continue };
+            let (callees, reflective) = Self::callees_of(method, &method_names);
+            if reflective {
+                graph.uses_reflection = true;
+                graph.reflective_callers.insert(name.clone());
+            }
+            let resolved: BTreeSet<String> = if reflective {
+                // Over-approximation: a reflective call may target any method.
+                method_names
+                    .iter()
+                    .filter(|m| *m != &name)
+                    .cloned()
+                    .chain(callees.iter().cloned())
+                    .collect()
+            } else {
+                callees
+            };
+            for callee in &resolved {
+                worklist.push(callee.clone());
+            }
+            graph.edges.insert(name, resolved);
+        }
+        graph
+    }
+
+    /// Direct (and reflective) callees of one method, restricted to app-defined methods.
+    fn callees_of(method: &MethodDef, method_names: &BTreeSet<String>) -> (BTreeSet<String>, bool) {
+        let mut callees = BTreeSet::new();
+        let mut reflective = false;
+        for stmt in &method.body.stmts {
+            stmt.walk_exprs(&mut |e| match e {
+                Expr::MethodCall { object: None, method: callee, .. } => {
+                    if method_names.contains(callee) {
+                        callees.insert(callee.clone());
+                    }
+                }
+                Expr::DynamicCall { .. } => {
+                    reflective = true;
+                }
+                _ => {}
+            });
+        }
+        (callees, reflective)
+    }
+
+    /// All methods reachable from the root (including the root itself).
+    pub fn reachable(&self) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = self.edges.keys().cloned().collect();
+        out.insert(self.root.clone());
+        for callees in self.edges.values() {
+            out.extend(callees.iter().cloned());
+        }
+        out
+    }
+
+    /// Number of call edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    /// True if `caller` may invoke `callee`.
+    pub fn may_call(&self, caller: &str, callee: &str) -> bool {
+        self.edges.get(caller).is_some_and(|s| s.contains(callee))
+    }
+}
+
+/// Walks a statement tree and collects every statement in pre-order, which callers use
+/// to count CFG nodes and to enumerate call sites.
+pub fn flatten_stmts<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a Stmt>) {
+    for stmt in stmts {
+        out.push(stmt);
+        if let Stmt::If { then_block, else_block, .. } = stmt {
+            flatten_stmts(&then_block.stmts, out);
+            if let Some(b) = else_block {
+                flatten_stmts(&b.stmts, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: &str = r#"
+        def h1(evt) {
+            if (evt.value == "detected") {
+                p()
+            }
+        }
+        def h2(evt) {
+            def level = p()
+        }
+        def p() {
+            return the_battery.currentValue("battery")
+        }
+        def unreachable() {
+            q()
+        }
+        def q() { }
+    "#;
+
+    #[test]
+    fn builds_per_entry_point_graphs() {
+        let prog = soteria_lang::parse(APP).unwrap();
+        let g1 = CallGraph::build(&prog, "h1");
+        assert!(g1.may_call("h1", "p"));
+        assert!(!g1.may_call("h1", "q"));
+        assert!(g1.reachable().contains("p"));
+        assert!(!g1.reachable().contains("unreachable"));
+        assert!(!g1.uses_reflection);
+
+        let g2 = CallGraph::build(&prog, "h2");
+        assert!(g2.may_call("h2", "p"));
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn reflection_over_approximates_to_all_methods() {
+        let src = r#"
+            def handler(evt) {
+                getMethod()
+            }
+            def getMethod() {
+                "$name"()
+            }
+            def foo() { alarm.off() }
+            def bar() { alarm.siren() }
+        "#;
+        let prog = soteria_lang::parse(src).unwrap();
+        let g = CallGraph::build(&prog, "handler");
+        assert!(g.uses_reflection);
+        assert!(g.reflective_callers.contains("getMethod"));
+        // The reflective call site may target every method in the app.
+        assert!(g.may_call("getMethod", "foo"));
+        assert!(g.may_call("getMethod", "bar"));
+        assert!(g.may_call("getMethod", "handler"));
+        assert!(g.reachable().contains("foo"));
+    }
+
+    #[test]
+    fn flatten_counts_nested_statements() {
+        let prog = soteria_lang::parse(APP).unwrap();
+        let m = prog.method("h1").unwrap();
+        let mut flat = Vec::new();
+        flatten_stmts(&m.body.stmts, &mut flat);
+        assert_eq!(flat.len(), 2); // if + call inside then-branch
+    }
+
+    #[test]
+    fn missing_root_produces_empty_graph() {
+        let prog = soteria_lang::parse(APP).unwrap();
+        let g = CallGraph::build(&prog, "doesNotExist");
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.reachable().contains("doesNotExist"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Intermediate representation (IR) of IoT apps (Sec. 4.1 of the paper).
+//!
+//! The IR models the app lifecycle with three component types (Fig. 4):
+//!
+//! 1. **Permissions** — the devices and user inputs granted to the app, extracted from
+//!    the `preferences` block ([`Permission`], [`UserInput`]).
+//! 2. **Events/Actions** — the association between subscribed events and the entry
+//!    points (event-handler methods) they invoke ([`Subscription`]).
+//! 3. **Call graphs** — one call graph per entry point, with calls by reflection
+//!    over-approximated to every method of the app ([`CallGraph`]).
+//!
+//! [`AppIr`] bundles the three together with per-method control-flow graphs
+//! ([`Icfg`]) and the retained AST for the downstream state-model extraction.
+
+pub mod builder;
+pub mod callgraph;
+pub mod cfg;
+pub mod permission;
+pub mod printer;
+pub mod subscription;
+
+pub use builder::AppIr;
+pub use callgraph::CallGraph;
+pub use cfg::{Cfg, CfgNode, Icfg, NodeId};
+pub use permission::{classify_inputs, Permission, UserInput, UserInputKind};
+pub use printer::render_ir;
+pub use subscription::{extract_subscriptions, Subscription};

@@ -1,0 +1,174 @@
+//! Permissions and user inputs extracted from the `preferences` block.
+
+use soteria_lang::{Expr, InputDecl, Position};
+use std::fmt;
+
+/// A device permission: the app was granted access to a device with a given
+/// capability under a handle name (Sec. 4.1, "Permissions").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permission {
+    /// The handle the app uses to refer to the device (e.g. `the_switch`).
+    pub handle: String,
+    /// The granted capability (e.g. `switch`, `smokeDetector`).
+    pub capability: String,
+    /// Whether the permission is declared `required: true`.
+    pub required: bool,
+    /// Source position of the `input` declaration.
+    pub position: Position,
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input ({}, {}, type:device)", self.handle, self.capability)
+    }
+}
+
+/// The declared type of a non-device user input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserInputKind {
+    /// `number` / `decimal` numeric input.
+    Number,
+    /// `text` / `phone` / `contact` free-form input.
+    Text,
+    /// `time` of day input.
+    Time,
+    /// `bool` toggle.
+    Bool,
+    /// `enum` selection.
+    Enum,
+    /// `mode` (location mode) selection.
+    Mode,
+}
+
+impl UserInputKind {
+    /// Maps a SmartThings input type string to a kind.
+    pub fn from_type(ty: &str) -> Self {
+        match ty {
+            "number" | "decimal" => UserInputKind::Number,
+            "time" => UserInputKind::Time,
+            "bool" | "boolean" => UserInputKind::Bool,
+            "enum" => UserInputKind::Enum,
+            "mode" => UserInputKind::Mode,
+            _ => UserInputKind::Text,
+        }
+    }
+
+    /// Short tag used in the textual IR (the paper prints `type:user_defined`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            UserInputKind::Number => "number",
+            UserInputKind::Text => "text",
+            UserInputKind::Time => "time",
+            UserInputKind::Bool => "bool",
+            UserInputKind::Enum => "enum",
+            UserInputKind::Mode => "mode",
+        }
+    }
+}
+
+/// A user-defined input (installation-time configuration value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserInput {
+    /// Variable name the app reads the input through.
+    pub handle: String,
+    /// Declared input kind.
+    pub kind: UserInputKind,
+    /// `defaultValue:` literal, if declared.
+    pub default: Option<Expr>,
+    /// Source position of the declaration.
+    pub position: Position,
+}
+
+impl fmt::Display for UserInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input ({}, {}, type:user_defined)", self.handle, self.kind.tag())
+    }
+}
+
+/// Splits the app's `input` declarations into device permissions and user inputs.
+pub fn classify_inputs(inputs: &[&InputDecl]) -> (Vec<Permission>, Vec<UserInput>) {
+    let mut permissions = Vec::new();
+    let mut user_inputs = Vec::new();
+    for decl in inputs {
+        if let Some(capability) = decl.capability() {
+            let required = decl
+                .named
+                .iter()
+                .find(|a| a.name == "required")
+                .map(|a| matches!(a.value, Expr::Bool(true)))
+                .unwrap_or(false);
+            permissions.push(Permission {
+                handle: decl.handle.clone(),
+                capability: capability.to_string(),
+                required,
+                position: decl.position,
+            });
+        } else {
+            user_inputs.push(UserInput {
+                handle: decl.handle.clone(),
+                kind: UserInputKind::from_type(&decl.kind),
+                default: decl.default_value().cloned(),
+                position: decl.position,
+            });
+        }
+    }
+    (permissions, user_inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_devices_and_user_inputs() {
+        let src = r#"
+            preferences {
+                section("devices") {
+                    input "the_switch", "capability.switch", required: true
+                    input "power_meter", "capability.powerMeter"
+                    input "thrshld", "number", title: "Threshold", defaultValue: 50
+                    input "wake", "time"
+                }
+            }
+        "#;
+        let prog = soteria_lang::parse(src).unwrap();
+        let inputs = prog.inputs();
+        let (perms, users) = classify_inputs(&inputs);
+        assert_eq!(perms.len(), 2);
+        assert_eq!(perms[0].handle, "the_switch");
+        assert_eq!(perms[0].capability, "switch");
+        assert!(perms[0].required);
+        assert!(!perms[1].required);
+        assert_eq!(users.len(), 2);
+        assert_eq!(users[0].kind, UserInputKind::Number);
+        assert_eq!(users[0].default.as_ref().and_then(|e| e.as_number()), Some(50));
+        assert_eq!(users[1].kind, UserInputKind::Time);
+    }
+
+    #[test]
+    fn display_matches_paper_ir_syntax() {
+        let p = Permission {
+            handle: "smoke_detector".into(),
+            capability: "smokeDetector".into(),
+            required: true,
+            position: Position::default(),
+        };
+        assert_eq!(p.to_string(), "input (smoke_detector, smokeDetector, type:device)");
+        let u = UserInput {
+            handle: "thrshld".into(),
+            kind: UserInputKind::Number,
+            default: None,
+            position: Position::default(),
+        };
+        assert_eq!(u.to_string(), "input (thrshld, number, type:user_defined)");
+    }
+
+    #[test]
+    fn input_kind_mapping() {
+        assert_eq!(UserInputKind::from_type("number"), UserInputKind::Number);
+        assert_eq!(UserInputKind::from_type("decimal"), UserInputKind::Number);
+        assert_eq!(UserInputKind::from_type("phone"), UserInputKind::Text);
+        assert_eq!(UserInputKind::from_type("mode"), UserInputKind::Mode);
+        assert_eq!(UserInputKind::from_type("enum"), UserInputKind::Enum);
+    }
+}

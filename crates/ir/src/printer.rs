@@ -1,0 +1,96 @@
+//! Textual IR printer matching the layout of the paper's Fig. 5: a permissions block,
+//! an events/actions block, and one dummy-`main` entry point per subscribed handler.
+
+use crate::builder::AppIr;
+use std::fmt::Write as _;
+
+/// Renders the IR of an app in the paper's textual format.
+pub fn render_ir(ir: &AppIr) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// IR of the {} app", ir.name);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "// Permissions block");
+    for p in &ir.permissions {
+        let _ = writeln!(out, "{p}");
+    }
+    for u in &ir.user_inputs {
+        let _ = writeln!(out, "{u}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "// Events/Actions block");
+    for s in &ir.subscriptions {
+        let _ = writeln!(out, "{s}");
+    }
+    let _ = writeln!(out);
+    for handler in ir.entry_points() {
+        let _ = writeln!(out, "// Entry point");
+        let _ = writeln!(out, "{handler}()");
+        if let Some(graph) = ir.call_graphs.get(handler) {
+            let mut callees: Vec<&String> = graph
+                .edges
+                .get(handler)
+                .map(|s| s.iter().collect())
+                .unwrap_or_default();
+            callees.sort();
+            if !callees.is_empty() {
+                let names: Vec<&str> = callees.iter().map(|s| s.as_str()).collect();
+                let _ = writeln!(out, "  // calls: {}", names.join(", "));
+            }
+            if graph.uses_reflection {
+                let _ = writeln!(out, "  // call by reflection: all methods are possible targets");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_capability::CapabilityRegistry;
+
+    #[test]
+    fn rendered_ir_contains_paper_blocks() {
+        let src = r#"
+            definition(name: "Water-Leak-Detector")
+            preferences {
+                section("When there's water detected...") {
+                    input "water_sensor", "capability.waterSensor", title: "Where?"
+                    input "valve_device", "capability.valve", title: "Valve device"
+                }
+            }
+            def installed() {
+                subscribe(water_sensor, "water.wet", waterWetHandler)
+            }
+            def waterWetHandler(evt) {
+                valve_device.close()
+            }
+        "#;
+        let reg = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("x", src, &reg).unwrap();
+        let text = render_ir(&ir);
+        assert!(text.contains("// Permissions block"));
+        assert!(text.contains("input (water_sensor, waterSensor, type:device)"));
+        assert!(text.contains("input (valve_device, valve, type:device)"));
+        assert!(text.contains("// Events/Actions block"));
+        assert!(text.contains("subscribe(water_sensor, \"water.wet\", waterWetHandler)"));
+        assert!(text.contains("// Entry point"));
+        assert!(text.contains("waterWetHandler()"));
+    }
+
+    #[test]
+    fn reflection_is_noted_in_entry_point() {
+        let src = r#"
+            definition(name: "Reflective")
+            preferences { section("d") { input "the_alarm", "capability.alarm" } }
+            def installed() { subscribe(the_alarm, "alarm", h) }
+            def h(evt) { "$name"() }
+            def foo() { the_alarm.off() }
+        "#;
+        let reg = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("x", src, &reg).unwrap();
+        let text = render_ir(&ir);
+        assert!(text.contains("call by reflection"));
+    }
+}

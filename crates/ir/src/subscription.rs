@@ -1,0 +1,315 @@
+//! Event/action block extraction: which events the app subscribes to and which
+//! handler methods they invoke (Sec. 4.1, "Events/Actions").
+
+use crate::permission::Permission;
+use soteria_capability::{CapabilityRegistry, Event, EventKind};
+use soteria_lang::{Expr, Position, Program, Stmt};
+use std::fmt;
+
+/// A single event subscription: when `event` fires, `handler` runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscription {
+    /// The subscribed event.
+    pub event: Event,
+    /// The entry-point method invoked when the event fires.
+    pub handler: String,
+    /// Source position of the `subscribe`/schedule call.
+    pub position: Position,
+}
+
+impl fmt::Display for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subscribe({}, \"{}\", {})", self.event.handle, self.event.kind, self.handler)
+    }
+}
+
+/// Names of the SmartThings scheduling interfaces that create timer events.
+const TIMER_METHODS: &[(&str, &str)] = &[
+    ("runIn", "in N seconds"),
+    ("runOnce", "once at time"),
+    ("runEvery1Minute", "every 1 minute"),
+    ("runEvery5Minutes", "every 5 minutes"),
+    ("runEvery10Minutes", "every 10 minutes"),
+    ("runEvery15Minutes", "every 15 minutes"),
+    ("runEvery30Minutes", "every 30 minutes"),
+    ("runEvery1Hour", "every 1 hour"),
+    ("runEvery3Hours", "every 3 hours"),
+    ("schedule", "cron schedule"),
+];
+
+/// Extracts every subscription of the program.
+///
+/// The extractor scans all methods (a safe over-approximation of the lifecycle methods
+/// `installed`/`updated`/`initialize`) for `subscribe(...)`, timer-scheduling calls and
+/// sunrise/sunset subscriptions, and resolves the subscribed device handle against the
+/// permissions block.
+pub fn extract_subscriptions(
+    program: &Program,
+    permissions: &[Permission],
+    registry: &CapabilityRegistry,
+) -> Vec<Subscription> {
+    let mut subs = Vec::new();
+    for method in program.methods() {
+        collect_from_stmts(&method.body.stmts, permissions, registry, &mut subs);
+    }
+    // De-duplicate identical subscriptions coming from both installed() and updated().
+    subs.sort_by(|a, b| (&a.event, &a.handler).cmp(&(&b.event, &b.handler)));
+    subs.dedup_by(|a, b| a.event == b.event && a.handler == b.handler);
+    subs
+}
+
+fn collect_from_stmts(
+    stmts: &[Stmt],
+    permissions: &[Permission],
+    registry: &CapabilityRegistry,
+    out: &mut Vec<Subscription>,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::If { then_block, else_block, .. } => {
+                collect_from_stmts(&then_block.stmts, permissions, registry, out);
+                if let Some(e) = else_block {
+                    collect_from_stmts(&e.stmts, permissions, registry, out);
+                }
+            }
+            Stmt::Expr { expr, position } => {
+                collect_from_expr(expr, *position, permissions, registry, out);
+            }
+            Stmt::LocalDef { init: Some(expr), position, .. }
+            | Stmt::Assign { value: expr, position, .. } => {
+                collect_from_expr(expr, *position, permissions, registry, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_from_expr(
+    expr: &Expr,
+    position: Position,
+    permissions: &[Permission],
+    registry: &CapabilityRegistry,
+    out: &mut Vec<Subscription>,
+) {
+    let Expr::MethodCall { object: None, method, args, .. } = expr else {
+        return;
+    };
+    if method == "subscribe" && args.len() >= 3 {
+        let handle = args[0].value.as_ident().unwrap_or("").to_string();
+        let spec = event_spec_string(&args[1].value);
+        let handler = handler_name(&args[2].value);
+        if let (Some(spec), Some(handler)) = (spec, handler) {
+            if let Some(event) = resolve_event(&handle, &spec, permissions, registry) {
+                out.push(Subscription { event, handler, position });
+            }
+        }
+        return;
+    }
+    if let Some((_, desc)) = TIMER_METHODS.iter().find(|(m, _)| m == method) {
+        // The handler is the last identifier-valued argument
+        // (`runIn(60, handler)`, `schedule("0 0 * * ?", handler)`).
+        if let Some(handler) = args.iter().rev().find_map(|a| handler_name(&a.value)) {
+            out.push(Subscription {
+                event: Event::new("timer", EventKind::Timer { schedule: desc.to_string() }),
+                handler,
+                position,
+            });
+        }
+    }
+}
+
+/// Extracts the subscribed event specification string (second `subscribe` argument).
+fn event_spec_string(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Str(s) => Some(s.clone()),
+        // `subscribe(app, appTouch, handler)` uses a bare identifier.
+        Expr::Ident(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Extracts the handler method name (third `subscribe` argument), which may be a bare
+/// identifier or a string.
+fn handler_name(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Ident(s) | Expr::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Resolves `(handle, "attr[.value]")` against the permissions and the capability
+/// registry into an [`Event`].
+fn resolve_event(
+    handle: &str,
+    spec: &str,
+    permissions: &[Permission],
+    registry: &CapabilityRegistry,
+) -> Option<Event> {
+    // Abstract event sources first.
+    if handle == "location" {
+        if spec == "mode" {
+            return Some(Event::new("location", EventKind::Mode { value: None }));
+        }
+        if let Some(mode) = spec.strip_prefix("mode.") {
+            return Some(Event::new(
+                "location",
+                EventKind::Mode { value: Some(mode.to_string()) },
+            ));
+        }
+        if spec == "sunrise" || spec == "sunset" || spec == "sunriseTime" || spec == "sunsetTime" {
+            return Some(Event::new(
+                "timer",
+                EventKind::Timer { schedule: spec.to_string() },
+            ));
+        }
+        // `subscribe(location, "position", ...)` and other location attributes are
+        // treated as mode-like abstract events.
+        return Some(Event::new("location", EventKind::Mode { value: None }));
+    }
+    if handle == "app" || spec == "appTouch" || spec == "touch" {
+        return Some(Event::new("app", EventKind::AppTouch));
+    }
+
+    let permission = permissions.iter().find(|p| p.handle == handle)?;
+    let (attribute, value) = match spec.split_once('.') {
+        Some((a, v)) => (a.to_string(), Some(v.to_string())),
+        None => (spec.to_string(), None),
+    };
+    // Validate the attribute against the registry when the capability is known; fall
+    // back to the raw attribute name otherwise so unknown devices still produce events.
+    let attribute = match registry.capability(&permission.capability) {
+        Some(cap) => {
+            if cap.attribute(&attribute).is_some() {
+                attribute
+            } else if let Some(primary) = cap.primary_attribute() {
+                // Apps occasionally subscribe with the capability name
+                // (e.g. `subscribe(theThermostat, "thermostat", h)`).
+                primary.name.clone()
+            } else {
+                attribute
+            }
+        }
+        None => attribute,
+    };
+    Some(Event::new(
+        handle,
+        EventKind::Device {
+            capability: permission.capability.clone(),
+            attribute,
+            value: value.map(|v| v.to_string()),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permission::classify_inputs;
+
+    fn setup(src: &str) -> Vec<Subscription> {
+        let prog = soteria_lang::parse(src).unwrap();
+        let inputs = prog.inputs();
+        let (perms, _) = classify_inputs(&inputs);
+        extract_subscriptions(&prog, &perms, &CapabilityRegistry::standard())
+    }
+
+    #[test]
+    fn extracts_device_event_with_value() {
+        let subs = setup(
+            r#"
+            preferences { section("x") { input "water_sensor", "capability.waterSensor" } }
+            def installed() { subscribe(water_sensor, "water.wet", h) }
+            def h(evt) { }
+        "#,
+        );
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].handler, "h");
+        assert_eq!(
+            subs[0].event.kind,
+            EventKind::device("waterSensor", "water", Some("wet"))
+        );
+    }
+
+    #[test]
+    fn extracts_attribute_only_subscription() {
+        let subs = setup(
+            r#"
+            preferences { section("x") { input "smoke_detector", "capability.smokeDetector" } }
+            def installed() { subscribe(smoke_detector, "smoke", smokeHandler) }
+            def smokeHandler(evt) { }
+        "#,
+        );
+        assert_eq!(subs[0].event.kind, EventKind::device("smokeDetector", "smoke", None));
+    }
+
+    #[test]
+    fn duplicate_subscriptions_from_installed_and_updated_are_merged() {
+        let subs = setup(
+            r#"
+            preferences { section("x") { input "m", "capability.motionSensor" } }
+            def installed() {
+                initialize()
+                subscribe(m, "motion.active", h)
+            }
+            def updated() {
+                unsubscribe()
+                subscribe(m, "motion.active", h)
+            }
+            def h(evt) { }
+        "#,
+        );
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn mode_and_app_touch_and_timer_events() {
+        let subs = setup(
+            r#"
+            preferences { section("x") { input "sw", "capability.switch" } }
+            def installed() {
+                subscribe(location, "mode", modeHandler)
+                subscribe(app, appTouch, touchHandler)
+                runIn(60, timerHandler)
+                subscribe(location, "sunset", sunsetHandler)
+            }
+            def modeHandler(evt) { }
+            def touchHandler(evt) { }
+            def timerHandler() { }
+            def sunsetHandler() { }
+        "#,
+        );
+        assert_eq!(subs.len(), 4);
+        assert!(subs.iter().any(|s| matches!(s.event.kind, EventKind::Mode { .. })));
+        assert!(subs.iter().any(|s| s.event.kind == EventKind::AppTouch));
+        assert!(subs
+            .iter()
+            .any(|s| matches!(&s.event.kind, EventKind::Timer { schedule } if schedule == "in N seconds")));
+        assert!(subs
+            .iter()
+            .any(|s| matches!(&s.event.kind, EventKind::Timer { schedule } if schedule == "sunset")));
+    }
+
+    #[test]
+    fn unknown_handle_is_skipped() {
+        let subs = setup(
+            r#"
+            preferences { section("x") { input "sw", "capability.switch" } }
+            def installed() { subscribe(ghost_device, "switch.on", h) }
+            def h(evt) { }
+        "#,
+        );
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn display_form() {
+        let subs = setup(
+            r#"
+            preferences { section("x") { input "sw", "capability.switch" } }
+            def installed() { subscribe(sw, "switch.on", onHandler) }
+            def onHandler(evt) { }
+        "#,
+        );
+        assert_eq!(subs[0].to_string(), "subscribe(sw, \"switch.on\", onHandler)");
+    }
+}

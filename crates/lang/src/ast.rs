@@ -1,0 +1,645 @@
+//! Abstract syntax tree of the SmartApp DSL.
+//!
+//! The AST mirrors the Groovy constructs SmartThings apps use and the paper's analyses
+//! depend on: `definition` metadata, `preferences`/`section`/`input` permission
+//! declarations, event subscriptions, event-handler methods, conditionals, local
+//! definitions, device method calls, `state` object field accesses, closures (for
+//! `httpGet`-style callbacks), and GString-based reflective calls.
+
+use crate::error::Position;
+use std::fmt;
+
+/// A parsed SmartApp program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// All method definitions in the program.
+    pub fn methods(&self) -> impl Iterator<Item = &MethodDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Method(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&MethodDef> {
+        self.methods().find(|m| m.name == name)
+    }
+
+    /// The `definition(...)` metadata arguments, if present.
+    pub fn definition(&self) -> Option<&[NamedArg]> {
+        self.items.iter().find_map(|i| match i {
+            Item::Definition(args) => Some(args.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// The app name from the `definition` block, if declared.
+    pub fn app_name(&self) -> Option<&str> {
+        self.definition()?.iter().find(|a| a.name == "name").and_then(|a| a.value.as_str())
+    }
+
+    /// The app category from the `definition` block, if declared.
+    pub fn category(&self) -> Option<&str> {
+        self.definition()?
+            .iter()
+            .find(|a| a.name == "category")
+            .and_then(|a| a.value.as_str())
+    }
+
+    /// All `input` declarations across every `preferences` section.
+    pub fn inputs(&self) -> Vec<&InputDecl> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Preferences(sections) => Some(sections),
+                _ => None,
+            })
+            .flatten()
+            .flat_map(|s| s.inputs.iter())
+            .collect()
+    }
+
+    /// Number of non-blank source lines, used for the Table 2 LOC statistics.
+    pub fn line_count(source: &str) -> usize {
+        source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `definition(name: "...", category: "...", ...)` app metadata.
+    Definition(Vec<NamedArg>),
+    /// `preferences { section(...) { input ... } }` permission declarations.
+    Preferences(Vec<Section>),
+    /// A method definition (`def name(params) { ... }`).
+    Method(MethodDef),
+}
+
+/// A named argument such as `title: "Which?"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedArg {
+    /// Argument name.
+    pub name: String,
+    /// Argument value.
+    pub value: Expr,
+}
+
+/// A `section("title") { input ... }` block inside `preferences`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section title, if given.
+    pub title: Option<String>,
+    /// The `input` declarations of the section.
+    pub inputs: Vec<InputDecl>,
+}
+
+/// An `input` declaration: a device permission or a user-defined input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputDecl {
+    /// The handle (identifier) the rest of the app uses to refer to the device/input.
+    pub handle: String,
+    /// The declared kind: `capability.<name>` for devices, otherwise a value type such
+    /// as `number`, `text`, `time`, `phone`, `contact`, `enum`, `mode`, `bool`.
+    pub kind: String,
+    /// Remaining named arguments (`title:`, `required:`, `defaultValue:` ...).
+    pub named: Vec<NamedArg>,
+    /// Source position of the declaration.
+    pub position: Position,
+}
+
+impl InputDecl {
+    /// True if the declaration grants a device capability.
+    pub fn is_device(&self) -> bool {
+        self.kind.starts_with("capability.")
+    }
+
+    /// The capability name for device inputs (e.g. `"switch"`).
+    pub fn capability(&self) -> Option<&str> {
+        self.kind.strip_prefix("capability.")
+    }
+
+    /// The `defaultValue:` named argument, if any.
+    pub fn default_value(&self) -> Option<&Expr> {
+        self.named.iter().find(|a| a.name == "defaultValue").map(|a| &a.value)
+    }
+}
+
+/// A method definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Method body.
+    pub body: Block,
+    /// Whether the method was declared `private`.
+    pub is_private: bool,
+    /// Source position of the definition.
+    pub position: Position,
+}
+
+/// A `{ ... }` statement block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `def name = expr` or `def String name = expr` local definition.
+    LocalDef {
+        /// Variable name.
+        name: String,
+        /// Initialiser, if any.
+        init: Option<Expr>,
+        /// Source position.
+        position: Position,
+    },
+    /// Assignment to an identifier, `state.field`, or object property.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Assigned value.
+        value: Expr,
+        /// Source position.
+        position: Position,
+    },
+    /// `if (cond) { ... } [else ...]`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then-branch.
+        then_block: Block,
+        /// Else-branch (possibly another `if` wrapped in a block).
+        else_block: Option<Block>,
+        /// Source position.
+        position: Position,
+    },
+    /// `return [expr]`.
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source position.
+        position: Position,
+    },
+    /// An expression evaluated for its effect (calls such as `the_switch.on()`).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source position.
+        position: Position,
+    },
+}
+
+impl Stmt {
+    /// The source position of the statement.
+    pub fn position(&self) -> Position {
+        match self {
+            Stmt::LocalDef { position, .. }
+            | Stmt::Assign { position, .. }
+            | Stmt::If { position, .. }
+            | Stmt::Return { position, .. }
+            | Stmt::Expr { position, .. } => *position,
+        }
+    }
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A plain identifier.
+    Ident(String),
+    /// A field of the persistent `state` / `atomicState` object.
+    StateField(String),
+    /// A property of an arbitrary object expression.
+    Property {
+        /// The object expression.
+        object: Box<Expr>,
+        /// Property name.
+        name: String,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// True for `==`, `!=`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// The negated comparison (`<` becomes `>=`, `==` becomes `!=`, ...).
+    pub fn negate_comparison(&self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Eq => BinOp::NotEq,
+            BinOp::NotEq => BinOp::Eq,
+            BinOp::Lt => BinOp::Ge,
+            BinOp::Le => BinOp::Gt,
+            BinOp::Gt => BinOp::Le,
+            BinOp::Ge => BinOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "==",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A closure literal (`{ resp -> ... }` or `{ it.value == "wet" }`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Closure {
+    /// Declared parameter names (empty means the implicit `it`).
+    pub params: Vec<String>,
+    /// Closure body.
+    pub body: Block,
+}
+
+/// One positional or named call argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// Argument name for named arguments (`title: "..."`).
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: Expr,
+}
+
+impl Arg {
+    /// A positional argument.
+    pub fn positional(value: Expr) -> Self {
+        Arg { name: None, value }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Number(i64),
+    /// Plain string literal.
+    Str(String),
+    /// Interpolated string. `interpolations` holds the raw source of each embedded
+    /// expression; `"$name"()` reflection uses a GString with one interpolation.
+    GString {
+        /// Literal text with interpolations removed.
+        text: String,
+        /// Raw interpolation sources in order.
+        interpolations: Vec<String>,
+    },
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Identifier reference.
+    Ident(String),
+    /// Property access (`evt.value`, `state.counter`, `resp.data`).
+    Property {
+        /// Object expression.
+        object: Box<Expr>,
+        /// Property name.
+        name: String,
+    },
+    /// Method call, with optional receiver and optional trailing closure.
+    MethodCall {
+        /// Receiver (`None` for bare calls like `subscribe(...)`).
+        object: Option<Box<Expr>>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Trailing closure argument, if any.
+        closure: Option<Box<Closure>>,
+    },
+    /// Reflective call through a GString: `"$name"(args)`.
+    DynamicCall {
+        /// The GString naming the target method.
+        name: Box<Expr>,
+        /// Arguments.
+        args: Vec<Arg>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Elvis operator `a ?: b`.
+    Elvis {
+        /// Value expression.
+        value: Box<Expr>,
+        /// Default when the value is null/false.
+        default: Box<Expr>,
+    },
+    /// Ternary conditional `c ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-value.
+        then: Box<Expr>,
+        /// Else-value.
+        els: Box<Expr>,
+    },
+    /// Index access `a[b]`.
+    Index {
+        /// Indexed object.
+        object: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// List literal `[a, b, c]`.
+    List(Vec<Expr>),
+    /// Standalone closure literal.
+    Closure(Box<Closure>),
+    /// Object construction `new Date(...)`.
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Arg>,
+    },
+}
+
+impl Expr {
+    /// Returns the string payload for plain string literals.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Expr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric payload for number literals.
+    pub fn as_number(&self) -> Option<i64> {
+        match self {
+            Expr::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the identifier name if the expression is a bare identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the expression is a `state`/`atomicState` field access, returning the
+    /// field name.
+    pub fn as_state_field(&self) -> Option<&str> {
+        match self {
+            Expr::Property { object, name } => match object.as_ref() {
+                Expr::Ident(o) if o == "state" || o == "atomicState" => Some(name),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Walks the expression tree, calling `f` on every node (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Property { object, .. } => object.walk(f),
+            Expr::MethodCall { object, args, closure, .. } => {
+                if let Some(o) = object {
+                    o.walk(f);
+                }
+                for a in args {
+                    a.value.walk(f);
+                }
+                if let Some(c) = closure {
+                    for s in &c.body.stmts {
+                        s.walk_exprs(f);
+                    }
+                }
+            }
+            Expr::DynamicCall { name, args } => {
+                name.walk(f);
+                for a in args {
+                    a.value.walk(f);
+                }
+            }
+            Expr::Unary { operand, .. } => operand.walk(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Elvis { value, default } => {
+                value.walk(f);
+                default.walk(f);
+            }
+            Expr::Ternary { cond, then, els } => {
+                cond.walk(f);
+                then.walk(f);
+                els.walk(f);
+            }
+            Expr::Index { object, index } => {
+                object.walk(f);
+                index.walk(f);
+            }
+            Expr::List(items) => {
+                for i in items {
+                    i.walk(f);
+                }
+            }
+            Expr::Closure(c) => {
+                for s in &c.body.stmts {
+                    s.walk_exprs(f);
+                }
+            }
+            Expr::New { args, .. } => {
+                for a in args {
+                    a.value.walk(f);
+                }
+            }
+            Expr::Number(_)
+            | Expr::Str(_)
+            | Expr::GString { .. }
+            | Expr::Bool(_)
+            | Expr::Null
+            | Expr::Ident(_) => {}
+        }
+    }
+}
+
+impl Stmt {
+    /// Walks every expression contained in the statement (including nested blocks).
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match self {
+            Stmt::LocalDef { init, .. } => {
+                if let Some(e) = init {
+                    e.walk(f);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                if let LValue::Property { object, .. } = target {
+                    object.walk(f);
+                }
+                value.walk(f);
+            }
+            Stmt::If { cond, then_block, else_block, .. } => {
+                cond.walk(f);
+                for s in &then_block.stmts {
+                    s.walk_exprs(f);
+                }
+                if let Some(b) = else_block {
+                    for s in &b.stmts {
+                        s.walk_exprs(f);
+                    }
+                }
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    e.walk(f);
+                }
+            }
+            Stmt::Expr { expr, .. } => expr.walk(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_decl_device_detection() {
+        let dev = InputDecl {
+            handle: "the_switch".into(),
+            kind: "capability.switch".into(),
+            named: vec![],
+            position: Position::default(),
+        };
+        assert!(dev.is_device());
+        assert_eq!(dev.capability(), Some("switch"));
+
+        let user = InputDecl {
+            handle: "thrshld".into(),
+            kind: "number".into(),
+            named: vec![],
+            position: Position::default(),
+        };
+        assert!(!user.is_device());
+        assert_eq!(user.capability(), None);
+    }
+
+    #[test]
+    fn state_field_recognition() {
+        let e = Expr::Property {
+            object: Box::new(Expr::Ident("state".into())),
+            name: "counter".into(),
+        };
+        assert_eq!(e.as_state_field(), Some("counter"));
+
+        let e2 = Expr::Property {
+            object: Box::new(Expr::Ident("evt".into())),
+            name: "value".into(),
+        };
+        assert_eq!(e2.as_state_field(), None);
+    }
+
+    #[test]
+    fn binop_negation() {
+        assert_eq!(BinOp::Lt.negate_comparison(), Some(BinOp::Ge));
+        assert_eq!(BinOp::Eq.negate_comparison(), Some(BinOp::NotEq));
+        assert_eq!(BinOp::Add.negate_comparison(), None);
+        assert!(BinOp::Ge.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+    }
+
+    #[test]
+    fn walk_visits_nested_expressions() {
+        let e = Expr::Binary {
+            op: BinOp::Gt,
+            lhs: Box::new(Expr::Ident("power".into())),
+            rhs: Box::new(Expr::Number(50)),
+        };
+        let mut idents = Vec::new();
+        e.walk(&mut |x| {
+            if let Expr::Ident(n) = x {
+                idents.push(n.clone());
+            }
+        });
+        assert_eq!(idents, vec!["power".to_string()]);
+    }
+
+    #[test]
+    fn line_count_skips_blank_lines() {
+        assert_eq!(Program::line_count("a\n\n  \nb\nc"), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Lexer and parser errors with source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl Position {
+    /// Builds a position.
+    pub fn new(line: u32, column: u32) -> Self {
+        Position { line, column }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced while lexing or parsing SmartApp source code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Position of the offending token or character.
+    pub position: Position,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Builds an error at a position.
+    pub fn new(position: Position, message: impl Into<String>) -> Self {
+        ParseError { position, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias used throughout the crate.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::new(Position::new(3, 7), "unexpected token `}`");
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected token `}`");
+    }
+
+    #[test]
+    fn positions_are_ordered() {
+        assert!(Position::new(1, 9) < Position::new(2, 1));
+        assert!(Position::new(2, 1) < Position::new(2, 5));
+    }
+}

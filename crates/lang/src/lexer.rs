@@ -1,0 +1,492 @@
+//! Hand-written lexer for the SmartApp DSL.
+//!
+//! The lexer understands the Groovy surface syntax that SmartThings apps use:
+//! line and block comments, single- and double-quoted strings, GString interpolation
+//! (`"hello ${evt.value}"` and `"$name"`), integers and decimal literals, and the
+//! operator set the corpus exercises.
+
+use crate::error::{ParseError, ParseResult, Position};
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over a source string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, column: 1 }
+    }
+
+    /// Lexes the entire input into a token vector terminated by [`TokenKind::Eof`].
+    pub fn tokenize(source: &str) -> ParseResult<Vec<Token>> {
+        let mut lexer = Lexer::new(source);
+        let mut tokens = Vec::new();
+        loop {
+            let tok = lexer.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            tokens.push(tok);
+            if eof {
+                break;
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn position(&self) -> Position {
+        Position::new(self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.position();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: Position) -> ParseResult<Token> {
+        let mut value: i64 = 0;
+        let mut saw_digit = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                saw_digit = true;
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add((c - b'0') as i64))
+                    .ok_or_else(|| ParseError::new(start, "integer literal overflows i64"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Truncate a decimal fraction if present (e.g. `0.5` lexes as 0).
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if !saw_digit {
+            return Err(ParseError::new(start, "expected digit"));
+        }
+        Ok(Token::new(TokenKind::Number(value), start))
+    }
+
+    fn lex_ident(&mut self, start: Position) -> Token {
+        let begin = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[begin..self.pos]).unwrap_or("").to_string();
+        Token::new(TokenKind::Ident(text), start)
+    }
+
+    /// Lexes a single- or double-quoted string. Double-quoted strings may contain
+    /// `${expr}` or `$ident` interpolations (GStrings); single-quoted strings are plain.
+    fn lex_string(&mut self, quote: u8, start: Position) -> ParseResult<Token> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        let mut interpolations: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError::new(start, "unterminated string literal")),
+                Some(c) if c == quote => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.bump() {
+                        Some(b'n') => text.push('\n'),
+                        Some(b't') => text.push('\t'),
+                        Some(c) => text.push(c as char),
+                        None => return Err(ParseError::new(start, "unterminated escape")),
+                    }
+                }
+                Some(b'$') if quote == b'"' => {
+                    self.bump();
+                    if self.peek() == Some(b'{') {
+                        self.bump();
+                        let mut raw = String::new();
+                        let mut depth = 1usize;
+                        loop {
+                            match self.bump() {
+                                Some(b'{') => {
+                                    depth += 1;
+                                    raw.push('{');
+                                }
+                                Some(b'}') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                    raw.push('}');
+                                }
+                                Some(c) => raw.push(c as char),
+                                None => {
+                                    return Err(ParseError::new(
+                                        start,
+                                        "unterminated ${...} interpolation",
+                                    ))
+                                }
+                            }
+                        }
+                        interpolations.push(raw.trim().to_string());
+                    } else {
+                        // `$ident` or `$ident.prop` interpolation.
+                        let mut raw = String::new();
+                        while let Some(c) = self.peek() {
+                            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                                raw.push(c as char);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        if raw.is_empty() {
+                            text.push('$');
+                        } else {
+                            interpolations.push(raw);
+                        }
+                    }
+                }
+                Some(c) => {
+                    text.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+        if interpolations.is_empty() {
+            Ok(Token::new(TokenKind::Str(text), start))
+        } else {
+            Ok(Token::new(TokenKind::GString { text, interpolations }, start))
+        }
+    }
+
+    /// Produces the next token.
+    pub fn next_token(&mut self) -> ParseResult<Token> {
+        self.skip_trivia()?;
+        let start = self.position();
+        let Some(c) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, start));
+        };
+        match c {
+            b'0'..=b'9' => self.lex_number(start),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(self.lex_ident(start)),
+            b'"' | b'\'' => self.lex_string(c, start),
+            b'(' => {
+                self.bump();
+                Ok(Token::new(TokenKind::LParen, start))
+            }
+            b')' => {
+                self.bump();
+                Ok(Token::new(TokenKind::RParen, start))
+            }
+            b'{' => {
+                self.bump();
+                Ok(Token::new(TokenKind::LBrace, start))
+            }
+            b'}' => {
+                self.bump();
+                Ok(Token::new(TokenKind::RBrace, start))
+            }
+            b'[' => {
+                self.bump();
+                Ok(Token::new(TokenKind::LBracket, start))
+            }
+            b']' => {
+                self.bump();
+                Ok(Token::new(TokenKind::RBracket, start))
+            }
+            b',' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Comma, start))
+            }
+            b':' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Colon, start))
+            }
+            b';' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Semicolon, start))
+            }
+            b'.' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Dot, start))
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::Arrow, start))
+                } else {
+                    Ok(Token::new(TokenKind::Minus, start))
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::Eq, start))
+                } else {
+                    Ok(Token::new(TokenKind::Assign, start))
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::NotEq, start))
+                } else {
+                    Ok(Token::new(TokenKind::Not, start))
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::Le, start))
+                } else {
+                    Ok(Token::new(TokenKind::Lt, start))
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::Ge, start))
+                } else {
+                    Ok(Token::new(TokenKind::Gt, start))
+                }
+            }
+            b'+' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Plus, start))
+            }
+            b'*' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Star, start))
+            }
+            b'/' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Slash, start))
+            }
+            b'%' => {
+                self.bump();
+                Ok(Token::new(TokenKind::Percent, start))
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::AndAnd, start))
+                } else {
+                    Err(ParseError::new(start, "expected `&&`"))
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::OrOr, start))
+                } else {
+                    Err(ParseError::new(start, "expected `||`"))
+                }
+            }
+            b'?' => {
+                self.bump();
+                match self.peek() {
+                    Some(b':') => {
+                        self.bump();
+                        Ok(Token::new(TokenKind::Elvis, start))
+                    }
+                    Some(b'.') => {
+                        self.bump();
+                        Ok(Token::new(TokenKind::SafeDot, start))
+                    }
+                    _ => Ok(Token::new(TokenKind::Question, start)),
+                }
+            }
+            other => Err(ParseError::new(
+                start,
+                format!("unexpected character `{}`", other as char),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_subscribe_call() {
+        let toks = kinds(r#"subscribe(smoke_detector, "smoke", smokeHandler)"#);
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("subscribe".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("smoke_detector".into()),
+                TokenKind::Comma,
+                TokenKind::Str("smoke".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("smokeHandler".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let toks = kinds("// header\n/* multi\nline */ def x = 1");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("def".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Number(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn gstring_interpolation_is_captured() {
+        let toks = kinds(r#"log.debug("battery is ${evt.value} percent for $dev")"#);
+        let gstring = toks
+            .iter()
+            .find_map(|t| match t {
+                TokenKind::GString { interpolations, .. } => Some(interpolations.clone()),
+                _ => None,
+            })
+            .expect("expected a GString token");
+        assert_eq!(gstring, vec!["evt.value".to_string(), "dev".to_string()]);
+    }
+
+    #[test]
+    fn reflection_gstring_single_interpolation() {
+        let toks = kinds(r#""$name"()"#);
+        assert!(matches!(
+            &toks[0],
+            TokenKind::GString { interpolations, .. } if interpolations == &vec!["name".to_string()]
+        ));
+        assert_eq!(toks[1], TokenKind::LParen);
+    }
+
+    #[test]
+    fn operators_and_elvis() {
+        let toks = kinds("a >= 5 && b != c ?: 10 ?. x -> y");
+        assert!(toks.contains(&TokenKind::Ge));
+        assert!(toks.contains(&TokenKind::AndAnd));
+        assert!(toks.contains(&TokenKind::NotEq));
+        assert!(toks.contains(&TokenKind::Elvis));
+        assert!(toks.contains(&TokenKind::SafeDot));
+        assert!(toks.contains(&TokenKind::Arrow));
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = Lexer::tokenize("def a\ndef b").unwrap();
+        assert_eq!(toks[0].position, Position::new(1, 1));
+        assert_eq!(toks[2].position, Position::new(2, 1));
+        assert_eq!(toks[3].position, Position::new(2, 5));
+    }
+
+    #[test]
+    fn decimal_literal_truncates() {
+        assert_eq!(kinds("0.5")[0], TokenKind::Number(0));
+        assert_eq!(kinds("42.9")[0], TokenKind::Number(42));
+    }
+
+    #[test]
+    fn single_quoted_strings_are_plain() {
+        let toks = kinds("'energy'");
+        assert_eq!(toks[0], TokenKind::Str("energy".into()));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        let err = Lexer::tokenize("\"abc").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn error_on_unexpected_character() {
+        let err = Lexer::tokenize("def @x").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.position.line, 1);
+    }
+
+    #[test]
+    fn escape_sequences() {
+        let toks = kinds(r#""a\nb\tc\"d""#);
+        assert_eq!(toks[0], TokenKind::Str("a\nb\tc\"d".into()));
+    }
+}

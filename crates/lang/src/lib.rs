@@ -1,0 +1,48 @@
+//! SmartApp DSL front end for the Soteria reproduction.
+//!
+//! The original Soteria hooks into the Groovy compiler and walks its AST. Groovy
+//! tooling is not available here, so this crate provides a from-scratch front end for a
+//! Groovy-subset *SmartApp DSL* that covers the language constructs the paper's
+//! analyses exercise: `definition` metadata, `preferences`/`section`/`input` permission
+//! blocks, event subscriptions, event-handler methods, conditionals, device action
+//! calls, persistent `state` object fields, closures, and GString-based reflective
+//! calls.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//!     definition(name: "Water-Leak-Detector", category: "Safety & Security")
+//!     preferences {
+//!         section("When there's water detected...") {
+//!             input "water_sensor", "capability.waterSensor", title: "Where?"
+//!             input "valve_device", "capability.valve", title: "Valve device"
+//!         }
+//!     }
+//!     def installed() {
+//!         subscribe(water_sensor, "water.wet", waterWetHandler)
+//!     }
+//!     def waterWetHandler(evt) {
+//!         valve_device.close()
+//!     }
+//! "#;
+//! let program = soteria_lang::parse(source).expect("parses");
+//! assert_eq!(program.app_name(), Some("Water-Leak-Detector"));
+//! assert_eq!(program.inputs().len(), 2);
+//! assert!(program.method("waterWetHandler").is_some());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    Arg, BinOp, Block, Closure, Expr, InputDecl, Item, LValue, MethodDef, NamedArg, Program,
+    Section, Stmt, UnaryOp,
+};
+pub use error::{ParseError, ParseResult, Position};
+pub use lexer::Lexer;
+pub use parser::parse;
+pub use token::{Token, TokenKind};

@@ -1,0 +1,1057 @@
+//! Recursive-descent parser for the SmartApp DSL.
+//!
+//! The grammar covers the Groovy subset SmartThings apps are written in: the
+//! `definition` metadata call, `preferences`/`section`/`input` permission blocks,
+//! method definitions, conditionals, local definitions, assignments (including to
+//! `state` fields), method calls with named arguments and trailing closures, GString
+//! reflection calls, elvis/ternary operators, and list literals.
+
+use crate::ast::{
+    Arg, BinOp, Block, Closure, Expr, InputDecl, Item, LValue, MethodDef, NamedArg, Program,
+    Section, Stmt, UnaryOp,
+};
+use crate::error::{ParseError, ParseResult, Position};
+use crate::lexer::Lexer;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete SmartApp program.
+pub fn parse(source: &str) -> ParseResult<Program> {
+    let tokens = Lexer::tokenize(source)?;
+    Parser::new(tokens).parse_program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        &self.tokens[(self.pos + offset).min(self.tokens.len() - 1)].kind
+    }
+
+    fn position(&self) -> Position {
+        self.peek().position
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> ParseResult<Token> {
+        if self.check(kind) {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::new(
+                self.position(),
+                format!("expected `{}`, found `{}`", kind, self.peek_kind()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> ParseResult<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(ParseError::new(
+                self.position(),
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    fn check_word(&self, word: &str) -> bool {
+        self.peek_kind().is_ident(word)
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.check_word(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---------------------------------------------------------------- top level
+
+    fn parse_program(&mut self) -> ParseResult<Program> {
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            // Tolerate stray semicolons between items.
+            if self.eat(&TokenKind::Semicolon) {
+                continue;
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn parse_item(&mut self) -> ParseResult<Item> {
+        if self.check_word("definition") {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let args = self.parse_named_args_until_rparen()?;
+            return Ok(Item::Definition(args));
+        }
+        if self.check_word("preferences") {
+            self.bump();
+            return Ok(Item::Preferences(self.parse_preferences()?));
+        }
+        if self.check_word("def") || self.check_word("private") {
+            return Ok(Item::Method(self.parse_method()?));
+        }
+        Err(ParseError::new(
+            self.position(),
+            format!(
+                "expected `definition`, `preferences`, or a method definition, found `{}`",
+                self.peek_kind()
+            ),
+        ))
+    }
+
+    fn parse_named_args_until_rparen(&mut self) -> ParseResult<Vec<NamedArg>> {
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            // `name: value` pairs; ignore purely positional metadata values.
+            if matches!(self.peek_kind(), TokenKind::Ident(_))
+                && self.peek_at(1) == &TokenKind::Colon
+            {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let value = self.parse_expr()?;
+                args.push(NamedArg { name, value });
+            } else {
+                let _ = self.parse_expr()?;
+            }
+            if self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(&TokenKind::RParen)?;
+            break;
+        }
+        Ok(args)
+    }
+
+    // ------------------------------------------------------------- preferences
+
+    fn parse_preferences(&mut self) -> ParseResult<Vec<Section>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut sections = Vec::new();
+        let mut bare_inputs = Vec::new();
+        while !self.check(&TokenKind::RBrace) && !self.at_eof() {
+            if self.check_word("section") {
+                sections.push(self.parse_section()?);
+            } else if self.check_word("input") {
+                bare_inputs.push(self.parse_input_decl()?);
+            } else if self.check_word("page") {
+                // `page(name: "...") { section ... }` dynamic pages: parse the inner
+                // sections as if they were top level.
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    self.parse_named_args_until_rparen()?;
+                }
+                self.expect(&TokenKind::LBrace)?;
+                while !self.check(&TokenKind::RBrace) && !self.at_eof() {
+                    if self.check_word("section") {
+                        sections.push(self.parse_section()?);
+                    } else if self.check_word("input") {
+                        bare_inputs.push(self.parse_input_decl()?);
+                    } else {
+                        return Err(ParseError::new(
+                            self.position(),
+                            "expected `section` or `input` inside page block",
+                        ));
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+            } else {
+                return Err(ParseError::new(
+                    self.position(),
+                    format!("expected `section` or `input`, found `{}`", self.peek_kind()),
+                ));
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        if !bare_inputs.is_empty() {
+            sections.push(Section { title: None, inputs: bare_inputs });
+        }
+        Ok(sections)
+    }
+
+    fn parse_section(&mut self) -> ParseResult<Section> {
+        self.bump(); // `section`
+        let mut title = None;
+        if self.eat(&TokenKind::LParen) {
+            if !self.check(&TokenKind::RParen) {
+                loop {
+                    if matches!(self.peek_kind(), TokenKind::Ident(_))
+                        && self.peek_at(1) == &TokenKind::Colon
+                    {
+                        self.expect_ident()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let _ = self.parse_expr()?;
+                    } else {
+                        let e = self.parse_expr()?;
+                        if title.is_none() {
+                            title = e.as_str().map(|s| s.to_string());
+                        }
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut inputs = Vec::new();
+        while !self.check(&TokenKind::RBrace) && !self.at_eof() {
+            if self.check_word("input") {
+                inputs.push(self.parse_input_decl()?);
+            } else if self.check_word("paragraph") || self.check_word("href") || self.check_word("label") {
+                // Cosmetic preference elements: skip the keyword and its arguments.
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    self.skip_until_matching_rparen()?;
+                } else {
+                    // Paren-less form: consume comma-separated expressions.
+                    let _ = self.parse_expr()?;
+                    while self.eat(&TokenKind::Comma) {
+                        if matches!(self.peek_kind(), TokenKind::Ident(_))
+                            && self.peek_at(1) == &TokenKind::Colon
+                        {
+                            self.expect_ident()?;
+                            self.expect(&TokenKind::Colon)?;
+                        }
+                        let _ = self.parse_expr()?;
+                    }
+                }
+            } else {
+                return Err(ParseError::new(
+                    self.position(),
+                    format!("expected `input` inside section, found `{}`", self.peek_kind()),
+                ));
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Section { title, inputs })
+    }
+
+    fn skip_until_matching_rparen(&mut self) -> ParseResult<()> {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek_kind() {
+                TokenKind::LParen => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RParen => {
+                    depth -= 1;
+                    self.bump();
+                }
+                TokenKind::Eof => {
+                    return Err(ParseError::new(self.position(), "unbalanced parentheses"))
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses an `input` declaration, in either the paren-less form
+    /// (`input "name", "capability.switch", title: "..."`) or the parenthesised form
+    /// possibly followed by a nested-input closure.
+    fn parse_input_decl(&mut self) -> ParseResult<InputDecl> {
+        let position = self.position();
+        self.bump(); // `input`
+        let parenthesised = self.eat(&TokenKind::LParen);
+
+        let mut positional: Vec<Expr> = Vec::new();
+        let mut named: Vec<NamedArg> = Vec::new();
+        loop {
+            if matches!(self.peek_kind(), TokenKind::Ident(_))
+                && self.peek_at(1) == &TokenKind::Colon
+            {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let value = self.parse_expr()?;
+                named.push(NamedArg { name, value });
+            } else {
+                positional.push(self.parse_expr()?);
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        if parenthesised {
+            self.expect(&TokenKind::RParen)?;
+            // Optional nested-input closure: the inner declarations are additional
+            // permissions; parse and discard their grouping but keep nothing here —
+            // callers obtain them by flattening (the SmartThings contact-book pattern).
+            if self.check(&TokenKind::LBrace) {
+                self.bump();
+                while !self.check(&TokenKind::RBrace) && !self.at_eof() {
+                    if self.check_word("input") {
+                        // Nested inputs are rare (contact-book fallback); record them by
+                        // appending to the named args so IR construction can see them.
+                        let nested = self.parse_input_decl()?;
+                        named.push(NamedArg {
+                            name: format!("__nested_{}", nested.handle),
+                            value: Expr::Str(nested.kind.clone()),
+                        });
+                    } else {
+                        self.bump();
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+            }
+        }
+
+        let handle = positional
+            .first()
+            .and_then(|e| e.as_str())
+            .ok_or_else(|| ParseError::new(position, "input declaration requires a name string"))?
+            .to_string();
+        let kind = positional
+            .get(1)
+            .and_then(|e| e.as_str())
+            .unwrap_or("text")
+            .to_string();
+        Ok(InputDecl { handle, kind, named, position })
+    }
+
+    // ----------------------------------------------------------------- methods
+
+    fn parse_method(&mut self) -> ParseResult<MethodDef> {
+        let position = self.position();
+        let is_private = self.eat_word("private");
+        self.eat_word("def"); // `private initialize()` omits `def`
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        while !self.check(&TokenKind::RParen) {
+            params.push(self.expect_ident()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let body = self.parse_block()?;
+        Ok(MethodDef { name, params, body, is_private, position })
+    }
+
+    fn parse_block(&mut self) -> ParseResult<Block> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) && !self.at_eof() {
+            if self.eat(&TokenKind::Semicolon) {
+                continue;
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    // -------------------------------------------------------------- statements
+
+    fn parse_stmt(&mut self) -> ParseResult<Stmt> {
+        let position = self.position();
+        if self.check_word("if") {
+            return self.parse_if();
+        }
+        if self.check_word("return") {
+            self.bump();
+            // A `return` at the end of a block or before `}` carries no value.
+            let value = if self.check(&TokenKind::RBrace) || self.check(&TokenKind::Semicolon) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.eat(&TokenKind::Semicolon);
+            return Ok(Stmt::Return { value, position });
+        }
+        if self.check_word("def") {
+            self.bump();
+            let mut name = self.expect_ident()?;
+            // `def String msg` / `def Integer x`: the first identifier was a type.
+            if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+                name = self.expect_ident()?;
+            }
+            let init = if self.eat(&TokenKind::Assign) { Some(self.parse_expr()?) } else { None };
+            self.eat(&TokenKind::Semicolon);
+            return Ok(Stmt::LocalDef { name, init, position });
+        }
+
+        // Expression or assignment statement.
+        let expr = self.parse_expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let target = Self::expr_to_lvalue(&expr).ok_or_else(|| {
+                ParseError::new(position, "left-hand side of assignment is not assignable")
+            })?;
+            let value = self.parse_expr()?;
+            self.eat(&TokenKind::Semicolon);
+            return Ok(Stmt::Assign { target, value, position });
+        }
+        self.eat(&TokenKind::Semicolon);
+        Ok(Stmt::Expr { expr, position })
+    }
+
+    fn expr_to_lvalue(expr: &Expr) -> Option<LValue> {
+        match expr {
+            Expr::Ident(name) => Some(LValue::Ident(name.clone())),
+            Expr::Property { object, name } => {
+                if let Expr::Ident(o) = object.as_ref() {
+                    if o == "state" || o == "atomicState" {
+                        return Some(LValue::StateField(name.clone()));
+                    }
+                }
+                Some(LValue::Property { object: object.clone(), name: name.clone() })
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_if(&mut self) -> ParseResult<Stmt> {
+        let position = self.position();
+        self.bump(); // `if`
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_block = if self.check(&TokenKind::LBrace) {
+            self.parse_block()?
+        } else {
+            Block { stmts: vec![self.parse_stmt()?] }
+        };
+        let else_block = if self.eat_word("else") {
+            if self.check_word("if") {
+                Some(Block { stmts: vec![self.parse_if()?] })
+            } else if self.check(&TokenKind::LBrace) {
+                Some(self.parse_block()?)
+            } else {
+                Some(Block { stmts: vec![self.parse_stmt()?] })
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_block, else_block, position })
+    }
+
+    // ------------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> ParseResult<Expr> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> ParseResult<Expr> {
+        let cond = self.parse_or()?;
+        if self.eat(&TokenKind::Elvis) {
+            let default = self.parse_ternary()?;
+            return Ok(Expr::Elvis { value: Box::new(cond), default: Box::new(default) });
+        }
+        if self.eat(&TokenKind::Question) {
+            let then = self.parse_ternary()?;
+            self.expect(&TokenKind::Colon)?;
+            let els = self.parse_ternary()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn parse_or(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.parse_equality()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = if self.eat(&TokenKind::Eq) {
+                BinOp::Eq
+            } else if self.eat(&TokenKind::NotEq) {
+                BinOp::NotEq
+            } else {
+                break;
+            };
+            let rhs = self.parse_relational()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_relational(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = if self.eat(&TokenKind::Lt) {
+                BinOp::Lt
+            } else if self.eat(&TokenKind::Le) {
+                BinOp::Le
+            } else if self.eat(&TokenKind::Gt) {
+                BinOp::Gt
+            } else if self.eat(&TokenKind::Ge) {
+                BinOp::Ge
+            } else {
+                break;
+            };
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinOp::Mul
+            } else if self.eat(&TokenKind::Slash) {
+                BinOp::Div
+            } else if self.eat(&TokenKind::Percent) {
+                BinOp::Rem
+            } else {
+                break;
+            };
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> ParseResult<Expr> {
+        if self.eat(&TokenKind::Not) {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+        }
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(operand) });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> ParseResult<Expr> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.check(&TokenKind::Dot) || self.check(&TokenKind::SafeDot) {
+                self.bump();
+                let name = self.expect_ident()?;
+                if self.check(&TokenKind::LParen) {
+                    self.bump();
+                    let args = self.parse_call_args()?;
+                    let closure = self.parse_optional_trailing_closure()?;
+                    expr = Expr::MethodCall {
+                        object: Some(Box::new(expr)),
+                        method: name,
+                        args,
+                        closure: closure.map(Box::new),
+                    };
+                } else if self.check(&TokenKind::LBrace) && Self::looks_like_closure(self) {
+                    // Method call with only a trailing closure: `list.count { ... }`.
+                    let closure = self.parse_closure()?;
+                    expr = Expr::MethodCall {
+                        object: Some(Box::new(expr)),
+                        method: name,
+                        args: Vec::new(),
+                        closure: Some(Box::new(closure)),
+                    };
+                } else {
+                    expr = Expr::Property { object: Box::new(expr), name };
+                }
+                continue;
+            }
+            if self.check(&TokenKind::LParen) {
+                self.bump();
+                let args = self.parse_call_args()?;
+                let closure = self.parse_optional_trailing_closure()?;
+                expr = match expr {
+                    Expr::Ident(name) => Expr::MethodCall {
+                        object: None,
+                        method: name,
+                        args,
+                        closure: closure.map(Box::new),
+                    },
+                    g @ Expr::GString { .. } => {
+                        Expr::DynamicCall { name: Box::new(g), args }
+                    }
+                    other => Expr::MethodCall {
+                        object: Some(Box::new(other)),
+                        method: "call".to_string(),
+                        args,
+                        closure: closure.map(Box::new),
+                    },
+                };
+                continue;
+            }
+            if self.check(&TokenKind::LBracket) {
+                self.bump();
+                let index = self.parse_expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                expr = Expr::Index { object: Box::new(expr), index: Box::new(index) };
+                continue;
+            }
+            break;
+        }
+        Ok(expr)
+    }
+
+    fn parse_call_args(&mut self) -> ParseResult<Vec<Arg>> {
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            if matches!(self.peek_kind(), TokenKind::Ident(_))
+                && self.peek_at(1) == &TokenKind::Colon
+            {
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let value = self.parse_expr()?;
+                args.push(Arg { name: Some(name), value });
+            } else {
+                args.push(Arg::positional(self.parse_expr()?));
+            }
+            if self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(&TokenKind::RParen)?;
+            break;
+        }
+        Ok(args)
+    }
+
+    fn parse_optional_trailing_closure(&mut self) -> ParseResult<Option<Closure>> {
+        if self.check(&TokenKind::LBrace) && Self::looks_like_closure(self) {
+            Ok(Some(self.parse_closure()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Heuristic to distinguish a trailing closure from a following statement block.
+    /// Within expression context a `{` always begins a closure, so this only guards
+    /// against consuming an `if`/method body `{` that follows a call on the same path.
+    fn looks_like_closure(&self) -> bool {
+        // A closure start is `{`; the construct it could be confused with (a method
+        // body) never follows a call expression in this grammar.
+        true
+    }
+
+    fn parse_closure(&mut self) -> ParseResult<Closure> {
+        self.expect(&TokenKind::LBrace)?;
+        // Optional parameter list `a, b ->`.
+        let mut params = Vec::new();
+        let checkpoint = self.pos;
+        let mut ok = true;
+        loop {
+            match self.peek_kind().clone() {
+                TokenKind::Ident(name) => {
+                    self.bump();
+                    params.push(name);
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    if self.eat(&TokenKind::Arrow) {
+                        break;
+                    }
+                    ok = false;
+                    break;
+                }
+                TokenKind::Arrow => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            self.pos = checkpoint;
+            params.clear();
+        }
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) && !self.at_eof() {
+            if self.eat(&TokenKind::Semicolon) {
+                continue;
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Closure { params, body: Block { stmts } })
+    }
+
+    fn parse_primary(&mut self) -> ParseResult<Expr> {
+        let position = self.position();
+        match self.peek_kind().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::GString { text, interpolations } => {
+                self.bump();
+                Ok(Expr::GString { text, interpolations })
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Null)
+                }
+                "new" => {
+                    self.bump();
+                    let class = self.expect_ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let args = self.parse_call_args()?;
+                    Ok(Expr::New { class, args })
+                }
+                _ => {
+                    self.bump();
+                    Ok(Expr::Ident(name))
+                }
+            },
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.check(&TokenKind::RBracket) {
+                    loop {
+                        // Map literal entries `key: value` are flattened to their values.
+                        if matches!(self.peek_kind(), TokenKind::Ident(_) | TokenKind::Str(_))
+                            && self.peek_at(1) == &TokenKind::Colon
+                        {
+                            self.bump();
+                            self.bump();
+                        } else if self.check(&TokenKind::Colon) {
+                            // Empty map literal `[:]`.
+                            self.bump();
+                            break;
+                        }
+                        items.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            TokenKind::LBrace => Ok(Expr::Closure(Box::new(self.parse_closure()?))),
+            other => Err(ParseError::new(
+                position,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE_ALARM: &str = r#"
+        definition(name: "Smoke-Alarm", category: "Safety & Security", author: "Soteria")
+
+        preferences {
+            section("Select smoke detector: ") {
+                input "smoke_detector", "capability.smokeDetector", title: "Which detector?", required: true
+            }
+            section("Select alarm device: ") {
+                input "the_alarm", "capability.alarm", title: "Which alarm?", required: true
+            }
+            section("Low battery warning: ") {
+                input "thrshld", "number", title: "Low Battery Threshold", required: true
+            }
+        }
+
+        def installed() {
+            initialize()
+        }
+
+        private initialize() {
+            subscribe(smoke_detector, "smoke", smokeHandler)
+        }
+
+        def smokeHandler(evt) {
+            if (evt.value == "detected") {
+                the_alarm.siren()
+            } else if (evt.value == "clear") {
+                the_alarm.off()
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_smoke_alarm_skeleton() {
+        let prog = parse(SMOKE_ALARM).unwrap();
+        assert_eq!(prog.app_name(), Some("Smoke-Alarm"));
+        assert_eq!(prog.category(), Some("Safety & Security"));
+        let inputs = prog.inputs();
+        assert_eq!(inputs.len(), 3);
+        assert!(inputs[0].is_device());
+        assert_eq!(inputs[0].capability(), Some("smokeDetector"));
+        assert!(!inputs[2].is_device());
+        assert_eq!(prog.methods().count(), 3);
+        assert!(prog.method("smokeHandler").is_some());
+        assert!(prog.method("installed").is_some());
+        assert!(prog.method("initialize").unwrap().is_private);
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let prog = parse(SMOKE_ALARM).unwrap();
+        let handler = prog.method("smokeHandler").unwrap();
+        assert_eq!(handler.params, vec!["evt".to_string()]);
+        match &handler.body.stmts[0] {
+            Stmt::If { cond, else_block, .. } => {
+                assert!(matches!(cond, Expr::Binary { op: BinOp::Eq, .. }));
+                assert!(else_block.is_some());
+            }
+            other => panic!("expected if statement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_state_field_assignment() {
+        let src = r#"
+            def h() {
+                state.counter = state.counter + 1
+                if (state.counter > 10) {
+                    theSwitch.off()
+                }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = prog.method("h").unwrap();
+        match &m.body.stmts[0] {
+            Stmt::Assign { target: LValue::StateField(f), .. } => assert_eq!(f, "counter"),
+            other => panic!("expected state assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_elvis_and_ternary() {
+        let src = "def h() { def x = thrshld ?: 10 \n def y = a > 1 ? 2 : 3 }";
+        let prog = parse(src).unwrap();
+        let m = prog.method("h").unwrap();
+        assert!(matches!(
+            &m.body.stmts[0],
+            Stmt::LocalDef { init: Some(Expr::Elvis { .. }), .. }
+        ));
+        assert!(matches!(
+            &m.body.stmts[1],
+            Stmt::LocalDef { init: Some(Expr::Ternary { .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_reflection_call() {
+        let src = r#"
+            def getMethod() {
+                httpGet("http://url") { resp ->
+                    if (resp.status == 200) {
+                        name = resp.data.toString()
+                    }
+                }
+                "$name"()
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = prog.method("getMethod").unwrap();
+        // First statement: httpGet with trailing closure.
+        match &m.body.stmts[0] {
+            Stmt::Expr { expr: Expr::MethodCall { method, closure, .. }, .. } => {
+                assert_eq!(method, "httpGet");
+                let c = closure.as_ref().expect("closure expected");
+                assert_eq!(c.params, vec!["resp".to_string()]);
+            }
+            other => panic!("expected httpGet call, got {other:?}"),
+        }
+        // Second statement: reflective call.
+        assert!(matches!(
+            &m.body.stmts[1],
+            Stmt::Expr { expr: Expr::DynamicCall { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_trailing_closure_without_args() {
+        let src = r#"def h() { def n = recentEvents.count { it.value == "wet" } }"#;
+        let prog = parse(src).unwrap();
+        let m = prog.method("h").unwrap();
+        match &m.body.stmts[0] {
+            Stmt::LocalDef { init: Some(Expr::MethodCall { method, closure, .. }), .. } => {
+                assert_eq!(method, "count");
+                assert!(closure.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_new_and_arithmetic() {
+        let src = "def h() { def timeAgo = new Date(now() - (1000 * deltaSeconds)) }";
+        let prog = parse(src).unwrap();
+        let m = prog.method("h").unwrap();
+        assert!(matches!(
+            &m.body.stmts[0],
+            Stmt::LocalDef { init: Some(Expr::New { class, .. }), .. } if class == "Date"
+        ));
+    }
+
+    #[test]
+    fn parses_nested_input_closure() {
+        let src = r#"
+            preferences {
+                section("Send a notification to...") {
+                    input("recipients", "contact", title: "Recipients") {
+                        input "phone", "phone", title: "Phone number?", required: false
+                    }
+                }
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        let inputs = prog.inputs();
+        assert_eq!(inputs.len(), 1);
+        assert_eq!(inputs[0].handle, "recipients");
+        assert!(inputs[0].named.iter().any(|a| a.name == "__nested_phone"));
+    }
+
+    #[test]
+    fn parses_typed_local_def() {
+        let src = "def h() { def String theMessage \n theMessage = \"x\" }";
+        let prog = parse(src).unwrap();
+        let m = prog.method("h").unwrap();
+        assert!(matches!(
+            &m.body.stmts[0],
+            Stmt::LocalDef { name, init: None, .. } if name == "theMessage"
+        ));
+    }
+
+    #[test]
+    fn parses_return_without_value() {
+        let src = "def h() { if (x) { return } \n return y }";
+        let prog = parse(src).unwrap();
+        let m = prog.method("h").unwrap();
+        assert!(matches!(&m.body.stmts[1], Stmt::Return { value: Some(_), .. }));
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("def h() { if ) }").unwrap_err();
+        assert_eq!(err.position.line, 1);
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn parses_map_and_list_literals() {
+        let src = "def h() { def xs = [1, 2, 3] \n def m = [:] \n def q = [name: 3, other: 4] }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.method("h").unwrap().body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_location_subscription_and_mode_set() {
+        let src = r#"
+            def initialize() {
+                subscribe(location, "mode", modeChangeHandler)
+            }
+            def modeChangeHandler(evt) {
+                setLocationMode("home")
+                the_lock.lock()
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.methods().count(), 2);
+    }
+}

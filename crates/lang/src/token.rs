@@ -1,0 +1,180 @@
+//! Tokens of the SmartApp DSL.
+
+use crate::error::Position;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword-like word (`def`, `if`, handler names, ...).
+    Ident(String),
+    /// Integer literal. Floating-point literals in source are truncated to integers,
+    /// which is sufficient for the thresholds IoT apps use.
+    Number(i64),
+    /// A plain (non-interpolated) string literal.
+    Str(String),
+    /// An interpolated (GString) literal, kept as raw text plus the list of embedded
+    /// expressions' raw source. Interpolated strings matter to the analysis only when
+    /// used as reflective call targets.
+    GString {
+        /// The raw text with interpolation markers removed.
+        text: String,
+        /// Raw source of each `${...}` / `$ident` interpolation, in order.
+        interpolations: Vec<String>,
+    },
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `?.` (safe navigation, treated as `.`)
+    SafeDot,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `?:`
+    Elvis,
+    /// `?`
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given keyword/identifier.
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == word)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::GString { text, .. } => write!(f, "\"{text}\""),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::SafeDot => write!(f, "?."),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::Eq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Not => write!(f, "!"),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Elvis => write!(f, "?:"),
+            TokenKind::Question => write!(f, "?"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Position of the first character of the token.
+    pub position: Position,
+}
+
+impl Token {
+    /// Builds a token.
+    pub fn new(kind: TokenKind, position: Position) -> Self {
+        Token { kind, position }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_accessors() {
+        let t = TokenKind::Ident("subscribe".to_string());
+        assert_eq!(t.ident(), Some("subscribe"));
+        assert!(t.is_ident("subscribe"));
+        assert!(!t.is_ident("def"));
+        assert_eq!(TokenKind::Number(3).ident(), None);
+    }
+
+    #[test]
+    fn display_round_trip_symbols() {
+        assert_eq!(TokenKind::Elvis.to_string(), "?:");
+        assert_eq!(TokenKind::Arrow.to_string(), "->");
+        assert_eq!(TokenKind::Str("x".into()).to_string(), "\"x\"");
+    }
+}

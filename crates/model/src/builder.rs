@@ -1,0 +1,289 @@
+//! Builds the state model of one app from its IR, transition specifications, and
+//! property abstraction (Sec. 4.2.1–4.2.2).
+
+use crate::model::{StateModel, Transition, TransitionLabel};
+use crate::state::AttrKey;
+use soteria_analysis::{Abstraction, TransitionSpec};
+use soteria_capability::{AttributeValue, EventKind};
+use std::collections::BTreeMap;
+
+/// Options controlling model construction.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Drop attributes that no transition reads (as an event) or writes (as an
+    /// effect). Keeps union models tractable; single-app models keep all attributes by
+    /// default so state counts match the Cartesian-product definition.
+    pub prune_untouched_attributes: bool,
+    /// Hard cap on the number of materialised states; exceeding it switches pruning on
+    /// automatically.
+    pub max_states: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { prune_untouched_attributes: false, max_states: 60_000 }
+    }
+}
+
+/// Builds the state model of an app.
+///
+/// * `name` — app name used in labels.
+/// * `abstraction` — attribute domains after property abstraction.
+/// * `specs` — the app's transition specifications from the symbolic executor.
+pub fn build_state_model(
+    name: &str,
+    abstraction: &Abstraction,
+    specs: &[TransitionSpec],
+    options: &BuildOptions,
+) -> StateModel {
+    let mut attributes: BTreeMap<AttrKey, Vec<AttributeValue>> = abstraction
+        .domains
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+
+    let product: usize = attributes.values().map(|d| d.len().max(1)).product();
+    if options.prune_untouched_attributes || product > options.max_states {
+        let touched = touched_keys(specs);
+        attributes.retain(|k, _| touched.contains(k));
+    }
+
+    let mut model = StateModel::with_attributes(name, attributes);
+    let index = model.state_index();
+    let mut new_transitions = Vec::new();
+    for (from_id, from_state) in model.states.iter().enumerate() {
+        for spec in specs {
+            let mut target = from_state.clone();
+            // The triggering event updates the subscribed attribute itself (e.g. the
+            // water sensor turns wet when the water.wet event fires).
+            apply_event_update(&mut target, &model, spec);
+            // The handler's effects update the actuated attributes.
+            for effect in &spec.effects {
+                let key = (effect.handle.clone(), effect.attribute.clone());
+                let Some(domain) = model.attributes.get(&key) else { continue };
+                let value =
+                    abstraction.abstract_value(&effect.handle, &effect.attribute, &effect.value);
+                let value = if domain.contains(&value) {
+                    value
+                } else if let Some(other) =
+                    domain.iter().find(|v| v.as_symbol() == Some("other"))
+                {
+                    other.clone()
+                } else {
+                    continue;
+                };
+                target.values.insert(key, value);
+            }
+            let Some(&to_id) = index.get(&target) else { continue };
+            new_transitions.push(Transition {
+                from: from_id,
+                to: to_id,
+                label: TransitionLabel {
+                    event: spec.event.clone(),
+                    condition: spec.condition.clone(),
+                    app: name.to_string(),
+                    handler: spec.handler.clone(),
+                    via_reflection: spec.via_reflection,
+                },
+            });
+        }
+    }
+    // Deduplicate with a hash set keyed on the transition's identity; calling
+    // `add_transition` per edge would be quadratic on large union models.
+    let mut seen = std::collections::HashSet::new();
+    for t in new_transitions {
+        let key = format!(
+            "{}>{}|{}|{}|{}|{}",
+            t.from, t.to, t.label.event, t.label.condition, t.label.app, t.label.handler
+        );
+        if seen.insert(key) {
+            model.transitions.push(t);
+        }
+    }
+    model
+}
+
+/// Applies the event's own attribute update to the target state.
+fn apply_event_update(
+    target: &mut crate::state::State,
+    model: &StateModel,
+    spec: &TransitionSpec,
+) {
+    match &spec.event.kind {
+        EventKind::Device { attribute, value: Some(v), .. } => {
+            let key = (spec.event.handle.clone(), attribute.clone());
+            if let Some(domain) = model.attributes.get(&key) {
+                let val = AttributeValue::symbol(v.clone());
+                if domain.contains(&val) {
+                    target.values.insert(key, val);
+                }
+            }
+        }
+        EventKind::Mode { value: Some(m) } => {
+            let key = ("location".to_string(), "mode".to_string());
+            if let Some(domain) = model.attributes.get(&key) {
+                let val = AttributeValue::symbol(m.clone());
+                if domain.contains(&val) {
+                    target.values.insert(key, val);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Attribute keys referenced by any transition spec, either as the subscribed event's
+/// attribute or as an effect target.
+pub fn touched_keys(specs: &[TransitionSpec]) -> Vec<AttrKey> {
+    let mut keys = Vec::new();
+    for spec in specs {
+        if let EventKind::Device { attribute, .. } = &spec.event.kind {
+            keys.push((spec.event.handle.clone(), attribute.clone()));
+        }
+        if matches!(spec.event.kind, EventKind::Mode { .. }) {
+            keys.push(("location".to_string(), "mode".to_string()));
+        }
+        for e in &spec.effects {
+            keys.push((e.handle.clone(), e.attribute.clone()));
+        }
+        for atom in &spec.condition.atoms {
+            for side in [&atom.lhs, &atom.rhs] {
+                if let soteria_analysis::SymValue::DeviceAttr { handle, attribute } = side {
+                    keys.push((handle.clone(), attribute.clone()));
+                }
+            }
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_analysis::{abstract_domains, AnalysisConfig, SymbolicExecutor};
+    use soteria_capability::CapabilityRegistry;
+    use soteria_ir::AppIr;
+
+    const WATER_LEAK: &str = r#"
+        definition(name: "Water-Leak-Detector")
+        preferences {
+            section("When there's water detected...") {
+                input "water_sensor", "capability.waterSensor", title: "Where?"
+                input "valve_device", "capability.valve", title: "Valve device"
+            }
+        }
+        def installed() {
+            subscribe(water_sensor, "water.wet", waterWetHandler)
+        }
+        def waterWetHandler(evt) {
+            valve_device.close()
+        }
+    "#;
+
+    fn build(src: &str) -> StateModel {
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("app", src, &registry).unwrap();
+        let exec = SymbolicExecutor::new(&ir, &registry, AnalysisConfig::paper());
+        let specs = exec.transition_specs();
+        let abstraction = abstract_domains(&ir, &registry, &specs);
+        build_state_model(&ir.name, &abstraction, &specs, &BuildOptions::default())
+    }
+
+    #[test]
+    fn water_leak_detector_has_four_states_and_closing_transitions() {
+        let model = build(WATER_LEAK);
+        // Two binary attributes -> four states (paper Sec. 4.2.1).
+        assert_eq!(model.state_count(), 4);
+        // Every state has a water.wet transition into the wet/closed state.
+        assert_eq!(model.transition_count(), 4);
+        let wet_closed = model
+            .states
+            .iter()
+            .position(|s| {
+                s.get("water_sensor", "water") == Some(&AttributeValue::symbol("wet"))
+                    && s.get("valve_device", "valve") == Some(&AttributeValue::symbol("closed"))
+            })
+            .unwrap();
+        assert!(model.transitions.iter().all(|t| t.to == wet_closed));
+        assert!(model.nondeterminism().is_empty());
+    }
+
+    #[test]
+    fn smoke_alarm_transitions_follow_event_value() {
+        let src = r#"
+            definition(name: "Smoke-Alarm")
+            preferences { section("d") {
+                input "smoke_detector", "capability.smokeDetector"
+                input "the_alarm", "capability.alarm"
+            } }
+            def installed() { subscribe(smoke_detector, "smoke", h) }
+            def h(evt) {
+                if (evt.value == "detected") { the_alarm.siren() }
+                if (evt.value == "clear") { the_alarm.off() }
+            }
+        "#;
+        let model = build(src);
+        // smoke {clear, detected, tested} × alarm {off, siren, strobe, both} = 12.
+        assert_eq!(model.state_count(), 12);
+        // From the initial state (clear/off), the "detected" path moves to a state
+        // with the alarm sounding.
+        let initial = model.initial;
+        let siren_successor = model.outgoing(initial).any(|t| {
+            model.state(t.to).get("the_alarm", "alarm") == Some(&AttributeValue::symbol("siren"))
+        });
+        assert!(siren_successor);
+    }
+
+    #[test]
+    fn pruning_drops_untouched_attributes() {
+        let src = r#"
+            definition(name: "Pruned")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "unused_lock", "capability.lock"
+                input "m", "capability.motionSensor"
+            } }
+            def installed() { subscribe(m, "motion.active", h) }
+            def h(evt) { sw.on() }
+        "#;
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("app", src, &registry).unwrap();
+        let exec = SymbolicExecutor::new(&ir, &registry, AnalysisConfig::paper());
+        let specs = exec.transition_specs();
+        let abstraction = abstract_domains(&ir, &registry, &specs);
+        let full = build_state_model(&ir.name, &abstraction, &specs, &BuildOptions::default());
+        let pruned = build_state_model(
+            &ir.name,
+            &abstraction,
+            &specs,
+            &BuildOptions { prune_untouched_attributes: true, max_states: 60_000 },
+        );
+        assert_eq!(full.state_count(), 8); // switch × lock × motion
+        assert_eq!(pruned.state_count(), 4); // switch × motion
+        assert!(pruned.attributes.keys().all(|(h, _)| h != "unused_lock"));
+    }
+
+    #[test]
+    fn touched_keys_include_condition_subjects() {
+        let src = r#"
+            definition(name: "Energy")
+            preferences { section("d") {
+                input "the_switch", "capability.switch"
+                input "power_meter", "capability.powerMeter"
+            } }
+            def installed() { subscribe(power_meter, "power", handler) }
+            def handler(evt) {
+                if (power_meter.currentValue("power") > 50) { the_switch.off() }
+            }
+        "#;
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("app", src, &registry).unwrap();
+        let exec = SymbolicExecutor::new(&ir, &registry, AnalysisConfig::paper());
+        let specs = exec.transition_specs();
+        let keys = touched_keys(&specs);
+        assert!(keys.contains(&("power_meter".to_string(), "power".to_string())));
+        assert!(keys.contains(&("the_switch".to_string(), "switch".to_string())));
+    }
+}

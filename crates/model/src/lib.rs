@@ -1,0 +1,25 @@
+//! State models extracted from IoT apps (Sec. 4.2 and 4.4 of the paper).
+//!
+//! A state model is a triple `(Q, Σ, δ)`: states are valuations of the app's
+//! (abstracted) device attributes, transition labels carry the triggering event and
+//! the guarding path condition, and the transition function is represented explicitly.
+//! The crate provides:
+//!
+//! * [`State`] / [`StateModel`] — the model representation, reachability, alphabet,
+//!   and the nondeterminism check the paper reports as a safety violation;
+//! * [`build_state_model`] — construction from the analysis crate's transition
+//!   specifications and property abstraction;
+//! * [`union_models`] — Algorithm 2, the multi-app union model;
+//! * [`render_dot`] — GraphViz output equivalent to the paper's Fig. 9 visualisation.
+
+pub mod builder;
+pub mod dot;
+pub mod model;
+pub mod state;
+pub mod union;
+
+pub use builder::{build_state_model, touched_keys, BuildOptions};
+pub use dot::render_dot;
+pub use model::{Nondeterminism, StateId, StateModel, Transition, TransitionLabel};
+pub use state::{AttrKey, State};
+pub use union::{union_models, UnionOptions};

@@ -1,0 +1,143 @@
+//! States of the extracted model: valuations of device attributes.
+
+use soteria_capability::AttributeValue;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Key of one state component: `(device handle, attribute name)`.
+pub type AttrKey = (String, String);
+
+/// A state is a total valuation of the app's (abstracted) device attributes — the
+/// paper models states as the Cartesian product of the attributes of the app's devices
+/// (Sec. 4.2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct State {
+    /// Attribute values keyed by `(handle, attribute)`.
+    pub values: BTreeMap<AttrKey, AttributeValue>,
+}
+
+impl State {
+    /// Builds a state from `(handle, attribute, value)` triples.
+    pub fn from_triples<I, S>(triples: I) -> Self
+    where
+        I: IntoIterator<Item = (S, S, AttributeValue)>,
+        S: Into<String>,
+    {
+        let mut values = BTreeMap::new();
+        for (h, a, v) in triples {
+            values.insert((h.into(), a.into()), v);
+        }
+        State { values }
+    }
+
+    /// The value of one attribute, if the state tracks it.
+    pub fn get(&self, handle: &str, attribute: &str) -> Option<&AttributeValue> {
+        self.values.get(&(handle.to_string(), attribute.to_string()))
+    }
+
+    /// Returns a copy of the state with one attribute updated.
+    pub fn with(&self, handle: &str, attribute: &str, value: AttributeValue) -> State {
+        let mut next = self.clone();
+        next.values.insert((handle.to_string(), attribute.to_string()), value);
+        next
+    }
+
+    /// True if every attribute assignment of `other` agrees with this state — i.e.
+    /// this state "contains" the smaller state, the containment test used by the
+    /// union algorithm (Algorithm 2, lines 5–6).
+    pub fn contains(&self, other: &State) -> bool {
+        other.values.iter().all(|(k, v)| self.values.get(k) == Some(v))
+    }
+
+    /// Restricts the state to the given attribute keys.
+    pub fn project(&self, keys: &[AttrKey]) -> State {
+        State {
+            values: self
+                .values
+                .iter()
+                .filter(|(k, _)| keys.contains(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// A short label used in DOT output and counter-example traces, e.g.
+    /// `[smoke=detected, alarm=siren]`.
+    pub fn label(&self) -> String {
+        let parts: Vec<String> = self
+            .values
+            .iter()
+            .map(|((h, a), v)| {
+                if h == a || a.is_empty() {
+                    format!("{h}={v}")
+                } else {
+                    format!("{h}.{a}={v}")
+                }
+            })
+            .collect();
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(pairs: &[(&str, &str, &str)]) -> State {
+        State::from_triples(
+            pairs.iter().map(|(h, a, v)| (*h, *a, AttributeValue::symbol(*v))),
+        )
+    }
+
+    #[test]
+    fn get_with_and_display() {
+        let st = s(&[("valve", "valve", "open"), ("sensor", "water", "dry")]);
+        assert_eq!(st.get("valve", "valve"), Some(&AttributeValue::symbol("open")));
+        assert_eq!(st.get("valve", "missing"), None);
+        let st2 = st.with("valve", "valve", AttributeValue::symbol("closed"));
+        assert_eq!(st2.get("valve", "valve"), Some(&AttributeValue::symbol("closed")));
+        // The original is unchanged.
+        assert_eq!(st.get("valve", "valve"), Some(&AttributeValue::symbol("open")));
+        assert!(st.label().contains("valve=open"));
+        assert!(st.label().contains("sensor.water=dry"));
+    }
+
+    #[test]
+    fn containment_for_union_algorithm() {
+        let big = s(&[("sw", "switch", "on"), ("m", "motion", "active"), ("l", "lock", "locked")]);
+        let small = s(&[("sw", "switch", "on"), ("m", "motion", "active")]);
+        let mismatched = s(&[("sw", "switch", "off")]);
+        assert!(big.contains(&small));
+        assert!(!big.contains(&mismatched));
+        assert!(big.contains(&State::default()));
+        assert!(!small.contains(&big));
+    }
+
+    #[test]
+    fn projection() {
+        let st = s(&[("sw", "switch", "on"), ("m", "motion", "active")]);
+        let keys = vec![("sw".to_string(), "switch".to_string())];
+        let projected = st.project(&keys);
+        assert_eq!(projected.values.len(), 1);
+        assert_eq!(projected.get("sw", "switch"), Some(&AttributeValue::symbol("on")));
+    }
+
+    #[test]
+    fn states_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = s(&[("sw", "switch", "on")]);
+        let b = s(&[("sw", "switch", "off")]);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        set.insert(b.clone());
+        set.insert(a.clone());
+        assert_eq!(set.len(), 2);
+        assert!(a > b); // "on" > "off" lexicographically
+    }
+}

@@ -1,0 +1,307 @@
+//! The multi-app union model (Algorithm 2, Sec. 4.4).
+//!
+//! Apps in a shared environment interact through common devices and abstract events
+//! (location mode). The union of their state models captures the complete behaviour of
+//! the environment: union states are drawn from the Cartesian product of the combined
+//! attribute domains (duplicate devices deduplicated), and every app transition
+//! `v --l--> u` is added between all union states containing `v` and the corresponding
+//! updates to `u`, labelled with the contributing app.
+
+use crate::model::{StateModel, Transition, TransitionLabel};
+use crate::state::AttrKey;
+use soteria_capability::AttributeValue;
+use std::collections::BTreeMap;
+
+/// Options for the union construction.
+#[derive(Debug, Clone)]
+pub struct UnionOptions {
+    /// Drop attributes no app's transitions touch; keeps large environments tractable.
+    pub prune_untouched_attributes: bool,
+    /// Hard state cap; exceeding it switches pruning on automatically.
+    pub max_states: usize,
+}
+
+impl Default for UnionOptions {
+    fn default() -> Self {
+        UnionOptions { prune_untouched_attributes: true, max_states: 60_000 }
+    }
+}
+
+/// Builds the union state model of several apps (Algorithm 2).
+pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) -> StateModel {
+    // Line 1: the union's states come from the combined attribute domains; attributes
+    // of duplicate devices (same handle + attribute across apps) are merged.
+    let mut attributes: BTreeMap<AttrKey, Vec<AttributeValue>> = BTreeMap::new();
+    for model in models {
+        for (key, domain) in &model.attributes {
+            let entry = attributes.entry(key.clone()).or_default();
+            for v in domain {
+                if !entry.contains(v) {
+                    entry.push(v.clone());
+                }
+            }
+        }
+    }
+
+    let product: usize = attributes.values().map(|d| d.len().max(1)).product();
+    if options.prune_untouched_attributes || product > options.max_states {
+        let mut touched: Vec<AttrKey> = Vec::new();
+        for model in models {
+            for t in &model.transitions {
+                let from = &model.states[t.from];
+                let to = &model.states[t.to];
+                for (key, value) in &to.values {
+                    if from.values.get(key) != Some(value) && !touched.contains(key) {
+                        touched.push(key.clone());
+                    }
+                }
+                // The subscribed attribute itself is touched by the event.
+                if let soteria_capability::EventKind::Device { attribute, .. } = &t.label.event.kind
+                {
+                    let key = (t.label.event.handle.clone(), attribute.clone());
+                    if !touched.contains(&key) {
+                        touched.push(key);
+                    }
+                }
+                if matches!(t.label.event.kind, soteria_capability::EventKind::Mode { .. }) {
+                    let key = ("location".to_string(), "mode".to_string());
+                    if !touched.contains(&key) {
+                        touched.push(key);
+                    }
+                }
+            }
+        }
+        attributes.retain(|k, _| touched.contains(k));
+    }
+
+    let mut union = StateModel::with_attributes(name, attributes);
+    let index = union.state_index();
+
+    // Lines 2–12: iterate over every app's transitions and lift them to the union.
+    let mut lifted = Vec::new();
+    for model in models {
+        for t in &model.transitions {
+            let v = &model.states[t.from];
+            let u = &model.states[t.to];
+            // The delta the transition applies in its own model.
+            let delta: Vec<(AttrKey, AttributeValue)> = u
+                .values
+                .iter()
+                .filter(|(key, value)| v.values.get(*key) != Some(*value))
+                .map(|(k, val)| (k.clone(), val.clone()))
+                .collect();
+            // Restrict the source-containment test to attributes the union tracks.
+            let v_proj: Vec<(&AttrKey, &AttributeValue)> = v
+                .values
+                .iter()
+                .filter(|(k, _)| union.attributes.contains_key(*k))
+                .collect();
+            for (from_id, union_state) in union.states.iter().enumerate() {
+                // V': union states that contain v (agree with v on the app's attributes).
+                let contains_v =
+                    v_proj.iter().all(|(k, val)| union_state.values.get(*k) == Some(*val));
+                if !contains_v {
+                    continue;
+                }
+                // U': the union state updated with the transition's delta.
+                let mut target = union_state.clone();
+                for (key, value) in &delta {
+                    if union.attributes.contains_key(key) {
+                        target.values.insert(key.clone(), value.clone());
+                    }
+                }
+                let Some(&to_id) = index.get(&target) else { continue };
+                lifted.push(Transition {
+                    from: from_id,
+                    to: to_id,
+                    label: TransitionLabel {
+                        event: t.label.event.clone(),
+                        condition: t.label.condition.clone(),
+                        app: model.name.clone(),
+                        handler: t.label.handler.clone(),
+                        via_reflection: t.label.via_reflection,
+                    },
+                });
+            }
+        }
+    }
+    // Deduplicate with a hash set keyed on the transition's identity; calling
+    // `add_transition` per edge would be quadratic on large union models.
+    let mut seen = std::collections::HashSet::new();
+    for t in lifted {
+        let key = format!(
+            "{}>{}|{}|{}|{}|{}",
+            t.from, t.to, t.label.event, t.label.condition, t.label.app, t.label.handler
+        );
+        if seen.insert(key) {
+            union.transitions.push(t);
+        }
+    }
+    union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::State;
+    use soteria_analysis::PathCondition;
+    use soteria_capability::{Event, EventKind};
+
+    /// Builds a small hand-crafted model over the given binary attributes with the
+    /// given `(event, changed attribute, new value)` transitions applied from every
+    /// state (mirroring how the app-level builder works).
+    fn mini_model(
+        name: &str,
+        attrs: &[(&str, &str, &[&str])],
+        transitions: &[(Event, &str, &str, &str)],
+    ) -> StateModel {
+        let mut map = BTreeMap::new();
+        for (h, a, values) in attrs {
+            map.insert(
+                (h.to_string(), a.to_string()),
+                values.iter().map(|v| AttributeValue::symbol(*v)).collect(),
+            );
+        }
+        let mut model = StateModel::with_attributes(name, map);
+        let index = model.state_index();
+        let mut new = Vec::new();
+        for (id, state) in model.states.iter().enumerate() {
+            for (event, handle, attr, value) in transitions {
+                let target = state.with(handle, attr, AttributeValue::symbol(*value));
+                if let Some(&to) = index.get(&target) {
+                    new.push(Transition {
+                        from: id,
+                        to,
+                        label: TransitionLabel {
+                            event: event.clone(),
+                            condition: PathCondition::top(),
+                            app: name.to_string(),
+                            handler: "h".to_string(),
+                            via_reflection: false,
+                        },
+                    });
+                }
+            }
+        }
+        for t in new {
+            model.add_transition(t);
+        }
+        model
+    }
+
+    fn smoke_event() -> Event {
+        Event::new("smoke", EventKind::device("smokeDetector", "smoke", Some("detected")))
+    }
+
+    fn switch_on_event() -> Event {
+        Event::new("sw", EventKind::device("switch", "switch", Some("on")))
+    }
+
+    #[test]
+    fn union_deduplicates_shared_devices() {
+        // Smoke-Alarm: smoke-detected turns the switch on.
+        let smoke_alarm = mini_model(
+            "Smoke-Alarm",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        // App1: switch-on changes the mode to home.
+        let app1 = mini_model(
+            "App1",
+            &[("sw", "switch", &["off", "on"]), ("location", "mode", &["away", "home"])],
+            &[(switch_on_event(), "location", "mode", "home")],
+        );
+        let union = union_models("G", &[&smoke_alarm, &app1], &UnionOptions::default());
+        // Shared switch is deduplicated: switch × mode = 4 states.
+        assert_eq!(union.state_count(), 4);
+        // Both apps' transitions are present and labelled with their app.
+        assert!(union.transitions.iter().any(|t| t.label.app == "Smoke-Alarm"));
+        assert!(union.transitions.iter().any(|t| t.label.app == "App1"));
+    }
+
+    #[test]
+    fn union_enables_cross_app_chains() {
+        let smoke_alarm = mini_model(
+            "Smoke-Alarm",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        let app1 = mini_model(
+            "App1",
+            &[("sw", "switch", &["off", "on"]), ("location", "mode", &["away", "home"])],
+            &[(switch_on_event(), "location", "mode", "home")],
+        );
+        let union = union_models("G", &[&smoke_alarm, &app1], &UnionOptions::default());
+        // Starting from switch-off/away, the smoke event reaches switch-on/away, from
+        // which App1's switch-on transition reaches mode home: the chained misuse case
+        // of Sec. 4.4.
+        let start = union
+            .state_id(&State::from_triples([
+                ("sw", "switch", AttributeValue::symbol("off")),
+                ("location", "mode", AttributeValue::symbol("away")),
+            ]))
+            .unwrap();
+        let mut model = union.clone();
+        model.initial = start;
+        let reachable = model.reachable_from_initial();
+        let home_on = model
+            .state_id(&State::from_triples([
+                ("sw", "switch", AttributeValue::symbol("on")),
+                ("location", "mode", AttributeValue::symbol("home")),
+            ]))
+            .unwrap();
+        assert!(reachable.contains(&home_on));
+    }
+
+    #[test]
+    fn conflicting_apps_create_nondeterminism_in_union() {
+        // Smoke-Alarm turns the switch on on smoke; App2 turns it off on smoke (S.1
+        // violation in the paper's example).
+        let a = mini_model(
+            "Smoke-Alarm",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        let b = mini_model(
+            "App2",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "off")],
+        );
+        let union = union_models("G", &[&a, &b], &UnionOptions::default());
+        assert!(!union.nondeterminism().is_empty());
+    }
+
+    #[test]
+    fn union_complexity_is_linear_in_edges() {
+        // A sanity check on sizes rather than asymptotics: the union of two 4-state
+        // models over disjoint devices has 16 states when nothing is pruned and all
+        // transitions are lifted.
+        let a = mini_model(
+            "A",
+            &[("sw1", "switch", &["off", "on"]), ("m1", "motion", &["inactive", "active"])],
+            &[(
+                Event::new("m1", EventKind::device("motionSensor", "motion", Some("active"))),
+                "sw1",
+                "switch",
+                "on",
+            )],
+        );
+        let b = mini_model(
+            "B",
+            &[("sw2", "switch", &["off", "on"]), ("m2", "motion", &["inactive", "active"])],
+            &[(
+                Event::new("m2", EventKind::device("motionSensor", "motion", Some("active"))),
+                "sw2",
+                "switch",
+                "off",
+            )],
+        );
+        let union = union_models(
+            "AB",
+            &[&a, &b],
+            &UnionOptions { prune_untouched_attributes: false, max_states: 60_000 },
+        );
+        assert_eq!(union.state_count(), 16);
+        assert!(union.transition_count() >= 16);
+    }
+}

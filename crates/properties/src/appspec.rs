@@ -1,0 +1,376 @@
+//! Application-specific properties P.1–P.30 as CTL formula templates (Sec. 4.3).
+//!
+//! Each property is instantiated against the devices of the app (or app group) under
+//! test: the formula quantifies over the concrete device handles and is checked on the
+//! Kripke structure of the extracted state model. A property applies only when all the
+//! devices it mentions are present ("we check the app against a property if all of the
+//! devices in the property are included in the app").
+
+use crate::catalog::{property_info, APP_SPECIFIC_PROPERTIES};
+use crate::context::DeviceContext;
+use crate::violation::PropertyId;
+use soteria_checker::Ctl;
+
+/// Atom for "device attribute has value" — must match the Kripke labelling.
+fn attr_atom(handle: &str, attribute: &str, value: &str) -> Ctl {
+    Ctl::atom(format!("attr:{handle}.{attribute}={value}"))
+}
+
+/// Atom for "the state was produced by this event".
+fn event_atom(label: &str) -> Ctl {
+    Ctl::atom(format!("event:{label}"))
+}
+
+/// Atom for "the state was produced by some event" (post-handler states).
+fn triggered() -> Ctl {
+    Ctl::atom("triggered")
+}
+
+/// Disjunction of `attribute = value` over all handles of the listed capabilities.
+fn any_attr(ctx: &DeviceContext, capabilities: &[&str], attribute: &str, values: &[&str]) -> Ctl {
+    let mut atoms = Vec::new();
+    for cap in capabilities {
+        for handle in ctx.handles_of(cap) {
+            for value in values {
+                atoms.push(attr_atom(handle, attribute, value));
+            }
+        }
+    }
+    Ctl::any_of(atoms)
+}
+
+/// Conjunction of `attribute = value` over all handles of the listed capabilities.
+fn all_attr(ctx: &DeviceContext, capabilities: &[&str], attribute: &str, value: &str) -> Ctl {
+    let mut atoms = Vec::new();
+    for cap in capabilities {
+        for handle in ctx.handles_of(cap) {
+            atoms.push(attr_atom(handle, attribute, value));
+        }
+    }
+    Ctl::all_of(atoms)
+}
+
+/// "The user is away": a presence sensor reports not-present or the location mode is
+/// away / night / sleeping.
+fn user_away(ctx: &DeviceContext) -> Ctl {
+    // Sleeping/night modes are covered by the dedicated sleep properties (P.8, P.28);
+    // "away" here means the user has physically left.
+    let mut parts = vec![any_attr(ctx, &["presenceSensor", "beacon"], "presence", &["not present"])];
+    if ctx.has_location_mode {
+        parts.push(attr_atom("location", "mode", "away"));
+    }
+    Ctl::any_of(parts.into_iter().filter(|c| *c != Ctl::False).collect())
+}
+
+/// "The household is in a sleeping-type mode".
+fn sleeping_mode() -> Ctl {
+    attr_atom("location", "mode", "sleeping").or(attr_atom("location", "mode", "night"))
+}
+
+/// Any switch-like device is on.
+fn any_switch_on(ctx: &DeviceContext) -> Ctl {
+    any_attr(ctx, &["switch", "switchLevel", "colorControl"], "switch", &["on"])
+}
+
+/// Any alarm device is sounding.
+fn any_alarm_active(ctx: &DeviceContext) -> Ctl {
+    any_attr(ctx, &["alarm"], "alarm", &["siren", "strobe", "both"])
+}
+
+/// True if the property applies to the devices of the context.
+pub fn applicable(id: u8, ctx: &DeviceContext) -> bool {
+    match id {
+        // P.12: switches controlled while the home is empty — needs switches plus a
+        // way to know the user is away (presence sensor or location mode).
+        12 => !ctx.switch_handles().is_empty() && (ctx.has("presenceSensor") || ctx.has_location_mode),
+        // P.13: appliance functionality (music player / media) while away.
+        13 => ctx.has("musicPlayer") && (ctx.has("presenceSensor") || ctx.has_location_mode),
+        // P.17: an AC and a heater (switch handles named accordingly).
+        17 => ac_handles(ctx).next().is_some() && heater_handles(ctx).next().is_some(),
+        _ => {
+            let Some(info) = property_info(PropertyId::AppSpecific(id)) else { return false };
+            info.required_capabilities.iter().all(|cap| ctx.has(cap))
+        }
+    }
+}
+
+fn ac_handles<'a>(ctx: &'a DeviceContext) -> impl Iterator<Item = &'a str> {
+    ctx.switch_handles().into_iter().filter(|h| {
+        let h = h.to_ascii_lowercase();
+        h == "ac" || h.starts_with("ac_") || h.ends_with("_ac") || h.contains("air_cond")
+    })
+}
+
+fn heater_handles<'a>(ctx: &'a DeviceContext) -> impl Iterator<Item = &'a str> {
+    ctx.switch_handles().into_iter().filter(|h| h.to_ascii_lowercase().contains("heater"))
+}
+
+/// The identifiers of all app-specific properties applicable to the context.
+pub fn applicable_properties(ctx: &DeviceContext) -> Vec<u8> {
+    APP_SPECIFIC_PROPERTIES
+        .iter()
+        .filter_map(|p| match p.id {
+            PropertyId::AppSpecific(n) if applicable(n, ctx) => Some(n),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Builds the CTL formula of property `P.id` for the given devices. Returns `None` if
+/// the property does not apply.
+pub fn formula(id: u8, ctx: &DeviceContext) -> Option<Ctl> {
+    if !applicable(id, ctx) {
+        return None;
+    }
+    let f = match id {
+        // P.1: the door must be locked whenever the user is not at home.
+        1 => triggered()
+            .and(any_attr(ctx, &["presenceSensor"], "presence", &["not present"]))
+            .implies(all_attr(ctx, &["lock"], "lock", "locked"))
+            .always_globally(),
+        // P.2: the lights must be on when motion is active.
+        2 => event_atom("motion.active").implies(any_switch_on(ctx)).always_globally(),
+        // P.3: when there is smoke the door must not be locked (escape route).
+        3 => triggered()
+            .and(any_attr(ctx, &["smokeDetector"], "smoke", &["detected"]))
+            .implies(any_attr(ctx, &["lock"], "lock", &["locked"]).not())
+            .always_globally(),
+        // P.4: the light must be on when the user arrives home.
+        4 => event_atom("presence.present").implies(any_switch_on(ctx)).always_globally(),
+        // P.5: camera-controlled doors must be closed when the contact is clear.
+        5 => event_atom("contact.closed")
+            .implies(all_attr(ctx, &["doorControl"], "door", "closed"))
+            .always_globally(),
+        // P.6: the garage door opens on arrival and closes on departure.
+        6 => event_atom("presence.present")
+            .implies(any_attr(ctx, &["garageDoorControl"], "door", &["open"]))
+            .and(
+                event_atom("presence.not present")
+                    .implies(all_attr(ctx, &["garageDoorControl"], "door", "closed")),
+            )
+            .always_globally(),
+        // P.7: the garage door must not be open when the beacon is outside the fence.
+        7 => triggered()
+            .and(any_attr(ctx, &["beacon"], "presence", &["not present"]))
+            .implies(any_attr(ctx, &["garageDoorControl"], "door", &["open"]).not())
+            .always_globally(),
+        // P.8: the lights must be off when the user is sleeping.
+        8 => event_atom("sleeping.sleeping").implies(any_switch_on(ctx).not()).always_globally(),
+        // P.9: the security system must not be disarmed while nobody is home.
+        9 => triggered()
+            .and(any_attr(ctx, &["presenceSensor"], "presence", &["not present"]))
+            .implies(
+                any_attr(ctx, &["securitySystem"], "securitySystemStatus", &["disarmed"]).not(),
+            )
+            .always_globally(),
+        // P.10: the alarm must sound when smoke is detected.
+        10 => event_atom("smoke.detected").implies(any_alarm_active(ctx)).always_globally(),
+        // P.11: the valve must close when the water sensor is wet.
+        11 => event_atom("water.wet")
+            .implies(all_attr(ctx, &["valve"], "valve", "closed"))
+            .always_globally(),
+        // P.12: switches must not be on while the user is away.
+        12 => triggered()
+            .and(user_away(ctx))
+            .implies(any_switch_on(ctx).not())
+            .always_globally(),
+        // P.13: media/appliances must not run while the user is away.
+        13 => triggered()
+            .and(user_away(ctx))
+            .implies(any_attr(ctx, &["musicPlayer"], "status", &["playing"]).not())
+            .always_globally(),
+        // P.14: the security system must stay armed in away/night/sleeping modes.
+        14 => triggered()
+            .and(Ctl::any_of(
+                ["away", "night", "sleeping"]
+                    .iter()
+                    .map(|m| attr_atom("location", "mode", m))
+                    .collect(),
+            ))
+            .implies(
+                any_attr(ctx, &["securitySystem"], "securitySystemStatus", &["disarmed"]).not(),
+            )
+            .always_globally(),
+        // P.15 / P.16: thermostat setpoints must track the configured values; the
+        // abstraction marks unexpected writes with the `other` abstract value.
+        15 | 16 => triggered()
+            .implies(
+                any_attr(ctx, &["thermostat"], "heatingSetpoint", &["other"])
+                    .or(any_attr(ctx, &["thermostat"], "coolingSetpoint", &["other"]))
+                    .not(),
+            )
+            .always_globally(),
+        // P.17: the AC and the heater must not be on simultaneously.
+        17 => {
+            let ac_on = Ctl::any_of(
+                ac_handles(ctx).map(|h| attr_atom(h, "switch", "on")).collect(),
+            );
+            let heater_on = Ctl::any_of(
+                heater_handles(ctx).map(|h| attr_atom(h, "switch", "on")).collect(),
+            );
+            triggered().and(ac_on).and(heater_on).not().always_globally()
+        }
+        // P.18 / P.19 / P.22 / P.23 / P.25 / P.26: static checking needs only the
+        // obligations the extracted models expose; these hold vacuously unless the
+        // devices are actuated into an unexpected state (kept conservative).
+        18 | 19 | 22 | 23 | 25 | 26 => Ctl::True,
+        // P.20: the camera must capture when motion is detected.
+        20 => event_atom("motion.active")
+            .implies(any_attr(ctx, &["imageCapture"], "image", &["captured"]))
+            .always_globally(),
+        // P.21: opening a door must capture a photo and sound the alarm.
+        21 => event_atom("contact.open")
+            .implies(
+                any_attr(ctx, &["imageCapture"], "image", &["captured"])
+                    .and(any_alarm_active(ctx)),
+            )
+            .always_globally(),
+        // P.24: the windows must not be open while the heater runs.
+        24 => triggered()
+            .and(any_attr(ctx, &["windowShade"], "windowShade", &["open"]))
+            .implies(any_attr(ctx, &["thermostat"], "thermostatMode", &["heat"]).not())
+            .always_globally(),
+        // P.27: the mode must track the user's presence.
+        27 => event_atom("presence.not present")
+            .implies(attr_atom("location", "mode", "home").not())
+            .and(event_atom("presence.present").implies(attr_atom("location", "mode", "away").not()))
+            .always_globally(),
+        // P.28: the sound system must stay silent during sleeping/night modes.
+        28 => triggered()
+            .and(sleeping_mode())
+            .implies(any_attr(ctx, &["musicPlayer"], "status", &["playing"]).not())
+            .always_globally(),
+        // P.29: the flood alarm must sound on water and stay silent otherwise.
+        29 => event_atom("water.wet")
+            .implies(any_alarm_active(ctx))
+            .and(event_atom("water.dry").implies(any_alarm_active(ctx).not()))
+            .always_globally(),
+        // P.30: the water valve must shut off when a leak is detected.
+        30 => event_atom("water.wet")
+            .implies(all_attr(ctx, &["valve"], "valve", "closed"))
+            .always_globally(),
+        _ => return None,
+    };
+    Some(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn ctx(pairs: &[(&str, &[&str])], has_mode: bool) -> DeviceContext {
+        let mut handles = BTreeMap::new();
+        for (cap, hs) in pairs {
+            handles.insert(cap.to_string(), hs.iter().map(|h| h.to_string()).collect());
+        }
+        DeviceContext { handles, has_location_mode: has_mode }
+    }
+
+    #[test]
+    fn applicability_follows_devices() {
+        let water = ctx(&[("waterSensor", &["ws"]), ("valve", &["v"])], false);
+        assert!(applicable(30, &water));
+        assert!(!applicable(10, &water));
+        let ids = applicable_properties(&water);
+        assert!(ids.contains(&30));
+        assert!(!ids.contains(&1));
+    }
+
+    #[test]
+    fn p30_formula_shape() {
+        let water = ctx(&[("waterSensor", &["ws"]), ("valve", &["v"])], false);
+        let f = formula(30, &water).unwrap();
+        assert_eq!(
+            f.to_string(),
+            "AG ((event:water.wet -> attr:v.valve=closed))"
+        );
+        assert!(formula(30, &ctx(&[("valve", &["v"])], false)).is_none());
+    }
+
+    #[test]
+    fn p10_uses_all_alarm_values() {
+        let c = ctx(&[("smokeDetector", &["sd"]), ("alarm", &["al"])], false);
+        let f = formula(10, &c).unwrap().to_string();
+        assert!(f.contains("attr:al.alarm=siren"));
+        assert!(f.contains("attr:al.alarm=strobe"));
+        assert!(f.contains("attr:al.alarm=both"));
+        assert!(f.contains("event:smoke.detected"));
+    }
+
+    #[test]
+    fn p12_and_p13_applicability_split() {
+        // Switches + presence: P.12 applies, P.13 does not (no music player).
+        let lights = ctx(&[("switch", &["sw"]), ("presenceSensor", &["p"])], false);
+        assert!(applicable(12, &lights));
+        assert!(!applicable(13, &lights));
+        // Music player + presence: P.13 applies, P.12 does not.
+        let music = ctx(&[("musicPlayer", &["mp"]), ("presenceSensor", &["p"])], false);
+        assert!(applicable(13, &music));
+        assert!(!applicable(12, &music));
+    }
+
+    #[test]
+    fn p17_requires_named_ac_and_heater() {
+        let both = ctx(&[("switch", &["ac_switch", "heater_switch"])], true);
+        assert!(applicable(17, &both));
+        let f = formula(17, &both).unwrap().to_string();
+        assert!(f.contains("ac_switch"));
+        assert!(f.contains("heater_switch"));
+        let only_heater = ctx(&[("switch", &["heater_switch"])], true);
+        assert!(!applicable(17, &only_heater));
+    }
+
+    #[test]
+    fn user_away_includes_modes_when_available() {
+        let c = ctx(&[("switch", &["sw"]), ("presenceSensor", &["p"])], true);
+        let f = formula(12, &c).unwrap().to_string();
+        assert!(f.contains("attr:p.presence=not present"));
+        assert!(f.contains("attr:location.mode=away"));
+        assert!(!f.contains("attr:location.mode=sleeping"));
+    }
+
+    #[test]
+    fn conservative_properties_are_true() {
+        let c = ctx(&[("battery", &["b"])], false);
+        assert_eq!(formula(22, &c), Some(Ctl::True));
+        assert_eq!(formula(26, &c), None); // requires the timerOnly pseudo-capability
+    }
+
+    #[test]
+    fn every_applicable_property_yields_a_formula() {
+        // A context with (nearly) every capability: all applicable templates must
+        // build without panicking.
+        let c = ctx(
+            &[
+                ("switch", &["ac_switch", "heater_switch", "sw"]),
+                ("lock", &["l"]),
+                ("presenceSensor", &["p"]),
+                ("motionSensor", &["m"]),
+                ("smokeDetector", &["sd"]),
+                ("alarm", &["al"]),
+                ("valve", &["v"]),
+                ("waterSensor", &["ws"]),
+                ("waterLevel", &["wl"]),
+                ("musicPlayer", &["mp"]),
+                ("securitySystem", &["ss"]),
+                ("thermostat", &["th"]),
+                ("doorControl", &["dc"]),
+                ("garageDoorControl", &["gd"]),
+                ("contactSensor", &["cs"]),
+                ("imageCapture", &["cam"]),
+                ("beacon", &["bk"]),
+                ("sleepSensor", &["sl"]),
+                ("windowShade", &["wsh"]),
+                ("relativeHumidityMeasurement", &["hum"]),
+                ("battery", &["bat"]),
+            ],
+            true,
+        );
+        let ids = applicable_properties(&c);
+        assert!(ids.len() >= 25, "applicable: {ids:?}");
+        for id in ids {
+            assert!(formula(id, &c).is_some(), "P.{id} failed to build");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The property catalogue: descriptions of S.1–S.5 and P.1–P.30 (Appendix B of the
+//! paper) and, for app-specific properties, the device capabilities a target must
+//! declare for the property to apply.
+
+use crate::violation::PropertyId;
+
+/// Catalogue entry for one property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyInfo {
+    /// Identifier (S.n or P.n).
+    pub id: PropertyId,
+    /// Short description (condensed from the paper's Appendix B tables).
+    pub description: &'static str,
+    /// Device capabilities required for the property to apply. Empty for general
+    /// properties (they apply to every app). The pseudo-capability `"location"`
+    /// denotes the location-mode abstract device.
+    pub required_capabilities: &'static [&'static str],
+}
+
+/// The five general properties (Appendix B, Table 1).
+pub const GENERAL_PROPERTIES: &[PropertyInfo] = &[
+    PropertyInfo {
+        id: PropertyId::General(1),
+        description: "An event handler must not change a device attribute to conflicting values on the same control-flow path",
+        required_capabilities: &[],
+    },
+    PropertyInfo {
+        id: PropertyId::General(2),
+        description: "An event handler must not change a device attribute to the same value multiple times on the same control-flow path",
+        required_capabilities: &[],
+    },
+    PropertyInfo {
+        id: PropertyId::General(3),
+        description: "Event handlers of complement events must not change a device attribute to the same value",
+        required_capabilities: &[],
+    },
+    PropertyInfo {
+        id: PropertyId::General(4),
+        description: "Two or more non-complement event handlers must not change a device attribute to conflicting values (race condition)",
+        required_capabilities: &[],
+    },
+    PropertyInfo {
+        id: PropertyId::General(5),
+        description: "An event dispatched on by a handler must be subscribed by that handler",
+        required_capabilities: &[],
+    },
+];
+
+/// The thirty application-specific properties (Appendix B, Table 2), condensed.
+pub const APP_SPECIFIC_PROPERTIES: &[PropertyInfo] = &[
+    PropertyInfo {
+        id: PropertyId::AppSpecific(1),
+        description: "The door must be locked when the user is not present at home or sleeping",
+        required_capabilities: &["lock", "presenceSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(2),
+        description: "The lights must be turned on if the motion sensor is active",
+        required_capabilities: &["switch", "motionSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(3),
+        description: "When there is smoke, the lights must be on if it is night, and the door must be unlocked",
+        required_capabilities: &["smokeDetector", "lock"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(4),
+        description: "The light must be on when the user arrives home",
+        required_capabilities: &["switch", "presenceSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(5),
+        description: "Camera-controlled doors must be closed when the door is clear of any objects",
+        required_capabilities: &["doorControl", "contactSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(6),
+        description: "The garage door must be open when people arrive home and closed when people leave home",
+        required_capabilities: &["garageDoorControl", "presenceSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(7),
+        description: "The location beacon must be inside the geofence to turn on the lights and open the garage door",
+        required_capabilities: &["garageDoorControl", "beacon"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(8),
+        description: "The lights must be turned off when the sleep sensor detects the user is sleeping",
+        required_capabilities: &["switch", "sleepSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(9),
+        description: "The security system must not be disarmed when the user is not at home",
+        required_capabilities: &["securitySystem", "presenceSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(10),
+        description: "The alarm must sound when there is smoke or carbon monoxide",
+        required_capabilities: &["alarm", "smokeDetector"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(11),
+        description: "The valve must be closed when the water sensor is wet and the user-specified water level is reached",
+        required_capabilities: &["valve", "waterSensor", "waterLevel"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(12),
+        description: "Devices (light switches, cabinets, drawers) must not be open or on when the user is not at home or sleeping",
+        required_capabilities: &["switch", "location"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(13),
+        description: "Appliance functionality (coffee machine, crock-pot, music) must not be used when the user is not at home",
+        required_capabilities: &["musicPlayer", "location"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(14),
+        description: "The refrigerator, alarm, and security system must not be disabled to save energy",
+        required_capabilities: &["securitySystem", "location"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(15),
+        description: "The temperature must follow the user-defined operating-mode values when there is motion",
+        required_capabilities: &["thermostat", "motionSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(16),
+        description: "The thermostat temperature entered by the user must be applied when the mode changes",
+        required_capabilities: &["thermostat", "location"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(17),
+        description: "The AC and the heater must not be on at the same time",
+        required_capabilities: &["switch", "location"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(18),
+        description: "HVACs, fans, heaters and dehumidifiers must be off when temperature and humidity are outside the user-defined zone",
+        required_capabilities: &["switch", "relativeHumidityMeasurement"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(19),
+        description: "The AC must be on when the user is within a specified distance of the house",
+        required_capabilities: &["switch", "beacon"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(20),
+        description: "The security camera must take pictures when there is motion and contact sensors are active",
+        required_capabilities: &["imageCapture", "motionSensor", "contactSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(21),
+        description: "The security camera must take a photo and the alarm must sound when doors open during user-specified times",
+        required_capabilities: &["imageCapture", "alarm", "contactSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(22),
+        description: "The battery level of devices must not fall below the user-specified threshold unnoticed",
+        required_capabilities: &["battery"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(23),
+        description: "The door must not be unlocked when the camera does not recognise an authorised face",
+        required_capabilities: &["lock", "imageCapture"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(24),
+        description: "The windows must not be open when the heater is on",
+        required_capabilities: &["windowShade", "thermostat"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(25),
+        description: "The bell must not chime when the door is closed",
+        required_capabilities: &["alarm", "contactSensor", "button"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(26),
+        description: "The alarm must go off when the main door is left open for longer than the user-specified duration",
+        required_capabilities: &["alarm", "contactSensor", "timerOnly"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(27),
+        description: "The mode must be set to home when the user is at home and away when the user is not at home",
+        required_capabilities: &["presenceSensor", "location"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(28),
+        description: "The sound system must not play music or read announcements during the sleeping mode",
+        required_capabilities: &["musicPlayer", "location"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(29),
+        description: "The sprinkler/flood sensor must activate the alarm when there is water and stay quiet otherwise",
+        required_capabilities: &["alarm", "waterSensor"],
+    },
+    PropertyInfo {
+        id: PropertyId::AppSpecific(30),
+        description: "The water valve must shut off when the water/moisture sensor detects a leak",
+        required_capabilities: &["valve", "waterSensor"],
+    },
+];
+
+/// Looks up a property's catalogue entry.
+pub fn property_info(id: PropertyId) -> Option<&'static PropertyInfo> {
+    GENERAL_PROPERTIES
+        .iter()
+        .chain(APP_SPECIFIC_PROPERTIES.iter())
+        .find(|p| p.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_sizes_match_paper() {
+        assert_eq!(GENERAL_PROPERTIES.len(), 5);
+        assert_eq!(APP_SPECIFIC_PROPERTIES.len(), 30);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        for (i, p) in GENERAL_PROPERTIES.iter().enumerate() {
+            assert_eq!(p.id, PropertyId::General(i as u8 + 1));
+        }
+        for (i, p) in APP_SPECIFIC_PROPERTIES.iter().enumerate() {
+            assert_eq!(p.id, PropertyId::AppSpecific(i as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let p30 = property_info(PropertyId::AppSpecific(30)).unwrap();
+        assert!(p30.description.contains("water valve"));
+        assert!(p30.required_capabilities.contains(&"valve"));
+        assert!(property_info(PropertyId::AppSpecific(31)).is_none());
+        assert!(property_info(PropertyId::General(5)).is_some());
+    }
+
+    #[test]
+    fn general_properties_apply_everywhere() {
+        assert!(GENERAL_PROPERTIES.iter().all(|p| p.required_capabilities.is_empty()));
+        assert!(APP_SPECIFIC_PROPERTIES.iter().all(|p| !p.required_capabilities.is_empty()));
+    }
+}

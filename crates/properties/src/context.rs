@@ -1,0 +1,114 @@
+//! Analysis context shared by the property checkers: one entry per app under test.
+
+use soteria_analysis::{HandlerSummary, TransitionSpec};
+use soteria_ir::AppIr;
+use std::collections::BTreeMap;
+
+/// Everything the property checkers need to know about one analysed app.
+#[derive(Debug, Clone, Copy)]
+pub struct AppUnderTest<'a> {
+    /// App name.
+    pub name: &'a str,
+    /// The app's IR (permissions, subscriptions, call graphs).
+    pub ir: &'a AppIr,
+    /// Transition specifications from the symbolic executor.
+    pub specs: &'a [TransitionSpec],
+    /// Per-handler analysis summaries (used by S.5).
+    pub summaries: &'a BTreeMap<String, HandlerSummary>,
+}
+
+/// The devices available to a property check: handles grouped by capability, across
+/// every app of the environment (a single app is an environment of one).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceContext {
+    /// Handles per capability name.
+    pub handles: BTreeMap<String, Vec<String>>,
+    /// True if any app subscribes to or changes the location mode.
+    pub has_location_mode: bool,
+}
+
+impl DeviceContext {
+    /// Builds the device context of an environment.
+    pub fn from_apps(apps: &[AppUnderTest<'_>]) -> Self {
+        let mut ctx = DeviceContext::default();
+        for app in apps {
+            for p in &app.ir.permissions {
+                let entry = ctx.handles.entry(p.capability.clone()).or_default();
+                if !entry.contains(&p.handle) {
+                    entry.push(p.handle.clone());
+                }
+            }
+            ctx.has_location_mode |= app.ir.subscribes_to_mode() || app.ir.changes_mode();
+        }
+        ctx
+    }
+
+    /// Handles of one capability.
+    pub fn handles_of(&self, capability: &str) -> &[String] {
+        self.handles.get(capability).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// True if at least one device of the capability is present. The pseudo-capability
+    /// `"location"` is satisfied by mode usage.
+    pub fn has(&self, capability: &str) -> bool {
+        if capability == "location" {
+            return self.has_location_mode;
+        }
+        !self.handles_of(capability).is_empty()
+    }
+
+    /// Switch-like handles (capabilities exposing a `switch` attribute).
+    pub fn switch_handles(&self) -> Vec<&str> {
+        ["switch", "switchLevel", "colorControl"]
+            .iter()
+            .flat_map(|c| self.handles_of(c))
+            .map(|s| s.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_analysis::{AnalysisConfig, SymbolicExecutor};
+    use soteria_capability::CapabilityRegistry;
+
+    #[test]
+    fn context_from_two_apps_merges_handles() {
+        let registry = CapabilityRegistry::standard();
+        let a_src = r#"
+            definition(name: "A")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "m", "capability.motionSensor"
+            } }
+            def installed() { subscribe(m, "motion.active", h) }
+            def h(evt) { sw.on() }
+        "#;
+        let b_src = r#"
+            definition(name: "B")
+            preferences { section("d") { input "sw", "capability.switch" } }
+            def installed() { subscribe(sw, "switch.on", h) }
+            def h(evt) { setLocationMode("home") }
+        "#;
+        let a_ir = AppIr::from_source("A", a_src, &registry).unwrap();
+        let b_ir = AppIr::from_source("B", b_src, &registry).unwrap();
+        let a_exec = SymbolicExecutor::new(&a_ir, &registry, AnalysisConfig::paper());
+        let b_exec = SymbolicExecutor::new(&b_ir, &registry, AnalysisConfig::paper());
+        let a_specs = a_exec.transition_specs();
+        let b_specs = b_exec.transition_specs();
+        let a_sum = a_exec.handler_summaries();
+        let b_sum = b_exec.handler_summaries();
+        let apps = [
+            AppUnderTest { name: "A", ir: &a_ir, specs: &a_specs, summaries: &a_sum },
+            AppUnderTest { name: "B", ir: &b_ir, specs: &b_specs, summaries: &b_sum },
+        ];
+        let ctx = DeviceContext::from_apps(&apps);
+        // The shared handle `sw` is deduplicated.
+        assert_eq!(ctx.handles_of("switch"), &["sw".to_string()]);
+        assert!(ctx.has("motionSensor"));
+        assert!(ctx.has("location")); // app B changes the mode
+        assert!(!ctx.has("valve"));
+        assert_eq!(ctx.switch_handles(), vec!["sw"]);
+    }
+}

@@ -1,0 +1,529 @@
+//! The general properties S.1–S.5 (Appendix B, Table 1).
+//!
+//! These are constraints on states and transitions independent of app semantics; they
+//! are checked structurally on the transition specifications extracted by the
+//! symbolic executor, both for a single app and for a set of apps installed together.
+
+use crate::context::AppUnderTest;
+use crate::violation::{PropertyId, Violation};
+use soteria_capability::{CapabilityRegistry, EventKind};
+
+/// Checks S.1–S.5 over an environment (one or more apps).
+pub fn check_general(
+    apps: &[AppUnderTest<'_>],
+    registry: &CapabilityRegistry,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    violations.extend(check_s1(apps));
+    violations.extend(check_s2(apps));
+    violations.extend(check_s3(apps, registry));
+    violations.extend(check_s4(apps, registry));
+    violations.extend(check_s5(apps));
+    dedup(violations)
+}
+
+/// S.1: a handler must not change an attribute to conflicting values on one path.
+fn check_s1(apps: &[AppUnderTest<'_>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for app in apps {
+        for spec in app.specs {
+            for (i, a) in spec.effects.iter().enumerate() {
+                for b in spec.effects.iter().skip(i + 1) {
+                    if a.conflicts_with(b) {
+                        let v = Violation::new(
+                            PropertyId::General(1),
+                            format!(
+                                "handler {} sets {}.{} to both {} and {} on the same path (event {})",
+                                spec.handler, a.handle, a.attribute, a.value, b.value, spec.event.kind
+                            ),
+                            vec![app.name.to_string()],
+                        );
+                        out.push(flag_reflection(v, spec.via_reflection));
+                    }
+                }
+            }
+        }
+    }
+    // In a multi-app environment, the "same path" becomes the joint handling of a
+    // single event by several apps (the paper's Smoke-Alarm + App2 example).
+    if apps.len() > 1 {
+        out.extend(cross_app_same_event(apps, true));
+    }
+    out
+}
+
+/// S.2: a handler must not change an attribute to the same value multiple times.
+fn check_s2(apps: &[AppUnderTest<'_>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for app in apps {
+        for spec in app.specs {
+            for (i, a) in spec.effects.iter().enumerate() {
+                for b in spec.effects.iter().skip(i + 1) {
+                    if a.repeats(b) {
+                        let v = Violation::new(
+                            PropertyId::General(2),
+                            format!(
+                                "handler {} sets {}.{} to {} multiple times (event {})",
+                                spec.handler, a.handle, a.attribute, a.value, spec.event.kind
+                            ),
+                            vec![app.name.to_string()],
+                        );
+                        out.push(flag_reflection(v, spec.via_reflection));
+                    }
+                }
+            }
+        }
+    }
+    if apps.len() > 1 {
+        out.extend(cross_app_same_event(apps, false));
+    }
+    out
+}
+
+/// Cross-app variant of S.1 (`conflicting = true`) / S.2 (`conflicting = false`): two
+/// apps handle the same event and change the same attribute to conflicting (S.1) or
+/// identical (S.2) values.
+fn cross_app_same_event(apps: &[AppUnderTest<'_>], conflicting: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, app_a) in apps.iter().enumerate() {
+        for app_b in apps.iter().skip(i + 1) {
+            for spec_a in app_a.specs {
+                for spec_b in app_b.specs {
+                    if !same_event(spec_a, spec_b) {
+                        continue;
+                    }
+                    for ea in &spec_a.effects {
+                        for eb in &spec_b.effects {
+                            let hit = if conflicting {
+                                ea.conflicts_with(eb)
+                            } else {
+                                ea.repeats(eb)
+                            };
+                            if hit {
+                                let (id, verb) = if conflicting {
+                                    (PropertyId::General(1), "conflicting values")
+                                } else {
+                                    (PropertyId::General(2), "the same value")
+                                };
+                                let v = Violation::new(
+                                    id,
+                                    format!(
+                                        "event {} makes {} set {}.{} to {} while {} sets it to {} ({verb})",
+                                        spec_a.event.kind, app_a.name, ea.handle, ea.attribute,
+                                        ea.value, app_b.name, eb.value
+                                    ),
+                                    vec![app_a.name.to_string(), app_b.name.to_string()],
+                                );
+                                out.push(flag_reflection(
+                                    v,
+                                    spec_a.via_reflection || spec_b.via_reflection,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// S.3: handlers of complement events must not change an attribute to the same value.
+fn check_s3(apps: &[AppUnderTest<'_>], registry: &CapabilityRegistry) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let all_specs: Vec<(&AppUnderTest<'_>, &soteria_analysis::TransitionSpec)> =
+        apps.iter().flat_map(|a| a.specs.iter().map(move |s| (a, s))).collect();
+    for (i, (app_a, spec_a)) in all_specs.iter().enumerate() {
+        for (app_b, spec_b) in all_specs.iter().skip(i + 1) {
+            let complement = spec_a.event.is_complement_of(&spec_b.event, |cap, attr| {
+                registry.enumerated_domain(cap, attr)
+            });
+            if !complement {
+                continue;
+            }
+            for ea in &spec_a.effects {
+                for eb in &spec_b.effects {
+                    if ea.repeats(eb) {
+                        let v = Violation::new(
+                            PropertyId::General(3),
+                            format!(
+                                "complement events {} and {} both set {}.{} to {}",
+                                spec_a.event.kind, spec_b.event.kind, ea.handle, ea.attribute, ea.value
+                            ),
+                            involved(app_a.name, app_b.name),
+                        );
+                        out.push(flag_reflection(
+                            v,
+                            spec_a.via_reflection || spec_b.via_reflection,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// S.4: non-complement handlers must not change an attribute to conflicting values
+/// (potential race condition).
+fn check_s4(apps: &[AppUnderTest<'_>], registry: &CapabilityRegistry) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let all_specs: Vec<(&AppUnderTest<'_>, &soteria_analysis::TransitionSpec)> =
+        apps.iter().flat_map(|a| a.specs.iter().map(move |s| (a, s))).collect();
+    for (i, (app_a, spec_a)) in all_specs.iter().enumerate() {
+        for (app_b, spec_b) in all_specs.iter().skip(i + 1) {
+            // Same events are covered by S.1; complement events are the normal on/off
+            // pattern and are excluded by definition.
+            if same_event(spec_a, spec_b) {
+                continue;
+            }
+            if spec_a.event.is_complement_of(&spec_b.event, |cap, attr| {
+                registry.enumerated_domain(cap, attr)
+            }) {
+                continue;
+            }
+            // Two scheduled (timer) events fire at developer-chosen distinct times and
+            // cannot race with each other; the paper's S.4 examples always involve at
+            // least one device or user event.
+            if matches!(spec_a.event.kind, EventKind::Timer { .. })
+                && matches!(spec_b.event.kind, EventKind::Timer { .. })
+            {
+                continue;
+            }
+            // Two value-specific events of the same device attribute (e.g.
+            // smoke.detected and smoke.clear) are mutually exclusive — the attribute
+            // cannot take both values at once — so they cannot race either, even when
+            // the attribute's domain has more than two values.
+            if let (
+                EventKind::Device { attribute: attr_a, value: Some(_), .. },
+                EventKind::Device { attribute: attr_b, value: Some(_), .. },
+            ) = (&spec_a.event.kind, &spec_b.event.kind)
+            {
+                if spec_a.event.handle == spec_b.event.handle && attr_a == attr_b {
+                    continue;
+                }
+            }
+            // Likewise, two value-specific location-mode events (mode.away vs
+            // mode.home) are mutually exclusive and cannot race.
+            if matches!(&spec_a.event.kind, EventKind::Mode { value: Some(_) })
+                && matches!(&spec_b.event.kind, EventKind::Mode { value: Some(_) })
+            {
+                continue;
+            }
+            for ea in &spec_a.effects {
+                for eb in &spec_b.effects {
+                    if ea.conflicts_with(eb) {
+                        let v = Violation::new(
+                            PropertyId::General(4),
+                            format!(
+                                "events {} and {} may race: one sets {}.{} to {}, the other to {}",
+                                spec_a.event.kind, spec_b.event.kind, ea.handle, ea.attribute,
+                                ea.value, eb.value
+                            ),
+                            involved(app_a.name, app_b.name),
+                        );
+                        out.push(flag_reflection(
+                            v,
+                            spec_a.via_reflection || spec_b.via_reflection,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// S.5: a handler that dispatches on an event value must be subscribed to that event.
+fn check_s5(apps: &[AppUnderTest<'_>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for app in apps {
+        for (handler, summary) in app.summaries {
+            if summary.evt_value_cases.is_empty() {
+                continue;
+            }
+            let subs = app.ir.subscriptions_of(handler);
+            for case in &summary.evt_value_cases {
+                let covered = subs.iter().any(|s| match &s.event.kind {
+                    EventKind::Device { value, .. } => {
+                        value.is_none() || value.as_deref() == Some(case.as_str())
+                    }
+                    EventKind::Mode { value } => {
+                        value.is_none() || value.as_deref() == Some(case.as_str())
+                    }
+                    EventKind::AppTouch | EventKind::Timer { .. } => true,
+                });
+                if !covered {
+                    out.push(Violation::new(
+                        PropertyId::General(5),
+                        format!(
+                            "handler {handler} handles the event value \"{case}\" but the app does not subscribe it to that event"
+                        ),
+                        vec![app.name.to_string()],
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn same_event(a: &soteria_analysis::TransitionSpec, b: &soteria_analysis::TransitionSpec) -> bool {
+    a.event.handle == b.event.handle && a.event.kind == b.event.kind
+}
+
+fn involved(a: &str, b: &str) -> Vec<String> {
+    if a == b {
+        vec![a.to_string()]
+    } else {
+        vec![a.to_string(), b.to_string()]
+    }
+}
+
+fn flag_reflection(v: Violation, via_reflection: bool) -> Violation {
+    if via_reflection {
+        v.as_possible_false_positive()
+    } else {
+        v
+    }
+}
+
+fn dedup(mut violations: Vec<Violation>) -> Vec<Violation> {
+    violations.sort_by(|a, b| (a.property, &a.description).cmp(&(b.property, &b.description)));
+    violations.dedup_by(|a, b| a.property == b.property && a.description == b.description);
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria_analysis::{AnalysisConfig, SymbolicExecutor};
+    use soteria_ir::AppIr;
+    use std::collections::BTreeMap;
+
+    struct Analyzed {
+        ir: AppIr,
+        specs: Vec<soteria_analysis::TransitionSpec>,
+        summaries: BTreeMap<String, soteria_analysis::HandlerSummary>,
+    }
+
+    fn analyze(src: &str) -> Analyzed {
+        let registry = CapabilityRegistry::standard();
+        let ir = AppIr::from_source("app", src, &registry).unwrap();
+        let exec = SymbolicExecutor::new(&ir, &registry, AnalysisConfig::paper());
+        let specs = exec.transition_specs();
+        let summaries = exec.handler_summaries();
+        Analyzed { ir, specs, summaries }
+    }
+
+    fn check_one(a: &Analyzed) -> Vec<Violation> {
+        let registry = CapabilityRegistry::standard();
+        let apps = [AppUnderTest {
+            name: a.ir.name.as_str(),
+            ir: &a.ir,
+            specs: &a.specs,
+            summaries: &a.summaries,
+        }];
+        check_general(&apps, &registry)
+    }
+
+    fn check_two(a: &Analyzed, b: &Analyzed) -> Vec<Violation> {
+        let registry = CapabilityRegistry::standard();
+        let apps = [
+            AppUnderTest { name: a.ir.name.as_str(), ir: &a.ir, specs: &a.specs, summaries: &a.summaries },
+            AppUnderTest { name: b.ir.name.as_str(), ir: &b.ir, specs: &b.specs, summaries: &b.summaries },
+        ];
+        check_general(&apps, &registry)
+    }
+
+    #[test]
+    fn s1_conflicting_values_on_one_path() {
+        let a = analyze(
+            r#"
+            definition(name: "TP7")
+            preferences { section("d") { input "the_light", "capability.switch" } }
+            def installed() { subscribe(app, appTouch, h) }
+            def h(evt) {
+                the_light.on()
+                the_light.off()
+            }
+        "#,
+        );
+        let v = check_one(&a);
+        assert!(v.iter().any(|v| v.property == PropertyId::General(1)));
+    }
+
+    #[test]
+    fn s2_repeated_same_value() {
+        let a = analyze(
+            r#"
+            definition(name: "TP9")
+            preferences { section("d") {
+                input "the_door", "capability.lock"
+                input "contact", "capability.contactSensor"
+            } }
+            def installed() { subscribe(contact, "contact.closed", h) }
+            def h(evt) {
+                the_door.lock()
+                the_door.lock()
+            }
+        "#,
+        );
+        let v = check_one(&a);
+        assert!(v.iter().any(|v| v.property == PropertyId::General(2)));
+        assert!(!v.iter().any(|v| v.property == PropertyId::General(1)));
+    }
+
+    #[test]
+    fn s3_complement_events_same_value() {
+        let a = analyze(
+            r#"
+            definition(name: "S3App")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "contact", "capability.contactSensor"
+            } }
+            def installed() {
+                subscribe(contact, "contact.open", h1)
+                subscribe(contact, "contact.closed", h2)
+            }
+            def h1(evt) { sw.on() }
+            def h2(evt) { sw.on() }
+        "#,
+        );
+        let v = check_one(&a);
+        assert!(v.iter().any(|v| v.property == PropertyId::General(3)));
+    }
+
+    #[test]
+    fn s4_race_between_non_complement_events() {
+        let a = analyze(
+            r#"
+            definition(name: "App7")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "presence", "capability.presenceSensor"
+            } }
+            def installed() {
+                subscribe(presence, "presence.present", h1)
+                runIn(3600, h2)
+            }
+            def h1(evt) { sw.on() }
+            def h2() { sw.off() }
+        "#,
+        );
+        let v = check_one(&a);
+        assert!(v.iter().any(|v| v.property == PropertyId::General(4)));
+    }
+
+    #[test]
+    fn complementary_on_off_is_not_a_race() {
+        let a = analyze(
+            r#"
+            definition(name: "Benign")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "m", "capability.motionSensor"
+            } }
+            def installed() {
+                subscribe(m, "motion.active", h1)
+                subscribe(m, "motion.inactive", h2)
+            }
+            def h1(evt) { sw.on() }
+            def h2(evt) { sw.off() }
+        "#,
+        );
+        let v = check_one(&a);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn s5_unsubscribed_event_case() {
+        let a = analyze(
+            r#"
+            definition(name: "App8")
+            preferences { section("d") {
+                input "the_door", "capability.lock"
+                input "m", "capability.motionSensor"
+            } }
+            def installed() {
+                subscribe(m, "motion.active", motionHandler)
+            }
+            def motionHandler(evt) {
+                if (evt.value == "active") { the_door.lock() }
+                if (evt.value == "inactive") { the_door.unlock() }
+            }
+        "#,
+        );
+        let v = check_one(&a);
+        // The "inactive" case is handled but never subscribed.
+        let s5: Vec<&Violation> =
+            v.iter().filter(|v| v.property == PropertyId::General(5)).collect();
+        assert_eq!(s5.len(), 1);
+        assert!(s5[0].description.contains("inactive"));
+    }
+
+    #[test]
+    fn cross_app_s1_when_same_event_conflicts() {
+        // The paper's Smoke-Alarm + App2 example: the smoke-detected event makes one
+        // app turn the switch on and the other turn it off.
+        let smoke_alarm = analyze(
+            r#"
+            definition(name: "Smoke-Alarm")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "smoke", "capability.smokeDetector"
+            } }
+            def installed() { subscribe(smoke, "smoke.detected", h) }
+            def h(evt) { sw.on() }
+        "#,
+        );
+        let app2 = analyze(
+            r#"
+            definition(name: "App2")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "smoke", "capability.smokeDetector"
+            } }
+            def installed() { subscribe(smoke, "smoke.detected", h) }
+            def h(evt) { sw.off() }
+        "#,
+        );
+        let v = check_two(&smoke_alarm, &app2);
+        let s1: Vec<&Violation> =
+            v.iter().filter(|v| v.property == PropertyId::General(1)).collect();
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].apps, vec!["Smoke-Alarm".to_string(), "App2".to_string()]);
+        // Individually, neither app violates anything.
+        assert!(check_one(&smoke_alarm).is_empty());
+        assert!(check_one(&app2).is_empty());
+    }
+
+    #[test]
+    fn cross_app_s2_when_same_event_repeats() {
+        let a = analyze(
+            r#"
+            definition(name: "O8")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "contact", "capability.contactSensor"
+            } }
+            def installed() { subscribe(contact, "contact.closed", h) }
+            def h(evt) { sw.off() }
+        "#,
+        );
+        let b = analyze(
+            r#"
+            definition(name: "TP12")
+            preferences { section("d") {
+                input "sw", "capability.switch"
+                input "contact", "capability.contactSensor"
+            } }
+            def installed() { subscribe(contact, "contact.closed", h) }
+            def h(evt) { sw.off() }
+        "#,
+        );
+        let v = check_two(&a, &b);
+        assert!(v.iter().any(|v| v.property == PropertyId::General(2)));
+    }
+}

@@ -1,0 +1,21 @@
+//! The Soteria property catalogue and property checks (Sec. 4.3, Appendix B).
+//!
+//! * [`GENERAL_PROPERTIES`] / [`check_general`] — the five general properties S.1–S.5,
+//!   checked structurally on the transition specifications of one or more apps.
+//! * [`APP_SPECIFIC_PROPERTIES`] / [`formula`] — the thirty application-specific
+//!   properties P.1–P.30 as CTL templates instantiated over the devices of the app or
+//!   app group under test; they are verified on the extracted Kripke structure by the
+//!   `soteria-checker` crate.
+//! * [`Violation`] — the violation report type shared by both kinds of checks.
+
+pub mod appspec;
+pub mod catalog;
+pub mod context;
+pub mod general;
+pub mod violation;
+
+pub use appspec::{applicable, applicable_properties, formula};
+pub use catalog::{property_info, PropertyInfo, APP_SPECIFIC_PROPERTIES, GENERAL_PROPERTIES};
+pub use context::{AppUnderTest, DeviceContext};
+pub use general::check_general;
+pub use violation::{PropertyId, Violation};

@@ -1,0 +1,102 @@
+//! Property identifiers and violation reports.
+
+use std::fmt;
+
+/// Identifier of a property from the paper's catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PropertyId {
+    /// A general property S.1–S.5 (constraints on states and transitions that are
+    /// independent of app semantics).
+    General(u8),
+    /// An application-specific property P.1–P.30 (device-centric use cases).
+    AppSpecific(u8),
+    /// The implicit determinism requirement: nondeterministic state models are
+    /// themselves reported as a safety violation (Sec. 4.2).
+    Determinism,
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyId::General(n) => write!(f, "S.{n}"),
+            PropertyId::AppSpecific(n) => write!(f, "P.{n}"),
+            PropertyId::Determinism => write!(f, "DET"),
+        }
+    }
+}
+
+/// A reported property violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated property.
+    pub property: PropertyId,
+    /// Human-readable explanation of the violation.
+    pub description: String,
+    /// The apps involved (one for individual analysis, several for app groups).
+    pub apps: Vec<String>,
+    /// Counter-example trace (state names) when produced by the model checker.
+    pub counterexample: Option<Vec<String>>,
+    /// True if the violation only arises through the reflection over-approximation and
+    /// may therefore be a false positive (the paper's MalIoT App5 case).
+    pub possibly_false_positive: bool,
+}
+
+impl Violation {
+    /// Builds a violation report.
+    pub fn new(property: PropertyId, description: impl Into<String>, apps: Vec<String>) -> Self {
+        Violation {
+            property,
+            description: description.into(),
+            apps,
+            counterexample: None,
+            possibly_false_positive: false,
+        }
+    }
+
+    /// Attaches a counter-example trace.
+    pub fn with_counterexample(mut self, trace: Vec<String>) -> Self {
+        self.counterexample = Some(trace);
+        self
+    }
+
+    /// Marks the violation as possibly spurious (reflection over-approximation).
+    pub fn as_possible_false_positive(mut self) -> Self {
+        self.possibly_false_positive = true;
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (apps: {})", self.property, self.description, self.apps.join(", "))?;
+        if self.possibly_false_positive {
+            write!(f, " [may be a false positive: reflection over-approximation]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_the_paper() {
+        assert_eq!(PropertyId::General(4).to_string(), "S.4");
+        assert_eq!(PropertyId::AppSpecific(30).to_string(), "P.30");
+        assert_eq!(PropertyId::Determinism.to_string(), "DET");
+        assert!(PropertyId::General(1) < PropertyId::General(2));
+    }
+
+    #[test]
+    fn violation_builders() {
+        let v = Violation::new(PropertyId::AppSpecific(10), "alarm stays off", vec!["App5".into()])
+            .with_counterexample(vec!["s0".into(), "s1".into()])
+            .as_possible_false_positive();
+        assert!(v.possibly_false_positive);
+        assert_eq!(v.counterexample.as_ref().unwrap().len(), 2);
+        let text = v.to_string();
+        assert!(text.contains("P.10"));
+        assert!(text.contains("false positive"));
+    }
+}

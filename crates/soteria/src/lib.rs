@@ -1,0 +1,58 @@
+//! Soteria: automated IoT safety and security analysis.
+//!
+//! A from-scratch Rust reproduction of *Soteria* (Celik, McDaniel, Tan — USENIX ATC
+//! 2018): a static-analysis system that validates whether an IoT app, or a collection
+//! of apps working in concert, adheres to identified safety, security, and functional
+//! properties.
+//!
+//! The pipeline (Fig. 3 of the paper):
+//!
+//! 1. translate the app source (a Groovy-subset SmartApp DSL) into an intermediate
+//!    representation — permissions, events/actions, call graphs (`soteria-ir`);
+//! 2. extract a finite state model via path-sensitive symbolic execution and property
+//!    abstraction (`soteria-analysis`, `soteria-model`);
+//! 3. verify the general properties S.1–S.5 and the applicable app-specific properties
+//!    P.1–P.30 with a CTL model checker (`soteria-properties`, `soteria-checker`);
+//! 4. for multi-app environments, build the union state model (Algorithm 2) and
+//!    re-check the properties on the combined behaviour.
+//!
+//! # Quick start
+//!
+//! ```
+//! use soteria::Soteria;
+//!
+//! let source = r#"
+//!     definition(name: "Water-Leak-Detector")
+//!     preferences {
+//!         section("When there's water detected...") {
+//!             input "water_sensor", "capability.waterSensor", title: "Where?"
+//!             input "valve_device", "capability.valve", title: "Valve device"
+//!         }
+//!     }
+//!     def installed() {
+//!         subscribe(water_sensor, "water.wet", waterWetHandler)
+//!     }
+//!     def waterWetHandler(evt) {
+//!         valve_device.close()
+//!     }
+//! "#;
+//!
+//! let analysis = Soteria::new().analyze_app("Water-Leak-Detector", source).unwrap();
+//! assert_eq!(analysis.model.state_count(), 4);
+//! assert!(analysis.violations.is_empty());
+//! ```
+
+pub mod analyzer;
+pub mod report;
+
+pub use analyzer::{default_initial_kripke, Soteria};
+pub use report::{render_environment_report, render_report, AppAnalysis, EnvironmentAnalysis};
+
+// Re-export the sub-crates so downstream users need a single dependency.
+pub use soteria_analysis as analysis;
+pub use soteria_capability as capability;
+pub use soteria_checker as checker;
+pub use soteria_ir as ir;
+pub use soteria_lang as lang;
+pub use soteria_model as model;
+pub use soteria_properties as properties;

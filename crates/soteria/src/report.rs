@@ -1,0 +1,208 @@
+//! Analysis results and textual reports (the console output of Fig. 9).
+
+use soteria_analysis::{Abstraction, HandlerSummary, TransitionSpec};
+use soteria_ir::AppIr;
+use soteria_model::StateModel;
+use soteria_properties::{PropertyId, Violation};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The result of analysing one app.
+#[derive(Debug, Clone)]
+pub struct AppAnalysis {
+    /// The app's intermediate representation.
+    pub ir: AppIr,
+    /// Transition specifications from the symbolic executor.
+    pub specs: Vec<TransitionSpec>,
+    /// Per-handler path summaries.
+    pub summaries: BTreeMap<String, HandlerSummary>,
+    /// Property abstraction of the app's attribute domains.
+    pub abstraction: Abstraction,
+    /// The extracted state model.
+    pub model: StateModel,
+    /// All property violations found.
+    pub violations: Vec<Violation>,
+    /// Number of states before property abstraction (Fig. 11 top).
+    pub states_before_reduction: usize,
+    /// Time spent extracting the IR and the state model (Fig. 11 bottom).
+    pub extraction_time: Duration,
+    /// Time spent verifying properties.
+    pub verification_time: Duration,
+}
+
+impl AppAnalysis {
+    /// Violations of general properties (S.1–S.5).
+    pub fn general_violations(&self) -> Vec<&Violation> {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v.property, PropertyId::General(_)))
+            .collect()
+    }
+
+    /// Violations of app-specific properties (P.1–P.30).
+    pub fn specific_violations(&self) -> Vec<&Violation> {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v.property, PropertyId::AppSpecific(_)))
+            .collect()
+    }
+
+    /// The distinct properties violated, in catalogue order.
+    pub fn violated_properties(&self) -> Vec<PropertyId> {
+        let mut ids: Vec<PropertyId> = self.violations.iter().map(|v| v.property).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// True if the analysis found at least one violation that is not marked as a
+    /// possible false positive.
+    pub fn has_confirmed_violation(&self) -> bool {
+        self.violations.iter().any(|v| !v.possibly_false_positive)
+    }
+}
+
+/// The result of analysing a multi-app environment.
+#[derive(Debug, Clone)]
+pub struct EnvironmentAnalysis {
+    /// Group name.
+    pub name: String,
+    /// The names of the member apps.
+    pub app_names: Vec<String>,
+    /// The union state model (Algorithm 2).
+    pub union_model: StateModel,
+    /// Violations that require the combined behaviour (not already reported by any
+    /// single member app).
+    pub violations: Vec<Violation>,
+    /// Time spent building the union model.
+    pub union_time: Duration,
+    /// Time spent verifying properties on the union.
+    pub verification_time: Duration,
+}
+
+impl EnvironmentAnalysis {
+    /// The distinct properties violated by the environment.
+    pub fn violated_properties(&self) -> Vec<PropertyId> {
+        let mut ids: Vec<PropertyId> = self.violations.iter().map(|v| v.property).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Renders a human-readable report for one app, mirroring the console output of
+/// Fig. 9: the IR, the state-model summary, and one verdict per checked property.
+pub fn render_report(analysis: &AppAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Soteria analysis: {} ===", analysis.ir.name);
+    let _ = writeln!(
+        out,
+        "devices: {}   user inputs: {}   entry points: {}",
+        analysis.ir.permissions.len(),
+        analysis.ir.user_inputs.len(),
+        analysis.ir.entry_points().len()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "--- Intermediate representation ---");
+    let _ = out.write_str(&soteria_ir::render_ir(&analysis.ir));
+    let _ = writeln!(out, "--- State model ---");
+    let _ = writeln!(
+        out,
+        "states: {} (before reduction: {})   transitions: {}   attributes: {}",
+        analysis.model.state_count(),
+        analysis.states_before_reduction,
+        analysis.model.transition_count(),
+        analysis.model.attribute_count()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "--- Property verification ---");
+    if analysis.violations.is_empty() {
+        let _ = writeln!(out, "all checked properties hold");
+    }
+    for violation in &analysis.violations {
+        let _ = writeln!(out, "VIOLATION {violation}");
+        if let Some(trace) = &violation.counterexample {
+            let _ = writeln!(out, "  counter-example: {}", trace.join(" -> "));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "extraction: {:.1} ms   verification: {:.1} ms",
+        analysis.extraction_time.as_secs_f64() * 1000.0,
+        analysis.verification_time.as_secs_f64() * 1000.0
+    );
+    out
+}
+
+/// Renders a report for a multi-app environment.
+pub fn render_environment_report(env: &EnvironmentAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Soteria environment analysis: {} ===", env.name);
+    let _ = writeln!(out, "apps: {}", env.app_names.join(", "));
+    let _ = writeln!(
+        out,
+        "union model: {} states, {} transitions, {} attributes",
+        env.union_model.state_count(),
+        env.union_model.transition_count(),
+        env.union_model.attribute_count()
+    );
+    if env.violations.is_empty() {
+        let _ = writeln!(out, "no additional violations in the combined environment");
+    }
+    for violation in &env.violations {
+        let _ = writeln!(out, "VIOLATION {violation}");
+        if let Some(trace) = &violation.counterexample {
+            let _ = writeln!(out, "  counter-example: {}", trace.join(" -> "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Soteria;
+
+    const APP: &str = r#"
+        definition(name: "Report-App")
+        preferences { section("d") {
+            input "water_sensor", "capability.waterSensor"
+            input "valve_device", "capability.valve"
+        } }
+        def installed() { subscribe(water_sensor, "water.wet", h) }
+        def h(evt) { valve_device.open() }
+    "#;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let analysis = Soteria::new().analyze_app("r", APP).unwrap();
+        let report = render_report(&analysis);
+        assert!(report.contains("=== Soteria analysis: Report-App ==="));
+        assert!(report.contains("--- Intermediate representation ---"));
+        assert!(report.contains("--- State model ---"));
+        assert!(report.contains("--- Property verification ---"));
+        assert!(report.contains("VIOLATION P.30"));
+        assert!(report.contains("counter-example:"));
+    }
+
+    #[test]
+    fn analysis_accessors() {
+        let analysis = Soteria::new().analyze_app("r", APP).unwrap();
+        assert!(analysis.has_confirmed_violation());
+        assert!(!analysis.specific_violations().is_empty());
+        assert!(analysis.general_violations().is_empty());
+        assert_eq!(analysis.violated_properties(), vec![PropertyId::AppSpecific(30)]);
+    }
+
+    #[test]
+    fn environment_report_lists_apps() {
+        let soteria = Soteria::new();
+        let a = soteria.analyze_app("r", APP).unwrap();
+        let env = soteria.analyze_environment("solo-group", std::slice::from_ref(&a));
+        let report = render_environment_report(&env);
+        assert!(report.contains("solo-group"));
+        assert!(report.contains("Report-App"));
+        assert!(env.violated_properties().len() <= a.violated_properties().len());
+    }
+}

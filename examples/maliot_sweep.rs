@@ -1,0 +1,53 @@
+//! Sweep the MalIoT test suite (Sec. 6.2) and print the per-app results table
+//! (Appendix C, Table 3 of the paper): detected violations, the App5 false positive,
+//! and the out-of-scope apps.
+//!
+//! Run with `cargo run --example maliot_sweep`.
+
+use soteria::Soteria;
+use soteria_corpus::{maliot_groups, maliot_suite};
+
+fn main() {
+    let soteria = Soteria::new();
+    println!("{:<8} {:<28} {:<28} {}", "App", "Expected", "Detected", "Notes");
+    println!("{}", "-".repeat(90));
+    let mut analyses = std::collections::BTreeMap::new();
+    for app in maliot_suite() {
+        let analysis = soteria.analyze_app(&app.id, &app.source).expect("MalIoT app parses");
+        let detected: Vec<String> =
+            analysis.violated_properties().iter().map(|p| p.to_string()).collect();
+        let expected: Vec<&str> = app.ground_truth.expected_properties();
+        let note = if let Some(reason) = &app.ground_truth.out_of_scope {
+            reason.clone()
+        } else if app.ground_truth.expectations.iter().any(|e| e.false_positive) {
+            "expected false positive (reflection over-approximation)".to_string()
+        } else if app.ground_truth.multi_app_group.is_some() {
+            "violation appears in a multi-app group".to_string()
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<8} {:<28} {:<28} {}",
+            app.id,
+            expected.join(", "),
+            detected.join(", "),
+            note
+        );
+        analyses.insert(app.id.clone(), analysis);
+    }
+
+    println!("\nMulti-app groups:");
+    for (name, members, expected) in maliot_groups() {
+        let member_analyses: Vec<_> = members.iter().map(|m| analyses[*m].clone()).collect();
+        let env = soteria.analyze_environment(name, &member_analyses);
+        let detected: Vec<String> =
+            env.violated_properties().iter().map(|p| p.to_string()).collect();
+        println!(
+            "  {:<12} members: {:<24} expected: {:<8} environment-level findings: {}",
+            name,
+            members.join("+"),
+            expected.join(", "),
+            detected.join(", ")
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Market study (Sec. 6.1): analyse all 65 market apps, print the Table 2 dataset
+//! statistics and the Table 3 list of flagged individual apps.
+//!
+//! Run with `cargo run --example market_study`.
+
+use soteria::{AppAnalysis, Soteria};
+use soteria_corpus::{official_apps, third_party_apps, CorpusApp};
+
+fn dataset_row(name: &str, apps: &[CorpusApp], analyses: &[AppAnalysis]) {
+    let unique_devices: std::collections::BTreeSet<&str> = analyses
+        .iter()
+        .flat_map(|a| a.ir.capabilities())
+        .collect();
+    let states: Vec<usize> = analyses.iter().map(|a| a.model.state_count()).collect();
+    let loc: Vec<usize> = analyses.iter().map(|a| a.ir.lines_of_code).collect();
+    println!(
+        "{:<12} {:>5} {:>15} {:>11}/{:<6} {:>9}/{:<6}",
+        name,
+        apps.len(),
+        unique_devices.len(),
+        states.iter().sum::<usize>() / states.len().max(1),
+        states.iter().max().unwrap_or(&0),
+        loc.iter().sum::<usize>() / loc.len().max(1),
+        loc.iter().max().unwrap_or(&0),
+    );
+}
+
+fn main() {
+    let soteria = Soteria::new();
+    let official = official_apps();
+    let third_party = third_party_apps();
+    let official_analyses: Vec<AppAnalysis> = official
+        .iter()
+        .map(|a| soteria.analyze_app(&a.id, &a.source).expect("official app parses"))
+        .collect();
+    let tp_analyses: Vec<AppAnalysis> = third_party
+        .iter()
+        .map(|a| soteria.analyze_app(&a.id, &a.source).expect("third-party app parses"))
+        .collect();
+
+    println!("Table 2 — dataset description");
+    println!(
+        "{:<12} {:>5} {:>15} {:>18} {:>16}",
+        "Group", "Nr.", "Unique devices", "Avg/Max states", "Avg/Max LOC"
+    );
+    dataset_row("Official", &official, &official_analyses);
+    dataset_row("Third-party", &third_party, &tp_analyses);
+
+    println!("\nTable 3 — individual apps flagged by the analysis");
+    for (app, analysis) in third_party.iter().zip(&tp_analyses) {
+        if analysis.violations.is_empty() {
+            continue;
+        }
+        let properties: Vec<String> =
+            analysis.violated_properties().iter().map(|p| p.to_string()).collect();
+        println!("  {:<6} violates {}", app.id, properties.join(" and "));
+    }
+    let flagged_official =
+        official_analyses.iter().filter(|a| !a.violations.is_empty()).count();
+    println!("\nOfficial apps flagged: {flagged_official} (the paper also reports zero)");
+}

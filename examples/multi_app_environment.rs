@@ -1,0 +1,40 @@
+//! Multi-app environment analysis (Sec. 4.4): analyse the market app groups G.1–G.3
+//! and show the violations that only appear when the apps are installed together.
+//!
+//! Run with `cargo run --example multi_app_environment`.
+
+use soteria::{render_environment_report, Soteria};
+use soteria_corpus::{all_market_apps, market_groups};
+
+fn main() {
+    let soteria = Soteria::new();
+    let corpus = all_market_apps();
+
+    for group in market_groups() {
+        println!("==================== Group {} ====================", group.id);
+        let members: Vec<_> = group
+            .members
+            .iter()
+            .map(|id| {
+                let app = corpus.iter().find(|a| &a.id == id).expect("member exists");
+                soteria.analyze_app(&app.id, &app.source).expect("member parses")
+            })
+            .collect();
+        for member in &members {
+            println!(
+                "  {:6} {:3} states  {:3} transitions  {} individual violations",
+                member.ir.name,
+                member.model.state_count(),
+                member.model.transition_count(),
+                member.violations.len()
+            );
+        }
+        let env = soteria.analyze_environment(group.id, &members);
+        println!();
+        println!("{}", render_environment_report(&env));
+        println!(
+            "expected by the paper: {}\n",
+            group.expected.join(", ")
+        );
+    }
+}

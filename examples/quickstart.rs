@@ -1,0 +1,32 @@
+//! Quickstart: analyse the Water-Leak-Detector running example and print the Fig. 9
+//! style console output (IR, state model, SMV, property verdicts).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use soteria::{render_report, Soteria};
+use soteria_corpus::running;
+
+fn main() {
+    let soteria = Soteria::new();
+    let analysis = soteria
+        .analyze_app("Water-Leak-Detector", running::WATER_LEAK_DETECTOR)
+        .expect("the running example parses");
+
+    println!("{}", render_report(&analysis));
+
+    println!("--- GraphViz state model ---");
+    println!("{}", soteria::model::render_dot(&analysis.model, false));
+
+    println!("--- SMV model ---");
+    let ctx = soteria::properties::DeviceContext::from_apps(&[soteria::properties::AppUnderTest {
+        name: &analysis.ir.name,
+        ir: &analysis.ir,
+        specs: &analysis.specs,
+        summaries: &analysis.summaries,
+    }]);
+    let specs: Vec<_> = soteria::properties::applicable_properties(&ctx)
+        .into_iter()
+        .filter_map(|id| soteria::properties::formula(id, &ctx))
+        .collect();
+    println!("{}", soteria::checker::render_smv(&analysis.model, &specs));
+}

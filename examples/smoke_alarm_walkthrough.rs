@@ -1,0 +1,36 @@
+//! Walkthrough of the paper's Sec. 3 motivating example: the correct Smoke-Alarm app
+//! versus the buggy variant that silences the alarm right after it sounds.
+//!
+//! Run with `cargo run --example smoke_alarm_walkthrough`.
+
+use soteria::{render_report, Soteria};
+use soteria_corpus::running;
+
+fn main() {
+    let soteria = Soteria::new();
+
+    println!("################ Expected behaviour ################");
+    let good = soteria
+        .analyze_app("Smoke-Alarm", running::SMOKE_ALARM)
+        .expect("Smoke-Alarm parses");
+    println!("{}", render_report(&good));
+    println!(
+        "state reduction: {} states before property abstraction, {} after\n",
+        good.states_before_reduction,
+        good.model.state_count()
+    );
+
+    println!("################ Actual (buggy) behaviour ################");
+    let buggy = soteria
+        .analyze_app("Buggy-Smoke-Alarm", running::BUGGY_SMOKE_ALARM)
+        .expect("buggy variant parses");
+    println!("{}", render_report(&buggy));
+    for violation in &buggy.violations {
+        if let Some(trace) = &violation.counterexample {
+            println!("counter-example for {}:", violation.property);
+            for (i, state) in trace.iter().enumerate() {
+                println!("  {i}: {state}");
+            }
+        }
+    }
+}

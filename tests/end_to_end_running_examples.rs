@@ -1,0 +1,79 @@
+//! End-to-end pipeline tests on the paper's running examples (Sec. 3, Appendix A).
+
+use soteria::{render_report, Soteria};
+use soteria_corpus::running;
+
+#[test]
+fn water_leak_detector_model_matches_paper_shape() {
+    let soteria = Soteria::new();
+    let analysis = soteria
+        .analyze_app("Water-Leak-Detector", running::WATER_LEAK_DETECTOR)
+        .expect("parses and analyses");
+    // Two binary devices -> four states (Sec. 4.2.1), and the water.wet handler closes
+    // the valve from every state.
+    assert_eq!(analysis.model.state_count(), 4);
+    assert!(analysis.model.transition_count() >= 4);
+    assert!(analysis.violations.is_empty(), "violations: {:?}", analysis.violations);
+    // The generated artefacts match Fig. 9: DOT, SMV, and the textual report.
+    let dot = soteria::model::render_dot(&analysis.model, false);
+    assert!(dot.contains("water.wet"));
+    let smv = soteria::checker::render_smv(&analysis.model, &[]);
+    assert!(smv.contains("MODULE main"));
+    let report = render_report(&analysis);
+    assert!(report.contains("Water-Leak-Detector"));
+}
+
+#[test]
+fn smoke_alarm_is_safe_and_buggy_variant_violates_p10() {
+    let soteria = Soteria::new();
+    let good = soteria.analyze_app("Smoke-Alarm", running::SMOKE_ALARM).unwrap();
+    assert!(
+        good.violations.is_empty(),
+        "the correct Smoke-Alarm should satisfy all properties: {:?}",
+        good.violations
+    );
+    // Property abstraction reduces the battery attribute's 101 values.
+    assert!(good.states_before_reduction > good.model.state_count());
+
+    let buggy = soteria.analyze_app("Buggy-Smoke-Alarm", running::BUGGY_SMOKE_ALARM).unwrap();
+    let violated: Vec<String> =
+        buggy.violated_properties().iter().map(|p| p.to_string()).collect();
+    assert!(violated.contains(&"P.10".to_string()), "violated: {violated:?}");
+    assert!(violated.contains(&"S.1".to_string()), "violated: {violated:?}");
+}
+
+#[test]
+fn thermostat_energy_control_extracts_guarded_transitions() {
+    let soteria = Soteria::new();
+    let analysis = soteria
+        .analyze_app("Thermostat-Energy-Control", running::THERMOSTAT_ENERGY_CONTROL)
+        .unwrap();
+    assert!(analysis.violations.is_empty(), "violations: {:?}", analysis.violations);
+    // The power handler's transitions are guarded by the paper's >50 / <5 predicates.
+    let conditions: Vec<String> =
+        analysis.specs.iter().map(|s| s.condition.to_string()).collect();
+    assert!(conditions.iter().any(|c| c.contains("> 50")), "conditions: {conditions:?}");
+    assert!(conditions.iter().any(|c| c.contains("< 5")), "conditions: {conditions:?}");
+    // The heating setpoint is resolved to the developer constant 68 (Fig. 6).
+    let domain = analysis.abstraction.domain("ther", "heatingSetpoint").unwrap();
+    assert!(domain.contains(&soteria::capability::AttributeValue::Number(68)));
+}
+
+#[test]
+fn smoke_alarm_and_water_leak_environment() {
+    // Sec. 3's multi-app example: the two apps share the water valve.
+    let soteria = Soteria::new();
+    let alarm = soteria.analyze_app("Smoke-Alarm", running::SMOKE_ALARM).unwrap();
+    let leak = soteria.analyze_app("Water-Leak-Detector", running::WATER_LEAK_DETECTOR).unwrap();
+    let env = soteria.analyze_environment("smoke+leak", &[alarm, leak]);
+    // The union deduplicates the shared valve and keeps both apps' transitions.
+    assert!(env.union_model.transition_count() > 0);
+    let apps_on_edges: std::collections::BTreeSet<&str> = env
+        .union_model
+        .transitions
+        .iter()
+        .map(|t| t.label.app.as_str())
+        .collect();
+    assert!(apps_on_edges.contains("Smoke-Alarm"));
+    assert!(apps_on_edges.contains("Water-Leak-Detector"));
+}

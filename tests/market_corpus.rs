@@ -1,0 +1,88 @@
+//! Market-corpus evaluation (Sec. 6.1, Table 3): individual-app analysis over the 65
+//! re-created market apps.
+
+use soteria::{AppAnalysis, Soteria};
+use soteria_corpus::{official_apps, third_party_apps};
+
+fn violated(analysis: &AppAnalysis) -> Vec<String> {
+    analysis.violated_properties().iter().map(|p| p.to_string()).collect()
+}
+
+#[test]
+fn official_apps_have_no_individual_violations() {
+    let soteria = Soteria::new();
+    for app in official_apps() {
+        let analysis = soteria
+            .analyze_app(&app.id, &app.source)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.id));
+        assert!(
+            analysis.violations.is_empty(),
+            "official app {} unexpectedly violates {:?}",
+            app.id,
+            analysis.violations
+        );
+    }
+}
+
+#[test]
+fn flagged_third_party_apps_violate_their_expected_properties() {
+    let soteria = Soteria::new();
+    for app in third_party_apps() {
+        let analysis = soteria
+            .analyze_app(&app.id, &app.source)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.id));
+        let found = violated(&analysis);
+        for expectation in &app.ground_truth.expectations {
+            assert!(
+                found.contains(&expectation.property),
+                "{}: expected {} but found {:?}",
+                app.id,
+                expectation.property,
+                found
+            );
+        }
+    }
+}
+
+#[test]
+fn benign_third_party_apps_are_clean() {
+    let soteria = Soteria::new();
+    for app in third_party_apps() {
+        if !app.ground_truth.expectations.is_empty() {
+            continue;
+        }
+        let analysis = soteria.analyze_app(&app.id, &app.source).unwrap();
+        assert!(
+            analysis.violations.is_empty(),
+            "benign app {} unexpectedly violates {:?}",
+            app.id,
+            analysis.violations
+        );
+    }
+}
+
+#[test]
+fn table3_summary_counts() {
+    // The paper flags nine individual apps (one with multiple properties, eight with a
+    // single property), all of them third-party.
+    let soteria = Soteria::new();
+    let mut flagged: Vec<String> = Vec::new();
+    let mut multi_property: Vec<(String, Vec<String>)> = Vec::new();
+    for app in third_party_apps() {
+        let analysis = soteria.analyze_app(&app.id, &app.source).unwrap();
+        if !analysis.violations.is_empty() {
+            flagged.push(app.id.clone());
+            let properties: Vec<String> =
+                analysis.violated_properties().iter().map(|p| p.to_string()).collect();
+            if properties.len() > 1 {
+                multi_property.push((app.id.clone(), properties));
+            }
+        }
+    }
+    assert_eq!(flagged.len(), 9, "nine third-party apps are flagged individually: {flagged:?}");
+    assert_eq!(
+        multi_property.len(),
+        1,
+        "exactly one app violates multiple properties: {multi_property:?}"
+    );
+}

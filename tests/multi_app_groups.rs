@@ -1,0 +1,88 @@
+//! Multi-app environment evaluation (Sec. 6.1, Table 4): the interacting app groups
+//! G.1–G.3 violate properties none of their members violates alone.
+
+use soteria::{AppAnalysis, Soteria};
+use soteria_corpus::{all_market_apps, market_groups};
+use std::collections::BTreeMap;
+
+fn analyze_members(soteria: &Soteria) -> BTreeMap<String, AppAnalysis> {
+    let member_ids: Vec<String> = market_groups()
+        .iter()
+        .flat_map(|g| g.members.iter().map(|m| m.to_string()))
+        .collect();
+    all_market_apps()
+        .into_iter()
+        .filter(|a| member_ids.contains(&a.id))
+        .map(|a| {
+            let analysis = soteria.analyze_app(&a.id, &a.source).unwrap();
+            (a.id, analysis)
+        })
+        .collect()
+}
+
+#[test]
+fn group_members_are_individually_clean() {
+    let soteria = Soteria::new();
+    let analyses = analyze_members(&soteria);
+    // All group members except TP2, TP3 (flagged individually in Table 3) are clean on
+    // their own — the group violations only appear in the combined environment.
+    for (id, analysis) in &analyses {
+        if id == "TP2" || id == "TP3" {
+            continue;
+        }
+        assert!(
+            analysis.violations.is_empty(),
+            "group member {id} unexpectedly violates {:?} alone",
+            analysis.violations
+        );
+    }
+}
+
+#[test]
+fn groups_violate_the_expected_properties() {
+    let soteria = Soteria::new();
+    let analyses = analyze_members(&soteria);
+    for group in market_groups() {
+        let members: Vec<AppAnalysis> =
+            group.members.iter().map(|m| analyses[*m].clone()).collect();
+        let env = soteria.analyze_environment(group.id, &members);
+        let mut found: Vec<String> =
+            env.violated_properties().iter().map(|p| p.to_string()).collect();
+        // Violations already visible in a member's individual report also count
+        // towards the group (the paper lists TP3's S.4 under G.2 for instance).
+        for member in &members {
+            found.extend(member.violated_properties().iter().map(|p| p.to_string()));
+        }
+        for property in &group.expected {
+            assert!(
+                found.contains(&property.to_string()),
+                "{}: expected {} but found {:?}",
+                group.id,
+                property,
+                found
+            );
+        }
+    }
+}
+
+#[test]
+fn union_models_are_larger_than_members() {
+    let soteria = Soteria::new();
+    let analyses = analyze_members(&soteria);
+    for group in market_groups() {
+        let members: Vec<AppAnalysis> =
+            group.members.iter().map(|m| analyses[*m].clone()).collect();
+        let env = soteria.analyze_environment(group.id, &members);
+        let max_member_transitions =
+            members.iter().map(|m| m.model.transition_count()).max().unwrap_or(0);
+        assert!(
+            env.union_model.transition_count() >= max_member_transitions,
+            "{}: union has fewer transitions than its largest member",
+            group.id
+        );
+        // Union edges carry the contributing app's name (Algorithm 2's edge labels).
+        let apps: std::collections::BTreeSet<&str> =
+            env.union_model.transitions.iter().map(|t| t.label.app.as_str()).collect();
+        assert!(apps.len() >= 2, "{}: union should mix several apps", group.id);
+    }
+}
