@@ -27,6 +27,10 @@ const NEUTRAL_METHODS: &[&str] = &[
     "getSunriseAndSunset", "timeOfDayIsBetween", "refresh", "poll",
 ];
 
+/// The ESP merge key of a path: its observable effects and environment, without the
+/// path condition.
+type MergeKey = (Vec<AttrChange>, Vec<(String, SymValue)>, bool, Option<SymValue>);
+
 /// One in-flight execution path.
 #[derive(Debug, Clone, PartialEq)]
 struct PathState {
@@ -51,7 +55,7 @@ impl PathState {
     }
 
     /// The part of the state compared by ESP merging: everything except the condition.
-    fn merge_key(&self) -> (Vec<AttrChange>, Vec<(String, SymValue)>, bool, Option<SymValue>) {
+    fn merge_key(&self) -> MergeKey {
         (
             self.effects.clone(),
             self.env.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),

@@ -1,9 +1,13 @@
 //! Criterion bench for Fig. 11 (bottom): state-model extraction time as a function of
-//! model size, measured on representative corpus apps.
+//! model size, measured on representative corpus apps, plus a packed-vs-legacy
+//! comparison of the model-construction step across the whole market corpus.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use soteria::Soteria;
+use soteria_bench::analyze_all;
 use soteria_corpus::{all_market_apps, running};
+use soteria_model::legacy::build_state_model_legacy;
+use soteria_model::{build_state_model, BuildOptions};
 use std::hint::black_box;
 
 fn bench_extraction(c: &mut Criterion) {
@@ -30,6 +34,30 @@ fn bench_extraction(c: &mut Criterion) {
         .expect("corpus not empty");
     group.bench_function("largest_market_app", |b| {
         b.iter(|| soteria.analyze_app(black_box(&largest.id), black_box(&largest.source)).unwrap())
+    });
+
+    // Model construction alone (symbolic execution factored out), packed vs legacy,
+    // across the whole market corpus.
+    let analyses = analyze_all(&soteria, &all_market_apps());
+    let options = BuildOptions::default();
+    group.bench_function("market_model_construction_packed", |b| {
+        b.iter(|| {
+            for a in &analyses {
+                black_box(build_state_model(&a.ir.name, &a.abstraction, &a.specs, &options));
+            }
+        })
+    });
+    group.bench_function("market_model_construction_legacy", |b| {
+        b.iter(|| {
+            for a in &analyses {
+                black_box(build_state_model_legacy(
+                    &a.ir.name,
+                    &a.abstraction,
+                    &a.specs,
+                    &options,
+                ));
+            }
+        })
     });
     group.finish();
 }

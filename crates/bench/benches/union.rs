@@ -1,9 +1,11 @@
 //! Criterion bench for the Sec. 6.3 union-algorithm micro-benchmark: building the
-//! union state model of an interacting app group (Algorithm 2).
+//! union state model of an interacting app group (Algorithm 2), with the packed
+//! (interned-schema) path measured against the preserved seed (`legacy`) path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use soteria::Soteria;
 use soteria_corpus::{all_market_apps, market_groups};
+use soteria_model::legacy::union_models_legacy;
 use soteria_model::{union_models, StateModel, UnionOptions};
 use std::hint::black_box;
 
@@ -22,11 +24,12 @@ fn bench_union(c: &mut Criterion) {
                 soteria.analyze_app(&app.id, &app.source).expect("member parses").model
             })
             .collect();
+        let refs: Vec<&StateModel> = members.iter().collect();
         group_bench.bench_function(group.id, |b| {
-            b.iter(|| {
-                let refs: Vec<&StateModel> = members.iter().collect();
-                union_models(black_box(group.id), &refs, &UnionOptions::default())
-            })
+            b.iter(|| union_models(black_box(group.id), &refs, &UnionOptions::default()))
+        });
+        group_bench.bench_function(format!("{}_legacy", group.id), |b| {
+            b.iter(|| union_models_legacy(black_box(group.id), &refs, &UnionOptions::default()))
         });
     }
     group_bench.finish();

@@ -11,7 +11,7 @@ fn main() {
     let mut analyses = std::collections::BTreeMap::new();
 
     println!("MalIoT results — individual analysis");
-    println!("{:<8} {:<22} {:<22} {}", "App", "Expected", "Detected", "Outcome");
+    println!("{:<8} {:<22} {:<22} Outcome", "App", "Expected", "Detected");
     println!("{}", "-".repeat(95));
     for app in maliot_suite() {
         let analysis = soteria.analyze_app(&app.id, &app.source).expect("MalIoT app parses");

@@ -1,0 +1,208 @@
+//! Before/after measurement of the interned-schema fast path.
+//!
+//! Runs model construction (extraction) and the union algorithm on the market-study
+//! corpus (65 apps, groups G.1–G.3) and the MalIoT suite with both implementations —
+//! the packed digit-arithmetic path and the preserved seed (`legacy`) path — and
+//! writes the measured means and speedups to `BENCH_pr1.json` (or the path given as
+//! the first argument).
+//!
+//! Usage: `cargo run --release -p soteria-bench --bin packed_vs_legacy [out.json]`
+
+use soteria::Soteria;
+use soteria_bench::analyze_all;
+use soteria_corpus::{all_market_apps, maliot_groups, maliot_suite, market_groups};
+use soteria_model::legacy::{build_state_model_legacy, union_models_legacy};
+use soteria_model::{build_state_model, union_models, BuildOptions, StateModel, UnionOptions};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Row {
+    name: String,
+    packed: Duration,
+    legacy: Duration,
+    iterations: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.legacy.as_secs_f64() / self.packed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Mean wall-clock time of `f` over enough iterations to exceed ~200ms of work.
+fn measure<R>(mut f: impl FnMut() -> R) -> (Duration, usize) {
+    std::hint::black_box(f());
+    let budget = Duration::from_millis(200);
+    let mut total = Duration::ZERO;
+    let mut iters = 0usize;
+    while total < budget || iters < 5 {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        total += start.elapsed();
+        iters += 1;
+        if iters >= 200 {
+            break;
+        }
+    }
+    (total / iters as u32, iters)
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr1.json".to_string());
+    let soteria = Soteria::new();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Extraction (model construction) over the market corpus. ---
+    let market = all_market_apps();
+    eprintln!("analysing {} market apps...", market.len());
+    let analyses = analyze_all(&soteria, &market);
+    eprintln!("measuring market extraction...");
+    let build_options = BuildOptions::default();
+    let (packed, p_iters) = measure(|| {
+        for a in &analyses {
+            std::hint::black_box(build_state_model(
+                &a.ir.name,
+                &a.abstraction,
+                &a.specs,
+                &build_options,
+            ));
+        }
+    });
+    let (legacy, _) = measure(|| {
+        for a in &analyses {
+            std::hint::black_box(build_state_model_legacy(
+                &a.ir.name,
+                &a.abstraction,
+                &a.specs,
+                &build_options,
+            ));
+        }
+    });
+    rows.push(Row {
+        name: "extraction/market_65_apps".into(),
+        packed,
+        legacy,
+        iterations: p_iters,
+    });
+
+    // --- Extraction over the MalIoT suite. ---
+    eprintln!("measuring MalIoT extraction...");
+    let maliot = maliot_suite();
+    let maliot_analyses = analyze_all(&soteria, &maliot);
+    let (packed, p_iters) = measure(|| {
+        for a in &maliot_analyses {
+            std::hint::black_box(build_state_model(
+                &a.ir.name,
+                &a.abstraction,
+                &a.specs,
+                &build_options,
+            ));
+        }
+    });
+    let (legacy, _) = measure(|| {
+        for a in &maliot_analyses {
+            std::hint::black_box(build_state_model_legacy(
+                &a.ir.name,
+                &a.abstraction,
+                &a.specs,
+                &build_options,
+            ));
+        }
+    });
+    rows.push(Row {
+        name: "extraction/maliot_suite".into(),
+        packed,
+        legacy,
+        iterations: p_iters,
+    });
+
+    // --- Union (Algorithm 2) over the market interaction groups. ---
+    let union_options = UnionOptions::default();
+    for group in market_groups() {
+        eprintln!("measuring union {}...", group.id);
+        // `analyses` is index-parallel to `market` (analyze_all preserves order).
+        let members: Vec<StateModel> = group
+            .members
+            .iter()
+            .map(|id| {
+                let idx = market
+                    .iter()
+                    .position(|m| &m.id == id)
+                    .unwrap_or_else(|| panic!("member {id} in corpus"));
+                analyses[idx].model.clone()
+            })
+            .collect();
+        let refs: Vec<&StateModel> = members.iter().collect();
+        let (packed, p_iters) =
+            measure(|| std::hint::black_box(union_models(group.id, &refs, &union_options)));
+        let (legacy, _) = measure(|| {
+            std::hint::black_box(union_models_legacy(group.id, &refs, &union_options))
+        });
+        rows.push(Row {
+            name: format!("union/market_{}", group.id),
+            packed,
+            legacy,
+            iterations: p_iters,
+        });
+    }
+
+    // --- Union over the MalIoT multi-app groups. ---
+    for (group_name, members, _) in maliot_groups() {
+        eprintln!("measuring union {group_name}...");
+        let models: Vec<StateModel> = members
+            .iter()
+            .map(|id| {
+                let idx = maliot
+                    .iter()
+                    .position(|m| &m.id == id)
+                    .unwrap_or_else(|| panic!("member {id} in MalIoT suite"));
+                maliot_analyses[idx].model.clone()
+            })
+            .collect();
+        let refs: Vec<&StateModel> = models.iter().collect();
+        let (packed, p_iters) =
+            measure(|| std::hint::black_box(union_models(group_name, &refs, &union_options)));
+        let (legacy, _) = measure(|| {
+            std::hint::black_box(union_models_legacy(group_name, &refs, &union_options))
+        });
+        rows.push(Row {
+            name: format!("union/maliot_{group_name}"),
+            packed,
+            legacy,
+            iterations: p_iters,
+        });
+    }
+
+    // --- Report. ---
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    println!("{:<32} {:>14} {:>14} {:>9}", "benchmark", "packed", "legacy", "speedup");
+    for (i, row) in rows.iter().enumerate() {
+        println!(
+            "{:<32} {:>14?} {:>14?} {:>8.1}x",
+            row.name,
+            row.packed,
+            row.legacy,
+            row.speedup()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"packed_ns\": {}, \"legacy_ns\": {}, \"speedup\": {:.2}, \"iterations\": {}}}{}",
+            row.name,
+            row.packed.as_nanos(),
+            row.legacy.as_nanos(),
+            row.speedup(),
+            row.iterations,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    let min = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
+    println!("{:<32} {:>38.1}x (geomean), {:.1}x (min)", "overall", geomean, min);
+    let _ = write!(
+        json,
+        "  ],\n  \"speedup_geomean\": {geomean:.2},\n  \"speedup_min\": {min:.2}\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write results");
+    println!("wrote {out_path}");
+}

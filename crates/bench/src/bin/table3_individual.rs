@@ -7,7 +7,7 @@ use soteria_corpus::all_market_apps;
 fn main() {
     let soteria = Soteria::new();
     println!("Table 3 — property violations in individual market apps");
-    println!("{:<8} {:<20} {}", "App", "Violated properties", "Details");
+    println!("{:<8} {:<20} Details", "App", "Violated properties");
     println!("{}", "-".repeat(90));
     let mut flagged = 0usize;
     for app in all_market_apps() {

@@ -59,17 +59,12 @@ impl<'a> ModelChecker<'a> {
         match formula {
             Ctl::True => BitSet::full(n),
             Ctl::False => BitSet::empty(n),
-            Ctl::Atom(a) => {
-                let mut set = BitSet::empty(n);
-                if let Some(idx) = self.kripke.atom_index(a) {
-                    for s in 0..n {
-                        if self.kripke.labels[s].contains(&idx) {
-                            set.insert(s);
-                        }
-                    }
-                }
-                set
-            }
+            Ctl::Atom(a) => match self.kripke.atom_index(a) {
+                // The Kripke structure stores labelling column-wise; satisfaction of
+                // an atom is its precomputed row, not a per-state scan.
+                Some(idx) => self.kripke.atom_row(idx).clone(),
+                None => BitSet::empty(n),
+            },
             Ctl::Not(f) => {
                 let mut set = self.sat(f);
                 set.complement();
@@ -265,25 +260,22 @@ impl<'a> ModelChecker<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
 
     /// A hand-built three-state Kripke structure:
     /// s0 --> s1 --> s2, s2 loops; atoms: p on s0 and s1, q on s2.
     fn line_kripke() -> Kripke {
-        Kripke {
+        let mut kripke = Kripke {
             atoms: vec!["p".into(), "q".into()],
-            labels: vec![
-                BTreeSet::from([0]),
-                BTreeSet::from([0]),
-                BTreeSet::from([1]),
-            ],
             state_names: vec!["s0".into(), "s1".into(), "s2".into()],
             successors: vec![vec![1], vec![2], vec![2]],
             initial: vec![0],
             model_state: vec![0, 1, 2],
             incoming_event: vec![None, None, None],
             incoming_app: vec![None, None, None],
-        }
+            ..Default::default()
+        };
+        kripke.set_labels(&[vec![0], vec![0], vec![1]]);
+        kripke
     }
 
     fn check(engine: Engine, formula: &Ctl) -> CheckResult {

@@ -48,6 +48,7 @@ impl Ctl {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Ctl {
         Ctl::Not(Box::new(self))
     }

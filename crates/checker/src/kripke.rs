@@ -4,9 +4,17 @@
 //! a Kripke state is a pair of a model state and the event that produced it, so
 //! properties of the form "when event E occurs, X must hold" become `AG(event_E → X)`
 //! (the paper's `water.wet → AX valve.on` example).
+//!
+//! Labelling is stored column-wise: for every atom a [`BitSet`] row over the state
+//! universe. `Ctl::Atom` satisfaction in the checker is then a single row clone, and
+//! atom lookup goes through a `HashMap` built once at construction instead of the
+//! seed's linear scan per query. Attribute propositions are precomputed per
+//! `(attribute id, value digit)` pair of the model's interned schema, so building the
+//! structure formats each proposition string once rather than once per state.
 
+use crate::bitset::BitSet;
 use soteria_model::{StateId, StateModel};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::HashMap;
 
 /// A Kripke structure: states labelled with atomic propositions and a total
 /// transition relation.
@@ -14,8 +22,6 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct Kripke {
     /// The atomic-proposition universe.
     pub atoms: Vec<String>,
-    /// For each state, the indices (into `atoms`) of the propositions holding there.
-    pub labels: Vec<BTreeSet<usize>>,
     /// Human-readable state names (for counter-example traces).
     pub state_names: Vec<String>,
     /// Successor lists; the relation is made total by adding self-loops to deadlocked
@@ -29,30 +35,59 @@ pub struct Kripke {
     pub incoming_event: Vec<Option<String>>,
     /// The app (if any) whose transition produced each Kripke state.
     pub incoming_app: Vec<Option<String>>,
+    /// Atom name -> index, built once at construction.
+    pub(crate) atom_lookup: HashMap<String, usize>,
+    /// For each atom, the set of states where it holds, packed as a bitset row over
+    /// the state universe.
+    pub(crate) atom_rows: Vec<BitSet>,
 }
 
 impl Kripke {
     /// Number of states.
     pub fn state_count(&self) -> usize {
-        self.labels.len()
+        self.state_names.len()
     }
 
-    /// Index of an atom, if it exists in the universe.
+    /// Index of an atom, if it exists in the universe (hash lookup, not a scan).
     pub fn atom_index(&self, atom: &str) -> Option<usize> {
-        self.atoms.iter().position(|a| a == atom)
+        self.atom_lookup.get(atom).copied()
+    }
+
+    /// The bitset row of one atom: the set of states where it holds.
+    pub fn atom_row(&self, atom: usize) -> &BitSet {
+        &self.atom_rows[atom]
     }
 
     /// True if the atom holds in the state.
     pub fn holds(&self, state: usize, atom: &str) -> bool {
         match self.atom_index(atom) {
-            Some(i) => self.labels[state].contains(&i),
+            Some(i) => self.atom_rows[i].contains(state),
             None => false,
         }
     }
 
     /// All atoms holding in one state.
     pub fn atoms_of(&self, state: usize) -> Vec<&str> {
-        self.labels[state].iter().map(|i| self.atoms[*i].as_str()).collect()
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.atom_rows[*i].contains(state))
+            .map(|(_, a)| a.as_str())
+            .collect()
+    }
+
+    /// Installs the labelling from per-state atom-index lists, (re)building the atom
+    /// rows and the atom lookup. The state universe is `per_state.len()`.
+    pub fn set_labels(&mut self, per_state: &[Vec<usize>]) {
+        let n = per_state.len();
+        self.atom_lookup =
+            self.atoms.iter().enumerate().map(|(i, a)| (a.clone(), i)).collect();
+        self.atom_rows = vec![BitSet::empty(n); self.atoms.len()];
+        for (state, atoms) in per_state.iter().enumerate() {
+            for &atom in atoms {
+                self.atom_rows[atom].insert(state);
+            }
+        }
     }
 
     /// Builds the Kripke structure of a state model.
@@ -62,83 +97,97 @@ impl Kripke {
     /// distinct `(destination, event, app)` combination among the transitions.
     pub fn from_state_model(model: &StateModel) -> Kripke {
         let mut kripke = Kripke::default();
-        let mut atom_index: BTreeMap<String, usize> = BTreeMap::new();
+        let schema = &model.schema;
+        let mut atom_lookup: HashMap<String, usize> = HashMap::new();
         let mut intern = |atoms: &mut Vec<String>, name: String| -> usize {
-            if let Some(&i) = atom_index.get(&name) {
+            if let Some(&i) = atom_lookup.get(&name) {
                 return i;
             }
             let i = atoms.len();
-            atom_index.insert(name.clone(), i);
+            atom_lookup.insert(name.clone(), i);
             atoms.push(name);
             i
         };
 
-        // Key: (model state, event label, app) — `None` for quiescent states.
-        let mut state_key_to_id: BTreeMap<(StateId, Option<(String, String)>), usize> =
-            BTreeMap::new();
-        let mut add_state = |kripke: &mut Kripke,
-                             intern: &mut dyn FnMut(&mut Vec<String>, String) -> usize,
-                             model_state: StateId,
-                             incoming: Option<(String, String)>|
-         -> usize {
-            if let Some(&id) = state_key_to_id.get(&(model_state, incoming.clone())) {
-                return id;
-            }
-            let id = kripke.labels.len();
-            state_key_to_id.insert((model_state, incoming.clone()), id);
-            let mut labels = BTreeSet::new();
-            // Attribute propositions.
-            for ((handle, attribute), value) in &model.states[model_state].values {
-                labels.insert(intern(
-                    &mut kripke.atoms,
-                    format!("attr:{handle}.{attribute}={value}"),
-                ));
-            }
-            // Event propositions (handle-qualified and bare).
-            let name = match &incoming {
-                Some((event, app)) => {
-                    labels.insert(intern(&mut kripke.atoms, format!("event:{event}")));
-                    labels.insert(intern(&mut kripke.atoms, "triggered".to_string()));
-                    labels.insert(intern(&mut kripke.atoms, format!("by-app:{app}")));
-                    format!("{} after {}", model.states[model_state].label(), event)
-                }
-                None => model.states[model_state].label(),
-            };
-            kripke.labels.push(labels);
-            kripke.state_names.push(name);
-            kripke.successors.push(Vec::new());
-            kripke.model_state.push(model_state);
-            kripke.incoming_event.push(incoming.as_ref().map(|(e, _)| e.clone()));
-            kripke.incoming_app.push(incoming.as_ref().map(|(_, a)| a.clone()));
-            id
-        };
+        // Attribute propositions, formatted once per (attribute, value) pair of the
+        // schema instead of once per state.
+        let attr_atoms: Vec<Vec<usize>> = (0..schema.attr_count())
+            .map(|a| {
+                let attr = a as soteria_model::AttrId;
+                let (handle, attribute) = &schema.keys()[a];
+                schema
+                    .domain(attr)
+                    .iter()
+                    .map(|value| {
+                        intern(&mut kripke.atoms, format!("attr:{handle}.{attribute}={value}"))
+                    })
+                    .collect()
+            })
+            .collect();
 
-        // Quiescent states: one per model state, all initial.
+        // Per-state atom-index lists, turned into bitset rows by `set_labels` once
+        // the state universe is complete.
+        let mut per_state: Vec<Vec<usize>> = Vec::new();
+
+        // Quiescent states: one per model state, all initial, labelled with the
+        // attribute propositions of the state's digits.
+        let mut digits = vec![0u8; schema.attr_count()];
         for s in 0..model.state_count() {
-            let id = add_state(&mut kripke, &mut intern, s, None);
-            kripke.initial.push(id);
+            let labels: Vec<usize> =
+                digits.iter().enumerate().map(|(a, d)| attr_atoms[a][*d as usize]).collect();
+            per_state.push(labels);
+            kripke.state_names.push(model.state(s).label());
+            kripke.model_state.push(s);
+            kripke.incoming_event.push(None);
+            kripke.incoming_app.push(None);
+            kripke.initial.push(s);
+            schema.advance(&mut digits);
         }
-        // Event states: one per (destination, event label, app).
+
+        // Event states: one per distinct (destination, event label, app).
+        let mut event_state: HashMap<(StateId, String, String), usize> = HashMap::new();
+        for t in &model.transitions {
+            let event = t.label.event.kind.label();
+            let app = t.label.app.clone();
+            event_state.entry((t.to, event.clone(), app.clone())).or_insert_with(|| {
+                let id = per_state.len();
+                let mut labels: Vec<usize> = (0..schema.attr_count())
+                    .map(|a| attr_atoms[a][schema.digit_of(t.to, a as soteria_model::AttrId) as usize])
+                    .collect();
+                labels.push(intern(&mut kripke.atoms, format!("event:{event}")));
+                labels.push(intern(&mut kripke.atoms, "triggered".to_string()));
+                labels.push(intern(&mut kripke.atoms, format!("by-app:{app}")));
+                per_state.push(labels);
+                kripke
+                    .state_names
+                    .push(format!("{} after {}", model.state(t.to).label(), event));
+                kripke.model_state.push(t.to);
+                kripke.incoming_event.push(Some(event.clone()));
+                kripke.incoming_app.push(Some(app.clone()));
+                id
+            });
+        }
+
+        // Transitions: every Kripke state sharing the source model state gets an edge
+        // to the (destination, label) Kripke state. Kripke states are grouped by
+        // model state up front, so this is O(edges) rather than the seed's
+        // O(transitions x states) scan.
+        let total_states = per_state.len();
+        let mut states_of_model: Vec<Vec<usize>> = vec![Vec::new(); model.state_count()];
+        for (id, &ms) in kripke.model_state.iter().enumerate() {
+            states_of_model[ms].push(id);
+        }
         let mut edges: Vec<(usize, usize)> = Vec::new();
         for t in &model.transitions {
-            let incoming = Some((t.label.event.kind.label(), t.label.app.clone()));
-            let to_id = add_state(&mut kripke, &mut intern, t.to, incoming);
-            let _ = to_id;
-        }
-        // Transitions: every Kripke state sharing the source model state gets an edge
-        // to the (destination, label) Kripke state.
-        let total_states = kripke.labels.len();
-        for t in &model.transitions {
-            let incoming = Some((t.label.event.kind.label(), t.label.app.clone()));
-            let to_id = state_key_to_id[&(t.to, incoming)];
-            for from_id in 0..total_states {
-                if kripke.model_state[from_id] == t.from {
-                    edges.push((from_id, to_id));
-                }
+            let key = (t.to, t.label.event.kind.label(), t.label.app.clone());
+            let to_id = event_state[&key];
+            for &from_id in &states_of_model[t.from] {
+                edges.push((from_id, to_id));
             }
         }
         edges.sort_unstable();
         edges.dedup();
+        kripke.successors = vec![Vec::new(); total_states];
         for (from, to) in edges {
             kripke.successors[from].push(to);
         }
@@ -148,6 +197,7 @@ impl Kripke {
                 kripke.successors[s].push(s);
             }
         }
+        kripke.set_labels(&per_state);
         kripke
     }
 }
@@ -243,5 +293,18 @@ mod tests {
         assert!(!kripke.holds(0, "attr:missing.device=on"));
         assert_eq!(kripke.atom_index("nonexistent"), None);
         assert!(!kripke.atoms_of(0).is_empty());
+    }
+
+    #[test]
+    fn atom_rows_match_per_state_view() {
+        let model = water_leak_model();
+        let kripke = Kripke::from_state_model(&model);
+        for (i, atom) in kripke.atoms.iter().enumerate() {
+            let row = kripke.atom_row(i);
+            for s in 0..kripke.state_count() {
+                assert_eq!(row.contains(s), kripke.holds(s, atom));
+                assert_eq!(row.contains(s), kripke.atoms_of(s).contains(&atom.as_str()));
+            }
+        }
     }
 }

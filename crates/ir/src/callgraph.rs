@@ -68,10 +68,10 @@ impl CallGraph {
         let mut reflective = false;
         for stmt in &method.body.stmts {
             stmt.walk_exprs(&mut |e| match e {
-                Expr::MethodCall { object: None, method: callee, .. } => {
-                    if method_names.contains(callee) {
-                        callees.insert(callee.clone());
-                    }
+                Expr::MethodCall { object: None, method: callee, .. }
+                    if method_names.contains(callee) =>
+                {
+                    callees.insert(callee.clone());
                 }
                 Expr::DynamicCall { .. } => {
                     reflective = true;

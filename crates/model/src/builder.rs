@@ -2,10 +2,11 @@
 //! property abstraction (Sec. 4.2.1–4.2.2).
 
 use crate::model::{StateModel, Transition, TransitionLabel};
+use crate::schema::{AttrId, StateSchema, ValueId};
 use crate::state::AttrKey;
-use soteria_analysis::{Abstraction, TransitionSpec};
-use soteria_capability::{AttributeValue, EventKind};
-use std::collections::BTreeMap;
+use soteria_analysis::{Abstraction, PathCondition, TransitionSpec};
+use soteria_capability::{AttributeValue, Event, EventKind};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Options controlling model construction.
 #[derive(Debug, Clone)]
@@ -49,86 +50,140 @@ pub fn build_state_model(
     }
 
     let mut model = StateModel::with_attributes(name, attributes);
-    let index = model.state_index();
-    let mut new_transitions = Vec::new();
-    for (from_id, from_state) in model.states.iter().enumerate() {
-        for spec in specs {
-            let mut target = from_state.clone();
-            // The triggering event updates the subscribed attribute itself (e.g. the
-            // water sensor turns wet when the water.wet event fires).
-            apply_event_update(&mut target, &model, spec);
-            // The handler's effects update the actuated attributes.
-            for effect in &spec.effects {
-                let key = (effect.handle.clone(), effect.attribute.clone());
-                let Some(domain) = model.attributes.get(&key) else { continue };
-                let value =
-                    abstraction.abstract_value(&effect.handle, &effect.attribute, &effect.value);
-                let value = if domain.contains(&value) {
-                    value
-                } else if let Some(other) =
-                    domain.iter().find(|v| v.as_symbol() == Some("other"))
-                {
-                    other.clone()
-                } else {
-                    continue;
-                };
-                target.values.insert(key, value);
+
+    // Compile every spec once against the interned schema: the attribute updates a
+    // spec performs are state-independent, so each becomes a short list of
+    // `(attribute id, value digit)` writes plus a ready-made label. The per-state
+    // loop below is then pure digit arithmetic.
+    let mut interner = LabelInterner::default();
+    let compiled: Vec<CompiledSpec> = specs
+        .iter()
+        .map(|spec| compile_spec(spec, name, abstraction, &model.schema, &mut interner))
+        .collect();
+
+    let schema = &model.schema;
+    let mut digits = vec![0u8; schema.attr_count()];
+    let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
+    let mut transitions = Vec::new();
+    for from_id in 0..schema.state_count() {
+        for c in &compiled {
+            // `to = from + Σ (new_digit − old_digit) · stride`: the mixed-radix
+            // equivalent of writing the update into a cloned state map.
+            let mut to_id = from_id;
+            for &(attr, digit) in &c.updates {
+                to_id = to_id + digit as usize * schema.stride(attr)
+                    - digits[attr as usize] as usize * schema.stride(attr);
             }
-            let Some(&to_id) = index.get(&target) else { continue };
-            new_transitions.push(Transition {
-                from: from_id,
-                to: to_id,
-                label: TransitionLabel {
-                    event: spec.event.clone(),
-                    condition: spec.condition.clone(),
-                    app: name.to_string(),
-                    handler: spec.handler.clone(),
-                    via_reflection: spec.via_reflection,
-                },
-            });
+            if seen.insert((from_id, to_id, c.class)) {
+                transitions.push(Transition { from: from_id, to: to_id, label: c.label.clone() });
+            }
         }
+        schema.advance(&mut digits);
     }
-    // Deduplicate with a hash set keyed on the transition's identity; calling
-    // `add_transition` per edge would be quadratic on large union models.
-    let mut seen = std::collections::HashSet::new();
-    for t in new_transitions {
-        let key = format!(
-            "{}>{}|{}|{}|{}|{}",
-            t.from, t.to, t.label.event, t.label.condition, t.label.app, t.label.handler
-        );
-        if seen.insert(key) {
-            model.transitions.push(t);
-        }
-    }
+    model.transitions = transitions;
     model
 }
 
-/// Applies the event's own attribute update to the target state.
-fn apply_event_update(
-    target: &mut crate::state::State,
-    model: &StateModel,
+/// A transition spec compiled against a schema: the final digit written to each
+/// updated attribute (event update first, then effects, later writes overriding
+/// earlier ones — the same overwrite order the seed applied to state maps).
+struct CompiledSpec {
+    updates: Vec<(AttrId, ValueId)>,
+    label: TransitionLabel,
+    class: usize,
+}
+
+/// Interns transition-label identities so deduplication compares three integers
+/// instead of formatting a string per transition (the seed's `format!` key).
+#[derive(Default)]
+pub(crate) struct LabelInterner {
+    classes: HashMap<(Event, PathCondition, String, String), usize>,
+}
+
+impl LabelInterner {
+    /// The dense equivalence class of a label's `(event, condition, app, handler)`
+    /// identity — `via_reflection` is deliberately excluded, matching the seed's
+    /// dedup key.
+    pub(crate) fn class_of(
+        &mut self,
+        event: &Event,
+        condition: &PathCondition,
+        app: &str,
+        handler: &str,
+    ) -> usize {
+        let next = self.classes.len();
+        *self
+            .classes
+            .entry((event.clone(), condition.clone(), app.to_string(), handler.to_string()))
+            .or_insert(next)
+    }
+}
+
+fn compile_spec(
     spec: &TransitionSpec,
-) {
+    app: &str,
+    abstraction: &Abstraction,
+    schema: &StateSchema,
+    interner: &mut LabelInterner,
+) -> CompiledSpec {
+    let mut updates: Vec<(AttrId, ValueId)> = Vec::new();
+    let mut write = |attr: AttrId, digit: ValueId| {
+        if let Some(slot) = updates.iter_mut().find(|(a, _)| *a == attr) {
+            slot.1 = digit;
+        } else {
+            updates.push((attr, digit));
+        }
+    };
+
+    // The triggering event updates the subscribed attribute itself (e.g. the water
+    // sensor turns wet when the water.wet event fires).
     match &spec.event.kind {
         EventKind::Device { attribute, value: Some(v), .. } => {
             let key = (spec.event.handle.clone(), attribute.clone());
-            if let Some(domain) = model.attributes.get(&key) {
-                let val = AttributeValue::symbol(v.clone());
-                if domain.contains(&val) {
-                    target.values.insert(key, val);
+            if let Some(attr) = schema.attr_id(&key) {
+                if let Some(digit) = schema.value_id(attr, &AttributeValue::symbol(v.clone())) {
+                    write(attr, digit);
                 }
             }
         }
         EventKind::Mode { value: Some(m) } => {
             let key = ("location".to_string(), "mode".to_string());
-            if let Some(domain) = model.attributes.get(&key) {
-                let val = AttributeValue::symbol(m.clone());
-                if domain.contains(&val) {
-                    target.values.insert(key, val);
+            if let Some(attr) = schema.attr_id(&key) {
+                if let Some(digit) = schema.value_id(attr, &AttributeValue::symbol(m.clone())) {
+                    write(attr, digit);
                 }
             }
         }
         _ => {}
+    }
+    // The handler's effects update the actuated attributes, falling back to the
+    // abstraction's `other` bucket for values outside the domain.
+    for effect in &spec.effects {
+        let key = (effect.handle.clone(), effect.attribute.clone());
+        let Some(attr) = schema.attr_id(&key) else { continue };
+        let value = abstraction.abstract_value(&effect.handle, &effect.attribute, &effect.value);
+        let digit = schema.value_id(attr, &value).or_else(|| {
+            schema
+                .domain(attr)
+                .iter()
+                .position(|v| v.as_symbol() == Some("other"))
+                .map(|i| i as ValueId)
+        });
+        if let Some(digit) = digit {
+            write(attr, digit);
+        }
+    }
+
+    CompiledSpec {
+        updates,
+        label: TransitionLabel {
+            event: spec.event.clone(),
+            condition: spec.condition.clone(),
+            app: app.to_string(),
+            handler: spec.handler.clone(),
+            via_reflection: spec.via_reflection,
+        },
+        class: interner.class_of(&spec.event, &spec.condition, app, &spec.handler),
     }
 }
 
@@ -199,7 +254,7 @@ mod tests {
         // Every state has a water.wet transition into the wet/closed state.
         assert_eq!(model.transition_count(), 4);
         let wet_closed = model
-            .states
+            .states()
             .iter()
             .position(|s| {
                 s.get("water_sensor", "water") == Some(&AttributeValue::symbol("wet"))

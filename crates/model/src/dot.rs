@@ -21,7 +21,7 @@ pub fn render_dot(model: &StateModel, reachable_only: bool) -> String {
     } else {
         vec![true; model.state_count()]
     };
-    for (id, state) in model.states.iter().enumerate() {
+    for (id, state) in model.states().iter().enumerate() {
         if !keep[id] {
             continue;
         }

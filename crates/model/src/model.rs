@@ -1,5 +1,6 @@
 //! The finite state model `(Q, Σ, δ)` extracted from an app (Sec. 4.2).
 
+use crate::schema::StateSchema;
 use crate::state::{AttrKey, State};
 use soteria_analysis::PathCondition;
 use soteria_capability::{AttributeValue, Event};
@@ -12,7 +13,7 @@ pub type StateId = usize;
 /// A transition label: the triggering event, the guarding path condition, and (in
 /// union models) the app the transition comes from — Algorithm 2 labels union edges
 /// with the contributing app.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TransitionLabel {
     /// The triggering event.
     pub event: Event,
@@ -37,7 +38,7 @@ impl fmt::Display for TransitionLabel {
 }
 
 /// A labelled transition between two states.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Transition {
     /// Source state.
     pub from: StateId,
@@ -61,14 +62,23 @@ pub struct Nondeterminism {
 }
 
 /// The finite state model of one app (or of a multi-app environment).
+///
+/// The state space lives in the interned [`StateSchema`]: a state id and its packed
+/// digit vector are interconvertible by index arithmetic, and the builders never
+/// materialise state maps. The legacy map view ([`StateModel::states`]) is a lazy
+/// projection, materialised in one odometer pass on first use, so consumers that
+/// need map states (DOT/SMV rendering, counter-example labels, tests) keep working
+/// while construction stays allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct StateModel {
     /// Name of the app (or of the app group for union models).
     pub name: String,
     /// The attribute domains defining the state space, keyed by `(handle, attribute)`.
     pub attributes: BTreeMap<AttrKey, Vec<AttributeValue>>,
-    /// All states (the Cartesian product of the attribute domains).
-    pub states: Vec<State>,
+    /// The interned schema: dense attribute/value ids and mixed-radix strides.
+    pub schema: StateSchema,
+    /// Lazily materialised legacy map view of the packed state space.
+    states: std::sync::OnceLock<Vec<State>>,
     /// Labelled transitions.
     pub transitions: Vec<Transition>,
     /// The designated initial state (every attribute at its default value).
@@ -76,25 +86,31 @@ pub struct StateModel {
 }
 
 impl StateModel {
-    /// Creates an empty model over the given attribute domains, materialising the
-    /// Cartesian-product state space.
+    /// Creates an empty model over the given attribute domains, interning the schema.
+    /// The map-state view is not materialised until [`StateModel::states`] is called.
     pub fn with_attributes(
         name: impl Into<String>,
         attributes: BTreeMap<AttrKey, Vec<AttributeValue>>,
     ) -> Self {
-        let states = cartesian_states(&attributes);
         StateModel {
             name: name.into(),
+            schema: StateSchema::new(&attributes),
             attributes,
-            states,
+            states: std::sync::OnceLock::new(),
             transitions: Vec::new(),
             initial: 0,
         }
     }
 
+    /// All states (the Cartesian product of the attribute domains) as the legacy map
+    /// view, materialised on first call.
+    pub fn states(&self) -> &[State] {
+        self.states.get_or_init(|| self.schema.materialize_all())
+    }
+
     /// Number of states.
     pub fn state_count(&self) -> usize {
-        self.states.len()
+        self.schema.state_count()
     }
 
     /// Number of transitions.
@@ -108,19 +124,23 @@ impl StateModel {
         self.attributes.len()
     }
 
-    /// Looks up the identifier of a state.
+    /// Looks up the identifier of a state by packing it against the schema (index
+    /// arithmetic instead of the seed's linear scan).
     pub fn state_id(&self, state: &State) -> Option<StateId> {
-        self.states.iter().position(|s| s == state)
+        let packed = self.schema.pack(state)?;
+        Some(self.schema.index_of(&packed))
     }
 
     /// The state with the given identifier.
     pub fn state(&self, id: StateId) -> &State {
-        &self.states[id]
+        &self.states()[id]
     }
 
-    /// An index for resolving states to identifiers in O(1); used by the builders.
+    /// An index for resolving states to identifiers; kept for callers that still
+    /// resolve legacy map states in bulk. New code should prefer
+    /// [`StateModel::state_id`], which is pure index arithmetic.
     pub fn state_index(&self) -> HashMap<State, StateId> {
-        self.states.iter().cloned().enumerate().map(|(i, s)| (s, i)).collect()
+        self.states().iter().cloned().enumerate().map(|(i, s)| (s, i)).collect()
     }
 
     /// Adds a transition (deduplicated).
@@ -146,7 +166,7 @@ impl StateModel {
 
     /// States reachable from the initial state (following transitions in any order).
     pub fn reachable_from_initial(&self) -> Vec<StateId> {
-        let mut visited = vec![false; self.states.len()];
+        let mut visited = vec![false; self.state_count()];
         let mut stack = vec![self.initial];
         visited[self.initial] = true;
         while let Some(s) = stack.pop() {
@@ -199,26 +219,12 @@ impl StateModel {
 }
 
 /// Enumerates the Cartesian product of the attribute domains as concrete states.
+///
+/// The enumeration order is the schema's mixed-radix id order (first key most
+/// significant), which is exactly the order the seed's progressive-cloning
+/// implementation produced.
 pub fn cartesian_states(attributes: &BTreeMap<AttrKey, Vec<AttributeValue>>) -> Vec<State> {
-    let keys: Vec<&AttrKey> = attributes.keys().collect();
-    let mut states = vec![State::default()];
-    for key in keys {
-        let values = &attributes[key];
-        let mut next = Vec::with_capacity(states.len() * values.len().max(1));
-        for state in &states {
-            if values.is_empty() {
-                next.push(state.clone());
-                continue;
-            }
-            for value in values {
-                let mut s = state.clone();
-                s.values.insert(key.clone(), value.clone());
-                next.push(s);
-            }
-        }
-        states = next;
-    }
-    states
+    StateSchema::new(attributes).materialize_all()
 }
 
 #[cfg(test)]
@@ -261,7 +267,7 @@ mod tests {
         assert_eq!(model.state_count(), 4);
         assert_eq!(model.attribute_count(), 2);
         assert!(model
-            .states
+            .states()
             .iter()
             .any(|s| s.get("sensor", "water") == Some(&AttributeValue::symbol("wet"))
                 && s.get("valve", "valve") == Some(&AttributeValue::symbol("closed"))));

@@ -7,10 +7,12 @@
 //! `v --l--> u` is added between all union states containing `v` and the corresponding
 //! updates to `u`, labelled with the contributing app.
 
+use crate::builder::LabelInterner;
 use crate::model::{StateModel, Transition, TransitionLabel};
+use crate::schema::{AttrId, ValueId};
 use crate::state::AttrKey;
 use soteria_capability::AttributeValue;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Options for the union construction.
 #[derive(Debug, Clone)]
@@ -28,15 +30,24 @@ impl Default for UnionOptions {
 }
 
 /// Builds the union state model of several apps (Algorithm 2).
+///
+/// The construction runs entirely on the packed schema: a lifted transition fixes
+/// the digits of the contributing app's attributes (the paper's "union states that
+/// contain v") and enumerates only the remaining free attributes' sub-product; the
+/// destination is `from + offset` for a per-edge constant offset. The seed scanned
+/// every union state per edge.
 pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) -> StateModel {
     // Line 1: the union's states come from the combined attribute domains; attributes
-    // of duplicate devices (same handle + attribute across apps) are merged.
+    // of duplicate devices (same handle + attribute across apps) are merged. A side
+    // set gives O(1) duplicate checks while keeping first-seen value order.
     let mut attributes: BTreeMap<AttrKey, Vec<AttributeValue>> = BTreeMap::new();
+    let mut known: HashMap<AttrKey, HashSet<AttributeValue>> = HashMap::new();
     for model in models {
         for (key, domain) in &model.attributes {
             let entry = attributes.entry(key.clone()).or_default();
+            let seen = known.entry(key.clone()).or_default();
             for v in domain {
-                if !entry.contains(v) {
+                if seen.insert(v.clone()) {
                     entry.push(v.clone());
                 }
             }
@@ -45,99 +56,150 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
 
     let product: usize = attributes.values().map(|d| d.len().max(1)).product();
     if options.prune_untouched_attributes || product > options.max_states {
-        let mut touched: Vec<AttrKey> = Vec::new();
-        for model in models {
-            for t in &model.transitions {
-                let from = &model.states[t.from];
-                let to = &model.states[t.to];
-                for (key, value) in &to.values {
-                    if from.values.get(key) != Some(value) && !touched.contains(key) {
-                        touched.push(key.clone());
-                    }
-                }
-                // The subscribed attribute itself is touched by the event.
-                if let soteria_capability::EventKind::Device { attribute, .. } = &t.label.event.kind
-                {
-                    let key = (t.label.event.handle.clone(), attribute.clone());
-                    if !touched.contains(&key) {
-                        touched.push(key);
-                    }
-                }
-                if matches!(t.label.event.kind, soteria_capability::EventKind::Mode { .. }) {
-                    let key = ("location".to_string(), "mode".to_string());
-                    if !touched.contains(&key) {
-                        touched.push(key);
-                    }
-                }
-            }
-        }
+        let touched = touched_union_keys(models);
         attributes.retain(|k, _| touched.contains(k));
     }
 
     let mut union = StateModel::with_attributes(name, attributes);
-    let index = union.state_index();
+    let uschema = &union.schema;
+    let mut interner = LabelInterner::default();
+    let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
+    let mut lifted: Vec<Transition> = Vec::new();
+
+    // Scratch buffers reused across all edges.
+    let mut from_digits: Vec<u8> = Vec::new();
+    let mut to_digits: Vec<u8> = Vec::new();
+    let mut free_digits: Vec<u8> = Vec::new();
 
     // Lines 2–12: iterate over every app's transitions and lift them to the union.
-    let mut lifted = Vec::new();
     for model in models {
+        let aschema = &model.schema;
+        // App attribute -> union attribute (None when pruned from the union), and app
+        // value digit -> union value digit (union domains are supersets, so mapped
+        // digits always exist).
+        let attr_map: Vec<Option<AttrId>> =
+            aschema.keys().iter().map(|k| uschema.attr_id(k)).collect();
+        let digit_map: Vec<Vec<ValueId>> = (0..aschema.attr_count())
+            .map(|a| {
+                let a = a as AttrId;
+                match attr_map[a as usize] {
+                    Some(u) => aschema
+                        .domain(a)
+                        .iter()
+                        .map(|v| uschema.value_id(u, v).expect("union domain is a superset"))
+                        .collect(),
+                    None => Vec::new(),
+                }
+            })
+            .collect();
+        // Union attributes not constrained by this app: the free sub-product each
+        // edge enumerates. Identical for every transition of the model.
+        let constrained: HashSet<AttrId> =
+            attr_map.iter().filter_map(|u| *u).collect();
+        let free: Vec<AttrId> = (0..uschema.attr_count() as AttrId)
+            .filter(|u| !constrained.contains(u))
+            .collect();
+
+        from_digits.resize(aschema.attr_count(), 0);
+        to_digits.resize(aschema.attr_count(), 0);
+        // Most transitions of a model share a label; resolving the dedup class once
+        // per distinct label (keyed by reference, no clones) keeps the interner off
+        // the per-edge path.
+        let mut label_class: HashMap<&TransitionLabel, usize> = HashMap::new();
         for t in &model.transitions {
-            let v = &model.states[t.from];
-            let u = &model.states[t.to];
-            // The delta the transition applies in its own model.
-            let delta: Vec<(AttrKey, AttributeValue)> = u
-                .values
-                .iter()
-                .filter(|(key, value)| v.values.get(*key) != Some(*value))
-                .map(|(k, val)| (k.clone(), val.clone()))
-                .collect();
-            // Restrict the source-containment test to attributes the union tracks.
-            let v_proj: Vec<(&AttrKey, &AttributeValue)> = v
-                .values
-                .iter()
-                .filter(|(k, _)| union.attributes.contains_key(*k))
-                .collect();
-            for (from_id, union_state) in union.states.iter().enumerate() {
-                // V': union states that contain v (agree with v on the app's attributes).
-                let contains_v =
-                    v_proj.iter().all(|(k, val)| union_state.values.get(*k) == Some(*val));
-                if !contains_v {
-                    continue;
+            aschema.digits_of(t.from, &mut from_digits[..aschema.attr_count()]);
+            aschema.digits_of(t.to, &mut to_digits[..aschema.attr_count()]);
+            // V': fixing the app's attributes to v's digits yields exactly the union
+            // states containing v. The transition's delta (digits where u differs
+            // from v) becomes a constant destination offset.
+            let mut base = 0usize;
+            let mut offset = 0isize;
+            for (a, u) in attr_map.iter().enumerate() {
+                let Some(u) = *u else { continue };
+                let vd = digit_map[a][from_digits[a] as usize] as usize;
+                let stride = uschema.stride(u);
+                base += vd * stride;
+                if to_digits[a] != from_digits[a] {
+                    let ud = digit_map[a][to_digits[a] as usize] as usize;
+                    offset += (ud as isize - vd as isize) * stride as isize;
                 }
-                // U': the union state updated with the transition's delta.
-                let mut target = union_state.clone();
-                for (key, value) in &delta {
-                    if union.attributes.contains_key(key) {
-                        target.values.insert(key.clone(), value.clone());
+            }
+            let label = TransitionLabel {
+                event: t.label.event.clone(),
+                condition: t.label.condition.clone(),
+                app: model.name.clone(),
+                handler: t.label.handler.clone(),
+                via_reflection: t.label.via_reflection,
+            };
+            let class = *label_class.entry(&t.label).or_insert_with(|| {
+                interner.class_of(
+                    &t.label.event,
+                    &t.label.condition,
+                    &model.name,
+                    &t.label.handler,
+                )
+            });
+            // U' per union state: enumerate the free attributes' sub-product in
+            // ascending id order (odometer over the free digit positions).
+            free_digits.clear();
+            free_digits.resize(free.len(), 0);
+            loop {
+                let from_id = base
+                    + free
+                        .iter()
+                        .zip(&free_digits)
+                        .map(|(u, d)| *d as usize * uschema.stride(*u))
+                        .sum::<usize>();
+                let to_id = (from_id as isize + offset) as usize;
+                if seen.insert((from_id, to_id, class)) {
+                    lifted.push(Transition { from: from_id, to: to_id, label: label.clone() });
+                }
+                // Odometer increment over the free positions.
+                let mut advanced = false;
+                for i in (0..free.len()).rev() {
+                    let radix = uschema.domain(free[i]).len() as u8;
+                    if free_digits[i] + 1 < radix {
+                        free_digits[i] += 1;
+                        advanced = true;
+                        break;
                     }
+                    free_digits[i] = 0;
                 }
-                let Some(&to_id) = index.get(&target) else { continue };
-                lifted.push(Transition {
-                    from: from_id,
-                    to: to_id,
-                    label: TransitionLabel {
-                        event: t.label.event.clone(),
-                        condition: t.label.condition.clone(),
-                        app: model.name.clone(),
-                        handler: t.label.handler.clone(),
-                        via_reflection: t.label.via_reflection,
-                    },
-                });
+                if !advanced {
+                    break;
+                }
             }
         }
     }
-    // Deduplicate with a hash set keyed on the transition's identity; calling
-    // `add_transition` per edge would be quadratic on large union models.
-    let mut seen = std::collections::HashSet::new();
-    for t in lifted {
-        let key = format!(
-            "{}>{}|{}|{}|{}|{}",
-            t.from, t.to, t.label.event, t.label.condition, t.label.app, t.label.handler
-        );
-        if seen.insert(key) {
-            union.transitions.push(t);
+    union.transitions = lifted;
+    union
+}
+
+/// Attribute keys any app's transitions touch: attributes whose value changes across
+/// an edge, plus the subscribed attribute of each event. Computed on packed digits
+/// with set-based membership (the seed ran `Vec::contains` linear scans per key).
+fn touched_union_keys(models: &[&StateModel]) -> HashSet<AttrKey> {
+    let mut touched: HashSet<AttrKey> = HashSet::new();
+    for model in models {
+        let schema = &model.schema;
+        for t in &model.transitions {
+            if t.from != t.to {
+                for attr in 0..schema.attr_count() as AttrId {
+                    if schema.digit_of(t.from, attr) != schema.digit_of(t.to, attr) {
+                        touched.insert(schema.keys()[attr as usize].clone());
+                    }
+                }
+            }
+            // The subscribed attribute itself is touched by the event.
+            if let soteria_capability::EventKind::Device { attribute, .. } = &t.label.event.kind {
+                touched.insert((t.label.event.handle.clone(), attribute.clone()));
+            }
+            if matches!(t.label.event.kind, soteria_capability::EventKind::Mode { .. }) {
+                touched.insert(("location".to_string(), "mode".to_string()));
+            }
         }
     }
-    union
+    touched
 }
 
 #[cfg(test)]
@@ -165,7 +227,7 @@ mod tests {
         let mut model = StateModel::with_attributes(name, map);
         let index = model.state_index();
         let mut new = Vec::new();
-        for (id, state) in model.states.iter().enumerate() {
+        for (id, state) in model.states().iter().enumerate() {
             for (event, handle, attr, value) in transitions {
                 let target = state.with(handle, attr, AttributeValue::symbol(*value));
                 if let Some(&to) = index.get(&target) {

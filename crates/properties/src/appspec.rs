@@ -94,14 +94,14 @@ pub fn applicable(id: u8, ctx: &DeviceContext) -> bool {
     }
 }
 
-fn ac_handles<'a>(ctx: &'a DeviceContext) -> impl Iterator<Item = &'a str> {
+fn ac_handles(ctx: &DeviceContext) -> impl Iterator<Item = &str> {
     ctx.switch_handles().into_iter().filter(|h| {
         let h = h.to_ascii_lowercase();
         h == "ac" || h.starts_with("ac_") || h.ends_with("_ac") || h.contains("air_cond")
     })
 }
 
-fn heater_handles<'a>(ctx: &'a DeviceContext) -> impl Iterator<Item = &'a str> {
+fn heater_handles(ctx: &DeviceContext) -> impl Iterator<Item = &str> {
     ctx.switch_handles().into_iter().filter(|h| h.to_ascii_lowercase().contains("heater"))
 }
 

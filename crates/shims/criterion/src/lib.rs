@@ -1,0 +1,172 @@
+//! Offline stand-in for the Criterion benchmark crate.
+//!
+//! The build container has no network access to crates.io, so this workspace ships a
+//! minimal drop-in with the API surface the benches use: [`Criterion`],
+//! [`BenchmarkGroup`], `bench_function`, `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is honest wall-clock
+//! measurement (warm-up pass + `sample_size` measured iterations) rather than
+//! Criterion's full statistical machinery; each result prints mean/min/max and is
+//! appended as a JSON line to `$CRITERION_SHIM_OUT` when that variable is set, which
+//! is how `BENCH_pr1.json` is produced.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark identifier (`group/function`).
+    pub id: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Number of measured iterations.
+    pub iterations: usize,
+}
+
+impl Sample {
+    fn json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iterations\":{}}}",
+            self.id.replace('"', "'"),
+            self.mean.as_nanos(),
+            self.min.as_nanos(),
+            self.max.as_nanos(),
+            self.iterations
+        );
+        s
+    }
+}
+
+/// The timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Runs the routine once as warm-up, then `iterations` measured times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and records the result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher { samples: Vec::new(), iterations: self.sample_size };
+        f(&mut bencher);
+        let n = bencher.samples.len().max(1);
+        let total: Duration = bencher.samples.iter().sum();
+        let sample = Sample {
+            id: full_id,
+            mean: total / n as u32,
+            min: bencher.samples.iter().min().copied().unwrap_or_default(),
+            max: bencher.samples.iter().max().copied().unwrap_or_default(),
+            iterations: n,
+        };
+        println!(
+            "{:<60} mean {:>12?}  min {:>12?}  max {:>12?}  ({} iters)",
+            sample.id, sample.mean, sample.min, sample.max, sample.iterations
+        );
+        self.criterion.record(sample);
+        self
+    }
+
+    /// Flushes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Shim for `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Sample>,
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        drop(group);
+        self
+    }
+
+    fn record(&mut self, sample: Sample) {
+        if let Ok(path) = std::env::var("CRITERION_SHIM_OUT") {
+            use std::io::Write;
+            if let Ok(mut f) =
+                std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                let _ = writeln!(f, "{}", sample.json());
+            }
+        }
+        self.results.push(sample);
+    }
+
+    /// All recorded samples.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+}
+
+/// Re-export so existing `use std::hint::black_box` call sites keep their meaning if
+/// they switch to `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a set of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this workspace ships a minimal
+//! drop-in covering the surface the pipeline property tests use: the [`Strategy`]
+//! trait over integer ranges and tuples, [`ProptestConfig::with_cases`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros. Sampling is a
+//! deterministic splitmix64 sequence, so failures reproduce exactly across runs; there
+//! is no shrinking.
+
+use std::ops::Range;
+
+/// Deterministic RNG (splitmix64) used to drive sampling.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG with a fixed seed so test runs are reproducible.
+    pub fn deterministic() -> Self {
+        TestRng { state: 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator, mirroring proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let len = self.end.saturating_sub(self.start).max(1);
+        self.start + (rng.next_u64() as usize) % len
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+    fn sample(&self, rng: &mut TestRng) -> u32 {
+        let len = self.end.saturating_sub(self.start).max(1);
+        self.start + (rng.next_u64() as u32) % len
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        let len = (self.end - self.start).max(1) as u64;
+        self.start + (rng.next_u64() % len) as i64
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Per-test configuration, mirroring proptest's type of the same name.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configures the number of cases to run.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Declares property tests: each test body runs once per sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $( $(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = $strat;
+                let mut rng = $crate::TestRng::deterministic();
+                for _ in 0..config.cases {
+                    let $pat = $crate::Strategy::sample(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    ( $( $(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($pat in $strat) $body )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}

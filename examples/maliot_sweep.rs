@@ -9,7 +9,7 @@ use soteria_corpus::{maliot_groups, maliot_suite};
 
 fn main() {
     let soteria = Soteria::new();
-    println!("{:<8} {:<28} {:<28} {}", "App", "Expected", "Detected", "Notes");
+    println!("{:<8} {:<28} {:<28} Notes", "App", "Expected", "Detected");
     println!("{}", "-".repeat(90));
     let mut analyses = std::collections::BTreeMap::new();
     for app in maliot_suite() {

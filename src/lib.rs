@@ -1,0 +1,7 @@
+//! Workspace facade crate.
+//!
+//! Exists so the repository-level integration tests in `tests/` and the examples in
+//! `examples/` have a package to hang off; it simply re-exports the `soteria`
+//! top-level crate.
+
+pub use soteria::*;

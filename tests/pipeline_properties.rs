@@ -39,7 +39,7 @@ proptest! {
             prop_assert!(t.from < model.state_count());
             prop_assert!(t.to < model.state_count());
         }
-        for state in &model.states {
+        for state in model.states() {
             for (key, value) in &state.values {
                 let domain = &model.attributes[key];
                 prop_assert!(domain.contains(value), "value {value} outside domain of {key:?}");
