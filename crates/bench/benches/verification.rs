@@ -1,10 +1,19 @@
-//! Criterion bench for the Sec. 6.3 property-verification micro-benchmark: checking a
-//! single property on an extracted model takes on the order of microseconds to
-//! milliseconds, and the two engines can be compared directly.
+//! Criterion bench for the Sec. 6.3 property-verification stage.
+//!
+//! Two granularities:
+//!
+//! * a single-property micro-benchmark on the Smoke-Alarm running example (checking
+//!   one formula takes on the order of microseconds), comparing both engines and the
+//!   frozen pre-CSR legacy checker;
+//! * full P.1–P.30 sweeps on the market-study interaction groups G.1–G.3 union
+//!   models — the workload `analyze_environment` actually runs per group — again
+//!   across new Symbolic (frontier + memoized `check_all`), Explicit, and the legacy
+//!   round-based checker.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use soteria::{default_initial_kripke, Soteria};
-use soteria_checker::{Ctl, Engine, ModelChecker};
+use soteria_bench::{market_group_workloads, VerificationWorkload};
+use soteria_checker::{Ctl, Engine, LegacyModelChecker, ModelChecker};
 use soteria_corpus::running;
 use std::hint::black_box;
 
@@ -26,11 +35,50 @@ fn bench_verification(c: &mut Criterion) {
             b.iter(|| checker.check(black_box(&formula)))
         });
     }
+    group.bench_function("p10_smoke_alarm_legacy", |b| {
+        let checker = LegacyModelChecker::new(&kripke);
+        b.iter(|| checker.check(black_box(&formula)))
+    });
     group.bench_function("kripke_construction", |b| {
         b.iter(|| default_initial_kripke(black_box(&analysis.model)))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_verification);
+/// Full applicable-property sweeps on the market G.1–G.3 union models. A fresh
+/// checker per iteration mirrors the analyzer, which builds one checker per model —
+/// so the Symbolic numbers include (and benefit from) cross-property memoization
+/// within the sweep, not across iterations.
+fn bench_property_sweeps(c: &mut Criterion) {
+    let soteria = Soteria::new();
+    let mut group = c.benchmark_group("property_sweep");
+    for VerificationWorkload { name, kripke, formulas } in market_group_workloads(&soteria) {
+        if formulas.is_empty() {
+            // G.1's expected findings are all general (S.*) properties; there is no
+            // P.1–P.30 sweep to time on it.
+            continue;
+        }
+        group.bench_function(format!("{name}_symbolic"), |b| {
+            b.iter(|| {
+                let checker = ModelChecker::new(&kripke, Engine::Symbolic);
+                black_box(checker.check_all(black_box(&formulas)))
+            })
+        });
+        group.bench_function(format!("{name}_explicit"), |b| {
+            b.iter(|| {
+                let checker = ModelChecker::new(&kripke, Engine::Explicit);
+                black_box(checker.check_all(black_box(&formulas)))
+            })
+        });
+        group.bench_function(format!("{name}_legacy"), |b| {
+            b.iter(|| {
+                let checker = LegacyModelChecker::new(&kripke);
+                black_box(checker.check_all(black_box(&formulas)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification, bench_property_sweeps);
 criterion_main!(benches);

@@ -9,12 +9,12 @@
 //! Usage: `cargo run --release -p soteria-bench --bin packed_vs_legacy [out.json]`
 
 use soteria::Soteria;
-use soteria_bench::analyze_all;
+use soteria_bench::{analyze_all, measure_mean};
 use soteria_corpus::{all_market_apps, maliot_groups, maliot_suite, market_groups};
 use soteria_model::legacy::{build_state_model_legacy, union_models_legacy};
 use soteria_model::{build_state_model, union_models, BuildOptions, StateModel, UnionOptions};
 use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct Row {
     name: String,
@@ -29,22 +29,10 @@ impl Row {
     }
 }
 
-/// Mean wall-clock time of `f` over enough iterations to exceed ~200ms of work.
-fn measure<R>(mut f: impl FnMut() -> R) -> (Duration, usize) {
-    std::hint::black_box(f());
-    let budget = Duration::from_millis(200);
-    let mut total = Duration::ZERO;
-    let mut iters = 0usize;
-    while total < budget || iters < 5 {
-        let start = Instant::now();
-        std::hint::black_box(f());
-        total += start.elapsed();
-        iters += 1;
-        if iters >= 200 {
-            break;
-        }
-    }
-    (total / iters as u32, iters)
+/// Mean wall-clock time over the shared ~200ms-budget loop; these workloads are
+/// ms-scale, so a low iteration cap keeps the total run short.
+fn measure<R>(f: impl FnMut() -> R) -> (Duration, usize) {
+    measure_mean(f, 200)
 }
 
 fn main() {

@@ -1,0 +1,216 @@
+//! Before/after measurement of the frontier-CSR verification engine, plus the
+//! engine-equivalence gate.
+//!
+//! For every workload — the running examples, the MalIoT suite and its multi-app
+//! groups, and the market-study interaction groups G.1–G.3 — this binary:
+//!
+//! 1. verifies that the new Symbolic engine (CSR + frontier fixpoints + memoized
+//!    `check_all`), the Explicit engine, and the frozen pre-PR `LegacyModelChecker`
+//!    produce **identical** `CheckResult`s (verdict, violating-state count, and
+//!    counter-example) on the full applicable P.1–P.30 sweep, and
+//! 2. measures the full-sweep wall-clock of the old checker vs the new one, writing
+//!    `BENCH_pr2.json` in the same format as `BENCH_pr1.json`.
+//!
+//! Usage: `cargo run --release -p soteria-bench --bin verification_old_vs_new
+//! [--smoke] [out.json]`. With `--smoke` the market corpus is skipped and only the
+//! equivalence gate runs (no JSON output) — this is the CI configuration.
+
+use soteria::Soteria;
+use soteria_bench::{
+    analyze_all, app_workload, group_workload, market_group_workloads, measure_mean,
+    VerificationWorkload,
+};
+use soteria_checker::{Engine, LegacyModelChecker, ModelChecker};
+use soteria_corpus::{maliot_groups, maliot_suite, running};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Row {
+    name: String,
+    new: Duration,
+    old: Duration,
+    iterations: usize,
+    states: usize,
+    edges: usize,
+    formulas: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.old.as_secs_f64() / self.new.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Property sweeps on small models run in nanoseconds (unlike the ms-scale
+/// model-construction comparison), so the iteration cap is high enough for the
+/// budget — not the cap — to end the loop.
+fn measure<R>(f: impl FnMut() -> R) -> (Duration, usize) {
+    measure_mean(f, 200_000)
+}
+
+/// The engine-equivalence gate: all three checkers must return identical results on
+/// every formula of the workload.
+fn assert_engines_agree(w: &VerificationWorkload) {
+    let new = ModelChecker::new(&w.kripke, Engine::Symbolic);
+    let explicit = ModelChecker::new(&w.kripke, Engine::Explicit);
+    let old = LegacyModelChecker::new(&w.kripke);
+    let new_results = new.check_all(&w.formulas);
+    let explicit_results = explicit.check_all(&w.formulas);
+    let old_results = old.check_all(&w.formulas);
+    for ((f, n), (e, o)) in w
+        .formulas
+        .iter()
+        .zip(&new_results)
+        .zip(explicit_results.iter().zip(&old_results))
+    {
+        assert_eq!(n, o, "{}: new symbolic vs legacy differ on {f}", w.name);
+        assert_eq!(n, e, "{}: new symbolic vs explicit differ on {f}", w.name);
+    }
+}
+
+/// Measures old vs new full-sweep verification; a fresh checker per iteration
+/// mirrors the analyzer's one-checker-per-model behaviour.
+fn measure_workload(w: &VerificationWorkload) -> Row {
+    let (new, iterations) = measure(|| {
+        let checker = ModelChecker::new(&w.kripke, Engine::Symbolic);
+        checker.check_all(&w.formulas)
+    });
+    let (old, _) = measure(|| {
+        let checker = LegacyModelChecker::new(&w.kripke);
+        checker.check_all(&w.formulas)
+    });
+    Row {
+        name: w.name.clone(),
+        new,
+        old,
+        iterations,
+        states: w.kripke.state_count(),
+        edges: w.kripke.edge_count(),
+        formulas: w.formulas.len(),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_pr2.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let soteria = Soteria::new();
+    // `(workload, timed)`: everything passes the equivalence gate; the timed subset
+    // is the verification benchmark suite of `benches/verification.rs` — the running
+    // examples and the market G.1–G.3 union sweeps. The MalIoT ground-truth corpus
+    // is correctness coverage, not a performance workload (its sweeps finish in
+    // nanoseconds), so it is gated but not timed.
+    let mut workloads: Vec<(VerificationWorkload, bool)> = Vec::new();
+
+    // Running examples, individually.
+    for (name, source) in [
+        ("Water-Leak-Detector", running::WATER_LEAK_DETECTOR),
+        ("Smoke-Alarm", running::SMOKE_ALARM),
+        ("Thermostat-Energy-Control", running::THERMOSTAT_ENERGY_CONTROL),
+        ("Buggy-Smoke-Alarm", running::BUGGY_SMOKE_ALARM),
+    ] {
+        let analysis = soteria.analyze_app(name, source).expect("running example parses");
+        let mut w = app_workload(&analysis);
+        w.name = format!("running/{name}");
+        workloads.push((w, true));
+    }
+
+    // MalIoT suite apps and multi-app groups (equivalence gate only).
+    eprintln!("analysing the MalIoT suite...");
+    let maliot = maliot_suite();
+    let maliot_analyses = analyze_all(&soteria, &maliot);
+    for analysis in &maliot_analyses {
+        let mut w = app_workload(analysis);
+        w.name = format!("maliot/{}", analysis.ir.name);
+        workloads.push((w, false));
+    }
+    for (group_name, members, _) in maliot_groups() {
+        let group: Vec<_> = members
+            .iter()
+            .map(|id| {
+                let idx = maliot
+                    .iter()
+                    .position(|m| &m.id == id)
+                    .unwrap_or_else(|| panic!("member {id} in MalIoT suite"));
+                maliot_analyses[idx].clone()
+            })
+            .collect();
+        let mut w = group_workload(group_name, &group);
+        w.name = format!("maliot_group/{group_name}");
+        workloads.push((w, false));
+    }
+
+    // Market interaction groups (the big union models); skipped in smoke mode.
+    if !smoke {
+        eprintln!("analysing the market corpus...");
+        for mut w in market_group_workloads(&soteria) {
+            w.name = format!("market_group/{}", w.name);
+            workloads.push((w, true));
+        }
+    }
+
+    // Gate first: the measurement is meaningless if the engines disagree.
+    for (w, _) in &workloads {
+        assert_engines_agree(w);
+    }
+    let checked: usize = workloads.iter().map(|(w, _)| w.formulas.len()).sum();
+    println!(
+        "engine equivalence: OK ({} workloads, {} property checks, identical verdicts \
+         and counterexamples across new-symbolic / explicit / legacy)",
+        workloads.len(),
+        checked
+    );
+    if smoke {
+        return;
+    }
+
+    let rows: Vec<Row> = workloads
+        .iter()
+        .filter(|(w, timed)| *timed && !w.formulas.is_empty())
+        .map(|(w, _)| {
+            eprintln!("measuring {}...", w.name);
+            measure_workload(w)
+        })
+        .collect();
+
+    // --- Report, in the BENCH_pr1.json format. ---
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    println!(
+        "{:<40} {:>8} {:>8} {:>5} {:>14} {:>14} {:>9}",
+        "benchmark", "states", "edges", "specs", "new", "old", "speedup"
+    );
+    for (i, row) in rows.iter().enumerate() {
+        println!(
+            "{:<40} {:>8} {:>8} {:>5} {:>14?} {:>14?} {:>8.1}x",
+            row.name, row.states, row.edges, row.formulas, row.new, row.old, row.speedup()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"new_ns\": {}, \"old_ns\": {}, \"speedup\": {:.2}, \"iterations\": {}, \"states\": {}, \"edges\": {}, \"formulas\": {}}}{}",
+            row.name,
+            row.new.as_nanos(),
+            row.old.as_nanos(),
+            row.speedup(),
+            row.iterations,
+            row.states,
+            row.edges,
+            row.formulas,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    let min = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
+    println!("{:<40} {:>38.1}x (geomean), {:.1}x (min)", "overall", geomean, min);
+    let _ = write!(
+        json,
+        "  ],\n  \"speedup_geomean\": {geomean:.2},\n  \"speedup_min\": {min:.2}\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write results");
+    println!("wrote {out_path}");
+}

@@ -7,8 +7,34 @@
 //! paper's evaluation (Sec. 6); EXPERIMENTS.md records the paper-reported values next
 //! to the values measured here.
 
-use soteria::{AppAnalysis, Soteria};
-use soteria_corpus::CorpusApp;
+use soteria::{default_initial_kripke, AppAnalysis, Soteria};
+use soteria_checker::{Ctl, Kripke};
+use soteria_corpus::{all_market_apps, market_groups, CorpusApp};
+use soteria_model::{union_models, StateModel, UnionOptions};
+use soteria_properties::{applicable_properties, formula, AppUnderTest, DeviceContext};
+use std::time::{Duration, Instant};
+
+/// Mean wall-clock time of `f` over enough iterations to exceed ~200ms of work,
+/// capped at `max_iters`. Shared by the before/after measurement binaries so both
+/// `BENCH_pr*.json` files come from the same timing loop; pick a cap high enough
+/// that the budget — not the cap — ends the loop for your workload scale
+/// (model construction is ms-scale, property sweeps can be nanoseconds).
+pub fn measure_mean<R>(mut f: impl FnMut() -> R, max_iters: usize) -> (Duration, usize) {
+    std::hint::black_box(f());
+    let budget = Duration::from_millis(200);
+    let mut total = Duration::ZERO;
+    let mut iters = 0usize;
+    while total < budget || iters < 5 {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        total += start.elapsed();
+        iters += 1;
+        if iters >= max_iters {
+            break;
+        }
+    }
+    (total / iters as u32, iters)
+}
 
 /// Analyses every app of a corpus slice, panicking on parse errors (corpus sources are
 /// under our control).
@@ -18,6 +44,90 @@ pub fn analyze_all(soteria: &Soteria, apps: &[CorpusApp]) -> Vec<AppAnalysis> {
             soteria
                 .analyze_app(&app.id, &app.source)
                 .unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.id))
+        })
+        .collect()
+}
+
+/// A full-property-sweep verification workload: one Kripke structure plus every
+/// applicable non-trivial P.1–P.30 formula for the devices involved. This is exactly
+/// what the analyzer's `check_specific_on_model` loop runs per model.
+pub struct VerificationWorkload {
+    /// Workload name (app or group id).
+    pub name: String,
+    /// The default-initial Kripke structure of the (union) model.
+    pub kripke: Kripke,
+    /// Applicable P.1–P.30 formulas, `Ctl::True` placeholders dropped.
+    pub formulas: Vec<Ctl>,
+}
+
+/// The applicable non-trivial P.1–P.30 formulas of a device context.
+pub fn property_sweep_formulas(ctx: &DeviceContext) -> Vec<Ctl> {
+    applicable_properties(ctx)
+        .into_iter()
+        .filter_map(|id| formula(id, ctx))
+        .filter(|f| *f != Ctl::True)
+        .collect()
+}
+
+/// Builds the verification workload of a single analysed app.
+pub fn app_workload(analysis: &AppAnalysis) -> VerificationWorkload {
+    let under_test = AppUnderTest {
+        name: &analysis.ir.name,
+        ir: &analysis.ir,
+        specs: &analysis.specs,
+        summaries: &analysis.summaries,
+    };
+    let ctx = DeviceContext::from_apps(&[under_test]);
+    VerificationWorkload {
+        name: analysis.ir.name.clone(),
+        kripke: default_initial_kripke(&analysis.model),
+        formulas: property_sweep_formulas(&ctx),
+    }
+}
+
+/// Builds the verification workload of an app group: the union model's Kripke
+/// structure and the formulas applicable to the combined devices.
+pub fn group_workload(name: &str, analyses: &[AppAnalysis]) -> VerificationWorkload {
+    let under_test: Vec<AppUnderTest<'_>> = analyses
+        .iter()
+        .map(|a| AppUnderTest {
+            name: &a.ir.name,
+            ir: &a.ir,
+            specs: &a.specs,
+            summaries: &a.summaries,
+        })
+        .collect();
+    let ctx = DeviceContext::from_apps(&under_test);
+    let models: Vec<&StateModel> = analyses.iter().map(|a| &a.model).collect();
+    let union = union_models(name, &models, &UnionOptions::default());
+    VerificationWorkload {
+        name: name.to_string(),
+        kripke: default_initial_kripke(&union),
+        formulas: property_sweep_formulas(&ctx),
+    }
+}
+
+/// Analyses the market corpus and builds one verification workload per interaction
+/// group G.1–G.3 (`workload.name` is the group id). Shared by the Criterion sweep
+/// bench and the `verification_old_vs_new` gate so both drive identical workloads.
+pub fn market_group_workloads(soteria: &Soteria) -> Vec<VerificationWorkload> {
+    let market = all_market_apps();
+    let analyses = analyze_all(soteria, &market);
+    market_groups()
+        .iter()
+        .map(|g| {
+            let members: Vec<AppAnalysis> = g
+                .members
+                .iter()
+                .map(|id| {
+                    let idx = market
+                        .iter()
+                        .position(|m| &m.id == id)
+                        .unwrap_or_else(|| panic!("member {id} in corpus"));
+                    analyses[idx].clone()
+                })
+                .collect();
+            group_workload(g.id, &members)
         })
         .collect()
 }
@@ -86,5 +196,22 @@ mod tests {
         assert!(row.max_loc >= row.avg_loc);
         let line = format_dataset_row(&row);
         assert!(line.contains("Third-party"));
+    }
+
+    #[test]
+    fn workloads_expose_full_property_sweeps() {
+        let soteria = Soteria::new();
+        let smoke = soteria
+            .analyze_app("Smoke-Alarm", soteria_corpus::running::SMOKE_ALARM)
+            .unwrap();
+        let single = app_workload(&smoke);
+        assert!(!single.formulas.is_empty(), "P.10 must apply to the smoke alarm");
+        assert!(single.kripke.state_count() >= smoke.model.state_count());
+        let water = soteria
+            .analyze_app("Water-Leak-Detector", soteria_corpus::running::WATER_LEAK_DETECTOR)
+            .unwrap();
+        let group = group_workload("G", &[smoke, water]);
+        assert!(group.formulas.len() >= single.formulas.len());
+        assert!(group.kripke.state_count() > 1);
     }
 }

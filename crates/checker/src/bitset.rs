@@ -19,9 +19,12 @@ impl BitSet {
 
     /// The full set over a universe of `len` states.
     pub fn full(len: usize) -> Self {
-        let mut set = Self::empty(len);
-        for i in 0..len {
-            set.insert(i);
+        let mut set = BitSet { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let extra = set.words.len() * 64 - len;
+        if extra > 0 {
+            if let Some(last) = set.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
         }
         set
     }
@@ -93,8 +96,35 @@ impl BitSet {
     }
 
     /// Iterates over member indices in increasing order.
+    ///
+    /// The iterator walks the set words and peels bits with `trailing_zeros`, so a
+    /// sparse set over a large universe is traversed in O(words + members) rather
+    /// than O(universe) membership tests — this is what lets the checker's pre-image
+    /// iterate "set words of the target bitset rather than bit-by-bit".
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |i| self.contains(*i))
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &word)| WordBits { word, base: i * 64 })
+    }
+}
+
+/// Iterator over the set bits of one 64-bit word.
+struct WordBits {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for WordBits {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + bit)
     }
 }
 
@@ -151,6 +181,17 @@ mod tests {
         // Double complement restores the original.
         s.complement();
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 69]);
+    }
+
+    #[test]
+    fn iter_skips_empty_words() {
+        let mut s = BitSet::empty(400);
+        for i in [0, 63, 64, 127, 320, 399] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 320, 399]);
+        assert_eq!(BitSet::empty(400).iter().count(), 0);
+        assert_eq!(BitSet::full(130).iter().collect::<Vec<_>>(), (0..130).collect::<Vec<_>>());
     }
 
     #[test]

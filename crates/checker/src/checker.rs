@@ -3,21 +3,40 @@
 //! Two engines are provided with identical semantics:
 //!
 //! * [`Engine::Symbolic`] — the default; computes satisfaction sets with packed bitset
-//!   fixpoints (the role BDDs play in NuSMV);
-//! * [`Engine::Explicit`] — a straightforward per-state labelling over `Vec<bool>`,
-//!   used for differential testing and the engine-comparison bench.
+//!   frontier algorithms (the role BDDs play in NuSMV): `E [a U b]` is a reverse-edge
+//!   worklist that only expands states newly added in the previous round, and `EG f`
+//!   is the standard successor-count elimination — both O(V + E) instead of the
+//!   seed's O(rounds × E) round-based fixpoints. The pre-image iterates the set words
+//!   of the target bitset rather than testing membership bit-by-bit. Universes that
+//!   fit a single word fall back to the round-based loops, where a whole fixpoint
+//!   round is one `u64` operation.
+//! * [`Engine::Explicit`] — a straightforward per-state labelling with round-based
+//!   fixpoints over the CSR successor slices, kept as the differential baseline for
+//!   the frontier algorithms.
+//!
+//! Satisfaction sets are memoized per checker: [`ModelChecker::sat`] hash-conses
+//! formulas into dense node ids (atoms resolve to labelling rows, composite nodes
+//! key on `(operator, child ids)` — O(1) hashing per node) and caches each node's
+//! set by structural identity (interior mutability, so checking stays `&self`);
+//! [`ModelChecker::check_all`] batches a property sweep over one
+//! structure so the ~30 P.1–P.30 formulas share subformula sets (`triggered`, event
+//! atoms, negations) and the `AG` counterexample path reuses the cached `sat(body)`
+//! instead of recomputing it. Both engines and counterexample BFS run off the same
+//! CSR edge arrays stored in the [`Kripke`] structure.
 
 use crate::bitset::BitSet;
 use crate::ctl::Ctl;
 use crate::kripke::Kripke;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Which fixpoint engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Packed bitset fixpoints (BDD-style set computation).
+    /// Packed bitset frontier fixpoints (BDD-style set computation).
     #[default]
     Symbolic,
-    /// Per-state boolean vectors.
+    /// Per-state boolean scans with round-based fixpoints (differential baseline).
     Explicit,
 }
 
@@ -34,94 +53,275 @@ pub struct CheckResult {
     pub counterexample: Option<Vec<String>>,
 }
 
+/// Universes of at most this many states (one bitset word) run the round-based
+/// fixpoints: every set operation is a single `u64` op there, so frontier-worklist
+/// bookkeeping costs more than it saves.
+const SMALL_UNIVERSE: usize = 64;
+
+/// A hash-consed CTL node: operator discriminant plus dense child ids. Atoms are
+/// resolved to their labelling-row index at intern time (all unknown atoms collapse
+/// to the same `Atom(None)` node — they satisfy the empty set either way), so node
+/// keys are small `Copy` values and interning a formula hashes each node in O(1)
+/// instead of re-hashing whole subtrees per cache query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum NodeOp {
+    True,
+    False,
+    Atom(Option<u32>),
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    Implies(u32, u32),
+    Ex(u32),
+    Ef(u32),
+    Eg(u32),
+    Eu(u32, u32),
+    Ax(u32),
+    Af(u32),
+    Ag(u32),
+    Au(u32, u32),
+}
+
+/// The interner + satisfaction-set memo behind the symbolic engine's cache:
+/// structurally identical subformulas intern to the same node id, and each node's
+/// sat set is computed at most once per checker.
+#[derive(Default)]
+struct SatMemo {
+    node_ids: HashMap<NodeOp, u32>,
+    ops: Vec<NodeOp>,
+    sat: Vec<Option<BitSet>>,
+}
+
+impl SatMemo {
+    fn intern(&mut self, op: NodeOp) -> u32 {
+        if let Some(&id) = self.node_ids.get(&op) {
+            return id;
+        }
+        let id = self.ops.len() as u32;
+        self.node_ids.insert(op, id);
+        self.ops.push(op);
+        self.sat.push(None);
+        id
+    }
+}
+
 /// A CTL model checker over one Kripke structure.
 pub struct ModelChecker<'a> {
     kripke: &'a Kripke,
     engine: Engine,
-    predecessors: Vec<Vec<usize>>,
+    /// Interior-mutable sat-set cache keyed by structurally-hashed `Ctl` nodes,
+    /// shared across every `check`/`check_all` call on this checker so a property
+    /// sweep computes each distinct subformula set once. Used by the symbolic
+    /// engine only; the explicit baseline recomputes from scratch.
+    memo: RefCell<SatMemo>,
 }
 
 impl<'a> ModelChecker<'a> {
-    /// Creates a checker.
+    /// Creates a checker. The transition relation (forward and reverse) is read
+    /// directly from the Kripke structure's CSR arrays; nothing is rebuilt per
+    /// checker.
     pub fn new(kripke: &'a Kripke, engine: Engine) -> Self {
-        let mut predecessors = vec![Vec::new(); kripke.state_count()];
-        for (from, succs) in kripke.successors.iter().enumerate() {
-            for &to in succs {
-                predecessors[to].push(from);
-            }
-        }
-        ModelChecker { kripke, engine, predecessors }
+        ModelChecker { kripke, engine, memo: RefCell::new(SatMemo::default()) }
     }
 
-    /// The set of states satisfying a formula.
+    /// The set of states satisfying a formula. The symbolic engine memoizes every
+    /// subformula by structural identity, so repeated subformulas within and across
+    /// a property sweep are computed once. Single-word universes recompute directly:
+    /// there every set operation is one `u64` op, cheaper than interning.
     pub fn sat(&self, formula: &Ctl) -> BitSet {
+        match self.engine {
+            Engine::Symbolic if self.kripke.state_count() > SMALL_UNIVERSE => {
+                let id = self.intern(formula);
+                self.sat_node(id)
+            }
+            _ => self.direct_sat(formula),
+        }
+    }
+
+    /// Hash-conses a formula into the memo, bottom-up. Each node is hashed as a
+    /// small `(op, child ids)` key — O(1) per node — rather than by subtree.
+    fn intern(&self, formula: &Ctl) -> u32 {
+        let op = match formula {
+            Ctl::True => NodeOp::True,
+            Ctl::False => NodeOp::False,
+            Ctl::Atom(a) => NodeOp::Atom(self.kripke.atom_index(a).map(|i| i as u32)),
+            Ctl::Not(f) => NodeOp::Not(self.intern(f)),
+            Ctl::And(a, b) => NodeOp::And(self.intern(a), self.intern(b)),
+            Ctl::Or(a, b) => NodeOp::Or(self.intern(a), self.intern(b)),
+            Ctl::Implies(a, b) => NodeOp::Implies(self.intern(a), self.intern(b)),
+            Ctl::Ex(f) => NodeOp::Ex(self.intern(f)),
+            Ctl::Ef(f) => NodeOp::Ef(self.intern(f)),
+            Ctl::Eg(f) => NodeOp::Eg(self.intern(f)),
+            Ctl::Eu(a, b) => NodeOp::Eu(self.intern(a), self.intern(b)),
+            Ctl::Ax(f) => NodeOp::Ax(self.intern(f)),
+            Ctl::Af(f) => NodeOp::Af(self.intern(f)),
+            Ctl::Ag(f) => NodeOp::Ag(self.intern(f)),
+            Ctl::Au(a, b) => NodeOp::Au(self.intern(a), self.intern(b)),
+        };
+        self.memo.borrow_mut().intern(op)
+    }
+
+    /// The satisfaction set of an interned node, memoized.
+    ///
+    /// KEEP IN SYNC with `direct_sat`: the two matches implement the same CTL
+    /// semantics over `NodeOp` ids and `Ctl` trees respectively (the symbolic
+    /// engine uses this one above `SMALL_UNIVERSE`, `direct_sat` below it, where
+    /// interning costs more than recomputation). `tests/engine_differential.rs`
+    /// fuzzes both paths against the explicit and legacy checkers across the
+    /// threshold.
+    fn sat_node(&self, id: u32) -> BitSet {
+        if let Some(hit) = &self.memo.borrow().sat[id as usize] {
+            return hit.clone();
+        }
+        let op = self.memo.borrow().ops[id as usize];
+        let n = self.kripke.state_count();
+        let result = match op {
+            NodeOp::True => BitSet::full(n),
+            NodeOp::False => BitSet::empty(n),
+            // The Kripke structure stores labelling column-wise; satisfaction of an
+            // atom is its precomputed row, not a per-state scan.
+            NodeOp::Atom(Some(row)) => self.kripke.atom_row(row as usize).clone(),
+            NodeOp::Atom(None) => BitSet::empty(n),
+            NodeOp::Not(f) => {
+                let mut set = self.sat_node(f);
+                set.complement();
+                set
+            }
+            NodeOp::And(a, b) => {
+                let mut set = self.sat_node(a);
+                set.intersect_with(&self.sat_node(b));
+                set
+            }
+            NodeOp::Or(a, b) => {
+                let mut set = self.sat_node(a);
+                set.union_with(&self.sat_node(b));
+                set
+            }
+            NodeOp::Implies(a, b) => {
+                // a -> b  ≡  !a | b
+                let mut not_a = self.sat_node(a);
+                not_a.complement();
+                not_a.union_with(&self.sat_node(b));
+                not_a
+            }
+            NodeOp::Ex(f) => self.pre_exists(&self.sat_node(f)),
+            NodeOp::Ef(f) => {
+                // EF f = E [true U f]
+                self.least_fixpoint_eu(&BitSet::full(n), &self.sat_node(f))
+            }
+            NodeOp::Eu(a, b) => self.least_fixpoint_eu(&self.sat_node(a), &self.sat_node(b)),
+            NodeOp::Eg(f) => self.greatest_fixpoint_eg(&self.sat_node(f)),
+            NodeOp::Ax(f) => {
+                // AX f = !EX !f
+                let mut not_f = self.sat_node(f);
+                not_f.complement();
+                let mut result = self.pre_exists(&not_f);
+                result.complement();
+                result
+            }
+            NodeOp::Af(f) => {
+                // AF f = !EG !f
+                let mut not_f = self.sat_node(f);
+                not_f.complement();
+                let mut result = self.greatest_fixpoint_eg(&not_f);
+                result.complement();
+                result
+            }
+            NodeOp::Ag(f) => {
+                // AG f = !EF !f
+                let mut not_f = self.sat_node(f);
+                not_f.complement();
+                let mut result = self.least_fixpoint_eu(&BitSet::full(n), &not_f);
+                result.complement();
+                result
+            }
+            NodeOp::Au(a, b) => {
+                // A [a U b] = !(E [!b U (!a & !b)] | EG !b)
+                let sat_a = self.sat_node(a);
+                let sat_b = self.sat_node(b);
+                let mut not_a = sat_a.clone();
+                not_a.complement();
+                let mut not_b = sat_b.clone();
+                not_b.complement();
+                let mut not_a_and_not_b = not_a;
+                not_a_and_not_b.intersect_with(&not_b);
+                let mut bad = self.least_fixpoint_eu(&not_b, &not_a_and_not_b);
+                bad.union_with(&self.greatest_fixpoint_eg(&not_b));
+                bad.complement();
+                bad
+            }
+        };
+        self.memo.borrow_mut().sat[id as usize] = Some(result.clone());
+        result
+    }
+
+    /// Direct recursion with no memoization: used by the explicit engine (the
+    /// differential baseline recomputes everything from scratch) and by the
+    /// symbolic engine on single-word universes. The pre-image and fixpoint
+    /// helpers still dispatch on the engine.
+    ///
+    /// KEEP IN SYNC with `sat_node` — same semantics, different node
+    /// representation; see the note there.
+    fn direct_sat(&self, formula: &Ctl) -> BitSet {
         let n = self.kripke.state_count();
         match formula {
             Ctl::True => BitSet::full(n),
             Ctl::False => BitSet::empty(n),
             Ctl::Atom(a) => match self.kripke.atom_index(a) {
-                // The Kripke structure stores labelling column-wise; satisfaction of
-                // an atom is its precomputed row, not a per-state scan.
                 Some(idx) => self.kripke.atom_row(idx).clone(),
                 None => BitSet::empty(n),
             },
             Ctl::Not(f) => {
-                let mut set = self.sat(f);
+                let mut set = self.direct_sat(f);
                 set.complement();
                 set
             }
             Ctl::And(a, b) => {
-                let mut set = self.sat(a);
-                set.intersect_with(&self.sat(b));
+                let mut set = self.direct_sat(a);
+                set.intersect_with(&self.direct_sat(b));
                 set
             }
             Ctl::Or(a, b) => {
-                let mut set = self.sat(a);
-                set.union_with(&self.sat(b));
+                let mut set = self.direct_sat(a);
+                set.union_with(&self.direct_sat(b));
                 set
             }
             Ctl::Implies(a, b) => {
-                // a -> b  ≡  !a | b
-                let mut not_a = self.sat(a);
+                let mut not_a = self.direct_sat(a);
                 not_a.complement();
-                not_a.union_with(&self.sat(b));
+                not_a.union_with(&self.direct_sat(b));
                 not_a
             }
-            Ctl::Ex(f) => self.pre_exists(&self.sat(f)),
-            Ctl::Ef(f) => {
-                // EF f = E [true U f]
-                self.least_fixpoint_eu(&BitSet::full(n), &self.sat(f))
+            Ctl::Ex(f) => self.pre_exists(&self.direct_sat(f)),
+            Ctl::Ef(f) => self.least_fixpoint_eu(&BitSet::full(n), &self.direct_sat(f)),
+            Ctl::Eu(a, b) => {
+                self.least_fixpoint_eu(&self.direct_sat(a), &self.direct_sat(b))
             }
-            Ctl::Eu(a, b) => self.least_fixpoint_eu(&self.sat(a), &self.sat(b)),
-            Ctl::Eg(f) => self.greatest_fixpoint_eg(&self.sat(f)),
+            Ctl::Eg(f) => self.greatest_fixpoint_eg(&self.direct_sat(f)),
             Ctl::Ax(f) => {
-                // AX f = !EX !f
-                let mut not_f = self.sat(f);
+                let mut not_f = self.direct_sat(f);
                 not_f.complement();
                 let mut result = self.pre_exists(&not_f);
                 result.complement();
                 result
             }
             Ctl::Af(f) => {
-                // AF f = !EG !f
-                let mut not_f = self.sat(f);
+                let mut not_f = self.direct_sat(f);
                 not_f.complement();
                 let mut result = self.greatest_fixpoint_eg(&not_f);
                 result.complement();
                 result
             }
             Ctl::Ag(f) => {
-                // AG f = !EF !f
-                let mut not_f = self.sat(f);
+                let mut not_f = self.direct_sat(f);
                 not_f.complement();
                 let mut result = self.least_fixpoint_eu(&BitSet::full(n), &not_f);
                 result.complement();
                 result
             }
             Ctl::Au(a, b) => {
-                // A [a U b] = !(E [!b U (!a & !b)] | EG !b)
-                let sat_a = self.sat(a);
-                let sat_b = self.sat(b);
+                let sat_a = self.direct_sat(a);
+                let sat_b = self.direct_sat(b);
                 let mut not_a = sat_a.clone();
                 not_a.complement();
                 let mut not_b = sat_b.clone();
@@ -142,15 +342,17 @@ impl<'a> ModelChecker<'a> {
         let mut result = BitSet::empty(n);
         match self.engine {
             Engine::Symbolic => {
+                // `BitSet::iter` walks set words and peels bits, so only the members
+                // of `target` are visited — not the whole universe.
                 for to in target.iter() {
-                    for &from in &self.predecessors[to] {
-                        result.insert(from);
+                    for &from in self.kripke.predecessors(to) {
+                        result.insert(from as usize);
                     }
                 }
             }
             Engine::Explicit => {
                 for from in 0..n {
-                    if self.kripke.successors[from].iter().any(|&s| target.contains(s)) {
+                    if self.kripke.successors(from).iter().any(|&s| target.contains(s as usize)) {
                         result.insert(from);
                     }
                 }
@@ -160,7 +362,31 @@ impl<'a> ModelChecker<'a> {
     }
 
     /// Least fixpoint for `E [a U b]`.
+    ///
+    /// The symbolic engine runs a frontier worklist over the reverse CSR edges: only
+    /// states newly added in the previous step are expanded, so every reverse edge is
+    /// processed at most once — O(V + E) total, versus the round-based loop's
+    /// O(rounds × E) re-scan of the entire accumulated set.
     fn least_fixpoint_eu(&self, sat_a: &BitSet, sat_b: &BitSet) -> BitSet {
+        if self.engine == Engine::Explicit || self.kripke.state_count() <= SMALL_UNIVERSE {
+            return self.least_fixpoint_eu_rounds(sat_a, sat_b);
+        }
+        let mut result = sat_b.clone();
+        let mut frontier: Vec<u32> = sat_b.iter().map(|s| s as u32).collect();
+        while let Some(s) = frontier.pop() {
+            for &p in self.kripke.predecessors(s as usize) {
+                let p_usize = p as usize;
+                if sat_a.contains(p_usize) && !result.contains(p_usize) {
+                    result.insert(p_usize);
+                    frontier.push(p);
+                }
+            }
+        }
+        result
+    }
+
+    /// Round-based least fixpoint (the explicit engine's baseline algorithm).
+    fn least_fixpoint_eu_rounds(&self, sat_a: &BitSet, sat_b: &BitSet) -> BitSet {
         let mut result = sat_b.clone();
         loop {
             let mut pre = self.pre_exists(&result);
@@ -174,7 +400,49 @@ impl<'a> ModelChecker<'a> {
     }
 
     /// Greatest fixpoint for `EG f`.
+    ///
+    /// The symbolic engine uses successor-count elimination: every state of `sat f`
+    /// tracks how many of its successors remain viable; states whose count reaches
+    /// zero are eliminated and their predecessors decremented through the reverse
+    /// CSR edges. Each edge is touched a constant number of times — O(V + E).
     fn greatest_fixpoint_eg(&self, sat_f: &BitSet) -> BitSet {
+        if self.engine == Engine::Explicit || self.kripke.state_count() <= SMALL_UNIVERSE {
+            return self.greatest_fixpoint_eg_rounds(sat_f);
+        }
+        let n = self.kripke.state_count();
+        let mut result = sat_f.clone();
+        let mut viable = vec![0u32; n];
+        let mut eliminated: Vec<u32> = Vec::new();
+        for s in sat_f.iter() {
+            let count = self
+                .kripke
+                .successors(s)
+                .iter()
+                .filter(|&&t| sat_f.contains(t as usize))
+                .count() as u32;
+            viable[s] = count;
+            if count == 0 {
+                result.remove(s);
+                eliminated.push(s as u32);
+            }
+        }
+        while let Some(s) = eliminated.pop() {
+            for &p in self.kripke.predecessors(s as usize) {
+                let p_usize = p as usize;
+                if result.contains(p_usize) {
+                    viable[p_usize] -= 1;
+                    if viable[p_usize] == 0 {
+                        result.remove(p_usize);
+                        eliminated.push(p);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Round-based greatest fixpoint (the explicit engine's baseline algorithm).
+    fn greatest_fixpoint_eg_rounds(&self, sat_f: &BitSet) -> BitSet {
         let mut result = sat_f.clone();
         loop {
             let mut pre = self.pre_exists(&result);
@@ -208,25 +476,35 @@ impl<'a> ModelChecker<'a> {
         }
     }
 
+    /// Checks a batch of properties against the same structure. With the symbolic
+    /// engine on a universe above `SMALL_UNIVERSE`, the satisfaction-set cache is
+    /// shared across the whole batch: subformulas common to several properties
+    /// (event atoms, `triggered`, their negations) are computed once. Below the
+    /// threshold (and for the explicit baseline) every formula recomputes — there
+    /// each set operation is a single `u64` op, cheaper than cache bookkeeping.
+    pub fn check_all(&self, formulas: &[Ctl]) -> Vec<CheckResult> {
+        formulas.iter().map(|f| self.check(f)).collect()
+    }
+
     /// Builds a counter-example trace starting at `from`. For `AG f` the trace is the
     /// shortest path from `from` to a state violating `f`; for other shapes the trace
     /// is the violating initial state alone.
     fn counterexample(&self, formula: &Ctl, from: usize) -> Vec<String> {
         if let Ctl::Ag(body) = formula {
+            // Above `SMALL_UNIVERSE` with the symbolic engine, `sat(body)` hits the
+            // memo: the body set was already computed while checking the formula
+            // itself. Small universes recompute it (a handful of word ops).
             let mut bad = self.sat(body);
             bad.complement();
             if let Some(path) = self.shortest_path(from, &bad) {
-                return path.into_iter().map(|s| self.trace_name(s)).collect();
+                return path.into_iter().map(|s| self.kripke.state_name(s)).collect();
             }
         }
-        vec![self.trace_name(from)]
+        vec![self.kripke.state_name(from)]
     }
 
-    fn trace_name(&self, state: usize) -> String {
-        self.kripke.state_names[state].clone()
-    }
-
-    /// Breadth-first shortest path from `from` to any state in `targets`.
+    /// Breadth-first shortest path from `from` to any state in `targets`, over the
+    /// same CSR successor array the engines use.
     fn shortest_path(&self, from: usize, targets: &BitSet) -> Option<Vec<usize>> {
         let n = self.kripke.state_count();
         let mut parent: Vec<Option<usize>> = vec![None; n];
@@ -245,7 +523,8 @@ impl<'a> ModelChecker<'a> {
                 path.reverse();
                 return Some(path);
             }
-            for &succ in &self.kripke.successors[s] {
+            for &succ in self.kripke.successors(s) {
+                let succ = succ as usize;
                 if !visited[succ] {
                     visited[succ] = true;
                     parent[succ] = Some(s);
@@ -264,16 +543,12 @@ mod tests {
     /// A hand-built three-state Kripke structure:
     /// s0 --> s1 --> s2, s2 loops; atoms: p on s0 and s1, q on s2.
     fn line_kripke() -> Kripke {
-        let mut kripke = Kripke {
-            atoms: vec!["p".into(), "q".into()],
-            state_names: vec!["s0".into(), "s1".into(), "s2".into()],
-            successors: vec![vec![1], vec![2], vec![2]],
-            initial: vec![0],
-            model_state: vec![0, 1, 2],
-            incoming_event: vec![None, None, None],
-            incoming_app: vec![None, None, None],
-            ..Default::default()
-        };
+        let mut kripke = Kripke::from_lists(
+            vec!["p".into(), "q".into()],
+            vec!["s0".into(), "s1".into(), "s2".into()],
+            &[vec![1], vec![2], vec![2]],
+            vec![0],
+        );
         kripke.set_labels(&[vec![0], vec![0], vec![1]]);
         kripke
     }
@@ -336,6 +611,89 @@ mod tests {
             let b = explicit.sat(&f);
             assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>(), "formula {f}");
         }
+    }
+
+    #[test]
+    fn check_all_matches_individual_checks() {
+        let kripke = line_kripke();
+        let formulas = vec![
+            Ctl::atom("p").always_globally(),
+            Ctl::atom("q").always_finally(),
+            Ctl::atom("p").or(Ctl::atom("q")).always_globally(),
+            Ctl::atom("p").always_globally(), // repeated: served from the cache
+        ];
+        let batch = ModelChecker::new(&kripke, Engine::Symbolic);
+        let batched = batch.check_all(&formulas);
+        for (f, b) in formulas.iter().zip(&batched) {
+            let fresh = ModelChecker::new(&kripke, Engine::Symbolic).check(f);
+            assert_eq!(&fresh, b, "batched result differs on {f}");
+        }
+        assert_eq!(batched[0], batched[3]);
+    }
+
+    /// A 100-state ring (above `SMALL_UNIVERSE`, so the frontier fixpoints and the
+    /// memo cache engage): p on even states, q only on state 99.
+    fn ring_kripke() -> Kripke {
+        let n = 100;
+        let succs: Vec<Vec<usize>> = (0..n).map(|s| vec![(s + 1) % n]).collect();
+        let names: Vec<String> = (0..n).map(|s| format!("r{s}")).collect();
+        let mut kripke =
+            Kripke::from_lists(vec!["p".into(), "q".into()], names, &succs, vec![0]);
+        let labels: Vec<Vec<usize>> = (0..n)
+            .map(|s| {
+                let mut l = Vec::new();
+                if s % 2 == 0 {
+                    l.push(0);
+                }
+                if s == 99 {
+                    l.push(1);
+                }
+                l
+            })
+            .collect();
+        kripke.set_labels(&labels);
+        kripke
+    }
+
+    #[test]
+    fn frontier_and_rounds_agree_above_the_small_universe_threshold() {
+        let kripke = ring_kripke();
+        let symbolic = ModelChecker::new(&kripke, Engine::Symbolic);
+        let explicit = ModelChecker::new(&kripke, Engine::Explicit);
+        let formulas = vec![
+            Ctl::atom("q").exists_finally(),
+            Ctl::atom("q").always_finally(),
+            Ctl::Eg(Box::new(Ctl::atom("p").or(Ctl::atom("q").not()))),
+            Ctl::Eu(Box::new(Ctl::atom("p").not().not()), Box::new(Ctl::atom("q"))),
+            Ctl::atom("p").implies(Ctl::atom("q").exists_finally()).always_globally(),
+            Ctl::Au(Box::new(Ctl::True), Box::new(Ctl::atom("q"))),
+        ];
+        for f in &formulas {
+            assert_eq!(
+                symbolic.sat(f).iter().collect::<Vec<_>>(),
+                explicit.sat(f).iter().collect::<Vec<_>>(),
+                "engines disagree on {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn sat_cache_is_consistent_across_repeated_queries() {
+        let kripke = ring_kripke();
+        let checker = ModelChecker::new(&kripke, Engine::Symbolic);
+        let f = Ctl::atom("p").implies(Ctl::atom("q").exists_finally()).always_globally();
+        let first = checker.sat(&f);
+        let second = checker.sat(&f);
+        assert_eq!(first.iter().collect::<Vec<_>>(), second.iter().collect::<Vec<_>>());
+        // Every subformula node was interned and memoized: p, q, EF q, p -> EF q,
+        // AG (...) — five nodes, five cached sets.
+        let memo = checker.memo.borrow();
+        assert_eq!(memo.ops.len(), 5);
+        assert!(memo.sat.iter().all(|s| s.is_some()));
+        // Structurally identical subformulas share one node.
+        drop(memo);
+        checker.sat(&Ctl::atom("q").exists_finally());
+        assert_eq!(checker.memo.borrow().ops.len(), 5);
     }
 
     #[test]

@@ -11,22 +11,31 @@
 //! seed's linear scan per query. Attribute propositions are precomputed per
 //! `(attribute id, value digit)` pair of the model's interned schema, so building the
 //! structure formats each proposition string once rather than once per state.
+//!
+//! The transition relation is stored once, in compressed-sparse-row (CSR) form, in
+//! **both** directions: [`Kripke::successors`] and [`Kripke::predecessors`] index flat
+//! `u32` target arrays through per-state offset arrays. Every consumer — the
+//! frontier fixpoints of the symbolic engine, the per-state scans of the explicit
+//! engine, and counterexample BFS — runs off the same two arrays, replacing the
+//! seed's per-state `Vec<Vec<usize>>` successor lists and the per-`ModelChecker`
+//! predecessor rebuild.
+//!
+//! State names are lazy: construction records only `(model state, incoming event)`
+//! per Kripke state plus one label fragment per `(attribute, value)` pair of the
+//! schema; the human-readable `"[attr=value, ...] after event"` string is formatted
+//! by [`Kripke::state_name`] only when a counterexample trace (or an export) asks
+//! for it, instead of eagerly for every state during construction.
 
 use crate::bitset::BitSet;
 use soteria_model::{StateId, StateModel};
 use std::collections::HashMap;
 
 /// A Kripke structure: states labelled with atomic propositions and a total
-/// transition relation.
+/// transition relation stored as forward + reverse CSR arrays.
 #[derive(Debug, Clone, Default)]
 pub struct Kripke {
     /// The atomic-proposition universe.
     pub atoms: Vec<String>,
-    /// Human-readable state names (for counter-example traces).
-    pub state_names: Vec<String>,
-    /// Successor lists; the relation is made total by adding self-loops to deadlocked
-    /// states.
-    pub successors: Vec<Vec<usize>>,
     /// Initial states.
     pub initial: Vec<usize>,
     /// The underlying model state of each Kripke state.
@@ -35,6 +44,24 @@ pub struct Kripke {
     pub incoming_event: Vec<Option<String>>,
     /// The app (if any) whose transition produced each Kripke state.
     pub incoming_app: Vec<Option<String>>,
+    /// CSR offsets into `succ_targets`: the successors of state `s` are
+    /// `succ_targets[succ_offsets[s]..succ_offsets[s + 1]]`.
+    succ_offsets: Vec<u32>,
+    /// Flat successor array (forward edges, sorted per source).
+    succ_targets: Vec<u32>,
+    /// CSR offsets into `pred_targets` (reverse edges).
+    pred_offsets: Vec<u32>,
+    /// Flat predecessor array (reverse edges, sorted per target).
+    pred_targets: Vec<u32>,
+    /// Explicit per-state names for hand-built structures (tests, fuzzing); empty
+    /// for model-derived structures, whose names are derived lazily.
+    name_override: Vec<String>,
+    /// Per `(attribute, value digit)` label fragment (`"handle=value"` or
+    /// `"handle.attribute=value"`), used to format state names on demand.
+    name_fragments: Vec<Vec<String>>,
+    /// Mixed-radix strides of the model's schema, for recovering value digits from a
+    /// model-state id without keeping the schema alive.
+    name_strides: Vec<usize>,
     /// Atom name -> index, built once at construction.
     pub(crate) atom_lookup: HashMap<String, usize>,
     /// For each atom, the set of states where it holds, packed as a bitset row over
@@ -45,7 +72,22 @@ pub struct Kripke {
 impl Kripke {
     /// Number of states.
     pub fn state_count(&self) -> usize {
-        self.state_names.len()
+        self.model_state.len()
+    }
+
+    /// Number of (forward) edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ_targets.len()
+    }
+
+    /// The successors of one state (CSR slice).
+    pub fn successors(&self, state: usize) -> &[u32] {
+        &self.succ_targets[self.succ_offsets[state] as usize..self.succ_offsets[state + 1] as usize]
+    }
+
+    /// The predecessors of one state (reverse CSR slice).
+    pub fn predecessors(&self, state: usize) -> &[u32] {
+        &self.pred_targets[self.pred_offsets[state] as usize..self.pred_offsets[state + 1] as usize]
     }
 
     /// Index of an atom, if it exists in the universe (hash lookup, not a scan).
@@ -76,6 +118,29 @@ impl Kripke {
             .collect()
     }
 
+    /// The human-readable name of one state, formatted on demand: the model state's
+    /// attribute valuation, suffixed with `" after {event}"` for event states.
+    pub fn state_name(&self, state: usize) -> String {
+        if !self.name_override.is_empty() {
+            return self.name_override[state].clone();
+        }
+        let id = self.model_state[state];
+        let parts: Vec<&str> = self
+            .name_fragments
+            .iter()
+            .zip(&self.name_strides)
+            .map(|(fragments, stride)| {
+                let digit = (id / stride) % fragments.len().max(1);
+                fragments[digit].as_str()
+            })
+            .collect();
+        let base = format!("[{}]", parts.join(", "));
+        match &self.incoming_event[state] {
+            Some(event) => format!("{base} after {event}"),
+            None => base,
+        }
+    }
+
     /// Installs the labelling from per-state atom-index lists, (re)building the atom
     /// rows and the atom lookup. The state universe is `per_state.len()`.
     pub fn set_labels(&mut self, per_state: &[Vec<usize>]) {
@@ -88,6 +153,87 @@ impl Kripke {
                 self.atom_rows[atom].insert(state);
             }
         }
+    }
+
+    /// Installs the transition relation from an edge list, building the forward and
+    /// reverse CSR arrays in one pass each. The relation is made total by adding a
+    /// self-loop to every deadlocked state. `edges` is consumed (sorted, deduplicated)
+    /// to avoid an extra copy.
+    pub fn set_transitions(&mut self, mut edges: Vec<(u32, u32)>) {
+        let n = self.state_count();
+        debug_assert!(n <= u32::MAX as usize, "state universe exceeds u32 indexing");
+        edges.sort_unstable();
+        edges.dedup();
+        // Totalise: states with no outgoing edge loop on themselves.
+        let mut out_degree = vec![0u32; n];
+        for &(from, _) in &edges {
+            out_degree[from as usize] += 1;
+        }
+        for (s, degree) in out_degree.iter_mut().enumerate() {
+            if *degree == 0 {
+                *degree = 1;
+                edges.push((s as u32, s as u32));
+            }
+        }
+        edges.sort_unstable();
+        // Forward CSR: edges are sorted by source, so the flat target array is a
+        // direct projection.
+        self.succ_offsets = Vec::with_capacity(n + 1);
+        self.succ_offsets.push(0);
+        let mut acc = 0u32;
+        for &degree in &out_degree {
+            acc += degree;
+            self.succ_offsets.push(acc);
+        }
+        self.succ_targets = edges.iter().map(|&(_, to)| to).collect();
+        // Reverse CSR by counting sort on the target column.
+        let mut in_degree = vec![0u32; n];
+        for &(_, to) in &edges {
+            in_degree[to as usize] += 1;
+        }
+        self.pred_offsets = Vec::with_capacity(n + 1);
+        self.pred_offsets.push(0);
+        let mut acc = 0u32;
+        for &degree in &in_degree {
+            acc += degree;
+            self.pred_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = self.pred_offsets[..n].to_vec();
+        self.pred_targets = vec![0u32; edges.len()];
+        for &(from, to) in &edges {
+            let slot = cursor[to as usize];
+            self.pred_targets[slot as usize] = from;
+            cursor[to as usize] += 1;
+        }
+    }
+
+    /// Builds a hand-specified Kripke structure from per-state successor lists, with
+    /// explicit state names. Used by tests and the differential fuzzer; call
+    /// [`Kripke::set_labels`] afterwards to install the atom labelling.
+    pub fn from_lists(
+        atoms: Vec<String>,
+        names: Vec<String>,
+        successor_lists: &[Vec<usize>],
+        initial: Vec<usize>,
+    ) -> Kripke {
+        let n = successor_lists.len();
+        assert_eq!(names.len(), n, "one name per state");
+        let mut kripke = Kripke {
+            atoms,
+            initial,
+            model_state: (0..n).collect(),
+            incoming_event: vec![None; n],
+            incoming_app: vec![None; n],
+            name_override: names,
+            ..Kripke::default()
+        };
+        let edges: Vec<(u32, u32)> = successor_lists
+            .iter()
+            .enumerate()
+            .flat_map(|(from, succs)| succs.iter().map(move |&to| (from as u32, to as u32)))
+            .collect();
+        kripke.set_transitions(edges);
+        kripke
     }
 
     /// Builds the Kripke structure of a state model.
@@ -110,19 +256,28 @@ impl Kripke {
         };
 
         // Attribute propositions, formatted once per (attribute, value) pair of the
-        // schema instead of once per state.
-        let attr_atoms: Vec<Vec<usize>> = (0..schema.attr_count())
-            .map(|a| {
-                let attr = a as soteria_model::AttrId;
-                let (handle, attribute) = &schema.keys()[a];
-                schema
-                    .domain(attr)
-                    .iter()
-                    .map(|value| {
-                        intern(&mut kripke.atoms, format!("attr:{handle}.{attribute}={value}"))
-                    })
-                    .collect()
-            })
+        // schema instead of once per state. The state-name fragments reuse the same
+        // iteration so names can be derived lazily from a model-state id alone.
+        let mut attr_atoms: Vec<Vec<usize>> = Vec::with_capacity(schema.attr_count());
+        for a in 0..schema.attr_count() {
+            let attr = a as soteria_model::AttrId;
+            let (handle, attribute) = &schema.keys()[a];
+            let mut atoms_row = Vec::new();
+            let mut fragments = Vec::new();
+            for value in schema.domain(attr) {
+                atoms_row.push(intern(
+                    &mut kripke.atoms,
+                    format!("attr:{handle}.{attribute}={value}"),
+                ));
+                fragments.push(soteria_model::label_fragment(handle, attribute, value));
+            }
+            attr_atoms.push(atoms_row);
+            kripke.name_fragments.push(fragments);
+        }
+        // The schema's own mixed-radix strides, so digit extraction in `state_name`
+        // uses the same state-id arithmetic as the model layer.
+        kripke.name_strides = (0..schema.attr_count())
+            .map(|a| schema.stride(a as soteria_model::AttrId))
             .collect();
 
         // Per-state atom-index lists, turned into bitset rows by `set_labels` once
@@ -136,7 +291,6 @@ impl Kripke {
             let labels: Vec<usize> =
                 digits.iter().enumerate().map(|(a, d)| attr_atoms[a][*d as usize]).collect();
             per_state.push(labels);
-            kripke.state_names.push(model.state(s).label());
             kripke.model_state.push(s);
             kripke.incoming_event.push(None);
             kripke.incoming_app.push(None);
@@ -158,9 +312,6 @@ impl Kripke {
                 labels.push(intern(&mut kripke.atoms, "triggered".to_string()));
                 labels.push(intern(&mut kripke.atoms, format!("by-app:{app}")));
                 per_state.push(labels);
-                kripke
-                    .state_names
-                    .push(format!("{} after {}", model.state(t.to).label(), event));
                 kripke.model_state.push(t.to);
                 kripke.incoming_event.push(Some(event.clone()));
                 kripke.incoming_app.push(Some(app.clone()));
@@ -172,31 +323,19 @@ impl Kripke {
         // to the (destination, label) Kripke state. Kripke states are grouped by
         // model state up front, so this is O(edges) rather than the seed's
         // O(transitions x states) scan.
-        let total_states = per_state.len();
         let mut states_of_model: Vec<Vec<usize>> = vec![Vec::new(); model.state_count()];
         for (id, &ms) in kripke.model_state.iter().enumerate() {
             states_of_model[ms].push(id);
         }
-        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
         for t in &model.transitions {
             let key = (t.to, t.label.event.kind.label(), t.label.app.clone());
-            let to_id = event_state[&key];
+            let to_id = event_state[&key] as u32;
             for &from_id in &states_of_model[t.from] {
-                edges.push((from_id, to_id));
+                edges.push((from_id as u32, to_id));
             }
         }
-        edges.sort_unstable();
-        edges.dedup();
-        kripke.successors = vec![Vec::new(); total_states];
-        for (from, to) in edges {
-            kripke.successors[from].push(to);
-        }
-        // Totalise the relation: deadlocked states loop on themselves.
-        for s in 0..total_states {
-            if kripke.successors[s].is_empty() {
-                kripke.successors[s].push(s);
-            }
-        }
+        kripke.set_transitions(edges);
         kripke.set_labels(&per_state);
         kripke
     }
@@ -271,7 +410,7 @@ mod tests {
     fn relation_is_total() {
         let model = water_leak_model();
         let kripke = Kripke::from_state_model(&model);
-        assert!(kripke.successors.iter().all(|s| !s.is_empty()));
+        assert!((0..kripke.state_count()).all(|s| !kripke.successors(s).is_empty()));
     }
 
     #[test]
@@ -282,8 +421,63 @@ mod tests {
             .find(|s| kripke.incoming_event[*s].is_some())
             .unwrap();
         for init in &kripke.initial {
-            assert!(kripke.successors[*init].contains(&event_state));
+            assert!(kripke.successors(*init).contains(&(event_state as u32)));
         }
+    }
+
+    #[test]
+    fn reverse_csr_mirrors_forward_csr() {
+        let model = water_leak_model();
+        let kripke = Kripke::from_state_model(&model);
+        let n = kripke.state_count();
+        let mut forward: Vec<(u32, u32)> = Vec::new();
+        for s in 0..n {
+            for &t in kripke.successors(s) {
+                forward.push((s as u32, t));
+            }
+        }
+        let mut reverse: Vec<(u32, u32)> = Vec::new();
+        for t in 0..n {
+            for &s in kripke.predecessors(t) {
+                reverse.push((s, t as u32));
+            }
+        }
+        forward.sort_unstable();
+        reverse.sort_unstable();
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.len(), kripke.edge_count());
+    }
+
+    #[test]
+    fn state_names_are_formatted_lazily_and_match_model_labels() {
+        let model = water_leak_model();
+        let kripke = Kripke::from_state_model(&model);
+        for s in 0..kripke.state_count() {
+            let expected = match &kripke.incoming_event[s] {
+                Some(event) => {
+                    format!("{} after {}", model.state(kripke.model_state[s]).label(), event)
+                }
+                None => model.state(kripke.model_state[s]).label(),
+            };
+            assert_eq!(kripke.state_name(s), expected, "state {s}");
+        }
+    }
+
+    #[test]
+    fn from_lists_builds_a_named_structure() {
+        let mut kripke = Kripke::from_lists(
+            vec!["p".into()],
+            vec!["a".into(), "b".into()],
+            &[vec![1], vec![]],
+            vec![0],
+        );
+        kripke.set_labels(&[vec![0], vec![]]);
+        assert_eq!(kripke.state_name(0), "a");
+        assert_eq!(kripke.successors(0), &[1]);
+        // Deadlocked state 1 gets a self-loop.
+        assert_eq!(kripke.successors(1), &[1]);
+        assert_eq!(kripke.predecessors(1), &[0, 1]);
+        assert!(kripke.holds(0, "p"));
     }
 
     #[test]

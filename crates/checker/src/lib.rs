@@ -4,21 +4,27 @@
 //! temporal-logic properties with NuSMV. This crate provides the equivalent substrate:
 //!
 //! * [`Kripke`] — Kripke structures derived from state models, with event labels
-//!   exposed as atomic propositions;
-//! * [`Ctl`] — CTL formula syntax with convenience builders;
-//! * [`ModelChecker`] — exact CTL model checking with two engines (packed-bitset
-//!   "symbolic" fixpoints and an explicit per-state labelling) plus counter-example
-//!   extraction;
+//!   exposed as atomic propositions, the transition relation stored once as forward
+//!   and reverse CSR arrays, and state names formatted lazily on demand;
+//! * [`Ctl`] — CTL formula syntax with convenience builders and structural hashing;
+//! * [`ModelChecker`] — exact CTL model checking with two engines (O(V+E)
+//!   frontier/elimination fixpoints over packed bitsets, and an explicit per-state
+//!   baseline), cross-property satisfaction-set memoization with a batch
+//!   [`ModelChecker::check_all`] entry point, and counter-example extraction;
+//! * [`LegacyModelChecker`] — the frozen pre-CSR round-based checker, kept as the
+//!   "old" side of the `verification_old_vs_new` engine-equivalence gate;
 //! * [`render_smv`] — SMV-format output of models and specs for external inspection.
 
 pub mod bitset;
 pub mod checker;
 pub mod ctl;
 pub mod kripke;
+pub mod legacy;
 pub mod smv;
 
 pub use bitset::BitSet;
 pub use checker::{CheckResult, Engine, ModelChecker};
 pub use ctl::Ctl;
 pub use kripke::Kripke;
+pub use legacy::LegacyModelChecker;
 pub use smv::{render_smv, smv_formula};

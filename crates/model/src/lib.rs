@@ -53,5 +53,5 @@ pub use builder::{build_state_model, touched_keys, BuildOptions};
 pub use dot::render_dot;
 pub use model::{Nondeterminism, StateId, StateModel, Transition, TransitionLabel};
 pub use schema::{AttrId, PackedState, StateSchema, ValueId};
-pub use state::{AttrKey, State};
+pub use state::{label_fragment, AttrKey, State};
 pub use union::{union_models, UnionOptions};

@@ -7,6 +7,18 @@ use std::fmt;
 /// Key of one state component: `(device handle, attribute name)`.
 pub type AttrKey = (String, String);
 
+/// One `handle=value` (or `handle.attribute=value`) fragment of a state label. The
+/// single place the formatting rule lives: [`State::label`] joins these for map
+/// states, and the checker's Kripke structure derives its lazy state names from the
+/// same fragments so counterexample traces match DOT/model labels exactly.
+pub fn label_fragment(handle: &str, attribute: &str, value: &AttributeValue) -> String {
+    if handle == attribute || attribute.is_empty() {
+        format!("{handle}={value}")
+    } else {
+        format!("{handle}.{attribute}={value}")
+    }
+}
+
 /// A state is a total valuation of the app's (abstracted) device attributes — the
 /// paper models states as the Cartesian product of the attributes of the app's devices
 /// (Sec. 4.2.1).
@@ -64,17 +76,8 @@ impl State {
     /// A short label used in DOT output and counter-example traces, e.g.
     /// `[smoke=detected, alarm=siren]`.
     pub fn label(&self) -> String {
-        let parts: Vec<String> = self
-            .values
-            .iter()
-            .map(|((h, a), v)| {
-                if h == a || a.is_empty() {
-                    format!("{h}={v}")
-                } else {
-                    format!("{h}.{a}={v}")
-                }
-            })
-            .collect();
+        let parts: Vec<String> =
+            self.values.iter().map(|((h, a), v)| label_fragment(h, a, v)).collect();
         format!("[{}]", parts.join(", "))
     }
 }

@@ -119,6 +119,17 @@ impl Soteria {
         let ctx = DeviceContext::from_apps(&under_test);
         let all_specs: Vec<TransitionSpec> =
             apps.iter().flat_map(|a| a.specs.iter().cloned()).collect();
+        // Start offset of each app's slice within `all_specs`, so kept indices can be
+        // mapped back to their owning app in O(log n) instead of the former
+        // O(specs²) pointer scan.
+        let spec_offsets: Vec<usize> = apps
+            .iter()
+            .scan(0usize, |acc, a| {
+                let start = *acc;
+                *acc += a.specs.len();
+                Some(start)
+            })
+            .collect();
         // The union model uses the abstractions already baked into the per-app models;
         // an aggregate abstraction is only needed for FP re-checking, so reuse the
         // first app's (values outside any domain collapse to `other`).
@@ -127,24 +138,22 @@ impl Soteria {
             &ctx,
             &app_names,
             &all_specs,
-            |specs_filtered| {
+            |kept| {
                 let filtered_models: Vec<StateModel> = apps
                     .iter()
-                    .map(|a| {
-                        let kept: Vec<TransitionSpec> = a
-                            .specs
-                            .iter()
-                            .filter(|s| {
-                                specs_filtered
-                                    .iter()
-                                    .any(|k| std::ptr::eq(*k as *const _, *s as *const _))
-                            })
-                            .cloned()
-                            .collect();
+                    .enumerate()
+                    .map(|(i, a)| {
+                        let start = spec_offsets[i];
+                        let end = start + a.specs.len();
+                        // `kept` is ascending, so this app's share is one subrange.
+                        let lo = kept.partition_point(|&k| k < start);
+                        let hi = kept.partition_point(|&k| k < end);
+                        let kept_specs: Vec<TransitionSpec> =
+                            kept[lo..hi].iter().map(|&k| a.specs[k - start].clone()).collect();
                         build_state_model(
                             &a.ir.name,
                             &a.abstraction,
-                            &kept,
+                            &kept_specs,
                             &BuildOptions::default(),
                         )
                     })
@@ -206,65 +215,86 @@ impl Soteria {
         apps: &[String],
     ) -> Vec<Violation> {
         self.check_specific_on_model(model, ctx, apps, specs, |kept| {
-            let kept_owned: Vec<TransitionSpec> = kept.iter().map(|s| (*s).clone()).collect();
+            let kept_owned: Vec<TransitionSpec> =
+                kept.iter().map(|&i| specs[i].clone()).collect();
             build_state_model(&model.name, abstraction, &kept_owned, &BuildOptions::default())
         })
     }
 
     /// Shared logic for checking P.1–P.30 on a model. `rebuild_without_reflection`
-    /// rebuilds the model from a filtered spec list so that violations that disappear
-    /// without the reflection over-approximation can be marked as possible false
-    /// positives (the MalIoT App5 case).
-    fn check_specific_on_model<'s>(
+    /// receives the (ascending) indices into `specs` of the specs to keep and
+    /// rebuilds the model from them, so that violations that disappear without the
+    /// reflection over-approximation can be marked as possible false positives (the
+    /// MalIoT App5 case).
+    ///
+    /// The applicable formulas are checked as one batch ([`ModelChecker::check_all`])
+    /// so on larger-than-one-word state universes the ~30 properties share cached
+    /// subformula satisfaction sets (small universes recompute — see the checker's
+    /// `SMALL_UNIVERSE` note); the reflection-free re-check batches the failing
+    /// formulas the same way on a second checker.
+    fn check_specific_on_model(
         &self,
         model: &StateModel,
         ctx: &DeviceContext,
         apps: &[String],
-        specs: &'s [TransitionSpec],
-        rebuild_without_reflection: impl Fn(&[&'s TransitionSpec]) -> StateModel,
+        specs: &[TransitionSpec],
+        rebuild_without_reflection: impl Fn(&[usize]) -> StateModel,
     ) -> Vec<Violation> {
-        let mut violations = Vec::new();
         let applicable = applicable_properties(ctx);
         if applicable.is_empty() {
-            return violations;
+            return Vec::new();
         }
-        let kripke = default_initial_kripke(model);
-        let checker = ModelChecker::new(&kripke, self.engine);
-        let has_reflection_specs = specs.iter().any(|s| s.via_reflection);
-        // Lazily built checker for the reflection-free model.
-        let mut no_reflection: Option<(Kripke, StateModel)> = None;
+        let mut ids: Vec<u8> = Vec::new();
+        let mut formulas: Vec<Ctl> = Vec::new();
         for id in applicable {
             let Some(f) = formula(id, ctx) else { continue };
             if f == Ctl::True {
                 continue;
             }
-            let result = checker.check(&f);
-            if result.holds {
-                continue;
-            }
+            ids.push(id);
+            formulas.push(f);
+        }
+        if formulas.is_empty() {
+            return Vec::new();
+        }
+        let kripke = default_initial_kripke(model);
+        let checker = ModelChecker::new(&kripke, self.engine);
+        let results = checker.check_all(&formulas);
+
+        let failing: Vec<usize> =
+            (0..results.len()).filter(|&i| !results[i].holds).collect();
+        if failing.is_empty() {
+            return Vec::new();
+        }
+        // Re-check the failures on the reflection-free model (built once) to flag
+        // possible false positives.
+        let holds_without_reflection: Vec<bool> = if specs.iter().any(|s| s.via_reflection) {
+            let kept: Vec<usize> =
+                (0..specs.len()).filter(|&i| !specs[i].via_reflection).collect();
+            let m = rebuild_without_reflection(&kept);
+            let k = default_initial_kripke(&m);
+            let no_reflection = ModelChecker::new(&k, self.engine);
+            let failing_formulas: Vec<Ctl> =
+                failing.iter().map(|&i| formulas[i].clone()).collect();
+            no_reflection.check_all(&failing_formulas).iter().map(|r| r.holds).collect()
+        } else {
+            vec![false; failing.len()]
+        };
+
+        let mut violations = Vec::new();
+        for (&i, &fp) in failing.iter().zip(&holds_without_reflection) {
+            let id = ids[i];
             let info = property_info(PropertyId::AppSpecific(id));
             let mut violation = Violation::new(
                 PropertyId::AppSpecific(id),
                 info.map(|i| i.description.to_string()).unwrap_or_else(|| format!("property P.{id}")),
                 apps.to_vec(),
             );
-            if let Some(trace) = result.counterexample {
-                violation = violation.with_counterexample(trace);
+            if let Some(trace) = &results[i].counterexample {
+                violation = violation.with_counterexample(trace.clone());
             }
-            if has_reflection_specs {
-                if no_reflection.is_none() {
-                    let kept: Vec<&TransitionSpec> =
-                        specs.iter().filter(|s| !s.via_reflection).collect();
-                    let m = rebuild_without_reflection(&kept);
-                    let k = default_initial_kripke(&m);
-                    no_reflection = Some((k, m));
-                }
-                if let Some((k, _)) = &no_reflection {
-                    let without = ModelChecker::new(k, self.engine).check(&f);
-                    if without.holds {
-                        violation = violation.as_possible_false_positive();
-                    }
-                }
+            if fp {
+                violation = violation.as_possible_false_positive();
             }
             violations.push(violation);
         }

@@ -1,0 +1,118 @@
+//! Differential fuzzing of the model-checking engines: random Kripke structures and
+//! random CTL formulas must produce identical satisfaction sets and verdicts from
+//! the frontier-based Symbolic engine, the per-state Explicit engine, and the frozen
+//! pre-CSR `LegacyModelChecker` baseline.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use soteria_checker::{Ctl, Engine, Kripke, LegacyModelChecker, ModelChecker};
+
+const ATOMS: [&str; 4] = ["p", "q", "r", "s"];
+
+/// Builds a random Kripke structure: `n` states, 0–3 successors each (deadlocks are
+/// allowed — `Kripke::set_transitions` totalises them), random labelling over four
+/// atoms, and a random non-empty initial set.
+fn random_kripke(n: usize, rng: &mut TestRng) -> Kripke {
+    let successor_lists: Vec<Vec<usize>> = (0..n)
+        .map(|_| {
+            let degree = (rng.next_u64() % 4) as usize;
+            (0..degree).map(|_| (rng.next_u64() as usize) % n).collect()
+        })
+        .collect();
+    let initial: Vec<usize> = {
+        let mut set: Vec<usize> = (0..n).filter(|_| rng.next_u64().is_multiple_of(3)).collect();
+        if set.is_empty() {
+            set.push((rng.next_u64() as usize) % n);
+        }
+        set
+    };
+    let names: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    let mut kripke = Kripke::from_lists(
+        ATOMS.iter().map(|a| a.to_string()).collect(),
+        names,
+        &successor_lists,
+        initial,
+    );
+    let labels: Vec<Vec<usize>> = (0..n)
+        .map(|_| (0..ATOMS.len()).filter(|_| rng.next_u64().is_multiple_of(2)).collect())
+        .collect();
+    kripke.set_labels(&labels);
+    kripke
+}
+
+/// Builds a random CTL formula of bounded depth covering every operator.
+fn random_formula(depth: usize, rng: &mut TestRng) -> Ctl {
+    if depth == 0 {
+        return match rng.next_u64() % 6 {
+            0 => Ctl::True,
+            1 => Ctl::False,
+            _ => Ctl::atom(ATOMS[(rng.next_u64() as usize) % ATOMS.len()]),
+        };
+    }
+    let sub = |rng: &mut TestRng| Box::new(random_formula(depth - 1, rng));
+    match rng.next_u64() % 13 {
+        0 => Ctl::Not(sub(rng)),
+        1 => Ctl::And(sub(rng), sub(rng)),
+        2 => Ctl::Or(sub(rng), sub(rng)),
+        3 => Ctl::Implies(sub(rng), sub(rng)),
+        4 => Ctl::Ex(sub(rng)),
+        5 => Ctl::Ef(sub(rng)),
+        6 => Ctl::Eg(sub(rng)),
+        7 => Ctl::Eu(sub(rng), sub(rng)),
+        8 => Ctl::Ax(sub(rng)),
+        9 => Ctl::Af(sub(rng)),
+        10 => Ctl::Ag(sub(rng)),
+        11 => Ctl::Au(sub(rng), sub(rng)),
+        _ => random_formula(0, rng),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three checkers agree — sat sets, verdicts, violating-state counts, and
+    /// counterexample existence — on arbitrary structures and formulas.
+    #[test]
+    // The state-count range straddles the checker's single-word threshold (64), so
+    // both the round-based and the frontier/memoized code paths are exercised.
+    fn engines_agree_on_random_structures((n, seed) in (1usize..160, 0usize..1_000_000)) {
+        let mut rng = TestRng::deterministic();
+        // Re-seed deterministically per case so structures vary across cases.
+        for _ in 0..(seed % 97) {
+            rng.next_u64();
+        }
+        let kripke = random_kripke(n, &mut rng);
+        let symbolic = ModelChecker::new(&kripke, Engine::Symbolic);
+        let explicit = ModelChecker::new(&kripke, Engine::Explicit);
+        let legacy = LegacyModelChecker::new(&kripke);
+        for _ in 0..8 {
+            let formula = random_formula(3, &mut rng);
+            let sym_sat: Vec<usize> = symbolic.sat(&formula).iter().collect();
+            let exp_sat: Vec<usize> = explicit.sat(&formula).iter().collect();
+            let leg_sat: Vec<usize> = legacy.sat(&formula).iter().collect();
+            prop_assert_eq!(&sym_sat, &exp_sat, "symbolic vs explicit sat on {} (n={})", formula, n);
+            prop_assert_eq!(&sym_sat, &leg_sat, "symbolic vs legacy sat on {} (n={})", formula, n);
+            let sym = symbolic.check(&formula);
+            let exp = explicit.check(&formula);
+            let leg = legacy.check(&formula);
+            prop_assert_eq!(&sym, &exp, "symbolic vs explicit verdict on {}", formula);
+            prop_assert_eq!(&sym, &leg, "symbolic vs legacy verdict on {}", formula);
+        }
+    }
+
+    /// The memoizing batch API returns exactly what per-formula checking returns.
+    #[test]
+    fn batch_check_matches_fresh_checkers((n, seed) in (1usize..120, 0usize..1_000_000)) {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..(seed % 89) {
+            rng.next_u64();
+        }
+        let kripke = random_kripke(n, &mut rng);
+        let formulas: Vec<Ctl> = (0..6).map(|_| random_formula(2, &mut rng)).collect();
+        let batch = ModelChecker::new(&kripke, Engine::Symbolic).check_all(&formulas);
+        for (f, b) in formulas.iter().zip(&batch) {
+            let fresh = ModelChecker::new(&kripke, Engine::Symbolic).check(f);
+            prop_assert_eq!(&fresh, b, "batched verdict differs on {}", f);
+        }
+    }
+}
