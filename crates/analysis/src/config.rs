@@ -25,6 +25,11 @@ pub struct AnalysisConfig {
     pub inline_depth: usize,
     /// Hard cap on the number of concurrently tracked paths per handler.
     pub max_paths: usize,
+    /// Worker threads for the analysis fan-out sites (batch app analysis, property
+    /// sweeps, union lifts). `0` means auto: the `SOTERIA_THREADS` environment
+    /// variable if set, otherwise the machine's available parallelism. Results are
+    /// byte-identical at every value.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -36,6 +41,7 @@ impl Default for AnalysisConfig {
             reflection_over_approx: true,
             inline_depth: 3,
             max_paths: 256,
+            threads: 0,
         }
     }
 }

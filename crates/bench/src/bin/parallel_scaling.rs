@@ -1,0 +1,164 @@
+//! Thread-scaling measurement and determinism gate for the parallel analysis
+//! subsystem (PR 3).
+//!
+//! For the two corpus workloads — the 65-app market study with its G.1–G.3
+//! interaction groups, and the 17-app MalIoT suite with its multi-app groups —
+//! this binary:
+//!
+//! 1. runs the full sweep (batch app analysis + batch environment analysis) at
+//!    1/2/4/8 worker threads and asserts that every thread count produces
+//!    **identical** outcomes to the 1-thread run: the same `Violation` lists in
+//!    the same order per app and per group, and the same rendered reports
+//!    (timing lines excluded — wall-clock is the one thing that may differ), and
+//! 2. measures per-phase wall-clock at each thread count, writing
+//!    `BENCH_pr3.json` in the `BENCH_pr1.json`/`BENCH_pr2.json` format
+//!    (`new_ns` = the measured thread count, `old_ns` = the 1-thread baseline),
+//!    plus the host core count — speedup on a single-core container is ~1x by
+//!    construction; the determinism gate is what must hold everywhere.
+//!
+//! Usage: `cargo run --release -p soteria-bench --bin parallel_scaling
+//! [--smoke] [out.json]`. With `--smoke` only the determinism gate runs (no
+//! timing, no JSON output) — this is the CI configuration.
+
+use soteria_bench::{
+    corpus_sweep, maliot_group_specs, market_group_specs, measure_mean, soteria_with_threads,
+    sweep_outcome,
+};
+use soteria_corpus::{all_market_apps, maliot_suite, CorpusApp};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Workload {
+    name: &'static str,
+    apps: Vec<CorpusApp>,
+    groups: Vec<(String, Vec<String>)>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "maliot/full_sweep",
+            apps: maliot_suite(),
+            groups: maliot_group_specs(),
+        },
+        Workload {
+            name: "market/full_sweep",
+            apps: all_market_apps(),
+            groups: market_group_specs(),
+        },
+    ]
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    name: String,
+    threads: usize,
+    new: Duration,
+    old: Duration,
+    iterations: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.old.as_secs_f64() / self.new.as_secs_f64().max(1e-12)
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_pr3.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    // --- Determinism gate: every thread count reproduces the 1-thread outcome. ---
+    let mut checked_apps = 0usize;
+    let mut checked_envs = 0usize;
+    for w in &workloads() {
+        let reference = {
+            let (apps, envs) = corpus_sweep(&soteria_with_threads(1), &w.apps, &w.groups);
+            sweep_outcome(&apps, &envs)
+        };
+        checked_apps += reference.app_violations.len();
+        checked_envs += reference.env_violations.len();
+        for &threads in &THREAD_COUNTS[1..] {
+            let (apps, envs) = corpus_sweep(&soteria_with_threads(threads), &w.apps, &w.groups);
+            assert!(
+                sweep_outcome(&apps, &envs) == reference,
+                "{}: outcome at {threads} threads differs from the sequential run",
+                w.name
+            );
+        }
+    }
+    println!(
+        "parallel determinism: OK ({checked_apps} apps, {checked_envs} groups; violations, \
+         orderings, and reports identical at {THREAD_COUNTS:?} threads)"
+    );
+    if smoke {
+        return;
+    }
+
+    // --- Scaling measurement. ---
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows: Vec<Row> = Vec::new();
+    for w in &workloads() {
+        let mut baseline: Option<Duration> = None;
+        for &threads in &THREAD_COUNTS {
+            eprintln!("measuring {} at {threads} thread(s)...", w.name);
+            let soteria = soteria_with_threads(threads);
+            let (time, iterations) =
+                measure_mean(|| corpus_sweep(&soteria, &w.apps, &w.groups), 1_000);
+            let old = *baseline.get_or_insert(time);
+            rows.push(Row { name: w.name.to_string(), threads, new: time, old, iterations });
+        }
+    }
+
+    // --- Report, in the BENCH_pr1/pr2 format (new = N threads, old = 1 thread). ---
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    println!(
+        "{:<24} {:>8} {:>14} {:>14} {:>9}",
+        "workload", "threads", "t_n", "t_1", "speedup"
+    );
+    for (i, row) in rows.iter().enumerate() {
+        println!(
+            "{:<24} {:>8} {:>14?} {:>14?} {:>8.2}x",
+            row.name, row.threads, row.new, row.old, row.speedup()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"new_ns\": {}, \"old_ns\": {}, \"speedup\": {:.2}, \"iterations\": {}}}{}",
+            row.name,
+            row.threads,
+            row.new.as_nanos(),
+            row.old.as_nanos(),
+            row.speedup(),
+            row.iterations,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let headline: Vec<&Row> = rows.iter().filter(|r| r.threads == 4).collect();
+    let geomean = (headline.iter().map(|r| r.speedup().ln()).sum::<f64>()
+        / headline.len() as f64)
+        .exp();
+    let min = headline.iter().map(|r| r.speedup()).fold(f64::INFINITY, f64::min);
+    println!(
+        "{:<24} {:>47.2}x (geomean @4T), {:.2}x (min @4T), host cores: {host_cores}",
+        "overall", geomean, min
+    );
+    let _ = write!(
+        json,
+        "  ],\n  \"speedup_geomean\": {geomean:.2},\n  \"speedup_min\": {min:.2},\n  \
+         \"host_cores\": {host_cores},\n  \"note\": \"speedups are t_1/t_n of the full \
+         corpus sweep (batch app analysis + environment groups); geomean/min are over \
+         the 4-thread rows. On a single-core host the scoped workers timeslice one \
+         core, so speedup ~1x there; the determinism gate (identical violations, \
+         orderings, reports at 1/2/4/8 threads) is asserted before any timing.\"\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write results");
+    println!("wrote {out_path}");
+}

@@ -7,9 +7,14 @@
 //! paper's evaluation (Sec. 6); EXPERIMENTS.md records the paper-reported values next
 //! to the values measured here.
 
-use soteria::{default_initial_kripke, AppAnalysis, Soteria};
+use soteria::{
+    default_initial_kripke, render_environment_report, render_report, AppAnalysis,
+    EnvironmentAnalysis, Soteria,
+};
+use soteria_analysis::AnalysisConfig;
 use soteria_checker::{Ctl, Kripke};
-use soteria_corpus::{all_market_apps, market_groups, CorpusApp};
+use soteria_corpus::{all_market_apps, maliot_groups, market_groups, CorpusApp};
+use soteria_properties::Violation;
 use soteria_model::{union_models, StateModel, UnionOptions};
 use soteria_properties::{applicable_properties, formula, AppUnderTest, DeviceContext};
 use std::time::{Duration, Instant};
@@ -37,15 +42,130 @@ pub fn measure_mean<R>(mut f: impl FnMut() -> R, max_iters: usize) -> (Duration,
 }
 
 /// Analyses every app of a corpus slice, panicking on parse errors (corpus sources are
-/// under our control).
+/// under our control). Runs through the batch [`Soteria::analyze_apps`] API, so the
+/// per-app sweep fans out across the analyzer's worker threads; the returned vector
+/// is index-parallel to `apps` at every thread count.
 pub fn analyze_all(soteria: &Soteria, apps: &[CorpusApp]) -> Vec<AppAnalysis> {
-    apps.iter()
-        .map(|app| {
-            soteria
-                .analyze_app(&app.id, &app.source)
-                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.id))
+    let pairs: Vec<(&str, &str)> =
+        apps.iter().map(|app| (app.id.as_str(), app.source.as_str())).collect();
+    soteria
+        .analyze_apps(&pairs)
+        .into_iter()
+        .zip(apps)
+        .map(|(result, app)| {
+            result.unwrap_or_else(|e| panic!("{} failed to parse: {e}", app.id))
         })
         .collect()
+}
+
+/// `(group name, member app ids)` of the market interaction groups G.1–G.3, in
+/// the shape [`analyze_groups`] takes.
+pub fn market_group_specs() -> Vec<(String, Vec<String>)> {
+    market_groups()
+        .iter()
+        .map(|g| (g.id.to_string(), g.members.iter().map(|m| m.to_string()).collect()))
+        .collect()
+}
+
+/// `(group name, member app ids)` of the MalIoT multi-app groups.
+pub fn maliot_group_specs() -> Vec<(String, Vec<String>)> {
+    maliot_groups()
+        .iter()
+        .map(|(name, members, _)| {
+            (name.to_string(), members.iter().map(|m| m.to_string()).collect())
+        })
+        .collect()
+}
+
+/// Analyses a corpus' multi-app groups as one environment batch
+/// ([`Soteria::analyze_environments`]). `analyses` must be index-parallel to
+/// `apps` — exactly what [`analyze_all`] returns. Panics on a member id missing
+/// from the corpus.
+pub fn analyze_groups(
+    soteria: &Soteria,
+    apps: &[CorpusApp],
+    analyses: &[AppAnalysis],
+    groups: &[(String, Vec<String>)],
+) -> Vec<EnvironmentAnalysis> {
+    let member_analyses: Vec<Vec<AppAnalysis>> = groups
+        .iter()
+        .map(|(_, members)| {
+            members
+                .iter()
+                .map(|id| {
+                    let idx = apps
+                        .iter()
+                        .position(|a| &a.id == id)
+                        .unwrap_or_else(|| panic!("member {id} in corpus"));
+                    analyses[idx].clone()
+                })
+                .collect()
+        })
+        .collect();
+    let batch: Vec<(&str, &[AppAnalysis])> = groups
+        .iter()
+        .zip(&member_analyses)
+        .map(|((name, _), members)| (name.as_str(), members.as_slice()))
+        .collect();
+    soteria.analyze_environments(&batch)
+}
+
+/// An analyzer with the paper's configuration at an explicit worker count (`0` =
+/// auto). Used by the thread-scaling bin and the determinism tests so both pin
+/// thread counts the same way.
+pub fn soteria_with_threads(threads: usize) -> Soteria {
+    Soteria::with_config(AnalysisConfig { threads, ..AnalysisConfig::paper() })
+}
+
+/// One full corpus sweep through the batch APIs: every app
+/// ([`Soteria::analyze_apps`] via [`analyze_all`]), then every multi-app group
+/// ([`Soteria::analyze_environments`] via [`analyze_groups`]).
+pub fn corpus_sweep(
+    soteria: &Soteria,
+    apps: &[CorpusApp],
+    groups: &[(String, Vec<String>)],
+) -> (Vec<AppAnalysis>, Vec<EnvironmentAnalysis>) {
+    let analyses = analyze_all(soteria, apps);
+    let environments = analyze_groups(soteria, apps, &analyses, groups);
+    (analyses, environments)
+}
+
+/// An app report with its measured-wall-clock line stripped — the one
+/// legitimately run-dependent line, so everything that remains must be identical
+/// at every thread count.
+pub fn stable_app_report(analysis: &AppAnalysis) -> String {
+    render_report(analysis)
+        .lines()
+        .filter(|l| !l.starts_with("extraction:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Everything a corpus sweep produces that must be independent of the thread
+/// count: per-app and per-group violation lists (content *and* order) and the
+/// rendered reports. Compared wholesale by the `parallel_scaling` gate; the
+/// determinism tests assert the same fields piecewise for better failure
+/// messages.
+#[derive(PartialEq)]
+pub struct SweepOutcome {
+    /// Per-app violation lists, in corpus order.
+    pub app_violations: Vec<Vec<Violation>>,
+    /// Per-group violation lists, in group order.
+    pub env_violations: Vec<Vec<Violation>>,
+    /// Per-app reports with timing lines stripped ([`stable_app_report`]).
+    pub app_reports: Vec<String>,
+    /// Per-group environment reports (no timing lines to strip).
+    pub env_reports: Vec<String>,
+}
+
+/// Collects the thread-count-invariant outcome of a corpus sweep.
+pub fn sweep_outcome(apps: &[AppAnalysis], envs: &[EnvironmentAnalysis]) -> SweepOutcome {
+    SweepOutcome {
+        app_violations: apps.iter().map(|a| a.violations.clone()).collect(),
+        env_violations: envs.iter().map(|e| e.violations.clone()).collect(),
+        app_reports: apps.iter().map(stable_app_report).collect(),
+        env_reports: envs.iter().map(render_environment_report).collect(),
+    }
 }
 
 /// A full-property-sweep verification workload: one Kripke structure plus every

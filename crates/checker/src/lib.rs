@@ -11,6 +11,9 @@
 //!   frontier/elimination fixpoints over packed bitsets, and an explicit per-state
 //!   baseline), cross-property satisfaction-set memoization with a batch
 //!   [`ModelChecker::check_all`] entry point, and counter-example extraction;
+//! * [`check_all_parallel`] — property-level fan-out: shards a batch of
+//!   independent root formulas across per-thread checkers (one sat-set memo per
+//!   shard) on large universes, byte-identical to the sequential batch;
 //! * [`LegacyModelChecker`] — the frozen pre-CSR round-based checker, kept as the
 //!   "old" side of the `verification_old_vs_new` engine-equivalence gate;
 //! * [`render_smv`] — SMV-format output of models and specs for external inspection.
@@ -20,6 +23,7 @@ pub mod checker;
 pub mod ctl;
 pub mod kripke;
 pub mod legacy;
+pub mod parallel;
 pub mod smv;
 
 pub use bitset::BitSet;
@@ -27,4 +31,5 @@ pub use checker::{CheckResult, Engine, ModelChecker};
 pub use ctl::Ctl;
 pub use kripke::Kripke;
 pub use legacy::LegacyModelChecker;
+pub use parallel::{check_all_parallel, PARALLEL_UNIVERSE};
 pub use smv::{render_smv, smv_formula};

@@ -1,0 +1,238 @@
+//! Dependency-free parallel execution layer for the analysis fan-out sites.
+//!
+//! Soteria's hot loops — the per-app corpus sweep, the per-group property sweeps,
+//! and the union model's free sub-product enumeration — are all *independent
+//! iterations over immutable inputs*: the analyzer borrows `&self`, the checker
+//! borrows an immutable `Kripke`, and the union builder reads frozen per-app
+//! models. This crate provides the one primitive they share:
+//!
+//! * [`par_map`] — a chunked, scoped-thread map with **deterministic output
+//!   ordering** (the result is `items.iter().map(f)` regardless of worker count or
+//!   scheduling), dynamic chunk claiming for load balance, a strictly sequential
+//!   fallback at one worker, and first-panic propagation with the original payload;
+//! * [`resolve_threads`] — the worker-count policy: an explicit configuration value
+//!   wins, then the `SOTERIA_THREADS` environment variable, then the machine's
+//!   available parallelism.
+//!
+//! # Threading model
+//!
+//! Workers only ever *read* the shared inputs (`T: Sync`) and *own* their outputs
+//! (`R: Send`); there is no locking on the data path. The single mutex in
+//! [`par_map`] collects finished chunks and is touched once per chunk, not per
+//! item. Callers that need per-worker mutable scratch (e.g. the checker's sat-set
+//! memo) allocate it inside `f` — one instance per chunk — instead of sharing it.
+//!
+//! Every call site must preserve the sequential result exactly: `par_map`
+//! guarantees ordering, and the callers guarantee their per-item closures are pure
+//! functions of the item (no iteration-order-dependent state). This is what makes
+//! `SOTERIA_THREADS=1` and `SOTERIA_THREADS=8` byte-identical, which
+//! `tests/parallel_determinism.rs` and the `parallel_scaling` gate enforce.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The environment variable overriding the worker count (`0` or unset = auto).
+pub const THREADS_ENV: &str = "SOTERIA_THREADS";
+
+thread_local! {
+    /// True on threads spawned by [`par_map`]. Nested fan-out sites (a batch
+    /// analysis worker reaching a parallel union lift or property sweep) resolve
+    /// to sequential execution instead of oversubscribing the machine with up to
+    /// `threads²` live workers.
+    static IN_PAR_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Resolves the worker count for a fan-out site.
+///
+/// Priority: an explicit non-zero `configured` value (e.g.
+/// `AnalysisConfig::threads`), then a non-zero [`THREADS_ENV`] environment
+/// variable, then [`std::thread::available_parallelism`] (1 if unknown). The
+/// result is always at least 1; 1 means "run sequentially on the caller's thread".
+///
+/// On a [`par_map`] worker thread this always returns 1 — the outer fan-out owns
+/// the machine, and inner sites run sequentially (results are thread-count
+/// invariant, so only scheduling changes). A top-level *sequential* call
+/// (`threads == 1` never spawns) does not mark the caller, so e.g. a lone
+/// `analyze_environment` still parallelizes its union lift.
+pub fn resolve_threads(configured: usize) -> usize {
+    if IN_PAR_WORKER.with(Cell::get) {
+        return 1;
+    }
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning the results
+/// in input order.
+///
+/// The slice is split into contiguous chunks (a few per worker) that workers claim
+/// dynamically off an atomic counter, so uneven per-item cost — one app with a
+/// large state model among 64 small ones — still balances. Finished chunks are
+/// reassembled by chunk index, making the output identical to
+/// `items.iter().map(f).collect()` for every `threads` value and every
+/// interleaving.
+///
+/// With `threads <= 1`, a single item, or an empty slice, no thread is spawned and
+/// `f` runs on the caller's thread.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the first recorded worker panic is re-raised on the
+/// caller's thread with its original payload once all workers have stopped, so a
+/// corpus-app assertion failure reads the same under `SOTERIA_THREADS=8` as
+/// sequentially. Unclaimed chunks are abandoned after a panic (workers check an
+/// abort flag before claiming), bounding the wasted work to the chunks already in
+/// flight.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // A few chunks per worker: large enough to keep the collection mutex cold,
+    // small enough that one expensive chunk doesn't serialize the tail.
+    let chunk_len = items.len().div_ceil(threads * 4).max(1);
+    let chunk_count = items.len().div_ceil(chunk_len);
+    let next_chunk = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let finished: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunk_count));
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let worker = || {
+            IN_PAR_WORKER.with(|flag| flag.set(true));
+            loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if chunk >= chunk_count {
+                    break;
+                }
+                let start = chunk * chunk_len;
+                let end = (start + chunk_len).min(items.len());
+                let mapped = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                    items[start..end].iter().map(&f).collect::<Vec<R>>()
+                }));
+                match mapped {
+                    Ok(mapped) => finished.lock().unwrap().push((chunk, mapped)),
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        break;
+                    }
+                }
+            }
+        };
+        for _ in 0..threads {
+            scope.spawn(worker);
+        }
+    });
+
+    if let Some(payload) = first_panic.into_inner().unwrap() {
+        panic::resume_unwind(payload);
+    }
+    let mut chunks = finished.into_inner().unwrap();
+    chunks.sort_unstable_by_key(|&(index, _)| index);
+    debug_assert_eq!(chunks.len(), chunk_count);
+    chunks.into_iter().flat_map(|(_, mapped)| mapped).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_single_item_run_on_the_caller_thread() {
+        let caller = std::thread::current().id();
+        let empty: Vec<i32> = par_map(&[] as &[i32], 8, |x| *x);
+        assert!(empty.is_empty());
+        let one = par_map(&[7], 8, |x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x + 1
+        });
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn sequential_fallback_at_one_thread() {
+        let caller = std::thread::current().id();
+        let out = par_map(&[1, 2, 3], 1, |x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x * 10
+        });
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn panic_payload_is_propagated() {
+        let result = panic::catch_unwind(|| {
+            par_map(&[0usize, 1, 2, 3, 4, 5, 6, 7], 4, |&x| {
+                if x == 5 {
+                    panic!("item five failed");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("par_map must propagate the worker panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert!(message.contains("item five failed"), "payload lost: {message:?}");
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_configuration() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn nested_fan_out_resolves_to_sequential() {
+        // On a par_map worker even an explicit configuration resolves to 1: the
+        // outer fan-out owns the machine.
+        let inner = par_map(&[(); 8], 4, |_| resolve_threads(8));
+        assert!(inner.iter().all(|&n| n == 1), "nested resolution: {inner:?}");
+        // Back on the caller's thread the explicit value wins again.
+        assert_eq!(resolve_threads(8), 8);
+        // A sequential par_map does not mark the caller as a worker.
+        let seq = par_map(&[()], 1, |_| resolve_threads(6));
+        assert_eq!(seq, vec![6]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Order preservation: the parallel map equals the sequential map for any
+        /// input length and worker count.
+        #[test]
+        fn par_map_matches_sequential_map((len, threads) in (0usize..200, 1usize..9)) {
+            let items: Vec<usize> = (0..len).collect();
+            let expected: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+            let actual = par_map(&items, threads, |x| x * 3 + 1);
+            prop_assert_eq!(actual, expected);
+        }
+    }
+}

@@ -21,11 +21,59 @@ pub struct UnionOptions {
     pub prune_untouched_attributes: bool,
     /// Hard state cap; exceeding it switches pruning on automatically.
     pub max_states: usize,
+    /// Worker threads for the free sub-product enumeration (`0` = resolve from
+    /// `SOTERIA_THREADS` / the machine's parallelism). The union is byte-identical
+    /// — same transitions in the same order — at every thread count.
+    pub threads: usize,
 }
 
 impl Default for UnionOptions {
     fn default() -> Self {
-        UnionOptions { prune_untouched_attributes: true, max_states: 60_000 }
+        UnionOptions { prune_untouched_attributes: true, max_states: 60_000, threads: 0 }
+    }
+}
+
+/// Minimum per-model lift work (transitions × free sub-product) before the
+/// enumeration fans out; smaller lifts finish well under the cost of spawning
+/// scoped workers.
+const UNION_PARALLEL_WORK: usize = 4_096;
+
+/// One app transition compiled against the union schema: the paper's "all union
+/// states containing v" is `base + (free sub-product)`, and the destination is a
+/// constant `offset` away.
+struct LiftedEdge {
+    base: usize,
+    offset: isize,
+    class: usize,
+    label: TransitionLabel,
+}
+
+/// Advances `digits` as a mixed-radix odometer over `radices` (last position
+/// fastest); returns false once the odometer wraps back to all zeros. Shared by
+/// the sequential lift, the parallel partitions, and the prefix enumeration so
+/// all three walk the identical order — the byte-identity guarantee depends on
+/// it. Empty (or radix-0/1) positions never advance.
+fn advance_digits(digits: &mut [u8], radices: &[u8]) -> bool {
+    for i in (0..digits.len()).rev() {
+        if digits[i] + 1 < radices[i].max(1) {
+            digits[i] += 1;
+            return true;
+        }
+        digits[i] = 0;
+    }
+    false
+}
+
+/// Every digit combination over `radices`, ascending (odometer order, last
+/// position fastest) — the exact order the sequential enumeration visits.
+fn digit_combos(radices: &[u8]) -> Vec<Vec<u8>> {
+    let mut combos = Vec::new();
+    let mut digits = vec![0u8; radices.len()];
+    loop {
+        combos.push(digits.clone());
+        if !advance_digits(&mut digits, radices) {
+            return combos;
+        }
     }
 }
 
@@ -36,6 +84,12 @@ impl Default for UnionOptions {
 /// contain v") and enumerates only the remaining free attributes' sub-product; the
 /// destination is `from + offset` for a per-edge constant offset. The seed scanned
 /// every union state per edge.
+///
+/// Large lifts fan out across scoped worker threads
+/// ([`UnionOptions::threads`], default `SOTERIA_THREADS`/auto): the free
+/// sub-product is partitioned by its leading digits, each worker builds the
+/// transition block of one partition, and the blocks merge back in enumeration
+/// order — the resulting model is byte-identical at every thread count.
 pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) -> StateModel {
     // Line 1: the union's states come from the combined attribute domains; attributes
     // of duplicate devices (same handle + attribute across apps) are merged. A side
@@ -65,11 +119,15 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
     let mut interner = LabelInterner::default();
     let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
     let mut lifted: Vec<Transition> = Vec::new();
-
-    // Scratch buffers reused across all edges.
-    let mut from_digits: Vec<u8> = Vec::new();
-    let mut to_digits: Vec<u8> = Vec::new();
-    let mut free_digits: Vec<u8> = Vec::new();
+    let threads = soteria_exec::resolve_threads(options.threads);
+    // Dedup classes embed the contributing app's name, so lifts from models with
+    // distinct names can never collide — the cross-model `seen` filter only has
+    // work to do when the same app appears twice in the union.
+    let names_unique = {
+        let mut names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.windows(2).all(|w| w[0] != w[1])
+    };
 
     // Lines 2–12: iterate over every app's transitions and lift them to the union.
     for model in models {
@@ -99,13 +157,18 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
         let free: Vec<AttrId> = (0..uschema.attr_count() as AttrId)
             .filter(|u| !constrained.contains(u))
             .collect();
+        let radices: Vec<u8> = free.iter().map(|u| uschema.domain(*u).len() as u8).collect();
+        let strides: Vec<usize> = free.iter().map(|u| uschema.stride(*u)).collect();
+        let sub_product: usize = radices.iter().map(|&r| r.max(1) as usize).product();
 
-        from_digits.resize(aschema.attr_count(), 0);
-        to_digits.resize(aschema.attr_count(), 0);
-        // Most transitions of a model share a label; resolving the dedup class once
-        // per distinct label (keyed by reference, no clones) keeps the interner off
-        // the per-edge path.
+        let mut from_digits = vec![0u8; aschema.attr_count()];
+        let mut to_digits = vec![0u8; aschema.attr_count()];
+        // Compile every transition once, in transition order: V' base, destination
+        // offset, lifted label, and dedup class. Most transitions of a model share a
+        // label; resolving the class once per distinct label (keyed by reference, no
+        // clones) keeps the interner off the per-edge path.
         let mut label_class: HashMap<&TransitionLabel, usize> = HashMap::new();
+        let mut edges: Vec<LiftedEdge> = Vec::with_capacity(model.transitions.len());
         for t in &model.transitions {
             aschema.digits_of(t.from, &mut from_digits[..aschema.attr_count()]);
             aschema.digits_of(t.to, &mut to_digits[..aschema.attr_count()]);
@@ -139,34 +202,98 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
                     &t.label.handler,
                 )
             });
-            // U' per union state: enumerate the free attributes' sub-product in
-            // ascending id order (odometer over the free digit positions).
-            free_digits.clear();
-            free_digits.resize(free.len(), 0);
-            loop {
-                let from_id = base
-                    + free
-                        .iter()
-                        .zip(&free_digits)
-                        .map(|(u, d)| *d as usize * uschema.stride(*u))
-                        .sum::<usize>();
-                let to_id = (from_id as isize + offset) as usize;
-                if seen.insert((from_id, to_id, class)) {
-                    lifted.push(Transition { from: from_id, to: to_id, label: label.clone() });
+            edges.push(LiftedEdge { base, offset, class, label });
+        }
+
+        if threads > 1 && sub_product > 1 && edges.len() * sub_product >= UNION_PARALLEL_WORK {
+            // Parallel lift: partition the free sub-product by its leading digits.
+            // Each partition covers one prefix of the free digit vector — a
+            // contiguous block of the sequential enumeration order — and partitions
+            // generate disjoint `from_id` sets (a union state id fixes every digit,
+            // the prefix included), so per-partition dedup plus the edge-major /
+            // partition-minor merge below reproduces the sequential output exactly.
+            let mut prefix_len = 0;
+            let mut partitions = 1usize;
+            while prefix_len < free.len() && partitions < threads * 2 {
+                partitions *= radices[prefix_len].max(1) as usize;
+                prefix_len += 1;
+            }
+            let prefixes = digit_combos(&radices[..prefix_len]);
+            let mut blocks = soteria_exec::par_map(&prefixes, threads, |prefix| {
+                let prefix_base: usize =
+                    prefix.iter().zip(&strides).map(|(&d, s)| d as usize * s).sum();
+                let rest_radices = &radices[prefix_len..];
+                let rest_strides = &strides[prefix_len..];
+                let mut task_seen: HashSet<(usize, usize, usize)> = HashSet::new();
+                let mut out: Vec<Vec<Transition>> = (0..edges.len()).map(|_| Vec::new()).collect();
+                let mut rest = vec![0u8; rest_radices.len()];
+                for (ei, edge) in edges.iter().enumerate() {
+                    rest.fill(0);
+                    loop {
+                        let from_id = edge.base
+                            + prefix_base
+                            + rest
+                                .iter()
+                                .zip(rest_strides)
+                                .map(|(&d, s)| d as usize * s)
+                                .sum::<usize>();
+                        let to_id = (from_id as isize + edge.offset) as usize;
+                        if task_seen.insert((from_id, to_id, edge.class)) {
+                            out[ei].push(Transition {
+                                from: from_id,
+                                to: to_id,
+                                label: edge.label.clone(),
+                            });
+                        }
+                        if !advance_digits(&mut rest, rest_radices) {
+                            break;
+                        }
+                    }
                 }
-                // Odometer increment over the free positions.
-                let mut advanced = false;
-                for i in (0..free.len()).rev() {
-                    let radix = uschema.domain(free[i]).len() as u8;
-                    if free_digits[i] + 1 < radix {
-                        free_digits[i] += 1;
-                        advanced = true;
+                out
+            });
+            // Merge in sequential order: per edge, the partitions ascend exactly as
+            // the full odometer would. The shared `seen` set still filters
+            // duplicates against *other* models' lifts (identical apps unioned
+            // twice), as in the sequential path — skipped entirely when model
+            // names are unique, where no cross-model collision is possible.
+            for (ei, edge) in edges.iter().enumerate() {
+                for block in &mut blocks {
+                    if names_unique {
+                        lifted.append(&mut block[ei]);
+                    } else {
+                        for t in block[ei].drain(..) {
+                            if seen.insert((t.from, t.to, edge.class)) {
+                                lifted.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            // Sequential lift: U' per union state, enumerating the free attributes'
+            // sub-product in ascending id order (odometer over the free positions).
+            let mut free_digits = vec![0u8; free.len()];
+            for edge in &edges {
+                free_digits.fill(0);
+                loop {
+                    let from_id = edge.base
+                        + free_digits
+                            .iter()
+                            .zip(&strides)
+                            .map(|(&d, s)| d as usize * s)
+                            .sum::<usize>();
+                    let to_id = (from_id as isize + edge.offset) as usize;
+                    if seen.insert((from_id, to_id, edge.class)) {
+                        lifted.push(Transition {
+                            from: from_id,
+                            to: to_id,
+                            label: edge.label.clone(),
+                        });
+                    }
+                    if !advance_digits(&mut free_digits, &radices) {
                         break;
                     }
-                    free_digits[i] = 0;
-                }
-                if !advanced {
-                    break;
                 }
             }
         }
@@ -334,6 +461,69 @@ mod tests {
     }
 
     #[test]
+    fn parallel_lift_is_byte_identical_to_sequential() {
+        // "Wide" has 12 untouched binary attributes, so "Narrow"'s lift enumerates a
+        // 4096-state free sub-product per edge — above `UNION_PARALLEL_WORK`, the
+        // partitioned path engages.
+        let narrow = mini_model(
+            "Narrow",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        let wide_attrs: Vec<(String, String)> =
+            (0..12).map(|i| (format!("w{i}"), "switch".to_string())).collect();
+        let wide_attr_refs: Vec<(&str, &str, &[&str])> =
+            wide_attrs.iter().map(|(h, a)| (h.as_str(), a.as_str(), &["off", "on"][..])).collect();
+        let wide = mini_model("Wide", &wide_attr_refs, &[]);
+        let base = UnionOptions { prune_untouched_attributes: false, ..UnionOptions::default() };
+        let sequential = union_models(
+            "G",
+            &[&narrow, &wide],
+            &UnionOptions { threads: 1, ..base.clone() },
+        );
+        for threads in [2, 4, 8] {
+            let parallel = union_models(
+                "G",
+                &[&narrow, &wide],
+                &UnionOptions { threads, ..base.clone() },
+            );
+            assert_eq!(parallel.state_count(), sequential.state_count());
+            assert_eq!(parallel.transitions, sequential.transitions, "threads = {threads}");
+        }
+        assert_eq!(sequential.state_count(), 1 << 13);
+        assert_eq!(sequential.transition_count(), 1 << 13);
+    }
+
+    #[test]
+    fn duplicate_models_still_dedup_across_the_parallel_lift() {
+        // The same app unioned twice: the second copy's lift must be fully deduped
+        // by the shared `seen` set, in the parallel path exactly as sequentially.
+        let narrow = mini_model(
+            "Narrow",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        let wide_attrs: Vec<(String, String)> =
+            (0..12).map(|i| (format!("w{i}"), "switch".to_string())).collect();
+        let wide_attr_refs: Vec<(&str, &str, &[&str])> =
+            wide_attrs.iter().map(|(h, a)| (h.as_str(), a.as_str(), &["off", "on"][..])).collect();
+        let wide = mini_model("Wide", &wide_attr_refs, &[]);
+        let base = UnionOptions { prune_untouched_attributes: false, ..UnionOptions::default() };
+        let sequential = union_models(
+            "G",
+            &[&narrow, &narrow, &wide],
+            &UnionOptions { threads: 1, ..base.clone() },
+        );
+        let parallel = union_models(
+            "G",
+            &[&narrow, &narrow, &wide],
+            &UnionOptions { threads: 4, ..base },
+        );
+        assert_eq!(parallel.transitions, sequential.transitions);
+        assert_eq!(sequential.transition_count(), 1 << 13);
+    }
+
+    #[test]
     fn union_complexity_is_linear_in_edges() {
         // A sanity check on sizes rather than asymptotics: the union of two 4-state
         // models over disjoint devices has 16 states when nothing is pruned and all
@@ -361,7 +551,7 @@ mod tests {
         let union = union_models(
             "AB",
             &[&a, &b],
-            &UnionOptions { prune_untouched_attributes: false, max_states: 60_000 },
+            &UnionOptions { prune_untouched_attributes: false, ..UnionOptions::default() },
         );
         assert_eq!(union.state_count(), 16);
         assert!(union.transition_count() >= 16);

@@ -3,7 +3,7 @@
 use crate::report::{AppAnalysis, EnvironmentAnalysis};
 use soteria_analysis::{abstract_domains, AnalysisConfig, SymbolicExecutor, TransitionSpec};
 use soteria_capability::CapabilityRegistry;
-use soteria_checker::{Ctl, Engine, Kripke, ModelChecker};
+use soteria_checker::{check_all_parallel, Ctl, Engine, Kripke};
 use soteria_ir::AppIr;
 use soteria_lang::ParseError;
 use soteria_model::{build_state_model, union_models, BuildOptions, StateModel, UnionOptions};
@@ -46,6 +46,44 @@ impl Soteria {
     /// benches).
     pub fn with_config(config: AnalysisConfig) -> Self {
         Soteria { config, ..Self::default() }
+    }
+
+    /// The resolved worker count for this analyzer's fan-out sites:
+    /// [`AnalysisConfig::threads`] when non-zero, else `SOTERIA_THREADS`, else the
+    /// machine's available parallelism.
+    pub fn threads(&self) -> usize {
+        soteria_exec::resolve_threads(self.config.threads)
+    }
+
+    /// Analyzes a batch of `(name, source)` apps — the corpus-sweep entry point used
+    /// by the market/MalIoT drivers, examples, and benches.
+    ///
+    /// Apps are independent, so the per-app [`Soteria::analyze_app`] calls fan out
+    /// across scoped worker threads ([`Soteria::threads`]); the analyzer itself is
+    /// only read. Results come back in input order and are byte-identical to a
+    /// sequential loop at every thread count.
+    pub fn analyze_apps(
+        &self,
+        apps: &[(&str, &str)],
+    ) -> Vec<Result<AppAnalysis, ParseError>> {
+        soteria_exec::par_map(apps, self.threads(), |(name, source)| {
+            self.analyze_app(name, source)
+        })
+    }
+
+    /// Analyzes a batch of named multi-app environments — the per-group sweep of the
+    /// MalIoT and market drivers.
+    ///
+    /// Groups are independent: each [`Soteria::analyze_environment`] call runs on its
+    /// own scoped worker (the member analyses are only read). Results come back in
+    /// input order, byte-identical to a sequential loop at every thread count.
+    pub fn analyze_environments(
+        &self,
+        groups: &[(&str, &[AppAnalysis])],
+    ) -> Vec<EnvironmentAnalysis> {
+        soteria_exec::par_map(groups, self.threads(), |(name, apps)| {
+            self.analyze_environment(name, apps)
+        })
     }
 
     /// Analyzes a single app: IR extraction, state-model construction, and
@@ -99,7 +137,11 @@ impl Soteria {
     ) -> EnvironmentAnalysis {
         let started = Instant::now();
         let models: Vec<&StateModel> = apps.iter().map(|a| &a.model).collect();
-        let union_model = union_models(group_name, &models, &UnionOptions::default());
+        // Thread the configured worker count into the union lift (Algorithm 2's free
+        // sub-product enumeration parallelizes; the result is byte-identical).
+        let union_options =
+            UnionOptions { threads: self.config.threads, ..UnionOptions::default() };
+        let union_model = union_models(group_name, &models, &union_options);
         let union_time = started.elapsed();
 
         let verification_started = Instant::now();
@@ -159,7 +201,7 @@ impl Soteria {
                     })
                     .collect();
                 let refs: Vec<&StateModel> = filtered_models.iter().collect();
-                union_models(group_name, &refs, &UnionOptions::default())
+                union_models(group_name, &refs, &union_options)
             },
         ));
         // Individual-app violations are reported by individual analysis; keep only the
@@ -227,11 +269,12 @@ impl Soteria {
     /// reflection over-approximation can be marked as possible false positives (the
     /// MalIoT App5 case).
     ///
-    /// The applicable formulas are checked as one batch ([`ModelChecker::check_all`])
-    /// so on larger-than-one-word state universes the ~30 properties share cached
-    /// subformula satisfaction sets (small universes recompute — see the checker's
-    /// `SMALL_UNIVERSE` note); the reflection-free re-check batches the failing
-    /// formulas the same way on a second checker.
+    /// The applicable formulas are checked as one batch ([`check_all_parallel`]):
+    /// on larger-than-one-word state universes the ~30 properties share cached
+    /// subformula satisfaction sets within a shard, and above the checker's
+    /// `PARALLEL_UNIVERSE` threshold the shards fan out across per-thread checkers
+    /// (small universes recompute — see the checker's `SMALL_UNIVERSE` note); the
+    /// reflection-free re-check batches the failing formulas the same way.
     fn check_specific_on_model(
         &self,
         model: &StateModel,
@@ -257,9 +300,11 @@ impl Soteria {
         if formulas.is_empty() {
             return Vec::new();
         }
+        // Property-level fan-out: the root formulas are independent, so on large
+        // universes they shard across per-thread checkers (each with its own
+        // sat-set memo); small universes run the memoized sequential batch.
         let kripke = default_initial_kripke(model);
-        let checker = ModelChecker::new(&kripke, self.engine);
-        let results = checker.check_all(&formulas);
+        let results = check_all_parallel(&kripke, self.engine, &formulas, self.threads());
 
         let failing: Vec<usize> =
             (0..results.len()).filter(|&i| !results[i].holds).collect();
@@ -273,10 +318,12 @@ impl Soteria {
                 (0..specs.len()).filter(|&i| !specs[i].via_reflection).collect();
             let m = rebuild_without_reflection(&kept);
             let k = default_initial_kripke(&m);
-            let no_reflection = ModelChecker::new(&k, self.engine);
             let failing_formulas: Vec<Ctl> =
                 failing.iter().map(|&i| formulas[i].clone()).collect();
-            no_reflection.check_all(&failing_formulas).iter().map(|r| r.holds).collect()
+            check_all_parallel(&k, self.engine, &failing_formulas, self.threads())
+                .iter()
+                .map(|r| r.holds)
+                .collect()
         } else {
             vec![false; failing.len()]
         };
@@ -403,6 +450,52 @@ mod tests {
             .iter()
             .any(|v| v.property == PropertyId::General(1) && v.apps.len() == 2));
         assert!(env.union_model.state_count() >= 2);
+    }
+
+    #[test]
+    fn batch_analysis_matches_individual_calls_at_any_thread_count() {
+        let apps = [("wld", WATER_LEAK), ("broken", BROKEN_LEAK)];
+        let sequential = Soteria::with_config(AnalysisConfig { threads: 1, ..AnalysisConfig::paper() });
+        let expected: Vec<Vec<Violation>> = apps
+            .iter()
+            .map(|(n, s)| sequential.analyze_app(n, s).unwrap().violations)
+            .collect();
+        for threads in [1, 4] {
+            let soteria =
+                Soteria::with_config(AnalysisConfig { threads, ..AnalysisConfig::paper() });
+            let batch = soteria.analyze_apps(&apps);
+            assert_eq!(batch.len(), 2);
+            for (analysis, want) in batch.iter().zip(&expected) {
+                assert_eq!(&analysis.as_ref().unwrap().violations, want, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_environments_match_individual_calls() {
+        let soteria = Soteria::new();
+        let a = soteria.analyze_app("wld", WATER_LEAK).unwrap();
+        let b = soteria.analyze_app("broken", BROKEN_LEAK).unwrap();
+        let g1 = [a.clone()];
+        let g2 = [a.clone(), b.clone()];
+        let groups: Vec<(&str, &[AppAnalysis])> = vec![("G1", &g1), ("G2", &g2)];
+        let batch = soteria.analyze_environments(&groups);
+        let individual =
+            [soteria.analyze_environment("G1", &g1), soteria.analyze_environment("G2", &g2)];
+        assert_eq!(batch.len(), 2);
+        for (got, want) in batch.iter().zip(&individual) {
+            assert_eq!(got.name, want.name);
+            assert_eq!(got.violations, want.violations);
+            assert_eq!(got.union_model.transitions, want.union_model.transitions);
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_per_app_in_the_batch() {
+        let soteria = Soteria::new();
+        let results = soteria.analyze_apps(&[("ok", WATER_LEAK), ("bad", "definition(")]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! 4. for multi-app environments, build the union state model (Algorithm 2) and
 //!    re-check the properties on the combined behaviour.
 //!
+//! Corpus sweeps go through the batch entry points [`Soteria::analyze_apps`] and
+//! [`Soteria::analyze_environments`], which fan the independent per-app / per-group
+//! analyses out across scoped worker threads ([`AnalysisConfig::threads`] or the
+//! `SOTERIA_THREADS` environment variable; results are byte-identical at every
+//! thread count).
+//!
+//! [`AnalysisConfig::threads`]: soteria_analysis::AnalysisConfig
+//!
 //! # Quick start
 //!
 //! ```

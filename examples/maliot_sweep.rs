@@ -2,18 +2,29 @@
 //! (Appendix C, Table 3 of the paper): detected violations, the App5 false positive,
 //! and the out-of-scope apps.
 //!
+//! The sweep runs through the batch APIs — [`Soteria::analyze_apps`] for the 17
+//! apps and [`Soteria::analyze_environments`] for the multi-app groups — so both
+//! phases fan out across worker threads (`SOTERIA_THREADS` to override) with
+//! results identical to a sequential loop.
+//!
 //! Run with `cargo run --example maliot_sweep`.
 
 use soteria::Soteria;
+use soteria_bench::{analyze_all, analyze_groups};
 use soteria_corpus::{maliot_groups, maliot_suite};
+use std::time::Instant;
 
 fn main() {
     let soteria = Soteria::new();
+    let suite = maliot_suite();
+
+    let phase = Instant::now();
+    let analyses = analyze_all(&soteria, &suite);
+    let app_phase = phase.elapsed();
+
     println!("{:<8} {:<28} {:<28} Notes", "App", "Expected", "Detected");
     println!("{}", "-".repeat(90));
-    let mut analyses = std::collections::BTreeMap::new();
-    for app in maliot_suite() {
-        let analysis = soteria.analyze_app(&app.id, &app.source).expect("MalIoT app parses");
+    for (app, analysis) in suite.iter().zip(&analyses) {
         let detected: Vec<String> =
             analysis.violated_properties().iter().map(|p| p.to_string()).collect();
         let expected: Vec<&str> = app.ground_truth.expected_properties();
@@ -33,13 +44,21 @@ fn main() {
             detected.join(", "),
             note
         );
-        analyses.insert(app.id.clone(), analysis);
     }
 
+    let phase = Instant::now();
+    let groups = maliot_groups();
+    let specs: Vec<(String, Vec<String>)> = groups
+        .iter()
+        .map(|(name, members, _)| {
+            (name.to_string(), members.iter().map(|m| m.to_string()).collect())
+        })
+        .collect();
+    let environments = analyze_groups(&soteria, &suite, &analyses, &specs);
+    let group_phase = phase.elapsed();
+
     println!("\nMulti-app groups:");
-    for (name, members, expected) in maliot_groups() {
-        let member_analyses: Vec<_> = members.iter().map(|m| analyses[*m].clone()).collect();
-        let env = soteria.analyze_environment(name, &member_analyses);
+    for ((name, members, expected), env) in groups.iter().zip(&environments) {
         let detected: Vec<String> =
             env.violated_properties().iter().map(|p| p.to_string()).collect();
         println!(
@@ -50,4 +69,13 @@ fn main() {
             detected.join(", ")
         );
     }
+
+    println!(
+        "\napp sweep: {:.1} ms ({} apps)   group sweep: {:.1} ms ({} groups)   threads: {}",
+        app_phase.as_secs_f64() * 1000.0,
+        analyses.len(),
+        group_phase.as_secs_f64() * 1000.0,
+        environments.len(),
+        soteria.threads()
+    );
 }

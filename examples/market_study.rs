@@ -1,10 +1,18 @@
 //! Market study (Sec. 6.1): analyse all 65 market apps, print the Table 2 dataset
-//! statistics and the Table 3 list of flagged individual apps.
+//! statistics, the Table 3 list of flagged individual apps, and the Table 4
+//! interaction groups G.1–G.3.
+//!
+//! The sweep runs through the batch APIs — [`Soteria::analyze_apps`] per corpus
+//! slice and [`Soteria::analyze_environments`] for the groups — so every phase
+//! fans out across worker threads (`SOTERIA_THREADS` to override) with results
+//! identical to a sequential loop.
 //!
 //! Run with `cargo run --example market_study`.
 
 use soteria::{AppAnalysis, Soteria};
-use soteria_corpus::{official_apps, third_party_apps, CorpusApp};
+use soteria_bench::{analyze_all, analyze_groups};
+use soteria_corpus::{all_market_apps, market_groups, official_apps, CorpusApp};
+use std::time::Instant;
 
 fn dataset_row(name: &str, apps: &[CorpusApp], analyses: &[AppAnalysis]) {
     let unique_devices: std::collections::BTreeSet<&str> = analyses
@@ -27,27 +35,26 @@ fn dataset_row(name: &str, apps: &[CorpusApp], analyses: &[AppAnalysis]) {
 
 fn main() {
     let soteria = Soteria::new();
-    let official = official_apps();
-    let third_party = third_party_apps();
-    let official_analyses: Vec<AppAnalysis> = official
-        .iter()
-        .map(|a| soteria.analyze_app(&a.id, &a.source).expect("official app parses"))
-        .collect();
-    let tp_analyses: Vec<AppAnalysis> = third_party
-        .iter()
-        .map(|a| soteria.analyze_app(&a.id, &a.source).expect("third-party app parses"))
-        .collect();
+    // `all_market_apps` is the official apps followed by the third-party apps.
+    let market = all_market_apps();
+    let official_count = official_apps().len();
+
+    let phase = Instant::now();
+    let analyses = analyze_all(&soteria, &market);
+    let app_phase = phase.elapsed();
+    let (official, third_party) = market.split_at(official_count);
+    let (official_analyses, tp_analyses) = analyses.split_at(official_count);
 
     println!("Table 2 — dataset description");
     println!(
         "{:<12} {:>5} {:>15} {:>18} {:>16}",
         "Group", "Nr.", "Unique devices", "Avg/Max states", "Avg/Max LOC"
     );
-    dataset_row("Official", &official, &official_analyses);
-    dataset_row("Third-party", &third_party, &tp_analyses);
+    dataset_row("Official", official, official_analyses);
+    dataset_row("Third-party", third_party, tp_analyses);
 
     println!("\nTable 3 — individual apps flagged by the analysis");
-    for (app, analysis) in third_party.iter().zip(&tp_analyses) {
+    for (app, analysis) in third_party.iter().zip(tp_analyses) {
         if analysis.violations.is_empty() {
             continue;
         }
@@ -58,4 +65,37 @@ fn main() {
     let flagged_official =
         official_analyses.iter().filter(|a| !a.violations.is_empty()).count();
     println!("\nOfficial apps flagged: {flagged_official} (the paper also reports zero)");
+
+    // Table 4 — the interacting groups, analysed as one batch of environments.
+    let phase = Instant::now();
+    let groups = market_groups();
+    let specs: Vec<(String, Vec<String>)> = groups
+        .iter()
+        .map(|g| (g.id.to_string(), g.members.iter().map(|m| m.to_string()).collect()))
+        .collect();
+    let environments = analyze_groups(&soteria, &market, &analyses, &specs);
+    let group_phase = phase.elapsed();
+
+    println!("\nTable 4 — multi-app interaction groups");
+    for (g, env) in groups.iter().zip(&environments) {
+        let detected: Vec<String> =
+            env.violated_properties().iter().map(|p| p.to_string()).collect();
+        println!(
+            "  {:<5} members: {:<28} union states: {:>6}   expected: {:<12} detected: {}",
+            g.id,
+            g.members.join("+"),
+            env.union_model.state_count(),
+            g.expected.join(", "),
+            detected.join(", ")
+        );
+    }
+
+    println!(
+        "\napp sweep: {:.1} ms ({} apps)   group sweep: {:.1} ms ({} groups)   threads: {}",
+        app_phase.as_secs_f64() * 1000.0,
+        market.len(),
+        group_phase.as_secs_f64() * 1000.0,
+        environments.len(),
+        soteria.threads()
+    );
 }

@@ -135,7 +135,7 @@ fn union_without_pruning_packed_matches_legacy() {
     let models: Vec<StateModel> =
         apps.iter().map(|(n, s)| both_models(n, s).0).collect();
     let refs: Vec<&StateModel> = models.iter().collect();
-    let options = UnionOptions { prune_untouched_attributes: false, max_states: 60_000 };
+    let options = UnionOptions { prune_untouched_attributes: false, ..UnionOptions::default() };
     let packed = union_models("running-full", &refs, &options);
     let legacy = union_models_legacy("running-full", &refs, &options);
     assert_models_agree("running-union-unpruned", &packed, &legacy);

@@ -1,0 +1,86 @@
+//! Determinism gate for the parallel analysis subsystem: the full MalIoT and
+//! market sweeps — batch app analysis, batch environment analysis, and the
+//! rendered reports — must be identical whether the analyzer runs sequentially
+//! or fans out across worker threads.
+//!
+//! This is the test-suite twin of the `parallel_scaling --smoke` gate: every
+//! parallel site (`Soteria::analyze_apps`, `Soteria::analyze_environments`, the
+//! sharded property sweeps, and the partitioned union lift) must reproduce the
+//! sequential output byte for byte — same `Violation` lists in the same order,
+//! same union transitions, same report text (timing lines excluded, since
+//! wall-clock is measured rather than computed).
+
+use soteria::render_environment_report;
+use soteria_bench::{
+    corpus_sweep, maliot_group_specs, market_group_specs, soteria_with_threads,
+    stable_app_report,
+};
+use soteria_corpus::{all_market_apps, maliot_suite, CorpusApp};
+use soteria_exec::par_map;
+
+fn assert_sweeps_identical(
+    name: &str,
+    apps: &[CorpusApp],
+    groups: &[(String, Vec<String>)],
+) {
+    let (seq_apps, seq_envs) = corpus_sweep(&soteria_with_threads(1), apps, groups);
+    let (par_apps, par_envs) = corpus_sweep(&soteria_with_threads(4), apps, groups);
+
+    assert_eq!(seq_apps.len(), par_apps.len());
+    for (s, p) in seq_apps.iter().zip(&par_apps) {
+        assert_eq!(s.violations, p.violations, "{name}/{}: violation lists differ", s.ir.name);
+        assert_eq!(
+            stable_app_report(s),
+            stable_app_report(p),
+            "{name}/{}: report output differs",
+            s.ir.name
+        );
+    }
+    assert_eq!(seq_envs.len(), par_envs.len());
+    for (s, p) in seq_envs.iter().zip(&par_envs) {
+        assert_eq!(s.violations, p.violations, "{name}/{}: group violations differ", s.name);
+        assert_eq!(
+            s.union_model.transitions, p.union_model.transitions,
+            "{name}/{}: union transitions differ",
+            s.name
+        );
+        assert_eq!(
+            render_environment_report(s),
+            render_environment_report(p),
+            "{name}/{}: environment report differs",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn maliot_sweep_is_identical_sequentially_and_at_four_threads() {
+    assert_sweeps_identical("maliot", &maliot_suite(), &maliot_group_specs());
+}
+
+#[test]
+fn market_sweep_is_identical_sequentially_and_at_four_threads() {
+    assert_sweeps_identical("market", &all_market_apps(), &market_group_specs());
+}
+
+/// `par_map` panics surface with their original payload even when raised from a
+/// worker in the middle of a corpus-shaped fan-out.
+#[test]
+fn par_map_propagates_worker_panics_with_payload() {
+    let items: Vec<usize> = (0..64).collect();
+    let caught = std::panic::catch_unwind(|| {
+        par_map(&items, 4, |&i| {
+            if i == 33 {
+                panic!("app {i} exploded");
+            }
+            i
+        })
+    })
+    .expect_err("worker panic must propagate");
+    let message = caught
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(message.contains("app 33 exploded"), "payload lost: {message:?}");
+}
