@@ -66,6 +66,34 @@ impl AnalysisConfig {
     pub fn without_pruning() -> Self {
         AnalysisConfig { prune_infeasible: false, ..Self::default() }
     }
+
+    /// A stable 64-bit fingerprint of every configuration field that can change
+    /// an analysis *result* (FNV-1a over a fixed field encoding).
+    ///
+    /// `threads` is deliberately excluded: worker counts only change scheduling,
+    /// never output (the determinism gates enforce this), so a result computed at
+    /// one thread count is valid for all of them. The service's content-addressed
+    /// cache keys on this fingerprint plus the app source.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let fields: [u64; 6] = [
+            self.path_sensitive as u64,
+            self.esp_merge as u64,
+            self.prune_infeasible as u64,
+            self.reflection_over_approx as u64,
+            self.inline_depth as u64,
+            self.max_paths as u64,
+        ];
+        let mut hash = FNV_OFFSET;
+        for field in fields {
+            for byte in field.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -87,5 +115,17 @@ mod tests {
         assert!(!AnalysisConfig::without_path_sensitivity().path_sensitive);
         assert!(!AnalysisConfig::without_esp_merge().esp_merge);
         assert!(!AnalysisConfig::without_pruning().prune_infeasible);
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_tracks_result_fields() {
+        let base = AnalysisConfig::paper();
+        let threaded = AnalysisConfig { threads: 8, ..base.clone() };
+        assert_eq!(base.fingerprint(), threaded.fingerprint());
+        assert_ne!(base.fingerprint(), AnalysisConfig::without_esp_merge().fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            AnalysisConfig { inline_depth: base.inline_depth + 1, ..base.clone() }.fingerprint()
+        );
     }
 }

@@ -1,0 +1,277 @@
+//! Throughput and cache measurement for the analysis service (PR 4), plus the
+//! byte-identity gate between the service path and the direct batch API.
+//!
+//! Three comparisons per corpus workload (MalIoT suite + running examples):
+//!
+//! 1. **warm vs cold** — a cold sweep submits every app and group to a fresh
+//!    [`Service`] and drains it; a warm sweep resubmits identical content to the
+//!    same service, so every job is a content-addressed cache hit returning the
+//!    frozen result. `speedup` is cold/warm — the headline number the
+//!    acceptance criterion records.
+//! 2. **pooled vs scoped** — the PR 4 shared-pool batch helpers
+//!    (`Soteria::analyze_apps`/`analyze_environments` via `pool_map`) against
+//!    the PR 3 scoped-thread baseline (`soteria_exec::scoped_map`, which spawns
+//!    workers per call). Quantifies the per-call spawn overhead the persistent
+//!    pool eliminates on ms-scale sweeps.
+//!
+//! Before any timing, the identity gate runs: service outcomes (cold *and*
+//! warm) must equal the direct sequential API byte for byte — same violation
+//! lists, same stable reports, and warm hits must return pointer-identical
+//! frozen analyses.
+//!
+//! Usage: `cargo run --release -p soteria-bench --bin service_throughput
+//! [--smoke] [out.json]`. With `--smoke` only the gate runs (the CI
+//! configuration); otherwise results go to `BENCH_pr4.json`.
+
+use soteria::{AppAnalysis, EnvironmentAnalysis, Soteria};
+use soteria_bench::{
+    corpus_sweep, maliot_group_specs, measure_mean, service_corpus_sweep,
+    service_sweep_outcome, soteria_with_threads, sweep_outcome,
+};
+use soteria_corpus::{maliot_suite, running_apps, CorpusApp};
+use soteria_service::{CacheDisposition, JobOutcome, Service, ServiceOptions};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Workload {
+    name: &'static str,
+    apps: Vec<CorpusApp>,
+    groups: Vec<(String, Vec<String>)>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "running",
+            apps: running_apps()
+                .into_iter()
+                .map(|(id, source)| CorpusApp {
+                    id: id.to_string(),
+                    source: source.to_string(),
+                    ground_truth: Default::default(),
+                })
+                .collect(),
+            groups: vec![(
+                "RunningGroup".to_string(),
+                vec![
+                    "SmokeAlarm".to_string(),
+                    "WaterLeakDetector".to_string(),
+                    "ThermostatEnergyControl".to_string(),
+                ],
+            )],
+        },
+        Workload { name: "maliot", apps: maliot_suite(), groups: maliot_group_specs() },
+    ]
+}
+
+/// Submits a whole corpus workload to the service and drains it, through the
+/// shared [`service_corpus_sweep`] glue.
+fn service_sweep(service: &Service, w: &Workload) -> Vec<JobOutcome> {
+    service_corpus_sweep(service, &w.apps, &w.groups)
+}
+
+/// The PR 3 scoped-thread baseline sweep: per-call worker spawns via
+/// [`soteria_exec::scoped_map`], otherwise the same per-item pure functions.
+fn scoped_sweep(soteria: &Soteria, w: &Workload) -> (Vec<AppAnalysis>, Vec<EnvironmentAnalysis>) {
+    let pairs: Vec<(&str, &str)> =
+        w.apps.iter().map(|a| (a.id.as_str(), a.source.as_str())).collect();
+    let analyses: Vec<AppAnalysis> =
+        soteria_exec::scoped_map(&pairs, soteria.threads(), |(name, source)| {
+            soteria.analyze_app(name, source).unwrap_or_else(|e| panic!("{name}: {e}"))
+        });
+    let member_sets: Vec<(String, Vec<AppAnalysis>)> = w
+        .groups
+        .iter()
+        .map(|(name, members)| {
+            let set = members
+                .iter()
+                .map(|id| {
+                    let idx = w
+                        .apps
+                        .iter()
+                        .position(|a| &a.id == id)
+                        .unwrap_or_else(|| panic!("member {id} in corpus"));
+                    analyses[idx].clone()
+                })
+                .collect();
+            (name.clone(), set)
+        })
+        .collect();
+    let envs: Vec<EnvironmentAnalysis> =
+        soteria_exec::scoped_map(&member_sets, soteria.threads(), |(name, members)| {
+            soteria.analyze_environment(name, members)
+        });
+    (analyses, envs)
+}
+
+fn fresh_service(threads: usize) -> Service {
+    Service::new(soteria_with_threads(threads), ServiceOptions::default())
+}
+
+struct Row {
+    name: String,
+    new: Duration,
+    old: Duration,
+    iterations: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.old.as_secs_f64() / self.new.as_secs_f64().max(1e-12)
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_pr4.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let threads = soteria_with_threads(0).threads();
+
+    // --- Identity gate: service (cold and warm) == scoped PR 3 path == pooled
+    // batch helpers, for every workload. ---
+    let mut gated_jobs = 0usize;
+    for w in &workloads() {
+        let reference = {
+            let (apps, envs) = corpus_sweep(&soteria_with_threads(1), &w.apps, &w.groups);
+            sweep_outcome(&apps, &envs)
+        };
+        // Pooled batch helpers at the resolved thread count.
+        let (apps, envs) = corpus_sweep(&soteria_with_threads(threads), &w.apps, &w.groups);
+        assert!(
+            sweep_outcome(&apps, &envs) == reference,
+            "{}: pooled batch helpers diverge from the sequential path",
+            w.name
+        );
+        // PR 3 scoped baseline.
+        let (apps, envs) = scoped_sweep(&soteria_with_threads(threads), w);
+        assert!(
+            sweep_outcome(&apps, &envs) == reference,
+            "{}: scoped baseline diverges from the sequential path",
+            w.name
+        );
+        // Service, cold then warm.
+        let service = fresh_service(threads);
+        let cold = service_sweep(&service, w);
+        assert!(
+            service_sweep_outcome(&cold) == reference,
+            "{}: cold service outcomes diverge from the sequential path",
+            w.name
+        );
+        let warm = service_sweep(&service, w);
+        assert!(
+            service_sweep_outcome(&warm) == reference,
+            "{}: warm service outcomes diverge from the sequential path",
+            w.name
+        );
+        for outcome in &warm {
+            let (name, disposition) = match outcome {
+                JobOutcome::App { name, disposition, .. } => (name, *disposition),
+                JobOutcome::Environment { name, disposition, .. } => (name, *disposition),
+            };
+            assert_eq!(
+                disposition,
+                CacheDisposition::Hit,
+                "{}/{name}: warm resubmission was not a cache hit",
+                w.name
+            );
+        }
+        gated_jobs += cold.len() + warm.len();
+    }
+    println!(
+        "service identity: OK ({gated_jobs} jobs; cold + warm service outcomes, pooled \
+         batch, and scoped baseline all byte-identical to the sequential path)"
+    );
+    if smoke {
+        return;
+    }
+
+    // --- Timing. ---
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows: Vec<Row> = Vec::new();
+    for w in &workloads() {
+        eprintln!("measuring {}: cold service sweeps...", w.name);
+        let (cold, cold_iters) = measure_mean(
+            || {
+                let service = fresh_service(threads);
+                service_sweep(&service, w)
+            },
+            1_000,
+        );
+        eprintln!("measuring {}: warm (cached) sweeps...", w.name);
+        let warm_service = fresh_service(threads);
+        service_sweep(&warm_service, w); // prime the cache
+        let (warm, warm_iters) =
+            measure_mean(|| service_sweep(&warm_service, w), 10_000);
+        rows.push(Row {
+            name: format!("{}/warm_vs_cold", w.name),
+            new: warm,
+            old: cold,
+            iterations: cold_iters.min(warm_iters),
+        });
+
+        // Per-call spawn overhead only exists at multi-thread counts (at one
+        // resolved thread neither path spawns), so pin this comparison to 4
+        // workers — the count PR 3's note measured the 10–20% overhead at.
+        let sweep_threads = threads.max(4);
+        eprintln!(
+            "measuring {}: pooled vs scoped batch sweeps at {sweep_threads} threads...",
+            w.name
+        );
+        let soteria = soteria_with_threads(sweep_threads);
+        let (pooled, pooled_iters) =
+            measure_mean(|| corpus_sweep(&soteria, &w.apps, &w.groups), 1_000);
+        let (scoped, _) = measure_mean(|| scoped_sweep(&soteria, w), 1_000);
+        rows.push(Row {
+            name: format!("{}/pooled_vs_scoped@{sweep_threads}T", w.name),
+            new: pooled,
+            old: scoped,
+            iterations: pooled_iters,
+        });
+    }
+
+    // --- Report, in the BENCH_pr1..3 format. ---
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    println!("{:<28} {:>14} {:>14} {:>9}", "benchmark", "new", "old", "speedup");
+    for (i, row) in rows.iter().enumerate() {
+        println!(
+            "{:<28} {:>14?} {:>14?} {:>8.2}x",
+            row.name,
+            row.new,
+            row.old,
+            row.speedup()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"new_ns\": {}, \"old_ns\": {}, \"speedup\": {:.2}, \"iterations\": {}}}{}",
+            row.name,
+            row.new.as_nanos(),
+            row.old.as_nanos(),
+            row.speedup(),
+            row.iterations,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    let min = rows.iter().map(|r| r.speedup()).fold(f64::INFINITY, f64::min);
+    println!("{:<28} {:>39.2}x (geomean), {:.2}x (min)", "overall", geomean, min);
+    let _ = write!(
+        json,
+        "  ],\n  \"speedup_geomean\": {geomean:.2},\n  \"speedup_min\": {min:.2},\n  \
+         \"threads\": {threads},\n  \"host_cores\": {host_cores},\n  \"note\": \"warm_vs_cold: \
+         resubmitting an analyzed corpus to the live service (content-addressed cache hits \
+         returning frozen results) vs a cold service computing it; cold includes service + \
+         pool startup. pooled_vs_scoped@NT: the shared persistent-pool batch helpers vs \
+         the PR 3 scoped-thread baseline that spawns workers per call, pinned to N \
+         threads because at one resolved thread neither path spawns. The identity gate \
+         (service cold/warm, pooled, and scoped outcomes byte-identical to the sequential \
+         path, warm pass all cache hits) runs before any timing.\"\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write results");
+    println!("wrote {out_path}");
+}

@@ -117,6 +117,52 @@ pub fn soteria_with_threads(threads: usize) -> Soteria {
     Soteria::with_config(AnalysisConfig { threads, ..AnalysisConfig::paper() })
 }
 
+/// Submits a whole corpus workload to the analysis service — every app, then
+/// every multi-app group over the submitted names (group jobs park on their
+/// member tickets) — and drains the results in submission order. The service
+/// twin of [`corpus_sweep`], shared by the `service_throughput` bin and the
+/// determinism tests. Panics on a group member missing from the submission set.
+pub fn service_corpus_sweep(
+    service: &soteria_service::Service,
+    apps: &[CorpusApp],
+    groups: &[(String, Vec<String>)],
+) -> Vec<soteria_service::JobOutcome> {
+    for app in apps {
+        service.submit_app(&app.id, &app.source);
+    }
+    for (name, members) in groups {
+        let refs: Vec<&str> = members.iter().map(String::as_str).collect();
+        service
+            .submit_environment_by_names(name, &refs)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    service.drain()
+}
+
+/// Projects drained service outcomes into the thread-count-invariant
+/// [`SweepOutcome`] shape (apps in submission order, then groups). Panics on a
+/// job error — corpus sources are under our control.
+pub fn service_sweep_outcome(outcomes: &[soteria_service::JobOutcome]) -> SweepOutcome {
+    let mut apps: Vec<std::sync::Arc<AppAnalysis>> = Vec::new();
+    let mut envs: Vec<std::sync::Arc<EnvironmentAnalysis>> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            soteria_service::JobOutcome::App { name, result, .. } => {
+                apps.push(result.clone().unwrap_or_else(|e| panic!("{name}: {e}")))
+            }
+            soteria_service::JobOutcome::Environment { name, result, .. } => {
+                envs.push(result.clone().unwrap_or_else(|e| panic!("{name}: {e}")))
+            }
+        }
+    }
+    SweepOutcome {
+        app_violations: apps.iter().map(|a| a.violations.clone()).collect(),
+        env_violations: envs.iter().map(|e| e.violations.clone()).collect(),
+        app_reports: apps.iter().map(|a| stable_app_report(a)).collect(),
+        env_reports: envs.iter().map(|e| render_environment_report(e)).collect(),
+    }
+}
+
 /// One full corpus sweep through the batch APIs: every app
 /// ([`Soteria::analyze_apps`] via [`analyze_all`]), then every multi-app group
 /// ([`Soteria::analyze_environments`] via [`analyze_groups`]).

@@ -14,6 +14,7 @@ pub mod running;
 pub use generator::{benign_templates, BenignTemplate};
 pub use maliot::{maliot_groups, maliot_suite};
 pub use market::{market_groups, official_apps, third_party_apps, MarketGroup};
+pub use running::running_apps;
 
 /// One expected property violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +107,20 @@ pub fn all_market_apps() -> Vec<CorpusApp> {
     let mut apps = official_apps();
     apps.extend(third_party_apps());
     apps
+}
+
+/// Looks an app up by id across every corpus — running examples first, then the
+/// MalIoT suite, then the market apps. Used by `soteria-serve`'s `corpus:` job
+/// requests.
+pub fn find_app(id: &str) -> Option<(String, String)> {
+    if let Some((name, source)) = running_apps().into_iter().find(|(name, _)| *name == id) {
+        return Some((name.to_string(), source.to_string()));
+    }
+    maliot_suite()
+        .into_iter()
+        .chain(all_market_apps())
+        .find(|app| app.id == id)
+        .map(|app| (app.id, app.source))
 }
 
 #[cfg(test)]

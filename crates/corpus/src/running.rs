@@ -231,6 +231,17 @@ def smokeHandler(evt) {
 }
 "#;
 
+/// The running examples as `(id, source)` pairs — the shape the service job
+/// queue and the `soteria-serve` request protocol take.
+pub fn running_apps() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("SmokeAlarm", SMOKE_ALARM),
+        ("WaterLeakDetector", WATER_LEAK_DETECTOR),
+        ("ThermostatEnergyControl", THERMOSTAT_ENERGY_CONTROL),
+        ("BuggySmokeAlarm", BUGGY_SMOKE_ALARM),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,29 +4,40 @@
 //! and the union model's free sub-product enumeration — are all *independent
 //! iterations over immutable inputs*: the analyzer borrows `&self`, the checker
 //! borrows an immutable `Kripke`, and the union builder reads frozen per-app
-//! models. This crate provides the one primitive they share:
+//! models. This crate provides the primitives they share:
 //!
-//! * [`par_map`] — a chunked, scoped-thread map with **deterministic output
-//!   ordering** (the result is `items.iter().map(f)` regardless of worker count or
-//!   scheduling), dynamic chunk claiming for load balance, a strictly sequential
-//!   fallback at one worker, and first-panic propagation with the original payload;
-//! * [`resolve_threads`] — the worker-count policy: an explicit configuration value
-//!   wins, then the `SOTERIA_THREADS` environment variable, then the machine's
-//!   available parallelism.
+//! * [`WorkerPool`] — a persistent pool of long-lived worker threads fed by an
+//!   injector queue: [`WorkerPool::spawn`] for fire-and-forget `'static` jobs
+//!   (the `soteria-service` job queue) and [`WorkerPool::install`] for scoped
+//!   deterministic parallel maps over borrowed data;
+//! * [`global_pool`] / [`pool_map`] — the process-wide shared pool used by the
+//!   analysis batch helpers, eliminating the per-call thread-spawn overhead that
+//!   PR 3 paid on ms-scale sweeps;
+//! * [`par_map`] — the PR 3 entry point, now a thin wrapper that runs one
+//!   [`WorkerPool::install`] on a transient pool (identical semantics:
+//!   deterministic output ordering, dynamic chunk claiming, a strictly
+//!   sequential fallback at one worker, first-panic propagation with the
+//!   original payload);
+//! * [`scoped_map`] — the original scoped-thread implementation, kept as the
+//!   reference the pooled paths are gated against;
+//! * [`resolve_threads`] — the worker-count policy: an explicit configuration
+//!   value wins, then the `SOTERIA_THREADS` environment variable, then the
+//!   machine's available parallelism.
 //!
 //! # Threading model
 //!
 //! Workers only ever *read* the shared inputs (`T: Sync`) and *own* their outputs
-//! (`R: Send`); there is no locking on the data path. The single mutex in
-//! [`par_map`] collects finished chunks and is touched once per chunk, not per
-//! item. Callers that need per-worker mutable scratch (e.g. the checker's sat-set
-//! memo) allocate it inside `f` — one instance per chunk — instead of sharing it.
+//! (`R: Send`); there is no locking on the data path. The mutexes in the pool
+//! collect finished chunks (touched once per chunk, not per item) and guard the
+//! injector queue (touched once per task). Callers that need per-worker mutable
+//! scratch (e.g. the checker's sat-set memo) allocate it inside `f` — one
+//! instance per chunk — instead of sharing it.
 //!
-//! Every call site must preserve the sequential result exactly: `par_map`
-//! guarantees ordering, and the callers guarantee their per-item closures are pure
-//! functions of the item (no iteration-order-dependent state). This is what makes
-//! `SOTERIA_THREADS=1` and `SOTERIA_THREADS=8` byte-identical, which
-//! `tests/parallel_determinism.rs` and the `parallel_scaling` gate enforce.
+//! Every call site must preserve the sequential result exactly: the map
+//! primitives guarantee ordering, and the callers guarantee their per-item
+//! closures are pure functions of the item (no iteration-order-dependent state).
+//! This is what makes `SOTERIA_THREADS=1` and `SOTERIA_THREADS=8` byte-identical,
+//! which `tests/parallel_determinism.rs` and the `parallel_scaling` gate enforce.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -34,15 +45,41 @@ use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+mod pool;
+
+pub use pool::{global_pool, pool_map, WorkerPool};
+
 /// The environment variable overriding the worker count (`0` or unset = auto).
 pub const THREADS_ENV: &str = "SOTERIA_THREADS";
 
 thread_local! {
-    /// True on threads spawned by [`par_map`]. Nested fan-out sites (a batch
-    /// analysis worker reaching a parallel union lift or property sweep) resolve
-    /// to sequential execution instead of oversubscribing the machine with up to
+    /// True on parallel worker threads (pool workers, scoped workers, and callers
+    /// participating in a pooled map). Nested fan-out sites (a batch analysis
+    /// worker reaching a parallel union lift or property sweep) resolve to
+    /// sequential execution instead of oversubscribing the machine with up to
     /// `threads²` live workers.
     static IN_PAR_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is executing inside a parallel fan-out.
+pub fn in_par_worker() -> bool {
+    IN_PAR_WORKER.with(Cell::get)
+}
+
+/// Marks the current thread as a parallel worker until the guard drops
+/// (restoring the previous state, so nested scopes compose).
+pub(crate) fn enter_par_worker() -> ParWorkerGuard {
+    ParWorkerGuard { prev: IN_PAR_WORKER.with(|flag| flag.replace(true)) }
+}
+
+pub(crate) struct ParWorkerGuard {
+    prev: bool,
+}
+
+impl Drop for ParWorkerGuard {
+    fn drop(&mut self) {
+        IN_PAR_WORKER.with(|flag| flag.set(self.prev));
+    }
 }
 
 /// Resolves the worker count for a fan-out site.
@@ -52,13 +89,13 @@ thread_local! {
 /// variable, then [`std::thread::available_parallelism`] (1 if unknown). The
 /// result is always at least 1; 1 means "run sequentially on the caller's thread".
 ///
-/// On a [`par_map`] worker thread this always returns 1 — the outer fan-out owns
+/// On a parallel worker thread this always returns 1 — the outer fan-out owns
 /// the machine, and inner sites run sequentially (results are thread-count
 /// invariant, so only scheduling changes). A top-level *sequential* call
 /// (`threads == 1` never spawns) does not mark the caller, so e.g. a lone
 /// `analyze_environment` still parallelizes its union lift.
 pub fn resolve_threads(configured: usize) -> usize {
-    if IN_PAR_WORKER.with(Cell::get) {
+    if in_par_worker() {
         return 1;
     }
     if configured > 0 {
@@ -74,18 +111,20 @@ pub fn resolve_threads(configured: usize) -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Maps `f` over `items` on up to `threads` scoped workers, returning the results
-/// in input order.
+/// Maps `f` over `items` on up to `threads` workers, returning the results in
+/// input order.
 ///
-/// The slice is split into contiguous chunks (a few per worker) that workers claim
-/// dynamically off an atomic counter, so uneven per-item cost — one app with a
-/// large state model among 64 small ones — still balances. Finished chunks are
-/// reassembled by chunk index, making the output identical to
-/// `items.iter().map(f).collect()` for every `threads` value and every
-/// interleaving.
+/// Since PR 4 this is a thin wrapper over a *transient* [`WorkerPool`] (spawned
+/// for the call, drained and joined before returning) with exactly the PR 3
+/// contract: the output is identical to `items.iter().map(f).collect()` for
+/// every `threads` value and every interleaving; contiguous chunks are claimed
+/// dynamically off an atomic counter so uneven per-item cost still balances.
+/// Repeated ms-scale batch calls should prefer [`pool_map`], which reuses the
+/// shared [`global_pool`] instead of paying the per-call spawns.
 ///
-/// With `threads <= 1`, a single item, or an empty slice, no thread is spawned and
-/// `f` runs on the caller's thread.
+/// With `threads <= 1`, a single item, an empty slice, or when already running
+/// on a parallel worker, no thread is spawned and `f` runs on the caller's
+/// thread.
 ///
 /// # Panics
 ///
@@ -96,6 +135,29 @@ pub fn resolve_threads(configured: usize) -> usize {
 /// abort flag before claiming), bounding the wasted work to the chunks already in
 /// flight.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if in_par_worker() { 1 } else { threads.max(1).min(items.len()) };
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Caller participates in `install`, so `threads - 1` pool workers reproduce
+    // the PR 3 concurrency of `threads` scoped threads.
+    let transient = WorkerPool::new(threads - 1);
+    transient.install(items, threads, f)
+}
+
+/// The original PR 3 scoped-thread parallel map: spawns `threads` workers via
+/// [`std::thread::scope`] on every call.
+///
+/// Kept as the reference implementation the pooled paths ([`par_map`],
+/// [`pool_map`], [`WorkerPool::install`]) are gated against in
+/// `tests/parallel_determinism.rs` and the `service_throughput` bench — and as
+/// the baseline that quantifies the per-call spawn overhead the pool eliminates.
+pub fn scoped_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -116,7 +178,7 @@ where
 
     std::thread::scope(|scope| {
         let worker = || {
-            IN_PAR_WORKER.with(|flag| flag.set(true));
+            let _guard = enter_par_worker();
             loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
@@ -211,7 +273,7 @@ mod tests {
 
     #[test]
     fn nested_fan_out_resolves_to_sequential() {
-        // On a par_map worker even an explicit configuration resolves to 1: the
+        // On a parallel worker even an explicit configuration resolves to 1: the
         // outer fan-out owns the machine.
         let inner = par_map(&[(); 8], 4, |_| resolve_threads(8));
         assert!(inner.iter().all(|&n| n == 1), "nested resolution: {inner:?}");
@@ -225,14 +287,15 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
-        /// Order preservation: the parallel map equals the sequential map for any
-        /// input length and worker count.
+        /// Order preservation: every map primitive equals the sequential map for
+        /// any input length and worker count.
         #[test]
-        fn par_map_matches_sequential_map((len, threads) in (0usize..200, 1usize..9)) {
+        fn map_primitives_match_sequential_map((len, threads) in (0usize..200, 1usize..9)) {
             let items: Vec<usize> = (0..len).collect();
             let expected: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
-            let actual = par_map(&items, threads, |x| x * 3 + 1);
-            prop_assert_eq!(actual, expected);
+            prop_assert_eq!(par_map(&items, threads, |x| x * 3 + 1), expected.clone());
+            prop_assert_eq!(scoped_map(&items, threads, |x| x * 3 + 1), expected.clone());
+            prop_assert_eq!(pool_map(&items, threads, |x| x * 3 + 1), expected);
         }
     }
 }

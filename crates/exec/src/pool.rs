@@ -1,0 +1,469 @@
+//! Persistent worker pool: long-lived threads draining an injector queue.
+//!
+//! PR 3's [`scoped_map`](crate::scoped_map) spawns its workers anew on every call,
+//! which is measurable on ms-scale workloads (a single-app MalIoT sweep pays
+//! 10–20% in thread spawns alone). A [`WorkerPool`] spawns its threads once and
+//! keeps them parked on a condvar; work arrives through two doors:
+//!
+//! * [`WorkerPool::spawn`] — a fire-and-forget `'static` task for the injector
+//!   queue (the job-queue door used by `soteria-service`);
+//! * [`WorkerPool::install`] — a *scoped* deterministic parallel map over borrowed
+//!   data with exactly the [`par_map`](crate::par_map) contract: output identical
+//!   to `items.iter().map(f)` at every worker count, dynamic chunk claiming,
+//!   sequential fallback, first-panic propagation with the original payload.
+//!
+//! # How `install` borrows across `'static` tasks
+//!
+//! Pool tasks are `'static`, but `install` maps over a borrowed slice. The shared
+//! job state lives on the caller's stack; helper tasks receive only its address
+//! (a `usize`) and reconstruct the reference. This is sound because `install`
+//! does not return — not even by unwinding — until every helper task it enqueued
+//! has finished running (a completion latch counts them down, and panics inside
+//! the chunk loop are caught and re-raised only after the latch reaches zero).
+//! The pool itself cannot be dropped mid-call: `install` holds `&self`, and
+//! [`WorkerPool`]'s drop joins its threads only after draining the queue.
+//!
+//! # Determinism and nesting
+//!
+//! Chunking is identical to `scoped_map` (`len / (threads * 4)` chunks claimed
+//! off an atomic counter, reassembled by index), so pooled results are
+//! byte-identical to the scoped path for any pool size, requested thread count,
+//! and interleaving. Pool threads are permanently marked as parallel workers, and
+//! the caller marks itself for the duration of its own chunk loop, so nested
+//! fan-out sites resolve to 1 thread instead of oversubscribing (`threads²`).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::{enter_par_worker, resolve_threads};
+
+/// A fire-and-forget task on the injector queue.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signalled when a task is enqueued or shutdown is requested.
+    work_available: Condvar,
+    /// Tasks executed over the pool's lifetime (scoped helpers + spawned jobs).
+    tasks_executed: AtomicU64,
+}
+
+/// A pool of long-lived worker threads fed by an injector queue.
+///
+/// Construction spawns the threads; drop drains the queue and joins them. One
+/// process-wide instance is shared by the analysis batch helpers
+/// ([`global_pool`]); transient instances back [`par_map`](crate::par_map) and
+/// per-service pools with explicit lifecycles.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("tasks_executed", &self.tasks_executed())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers.max(1)` long-lived threads.
+    pub fn new(workers: usize) -> Self {
+        // Each worker holds its own `Arc` of the queue state, so the state
+        // outlives any thread that is still draining during (or detached by)
+        // drop, and transient pools — `par_map` creates one per call — free it
+        // when the last worker exits.
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { tasks: VecDeque::new(), shutdown: false }),
+            work_available: Condvar::new(),
+            tasks_executed: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    // Pool threads are parallel workers for their whole lifetime:
+                    // anything they run resolves nested fan-out to 1 thread.
+                    let _guard = enter_par_worker();
+                    worker_loop(&shared);
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of long-lived worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total tasks executed since the pool started (scoped helpers + spawned
+    /// jobs) — a cheap liveness/throughput counter for service stats.
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.tasks_executed.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a `'static` task on the injector queue.
+    ///
+    /// Tasks run in FIFO order on whichever worker frees up first. A task that
+    /// panics takes its worker thread down silently is *not* acceptable for a
+    /// long-lived service, so the worker loop catches the panic and drops the
+    /// payload — submitters that care about failures report them through their
+    /// own result channel (the service's tickets do).
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        let mut queue = self.shared.queue.lock().unwrap();
+        queue.tasks.push_back(Box::new(task));
+        drop(queue);
+        self.shared.work_available.notify_one();
+    }
+
+    /// Maps `f` over `items` on the caller plus up to `threads - 1` pool workers,
+    /// returning results in input order — the pooled equivalent of
+    /// [`par_map`](crate::par_map), byte-identical to it (and to the sequential
+    /// map) for every `threads` value, pool size, and scheduling.
+    ///
+    /// With `threads <= 1`, a single item, or an empty slice, `f` runs entirely
+    /// on the caller's thread and the pool is not touched.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic with its original payload after all
+    /// participating workers have stopped (unclaimed chunks are abandoned).
+    pub fn install<T, R, F>(&self, items: &[T], threads: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        // On a parallel worker (this pool's or any other's) run sequentially: the
+        // outer fan-out owns the machine, and blocking a pool worker on helpers
+        // that need this very pool would deadlock a width-1 pool.
+        let threads = if crate::in_par_worker() { 1 } else { threads.max(1).min(items.len()) };
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let job = ScopedJob::new(items, &f, threads);
+        // Helpers beyond the pool's width still produce correct results (they
+        // queue behind the others and usually find no chunks left), but they buy
+        // no concurrency — don't enqueue more than the pool can run.
+        let helpers = (threads - 1).min(self.workers());
+        *job.latch.lock().unwrap() = helpers;
+        let job_addr = &job as *const ScopedJob<'_, T, R, F> as usize;
+        for _ in 0..helpers {
+            // SAFETY (of the later deref): `job` outlives every enqueued task
+            // because `install` blocks on the completion latch below before
+            // returning, and each task counts down exactly once.
+            self.spawn(move || {
+                let job = unsafe { &*(job_addr as *const ScopedJob<'_, T, R, F>) };
+                job.run_chunks();
+                job.complete_helper();
+            });
+        }
+
+        // The caller participates too (marked as a worker so its items resolve
+        // nested fan-out sequentially, exactly like the pool threads).
+        {
+            let _guard = enter_par_worker();
+            job.run_chunks();
+        }
+        let mut outstanding = job.latch.lock().unwrap();
+        while *outstanding > 0 {
+            outstanding = job.done.wait(outstanding).unwrap();
+        }
+        drop(outstanding);
+        job.into_output()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        let current = std::thread::current().id();
+        for handle in self.handles.drain(..) {
+            // A pool can be dropped *from one of its own workers* — the last
+            // task holding the owning service's Arc finishes there. Joining
+            // ourselves would deadlock; detaching is safe because the worker
+            // owns its own Arc of `Shared` and exits at the shutdown flag.
+            if handle.thread().id() == current {
+                continue;
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                // Drain-then-exit on shutdown: every already-enqueued task still
+                // runs (scoped jobs count on it, and a dropped service should
+                // finish accepted work).
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.work_available.wait(queue).unwrap();
+            }
+        };
+        shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        // A panicking job must not take the worker thread with it. Scoped jobs
+        // catch their own panics (and re-raise on the caller); service jobs
+        // report failures through their tickets.
+        let _ = panic::catch_unwind(panic::AssertUnwindSafe(task));
+    }
+}
+
+/// The on-stack state of one `install` call, shared with its helper tasks by
+/// address.
+struct ScopedJob<'a, T, R, F> {
+    items: &'a [T],
+    f: &'a F,
+    chunk_len: usize,
+    chunk_count: usize,
+    next_chunk: AtomicUsize,
+    abort: AtomicBool,
+    finished: Mutex<Vec<(usize, Vec<R>)>>,
+    first_panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion latch: helper tasks that have not yet finished running.
+    latch: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<'a, T, R, F> ScopedJob<'a, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    fn new(items: &'a [T], f: &'a F, threads: usize) -> Self {
+        // Identical chunking to `scoped_map`: a few chunks per requested worker —
+        // large enough to keep the collection mutex cold, small enough that one
+        // expensive chunk doesn't serialize the tail.
+        let chunk_len = items.len().div_ceil(threads * 4).max(1);
+        let chunk_count = items.len().div_ceil(chunk_len);
+        ScopedJob {
+            items,
+            f,
+            chunk_len,
+            chunk_count,
+            next_chunk: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            finished: Mutex::new(Vec::with_capacity(chunk_count)),
+            first_panic: Mutex::new(None),
+            latch: Mutex::new(0),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Claims and maps chunks until none are left or a panic aborted the job.
+    fn run_chunks(&self) {
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                break;
+            }
+            let chunk = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.chunk_count {
+                break;
+            }
+            let start = chunk * self.chunk_len;
+            let end = (start + self.chunk_len).min(self.items.len());
+            let mapped = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                self.items[start..end].iter().map(self.f).collect::<Vec<R>>()
+            }));
+            match mapped {
+                Ok(mapped) => self.finished.lock().unwrap().push((chunk, mapped)),
+                Err(payload) => {
+                    self.abort.store(true, Ordering::Relaxed);
+                    let mut slot = self.first_panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Counts one helper task down; wakes the caller when all have finished.
+    fn complete_helper(&self) {
+        let mut latch = self.latch.lock().unwrap();
+        *latch -= 1;
+        if *latch == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Reassembles the output (or re-raises the first panic). Caller must have
+    /// waited for the latch first.
+    fn into_output(self) -> Vec<R> {
+        if let Some(payload) = self.first_panic.into_inner().unwrap() {
+            panic::resume_unwind(payload);
+        }
+        let mut chunks = self.finished.into_inner().unwrap();
+        chunks.sort_unstable_by_key(|&(index, _)| index);
+        debug_assert_eq!(chunks.len(), self.chunk_count);
+        chunks.into_iter().flat_map(|(_, mapped)| mapped).collect()
+    }
+}
+
+// SAFETY: helper tasks only touch `items` (`T: Sync`), `f` (`F: Sync`), and the
+// synchronised collection state; results (`R: Send`) move across threads once.
+unsafe impl<T: Sync, R: Send, F: Sync> Sync for ScopedJob<'_, T, R, F> {}
+
+/// The process-wide shared pool used by the analysis batch helpers.
+///
+/// Created on first use with [`resolve_threads`]`(0)` workers (the
+/// `SOTERIA_THREADS` / available-parallelism policy) and kept for the process
+/// lifetime. Callers still pass their *requested* thread count to
+/// [`pool_map`] — results are byte-identical regardless of how many pool
+/// workers actually serve the call.
+pub fn global_pool() -> &'static WorkerPool {
+    // A `OnceLock` static is never dropped, so the global pool's workers park
+    // for the process lifetime and no shutdown/join ever runs for them.
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(resolve_threads(0)))
+}
+
+/// [`par_map`](crate::par_map) semantics on the shared [`global_pool`]: the
+/// spawn-free fast path for repeated ms-scale batch calls.
+pub fn pool_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    global_pool().install(items, threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_matches_sequential_map_for_any_pool_size() {
+        for pool_workers in [1, 2, 4] {
+            let pool = WorkerPool::new(pool_workers);
+            for len in [0usize, 1, 7, 64, 200] {
+                let items: Vec<usize> = (0..len).collect();
+                let expected: Vec<usize> = items.iter().map(|x| x * 7 + 3).collect();
+                for threads in [1, 2, 4, 8] {
+                    let got = pool.install(&items, threads, |x| x * 7 + 3);
+                    assert_eq!(got, expected, "pool={pool_workers} len={len} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn install_reuses_the_same_threads_across_calls() {
+        use std::collections::HashSet;
+        let pool = WorkerPool::new(2);
+        let observe = |pool: &WorkerPool| -> HashSet<String> {
+            let caller = std::thread::current().id();
+            pool.install(&[0u64; 64], 3, |_| {
+                // Make each item slow enough that helpers actually claim chunks.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                std::thread::current().id()
+            })
+            .into_iter()
+            .filter(|&id| id != caller)
+            .map(|id| format!("{id:?}"))
+            .collect()
+        };
+        let first = observe(&pool);
+        let second = observe(&pool);
+        // Any helper thread observed in both calls must come from the same
+        // long-lived set of two pool workers.
+        let union: HashSet<_> = first.union(&second).collect();
+        assert!(union.len() <= pool.workers(), "more helper identities than pool workers");
+    }
+
+    #[test]
+    fn install_propagates_panics_with_payload() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..64).collect();
+        let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            pool.install(&items, 4, |&i| {
+                if i == 21 {
+                    panic!("pooled item {i} failed");
+                }
+                i
+            })
+        }))
+        .expect_err("install must propagate the worker panic");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(message.contains("pooled item 21 failed"), "payload lost: {message:?}");
+        // The pool survives the panic and keeps serving.
+        assert_eq!(pool.install(&items, 4, |&i| i + 1)[0], 1);
+    }
+
+    #[test]
+    fn spawned_tasks_run_and_drain_on_drop() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // drains the queue before joining
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn a_panicking_spawned_task_does_not_kill_the_worker() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let pool = WorkerPool::new(1);
+        let ran_after = Arc::new(AtomicBool::new(false));
+        pool.spawn(|| panic!("service job failed"));
+        let flag = Arc::clone(&ran_after);
+        pool.spawn(move || flag.store(true, Ordering::Relaxed));
+        drop(pool);
+        assert!(ran_after.load(Ordering::Relaxed), "worker died with the panicking job");
+    }
+
+    #[test]
+    fn nested_fanout_on_pool_workers_resolves_to_sequential() {
+        let pool = WorkerPool::new(2);
+        let resolved = pool.install(&[(); 32], 4, |_| crate::resolve_threads(8));
+        assert!(resolved.iter().all(|&n| n == 1), "nested resolution: {resolved:?}");
+        // Back on the caller: explicit values win again.
+        assert_eq!(crate::resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn pool_map_matches_par_map_on_the_global_pool() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected = crate::par_map(&items, 4, |x| x * 11);
+        assert_eq!(pool_map(&items, 4, |x| x * 11), expected);
+        assert!(global_pool().workers() >= 1);
+        assert!(global_pool().tasks_executed() > 0 || global_pool().workers() == 1);
+    }
+}

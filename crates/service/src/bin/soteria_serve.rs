@@ -1,0 +1,263 @@
+//! `soteria-serve`: the long-lived analysis service on stdin/stdout.
+//!
+//! Reads newline-delimited job requests (see [`soteria_service::protocol`] for
+//! the grammar: inline source, a file path, or a built-in corpus id), submits
+//! each to a [`Service`] as soon as the line arrives — so parsing/model-building
+//! of the next job overlaps verification of the previous one — and emits one
+//! JSON response line per request, in submission order (each line is flushed as
+//! soon as every earlier job has finished).
+//!
+//! ```text
+//! printf 'app demo corpus:SmokeAlarm\nstats\n' | soteria-serve
+//! ```
+//!
+//! Flags:
+//!
+//! * `--workers N` — pool worker threads (default: the `SOTERIA_THREADS` /
+//!   available-parallelism policy);
+//! * `--cache N` — result-cache bound (default 1024 entries per kind);
+//! * `--smoke` — run the self-check gate instead of serving: pipe the running
+//!   examples through the full protocol, diff every served report against the
+//!   direct `Soteria` API, and verify a second pass is served byte-identically
+//!   from the cache. Exits non-zero on any mismatch (the CI configuration).
+
+use soteria_service::protocol::{self, AppSource, Request};
+use soteria_service::{AppJob, EnvJob, Service, ServiceOptions};
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+enum PendingOut {
+    App(AppJob),
+    Env(EnvJob),
+    Stats,
+    Error(String),
+}
+
+fn resolve_source(source: AppSource) -> Result<String, String> {
+    match source {
+        AppSource::Inline(text) => Ok(text),
+        AppSource::Path(path) => std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read '{path}': {e}")),
+        AppSource::Corpus(id) => soteria_corpus::find_app(&id)
+            .map(|(_, source)| source)
+            .ok_or_else(|| format!("unknown corpus app '{id}'")),
+    }
+}
+
+/// The serve loop: the reader thread submits each request the moment its line
+/// arrives (so ingestion of job *N + 1* overlaps verification of job *N*),
+/// while a dedicated writer thread blocks on each job in submission order and
+/// writes + flushes its response line the moment it — and everything before
+/// it — has finished. An interactive client therefore gets each response
+/// without having to send another line or close stdin first.
+fn serve(
+    input: impl BufRead,
+    out: &mut (impl Write + Send),
+    service: &Service,
+) -> std::io::Result<()> {
+    let (tx, rx) = mpsc::channel::<(usize, PendingOut)>();
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || -> std::io::Result<()> {
+            for (index, pending) in rx {
+                let response = match pending {
+                    PendingOut::App(job) => protocol::app_response(
+                        index,
+                        job.name(),
+                        job.disposition(),
+                        &job.wait(),
+                    ),
+                    PendingOut::Env(job) => protocol::env_response(
+                        index,
+                        job.name(),
+                        job.disposition(),
+                        &job.wait(),
+                    ),
+                    PendingOut::Stats => protocol::stats_response(index, &service.stats()),
+                    PendingOut::Error(error) => protocol::error_response(index, &error),
+                };
+                writeln!(out, "{}", response.render())?;
+                out.flush()?;
+            }
+            Ok(())
+        });
+        let mut job_index = 0usize;
+        for line in input.lines() {
+            let pending = match protocol::parse_request(&line?) {
+                Ok(None) => continue,
+                Err(error) => PendingOut::Error(error),
+                Ok(Some(Request::App { name, source })) => match resolve_source(source) {
+                    Ok(text) => PendingOut::App(service.submit_app(&name, &text)),
+                    Err(error) => PendingOut::Error(error),
+                },
+                Ok(Some(Request::Environment { name, members })) => {
+                    let refs: Vec<&str> = members.iter().map(String::as_str).collect();
+                    match service.submit_environment_by_names(&name, &refs) {
+                        Ok(job) => PendingOut::Env(job),
+                        Err(error) => PendingOut::Error(error),
+                    }
+                }
+                Ok(Some(Request::Stats)) => PendingOut::Stats,
+            };
+            // A send only fails after the writer bailed on an I/O error (client
+            // gone); keep draining stdin so the submit side stays consistent.
+            let _ = tx.send((job_index, pending));
+            job_index += 1;
+            // The writer tracks responses, so finished jobs can leave the
+            // service's submission log — otherwise a long-lived serve would pin
+            // every frozen result in the log, defeating the cache's LRU bound.
+            service.forget_finished();
+        }
+        drop(tx); // EOF: the writer drains the remaining jobs, then exits
+        let result = writer.join().expect("writer thread panicked");
+        service.forget_finished();
+        result
+    })
+}
+
+/// The CI gate: pipe the running examples (plus an environment and a stats
+/// probe) through the protocol twice and check (1) every served report equals
+/// the direct-API serialization modulo measured timings, (2) the second pass is
+/// all cache hits with *byte-identical* full reports, (3) everything parses.
+fn run_smoke(service: &Service) {
+    use soteria::JsonValue;
+
+    let apps = soteria_corpus::running_apps();
+    let mut requests = String::new();
+    for (id, _) in &apps {
+        requests.push_str(&format!("app {id} corpus:{id}\n"));
+    }
+    requests.push_str("env RunningGroup SmokeAlarm,WaterLeakDetector,ThermostatEnergyControl\n");
+    requests.push_str("stats\n");
+
+    let pass = |label: &str| -> Vec<JsonValue> {
+        let mut out = Vec::new();
+        serve(requests.as_bytes(), &mut out, service).expect("serve pass");
+        String::from_utf8(out)
+            .expect("utf-8 responses")
+            .lines()
+            .map(|line| {
+                JsonValue::parse(line)
+                    .unwrap_or_else(|e| panic!("{label} response does not parse: {e}\n{line}"))
+            })
+            .collect()
+    };
+    let cold = pass("cold");
+    let warm = pass("warm");
+    assert_eq!(cold.len(), apps.len() + 2, "one response per request");
+    assert_eq!(cold.len(), warm.len());
+
+    let strip_timings = |report: &JsonValue| {
+        report
+            .clone()
+            .without("extraction_ms")
+            .without("verification_ms")
+            .without("union_ms")
+            .render()
+    };
+
+    // (1) Served app reports equal the direct API (measured timings excluded).
+    let mut direct_analyses: Vec<soteria::AppAnalysis> = Vec::with_capacity(apps.len());
+    for ((id, source), response) in apps.iter().zip(&cold) {
+        assert_eq!(response.get("status").and_then(|v| v.as_str()), Some("ok"), "{id}");
+        let direct = service.soteria().analyze_app(id, source).expect("running example parses");
+        let direct_json = soteria::app_analysis_json(&direct);
+        direct_analyses.push(direct);
+        let served = response.get("report").unwrap_or_else(|| panic!("{id}: no report"));
+        assert_eq!(
+            strip_timings(served),
+            strip_timings(&direct_json),
+            "{id}: served JSON diverges from the direct API"
+        );
+    }
+    // ... and the served environment equals the direct union analysis (over the
+    // member analyses already computed above).
+    let env_response = &cold[apps.len()];
+    assert_eq!(env_response.get("kind").and_then(|v| v.as_str()), Some("env"));
+    let direct_env =
+        service.soteria().analyze_environment("RunningGroup", &direct_analyses[..3]);
+    assert_eq!(
+        strip_timings(env_response.get("report").expect("env report")),
+        strip_timings(&soteria::environment_json(&direct_env)),
+        "environment JSON diverges from the direct API"
+    );
+
+    // (2) The warm pass is served from the cache, byte-identical.
+    for (cold_line, warm_line) in cold.iter().zip(&warm) {
+        if warm_line.get("kind").and_then(|v| v.as_str()) == Some("stats") {
+            continue;
+        }
+        assert_eq!(
+            warm_line.get("cache").and_then(|v| v.as_str()),
+            Some("hit"),
+            "resubmission was not a cache hit: {}",
+            warm_line.render()
+        );
+        assert_eq!(
+            warm_line.get("report").map(JsonValue::render),
+            cold_line.get("report").map(JsonValue::render),
+            "cached report is not byte-identical"
+        );
+    }
+
+    let stats = service.stats();
+    println!(
+        "soteria-serve smoke: OK ({} apps + 1 env served twice; warm pass all hits; \
+         cache: {} hits / {} misses; {} pool tasks on {} workers)",
+        apps.len(),
+        stats.app_cache.hits + stats.env_cache.hits,
+        stats.app_cache.misses + stats.env_cache.misses,
+        stats.tasks_executed,
+        stats.workers
+    );
+}
+
+fn main() {
+    let mut workers = 0usize;
+    let mut cache_capacity = 1024usize;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number");
+            }
+            "--cache" => {
+                cache_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cache needs a number");
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown flag '{other}' (expected --workers N, --cache N, --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let service = Service::new(
+        soteria::Soteria::new(),
+        ServiceOptions { workers, cache_capacity },
+    );
+    if smoke {
+        run_smoke(&service);
+        return;
+    }
+    let stdin = std::io::stdin();
+    // `Stdout` locks internally per write and is `Send`, which the writer
+    // thread needs; the serve loop flushes after every response line anyway.
+    let mut out = std::io::stdout();
+    serve(stdin.lock(), &mut out, &service).expect("serve loop");
+    let _ = out.flush();
+    let stats = service.stats();
+    eprintln!(
+        "soteria-serve: {} jobs ({} cache hits, {} coalesced) on {} workers",
+        stats.submitted,
+        stats.app_cache.hits + stats.env_cache.hits,
+        stats.coalesced,
+        stats.workers
+    );
+}

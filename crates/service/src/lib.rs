@@ -1,0 +1,300 @@
+//! `soteria-service`: a long-lived analysis service over the Soteria pipeline.
+//!
+//! PR 3 made corpus sweeps parallel but strictly *batch*: every call spawned
+//! scoped threads, parsing never overlapped verification, and nothing learned
+//! from one sweep to the next. This crate adds the missing execution layer for a
+//! production-shaped deployment, where thousands of independent app analyses
+//! arrive over time and results are pure functions of `(source, configuration)`:
+//!
+//! * **Job queue** — [`Service::submit_app`] / [`Service::submit_environment`]
+//!   return [`AppJob`] / [`EnvJob`] ticket handles immediately; results are
+//!   awaited individually ([`AppJob::wait`]) or drained in submission order
+//!   ([`Service::drain`]).
+//! * **Persistent worker pool** — jobs run on `soteria-exec`'s long-lived
+//!   [`WorkerPool`](soteria_exec::WorkerPool) (no per-call thread spawns). An
+//!   app job is two pipeline stages — ingest (parse → IR → model) and verify —
+//!   each a separate queue slot, so ingestion of app *N + 1* overlaps
+//!   verification of app *N*. Environment jobs park until their member analyses
+//!   exist; a worker is never blocked on a dependency.
+//! * **Content-addressed result cache** — FNV-1a 128 keys over the app source
+//!   plus the [`AnalysisConfig::fingerprint`] (thread counts excluded — they
+//!   never change results) into a bounded LRU with hit/miss/eviction counters.
+//!   Resubmitting analyzed content returns the frozen, byte-identical original.
+//! * **Wire protocol** — the `soteria-serve` bin reads newline-delimited
+//!   requests (inline source, a path, or a corpus id) and emits one JSON
+//!   response line per job, in submission order ([`protocol`]).
+//!
+//! Determinism is inherited, not re-proven: each job's analysis is the same pure
+//! function the batch path runs, so pooled + streamed + cached results are
+//! byte-identical to `Soteria::analyze_app` / `analyze_environment` at every
+//! worker count (`tests/parallel_determinism.rs` and `tests/service_cache.rs`
+//! gate this).
+//!
+//! [`AnalysisConfig::fingerprint`]: soteria_analysis::AnalysisConfig::fingerprint
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_service::{Service, CacheDisposition};
+//!
+//! let source = r#"
+//!     definition(name: "Water-Leak-Detector")
+//!     preferences { section("d") {
+//!         input "water_sensor", "capability.waterSensor"
+//!         input "valve_device", "capability.valve"
+//!     } }
+//!     def installed() { subscribe(water_sensor, "water.wet", h) }
+//!     def h(evt) { valve_device.close() }
+//! "#;
+//!
+//! let service = Service::with_defaults();
+//! let cold = service.submit_app("wld", source);
+//! let analysis = cold.wait().expect("parses");
+//! assert!(analysis.violations.is_empty());
+//!
+//! // Identical content: a cache hit returning the same frozen analysis.
+//! let warm = service.submit_app("wld", source);
+//! assert_eq!(warm.disposition(), CacheDisposition::Hit);
+//! assert!(std::sync::Arc::ptr_eq(&analysis, &warm.wait().unwrap()));
+//! ```
+
+pub mod cache;
+pub mod protocol;
+mod service;
+mod ticket;
+
+pub use cache::{app_cache_key, env_cache_key, CacheKey, CacheStats};
+pub use service::{
+    AppJob, AppResult, CacheDisposition, EnvJob, EnvResult, JobError, JobHandle, JobOutcome,
+    Service, ServiceOptions, ServiceStats,
+};
+pub use ticket::Ticket;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soteria::Soteria;
+    use soteria_analysis::AnalysisConfig;
+
+    const WATER_LEAK: &str = r#"
+        definition(name: "Water-Leak-Detector", category: "Safety & Security")
+        preferences {
+            section("When there's water detected...") {
+                input "water_sensor", "capability.waterSensor", title: "Where?"
+                input "valve_device", "capability.valve", title: "Valve device"
+            }
+        }
+        def installed() {
+            subscribe(water_sensor, "water.wet", waterWetHandler)
+        }
+        def waterWetHandler(evt) {
+            valve_device.close()
+        }
+    "#;
+
+    const SMOKE_ON: &str = r#"
+        definition(name: "Smoke-Light-On")
+        preferences { section("d") {
+            input "sw", "capability.switch"
+            input "smoke", "capability.smokeDetector"
+        } }
+        def installed() { subscribe(smoke, "smoke.detected", h) }
+        def h(evt) { sw.on() }
+    "#;
+
+    const SMOKE_OFF: &str = r#"
+        definition(name: "Smoke-Light-Off")
+        preferences { section("d") {
+            input "sw", "capability.switch"
+            input "smoke", "capability.smokeDetector"
+        } }
+        def installed() { subscribe(smoke, "smoke.detected", h) }
+        def h(evt) { sw.off() }
+    "#;
+
+    fn service_with_workers(workers: usize) -> Service {
+        Service::new(
+            Soteria::with_config(AnalysisConfig { threads: 1, ..AnalysisConfig::paper() }),
+            ServiceOptions { workers, ..ServiceOptions::default() },
+        )
+    }
+
+    #[test]
+    fn app_jobs_match_the_direct_api() {
+        let service = service_with_workers(2);
+        let direct = service.soteria().analyze_app("wld", WATER_LEAK).unwrap();
+        let job = service.submit_app("wld", WATER_LEAK);
+        let served = job.wait().expect("parses");
+        assert_eq!(job.disposition(), CacheDisposition::Miss);
+        assert_eq!(served.violations, direct.violations);
+        // The one legitimately run-dependent report line is the measured
+        // wall-clock; everything else must match the direct API byte for byte.
+        let stable = |report: String| -> String {
+            report.lines().filter(|l| !l.starts_with("extraction:")).collect()
+        };
+        assert_eq!(
+            stable(soteria::render_report(&served)),
+            stable(soteria::render_report(&direct))
+        );
+    }
+
+    #[test]
+    fn parse_errors_surface_through_tickets() {
+        let service = service_with_workers(1);
+        let job = service.submit_app("bad", "definition(");
+        match job.wait() {
+            Err(JobError::Parse(_)) => {}
+            other => panic!("expected a parse error, got ok={:?}", other.is_ok()),
+        }
+        // And the failure is frozen too: resubmission hits the cache.
+        let again = service.submit_app("bad", "definition(");
+        assert_eq!(again.disposition(), CacheDisposition::Hit);
+        assert!(again.wait().is_err());
+    }
+
+    #[test]
+    fn environments_wait_for_members_and_match_the_direct_api() {
+        let service = service_with_workers(2);
+        let a = service.submit_app("a", SMOKE_ON);
+        let b = service.submit_app("b", SMOKE_OFF);
+        // Submitted before the members are done: the job parks on its deps.
+        let env = service.submit_environment("G", &[a.clone(), b.clone()]);
+        let served = env.wait().expect("members parse");
+
+        let soteria = service.soteria();
+        let direct_a = soteria.analyze_app("a", SMOKE_ON).unwrap();
+        let direct_b = soteria.analyze_app("b", SMOKE_OFF).unwrap();
+        let direct = soteria.analyze_environment("G", &[direct_a, direct_b]);
+        assert_eq!(served.violations, direct.violations);
+        assert_eq!(
+            soteria::render_environment_report(&served),
+            soteria::render_environment_report(&direct)
+        );
+    }
+
+    #[test]
+    fn environment_by_names_rejects_unknown_members() {
+        let service = service_with_workers(1);
+        service.submit_app("known", WATER_LEAK);
+        assert!(service.submit_environment_by_names("G", &["known"]).is_ok());
+        let err = service.submit_environment_by_names("G", &["known", "ghost"]);
+        assert!(err.is_err(), "unknown member accepted");
+    }
+
+    #[test]
+    fn frozen_members_resolve_through_the_cache_not_the_registry() {
+        let service = service_with_workers(1);
+        let app = service.submit_app("a", WATER_LEAK);
+        app.wait().expect("parses"); // completion downgrades the registry entry
+        // The member ticket is rebuilt from the cache; the environment runs.
+        let env = service.submit_environment_by_names("G", &["a"]).unwrap();
+        assert!(env.wait().is_ok());
+        // If the frozen result is evicted, the name alone is not enough.
+        let tiny = Service::new(
+            Soteria::with_config(AnalysisConfig { threads: 1, ..AnalysisConfig::paper() }),
+            ServiceOptions { workers: 1, cache_capacity: 1 },
+        );
+        tiny.submit_app("a", WATER_LEAK).wait().expect("parses");
+        tiny.submit_app("b", SMOKE_ON).wait().expect("parses"); // evicts a
+        let err = match tiny.submit_environment_by_names("G", &["a"]) {
+            Err(message) => message,
+            Ok(_) => panic!("evicted member accepted"),
+        };
+        assert!(err.contains("evicted"), "stale member not reported: {err}");
+    }
+
+    #[test]
+    fn forget_finished_drops_only_completed_jobs_from_the_log() {
+        let service = service_with_workers(1);
+        service.submit_app("w", WATER_LEAK).wait().expect("parses");
+        service.submit_app("on", SMOKE_ON); // may still be in flight
+        let dropped = service.forget_finished();
+        assert!(dropped >= 1, "finished job kept in the log");
+        // Whatever remains in the log is still drainable, in order.
+        let drained = service.drain();
+        assert!(drained.len() <= 1);
+        assert_eq!(service.stats().submitted, 2);
+    }
+
+    #[test]
+    fn environment_over_a_failed_member_reports_member_failed() {
+        let service = service_with_workers(1);
+        let bad = service.submit_app("bad", "definition(");
+        let env = service.submit_environment("G", &[bad]);
+        match env.wait() {
+            Err(JobError::MemberFailed { group, member }) => {
+                assert_eq!((group.as_str(), member.as_str()), ("G", "bad"));
+            }
+            other => panic!("expected MemberFailed, got ok={:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn drain_returns_outcomes_in_submission_order() {
+        let service = service_with_workers(2);
+        service.submit_app("w", WATER_LEAK);
+        service.submit_app("on", SMOKE_ON);
+        let on = service.submit_app("on", SMOKE_ON); // hit or coalesced
+        service.submit_environment_by_names("G", &["on"]).unwrap();
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), 4);
+        let names: Vec<&str> = outcomes
+            .iter()
+            .map(|o| match o {
+                JobOutcome::App { name, .. } => name.as_str(),
+                JobOutcome::Environment { name, .. } => name.as_str(),
+            })
+            .collect();
+        assert_eq!(names, vec!["w", "on", "on", "G"]);
+        assert_ne!(on.disposition(), CacheDisposition::Miss, "identical resubmission recomputed");
+        // Drained log resets; stats survive.
+        assert_eq!(service.drain().len(), 0);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 4);
+        assert!(stats.app_cache.hits + stats.coalesced >= 1);
+    }
+
+    #[test]
+    fn identical_in_flight_submissions_coalesce_to_one_computation() {
+        let service = service_with_workers(1);
+        let first = service.submit_app("w", WATER_LEAK);
+        // Race-free check: submitted twice back-to-back, the second either hits
+        // the cache (first already finished) or coalesces — never a second miss.
+        let second = service.submit_app("w", WATER_LEAK);
+        assert_ne!(second.disposition(), CacheDisposition::Miss);
+        let a = first.wait().unwrap();
+        let b = second.wait().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "coalesced job recomputed");
+        // Environments coalesce the same way: identical group over identical
+        // member content, submitted back-to-back, computes the union once.
+        let env_first = service.submit_environment_by_names("G", &["w"]).unwrap();
+        let env_second = service.submit_environment_by_names("G", &["w"]).unwrap();
+        assert_ne!(env_second.disposition(), CacheDisposition::Miss);
+        assert!(
+            std::sync::Arc::ptr_eq(&env_first.wait().unwrap(), &env_second.wait().unwrap()),
+            "coalesced environment recomputed"
+        );
+    }
+
+    #[test]
+    fn failed_jobs_surface_as_errors_and_never_wedge_the_drain() {
+        // No safe corpus input makes the analyzer panic, so the catch_unwind →
+        // JobError::Internal funnel in schedule_app/schedule_environment is
+        // covered structurally; this gate proves the failure surface itself:
+        // errors flow through tickets, drain() completes, later jobs still run.
+        assert_eq!(
+            JobError::Internal("boom at model build".to_string()).to_string(),
+            "analysis failed: boom at model build"
+        );
+        let service = service_with_workers(1);
+        service.submit_app("bad", "definition(");
+        service.submit_app("w", WATER_LEAK);
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), 2);
+        assert!(matches!(
+            &outcomes[0],
+            JobOutcome::App { result: Err(JobError::Parse(_)), .. }
+        ));
+        assert!(matches!(&outcomes[1], JobOutcome::App { result: Ok(_), .. }));
+    }
+}

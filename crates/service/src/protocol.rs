@@ -1,0 +1,310 @@
+//! The `soteria-serve` wire protocol: newline-delimited requests in, one JSON
+//! response line per request out, in submission order.
+//!
+//! # Requests
+//!
+//! One request per line; blank lines and `#` comments are ignored. Fields are
+//! whitespace-separated:
+//!
+//! ```text
+//! app <name> inline:<escaped source>    # source inline, \n \t \r \\ escaped
+//! app <name> path:<file>               # source read from a file
+//! app <name> corpus:<id>              # a built-in corpus app (e.g. SmokeAlarm, App5, TP3)
+//! env <group> <member,member,...>     # union analysis over prior app jobs, by name
+//! stats                               # service counter snapshot
+//! ```
+//!
+//! # Responses
+//!
+//! One compact JSON object per line, `"job"` numbering requests from 0:
+//!
+//! ```text
+//! {"job":0,"kind":"app","name":...,"status":"ok","cache":"hit|miss|coalesced","report":{...}}
+//! {"job":1,"kind":"env","name":...,"status":"ok","cache":...,"report":{...}}
+//! {"job":2,"kind":"error","status":"error","error":"..."}
+//! {"job":3,"kind":"stats","status":"ok","stats":{...}}
+//! ```
+//!
+//! `report` objects are [`soteria::app_analysis_json`] /
+//! [`soteria::environment_json`] — cached responses are byte-identical to the
+//! original, including the measured timings frozen with the result.
+
+use crate::service::{AppResult, CacheDisposition, EnvResult, ServiceStats};
+use soteria::{app_analysis_json, environment_json, JsonValue};
+
+/// Where an `app` request's source comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppSource {
+    /// Inline escaped source text (already unescaped here).
+    Inline(String),
+    /// A path to read.
+    Path(String),
+    /// A built-in corpus app id.
+    Corpus(String),
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Analyze one app.
+    App {
+        /// Job name (also the handle for later `env` members).
+        name: String,
+        /// Source location.
+        source: AppSource,
+    },
+    /// Analyze a multi-app environment over prior app jobs.
+    Environment {
+        /// Group name.
+        name: String,
+        /// Member app job names.
+        members: Vec<String>,
+    },
+    /// Emit a service counter snapshot.
+    Stats,
+}
+
+/// Escapes source text for the `inline:` request form.
+pub fn escape(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    for c in source.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+pub fn unescape(text: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(other) => return Err(format!("invalid escape '\\{other}'")),
+            None => return Err("dangling '\\' at end of line".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits the leading whitespace-delimited token off, returning it and the
+/// remainder with any separator run consumed (so `app  demo` parses like
+/// `app demo`).
+fn next_field(text: &str) -> (&str, &str) {
+    let text = text.trim_start();
+    match text.find(char::is_whitespace) {
+        Some(end) => (&text[..end], text[end..].trim_start()),
+        None => (text, ""),
+    }
+}
+
+/// Parses one request line. `Ok(None)` for blank lines and comments.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (verb, rest) = next_field(line);
+    match verb {
+        "app" => {
+            let (name, rest) = next_field(rest);
+            if name.is_empty() {
+                return Err("app: missing name".to_string());
+            }
+            let name = name.to_string();
+            let location = rest;
+            if location.is_empty() {
+                return Err("app: missing source".to_string());
+            }
+            let source = match location.split_once(':') {
+                Some(("inline", text)) => AppSource::Inline(unescape(text)?),
+                Some(("path", path)) => AppSource::Path(path.to_string()),
+                Some(("corpus", id)) => AppSource::Corpus(id.to_string()),
+                _ => {
+                    return Err(format!(
+                        "app: source must be inline:<escaped>, path:<file>, or corpus:<id> (got '{location}')"
+                    ))
+                }
+            };
+            Ok(Some(Request::App { name, source }))
+        }
+        "env" => {
+            let (name, rest) = next_field(rest);
+            if name.is_empty() {
+                return Err("env: missing group name".to_string());
+            }
+            let members: Vec<String> = rest
+                .split(',')
+                .map(|m| m.trim().to_string())
+                .filter(|m| !m.is_empty())
+                .collect();
+            if members.is_empty() {
+                return Err("env: missing member list".to_string());
+            }
+            Ok(Some(Request::Environment { name: name.to_string(), members }))
+        }
+        "stats" => Ok(Some(Request::Stats)),
+        other => Err(format!("unknown request '{other}'")),
+    }
+}
+
+fn response_header(job: usize, kind: &str, status: &str) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        ("job", JsonValue::uint(job)),
+        ("kind", JsonValue::string(kind.to_string())),
+        ("status", JsonValue::string(status.to_string())),
+    ]
+}
+
+/// The response line for a finished app job.
+pub fn app_response(
+    job: usize,
+    name: &str,
+    disposition: CacheDisposition,
+    result: &AppResult,
+) -> JsonValue {
+    let mut members = response_header(
+        job,
+        "app",
+        if result.is_ok() { "ok" } else { "error" },
+    );
+    members.push(("name", JsonValue::string(name)));
+    members.push(("cache", JsonValue::string(disposition.as_str())));
+    match result {
+        Ok(analysis) => members.push(("report", app_analysis_json(analysis))),
+        Err(error) => members.push(("error", JsonValue::string(error.to_string()))),
+    }
+    JsonValue::object(members)
+}
+
+/// The response line for a finished environment job.
+pub fn env_response(
+    job: usize,
+    name: &str,
+    disposition: CacheDisposition,
+    result: &EnvResult,
+) -> JsonValue {
+    let mut members = response_header(
+        job,
+        "env",
+        if result.is_ok() { "ok" } else { "error" },
+    );
+    members.push(("name", JsonValue::string(name)));
+    members.push(("cache", JsonValue::string(disposition.as_str())));
+    match result {
+        Ok(env) => members.push(("report", environment_json(env))),
+        Err(error) => members.push(("error", JsonValue::string(error.to_string()))),
+    }
+    JsonValue::object(members)
+}
+
+/// The response line for a malformed or unservable request.
+pub fn error_response(job: usize, error: &str) -> JsonValue {
+    let mut members = response_header(job, "error", "error");
+    members.push(("error", JsonValue::string(error)));
+    JsonValue::object(members)
+}
+
+/// The response line for a `stats` request.
+pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
+    let cache = |c: crate::cache::CacheStats| {
+        JsonValue::object([
+            ("hits", JsonValue::Number(c.hits as f64)),
+            ("misses", JsonValue::Number(c.misses as f64)),
+            ("evictions", JsonValue::Number(c.evictions as f64)),
+            ("entries", JsonValue::uint(c.entries)),
+        ])
+    };
+    let mut members = response_header(job, "stats", "ok");
+    members.push((
+        "stats",
+        JsonValue::object([
+            ("workers", JsonValue::uint(stats.workers)),
+            ("tasks_executed", JsonValue::Number(stats.tasks_executed as f64)),
+            ("submitted", JsonValue::Number(stats.submitted as f64)),
+            ("coalesced", JsonValue::Number(stats.coalesced as f64)),
+            ("app_cache", cache(stats.app_cache)),
+            ("env_cache", cache(stats.env_cache)),
+        ]),
+    ));
+    JsonValue::object(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_sources() {
+        let source = "def installed() {\n\tsubscribe(x, \"a\\b\", h)\r\n}";
+        assert_eq!(unescape(&escape(source)).unwrap(), source);
+        assert!(!escape(source).contains('\n'), "escaped text must be single-line");
+    }
+
+    #[test]
+    fn parses_every_request_form() {
+        assert_eq!(parse_request("").unwrap(), None);
+        assert_eq!(parse_request("# comment").unwrap(), None);
+        assert_eq!(
+            parse_request("app wld inline:def x() {\\n}").unwrap(),
+            Some(Request::App {
+                name: "wld".into(),
+                source: AppSource::Inline("def x() {\n}".into())
+            })
+        );
+        assert_eq!(
+            parse_request("app a path:/tmp/a.groovy").unwrap(),
+            Some(Request::App { name: "a".into(), source: AppSource::Path("/tmp/a.groovy".into()) })
+        );
+        assert_eq!(
+            parse_request("app s corpus:SmokeAlarm").unwrap(),
+            Some(Request::App { name: "s".into(), source: AppSource::Corpus("SmokeAlarm".into()) })
+        );
+        assert_eq!(
+            parse_request("env G a, b ,c").unwrap(),
+            Some(Request::Environment {
+                name: "G".into(),
+                members: vec!["a".into(), "b".into(), "c".into()]
+            })
+        );
+        assert_eq!(parse_request("stats").unwrap(), Some(Request::Stats));
+        // Separator runs collapse: doubled spaces and tabs parse identically.
+        assert_eq!(
+            parse_request("app  demo \t corpus:SmokeAlarm").unwrap(),
+            parse_request("app demo corpus:SmokeAlarm").unwrap()
+        );
+        assert_eq!(
+            parse_request("env  G  a,b").unwrap(),
+            parse_request("env G a,b").unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "app",
+            "app name",
+            "app name source-without-scheme",
+            "app name file:/x",
+            "env G",
+            "env",
+            "frobnicate x",
+            "app n inline:bad\\q",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! The long-lived analysis service: job queue + worker pool + result cache.
+
+use crate::cache::{app_cache_key, env_cache_key, CacheKey, CacheStats, ResultCache};
+use crate::ticket::{PendingJob, Ticket};
+use soteria::{AppAnalysis, EnvironmentAnalysis, Soteria};
+use soteria_exec::WorkerPool;
+use soteria_lang::ParseError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The app source failed to parse.
+    Parse(ParseError),
+    /// An environment member's app job failed, so the union cannot be built.
+    MemberFailed {
+        /// The environment whose member failed.
+        group: String,
+        /// The failing member app.
+        member: String,
+    },
+    /// The analysis itself panicked. The panic is caught at the job boundary
+    /// and reported through the ticket — one adversarial input must never wedge
+    /// the response stream of a long-lived service.
+    Internal(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Parse(e) => write!(f, "parse error: {e}"),
+            JobError::MemberFailed { group, member } => {
+                write!(f, "environment {group}: member {member} failed")
+            }
+            JobError::Internal(message) => write!(f, "analysis failed: {message}"),
+        }
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "analysis panicked".to_string())
+}
+
+/// The outcome of an app job: the frozen analysis, shared by every holder.
+pub type AppResult = Result<Arc<AppAnalysis>, JobError>;
+/// The outcome of an environment job.
+pub type EnvResult = Result<Arc<EnvironmentAnalysis>, JobError>;
+
+/// How a submission resolved against the result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Identical content was already analyzed; the frozen result was returned.
+    Hit,
+    /// New content; the analysis was scheduled.
+    Miss,
+    /// An identical submission was already *in flight*; this one shares its
+    /// ticket instead of recomputing.
+    Coalesced,
+}
+
+impl CacheDisposition {
+    /// Lower-case protocol tag (`"hit"` / `"miss"` / `"coalesced"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Handle to a submitted app job.
+#[derive(Clone)]
+pub struct AppJob {
+    name: String,
+    key: CacheKey,
+    disposition: CacheDisposition,
+    ticket: Ticket<AppResult>,
+}
+
+impl AppJob {
+    /// The submitted app name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job's content address (input to member-dependent environment keys).
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// How the submission resolved against the cache.
+    pub fn disposition(&self) -> CacheDisposition {
+        self.disposition
+    }
+
+    /// True once [`AppJob::wait`] would not block.
+    pub fn is_ready(&self) -> bool {
+        self.ticket.is_ready()
+    }
+
+    /// Blocks until the analysis (or error) is available.
+    pub fn wait(&self) -> AppResult {
+        self.ticket.wait()
+    }
+}
+
+/// Handle to a submitted environment job.
+#[derive(Clone)]
+pub struct EnvJob {
+    name: String,
+    key: CacheKey,
+    disposition: CacheDisposition,
+    ticket: Ticket<EnvResult>,
+}
+
+impl EnvJob {
+    /// The submitted group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job's content address.
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// How the submission resolved against the cache.
+    pub fn disposition(&self) -> CacheDisposition {
+        self.disposition
+    }
+
+    /// True once [`EnvJob::wait`] would not block.
+    pub fn is_ready(&self) -> bool {
+        self.ticket.is_ready()
+    }
+
+    /// Blocks until the environment analysis (or error) is available.
+    pub fn wait(&self) -> EnvResult {
+        self.ticket.wait()
+    }
+}
+
+/// A submitted job of either kind, in the service's submission log.
+#[derive(Clone)]
+pub enum JobHandle {
+    /// An app analysis job.
+    App(AppJob),
+    /// An environment analysis job.
+    Environment(EnvJob),
+}
+
+impl JobHandle {
+    /// The submitted name (app or group).
+    pub fn name(&self) -> &str {
+        match self {
+            JobHandle::App(job) => job.name(),
+            JobHandle::Environment(job) => job.name(),
+        }
+    }
+
+    /// True once the job's result is available.
+    pub fn is_ready(&self) -> bool {
+        match self {
+            JobHandle::App(job) => job.is_ready(),
+            JobHandle::Environment(job) => job.is_ready(),
+        }
+    }
+
+    /// Blocks for the result.
+    pub fn outcome(&self) -> JobOutcome {
+        match self {
+            JobHandle::App(job) => JobOutcome::App {
+                name: job.name.clone(),
+                disposition: job.disposition,
+                result: job.wait(),
+            },
+            JobHandle::Environment(job) => JobOutcome::Environment {
+                name: job.name.clone(),
+                disposition: job.disposition,
+                result: job.wait(),
+            },
+        }
+    }
+}
+
+/// A finished job, as returned by [`Service::drain`] in submission order.
+pub enum JobOutcome {
+    /// An app analysis finished (or failed to parse).
+    App {
+        /// Submitted app name.
+        name: String,
+        /// Cache resolution of the submission.
+        disposition: CacheDisposition,
+        /// The frozen analysis or the error.
+        result: AppResult,
+    },
+    /// An environment analysis finished (or a member failed).
+    Environment {
+        /// Submitted group name.
+        name: String,
+        /// Cache resolution of the submission.
+        disposition: CacheDisposition,
+        /// The frozen analysis or the error.
+        result: EnvResult,
+    },
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Long-lived worker threads (`0` = the analyzer's resolved thread count:
+    /// `AnalysisConfig::threads`, then `SOTERIA_THREADS`, then available
+    /// parallelism).
+    pub workers: usize,
+    /// Bound on each result cache (apps and environments separately).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions { workers: 0, cache_capacity: 1024 }
+    }
+}
+
+/// Counter snapshot of a running service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Long-lived pool workers.
+    pub workers: usize,
+    /// Pool tasks executed so far (ingest + verify + environment stages).
+    pub tasks_executed: u64,
+    /// Jobs submitted (apps + environments).
+    pub submitted: u64,
+    /// Submissions that attached to an identical in-flight job.
+    pub coalesced: u64,
+    /// App result cache counters.
+    pub app_cache: CacheStats,
+    /// Environment result cache counters.
+    pub env_cache: CacheStats,
+}
+
+/// The latest submission under one app name. While the job is in flight the
+/// ticket is held here (for coalescing and environment members); once the
+/// result freezes into the cache the ticket is dropped, so the registry pins
+/// only a 16-byte key per name — never a whole analysis outside the LRU bound.
+struct RegistryEntry {
+    key: CacheKey,
+    ticket: Option<Ticket<AppResult>>,
+}
+
+struct ServiceInner {
+    soteria: Soteria,
+    /// Engine discriminator folded into cache keys (engine choice can change
+    /// counterexample traces, hence reports).
+    engine_tag: String,
+    config_fingerprint: u64,
+    pool: WorkerPool,
+    apps: Mutex<ResultCache<AppResult>>,
+    envs: Mutex<ResultCache<EnvResult>>,
+    /// Latest submission per app name, for in-flight coalescing and name-based
+    /// environment members. Entries are never evicted: a distinct name costs
+    /// its string plus a 16-byte key for the service lifetime (results
+    /// themselves live only in the bounded caches).
+    registry: Mutex<HashMap<String, RegistryEntry>>,
+    /// In-flight environment jobs by content key, so identical concurrent
+    /// `env` submissions coalesce instead of running the union twice. Entries
+    /// are removed at completion.
+    envs_in_flight: Mutex<HashMap<u128, Ticket<EnvResult>>>,
+    submitted: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl ServiceInner {
+    fn finish_app(
+        &self,
+        name: &str,
+        key: CacheKey,
+        ticket: &Ticket<AppResult>,
+        result: AppResult,
+    ) {
+        self.apps.lock().unwrap().insert(key, result.clone());
+        self.release(ticket.fulfil(result));
+        // The cache owns the frozen result now; stop pinning it via the name
+        // registry (unless a newer submission already replaced the entry).
+        let mut registry = self.registry.lock().unwrap();
+        if let Some(entry) = registry.get_mut(name) {
+            if entry.key == key {
+                entry.ticket = None;
+            }
+        }
+    }
+
+    fn finish_env(&self, key: CacheKey, ticket: &Ticket<EnvResult>, result: EnvResult) {
+        // Freeze into the cache before leaving the in-flight map, so a
+        // concurrent submitter always finds the result in one place or the
+        // other; fulfil last, so in-flight tickets are never already ready.
+        self.envs.lock().unwrap().insert(key, result.clone());
+        self.envs_in_flight.lock().unwrap().remove(&key.0);
+        self.release(ticket.fulfil(result));
+    }
+
+    /// Enqueues every parked job whose last dependency this fulfilment resolved.
+    fn release(&self, subscribers: Vec<Arc<PendingJob>>) {
+        for job in subscribers {
+            if let Some(task) = job.dep_ready() {
+                self.pool.spawn(task);
+            }
+        }
+    }
+}
+
+/// A long-lived analysis service.
+///
+/// Submissions return immediately with a ticket handle; analyses run on the
+/// service's persistent worker pool. An app job is *two* pipeline stages —
+/// ingest (parse → IR → symbolic execution → state model) and verify — each its
+/// own queue slot, so ingestion of app *N + 1* overlaps verification of app *N*
+/// whenever at least two workers (or one worker and an idle pipeline stage) are
+/// available. Environment jobs park until their member app analyses exist, then
+/// run without ever blocking a worker on a dependency.
+///
+/// Results are pure functions of `(content, configuration)` — the determinism
+/// gates prove worker counts never change them — so every finished job is frozen
+/// into a bounded content-addressed LRU cache: resubmitting identical content is
+/// a [`CacheDisposition::Hit`] returning the byte-identical original.
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    submissions: Mutex<Vec<JobHandle>>,
+}
+
+impl Service {
+    /// Starts a service around an analyzer.
+    pub fn new(soteria: Soteria, options: ServiceOptions) -> Self {
+        let workers =
+            if options.workers > 0 { options.workers } else { soteria.threads() };
+        let inner = ServiceInner {
+            engine_tag: format!("{:?}", soteria.engine),
+            config_fingerprint: soteria.config.fingerprint(),
+            pool: WorkerPool::new(workers),
+            apps: Mutex::new(ResultCache::new(options.cache_capacity)),
+            envs: Mutex::new(ResultCache::new(options.cache_capacity)),
+            registry: Mutex::new(HashMap::new()),
+            envs_in_flight: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            soteria,
+        };
+        Service { inner: Arc::new(inner), submissions: Mutex::new(Vec::new()) }
+    }
+
+    /// A service with the paper's analyzer and default options.
+    pub fn with_defaults() -> Self {
+        Service::new(Soteria::new(), ServiceOptions::default())
+    }
+
+    /// The underlying analyzer (shared immutably with the workers).
+    pub fn soteria(&self) -> &Soteria {
+        &self.inner.soteria
+    }
+
+    /// The pool's worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.inner.pool.workers()
+    }
+
+    /// Submits one app for analysis; returns immediately.
+    pub fn submit_app(&self, name: &str, source: &str) -> AppJob {
+        let inner = &self.inner;
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let key =
+            app_cache_key(name, source, inner.config_fingerprint, &inner.engine_tag);
+
+        // One registry lock spans the coalesce/cache/schedule decision, so
+        // concurrent identical submissions cannot both schedule: the second one
+        // either coalesces onto the in-flight ticket or — since finish_app
+        // freezes the cache *before* fulfilling — hits the cache.
+        let mut registry = inner.registry.lock().unwrap();
+        let in_flight = registry.get(name).and_then(|entry| {
+            entry
+                .ticket
+                .as_ref()
+                .filter(|t| entry.key == key && !t.is_ready())
+                .cloned()
+        });
+        let (ticket, disposition) = if let Some(ticket) = in_flight {
+            inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            (ticket, CacheDisposition::Coalesced)
+        } else if let Some(result) = inner.apps.lock().unwrap().get(key) {
+            // Frozen result: the registry needs only the key.
+            registry.insert(name.to_string(), RegistryEntry { key, ticket: None });
+            (Ticket::fulfilled(result), CacheDisposition::Hit)
+        } else {
+            let ticket = Ticket::new();
+            // Register before scheduling, so a fast worker's completion
+            // downgrade cannot race ahead of the registration.
+            registry.insert(
+                name.to_string(),
+                RegistryEntry { key, ticket: Some(ticket.clone()) },
+            );
+            (ticket, CacheDisposition::Miss)
+        };
+        drop(registry);
+        if disposition == CacheDisposition::Miss {
+            self.schedule_app(key, name.to_string(), source.to_string(), ticket.clone());
+        }
+
+        let job = AppJob { name: name.to_string(), key, disposition, ticket };
+        self.submissions.lock().unwrap().push(JobHandle::App(job.clone()));
+        job
+    }
+
+    /// Enqueues the two-stage app pipeline: an ingest task that, on success,
+    /// enqueues the verify task as a separate queue slot.
+    fn schedule_app(
+        &self,
+        key: CacheKey,
+        name: String,
+        source: String,
+        ticket: Ticket<AppResult>,
+    ) {
+        let inner = Arc::clone(&self.inner);
+        self.inner.pool.spawn(move || {
+            // Panics are job failures, not worker deaths: an unfulfilled ticket
+            // would wedge drain() and every later serve response forever.
+            let ingested = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inner.soteria.ingest_app(&name, &source)
+            }));
+            match ingested {
+                Err(payload) => {
+                    let error = JobError::Internal(panic_message(payload));
+                    inner.finish_app(&name, key, &ticket, Err(error));
+                }
+                Ok(Err(e)) => inner.finish_app(&name, key, &ticket, Err(JobError::Parse(e))),
+                Ok(Ok(ingested)) => {
+                    // Stage 2 re-enters the queue so the worker is free to ingest
+                    // the next submission before (or while) this one verifies.
+                    let verify_inner = Arc::clone(&inner);
+                    inner.pool.spawn(move || {
+                        let analysis = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| {
+                                verify_inner.soteria.verify_app(ingested)
+                            }),
+                        );
+                        let result = match analysis {
+                            Ok(analysis) => Ok(Arc::new(analysis)),
+                            Err(payload) => {
+                                Err(JobError::Internal(panic_message(payload)))
+                            }
+                        };
+                        verify_inner.finish_app(&name, key, &ticket, result);
+                    });
+                }
+            }
+        });
+    }
+
+    /// Submits a multi-app environment over previously submitted app jobs;
+    /// returns immediately. The job parks until every member analysis exists.
+    pub fn submit_environment(&self, group: &str, members: &[AppJob]) -> EnvJob {
+        let inner = &self.inner;
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let member_keys: Vec<CacheKey> = members.iter().map(|m| m.key).collect();
+        let key =
+            env_cache_key(group, &member_keys, inner.config_fingerprint, &inner.engine_tag);
+
+        // One in-flight-map lock spans the decision (mirroring submit_app), so
+        // identical concurrent environment submissions coalesce onto one union
+        // computation instead of both scheduling.
+        let mut in_flight = inner.envs_in_flight.lock().unwrap();
+        let (ticket, disposition) = if let Some(ticket) = in_flight.get(&key.0) {
+            inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            (ticket.clone(), CacheDisposition::Coalesced)
+        } else if let Some(result) = inner.envs.lock().unwrap().get(key) {
+            (Ticket::fulfilled(result), CacheDisposition::Hit)
+        } else {
+            let ticket = Ticket::new();
+            in_flight.insert(key.0, ticket.clone());
+            (ticket, CacheDisposition::Miss)
+        };
+        drop(in_flight);
+        if disposition == CacheDisposition::Miss {
+            self.schedule_environment(key, group.to_string(), members, ticket.clone());
+        }
+
+        let job = EnvJob { name: group.to_string(), key, disposition, ticket };
+        self.submissions.lock().unwrap().push(JobHandle::Environment(job.clone()));
+        job
+    }
+
+    /// Submits an environment whose members are named app jobs already submitted
+    /// to this service (the `soteria-serve` protocol shape). Fails fast on a
+    /// member name that was never submitted, or whose frozen result has since
+    /// been evicted from the cache (resubmit the app to reanalyze it).
+    pub fn submit_environment_by_names(
+        &self,
+        group: &str,
+        members: &[&str],
+    ) -> Result<EnvJob, String> {
+        let registry = self.inner.registry.lock().unwrap();
+        let member_jobs: Vec<AppJob> = members
+            .iter()
+            .map(|&member| {
+                let entry = registry
+                    .get(member)
+                    .ok_or_else(|| format!("unknown environment member '{member}'"))?;
+                let ticket = match &entry.ticket {
+                    Some(ticket) => ticket.clone(), // still in flight
+                    None => {
+                        // Frozen: rebuild a fulfilled ticket from the cache.
+                        let result =
+                            self.inner.apps.lock().unwrap().get(entry.key).ok_or_else(
+                                || {
+                                    format!(
+                                        "environment member '{member}' was evicted from the \
+                                         result cache; resubmit it"
+                                    )
+                                },
+                            )?;
+                        Ticket::fulfilled(result)
+                    }
+                };
+                Ok(AppJob {
+                    name: member.to_string(),
+                    key: entry.key,
+                    disposition: CacheDisposition::Hit, // unused for members
+                    ticket,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        drop(registry);
+        Ok(self.submit_environment(group, &member_jobs))
+    }
+
+    /// Parks the environment job behind its member tickets and enqueues it once
+    /// the last one resolves (immediately, if all are already frozen).
+    fn schedule_environment(
+        &self,
+        key: CacheKey,
+        group: String,
+        members: &[AppJob],
+        ticket: Ticket<EnvResult>,
+    ) {
+        let inner = Arc::clone(&self.inner);
+        let member_handles: Vec<(String, Ticket<AppResult>)> =
+            members.iter().map(|m| (m.name.clone(), m.ticket.clone())).collect();
+        let member_tickets: Vec<Ticket<AppResult>> =
+            member_handles.iter().map(|(_, t)| t.clone()).collect();
+        let task = Box::new(move || {
+            let mut analyses: Vec<Arc<AppAnalysis>> =
+                Vec::with_capacity(member_handles.len());
+            for (member, member_ticket) in &member_handles {
+                // Dependencies resolved before this task was enqueued, so the
+                // wait is a lock-and-read, never a block.
+                match member_ticket.wait() {
+                    Ok(analysis) => analyses.push(analysis),
+                    Err(_) => {
+                        let error = JobError::MemberFailed {
+                            group: group.clone(),
+                            member: member.clone(),
+                        };
+                        inner.finish_env(key, &ticket, Err(error));
+                        return;
+                    }
+                }
+            }
+            // Members stay behind their frozen Arcs — no per-job deep copies.
+            let env = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let refs: Vec<&AppAnalysis> = analyses.iter().map(Arc::as_ref).collect();
+                inner.soteria.analyze_environment_refs(&group, &refs)
+            }));
+            let result = match env {
+                Ok(env) => Ok(Arc::new(env)),
+                Err(payload) => Err(JobError::Internal(panic_message(payload))),
+            };
+            inner.finish_env(key, &ticket, result);
+        });
+        let job = PendingJob::new(task);
+        for member_ticket in &member_tickets {
+            member_ticket.subscribe(&job);
+        }
+        // Drop the creation guard; if every member was already frozen this
+        // enqueues the task right here.
+        if let Some(task) = job.dep_ready() {
+            self.inner.pool.spawn(task);
+        }
+    }
+
+    /// Jobs submitted since the last [`Service::drain`] whose results are not
+    /// yet available.
+    pub fn pending(&self) -> usize {
+        self.submissions.lock().unwrap().iter().filter(|j| !j.is_ready()).count()
+    }
+
+    /// Drops finished jobs from the submission log without waiting, returning
+    /// how many were dropped. For callers that track responses themselves (the
+    /// `soteria-serve` loop): without this, a long-lived service would pin every
+    /// job's frozen result in the log forever, defeating the cache's LRU bound.
+    /// Jobs forgotten here are simply absent from a later [`Service::drain`].
+    pub fn forget_finished(&self) -> usize {
+        let mut log = self.submissions.lock().unwrap();
+        let before = log.len();
+        log.retain(|job| !job.is_ready());
+        before - log.len()
+    }
+
+    /// Takes the submission log and waits for every job, returning outcomes in
+    /// submission order.
+    pub fn drain(&self) -> Vec<JobOutcome> {
+        let handles: Vec<JobHandle> =
+            std::mem::take(self.submissions.lock().unwrap().as_mut());
+        handles.iter().map(JobHandle::outcome).collect()
+    }
+
+    /// Counter snapshot (cache hit/miss/eviction, pool throughput, coalescing).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            workers: self.inner.pool.workers(),
+            tasks_executed: self.inner.pool.tasks_executed(),
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            coalesced: self.inner.coalesced.load(Ordering::Relaxed),
+            app_cache: self.inner.apps.lock().unwrap().stats(),
+            env_cache: self.inner.envs.lock().unwrap().stats(),
+        }
+    }
+}

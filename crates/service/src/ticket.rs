@@ -1,0 +1,187 @@
+//! Ticket handles: the await side of the job queue.
+//!
+//! A [`Ticket`] is a shared one-shot cell a worker fulfils exactly once and any
+//! number of holders may wait on. Two consumption styles, per the service API:
+//! block on one result ([`Ticket::wait`]), or poll ([`Ticket::is_ready`]) while
+//! draining responses in submission order.
+//!
+//! Tickets also drive *dependency scheduling*: an environment job must not run
+//! (or even occupy a queue slot) before its member app analyses exist, because a
+//! blocking wait inside a width-1 pool would deadlock. Instead the job is parked
+//! as a [`PendingJob`] subscribed to its member tickets; the last fulfilling
+//! ticket hands the job's task back to the fulfiller, which enqueues it. By the
+//! time the task runs, every dependency wait returns immediately.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A fire-and-forget task, identical to the pool's task shape.
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A job parked until its dependencies are fulfilled.
+pub(crate) struct PendingJob {
+    /// Outstanding dependencies plus one creation guard (so registering
+    /// subscriptions can race with fulfilments without firing early).
+    pending: AtomicUsize,
+    task: Mutex<Option<Task>>,
+}
+
+impl PendingJob {
+    /// Parks `task` behind a creation guard; call [`PendingJob::dep_ready`] once
+    /// after all subscriptions are registered to drop the guard.
+    pub(crate) fn new(task: Task) -> Arc<Self> {
+        Arc::new(PendingJob { pending: AtomicUsize::new(1), task: Mutex::new(Some(task)) })
+    }
+
+    fn add_dep(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Counts one dependency (or the creation guard) down. Returns the task to
+    /// enqueue when the last dependency resolved — to exactly one caller.
+    pub(crate) fn dep_ready(&self) -> Option<Task> {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.task.lock().unwrap().take()
+        } else {
+            None
+        }
+    }
+}
+
+struct TicketCell<T> {
+    value: Option<T>,
+    subscribers: Vec<Arc<PendingJob>>,
+}
+
+struct TicketState<T> {
+    cell: Mutex<TicketCell<T>>,
+    ready: Condvar,
+}
+
+/// A shared one-shot result cell: fulfilled once by a worker, awaited by any
+/// number of holders. Cloning shares the same underlying slot.
+pub struct Ticket<T> {
+    state: Arc<TicketState<T>>,
+}
+
+impl<T> Clone for Ticket<T> {
+    fn clone(&self) -> Self {
+        Ticket { state: Arc::clone(&self.state) }
+    }
+}
+
+impl<T: Clone> Ticket<T> {
+    /// An unfulfilled ticket.
+    pub(crate) fn new() -> Self {
+        Ticket {
+            state: Arc::new(TicketState {
+                cell: Mutex::new(TicketCell { value: None, subscribers: Vec::new() }),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A ticket born fulfilled (cache hits resolve at submission time).
+    pub(crate) fn fulfilled(value: T) -> Self {
+        let ticket = Ticket::new();
+        ticket.state.cell.lock().unwrap().value = Some(value);
+        ticket
+    }
+
+    /// Fulfils the ticket, waking waiters; returns the parked jobs that were
+    /// subscribed so the caller can count their dependency down (and enqueue any
+    /// that became runnable). Must be called at most once.
+    pub(crate) fn fulfil(&self, value: T) -> Vec<Arc<PendingJob>> {
+        let mut cell = self.state.cell.lock().unwrap();
+        debug_assert!(cell.value.is_none(), "ticket fulfilled twice");
+        cell.value = Some(value);
+        let subscribers = std::mem::take(&mut cell.subscribers);
+        drop(cell);
+        self.state.ready.notify_all();
+        subscribers
+    }
+
+    /// Subscribes a parked job: if the ticket is still pending, the job gains a
+    /// dependency on it and `true` is returned; if already fulfilled, nothing is
+    /// registered and `false` is returned.
+    pub(crate) fn subscribe(&self, job: &Arc<PendingJob>) -> bool {
+        let mut cell = self.state.cell.lock().unwrap();
+        if cell.value.is_some() {
+            return false;
+        }
+        job.add_dep();
+        cell.subscribers.push(Arc::clone(job));
+        true
+    }
+
+    /// True once the result is available ([`Ticket::wait`] would not block).
+    pub fn is_ready(&self) -> bool {
+        self.state.cell.lock().unwrap().value.is_some()
+    }
+
+    /// Blocks until the result is available and returns a clone of it.
+    pub fn wait(&self) -> T {
+        let mut cell = self.state.cell.lock().unwrap();
+        while cell.value.is_none() {
+            cell = self.state.ready.wait(cell).unwrap();
+        }
+        cell.value.as_ref().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfilled_tickets_are_immediately_ready() {
+        let ticket = Ticket::fulfilled(41);
+        assert!(ticket.is_ready());
+        assert_eq!(ticket.wait(), 41);
+        assert_eq!(ticket.clone().wait(), 41);
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilment_from_another_thread() {
+        let ticket: Ticket<String> = Ticket::new();
+        assert!(!ticket.is_ready());
+        let fulfiller = ticket.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            fulfiller.fulfil("done".to_string());
+        });
+        assert_eq!(ticket.wait(), "done");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn pending_job_fires_once_after_all_deps_and_guard() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&fired);
+        let job = PendingJob::new(Box::new(move || {
+            flag.fetch_add(1, Ordering::Relaxed);
+        }));
+        let a: Ticket<u8> = Ticket::new();
+        let b: Ticket<u8> = Ticket::new();
+        assert!(a.subscribe(&job));
+        assert!(b.subscribe(&job));
+        // Creation guard still held: deps resolving is not enough.
+        for sub in a.fulfil(1) {
+            assert!(sub.dep_ready().is_none());
+        }
+        // Dropping the guard with one dep outstanding does not fire either.
+        assert!(job.dep_ready().is_none());
+        let task = b.fulfil(2).into_iter().find_map(|sub| sub.dep_ready());
+        task.expect("last dependency releases the task")();
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn subscribing_to_a_fulfilled_ticket_registers_nothing() {
+        let job = PendingJob::new(Box::new(|| {}));
+        let ticket = Ticket::fulfilled(0u8);
+        assert!(!ticket.subscribe(&job));
+        // Only the creation guard remains.
+        assert!(job.dep_ready().is_some());
+    }
+}

@@ -1,6 +1,6 @@
 //! The end-to-end Soteria analyzer: source code → IR → state model → model checking.
 
-use crate::report::{AppAnalysis, EnvironmentAnalysis};
+use crate::report::{AppAnalysis, EnvironmentAnalysis, IngestedApp};
 use soteria_analysis::{abstract_domains, AnalysisConfig, SymbolicExecutor, TransitionSpec};
 use soteria_capability::CapabilityRegistry;
 use soteria_checker::{check_all_parallel, Ctl, Engine, Kripke};
@@ -59,14 +59,15 @@ impl Soteria {
     /// by the market/MalIoT drivers, examples, and benches.
     ///
     /// Apps are independent, so the per-app [`Soteria::analyze_app`] calls fan out
-    /// across scoped worker threads ([`Soteria::threads`]); the analyzer itself is
-    /// only read. Results come back in input order and are byte-identical to a
-    /// sequential loop at every thread count.
+    /// across the shared long-lived worker pool ([`soteria_exec::global_pool`]; up
+    /// to [`Soteria::threads`] workers serve the call — no per-call thread spawns);
+    /// the analyzer itself is only read. Results come back in input order and are
+    /// byte-identical to a sequential loop at every thread count.
     pub fn analyze_apps(
         &self,
         apps: &[(&str, &str)],
     ) -> Vec<Result<AppAnalysis, ParseError>> {
-        soteria_exec::par_map(apps, self.threads(), |(name, source)| {
+        soteria_exec::pool_map(apps, self.threads(), |(name, source)| {
             self.analyze_app(name, source)
         })
     }
@@ -75,20 +76,31 @@ impl Soteria {
     /// MalIoT and market drivers.
     ///
     /// Groups are independent: each [`Soteria::analyze_environment`] call runs on its
-    /// own scoped worker (the member analyses are only read). Results come back in
-    /// input order, byte-identical to a sequential loop at every thread count.
+    /// own shared-pool worker (the member analyses are only read). Results come back
+    /// in input order, byte-identical to a sequential loop at every thread count.
     pub fn analyze_environments(
         &self,
         groups: &[(&str, &[AppAnalysis])],
     ) -> Vec<EnvironmentAnalysis> {
-        soteria_exec::par_map(groups, self.threads(), |(name, apps)| {
+        soteria_exec::pool_map(groups, self.threads(), |(name, apps)| {
             self.analyze_environment(name, apps)
         })
     }
 
     /// Analyzes a single app: IR extraction, state-model construction, and
     /// verification of every applicable property.
+    ///
+    /// Equivalent to [`Soteria::ingest_app`] followed by [`Soteria::verify_app`];
+    /// the service pipelines the two stages so ingestion of the next app overlaps
+    /// verification of the previous one.
     pub fn analyze_app(&self, name: &str, source: &str) -> Result<AppAnalysis, ParseError> {
+        Ok(self.verify_app(self.ingest_app(name, source)?))
+    }
+
+    /// Stage 1 of [`Soteria::analyze_app`]: parses the source, extracts the IR,
+    /// runs the symbolic executor, and builds the state model — everything up to
+    /// (but not including) property verification.
+    pub fn ingest_app(&self, name: &str, source: &str) -> Result<IngestedApp, ParseError> {
         let started = Instant::now();
         let ir = AppIr::from_source(name, source, &self.registry)?;
         let executor = SymbolicExecutor::new(&ir, &self.registry, self.config.clone());
@@ -99,7 +111,31 @@ impl Soteria {
         let model =
             build_state_model(&ir.name, &abstraction, &specs, &BuildOptions::default());
         let extraction_time = started.elapsed();
+        Ok(IngestedApp {
+            ir,
+            specs,
+            summaries,
+            abstraction,
+            model,
+            states_before_reduction,
+            extraction_time,
+        })
+    }
 
+    /// Stage 2 of [`Soteria::analyze_app`]: verifies every applicable property on
+    /// an ingested app's state model. Pure function of the ingested app and this
+    /// analyzer's configuration — results are identical whether the two stages run
+    /// back-to-back or pipelined on different workers.
+    pub fn verify_app(&self, ingested: IngestedApp) -> AppAnalysis {
+        let IngestedApp {
+            ir,
+            specs,
+            summaries,
+            abstraction,
+            model,
+            states_before_reduction,
+            extraction_time,
+        } = ingested;
         let verification_started = Instant::now();
         let mut violations = Vec::new();
         let app_under_test =
@@ -115,7 +151,7 @@ impl Soteria {
         ));
         let verification_time = verification_started.elapsed();
 
-        Ok(AppAnalysis {
+        AppAnalysis {
             ir,
             specs,
             summaries,
@@ -125,7 +161,7 @@ impl Soteria {
             states_before_reduction,
             extraction_time,
             verification_time,
-        })
+        }
     }
 
     /// Analyzes a multi-app environment: builds the union state model (Algorithm 2)
@@ -134,6 +170,18 @@ impl Soteria {
         &self,
         group_name: &str,
         apps: &[AppAnalysis],
+    ) -> EnvironmentAnalysis {
+        let refs: Vec<&AppAnalysis> = apps.iter().collect();
+        self.analyze_environment_refs(group_name, &refs)
+    }
+
+    /// [`Soteria::analyze_environment`] over borrowed member analyses — the
+    /// service path, where members are frozen behind `Arc`s and must not be
+    /// deep-copied per environment job.
+    pub fn analyze_environment_refs(
+        &self,
+        group_name: &str,
+        apps: &[&AppAnalysis],
     ) -> EnvironmentAnalysis {
         let started = Instant::now();
         let models: Vec<&StateModel> = apps.iter().map(|a| &a.model).collect();

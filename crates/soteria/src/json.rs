@@ -1,0 +1,454 @@
+//! A dependency-free JSON value type: deterministic rendering plus a small
+//! recursive-descent parser.
+//!
+//! The service responses (`soteria-serve`), the machine-readable report
+//! serializers in [`crate::report`], and the bench output all need JSON without
+//! pulling a serialization framework into the dependency-free workspace. A
+//! [`JsonValue`] keeps object members in insertion order, so rendering is
+//! deterministic — two structurally equal values render byte-identically — which
+//! is what lets the cache tests assert *byte*-equality of resubmitted reports.
+//!
+//! The parser exists for round-tripping: protocol smoke gates parse the served
+//! responses back and compare them structurally (minus measured timings) against
+//! the direct-API serialization.
+
+use std::fmt;
+
+/// A JSON document: `null`, booleans, numbers, strings, arrays, and objects
+/// (insertion-ordered members).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers render without a decimal point).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; members keep insertion order (no sorting, no deduplication).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An object from key/value pairs (insertion order preserved).
+    pub fn object(members: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// An unsigned integer value (exact up to 2^53).
+    pub fn uint(n: usize) -> JsonValue {
+        JsonValue::Number(n as f64)
+    }
+
+    /// Looks a member up in an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Removes an object member (used to strip run-dependent fields — measured
+    /// timings — before structural comparison). No-op on non-objects and missing
+    /// keys; returns `self` for chaining.
+    pub fn without(mut self, key: &str) -> JsonValue {
+        if let JsonValue::Object(members) = &mut self {
+            members.retain(|(k, _)| k != key);
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON (no insignificant whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(*n, out),
+            JsonValue::String(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the whole input must be one value plus optional
+    /// whitespace).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_whitespace(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError { position: pos, message: "trailing characters".into() });
+        }
+        Ok(value)
+    }
+}
+
+/// A parse failure: byte position and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.position, self.message)
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; nothing we serialize produces them
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, message: impl Into<String>) -> JsonError {
+    JsonError { position: pos, message: message.into() }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(fail(*pos, format!("expected '{}'", byte as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(fail(*pos, "unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_whitespace(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_whitespace(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(fail(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_whitespace(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            loop {
+                skip_whitespace(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_whitespace(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_whitespace(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(members));
+                    }
+                    _ => return Err(fail(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(fail(*pos, format!("expected '{literal}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| fail(start, "not utf-8"))?;
+    token
+        .parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| fail(start, format!("invalid number '{token}'")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(fail(*pos, "unterminated string"));
+        };
+        match byte {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&escape) = bytes.get(*pos) else {
+                    return Err(fail(*pos, "unterminated escape"));
+                };
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let unit = parse_hex4(bytes, pos)?;
+                        // Surrogate pair: a high surrogate must be followed by
+                        // \uXXXX with a *low* surrogate.
+                        let code = if (0xD800..0xDC00).contains(&unit) {
+                            if bytes.get(*pos) == Some(&b'\\')
+                                && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(fail(*pos, "unpaired surrogate"));
+                                }
+                                0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                return Err(fail(*pos, "unpaired surrogate"));
+                            }
+                        } else {
+                            unit
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| fail(*pos, "invalid code point"))?,
+                        );
+                    }
+                    other => {
+                        return Err(fail(*pos, format!("invalid escape '\\{}'", other as char)))
+                    }
+                }
+            }
+            _ => {
+                // Copy one UTF-8 scalar (multi-byte sequences pass through).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| fail(*pos, "not utf-8"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    if *pos + 4 > bytes.len() {
+        return Err(fail(*pos, "truncated \\u escape"));
+    }
+    let token = std::str::from_utf8(&bytes[*pos..*pos + 4])
+        .map_err(|_| fail(*pos, "not utf-8"))?;
+    let value =
+        u32::from_str_radix(token, 16).map_err(|_| fail(*pos, "invalid \\u escape"))?;
+    *pos += 4;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_deterministic_json() {
+        let value = JsonValue::object([
+            ("name", JsonValue::string("Water-Leak \"Detector\"\n")),
+            ("states", JsonValue::uint(4)),
+            ("ratio", JsonValue::Number(0.5)),
+            ("flags", JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null])),
+        ]);
+        assert_eq!(
+            value.render(),
+            r#"{"name":"Water-Leak \"Detector\"\n","states":4,"ratio":0.5,"flags":[true,null]}"#
+        );
+        // Rendering is a pure function: equal values render byte-identically.
+        assert_eq!(value.render(), value.clone().render());
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let value = JsonValue::object([
+            ("kinds", JsonValue::Array(vec![
+                JsonValue::string("unicode ✓ and \t control"),
+                JsonValue::Number(-12.25),
+                JsonValue::uint(9_007_199_254_740_991),
+                JsonValue::Object(vec![]),
+                JsonValue::Array(vec![]),
+            ])),
+            ("nested", JsonValue::object([("deep", JsonValue::Bool(false))])),
+        ]);
+        let rendered = value.render();
+        let parsed = JsonValue::parse(&rendered).expect("round-trip parse");
+        assert_eq!(parsed, value);
+        // And the re-render is byte-identical (render∘parse is idempotent).
+        assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn parses_whitespace_escapes_and_surrogates() {
+        let parsed = JsonValue::parse(
+            " { \"a\" : [ 1 , 2.5e2 , \"\\u0041\\u00e9\\ud83d\\ude00\" ] } ",
+        )
+        .unwrap();
+        assert_eq!(
+            parsed.get("a").and_then(|v| v.as_array()).map(|a| a.len()),
+            Some(3)
+        );
+        assert_eq!(parsed.get("a").unwrap().as_array().unwrap()[2].as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            // High surrogate followed by a non-low-surrogate unit, a lone low
+            // surrogate, and a truncated pair: all rejected, never panicking.
+            "\"\\ud800\\u0041\"",
+            "\"\\udc00\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn without_strips_object_members() {
+        let value = JsonValue::object([
+            ("keep", JsonValue::uint(1)),
+            ("drop", JsonValue::uint(2)),
+        ]);
+        assert_eq!(value.without("drop"), JsonValue::object([("keep", JsonValue::uint(1))]));
+    }
+}

@@ -51,10 +51,15 @@
 //! ```
 
 pub mod analyzer;
+pub mod json;
 pub mod report;
 
 pub use analyzer::{default_initial_kripke, Soteria};
-pub use report::{render_environment_report, render_report, AppAnalysis, EnvironmentAnalysis};
+pub use json::{JsonError, JsonValue};
+pub use report::{
+    app_analysis_json, environment_json, render_environment_report, render_report,
+    violation_json, AppAnalysis, EnvironmentAnalysis, IngestedApp,
+};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use soteria_analysis as analysis;

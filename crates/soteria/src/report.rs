@@ -1,5 +1,8 @@
-//! Analysis results and textual reports (the console output of Fig. 9).
+//! Analysis results and reports: the textual console output of Fig. 9 plus
+//! machine-readable JSON serializations (used by `soteria-serve` responses and
+//! the bench bins).
 
+use crate::json::JsonValue;
 use soteria_analysis::{Abstraction, HandlerSummary, TransitionSpec};
 use soteria_ir::AppIr;
 use soteria_model::StateModel;
@@ -7,6 +10,32 @@ use soteria_properties::{PropertyId, Violation};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// The output of the *ingestion* stage of the pipeline ([`Soteria::ingest_app`]):
+/// everything up to the state model, before any property has been verified.
+///
+/// The service pipelines this stage against verification — while one worker
+/// verifies app *N*, another can already be parsing and model-building app
+/// *N + 1*.
+///
+/// [`Soteria::ingest_app`]: crate::Soteria::ingest_app
+#[derive(Debug, Clone)]
+pub struct IngestedApp {
+    /// The app's intermediate representation.
+    pub ir: AppIr,
+    /// Transition specifications from the symbolic executor.
+    pub specs: Vec<TransitionSpec>,
+    /// Per-handler path summaries.
+    pub summaries: BTreeMap<String, HandlerSummary>,
+    /// Property abstraction of the app's attribute domains.
+    pub abstraction: Abstraction,
+    /// The extracted state model.
+    pub model: StateModel,
+    /// Number of states before property abstraction (Fig. 11 top).
+    pub states_before_reduction: usize,
+    /// Time spent extracting the IR and the state model (Fig. 11 bottom).
+    pub extraction_time: Duration,
+}
 
 /// The result of analysing one app.
 #[derive(Debug, Clone)]
@@ -135,6 +164,86 @@ pub fn render_report(analysis: &AppAnalysis) -> String {
     out
 }
 
+/// Serializes one violation as a JSON object.
+pub fn violation_json(violation: &Violation) -> JsonValue {
+    JsonValue::object([
+        ("property", JsonValue::string(violation.property.to_string())),
+        ("description", JsonValue::string(&violation.description)),
+        (
+            "apps",
+            JsonValue::Array(violation.apps.iter().map(JsonValue::string).collect()),
+        ),
+        (
+            "counterexample",
+            match &violation.counterexample {
+                Some(trace) => {
+                    JsonValue::Array(trace.iter().map(JsonValue::string).collect())
+                }
+                None => JsonValue::Null,
+            },
+        ),
+        ("possibly_false_positive", JsonValue::Bool(violation.possibly_false_positive)),
+    ])
+}
+
+/// Serializes an app analysis as a JSON object — the machine-readable twin of
+/// [`render_report`].
+///
+/// Everything except the two measured timing fields (`extraction_ms`,
+/// `verification_ms`) is a pure function of `(source, configuration)`, so two
+/// analyses of the same input serialize byte-identically once those fields are
+/// stripped ([`JsonValue::without`]); a *cached* resubmission returns the frozen
+/// original and is byte-identical including them.
+pub fn app_analysis_json(analysis: &AppAnalysis) -> JsonValue {
+    JsonValue::object([
+        ("name", JsonValue::string(&analysis.ir.name)),
+        ("devices", JsonValue::uint(analysis.ir.permissions.len())),
+        ("user_inputs", JsonValue::uint(analysis.ir.user_inputs.len())),
+        ("entry_points", JsonValue::uint(analysis.ir.entry_points().len())),
+        ("states", JsonValue::uint(analysis.model.state_count())),
+        ("states_before_reduction", JsonValue::uint(analysis.states_before_reduction)),
+        ("transitions", JsonValue::uint(analysis.model.transition_count())),
+        ("attributes", JsonValue::uint(analysis.model.attribute_count())),
+        (
+            "violations",
+            JsonValue::Array(analysis.violations.iter().map(violation_json).collect()),
+        ),
+        (
+            "extraction_ms",
+            JsonValue::Number(analysis.extraction_time.as_secs_f64() * 1000.0),
+        ),
+        (
+            "verification_ms",
+            JsonValue::Number(analysis.verification_time.as_secs_f64() * 1000.0),
+        ),
+    ])
+}
+
+/// Serializes an environment analysis as a JSON object — the machine-readable
+/// twin of [`render_environment_report`]. Measured timings live in `union_ms` /
+/// `verification_ms`; everything else is input-determined.
+pub fn environment_json(env: &EnvironmentAnalysis) -> JsonValue {
+    JsonValue::object([
+        ("name", JsonValue::string(&env.name)),
+        (
+            "apps",
+            JsonValue::Array(env.app_names.iter().map(JsonValue::string).collect()),
+        ),
+        ("states", JsonValue::uint(env.union_model.state_count())),
+        ("transitions", JsonValue::uint(env.union_model.transition_count())),
+        ("attributes", JsonValue::uint(env.union_model.attribute_count())),
+        (
+            "violations",
+            JsonValue::Array(env.violations.iter().map(violation_json).collect()),
+        ),
+        ("union_ms", JsonValue::Number(env.union_time.as_secs_f64() * 1000.0)),
+        (
+            "verification_ms",
+            JsonValue::Number(env.verification_time.as_secs_f64() * 1000.0),
+        ),
+    ])
+}
+
 /// Renders a report for a multi-app environment.
 pub fn render_environment_report(env: &EnvironmentAnalysis) -> String {
     let mut out = String::new();
@@ -193,6 +302,41 @@ mod tests {
         assert!(!analysis.specific_violations().is_empty());
         assert!(analysis.general_violations().is_empty());
         assert_eq!(analysis.violated_properties(), vec![PropertyId::AppSpecific(30)]);
+    }
+
+    #[test]
+    fn json_reports_round_trip_and_freeze_deterministically() {
+        let soteria = Soteria::new();
+        let analysis = soteria.analyze_app("r", APP).unwrap();
+        let env = soteria.analyze_environment("G", std::slice::from_ref(&analysis));
+
+        // Round trip: render → parse reproduces the value, and the re-render is
+        // byte-identical.
+        for value in [app_analysis_json(&analysis), environment_json(&env)] {
+            let rendered = value.render();
+            let parsed = JsonValue::parse(&rendered).expect("serializer output parses");
+            assert_eq!(parsed, value);
+            assert_eq!(parsed.render(), rendered);
+        }
+
+        // Everything but the measured timings is input-determined: a second
+        // analysis of the same source serializes byte-identically once they are
+        // stripped.
+        let again = soteria.analyze_app("r", APP).unwrap();
+        let stable = |a: &AppAnalysis| {
+            app_analysis_json(a).without("extraction_ms").without("verification_ms").render()
+        };
+        assert_eq!(stable(&analysis), stable(&again));
+
+        // Spot-check content.
+        let value = app_analysis_json(&analysis);
+        assert_eq!(value.get("name").and_then(|v| v.as_str()), Some("Report-App"));
+        let violations = value.get("violations").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(violations.len(), analysis.violations.len());
+        assert_eq!(
+            violations[0].get("property").and_then(|v| v.as_str()),
+            Some("P.30")
+        );
     }
 
     #[test]

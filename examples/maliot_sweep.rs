@@ -4,8 +4,10 @@
 //!
 //! The sweep runs through the batch APIs — [`Soteria::analyze_apps`] for the 17
 //! apps and [`Soteria::analyze_environments`] for the multi-app groups — so both
-//! phases fan out across worker threads (`SOTERIA_THREADS` to override) with
-//! results identical to a sequential loop.
+//! phases fan out across the shared long-lived worker pool (`SOTERIA_THREADS` to
+//! override the width; no threads are spawned per call) with results identical
+//! to a sequential loop. For a resident process with caching across sweeps, see
+//! the `soteria-service` crate and the `soteria-serve` bin.
 //!
 //! Run with `cargo run --example maliot_sweep`.
 

@@ -9,14 +9,19 @@
 //! sequential output byte for byte — same `Violation` lists in the same order,
 //! same union transitions, same report text (timing lines excluded, since
 //! wall-clock is measured rather than computed).
+//!
+//! PR 4 extends the gate to the service layer: the job queue's pooled +
+//! streamed (two-stage pipelined) results must be byte-identical to the PR 3
+//! scoped path at 1/2/4/8 pool workers.
 
 use soteria::render_environment_report;
 use soteria_bench::{
-    corpus_sweep, maliot_group_specs, market_group_specs, soteria_with_threads,
-    stable_app_report,
+    corpus_sweep, maliot_group_specs, market_group_specs, service_corpus_sweep,
+    service_sweep_outcome, soteria_with_threads, stable_app_report, sweep_outcome,
 };
 use soteria_corpus::{all_market_apps, maliot_suite, CorpusApp};
-use soteria_exec::par_map;
+use soteria_exec::{par_map, scoped_map};
+use soteria_service::{Service, ServiceOptions};
 
 fn assert_sweeps_identical(
     name: &str,
@@ -49,6 +54,60 @@ fn assert_sweeps_identical(
             render_environment_report(p),
             "{name}/{}: environment report differs",
             s.name
+        );
+    }
+}
+
+/// The service's pooled + streamed (two-stage pipelined) results must be
+/// byte-identical to the PR 3 scoped path at every worker count.
+#[test]
+fn service_results_match_the_scoped_path_at_every_worker_count() {
+    let apps = maliot_suite();
+    let groups = maliot_group_specs();
+
+    // The PR 3 reference: scoped-thread batch sweep (per-call spawns).
+    let soteria = soteria_with_threads(1);
+    let pairs: Vec<(&str, &str)> =
+        apps.iter().map(|a| (a.id.as_str(), a.source.as_str())).collect();
+    let scoped_apps: Vec<soteria::AppAnalysis> = scoped_map(&pairs, 1, |(name, source)| {
+        soteria.analyze_app(name, source).unwrap_or_else(|e| panic!("{name}: {e}"))
+    });
+    let scoped_envs: Vec<soteria::EnvironmentAnalysis> = groups
+        .iter()
+        .map(|(name, members)| {
+            let set: Vec<soteria::AppAnalysis> = members
+                .iter()
+                .map(|id| {
+                    let idx = apps.iter().position(|a| &a.id == id).expect("member in corpus");
+                    scoped_apps[idx].clone()
+                })
+                .collect();
+            soteria.analyze_environment(name, &set)
+        })
+        .collect();
+    let reference = sweep_outcome(&scoped_apps, &scoped_envs);
+
+    for workers in [1usize, 2, 4, 8] {
+        let service = Service::new(
+            soteria_with_threads(1), // per-job thread resolution stays sequential
+            ServiceOptions { workers, ..ServiceOptions::default() },
+        );
+        let served = service_sweep_outcome(&service_corpus_sweep(&service, &apps, &groups));
+        assert_eq!(
+            served.app_violations, reference.app_violations,
+            "{workers} workers: app violations diverge from the scoped path"
+        );
+        assert_eq!(
+            served.app_reports, reference.app_reports,
+            "{workers} workers: app reports diverge from the scoped path"
+        );
+        assert_eq!(
+            served.env_violations, reference.env_violations,
+            "{workers} workers: environment violations diverge from the scoped path"
+        );
+        assert_eq!(
+            served.env_reports, reference.env_reports,
+            "{workers} workers: environment reports diverge from the scoped path"
         );
     }
 }
