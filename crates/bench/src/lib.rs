@@ -117,24 +117,63 @@ pub fn soteria_with_threads(threads: usize) -> Soteria {
     Soteria::with_config(AnalysisConfig { threads, ..AnalysisConfig::paper() })
 }
 
+/// Runs one service submission attempt repeatedly until it stops bouncing off
+/// the queue bound — the batch-sweep shape over a bounded service (CI runs the
+/// suites under `SOTERIA_MAX_PENDING=2` + `SOTERIA_ADMISSION=reject`). Backs
+/// off 1ms per retry instead of hot-looping the admission mutexes the busy
+/// workers hold; any non-QueueFull error is returned.
+fn admitted<T>(
+    mut attempt: impl FnMut() -> Result<T, soteria_service::ServiceError>,
+) -> Result<T, soteria_service::ServiceError> {
+    loop {
+        match attempt() {
+            Err(soteria_service::ServiceError::QueueFull { .. }) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Submits an app, retrying while the service's queue bound rejects it. Any
+/// other submission error panics (corpus sources are under our control).
+pub fn submit_app_admitted(
+    service: &soteria_service::Service,
+    name: &str,
+    source: &str,
+) -> soteria_service::AppJob {
+    admitted(|| service.submit_app(name, source)).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// [`submit_app_admitted`]'s twin for named environments; member-resolution
+/// errors panic (corpus groups are submitted over their own member set).
+pub fn submit_environment_admitted(
+    service: &soteria_service::Service,
+    group: &str,
+    members: &[&str],
+) -> soteria_service::EnvJob {
+    admitted(|| service.submit_environment_by_names(group, members))
+        .unwrap_or_else(|e| panic!("{group}: {e}"))
+}
+
 /// Submits a whole corpus workload to the analysis service — every app, then
 /// every multi-app group over the submitted names (group jobs park on their
 /// member tickets) — and drains the results in submission order. The service
 /// twin of [`corpus_sweep`], shared by the `service_throughput` bin and the
-/// determinism tests. Panics on a group member missing from the submission set.
+/// determinism tests. Submissions retry through the admission bound, so the
+/// sweep also works against a small rejecting queue; panics on a group member
+/// missing from the submission set.
 pub fn service_corpus_sweep(
     service: &soteria_service::Service,
     apps: &[CorpusApp],
     groups: &[(String, Vec<String>)],
 ) -> Vec<soteria_service::JobOutcome> {
     for app in apps {
-        service.submit_app(&app.id, &app.source);
+        submit_app_admitted(service, &app.id, &app.source);
     }
     for (name, members) in groups {
         let refs: Vec<&str> = members.iter().map(String::as_str).collect();
-        service
-            .submit_environment_by_names(name, &refs)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        submit_environment_admitted(service, name, &refs);
     }
     service.drain()
 }

@@ -43,11 +43,31 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{LockResult, Mutex, MutexGuard};
 
 mod pool;
 
-pub use pool::{global_pool, pool_map, WorkerPool};
+pub use pool::{global_pool, pool_map, TaskId, WorkerPool};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Every mutex in this workspace's execution layer protects a *plain value*
+/// (queues, counters, finished-chunk lists) whose invariants hold between any
+/// two operations — a panic while the guard was held cannot leave the state
+/// half-updated in a way later readers would misinterpret. Propagating the
+/// poison instead would turn one panicking analysis job into a cascade of
+/// unrelated `PoisonError` panics across every other job sharing the service,
+/// which is exactly what a long-lived service must not do.
+pub fn lock_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    recover(mutex.lock())
+}
+
+/// Unwraps any [`LockResult`] (a `lock()`, a `Condvar::wait`, or an
+/// `into_inner()`), recovering the value from a poisoned lock — same rationale
+/// as [`lock_recover`].
+pub fn recover<T>(result: LockResult<T>) -> T {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The environment variable overriding the worker count (`0` or unset = auto).
 pub const THREADS_ENV: &str = "SOTERIA_THREADS";
@@ -193,10 +213,10 @@ where
                     items[start..end].iter().map(&f).collect::<Vec<R>>()
                 }));
                 match mapped {
-                    Ok(mapped) => finished.lock().unwrap().push((chunk, mapped)),
+                    Ok(mapped) => lock_recover(&finished).push((chunk, mapped)),
                     Err(payload) => {
                         abort.store(true, Ordering::Relaxed);
-                        let mut slot = first_panic.lock().unwrap();
+                        let mut slot = lock_recover(&first_panic);
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
@@ -210,10 +230,10 @@ where
         }
     });
 
-    if let Some(payload) = first_panic.into_inner().unwrap() {
+    if let Some(payload) = recover(first_panic.into_inner()) {
         panic::resume_unwind(payload);
     }
-    let mut chunks = finished.into_inner().unwrap();
+    let mut chunks = recover(finished.into_inner());
     chunks.sort_unstable_by_key(|&(index, _)| index);
     debug_assert_eq!(chunks.len(), chunk_count);
     chunks.into_iter().flat_map(|(_, mapped)| mapped).collect()
@@ -263,6 +283,20 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
             .unwrap_or("");
         assert!(message.contains("item five failed"), "payload lost: {message:?}");
+    }
+
+    #[test]
+    fn lock_recover_reads_through_a_poisoned_mutex() {
+        let shared = Mutex::new(41);
+        let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            let mut guard = shared.lock().unwrap();
+            *guard = 42; // complete the update, *then* panic: state is consistent
+            panic!("poisoning panic");
+        }));
+        assert!(caught.is_err());
+        assert!(shared.is_poisoned());
+        assert_eq!(*lock_recover(&shared), 42);
+        assert_eq!(recover(shared.into_inner()), 42);
     }
 
     #[test]

@@ -39,13 +39,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
-use crate::{enter_par_worker, resolve_threads};
+use crate::{enter_par_worker, lock_recover, recover, resolve_threads};
 
 /// A fire-and-forget task on the injector queue.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// The identity of one enqueued task, unique for the pool's lifetime.
+///
+/// Returned by [`WorkerPool::spawn`] and accepted by [`WorkerPool::try_revoke`]
+/// — the handle a job queue needs to *remove* work it no longer wants (a
+/// cancelled analysis stage) before a worker picks it up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(u64);
+
 struct QueueState {
-    tasks: VecDeque<Task>,
+    tasks: VecDeque<(u64, Task)>,
+    next_id: u64,
     shutdown: bool,
 }
 
@@ -85,7 +94,11 @@ impl WorkerPool {
         // drop, and transient pools — `par_map` creates one per call — free it
         // when the last worker exits.
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState { tasks: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                next_id: 0,
+                shutdown: false,
+            }),
             work_available: Condvar::new(),
             tasks_executed: AtomicU64::new(0),
         });
@@ -114,18 +127,46 @@ impl WorkerPool {
         self.shared.tasks_executed.load(Ordering::Relaxed)
     }
 
-    /// Enqueues a `'static` task on the injector queue.
+    /// Enqueues a `'static` task on the injector queue, returning its identity
+    /// (the handle [`WorkerPool::try_revoke`] accepts).
     ///
     /// Tasks run in FIFO order on whichever worker frees up first. A task that
     /// panics takes its worker thread down silently is *not* acceptable for a
     /// long-lived service, so the worker loop catches the panic and drops the
     /// payload — submitters that care about failures report them through their
     /// own result channel (the service's tickets do).
-    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        let mut queue = self.shared.queue.lock().unwrap();
-        queue.tasks.push_back(Box::new(task));
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) -> TaskId {
+        let mut queue = lock_recover(&self.shared.queue);
+        let id = queue.next_id;
+        queue.next_id += 1;
+        queue.tasks.push_back((id, Box::new(task)));
         drop(queue);
         self.shared.work_available.notify_one();
+        TaskId(id)
+    }
+
+    /// Removes a still-queued task from the injector queue.
+    ///
+    /// Returns `true` when the task was found in the queue and removed — it
+    /// will never run. Returns `false` when it was not found: a worker already
+    /// claimed it (it is running or finished), or it never belonged to this
+    /// pool. The search and removal happen under the queue lock, so revocation
+    /// cannot race a worker's claim — exactly one side wins, and the caller
+    /// knows which. A `false` caller that still wants the task's *effects*
+    /// suppressed must coordinate with the task itself (the service's job
+    /// controls carry a cancelled flag the task checks before doing work).
+    ///
+    /// The revoked closure is dropped outside the lock (dropping it can release
+    /// arbitrary captured state).
+    pub fn try_revoke(&self, id: TaskId) -> bool {
+        let mut queue = lock_recover(&self.shared.queue);
+        let revoked = queue
+            .tasks
+            .iter()
+            .position(|(task_id, _)| *task_id == id.0)
+            .and_then(|index| queue.tasks.remove(index));
+        drop(queue);
+        revoked.is_some()
     }
 
     /// Maps `f` over `items` on the caller plus up to `threads - 1` pool workers,
@@ -158,7 +199,7 @@ impl WorkerPool {
         // queue behind the others and usually find no chunks left), but they buy
         // no concurrency — don't enqueue more than the pool can run.
         let helpers = (threads - 1).min(self.workers());
-        *job.latch.lock().unwrap() = helpers;
+        *lock_recover(&job.latch) = helpers;
         let job_addr = &job as *const ScopedJob<'_, T, R, F> as usize;
         for _ in 0..helpers {
             // SAFETY (of the later deref): `job` outlives every enqueued task
@@ -177,9 +218,9 @@ impl WorkerPool {
             let _guard = enter_par_worker();
             job.run_chunks();
         }
-        let mut outstanding = job.latch.lock().unwrap();
+        let mut outstanding = lock_recover(&job.latch);
         while *outstanding > 0 {
-            outstanding = job.done.wait(outstanding).unwrap();
+            outstanding = recover(job.done.wait(outstanding));
         }
         drop(outstanding);
         job.into_output()
@@ -189,7 +230,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&self.shared.queue);
             queue.shutdown = true;
         }
         self.shared.work_available.notify_all();
@@ -210,9 +251,9 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let task = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_recover(&shared.queue);
             loop {
-                if let Some(task) = queue.tasks.pop_front() {
+                if let Some((_, task)) = queue.tasks.pop_front() {
                     break task;
                 }
                 // Drain-then-exit on shutdown: every already-enqueued task still
@@ -221,7 +262,7 @@ fn worker_loop(shared: &Shared) {
                 if queue.shutdown {
                     return;
                 }
-                queue = shared.work_available.wait(queue).unwrap();
+                queue = recover(shared.work_available.wait(queue));
             }
         };
         shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
@@ -290,10 +331,10 @@ where
                 self.items[start..end].iter().map(self.f).collect::<Vec<R>>()
             }));
             match mapped {
-                Ok(mapped) => self.finished.lock().unwrap().push((chunk, mapped)),
+                Ok(mapped) => lock_recover(&self.finished).push((chunk, mapped)),
                 Err(payload) => {
                     self.abort.store(true, Ordering::Relaxed);
-                    let mut slot = self.first_panic.lock().unwrap();
+                    let mut slot = lock_recover(&self.first_panic);
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
@@ -305,7 +346,7 @@ where
 
     /// Counts one helper task down; wakes the caller when all have finished.
     fn complete_helper(&self) {
-        let mut latch = self.latch.lock().unwrap();
+        let mut latch = lock_recover(&self.latch);
         *latch -= 1;
         if *latch == 0 {
             self.done.notify_all();
@@ -315,10 +356,10 @@ where
     /// Reassembles the output (or re-raises the first panic). Caller must have
     /// waited for the latch first.
     fn into_output(self) -> Vec<R> {
-        if let Some(payload) = self.first_panic.into_inner().unwrap() {
+        if let Some(payload) = recover(self.first_panic.into_inner()) {
             panic::resume_unwind(payload);
         }
-        let mut chunks = self.finished.into_inner().unwrap();
+        let mut chunks = recover(self.finished.into_inner());
         chunks.sort_unstable_by_key(|&(index, _)| index);
         debug_assert_eq!(chunks.len(), self.chunk_count);
         chunks.into_iter().flat_map(|(_, mapped)| mapped).collect()
@@ -434,6 +475,58 @@ mod tests {
         }
         drop(pool); // drains the queue before joining
         assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn try_revoke_removes_queued_tasks_and_rejects_claimed_ones() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let pool = WorkerPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+
+        // Wedge the single worker so later spawns stay queued deterministically.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let wedge = Arc::clone(&gate);
+        pool.spawn(move || {
+            let (open, signal) = &*wedge;
+            let mut open = lock_recover(open);
+            while !*open {
+                open = recover(signal.wait(open));
+            }
+        });
+
+        let keep = Arc::clone(&ran);
+        let keep_id = pool.spawn(move || {
+            keep.fetch_add(1, Ordering::Relaxed);
+        });
+        let revoke = Arc::clone(&ran);
+        let revoke_id = pool.spawn(move || {
+            revoke.fetch_add(100, Ordering::Relaxed);
+        });
+        assert_ne!(keep_id, revoke_id, "task ids must be unique");
+        assert!(pool.try_revoke(revoke_id), "queued task not revoked");
+        assert!(!pool.try_revoke(revoke_id), "double revoke succeeded");
+
+        // Open the gate; the kept task runs, the revoked one never does.
+        {
+            let (open, signal) = &*gate;
+            *lock_recover(open) = true;
+            signal.notify_all();
+        }
+        drop(pool); // drains the queue
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "revoked task ran anyway");
+        assert!(keep_id != revoke_id);
+    }
+
+    #[test]
+    fn try_revoke_of_a_finished_task_returns_false() {
+        let pool = WorkerPool::new(1);
+        let id = pool.spawn(|| {});
+        // Wait for the worker to drain the task.
+        while pool.tasks_executed() == 0 {
+            std::thread::yield_now();
+        }
+        assert!(!pool.try_revoke(id), "claimed task reported as revoked");
     }
 
     #[test]

@@ -16,21 +16,62 @@
 //! * `--workers N` — pool worker threads (default: the `SOTERIA_THREADS` /
 //!   available-parallelism policy);
 //! * `--cache N` — result-cache bound (default 1024 entries per kind);
+//! * `--max-pending N` — bound on queued-but-unstarted jobs (default: the
+//!   `SOTERIA_MAX_PENDING` environment variable, else unbounded);
+//! * `--admission block|reject` — what a submission at the bound does: wait
+//!   for a slot, or answer immediately with a `queue full` error line
+//!   (default: `SOTERIA_ADMISSION`, else block);
 //! * `--smoke` — run the self-check gate instead of serving: pipe the running
 //!   examples through the full protocol, diff every served report against the
-//!   direct `Soteria` API, and verify a second pass is served byte-identically
-//!   from the cache. Exits non-zero on any mismatch (the CI configuration).
+//!   direct `Soteria` API, verify a second pass is served byte-identically
+//!   from the cache, and exercise `cancel` plus a rejecting bounded queue.
+//!   Exits non-zero on any mismatch (the CI configuration).
 
 use soteria_service::protocol::{self, AppSource, Request};
-use soteria_service::{AppJob, EnvJob, Service, ServiceOptions};
+use soteria_service::{AdmissionPolicy, AppJob, EnvJob, Service, ServiceOptions};
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 
 enum PendingOut {
     App(AppJob),
     Env(EnvJob),
+    Cancel { name: String, cancelled: bool },
     Stats,
     Error(String),
+}
+
+/// The serve loop's name → live-job index, backing `cancel <name>` requests.
+/// App and environment namespaces are separate (matching the service, where an
+/// app and a group may legally share a name), so `cancel <name>` cancels every
+/// in-flight job under that name, of either kind. Finished jobs are pruned on
+/// every request line, so the maps never outgrow the in-flight set (same
+/// discipline as `Service::forget_finished`).
+#[derive(Default)]
+struct LiveJobs {
+    apps: HashMap<String, AppJob>,
+    envs: HashMap<String, EnvJob>,
+}
+
+impl LiveJobs {
+    fn track_app(&mut self, job: &AppJob) {
+        self.apps.insert(job.name().to_string(), job.clone());
+    }
+
+    fn track_env(&mut self, job: &EnvJob) {
+        self.envs.insert(job.name().to_string(), job.clone());
+    }
+
+    fn cancel(&mut self, name: &str) -> bool {
+        let app = self.apps.remove(name).map(|job| job.cancel()).unwrap_or(false);
+        let env = self.envs.remove(name).map(|job| job.cancel()).unwrap_or(false);
+        app || env
+    }
+
+    fn prune_finished(&mut self) {
+        self.apps.retain(|_, job| !job.is_ready());
+        self.envs.retain(|_, job| !job.is_ready());
+    }
 }
 
 fn resolve_source(source: AppSource) -> Result<String, String> {
@@ -72,6 +113,9 @@ fn serve(
                         job.disposition(),
                         &job.wait(),
                     ),
+                    PendingOut::Cancel { name, cancelled } => {
+                        protocol::cancel_response(index, &name, cancelled)
+                    }
                     PendingOut::Stats => protocol::stats_response(index, &service.stats()),
                     PendingOut::Error(error) => protocol::error_response(index, &error),
                 };
@@ -81,23 +125,40 @@ fn serve(
             Ok(())
         });
         let mut job_index = 0usize;
+        // Live jobs by name, so `cancel <name>` can reach the handle. Note the
+        // submissions below go through the service's admission control: with
+        // `--admission reject` a full queue turns into an error response line.
+        let mut live = LiveJobs::default();
         for line in input.lines() {
             let pending = match protocol::parse_request(&line?) {
                 Ok(None) => continue,
                 Err(error) => PendingOut::Error(error),
-                Ok(Some(Request::App { name, source })) => match resolve_source(source) {
-                    Ok(text) => PendingOut::App(service.submit_app(&name, &text)),
+                Ok(Some(Request::App { name, source })) => match resolve_source(source)
+                    .and_then(|text| service.submit_app(&name, &text).map_err(|e| e.to_string()))
+                {
+                    Ok(job) => {
+                        live.track_app(&job);
+                        PendingOut::App(job)
+                    }
                     Err(error) => PendingOut::Error(error),
                 },
                 Ok(Some(Request::Environment { name, members })) => {
                     let refs: Vec<&str> = members.iter().map(String::as_str).collect();
                     match service.submit_environment_by_names(&name, &refs) {
-                        Ok(job) => PendingOut::Env(job),
-                        Err(error) => PendingOut::Error(error),
+                        Ok(job) => {
+                            live.track_env(&job);
+                            PendingOut::Env(job)
+                        }
+                        Err(error) => PendingOut::Error(error.to_string()),
                     }
+                }
+                Ok(Some(Request::Cancel { name })) => {
+                    let cancelled = live.cancel(&name);
+                    PendingOut::Cancel { name, cancelled }
                 }
                 Ok(Some(Request::Stats)) => PendingOut::Stats,
             };
+            live.prune_finished();
             // A send only fails after the writer bailed on an I/O error (client
             // gone); keep draining stdin so the submit side stays consistent.
             let _ = tx.send((job_index, pending));
@@ -211,39 +272,123 @@ fn run_smoke(service: &Service) {
     );
 }
 
+/// The backpressure + cancellation smoke leg: a 1-worker service with a 2-deep
+/// rejecting queue, fed a heavy app first so the worker is pinned while the
+/// remaining request lines arrive (microseconds apart). Deterministically:
+/// the parked environment is cancellable (its member is still ingesting), and
+/// with the worker pinned at least one later submission meets a full queue.
+fn run_cancel_and_backpressure_smoke() {
+    use soteria::JsonValue;
+
+    let service = Service::new(
+        soteria::Soteria::new(),
+        ServiceOptions {
+            workers: 1,
+            max_pending: 2,
+            admission: AdmissionPolicy::Reject,
+            ..ServiceOptions::default()
+        },
+    );
+    // ThermostatEnergyControl dominates the cold running-example sweep — the
+    // single worker chews on it for long enough that every line below is
+    // submitted while it runs.
+    let requests = "app heavy corpus:ThermostatEnergyControl\n\
+                    env G heavy\n\
+                    cancel G\n\
+                    cancel ghost\n\
+                    app a1 corpus:SmokeAlarm\n\
+                    app a2 corpus:SmokeAlarm\n\
+                    app a3 corpus:SmokeAlarm\n\
+                    app a4 corpus:SmokeAlarm\n\
+                    stats\n";
+    let mut out = Vec::new();
+    serve(requests.as_bytes(), &mut out, &service).expect("serve pass");
+    let lines: Vec<JsonValue> = String::from_utf8(out)
+        .expect("utf-8 responses")
+        .lines()
+        .map(|line| JsonValue::parse(line).expect("response parses"))
+        .collect();
+    assert_eq!(lines.len(), 9, "one response per request");
+
+    let field = |v: &JsonValue, key: &str| -> String {
+        v.get(key).and_then(|f| f.as_str()).unwrap_or_default().to_string()
+    };
+    // The parked environment was cancelled...
+    assert_eq!(field(&lines[2], "kind"), "cancel");
+    assert_eq!(lines[2].get("cancelled"), Some(&JsonValue::Bool(true)), "env not cancelled");
+    // ... so its own response line reports status "cancelled"...
+    assert_eq!(field(&lines[1], "kind"), "env");
+    assert_eq!(field(&lines[1], "status"), "cancelled");
+    // ... while cancelling an unknown name reports false without erroring.
+    assert_eq!(lines[3].get("cancelled"), Some(&JsonValue::Bool(false)));
+    // The heavy app itself completed normally.
+    assert_eq!(field(&lines[0], "status"), "ok");
+    // With the worker pinned and the queue 2 deep, the a1..a4 burst cannot all
+    // be admitted: at least one line is a queue-full error, and at least one
+    // was admitted and completed.
+    let queue_full = lines
+        .iter()
+        .filter(|l| field(l, "status") == "error" && field(l, "error").starts_with("queue full"))
+        .count();
+    let completed = lines[4..8].iter().filter(|l| field(l, "status") == "ok").count();
+    assert!(queue_full >= 1, "no submission met a full queue");
+    assert!(completed >= 1, "no burst submission completed");
+    let stats = service.stats();
+    assert!(stats.rejected >= 1 && stats.cancelled >= 1);
+    assert_eq!(stats.pending, 0, "pending jobs leaked after the drain");
+    println!(
+        "soteria-serve cancel/backpressure smoke: OK (1 env cancelled; {} of 4 burst \
+         submissions rejected by the 2-deep queue; pending back to 0)",
+        queue_full
+    );
+}
+
 fn main() {
-    let mut workers = 0usize;
-    let mut cache_capacity = 1024usize;
+    let mut options = ServiceOptions::default();
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
-                workers = args
+                options.workers = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--workers needs a number");
             }
             "--cache" => {
-                cache_capacity = args
+                options.cache_capacity = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--cache needs a number");
             }
+            "--max-pending" => {
+                options.max_pending = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-pending needs a number");
+            }
+            "--admission" => {
+                options.admission = match args.next().as_deref() {
+                    Some("block") => AdmissionPolicy::Block,
+                    Some("reject") => AdmissionPolicy::Reject,
+                    other => panic!("--admission needs block|reject, got {other:?}"),
+                };
+            }
             "--smoke" => smoke = true,
             other => {
-                eprintln!("unknown flag '{other}' (expected --workers N, --cache N, --smoke)");
+                eprintln!(
+                    "unknown flag '{other}' (expected --workers N, --cache N, \
+                     --max-pending N, --admission block|reject, --smoke)"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let service = Service::new(
-        soteria::Soteria::new(),
-        ServiceOptions { workers, cache_capacity },
-    );
+    let service = Service::new(soteria::Soteria::new(), options);
     if smoke {
         run_smoke(&service);
+        run_cancel_and_backpressure_smoke();
         return;
     }
     let stdin = std::io::stdin();

@@ -149,9 +149,12 @@ impl<V: Clone> ResultCache<V> {
     }
 
     /// Inserts (or refreshes) `key`, evicting the least recently used entry if
-    /// the bound would be exceeded.
-    pub fn insert(&mut self, key: CacheKey, value: V) {
+    /// the bound would be exceeded. Returns the evicted key, if any, so callers
+    /// keeping per-key side tables (the service's name registry) can drop their
+    /// entries alongside the cache's instead of pinning them forever.
+    pub fn insert(&mut self, key: CacheKey, value: V) -> Option<CacheKey> {
         self.tick += 1;
+        let mut evicted = None;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key.0) {
             if let Some(&oldest) = self
                 .entries
@@ -161,9 +164,11 @@ impl<V: Clone> ResultCache<V> {
             {
                 self.entries.remove(&oldest);
                 self.evictions += 1;
+                evicted = Some(CacheKey(oldest));
             }
         }
         self.entries.insert(key.0, Entry { value, last_used: self.tick });
+        evicted
     }
 
     /// Current counter snapshot.
@@ -212,10 +217,10 @@ mod tests {
     fn lru_evicts_the_oldest_tick_deterministically() {
         let k = |n: u128| CacheKey(n);
         let mut cache: ResultCache<u32> = ResultCache::new(2);
-        cache.insert(k(1), 10);
-        cache.insert(k(2), 20);
+        assert_eq!(cache.insert(k(1), 10), None);
+        assert_eq!(cache.insert(k(2), 20), None);
         assert_eq!(cache.get(k(1)), Some(10)); // refresh 1: 2 is now oldest
-        cache.insert(k(3), 30); // evicts 2
+        assert_eq!(cache.insert(k(3), 30), Some(k(2))); // evicts 2, and says so
         assert_eq!(cache.get(k(2)), None);
         assert_eq!(cache.get(k(1)), Some(10));
         assert_eq!(cache.get(k(3)), Some(30));

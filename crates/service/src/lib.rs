@@ -24,11 +24,20 @@
 //!   requests (inline source, a path, or a corpus id) and emits one JSON
 //!   response line per job, in submission order ([`protocol`]).
 //!
+//! * **Backpressure & cancellation** — [`ServiceOptions::max_pending`] bounds
+//!   queued-but-unstarted jobs, with a configurable policy at the bound
+//!   ([`AdmissionPolicy::Block`] waits for a slot, [`AdmissionPolicy::Reject`]
+//!   fails fast with [`ServiceError::QueueFull`]); in-flight jobs are
+//!   cancellable ([`AppJob::cancel`] / [`EnvJob::cancel`] / [`CancelOnDrop`]),
+//!   which removes not-yet-claimed pipeline stages from the queue, revokes
+//!   parked environment jobs, and settles the ticket as
+//!   [`JobError::Cancelled`] without caching anything.
+//!
 //! Determinism is inherited, not re-proven: each job's analysis is the same pure
 //! function the batch path runs, so pooled + streamed + cached results are
 //! byte-identical to `Soteria::analyze_app` / `analyze_environment` at every
-//! worker count (`tests/parallel_determinism.rs` and `tests/service_cache.rs`
-//! gate this).
+//! worker count and under any interleaving of cancellations
+//! (`tests/parallel_determinism.rs` and `tests/service_cache.rs` gate this).
 //!
 //! [`AnalysisConfig::fingerprint`]: soteria_analysis::AnalysisConfig::fingerprint
 //!
@@ -48,12 +57,12 @@
 //! "#;
 //!
 //! let service = Service::with_defaults();
-//! let cold = service.submit_app("wld", source);
+//! let cold = service.submit_app("wld", source).expect("admitted");
 //! let analysis = cold.wait().expect("parses");
 //! assert!(analysis.violations.is_empty());
 //!
 //! // Identical content: a cache hit returning the same frozen analysis.
-//! let warm = service.submit_app("wld", source);
+//! let warm = service.submit_app("wld", source).expect("hits are always admitted");
 //! assert_eq!(warm.disposition(), CacheDisposition::Hit);
 //! assert!(std::sync::Arc::ptr_eq(&analysis, &warm.wait().unwrap()));
 //! ```
@@ -65,8 +74,9 @@ mod ticket;
 
 pub use cache::{app_cache_key, env_cache_key, CacheKey, CacheStats};
 pub use service::{
-    AppJob, AppResult, CacheDisposition, EnvJob, EnvResult, JobError, JobHandle, JobOutcome,
-    Service, ServiceOptions, ServiceStats,
+    AdmissionPolicy, AppJob, AppResult, CacheDisposition, Cancellable, CancelOnDrop, EnvJob,
+    EnvResult, JobError, JobHandle, JobOutcome, Service, ServiceError, ServiceOptions,
+    ServiceStats, ADMISSION_ENV, MAX_PENDING_ENV,
 };
 pub use ticket::Ticket;
 
@@ -119,11 +129,48 @@ mod tests {
         )
     }
 
+    /// Runs one submission attempt repeatedly until it stops bouncing off the
+    /// queue bound: CI also runs this suite under `SOTERIA_MAX_PENDING=2` +
+    /// `SOTERIA_ADMISSION=reject`, where any scheduling submission may meet
+    /// QueueFull. Backs off 1ms per retry instead of hot-looping the admission
+    /// mutexes the busy workers hold.
+    fn admitted<T>(
+        mut attempt: impl FnMut() -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        loop {
+            match attempt() {
+                Err(ServiceError::QueueFull { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn submit(service: &Service, name: &str, source: &str) -> AppJob {
+        admitted(|| service.submit_app(name, source)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn submit_env(service: &Service, group: &str, members: &[AppJob]) -> EnvJob {
+        admitted(|| service.submit_environment(group, members))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Service::submit_environment_by_names`] through the same retry
+    /// (member-resolution errors still surface).
+    fn submit_env_names(
+        service: &Service,
+        group: &str,
+        members: &[&str],
+    ) -> Result<EnvJob, ServiceError> {
+        admitted(|| service.submit_environment_by_names(group, members))
+    }
+
     #[test]
     fn app_jobs_match_the_direct_api() {
         let service = service_with_workers(2);
         let direct = service.soteria().analyze_app("wld", WATER_LEAK).unwrap();
-        let job = service.submit_app("wld", WATER_LEAK);
+        let job = submit(&service, "wld", WATER_LEAK);
         let served = job.wait().expect("parses");
         assert_eq!(job.disposition(), CacheDisposition::Miss);
         assert_eq!(served.violations, direct.violations);
@@ -141,13 +188,13 @@ mod tests {
     #[test]
     fn parse_errors_surface_through_tickets() {
         let service = service_with_workers(1);
-        let job = service.submit_app("bad", "definition(");
+        let job = submit(&service, "bad", "definition(");
         match job.wait() {
             Err(JobError::Parse(_)) => {}
             other => panic!("expected a parse error, got ok={:?}", other.is_ok()),
         }
         // And the failure is frozen too: resubmission hits the cache.
-        let again = service.submit_app("bad", "definition(");
+        let again = submit(&service, "bad", "definition(");
         assert_eq!(again.disposition(), CacheDisposition::Hit);
         assert!(again.wait().is_err());
     }
@@ -155,10 +202,10 @@ mod tests {
     #[test]
     fn environments_wait_for_members_and_match_the_direct_api() {
         let service = service_with_workers(2);
-        let a = service.submit_app("a", SMOKE_ON);
-        let b = service.submit_app("b", SMOKE_OFF);
+        let a = submit(&service, "a", SMOKE_ON);
+        let b = submit(&service, "b", SMOKE_OFF);
         // Submitted before the members are done: the job parks on its deps.
-        let env = service.submit_environment("G", &[a.clone(), b.clone()]);
+        let env = submit_env(&service, "G", &[a.clone(), b.clone()]);
         let served = env.wait().expect("members parse");
 
         let soteria = service.soteria();
@@ -175,39 +222,41 @@ mod tests {
     #[test]
     fn environment_by_names_rejects_unknown_members() {
         let service = service_with_workers(1);
-        service.submit_app("known", WATER_LEAK);
-        assert!(service.submit_environment_by_names("G", &["known"]).is_ok());
-        let err = service.submit_environment_by_names("G", &["known", "ghost"]);
+        submit(&service, "known", WATER_LEAK);
+        assert!(submit_env_names(&service, "G", &["known"]).is_ok());
+        let err = submit_env_names(&service, "G", &["known", "ghost"]);
         assert!(err.is_err(), "unknown member accepted");
     }
 
     #[test]
     fn frozen_members_resolve_through_the_cache_not_the_registry() {
         let service = service_with_workers(1);
-        let app = service.submit_app("a", WATER_LEAK);
+        let app = submit(&service, "a", WATER_LEAK);
         app.wait().expect("parses"); // completion downgrades the registry entry
         // The member ticket is rebuilt from the cache; the environment runs.
-        let env = service.submit_environment_by_names("G", &["a"]).unwrap();
+        let env = submit_env_names(&service, "G", &["a"]).unwrap();
         assert!(env.wait().is_ok());
-        // If the frozen result is evicted, the name alone is not enough.
+        // If the frozen result is evicted, the name goes with it: the registry
+        // drops bare-key entries alongside their cache entries, so the member
+        // is simply unknown again (no dangling name promising a result).
         let tiny = Service::new(
             Soteria::with_config(AnalysisConfig { threads: 1, ..AnalysisConfig::paper() }),
-            ServiceOptions { workers: 1, cache_capacity: 1 },
+            ServiceOptions { workers: 1, cache_capacity: 1, ..ServiceOptions::default() },
         );
-        tiny.submit_app("a", WATER_LEAK).wait().expect("parses");
-        tiny.submit_app("b", SMOKE_ON).wait().expect("parses"); // evicts a
-        let err = match tiny.submit_environment_by_names("G", &["a"]) {
-            Err(message) => message,
+        submit(&tiny, "a", WATER_LEAK).wait().expect("parses");
+        submit(&tiny, "b", SMOKE_ON).wait().expect("parses"); // evicts a (and its name)
+        match submit_env_names(&tiny, "G", &["a"]) {
+            Err(ServiceError::UnknownMember(member)) => assert_eq!(member, "a"),
+            Err(other) => panic!("expected UnknownMember, got {other}"),
             Ok(_) => panic!("evicted member accepted"),
-        };
-        assert!(err.contains("evicted"), "stale member not reported: {err}");
+        }
     }
 
     #[test]
     fn forget_finished_drops_only_completed_jobs_from_the_log() {
         let service = service_with_workers(1);
-        service.submit_app("w", WATER_LEAK).wait().expect("parses");
-        service.submit_app("on", SMOKE_ON); // may still be in flight
+        submit(&service, "w", WATER_LEAK).wait().expect("parses");
+        submit(&service, "on", SMOKE_ON); // may still be in flight
         let dropped = service.forget_finished();
         assert!(dropped >= 1, "finished job kept in the log");
         // Whatever remains in the log is still drainable, in order.
@@ -219,8 +268,8 @@ mod tests {
     #[test]
     fn environment_over_a_failed_member_reports_member_failed() {
         let service = service_with_workers(1);
-        let bad = service.submit_app("bad", "definition(");
-        let env = service.submit_environment("G", &[bad]);
+        let bad = submit(&service, "bad", "definition(");
+        let env = submit_env(&service, "G", &[bad]);
         match env.wait() {
             Err(JobError::MemberFailed { group, member }) => {
                 assert_eq!((group.as_str(), member.as_str()), ("G", "bad"));
@@ -232,10 +281,10 @@ mod tests {
     #[test]
     fn drain_returns_outcomes_in_submission_order() {
         let service = service_with_workers(2);
-        service.submit_app("w", WATER_LEAK);
-        service.submit_app("on", SMOKE_ON);
-        let on = service.submit_app("on", SMOKE_ON); // hit or coalesced
-        service.submit_environment_by_names("G", &["on"]).unwrap();
+        submit(&service, "w", WATER_LEAK);
+        submit(&service, "on", SMOKE_ON);
+        let on = submit(&service, "on", SMOKE_ON); // hit or coalesced
+        submit_env_names(&service, "G", &["on"]).unwrap();
         let outcomes = service.drain();
         assert_eq!(outcomes.len(), 4);
         let names: Vec<&str> = outcomes
@@ -257,18 +306,18 @@ mod tests {
     #[test]
     fn identical_in_flight_submissions_coalesce_to_one_computation() {
         let service = service_with_workers(1);
-        let first = service.submit_app("w", WATER_LEAK);
+        let first = submit(&service, "w", WATER_LEAK);
         // Race-free check: submitted twice back-to-back, the second either hits
         // the cache (first already finished) or coalesces — never a second miss.
-        let second = service.submit_app("w", WATER_LEAK);
+        let second = submit(&service, "w", WATER_LEAK);
         assert_ne!(second.disposition(), CacheDisposition::Miss);
         let a = first.wait().unwrap();
         let b = second.wait().unwrap();
         assert!(std::sync::Arc::ptr_eq(&a, &b), "coalesced job recomputed");
         // Environments coalesce the same way: identical group over identical
         // member content, submitted back-to-back, computes the union once.
-        let env_first = service.submit_environment_by_names("G", &["w"]).unwrap();
-        let env_second = service.submit_environment_by_names("G", &["w"]).unwrap();
+        let env_first = submit_env_names(&service, "G", &["w"]).unwrap();
+        let env_second = submit_env_names(&service, "G", &["w"]).unwrap();
         assert_ne!(env_second.disposition(), CacheDisposition::Miss);
         assert!(
             std::sync::Arc::ptr_eq(&env_first.wait().unwrap(), &env_second.wait().unwrap()),
@@ -287,8 +336,8 @@ mod tests {
             "analysis failed: boom at model build"
         );
         let service = service_with_workers(1);
-        service.submit_app("bad", "definition(");
-        service.submit_app("w", WATER_LEAK);
+        submit(&service, "bad", "definition(");
+        submit(&service, "w", WATER_LEAK);
         let outcomes = service.drain();
         assert_eq!(outcomes.len(), 2);
         assert!(matches!(

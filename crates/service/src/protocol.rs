@@ -11,6 +11,7 @@
 //! app <name> path:<file>               # source read from a file
 //! app <name> corpus:<id>              # a built-in corpus app (e.g. SmokeAlarm, App5, TP3)
 //! env <group> <member,member,...>     # union analysis over prior app jobs, by name
+//! cancel <name>                       # cancel an in-flight app or env job, by name
 //! stats                               # service counter snapshot
 //! ```
 //!
@@ -21,15 +22,21 @@
 //! ```text
 //! {"job":0,"kind":"app","name":...,"status":"ok","cache":"hit|miss|coalesced","report":{...}}
 //! {"job":1,"kind":"env","name":...,"status":"ok","cache":...,"report":{...}}
-//! {"job":2,"kind":"error","status":"error","error":"..."}
-//! {"job":3,"kind":"stats","status":"ok","stats":{...}}
+//! {"job":2,"kind":"error","status":"error","error":"..."}     # incl. "queue full: ..."
+//! {"job":3,"kind":"app","name":...,"status":"cancelled","cache":...,"error":"cancelled"}
+//! {"job":4,"kind":"cancel","name":...,"status":"ok","cancelled":true|false}
+//! {"job":5,"kind":"stats","status":"ok","stats":{...}}
 //! ```
 //!
 //! `report` objects are [`soteria::app_analysis_json`] /
 //! [`soteria::environment_json`] — cached responses are byte-identical to the
-//! original, including the measured timings frozen with the result.
+//! original, including the measured timings frozen with the result. A job whose
+//! computation was cancelled (its own `cancel` request or a coalesced holder's)
+//! reports `"status":"cancelled"`; a submission rejected by a full queue under
+//! `--admission reject` is an `error` response whose message starts with
+//! `queue full`.
 
-use crate::service::{AppResult, CacheDisposition, EnvResult, ServiceStats};
+use crate::service::{AppResult, CacheDisposition, EnvResult, JobError, ServiceStats};
 use soteria::{app_analysis_json, environment_json, JsonValue};
 
 /// Where an `app` request's source comes from.
@@ -59,6 +66,11 @@ pub enum Request {
         name: String,
         /// Member app job names.
         members: Vec<String>,
+    },
+    /// Cancel an in-flight job (app or environment) by its submitted name.
+    Cancel {
+        /// The name the job was submitted under.
+        name: String,
     },
     /// Emit a service counter snapshot.
     Stats,
@@ -156,6 +168,16 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             }
             Ok(Some(Request::Environment { name: name.to_string(), members }))
         }
+        "cancel" => {
+            let (name, rest) = next_field(rest);
+            if name.is_empty() {
+                return Err("cancel: missing job name".to_string());
+            }
+            if !rest.is_empty() {
+                return Err(format!("cancel: unexpected trailing input '{rest}'"));
+            }
+            Ok(Some(Request::Cancel { name: name.to_string() }))
+        }
         "stats" => Ok(Some(Request::Stats)),
         other => Err(format!("unknown request '{other}'")),
     }
@@ -169,6 +191,15 @@ fn response_header(job: usize, kind: &str, status: &str) -> Vec<(&'static str, J
     ]
 }
 
+/// The response status of a job result: `ok`, `cancelled`, or `error`.
+fn result_status<T>(result: &Result<T, JobError>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(JobError::Cancelled) => "cancelled",
+        Err(_) => "error",
+    }
+}
+
 /// The response line for a finished app job.
 pub fn app_response(
     job: usize,
@@ -176,11 +207,7 @@ pub fn app_response(
     disposition: CacheDisposition,
     result: &AppResult,
 ) -> JsonValue {
-    let mut members = response_header(
-        job,
-        "app",
-        if result.is_ok() { "ok" } else { "error" },
-    );
+    let mut members = response_header(job, "app", result_status(result));
     members.push(("name", JsonValue::string(name)));
     members.push(("cache", JsonValue::string(disposition.as_str())));
     match result {
@@ -197,17 +224,23 @@ pub fn env_response(
     disposition: CacheDisposition,
     result: &EnvResult,
 ) -> JsonValue {
-    let mut members = response_header(
-        job,
-        "env",
-        if result.is_ok() { "ok" } else { "error" },
-    );
+    let mut members = response_header(job, "env", result_status(result));
     members.push(("name", JsonValue::string(name)));
     members.push(("cache", JsonValue::string(disposition.as_str())));
     match result {
         Ok(env) => members.push(("report", environment_json(env))),
         Err(error) => members.push(("error", JsonValue::string(error.to_string()))),
     }
+    JsonValue::object(members)
+}
+
+/// The response line for a `cancel` request. `cancelled` is whether the request
+/// actually settled a job as cancelled (false: the name is unknown, or the job
+/// already finished — its result response line is/was a normal one).
+pub fn cancel_response(job: usize, name: &str, cancelled: bool) -> JsonValue {
+    let mut members = response_header(job, "cancel", "ok");
+    members.push(("name", JsonValue::string(name)));
+    members.push(("cancelled", JsonValue::Bool(cancelled)));
     JsonValue::object(members)
 }
 
@@ -236,6 +269,10 @@ pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
             ("tasks_executed", JsonValue::Number(stats.tasks_executed as f64)),
             ("submitted", JsonValue::Number(stats.submitted as f64)),
             ("coalesced", JsonValue::Number(stats.coalesced as f64)),
+            ("rejected", JsonValue::Number(stats.rejected as f64)),
+            ("cancelled", JsonValue::Number(stats.cancelled as f64)),
+            ("pending", JsonValue::uint(stats.pending)),
+            ("registry_entries", JsonValue::uint(stats.registry_entries)),
             ("app_cache", cache(stats.app_cache)),
             ("env_cache", cache(stats.env_cache)),
         ]),
@@ -246,6 +283,7 @@ pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn escape_round_trips_sources() {
@@ -280,6 +318,10 @@ mod tests {
                 members: vec!["a".into(), "b".into(), "c".into()]
             })
         );
+        assert_eq!(
+            parse_request("cancel wld").unwrap(),
+            Some(Request::Cancel { name: "wld".into() })
+        );
         assert_eq!(parse_request("stats").unwrap(), Some(Request::Stats));
         // Separator runs collapse: doubled spaces and tabs parse identically.
         assert_eq!(
@@ -301,10 +343,73 @@ mod tests {
             "app name file:/x",
             "env G",
             "env",
+            "cancel",
+            "cancel two names",
             "frobnicate x",
             "app n inline:bad\\q",
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn cancelled_results_report_status_cancelled() {
+        let result: AppResult = Err(JobError::Cancelled);
+        let line = app_response(7, "wld", CacheDisposition::Miss, &result);
+        assert_eq!(line.get("status").and_then(|v| v.as_str()), Some("cancelled"));
+        assert_eq!(line.get("error").and_then(|v| v.as_str()), Some("cancelled"));
+        let ok = cancel_response(8, "wld", true);
+        assert_eq!(ok.get("kind").and_then(|v| v.as_str()), Some("cancel"));
+        assert_eq!(ok.get("cancelled"), Some(&JsonValue::Bool(true)));
+    }
+
+    /// A deterministic generator over source-shaped strings: every character
+    /// class `escape` treats specially (backslashes, the three escaped control
+    /// characters) plus plain ASCII, other controls, and multi-byte unicode.
+    struct SourceStrings;
+
+    impl Strategy for SourceStrings {
+        type Value = String;
+        fn sample(&self, rng: &mut proptest::TestRng) -> String {
+            let len = (rng.next_u64() % 64) as usize;
+            (0..len)
+                .map(|_| match rng.next_u64() % 8 {
+                    0 => '\\',
+                    1 => '\n',
+                    2 => '\r',
+                    3 => '\t',
+                    4 => char::from(b' ' + (rng.next_u64() % 94) as u8),
+                    5 => '"',
+                    6 => '✓',
+                    _ => char::from_u32(0x1F600 + (rng.next_u64() % 80) as u32).unwrap_or('x'),
+                })
+                .collect()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// `unescape ∘ escape` is the identity on arbitrary source text, and
+        /// the escaped form never contains a raw newline (the framing invariant
+        /// of the one-request-per-line protocol).
+        #[test]
+        fn escape_unescape_round_trips_arbitrary_sources(source in SourceStrings) {
+            let escaped = escape(&source);
+            prop_assert!(!escaped.contains('\n') && !escaped.contains('\r'));
+            prop_assert_eq!(unescape(&escaped).unwrap(), source);
+        }
+
+        /// Appending an invalid escape to any escaped text makes `unescape`
+        /// reject the whole line (never panic, never truncate silently).
+        #[test]
+        fn unescape_rejects_invalid_escapes(source in SourceStrings) {
+            let mut bad = escape(&source);
+            bad.push_str("\\q");
+            prop_assert!(unescape(&bad).is_err());
+            let mut dangling = escape(&source);
+            dangling.push('\\');
+            prop_assert!(unescape(&dangling).is_err());
         }
     }
 }

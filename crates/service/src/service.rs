@@ -1,14 +1,15 @@
-//! The long-lived analysis service: job queue + worker pool + result cache.
+//! The long-lived analysis service: job queue + worker pool + result cache,
+//! with admission control (queue bounds) and job cancellation.
 
 use crate::cache::{app_cache_key, env_cache_key, CacheKey, CacheStats, ResultCache};
 use crate::ticket::{PendingJob, Ticket};
 use soteria::{AppAnalysis, EnvironmentAnalysis, Soteria};
-use soteria_exec::WorkerPool;
+use soteria_exec::{lock_recover, recover, TaskId, WorkerPool};
 use soteria_lang::ParseError;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 
 /// Why a job failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +27,9 @@ pub enum JobError {
     /// and reported through the ticket — one adversarial input must never wedge
     /// the response stream of a long-lived service.
     Internal(String),
+    /// The job was cancelled before it produced a result. Cancelled jobs are
+    /// never cached: resubmitting the same content schedules a fresh analysis.
+    Cancelled,
 }
 
 impl fmt::Display for JobError {
@@ -36,6 +40,42 @@ impl fmt::Display for JobError {
                 write!(f, "environment {group}: member {member} failed")
             }
             JobError::Internal(message) => write!(f, "analysis failed: {message}"),
+            JobError::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The queue bound was reached under [`AdmissionPolicy::Reject`].
+    QueueFull {
+        /// Queued-but-unstarted jobs at rejection time.
+        pending: usize,
+        /// The configured [`ServiceOptions::max_pending`] bound.
+        max_pending: usize,
+    },
+    /// An environment member name was never submitted to this service (or its
+    /// job was cancelled, which removes the name).
+    UnknownMember(String),
+    /// An environment member's frozen result was evicted from the result cache;
+    /// resubmit the app to reanalyze it.
+    EvictedMember(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { pending, max_pending } => {
+                write!(f, "queue full: {pending} pending jobs (max {max_pending})")
+            }
+            ServiceError::UnknownMember(member) => {
+                write!(f, "unknown environment member '{member}'")
+            }
+            ServiceError::EvictedMember(member) => write!(
+                f,
+                "environment member '{member}' was evicted from the result cache; resubmit it"
+            ),
         }
     }
 }
@@ -77,6 +117,180 @@ impl CacheDisposition {
     }
 }
 
+/// Where a scheduled job currently is, for the cancellation state machine.
+enum Stage {
+    /// Admitted but not yet on the injector queue: the pre-spawn window for app
+    /// jobs, or the whole parked-on-members phase for environment jobs.
+    Parked,
+    /// One of the job's pipeline stages is waiting on the injector queue.
+    Queued(TaskId),
+    /// A worker is executing one of the job's stages.
+    Running,
+    /// The result was settled through the finish path (cached + fulfilled).
+    Finished,
+    /// The ticket was settled as [`JobError::Cancelled`]; any still-running
+    /// stage discards its result, any still-queued stage is skipped.
+    Cancelled,
+}
+
+struct ControlState {
+    stage: Stage,
+    /// Whether the job still holds an admission slot (it does from submission
+    /// until its first stage starts running, or until cancellation).
+    admitted: bool,
+    /// The parked dependency job (environment jobs only), revoked on cancel so
+    /// member completion releases nothing.
+    parked: Option<Arc<PendingJob>>,
+}
+
+/// Per-scheduled-job cancellation state, shared by the submitter's handle (and
+/// any coalesced handles), the pipeline-stage tasks, and the service.
+pub(crate) struct JobControl {
+    state: Mutex<ControlState>,
+}
+
+impl JobControl {
+    fn new() -> Arc<Self> {
+        Arc::new(JobControl {
+            state: Mutex::new(ControlState {
+                stage: Stage::Parked,
+                admitted: true,
+                parked: None,
+            }),
+        })
+    }
+
+    /// Worker-stage prologue: transitions to `Running` and releases the
+    /// admission slot on the job's first stage. Returns `false` when the job
+    /// was cancelled — the stage must be skipped entirely (the ticket is
+    /// already settled).
+    fn begin_stage(&self, admission: &Admission) -> bool {
+        let mut state = lock_recover(&self.state);
+        if matches!(state.stage, Stage::Cancelled) {
+            return false;
+        }
+        state.stage = Stage::Running;
+        state.parked = None; // the parked phase is over; free the job record
+        let release = std::mem::take(&mut state.admitted);
+        drop(state);
+        if release {
+            admission.release();
+        }
+        true
+    }
+
+    /// Terminal transition for a stage that produced the job's result. Returns
+    /// `false` when a concurrent cancel won the race — the result must be
+    /// discarded (the ticket is already settled as `Cancelled`, and nothing may
+    /// be cached).
+    fn mark_finished(&self) -> bool {
+        let mut state = lock_recover(&self.state);
+        if matches!(state.stage, Stage::Cancelled) {
+            return false;
+        }
+        state.stage = Stage::Finished;
+        true
+    }
+
+    /// The shared first half of cancellation: transitions to `Cancelled`,
+    /// removes a still-queued stage from the injector queue (or revokes the
+    /// parked dependency job), and releases the admission slot. Returns `false`
+    /// when the job already finished or was already cancelled. The caller
+    /// settles the ticket and cleans the service maps afterwards.
+    fn cancel_stage(&self, inner: &ServiceInner) -> bool {
+        let mut state = lock_recover(&self.state);
+        match state.stage {
+            Stage::Finished | Stage::Cancelled => return false,
+            // If a worker claimed the task between our revoke and now, its
+            // prologue observes `Cancelled` under this same lock and skips.
+            Stage::Queued(id) => {
+                let _ = inner.pool.try_revoke(id);
+            }
+            Stage::Parked => {
+                if let Some(parked) = state.parked.take() {
+                    parked.revoke();
+                }
+            }
+            // A running stage finishes its computation but `mark_finished`
+            // returns false, so the result is discarded, never cached.
+            Stage::Running => {}
+        }
+        state.stage = Stage::Cancelled;
+        let release = std::mem::take(&mut state.admitted);
+        drop(state);
+        if release {
+            inner.admission.release();
+        }
+        true
+    }
+}
+
+/// What happens when a submission meets a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until a pending job starts (or is
+    /// cancelled), then admit.
+    Block,
+    /// Fail the submission immediately with [`ServiceError::QueueFull`].
+    Reject,
+}
+
+enum Admit {
+    Granted,
+    Full(usize),
+}
+
+/// The pending-job accounting behind [`ServiceOptions::max_pending`]: counts
+/// jobs that were admitted but whose first stage has not started running
+/// (queued app pipelines and parked environment jobs alike).
+struct Admission {
+    /// 0 = unbounded.
+    max_pending: usize,
+    policy: AdmissionPolicy,
+    pending: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    fn new(max_pending: usize, policy: AdmissionPolicy) -> Self {
+        Admission { max_pending, policy, pending: Mutex::new(0), freed: Condvar::new() }
+    }
+
+    fn try_acquire(&self) -> Admit {
+        let mut pending = lock_recover(&self.pending);
+        if self.max_pending != 0 && *pending >= self.max_pending {
+            return Admit::Full(*pending);
+        }
+        *pending += 1;
+        debug_assert!(
+            self.max_pending == 0 || *pending <= self.max_pending,
+            "pending jobs exceed max_pending"
+        );
+        Admit::Granted
+    }
+
+    fn release(&self) {
+        let mut pending = lock_recover(&self.pending);
+        *pending = pending.saturating_sub(1);
+        drop(pending);
+        self.freed.notify_all();
+    }
+
+    /// Blocks until the pending count is below the bound. The caller re-runs
+    /// its whole admission decision afterwards (another submitter may have
+    /// taken the slot first).
+    fn wait_for_capacity(&self) {
+        let mut pending = lock_recover(&self.pending);
+        while self.max_pending != 0 && *pending >= self.max_pending {
+            pending = recover(self.freed.wait(pending));
+        }
+    }
+
+    fn pending(&self) -> usize {
+        *lock_recover(&self.pending)
+    }
+}
+
 /// Handle to a submitted app job.
 #[derive(Clone)]
 pub struct AppJob {
@@ -84,6 +298,11 @@ pub struct AppJob {
     key: CacheKey,
     disposition: CacheDisposition,
     ticket: Ticket<AppResult>,
+    /// Present on scheduled (and coalesced-onto-scheduled) jobs; `None` on
+    /// cache hits, which have nothing left to cancel.
+    control: Option<Arc<JobControl>>,
+    /// Weak so outstanding handles never keep a dropped service's pool alive.
+    service: Weak<ServiceInner>,
 }
 
 impl AppJob {
@@ -111,6 +330,38 @@ impl AppJob {
     pub fn wait(&self) -> AppResult {
         self.ticket.wait()
     }
+
+    /// Requests cancellation of the underlying computation.
+    ///
+    /// Returns `true` when this call settled the job as
+    /// [`JobError::Cancelled`]: a still-queued pipeline stage is removed from
+    /// the injector queue (never runs), a parked stage is revoked, and a
+    /// stage already running has its result discarded when it completes —
+    /// nothing is cached either way, so resubmitting the same content
+    /// schedules a fresh analysis. Returns `false` when there is nothing to
+    /// cancel: the job already finished (or was a cache hit), was already
+    /// cancelled, or the service is gone.
+    ///
+    /// Cancellation is by *computation*, not by handle: coalesced handles share
+    /// the scheduled job, so cancelling any of them cancels all waiters (each
+    /// sees `Err(Cancelled)`), and a parked environment job over a cancelled
+    /// member fails deterministically with [`JobError::MemberFailed`].
+    pub fn cancel(&self) -> bool {
+        let Some(control) = &self.control else { return false };
+        let Some(inner) = self.service.upgrade() else { return false };
+        if !control.cancel_stage(&inner) {
+            return false;
+        }
+        inner.cancel_app(&self.name, &self.ticket);
+        true
+    }
+
+    /// Wraps the handle in a guard that cancels the job when dropped (unless
+    /// [disarmed](CancelOnDrop::disarm)) — the RAII shape for callers that
+    /// abandon responses, e.g. a serve loop whose client disconnected.
+    pub fn cancel_on_drop(self) -> CancelOnDrop<AppJob> {
+        CancelOnDrop { job: Some(self) }
+    }
 }
 
 /// Handle to a submitted environment job.
@@ -120,6 +371,8 @@ pub struct EnvJob {
     key: CacheKey,
     disposition: CacheDisposition,
     ticket: Ticket<EnvResult>,
+    control: Option<Arc<JobControl>>,
+    service: Weak<ServiceInner>,
 }
 
 impl EnvJob {
@@ -146,6 +399,74 @@ impl EnvJob {
     /// Blocks until the environment analysis (or error) is available.
     pub fn wait(&self) -> EnvResult {
         self.ticket.wait()
+    }
+
+    /// Requests cancellation; same contract as [`AppJob::cancel`]. A parked
+    /// environment job is cancellable for its whole pre-run life: while parked,
+    /// the task is revoked so member completion releases nothing; once the last
+    /// member resolves and the task is enqueued, the cancel revokes it from the
+    /// injector queue like any queued stage.
+    pub fn cancel(&self) -> bool {
+        let Some(control) = &self.control else { return false };
+        let Some(inner) = self.service.upgrade() else { return false };
+        if !control.cancel_stage(&inner) {
+            return false;
+        }
+        inner.cancel_env(self.key, &self.ticket);
+        true
+    }
+
+    /// Wraps the handle in a guard that cancels the job when dropped (unless
+    /// [disarmed](CancelOnDrop::disarm)).
+    pub fn cancel_on_drop(self) -> CancelOnDrop<EnvJob> {
+        CancelOnDrop { job: Some(self) }
+    }
+}
+
+/// A job handle that can request cancellation ([`AppJob`] / [`EnvJob`]).
+pub trait Cancellable {
+    /// Requests cancellation; see [`AppJob::cancel`] for the contract.
+    fn cancel(&self) -> bool;
+}
+
+impl Cancellable for AppJob {
+    fn cancel(&self) -> bool {
+        AppJob::cancel(self)
+    }
+}
+
+impl Cancellable for EnvJob {
+    fn cancel(&self) -> bool {
+        EnvJob::cancel(self)
+    }
+}
+
+/// Drop guard around a job handle: cancels the job when dropped, unless
+/// [`CancelOnDrop::disarm`]ed first. Dereferences to the wrapped handle.
+pub struct CancelOnDrop<J: Cancellable> {
+    job: Option<J>,
+}
+
+impl<J: Cancellable> CancelOnDrop<J> {
+    /// Defuses the guard and returns the handle: the job will *not* be
+    /// cancelled on drop.
+    pub fn disarm(mut self) -> J {
+        self.job.take().expect("guard disarmed twice")
+    }
+}
+
+impl<J: Cancellable> std::ops::Deref for CancelOnDrop<J> {
+    type Target = J;
+    fn deref(&self) -> &J {
+        self.job.as_ref().expect("guard already disarmed")
+    }
+}
+
+impl<J: Cancellable> Drop for CancelOnDrop<J> {
+    fn drop(&mut self) {
+        if let Some(job) = self.job.take() {
+            job.cancel();
+        }
     }
 }
 
@@ -194,7 +515,7 @@ impl JobHandle {
 
 /// A finished job, as returned by [`Service::drain`] in submission order.
 pub enum JobOutcome {
-    /// An app analysis finished (or failed to parse).
+    /// An app analysis finished (or failed to parse, or was cancelled).
     App {
         /// Submitted app name.
         name: String,
@@ -203,7 +524,8 @@ pub enum JobOutcome {
         /// The frozen analysis or the error.
         result: AppResult,
     },
-    /// An environment analysis finished (or a member failed).
+    /// An environment analysis finished (or a member failed, or it was
+    /// cancelled).
     Environment {
         /// Submitted group name.
         name: String,
@@ -214,6 +536,12 @@ pub enum JobOutcome {
     },
 }
 
+/// The environment variable behind [`ServiceOptions::max_pending`]'s default.
+pub const MAX_PENDING_ENV: &str = "SOTERIA_MAX_PENDING";
+/// The environment variable behind [`ServiceOptions::admission`]'s default
+/// (`"reject"` selects [`AdmissionPolicy::Reject`]; anything else blocks).
+pub const ADMISSION_ENV: &str = "SOTERIA_ADMISSION";
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceOptions {
@@ -223,11 +551,32 @@ pub struct ServiceOptions {
     pub workers: usize,
     /// Bound on each result cache (apps and environments separately).
     pub cache_capacity: usize,
+    /// Bound on queued-but-unstarted jobs (`0` = unbounded). A job counts as
+    /// pending from admission until its first pipeline stage starts running on
+    /// a worker; parked environment jobs count for their whole parked phase.
+    /// Cache hits and coalesced submissions schedule nothing and are never
+    /// counted (or rejected).
+    pub max_pending: usize,
+    /// What a submission at the bound does: wait for a slot
+    /// ([`AdmissionPolicy::Block`]) or fail fast with
+    /// [`ServiceError::QueueFull`] ([`AdmissionPolicy::Reject`]).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServiceOptions {
+    /// Unbounded blocking admission, overridable through [`MAX_PENDING_ENV`]
+    /// and [`ADMISSION_ENV`] — which is how CI runs the whole service test
+    /// suite once with a 2-deep rejecting queue.
     fn default() -> Self {
-        ServiceOptions { workers: 0, cache_capacity: 1024 }
+        let max_pending = std::env::var(MAX_PENDING_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        let admission = match std::env::var(ADMISSION_ENV).ok().as_deref().map(str::trim) {
+            Some("reject") => AdmissionPolicy::Reject,
+            _ => AdmissionPolicy::Block,
+        };
+        ServiceOptions { workers: 0, cache_capacity: 1024, max_pending, admission }
     }
 }
 
@@ -238,10 +587,22 @@ pub struct ServiceStats {
     pub workers: usize,
     /// Pool tasks executed so far (ingest + verify + environment stages).
     pub tasks_executed: u64,
-    /// Jobs submitted (apps + environments).
+    /// Jobs accepted (apps + environments; rejected submissions count under
+    /// `rejected` instead).
     pub submitted: u64,
     /// Submissions that attached to an identical in-flight job.
     pub coalesced: u64,
+    /// Submissions rejected with [`ServiceError::QueueFull`].
+    pub rejected: u64,
+    /// Jobs settled as [`JobError::Cancelled`].
+    pub cancelled: u64,
+    /// Queued-but-unstarted jobs right now (the quantity
+    /// [`ServiceOptions::max_pending`] bounds).
+    pub pending: usize,
+    /// Per-name registry entries right now (bounded by live tickets plus the
+    /// app cache capacity — bare keys are evicted alongside their cache
+    /// entries).
+    pub registry_entries: usize,
     /// App result cache counters.
     pub app_cache: CacheStats,
     /// Environment result cache counters.
@@ -249,13 +610,19 @@ pub struct ServiceStats {
 }
 
 /// The latest submission under one app name. While the job is in flight the
-/// ticket is held here (for coalescing and environment members); once the
-/// result freezes into the cache the ticket is dropped, so the registry pins
-/// only a 16-byte key per name — never a whole analysis outside the LRU bound.
+/// ticket (and its cancellation control) are held here, for coalescing,
+/// name-based environment members, and `cancel <name>` protocol requests; once
+/// the result freezes into the cache both are dropped, leaving a bare 16-byte
+/// key that is itself evicted when its cache entry is — the registry never
+/// outgrows live tickets + cache capacity.
 struct RegistryEntry {
     key: CacheKey,
     ticket: Option<Ticket<AppResult>>,
+    control: Option<Arc<JobControl>>,
 }
+
+/// An in-flight environment job's shared ticket and cancellation control.
+type InFlightEnv = (Ticket<EnvResult>, Arc<JobControl>);
 
 struct ServiceInner {
     soteria: Soteria,
@@ -264,19 +631,21 @@ struct ServiceInner {
     engine_tag: String,
     config_fingerprint: u64,
     pool: WorkerPool,
+    admission: Admission,
     apps: Mutex<ResultCache<AppResult>>,
     envs: Mutex<ResultCache<EnvResult>>,
-    /// Latest submission per app name, for in-flight coalescing and name-based
-    /// environment members. Entries are never evicted: a distinct name costs
-    /// its string plus a 16-byte key for the service lifetime (results
-    /// themselves live only in the bounded caches).
+    /// Latest submission per app name, for in-flight coalescing, name-based
+    /// environment members, and cancellation. Bare-key entries are evicted
+    /// together with their LRU cache entries (see [`RegistryEntry`]).
     registry: Mutex<HashMap<String, RegistryEntry>>,
     /// In-flight environment jobs by content key, so identical concurrent
     /// `env` submissions coalesce instead of running the union twice. Entries
-    /// are removed at completion.
-    envs_in_flight: Mutex<HashMap<u128, Ticket<EnvResult>>>,
+    /// are removed at completion or cancellation.
+    envs_in_flight: Mutex<HashMap<u128, InFlightEnv>>,
     submitted: AtomicU64,
     coalesced: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 impl ServiceInner {
@@ -287,32 +656,137 @@ impl ServiceInner {
         ticket: &Ticket<AppResult>,
         result: AppResult,
     ) {
-        self.apps.lock().unwrap().insert(key, result.clone());
-        self.release(ticket.fulfil(result));
+        let evicted = lock_recover(&self.apps).insert(key, result.clone());
         // The cache owns the frozen result now; stop pinning it via the name
-        // registry (unless a newer submission already replaced the entry).
-        let mut registry = self.registry.lock().unwrap();
+        // registry (unless a newer submission already replaced the entry), and
+        // drop the bare keys of whatever the insert evicted — a name must never
+        // outlive its frozen result. All before fulfilling, so a waiter that
+        // wakes up observes a consistent registry.
+        let mut registry = lock_recover(&self.registry);
         if let Some(entry) = registry.get_mut(name) {
             if entry.key == key {
                 entry.ticket = None;
+                entry.control = None;
             }
         }
+        if let Some(evicted) = evicted {
+            registry.retain(|_, entry| entry.ticket.is_some() || entry.key != evicted);
+        }
+        drop(registry);
+        self.release(ticket.fulfil(result));
     }
 
     fn finish_env(&self, key: CacheKey, ticket: &Ticket<EnvResult>, result: EnvResult) {
         // Freeze into the cache before leaving the in-flight map, so a
         // concurrent submitter always finds the result in one place or the
         // other; fulfil last, so in-flight tickets are never already ready.
-        self.envs.lock().unwrap().insert(key, result.clone());
-        self.envs_in_flight.lock().unwrap().remove(&key.0);
+        let _ = lock_recover(&self.envs).insert(key, result.clone());
+        lock_recover(&self.envs_in_flight).remove(&key.0);
         self.release(ticket.fulfil(result));
     }
 
+    /// The bookkeeping half of an app-job cancellation (after
+    /// [`JobControl::cancel_stage`] won): settle the ticket, release any parked
+    /// subscribers (a dependent environment job must run to report its member
+    /// failure), and un-register the name — nothing was cached, so the name
+    /// must not promise a result.
+    fn cancel_app(&self, name: &str, ticket: &Ticket<AppResult>) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.release(ticket.fulfil(Err(JobError::Cancelled)));
+        let mut registry = lock_recover(&self.registry);
+        let stale = registry
+            .get(name)
+            .is_some_and(|entry| entry.ticket.as_ref().is_some_and(|t| t.same(ticket)));
+        if stale {
+            registry.remove(name);
+        }
+    }
+
+    /// The bookkeeping half of an environment-job cancellation: leave the
+    /// in-flight map (so identical resubmissions schedule fresh), then settle.
+    fn cancel_env(&self, key: CacheKey, ticket: &Ticket<EnvResult>) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        let mut in_flight = lock_recover(&self.envs_in_flight);
+        if in_flight.get(&key.0).is_some_and(|(t, _)| t.same(ticket)) {
+            in_flight.remove(&key.0);
+        }
+        drop(in_flight);
+        self.release(ticket.fulfil(Err(JobError::Cancelled)));
+    }
+
+    /// Settles an app stage's result unless cancellation already settled the
+    /// ticket, in which case the result is discarded (never cached).
+    fn settle_app(
+        &self,
+        control: &JobControl,
+        name: &str,
+        key: CacheKey,
+        ticket: &Ticket<AppResult>,
+        result: AppResult,
+    ) {
+        if control.mark_finished() {
+            self.finish_app(name, key, ticket, result);
+        }
+    }
+
+    /// Settles an environment result unless cancellation won the race.
+    fn settle_env(
+        &self,
+        control: &JobControl,
+        key: CacheKey,
+        ticket: &Ticket<EnvResult>,
+        result: EnvResult,
+    ) {
+        if control.mark_finished() {
+            self.finish_env(key, ticket, result);
+        }
+    }
+
     /// Enqueues every parked job whose last dependency this fulfilment resolved.
+    /// Jobs carrying a cancellation control have their queue identity recorded
+    /// under the control lock, so a cancel arriving after the dependencies
+    /// resolved still revokes the queued task (and one arriving concurrently is
+    /// observed here, dropping the task without consuming a queue slot).
     fn release(&self, subscribers: Vec<Arc<PendingJob>>) {
         for job in subscribers {
             if let Some(task) = job.dep_ready() {
-                self.pool.spawn(task);
+                match job.control() {
+                    Some(control) => self.spawn_controlled(task, &control),
+                    None => {
+                        self.pool.spawn(task);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns a job's task, recording its queue identity on the control under
+    /// the control lock so a cancel can revoke it — or dropping the task
+    /// without consuming a queue slot when the job was already cancelled.
+    fn spawn_controlled(&self, task: crate::ticket::Task, control: &JobControl) {
+        let mut state = lock_recover(&control.state);
+        if matches!(state.stage, Stage::Cancelled) {
+            return;
+        }
+        state.stage = Stage::Queued(self.pool.spawn(task));
+    }
+
+    /// One full-queue admission round: under [`AdmissionPolicy::Reject`] counts
+    /// the rejection and returns [`ServiceError::QueueFull`]; under
+    /// [`AdmissionPolicy::Block`] returns once capacity frees (the caller
+    /// re-runs its whole admission decision).
+    fn admission_full(&self, pending: usize) -> Result<(), ServiceError> {
+        match self.admission.policy {
+            AdmissionPolicy::Reject => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::QueueFull {
+                    pending,
+                    max_pending: self.admission.max_pending,
+                })
+            }
+            AdmissionPolicy::Block => {
+                self.admission.wait_for_capacity();
+                Ok(())
             }
         }
     }
@@ -332,6 +806,18 @@ impl ServiceInner {
 /// gates prove worker counts never change them — so every finished job is frozen
 /// into a bounded content-addressed LRU cache: resubmitting identical content is
 /// a [`CacheDisposition::Hit`] returning the byte-identical original.
+///
+/// # Backpressure and cancellation
+///
+/// [`ServiceOptions::max_pending`] bounds queued-but-unstarted jobs; at the
+/// bound, submissions either wait ([`AdmissionPolicy::Block`]) or fail fast
+/// with [`ServiceError::QueueFull`] ([`AdmissionPolicy::Reject`]). In-flight
+/// jobs can be cancelled ([`AppJob::cancel`] / [`EnvJob::cancel`], or the
+/// [`CancelOnDrop`] guard): a queued stage is removed from the injector queue,
+/// a parked environment job is revoked, a running stage's result is discarded —
+/// and the ticket settles as [`JobError::Cancelled`] without caching anything.
+/// Jobs that *do* complete remain byte-identical to the sequential path under
+/// any interleaving of cancellations (`tests/parallel_determinism.rs`).
 pub struct Service {
     inner: Arc<ServiceInner>,
     submissions: Mutex<Vec<JobHandle>>,
@@ -346,12 +832,15 @@ impl Service {
             engine_tag: format!("{:?}", soteria.engine),
             config_fingerprint: soteria.config.fingerprint(),
             pool: WorkerPool::new(workers),
+            admission: Admission::new(options.max_pending, options.admission),
             apps: Mutex::new(ResultCache::new(options.cache_capacity)),
             envs: Mutex::new(ResultCache::new(options.cache_capacity)),
             registry: Mutex::new(HashMap::new()),
             envs_in_flight: Mutex::new(HashMap::new()),
             submitted: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             soteria,
         };
         Service { inner: Arc::new(inner), submissions: Mutex::new(Vec::new()) }
@@ -372,63 +861,143 @@ impl Service {
         self.inner.pool.workers()
     }
 
-    /// Submits one app for analysis; returns immediately.
-    pub fn submit_app(&self, name: &str, source: &str) -> AppJob {
+    fn app_job(
+        &self,
+        name: &str,
+        key: CacheKey,
+        disposition: CacheDisposition,
+        ticket: Ticket<AppResult>,
+        control: Option<Arc<JobControl>>,
+    ) -> AppJob {
+        AppJob {
+            name: name.to_string(),
+            key,
+            disposition,
+            ticket,
+            control,
+            service: Arc::downgrade(&self.inner),
+        }
+    }
+
+    fn env_job(
+        &self,
+        group: &str,
+        key: CacheKey,
+        disposition: CacheDisposition,
+        ticket: Ticket<EnvResult>,
+        control: Option<Arc<JobControl>>,
+    ) -> EnvJob {
+        EnvJob {
+            name: group.to_string(),
+            key,
+            disposition,
+            ticket,
+            control,
+            service: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Submits one app for analysis.
+    ///
+    /// Returns immediately unless the pending-job bound is reached under
+    /// [`AdmissionPolicy::Block`] (then it waits for a slot). Under
+    /// [`AdmissionPolicy::Reject`] a full queue fails with
+    /// [`ServiceError::QueueFull`] — but only for submissions that would
+    /// schedule work: cache hits and coalesced submissions are always accepted.
+    pub fn submit_app(&self, name: &str, source: &str) -> Result<AppJob, ServiceError> {
         let inner = &self.inner;
-        inner.submitted.fetch_add(1, Ordering::Relaxed);
         let key =
             app_cache_key(name, source, inner.config_fingerprint, &inner.engine_tag);
 
-        // One registry lock spans the coalesce/cache/schedule decision, so
+        // One registry lock spans the coalesce/cache/admit decision, so
         // concurrent identical submissions cannot both schedule: the second one
         // either coalesces onto the in-flight ticket or — since finish_app
         // freezes the cache *before* fulfilling — hits the cache.
-        let mut registry = inner.registry.lock().unwrap();
-        let in_flight = registry.get(name).and_then(|entry| {
-            entry
-                .ticket
-                .as_ref()
-                .filter(|t| entry.key == key && !t.is_ready())
-                .cloned()
-        });
-        let (ticket, disposition) = if let Some(ticket) = in_flight {
-            inner.coalesced.fetch_add(1, Ordering::Relaxed);
-            (ticket, CacheDisposition::Coalesced)
-        } else if let Some(result) = inner.apps.lock().unwrap().get(key) {
-            // Frozen result: the registry needs only the key.
-            registry.insert(name.to_string(), RegistryEntry { key, ticket: None });
-            (Ticket::fulfilled(result), CacheDisposition::Hit)
-        } else {
-            let ticket = Ticket::new();
-            // Register before scheduling, so a fast worker's completion
-            // downgrade cannot race ahead of the registration.
-            registry.insert(
-                name.to_string(),
-                RegistryEntry { key, ticket: Some(ticket.clone()) },
-            );
-            (ticket, CacheDisposition::Miss)
+        let job = loop {
+            let mut registry = lock_recover(&inner.registry);
+            let in_flight = registry.get(name).and_then(|entry| {
+                entry
+                    .ticket
+                    .as_ref()
+                    .filter(|t| entry.key == key && !t.is_ready())
+                    .map(|t| (t.clone(), entry.control.clone()))
+            });
+            if let Some((ticket, control)) = in_flight {
+                inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                break self.app_job(name, key, CacheDisposition::Coalesced, ticket, control);
+            }
+            if let Some(result) = lock_recover(&inner.apps).get(key) {
+                // Frozen result: the registry needs only the key.
+                registry.insert(
+                    name.to_string(),
+                    RegistryEntry { key, ticket: None, control: None },
+                );
+                break self.app_job(
+                    name,
+                    key,
+                    CacheDisposition::Hit,
+                    Ticket::fulfilled(result),
+                    None,
+                );
+            }
+            // Prospective miss: the job needs a queue slot.
+            match inner.admission.try_acquire() {
+                Admit::Granted => {
+                    let ticket = Ticket::new();
+                    let control = JobControl::new();
+                    // Register before scheduling, so a fast worker's completion
+                    // downgrade cannot race ahead of the registration.
+                    registry.insert(
+                        name.to_string(),
+                        RegistryEntry {
+                            key,
+                            ticket: Some(ticket.clone()),
+                            control: Some(Arc::clone(&control)),
+                        },
+                    );
+                    drop(registry);
+                    self.schedule_app(
+                        key,
+                        name.to_string(),
+                        source.to_string(),
+                        ticket.clone(),
+                        Arc::clone(&control),
+                    );
+                    break self.app_job(name, key, CacheDisposition::Miss, ticket, Some(control));
+                }
+                Admit::Full(pending) => {
+                    drop(registry);
+                    inner.admission_full(pending)?;
+                    // Re-run the whole decision: the content may have frozen
+                    // (hit) or been resubmitted (coalesce) while we waited,
+                    // and the freed slot may be taken.
+                    continue;
+                }
+            }
         };
-        drop(registry);
-        if disposition == CacheDisposition::Miss {
-            self.schedule_app(key, name.to_string(), source.to_string(), ticket.clone());
-        }
-
-        let job = AppJob { name: name.to_string(), key, disposition, ticket };
-        self.submissions.lock().unwrap().push(JobHandle::App(job.clone()));
-        job
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&self.submissions).push(JobHandle::App(job.clone()));
+        Ok(job)
     }
 
     /// Enqueues the two-stage app pipeline: an ingest task that, on success,
-    /// enqueues the verify task as a separate queue slot.
+    /// enqueues the verify task as a separate queue slot. Every spawn is
+    /// registered on the job control under its lock, so a concurrent cancel
+    /// either revokes the queued stage or is observed before the next spawn.
     fn schedule_app(
         &self,
         key: CacheKey,
         name: String,
         source: String,
         ticket: Ticket<AppResult>,
+        control: Arc<JobControl>,
     ) {
         let inner = Arc::clone(&self.inner);
-        self.inner.pool.spawn(move || {
+        let task_control = Arc::clone(&control);
+        let task = move || {
+            if !task_control.begin_stage(&inner.admission) {
+                return; // cancelled while queued; the ticket is already settled
+            }
             // Panics are job failures, not worker deaths: an unfulfilled ticket
             // would wedge drain() and every later serve response forever.
             let ingested = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -437,14 +1006,28 @@ impl Service {
             match ingested {
                 Err(payload) => {
                     let error = JobError::Internal(panic_message(payload));
-                    inner.finish_app(&name, key, &ticket, Err(error));
+                    inner.settle_app(&task_control, &name, key, &ticket, Err(error));
                 }
-                Ok(Err(e)) => inner.finish_app(&name, key, &ticket, Err(JobError::Parse(e))),
+                Ok(Err(e)) => {
+                    inner.settle_app(&task_control, &name, key, &ticket, Err(JobError::Parse(e)));
+                }
                 Ok(Ok(ingested)) => {
                     // Stage 2 re-enters the queue so the worker is free to ingest
                     // the next submission before (or while) this one verifies.
+                    // Spawned under the control lock: a cancelled ingest must not
+                    // leave an orphaned (unrevocable) verify stage behind.
+                    let mut state = lock_recover(&task_control.state);
+                    if matches!(state.stage, Stage::Cancelled) {
+                        return; // ticket settled by the cancel path
+                    }
                     let verify_inner = Arc::clone(&inner);
-                    inner.pool.spawn(move || {
+                    let verify_control = Arc::clone(&task_control);
+                    let verify_ticket = ticket.clone();
+                    let verify_name = name.clone();
+                    let id = inner.pool.spawn(move || {
+                        if !verify_control.begin_stage(&verify_inner.admission) {
+                            return;
+                        }
                         let analysis = std::panic::catch_unwind(
                             std::panic::AssertUnwindSafe(|| {
                                 verify_inner.soteria.verify_app(ingested)
@@ -456,18 +1039,38 @@ impl Service {
                                 Err(JobError::Internal(panic_message(payload)))
                             }
                         };
-                        verify_inner.finish_app(&name, key, &ticket, result);
+                        verify_inner.settle_app(
+                            &verify_control,
+                            &verify_name,
+                            key,
+                            &verify_ticket,
+                            result,
+                        );
                     });
+                    state.stage = Stage::Queued(id);
                 }
             }
-        });
+        };
+        // Same spawn-under-the-lock discipline for the first stage, so the
+        // Queued(TaskId) registration cannot race a cancel from a coalesced
+        // handle.
+        let mut state = lock_recover(&control.state);
+        if matches!(state.stage, Stage::Cancelled) {
+            return;
+        }
+        let id = self.inner.pool.spawn(task);
+        state.stage = Stage::Queued(id);
     }
 
-    /// Submits a multi-app environment over previously submitted app jobs;
-    /// returns immediately. The job parks until every member analysis exists.
-    pub fn submit_environment(&self, group: &str, members: &[AppJob]) -> EnvJob {
+    /// Submits a multi-app environment over previously submitted app jobs. The
+    /// job parks until every member analysis exists; admission follows the same
+    /// policy as [`Service::submit_app`] (parked jobs count as pending).
+    pub fn submit_environment(
+        &self,
+        group: &str,
+        members: &[AppJob],
+    ) -> Result<EnvJob, ServiceError> {
         let inner = &self.inner;
-        inner.submitted.fetch_add(1, Ordering::Relaxed);
         let member_keys: Vec<CacheKey> = members.iter().map(|m| m.key).collect();
         let key =
             env_cache_key(group, &member_keys, inner.config_fingerprint, &inner.engine_tag);
@@ -475,56 +1078,73 @@ impl Service {
         // One in-flight-map lock spans the decision (mirroring submit_app), so
         // identical concurrent environment submissions coalesce onto one union
         // computation instead of both scheduling.
-        let mut in_flight = inner.envs_in_flight.lock().unwrap();
-        let (ticket, disposition) = if let Some(ticket) = in_flight.get(&key.0) {
-            inner.coalesced.fetch_add(1, Ordering::Relaxed);
-            (ticket.clone(), CacheDisposition::Coalesced)
-        } else if let Some(result) = inner.envs.lock().unwrap().get(key) {
-            (Ticket::fulfilled(result), CacheDisposition::Hit)
-        } else {
-            let ticket = Ticket::new();
-            in_flight.insert(key.0, ticket.clone());
-            (ticket, CacheDisposition::Miss)
+        let job = loop {
+            let mut in_flight = lock_recover(&inner.envs_in_flight);
+            if let Some((ticket, control)) = in_flight.get(&key.0) {
+                inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                let (ticket, control) = (ticket.clone(), Arc::clone(control));
+                break self.env_job(group, key, CacheDisposition::Coalesced, ticket, Some(control));
+            }
+            if let Some(result) = lock_recover(&inner.envs).get(key) {
+                break self.env_job(
+                    group,
+                    key,
+                    CacheDisposition::Hit,
+                    Ticket::fulfilled(result),
+                    None,
+                );
+            }
+            match inner.admission.try_acquire() {
+                Admit::Granted => {
+                    let ticket = Ticket::new();
+                    let control = JobControl::new();
+                    in_flight.insert(key.0, (ticket.clone(), Arc::clone(&control)));
+                    drop(in_flight);
+                    self.schedule_environment(
+                        key,
+                        group.to_string(),
+                        members,
+                        ticket.clone(),
+                        Arc::clone(&control),
+                    );
+                    break self.env_job(group, key, CacheDisposition::Miss, ticket, Some(control));
+                }
+                Admit::Full(pending) => {
+                    drop(in_flight);
+                    inner.admission_full(pending)?;
+                    continue;
+                }
+            }
         };
-        drop(in_flight);
-        if disposition == CacheDisposition::Miss {
-            self.schedule_environment(key, group.to_string(), members, ticket.clone());
-        }
-
-        let job = EnvJob { name: group.to_string(), key, disposition, ticket };
-        self.submissions.lock().unwrap().push(JobHandle::Environment(job.clone()));
-        job
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&self.submissions).push(JobHandle::Environment(job.clone()));
+        Ok(job)
     }
 
     /// Submits an environment whose members are named app jobs already submitted
     /// to this service (the `soteria-serve` protocol shape). Fails fast on a
-    /// member name that was never submitted, or whose frozen result has since
-    /// been evicted from the cache (resubmit the app to reanalyze it).
+    /// member name that was never submitted (or whose job was cancelled), or
+    /// whose frozen result has since been evicted from the cache (resubmit the
+    /// app to reanalyze it).
     pub fn submit_environment_by_names(
         &self,
         group: &str,
         members: &[&str],
-    ) -> Result<EnvJob, String> {
-        let registry = self.inner.registry.lock().unwrap();
+    ) -> Result<EnvJob, ServiceError> {
+        let registry = lock_recover(&self.inner.registry);
         let member_jobs: Vec<AppJob> = members
             .iter()
             .map(|&member| {
                 let entry = registry
                     .get(member)
-                    .ok_or_else(|| format!("unknown environment member '{member}'"))?;
+                    .ok_or_else(|| ServiceError::UnknownMember(member.to_string()))?;
                 let ticket = match &entry.ticket {
                     Some(ticket) => ticket.clone(), // still in flight
                     None => {
                         // Frozen: rebuild a fulfilled ticket from the cache.
-                        let result =
-                            self.inner.apps.lock().unwrap().get(entry.key).ok_or_else(
-                                || {
-                                    format!(
-                                        "environment member '{member}' was evicted from the \
-                                         result cache; resubmit it"
-                                    )
-                                },
-                            )?;
+                        let result = lock_recover(&self.inner.apps)
+                            .get(entry.key)
+                            .ok_or_else(|| ServiceError::EvictedMember(member.to_string()))?;
                         Ticket::fulfilled(result)
                     }
                 };
@@ -533,11 +1153,13 @@ impl Service {
                     key: entry.key,
                     disposition: CacheDisposition::Hit, // unused for members
                     ticket,
+                    control: None, // members are not cancellable through the env
+                    service: Arc::downgrade(&self.inner),
                 })
             })
-            .collect::<Result<_, String>>()?;
+            .collect::<Result<_, ServiceError>>()?;
         drop(registry);
-        Ok(self.submit_environment(group, &member_jobs))
+        self.submit_environment(group, &member_jobs)
     }
 
     /// Parks the environment job behind its member tickets and enqueues it once
@@ -548,18 +1170,25 @@ impl Service {
         group: String,
         members: &[AppJob],
         ticket: Ticket<EnvResult>,
+        control: Arc<JobControl>,
     ) {
         let inner = Arc::clone(&self.inner);
         let member_handles: Vec<(String, Ticket<AppResult>)> =
             members.iter().map(|m| (m.name.clone(), m.ticket.clone())).collect();
         let member_tickets: Vec<Ticket<AppResult>> =
             member_handles.iter().map(|(_, t)| t.clone()).collect();
+        let task_control = Arc::clone(&control);
         let task = Box::new(move || {
+            if !task_control.begin_stage(&inner.admission) {
+                return; // cancelled while parked or queued
+            }
             let mut analyses: Vec<Arc<AppAnalysis>> =
                 Vec::with_capacity(member_handles.len());
             for (member, member_ticket) in &member_handles {
                 // Dependencies resolved before this task was enqueued, so the
-                // wait is a lock-and-read, never a block.
+                // wait is a lock-and-read, never a block. A cancelled member
+                // reads Err(Cancelled) here, failing the environment
+                // deterministically on the first failed member in member order.
                 match member_ticket.wait() {
                     Ok(analysis) => analyses.push(analysis),
                     Err(_) => {
@@ -567,7 +1196,7 @@ impl Service {
                             group: group.clone(),
                             member: member.clone(),
                         };
-                        inner.finish_env(key, &ticket, Err(error));
+                        inner.settle_env(&task_control, key, &ticket, Err(error));
                         return;
                     }
                 }
@@ -581,23 +1210,40 @@ impl Service {
                 Ok(env) => Ok(Arc::new(env)),
                 Err(payload) => Err(JobError::Internal(panic_message(payload))),
             };
-            inner.finish_env(key, &ticket, result);
+            inner.settle_env(&task_control, key, &ticket, result);
         });
-        let job = PendingJob::new(task);
+        let job = PendingJob::new(task, Some(Arc::downgrade(&control)));
+        {
+            // Attach the parked job to the control so a cancel can revoke it; a
+            // cancel that already won revokes it right here instead.
+            let mut state = lock_recover(&control.state);
+            if matches!(state.stage, Stage::Cancelled) {
+                job.revoke();
+            } else {
+                state.parked = Some(Arc::clone(&job));
+            }
+        }
         for member_ticket in &member_tickets {
             member_ticket.subscribe(&job);
         }
         // Drop the creation guard; if every member was already frozen this
-        // enqueues the task right here.
+        // enqueues the task right here — through the same registration
+        // discipline as release(), so the queued stage stays revocable.
         if let Some(task) = job.dep_ready() {
-            self.inner.pool.spawn(task);
+            self.inner.spawn_controlled(task, &control);
         }
     }
 
     /// Jobs submitted since the last [`Service::drain`] whose results are not
     /// yet available.
     pub fn pending(&self) -> usize {
-        self.submissions.lock().unwrap().iter().filter(|j| !j.is_ready()).count()
+        lock_recover(&self.submissions).iter().filter(|j| !j.is_ready()).count()
+    }
+
+    /// Queued-but-unstarted jobs right now — the quantity
+    /// [`ServiceOptions::max_pending`] bounds.
+    pub fn pending_jobs(&self) -> usize {
+        self.inner.admission.pending()
     }
 
     /// Drops finished jobs from the submission log without waiting, returning
@@ -606,7 +1252,7 @@ impl Service {
     /// job's frozen result in the log forever, defeating the cache's LRU bound.
     /// Jobs forgotten here are simply absent from a later [`Service::drain`].
     pub fn forget_finished(&self) -> usize {
-        let mut log = self.submissions.lock().unwrap();
+        let mut log = lock_recover(&self.submissions);
         let before = log.len();
         log.retain(|job| !job.is_ready());
         before - log.len()
@@ -616,19 +1262,87 @@ impl Service {
     /// submission order.
     pub fn drain(&self) -> Vec<JobOutcome> {
         let handles: Vec<JobHandle> =
-            std::mem::take(self.submissions.lock().unwrap().as_mut());
+            std::mem::take(lock_recover(&self.submissions).as_mut());
         handles.iter().map(JobHandle::outcome).collect()
     }
 
-    /// Counter snapshot (cache hit/miss/eviction, pool throughput, coalescing).
+    /// Counter snapshot (cache hit/miss/eviction, pool throughput, coalescing,
+    /// backpressure, and cancellation).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             workers: self.inner.pool.workers(),
             tasks_executed: self.inner.pool.tasks_executed(),
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             coalesced: self.inner.coalesced.load(Ordering::Relaxed),
-            app_cache: self.inner.apps.lock().unwrap().stats(),
-            env_cache: self.inner.envs.lock().unwrap().stats(),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            pending: self.inner.admission.pending(),
+            registry_entries: lock_recover(&self.inner.registry).len(),
+            app_cache: lock_recover(&self.inner.apps).stats(),
+            env_cache: lock_recover(&self.inner.envs).stats(),
         }
+    }
+}
+
+#[cfg(test)]
+mod poison_tests {
+    use super::*;
+
+    const APP: &str = r#"
+        definition(name: "Poison-Probe")
+        preferences { section("d") {
+            input "sw", "capability.switch"
+            input "smoke", "capability.smokeDetector"
+        } }
+        def installed() { subscribe(smoke, "smoke.detected", h) }
+        def h(evt) { sw.on() }
+    "#;
+
+    /// A panicking job must not poison the service's shared state for everyone
+    /// else: deliberately poison every service mutex the way a panicking thread
+    /// would, then prove the service still accepts, runs, caches, and reports.
+    #[test]
+    fn a_poisoned_service_stays_usable() {
+        let service = Service::new(
+            Soteria::with_config(soteria_analysis::AnalysisConfig {
+                threads: 1,
+                ..soteria_analysis::AnalysisConfig::paper()
+            }),
+            ServiceOptions { workers: 1, ..ServiceOptions::default() },
+        );
+        let inner = Arc::clone(&service.inner);
+        let poison = |poison_one: Box<dyn FnOnce() + Send>| {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                poison_one();
+            }));
+            assert!(caught.is_err(), "poisoning closure must panic");
+        };
+        let registry = Arc::clone(&inner);
+        poison(Box::new(move || {
+            let _guard = registry.registry.lock().unwrap();
+            panic!("poison registry");
+        }));
+        let apps = Arc::clone(&inner);
+        poison(Box::new(move || {
+            let _guard = apps.apps.lock().unwrap();
+            panic!("poison app cache");
+        }));
+        let in_flight = Arc::clone(&inner);
+        poison(Box::new(move || {
+            let _guard = in_flight.envs_in_flight.lock().unwrap();
+            panic!("poison env in-flight map");
+        }));
+        assert!(inner.registry.is_poisoned());
+        assert!(inner.apps.is_poisoned());
+
+        // The service recovers the guards and keeps serving.
+        let job = service.submit_app("probe", APP).expect("admitted");
+        let analysis = job.wait().expect("parses");
+        assert!(analysis.violations.is_empty() || !analysis.violations.is_empty());
+        let warm = service.submit_app("probe", APP).expect("admitted");
+        assert_eq!(warm.disposition(), CacheDisposition::Hit);
+        let env = service.submit_environment_by_names("G", &["probe"]).expect("member known");
+        assert!(env.wait().is_ok());
+        assert!(service.stats().submitted >= 3);
     }
 }

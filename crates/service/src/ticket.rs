@@ -12,8 +12,9 @@
 //! ticket hands the job's task back to the fulfiller, which enqueues it. By the
 //! time the task runs, every dependency wait returns immediately.
 
+use soteria_exec::{lock_recover, recover};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 
 /// A fire-and-forget task, identical to the pool's task shape.
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -24,13 +25,33 @@ pub(crate) struct PendingJob {
     /// subscriptions can race with fulfilments without firing early).
     pending: AtomicUsize,
     task: Mutex<Option<Task>>,
+    /// The cancellation control of the job this task belongs to, if it has
+    /// one: the releaser records the spawned task's queue identity there, so a
+    /// cancel that arrives after the dependencies resolved can still revoke
+    /// the queued task instead of letting it occupy a worker claim. Weak,
+    /// because the control holds this job (its `parked` slot) — a strong
+    /// reference would form a cycle and leak both for the service's lifetime.
+    control: Option<Weak<crate::service::JobControl>>,
 }
 
 impl PendingJob {
     /// Parks `task` behind a creation guard; call [`PendingJob::dep_ready`] once
     /// after all subscriptions are registered to drop the guard.
-    pub(crate) fn new(task: Task) -> Arc<Self> {
-        Arc::new(PendingJob { pending: AtomicUsize::new(1), task: Mutex::new(Some(task)) })
+    pub(crate) fn new(
+        task: Task,
+        control: Option<Weak<crate::service::JobControl>>,
+    ) -> Arc<Self> {
+        Arc::new(PendingJob {
+            pending: AtomicUsize::new(1),
+            task: Mutex::new(Some(task)),
+            control,
+        })
+    }
+
+    /// The cancellation control the released task should be registered on (if
+    /// the job has one and any of its handles are still alive).
+    pub(crate) fn control(&self) -> Option<Arc<crate::service::JobControl>> {
+        self.control.as_ref().and_then(Weak::upgrade)
     }
 
     fn add_dep(&self) {
@@ -38,13 +59,22 @@ impl PendingJob {
     }
 
     /// Counts one dependency (or the creation guard) down. Returns the task to
-    /// enqueue when the last dependency resolved — to exactly one caller.
+    /// enqueue when the last dependency resolved — to exactly one caller (and
+    /// to nobody, if the job was [revoked](PendingJob::revoke) first).
     pub(crate) fn dep_ready(&self) -> Option<Task> {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.task.lock().unwrap().take()
+            lock_recover(&self.task).take()
         } else {
             None
         }
+    }
+
+    /// Takes the parked task out without running it: when the dependencies later
+    /// resolve, [`PendingJob::dep_ready`] finds nothing and no queue slot is
+    /// consumed. The cancellation path for jobs parked on member tickets — the
+    /// caller is responsible for settling the job's own ticket.
+    pub(crate) fn revoke(&self) {
+        drop(lock_recover(&self.task).take());
     }
 }
 
@@ -84,15 +114,20 @@ impl<T: Clone> Ticket<T> {
     /// A ticket born fulfilled (cache hits resolve at submission time).
     pub(crate) fn fulfilled(value: T) -> Self {
         let ticket = Ticket::new();
-        ticket.state.cell.lock().unwrap().value = Some(value);
+        lock_recover(&ticket.state.cell).value = Some(value);
         ticket
+    }
+
+    /// True when `other` is a clone of this ticket (same underlying slot).
+    pub(crate) fn same(&self, other: &Ticket<T>) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
     }
 
     /// Fulfils the ticket, waking waiters; returns the parked jobs that were
     /// subscribed so the caller can count their dependency down (and enqueue any
     /// that became runnable). Must be called at most once.
     pub(crate) fn fulfil(&self, value: T) -> Vec<Arc<PendingJob>> {
-        let mut cell = self.state.cell.lock().unwrap();
+        let mut cell = lock_recover(&self.state.cell);
         debug_assert!(cell.value.is_none(), "ticket fulfilled twice");
         cell.value = Some(value);
         let subscribers = std::mem::take(&mut cell.subscribers);
@@ -105,7 +140,7 @@ impl<T: Clone> Ticket<T> {
     /// dependency on it and `true` is returned; if already fulfilled, nothing is
     /// registered and `false` is returned.
     pub(crate) fn subscribe(&self, job: &Arc<PendingJob>) -> bool {
-        let mut cell = self.state.cell.lock().unwrap();
+        let mut cell = lock_recover(&self.state.cell);
         if cell.value.is_some() {
             return false;
         }
@@ -116,14 +151,14 @@ impl<T: Clone> Ticket<T> {
 
     /// True once the result is available ([`Ticket::wait`] would not block).
     pub fn is_ready(&self) -> bool {
-        self.state.cell.lock().unwrap().value.is_some()
+        lock_recover(&self.state.cell).value.is_some()
     }
 
     /// Blocks until the result is available and returns a clone of it.
     pub fn wait(&self) -> T {
-        let mut cell = self.state.cell.lock().unwrap();
+        let mut cell = lock_recover(&self.state.cell);
         while cell.value.is_none() {
-            cell = self.state.ready.wait(cell).unwrap();
+            cell = recover(self.state.ready.wait(cell));
         }
         cell.value.as_ref().unwrap().clone()
     }
@@ -158,9 +193,12 @@ mod tests {
     fn pending_job_fires_once_after_all_deps_and_guard() {
         let fired = Arc::new(AtomicUsize::new(0));
         let flag = Arc::clone(&fired);
-        let job = PendingJob::new(Box::new(move || {
-            flag.fetch_add(1, Ordering::Relaxed);
-        }));
+        let job = PendingJob::new(
+            Box::new(move || {
+                flag.fetch_add(1, Ordering::Relaxed);
+            }),
+            None,
+        );
         let a: Ticket<u8> = Ticket::new();
         let b: Ticket<u8> = Ticket::new();
         assert!(a.subscribe(&job));
@@ -177,8 +215,28 @@ mod tests {
     }
 
     #[test]
+    fn revoked_pending_jobs_never_fire() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&fired);
+        let job = PendingJob::new(
+            Box::new(move || {
+                flag.fetch_add(1, Ordering::Relaxed);
+            }),
+            None,
+        );
+        let dep: Ticket<u8> = Ticket::new();
+        assert!(dep.subscribe(&job));
+        assert!(job.dep_ready().is_none()); // drop the creation guard
+        job.revoke();
+        // The last dependency resolving now releases nothing.
+        let task = dep.fulfil(1).into_iter().find_map(|sub| sub.dep_ready());
+        assert!(task.is_none(), "revoked job still released its task");
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn subscribing_to_a_fulfilled_ticket_registers_nothing() {
-        let job = PendingJob::new(Box::new(|| {}));
+        let job = PendingJob::new(Box::new(|| {}), None);
         let ticket = Ticket::fulfilled(0u8);
         assert!(!ticket.subscribe(&job));
         // Only the creation guard remains.

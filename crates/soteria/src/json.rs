@@ -124,10 +124,14 @@ impl JsonValue {
 
     /// Parses a JSON document (the whole input must be one value plus optional
     /// whitespace).
+    ///
+    /// Nesting is limited to [`MAX_PARSE_DEPTH`] levels: the parser is
+    /// recursive-descent, so adversarial input like ten thousand `[`s would
+    /// otherwise overflow the stack instead of returning an error.
     pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_whitespace(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError { position: pos, message: "trailing characters".into() });
@@ -135,6 +139,12 @@ impl JsonValue {
         Ok(value)
     }
 }
+
+/// The maximum container nesting depth [`JsonValue::parse`] accepts. Deep
+/// enough for any report this workspace serializes (reports nest < 10 levels),
+/// shallow enough that the recursive parser stays far from stack exhaustion on
+/// adversarial input.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// A parse failure: byte position and description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -200,8 +210,11 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
     skip_whitespace(bytes, pos);
+    if depth >= MAX_PARSE_DEPTH {
+        return Err(fail(*pos, format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+    }
     match bytes.get(*pos) {
         None => Err(fail(*pos, "unexpected end of input")),
         Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
@@ -217,7 +230,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
                 return Ok(JsonValue::Array(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_whitespace(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -242,7 +255,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
                 let key = parse_string(bytes, pos)?;
                 skip_whitespace(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 members.push((key, value));
                 skip_whitespace(bytes, pos);
                 match bytes.get(*pos) {
@@ -441,6 +454,50 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null_and_round_trip() {
+        // JSON has no NaN/Infinity tokens: emitting them raw (as `{n}` would —
+        // "NaN"/"inf") produces invalid documents every parser rejects.
+        // Non-finite values therefore serialize as `null`, and the result
+        // round-trips through our own parser.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let rendered = JsonValue::Number(bad).render();
+            assert_eq!(rendered, "null", "{bad} rendered as {rendered}");
+            assert_eq!(JsonValue::parse(&rendered).unwrap(), JsonValue::Null);
+        }
+        // Embedded in a document, the member stays parseable.
+        let doc = JsonValue::object([
+            ("ratio", JsonValue::Number(f64::NAN)),
+            ("ok", JsonValue::Number(0.5)),
+        ])
+        .render();
+        assert_eq!(doc, r#"{"ratio":null,"ok":0.5}"#);
+        assert!(JsonValue::parse(&doc).is_ok());
+        // Finite extremes still render as valid, round-trippable numbers.
+        let big = JsonValue::Number(1e300).render();
+        assert_eq!(JsonValue::parse(&big).unwrap(), JsonValue::Number(1e300));
+    }
+
+    #[test]
+    fn parser_rejects_excessive_nesting_instead_of_overflowing() {
+        // Far beyond the limit: adversarial input must error, not crash.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}null{}", open.repeat(100_000), close.repeat(100_000));
+            let err = JsonValue::parse(&deep).expect_err("deep nesting accepted");
+            assert!(
+                err.message.contains("nesting deeper than"),
+                "unexpected error: {err}"
+            );
+        }
+        // Exactly at the limit: accepted (the limit bounds recursion, not data).
+        let depth = MAX_PARSE_DEPTH - 1;
+        let ok = format!("{}null{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(JsonValue::parse(&ok).is_ok(), "depth {depth} rejected");
+        // One past: rejected.
+        let over = format!("{}null{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(JsonValue::parse(&over).is_err(), "depth {} accepted", depth + 1);
     }
 
     #[test]

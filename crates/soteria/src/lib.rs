@@ -55,7 +55,7 @@ pub mod json;
 pub mod report;
 
 pub use analyzer::{default_initial_kripke, Soteria};
-pub use json::{JsonError, JsonValue};
+pub use json::{JsonError, JsonValue, MAX_PARSE_DEPTH};
 pub use report::{
     app_analysis_json, environment_json, render_environment_report, render_report,
     violation_json, AppAnalysis, EnvironmentAnalysis, IngestedApp,

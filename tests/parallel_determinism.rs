@@ -17,11 +17,12 @@
 use soteria::render_environment_report;
 use soteria_bench::{
     corpus_sweep, maliot_group_specs, market_group_specs, service_corpus_sweep,
-    service_sweep_outcome, soteria_with_threads, stable_app_report, sweep_outcome,
+    service_sweep_outcome, soteria_with_threads, stable_app_report, submit_app_admitted,
+    sweep_outcome,
 };
 use soteria_corpus::{all_market_apps, maliot_suite, CorpusApp};
 use soteria_exec::{par_map, scoped_map};
-use soteria_service::{Service, ServiceOptions};
+use soteria_service::{JobError, Service, ServiceOptions};
 
 fn assert_sweeps_identical(
     name: &str,
@@ -109,6 +110,81 @@ fn service_results_match_the_scoped_path_at_every_worker_count() {
             served.env_reports, reference.env_reports,
             "{workers} workers: environment reports diverge from the scoped path"
         );
+    }
+}
+
+/// ISSUE 5 gate: cancel half the MalIoT submissions at every worker count.
+/// Jobs that survive (including those whose cancel arrived too late) must
+/// produce reports byte-identical to the sequential path; cancelled jobs settle
+/// as `Cancelled` without poisoning anything — the service immediately recomputes
+/// the full, byte-identical suite on resubmission.
+#[test]
+fn cancellation_interleaving_preserves_surviving_reports() {
+    let apps = maliot_suite();
+    let soteria = soteria_with_threads(1);
+    let reference: Vec<String> = apps
+        .iter()
+        .map(|a| {
+            stable_app_report(
+                &soteria.analyze_app(&a.id, &a.source).unwrap_or_else(|e| panic!("{}: {e}", a.id)),
+            )
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let service = Service::new(
+            soteria_with_threads(1),
+            ServiceOptions { workers, ..ServiceOptions::default() },
+        );
+        // Submit everything, cancelling every other job right behind its
+        // submission — the interleaving of cancellations against worker claims
+        // is deliberately racy; the *outcomes* must not be.
+        let jobs: Vec<_> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| {
+                let job = submit_app_admitted(&service, &app.id, &app.source);
+                if i % 2 == 1 {
+                    job.cancel();
+                }
+                (i, job)
+            })
+            .collect();
+        for (i, job) in &jobs {
+            match job.wait() {
+                // Survivors — even-index jobs and odd ones whose cancel came
+                // too late — are byte-identical to the sequential path.
+                Ok(analysis) => assert_eq!(
+                    stable_app_report(&analysis),
+                    reference[*i],
+                    "{workers} workers: surviving report for {} diverges",
+                    apps[*i].id
+                ),
+                Err(JobError::Cancelled) => {
+                    assert!(i % 2 == 1, "{workers} workers: uncancelled job settled Cancelled");
+                }
+                Err(e) => panic!("{workers} workers: {} failed: {e}", apps[*i].id),
+            }
+        }
+        assert_eq!(service.pending_jobs(), 0, "{workers} workers: pending slots leaked");
+
+        // Nothing cancelled was cached and nothing shared was poisoned: a full
+        // resubmission completes and matches the reference byte for byte.
+        let resubmitted: Vec<_> = apps
+            .iter()
+            .map(|app| submit_app_admitted(&service, &app.id, &app.source))
+            .collect();
+        for ((job, expected), app) in resubmitted.iter().zip(&reference).zip(&apps) {
+            let analysis = job
+                .wait()
+                .unwrap_or_else(|e| panic!("{workers} workers: resubmitted {} failed: {e}", app.id));
+            assert_eq!(
+                &stable_app_report(&analysis),
+                expected,
+                "{workers} workers: resubmitted report for {} diverges",
+                app.id
+            );
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 
 use soteria::Soteria;
 use soteria_analysis::AnalysisConfig;
+use soteria_bench::{submit_app_admitted as submit, submit_environment_admitted as submit_env};
 use soteria_service::{CacheDisposition, Service, ServiceOptions};
 use std::sync::Arc;
 
@@ -31,7 +32,7 @@ const WATER_LEAK: &str = r#"
 fn service(config: AnalysisConfig, cache_capacity: usize) -> Service {
     Service::new(
         Soteria::with_config(config),
-        ServiceOptions { workers: 2, cache_capacity },
+        ServiceOptions { workers: 2, cache_capacity, ..ServiceOptions::default() },
     )
 }
 
@@ -42,11 +43,11 @@ fn paper_sequential() -> AnalysisConfig {
 #[test]
 fn resubmission_hits_and_returns_a_byte_identical_report() {
     let service = service(paper_sequential(), 64);
-    let cold = service.submit_app("wld", WATER_LEAK);
+    let cold = submit(&service, "wld", WATER_LEAK);
     let cold_analysis = cold.wait().expect("parses");
     assert_eq!(cold.disposition(), CacheDisposition::Miss);
 
-    let warm = service.submit_app("wld", WATER_LEAK);
+    let warm = submit(&service, "wld", WATER_LEAK);
     assert_eq!(warm.disposition(), CacheDisposition::Hit);
     let warm_analysis = warm.wait().expect("parses");
 
@@ -69,7 +70,7 @@ fn resubmission_hits_and_returns_a_byte_identical_report() {
 #[test]
 fn any_single_byte_source_edit_misses() {
     let service = service(paper_sequential(), 256);
-    let baseline = service.submit_app("wld", WATER_LEAK);
+    let baseline = submit(&service, "wld", WATER_LEAK);
     baseline.wait().expect("parses");
 
     // A one-byte semantic edit, a one-byte whitespace edit, and a one-byte
@@ -81,15 +82,15 @@ fn any_single_byte_source_edit_misses() {
     ];
     for (i, edited) in edits.iter().enumerate() {
         assert_ne!(edited.as_str(), WATER_LEAK, "edit {i} is not an edit");
-        let job = service.submit_app("wld", edited);
+        let job = submit(&service, "wld", edited);
         assert_eq!(job.disposition(), CacheDisposition::Miss, "edit {i} hit the cache");
         job.wait().ok(); // some edits may or may not parse; only keying matters
     }
     // A different submitted name is different content too.
-    let renamed = service.submit_app("wld2", WATER_LEAK);
+    let renamed = submit(&service, "wld2", WATER_LEAK);
     assert_eq!(renamed.disposition(), CacheDisposition::Miss);
     // And the unedited original still hits.
-    let back = service.submit_app("wld", WATER_LEAK);
+    let back = submit(&service, "wld", WATER_LEAK);
     assert_eq!(back.disposition(), CacheDisposition::Hit);
 }
 
@@ -97,7 +98,7 @@ fn any_single_byte_source_edit_misses() {
 fn any_config_change_misses_but_thread_count_does_not() {
     let submit_once = |config: AnalysisConfig| -> CacheDisposition {
         let service = service(config, 64);
-        let first = service.submit_app("wld", WATER_LEAK);
+        let first = submit(&service, "wld", WATER_LEAK);
         first.wait().ok();
         first.disposition()
     };
@@ -147,7 +148,7 @@ fn lru_bound_evicts_deterministically() {
         let service = service(paper_sequential(), 2);
         let mut log = Vec::new();
         let mut submit = |tag: &str, source: &str| {
-            let job = service.submit_app(tag, source);
+            let job = submit(&service, tag, source);
             job.wait().ok();
             log.push((
                 tag.to_string(),
@@ -179,22 +180,22 @@ fn lru_bound_evicts_deterministically() {
 #[test]
 fn environment_results_are_cached_through_member_keys() {
     let service = service(paper_sequential(), 64);
-    service.submit_app("a", WATER_LEAK);
-    let cold_env = service.submit_environment_by_names("G", &["a"]).unwrap();
+    submit(&service, "a", WATER_LEAK);
+    let cold_env = submit_env(&service, "G", &["a"]);
     let cold = cold_env.wait().expect("members parse");
     assert_eq!(cold_env.disposition(), CacheDisposition::Miss);
 
     // Same group over identical member content: a hit with the frozen result.
-    service.submit_app("a", WATER_LEAK);
-    let warm_env = service.submit_environment_by_names("G", &["a"]).unwrap();
+    submit(&service, "a", WATER_LEAK);
+    let warm_env = submit_env(&service, "G", &["a"]);
     assert_eq!(warm_env.disposition(), CacheDisposition::Hit);
     assert!(Arc::ptr_eq(&cold, &warm_env.wait().unwrap()));
 
     // Changing a member's *content* changes the environment key, even with the
     // same member name and group name.
     let edited = WATER_LEAK.replace("close", "open");
-    service.submit_app("a", &edited);
-    let changed_env = service.submit_environment_by_names("G", &["a"]).unwrap();
+    submit(&service, "a", &edited);
+    let changed_env = submit_env(&service, "G", &["a"]);
     assert_eq!(changed_env.disposition(), CacheDisposition::Miss);
     changed_env.wait().expect("edited member parses");
 }
