@@ -1,0 +1,264 @@
+//! Fault-layer measurement (PR 6): what the crash-only machinery costs when
+//! nothing crashes, and what it buys when something wedges.
+//!
+//! 1. **abort-poll overhead** — the market G.3 environment build (the
+//!    8-member union, the heaviest single analysis in the corpus) run with no
+//!    abort handle installed vs with a never-aborted handle installed. The
+//!    installed case is the worst-case polling cost: every poll site in the
+//!    checker fixpoint loops and the partitioned union lift pays the check and
+//!    none ever fires. The identity gate runs first — both paths must render
+//!    byte-identical environment reports — and the timing delta is the
+//!    abort-poll overhead, expected within noise of 1.0x.
+//! 2. **time-to-drain, clean** — `Service::drain` over a 4-worker service with
+//!    a 12-job burst in flight, vs waiting the identical burst out ticket by
+//!    ticket on an identical service. Drain must not add latency over the work
+//!    it settles.
+//! 3. **time-to-drain, wedged** — drain with a 300ms deadline over a service
+//!    whose workers are occupied by stalling jobs (the `stall_marker` chaos
+//!    hook), vs the 10s stall safety cap a deadline-less observer would wait
+//!    out. This is the number the crash-only layer exists for: bounded exit
+//!    from an unbounded wedge.
+//!
+//! Usage: `cargo run --release -p soteria-bench --bin service_faults
+//! [--smoke] [out.json]`. With `--smoke` only the identity gate and a quick
+//! wedged-drain sanity run execute (the CI configuration); otherwise results
+//! go to `BENCH_pr6.json`.
+
+use soteria::render_environment_report;
+use soteria_bench::{analyze_all, measure_mean, soteria_with_threads};
+use soteria_corpus::{find_app, market_groups};
+use soteria_exec::{with_abort, AbortHandle};
+use soteria_service::{Service, ServiceOptions};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The stall safety cap baked into the service's chaos hook: without deadlines
+/// this is how long a wedged worker stays wedged.
+const STALL_CAP: Duration = Duration::from_secs(10);
+
+fn fault_service(workers: usize, stall: bool) -> Service {
+    Service::new(
+        soteria_with_threads(1),
+        ServiceOptions {
+            workers,
+            stall_marker: stall.then(|| "bench-stall".to_string()),
+            pending_deadline: None,
+            running_deadline: None,
+            ..ServiceOptions::default()
+        },
+    )
+}
+
+fn light_burst(n: usize) -> Vec<(String, String)> {
+    let base = find_app("SmokeAlarm").expect("corpus app").1;
+    (0..n)
+        .map(|i| {
+            // Distinct content under distinct names: every job is a miss.
+            (format!("app-{i}"), base.replace("smoke.detected", &format!("smoke.detected{i}")))
+        })
+        .collect()
+}
+
+struct Row {
+    name: String,
+    new: Duration,
+    old: Duration,
+    iterations: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.old.as_secs_f64() / self.new.as_secs_f64().max(1e-12)
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_pr6.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let threads = soteria_with_threads(0).threads();
+
+    // --- Identity gate: the G.3 union build with a never-aborted handle
+    // installed is byte-identical to the engine with no handle at all. ---
+    let soteria = soteria_with_threads(threads);
+    let g3 = market_groups().into_iter().find(|g| g.id == "G.3").expect("market G.3");
+    let members: Vec<soteria_corpus::CorpusApp> = g3
+        .members
+        .iter()
+        .map(|id| {
+            let (name, source) = find_app(id).unwrap_or_else(|| panic!("market app {id}"));
+            soteria_corpus::CorpusApp { id: name, source, ground_truth: Default::default() }
+        })
+        .collect();
+    let set = analyze_all(&soteria, &members);
+    let unpolled = render_environment_report(&soteria.analyze_environment("G.3", &set));
+    let handle = AbortHandle::new();
+    let polled = with_abort(Some(handle.clone()), || {
+        render_environment_report(&soteria.analyze_environment("G.3", &set))
+    });
+    assert!(!handle.is_aborted(), "nothing may abort the gate run");
+    assert!(
+        polled == unpolled,
+        "G.3 union build diverges with an abort handle installed"
+    );
+    println!(
+        "abort-poll identity: OK (market G.3 union build byte-identical with and without \
+         an installed abort handle, {} members, {threads} threads)",
+        set.len()
+    );
+
+    // --- Wedged-drain sanity: a stalled worker is force-settled at the drain
+    // deadline, far inside the stall cap. ---
+    {
+        let service = fault_service(2, true);
+        let stalled = service
+            .submit_app("wedge", "definition(name: \"bench-stall\")")
+            .expect("admitted");
+        let start = Instant::now();
+        while service.pending_jobs() > 0 {
+            assert!(start.elapsed() < Duration::from_secs(60), "stall never claimed a worker");
+            std::thread::yield_now();
+        }
+        let report = service.drain(Some(Duration::from_millis(300)));
+        let elapsed = start.elapsed();
+        assert_eq!(report.timed_out, 1, "the wedge was not force-settled");
+        assert!(stalled.is_ready(), "drain returned with the wedged ticket unsettled");
+        assert!(
+            elapsed < STALL_CAP,
+            "drain waited out the stall cap instead of its deadline ({elapsed:?})"
+        );
+        println!(
+            "wedged-drain sanity: OK (force-settled in {elapsed:?} against a {STALL_CAP:?} \
+             stall cap)"
+        );
+    }
+    if smoke {
+        return;
+    }
+
+    // --- Timing. ---
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows: Vec<Row> = Vec::new();
+
+    eprintln!("measuring abort-poll overhead on the G.3 union build...");
+    let (unpolled_t, iters) =
+        measure_mean(|| soteria.analyze_environment("G.3", &set), 1_000);
+    let poll_handle = AbortHandle::new();
+    let (polled_t, _) = measure_mean(
+        || with_abort(Some(poll_handle.clone()), || soteria.analyze_environment("G.3", &set)),
+        1_000,
+    );
+    rows.push(Row {
+        name: format!("abort_poll/G3_union@{threads}T"),
+        new: polled_t,
+        old: unpolled_t,
+        iterations: iters,
+    });
+
+    eprintln!("measuring clean time-to-drain under a 12-job burst...");
+    let burst = light_burst(12);
+    let (drained, drain_iters) = measure_mean(
+        || {
+            let service = fault_service(4, false);
+            for (name, source) in &burst {
+                service.submit_app(name, source).expect("admitted");
+            }
+            let report = service.drain(None);
+            assert_eq!(report.outcomes.len(), burst.len());
+            assert_eq!(report.completed, burst.len());
+        },
+        200,
+    );
+    let (waited, _) = measure_mean(
+        || {
+            let service = fault_service(4, false);
+            let jobs: Vec<_> = burst
+                .iter()
+                .map(|(name, source)| service.submit_app(name, source).expect("admitted"))
+                .collect();
+            for job in &jobs {
+                job.wait().expect("completes");
+            }
+        },
+        200,
+    );
+    rows.push(Row {
+        name: "drain/clean_12_jobs@4W".to_string(),
+        new: drained,
+        old: waited,
+        iterations: drain_iters,
+    });
+
+    eprintln!("measuring wedged time-to-drain against the stall cap...");
+    let (wedged_drain, wedged_iters) = measure_mean(
+        || {
+            let service = fault_service(2, true);
+            service
+                .submit_app("wedge-a", "definition(name: \"bench-stall\") /* a */")
+                .expect("admitted");
+            service
+                .submit_app("wedge-b", "definition(name: \"bench-stall\") /* b */")
+                .expect("admitted");
+            let start = Instant::now();
+            while service.pending_jobs() > 0 {
+                assert!(start.elapsed() < Duration::from_secs(60), "stalls never claimed");
+                std::thread::yield_now();
+            }
+            let report = service.drain(Some(Duration::from_millis(300)));
+            assert_eq!(report.timed_out, 2);
+        },
+        20,
+    );
+    rows.push(Row {
+        name: "drain/wedged_300ms_deadline@2W".to_string(),
+        new: wedged_drain,
+        old: STALL_CAP,
+        iterations: wedged_iters,
+    });
+
+    // --- Report, in the BENCH_pr1..4 format. ---
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    println!("{:<32} {:>14} {:>14} {:>9}", "benchmark", "new", "old", "speedup");
+    for (i, row) in rows.iter().enumerate() {
+        println!(
+            "{:<32} {:>14?} {:>14?} {:>8.2}x",
+            row.name,
+            row.new,
+            row.old,
+            row.speedup()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"new_ns\": {}, \"old_ns\": {}, \"speedup\": {:.2}, \"iterations\": {}}}{}",
+            row.name,
+            row.new.as_nanos(),
+            row.old.as_nanos(),
+            row.speedup(),
+            row.iterations,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    let min = rows.iter().map(|r| r.speedup()).fold(f64::INFINITY, f64::min);
+    println!("{:<32} {:>43.2}x (geomean), {:.2}x (min)", "overall", geomean, min);
+    let _ = write!(
+        json,
+        "  ],\n  \"speedup_geomean\": {geomean:.2},\n  \"speedup_min\": {min:.2},\n  \
+         \"threads\": {threads},\n  \"host_cores\": {host_cores},\n  \"note\": \"abort_poll: \
+         the market G.3 union build with a never-aborted abort handle installed (new) vs no \
+         handle (old) — worst-case polling cost, expected within noise of 1.0x; the \
+         byte-identity gate runs first. drain/clean: Service::drain over a 12-job in-flight \
+         burst (new) vs waiting the identical burst out ticket by ticket (old) — drain adds \
+         no latency over the work itself. drain/wedged: drain with a 300ms deadline over \
+         two stall-marker-wedged workers (new) vs the 10s chaos stall cap a deadline-less \
+         observer would wait out (old) — bounded exit from an unbounded wedge.\"\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write results");
+    println!("wrote {out_path}");
+}

@@ -175,7 +175,7 @@ pub fn service_corpus_sweep(
         let refs: Vec<&str> = members.iter().map(String::as_str).collect();
         submit_environment_admitted(service, name, &refs);
     }
-    service.drain()
+    service.collect()
 }
 
 /// Projects drained service outcomes into the thread-count-invariant

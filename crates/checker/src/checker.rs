@@ -114,14 +114,41 @@ pub struct ModelChecker<'a> {
     /// sweep computes each distinct subformula set once. Used by the symbolic
     /// engine only; the explicit baseline recomputes from scratch.
     memo: RefCell<SatMemo>,
+    /// The in-stage abort handle installed on the constructing thread, if any
+    /// (`soteria_exec::current_abort`). Polled between fixpoint rounds and every
+    /// `ABORT_POLL_STRIDE` worklist pops; when set, the checker unwinds with the
+    /// abort sentinel instead of finishing a sweep nobody wants. `None` (every
+    /// non-service path) makes each poll a single branch, and polling never
+    /// mutates state — the determinism gates hold byte-identically.
+    abort: Option<soteria_exec::AbortHandle>,
 }
+
+/// Worklist iterations between abort polls: coarse enough that the relaxed
+/// atomic load vanishes against the per-pop edge scans, fine enough that a
+/// G.3-scale fixpoint (~47k states) still observes an abort within a few
+/// thousand pops.
+const ABORT_POLL_STRIDE: usize = 4096;
 
 impl<'a> ModelChecker<'a> {
     /// Creates a checker. The transition relation (forward and reverse) is read
     /// directly from the Kripke structure's CSR arrays; nothing is rebuilt per
     /// checker.
     pub fn new(kripke: &'a Kripke, engine: Engine) -> Self {
-        ModelChecker { kripke, engine, memo: RefCell::new(SatMemo::default()) }
+        ModelChecker {
+            kripke,
+            engine,
+            memo: RefCell::new(SatMemo::default()),
+            abort: soteria_exec::current_abort(),
+        }
+    }
+
+    /// Abort poll point: unwinds with the abort sentinel when the constructing
+    /// stage was aborted. A no-op branch when no handle is installed.
+    #[inline]
+    fn poll_abort(&self) {
+        if let Some(abort) = &self.abort {
+            abort.bail_if_aborted();
+        }
     }
 
     /// The set of states satisfying a formula. The symbolic engine memoizes every
@@ -373,7 +400,12 @@ impl<'a> ModelChecker<'a> {
         }
         let mut result = sat_b.clone();
         let mut frontier: Vec<u32> = sat_b.iter().map(|s| s as u32).collect();
+        let mut pops = 0usize;
         while let Some(s) = frontier.pop() {
+            pops += 1;
+            if pops.is_multiple_of(ABORT_POLL_STRIDE) {
+                self.poll_abort();
+            }
             for &p in self.kripke.predecessors(s as usize) {
                 let p_usize = p as usize;
                 if sat_a.contains(p_usize) && !result.contains(p_usize) {
@@ -389,6 +421,7 @@ impl<'a> ModelChecker<'a> {
     fn least_fixpoint_eu_rounds(&self, sat_a: &BitSet, sat_b: &BitSet) -> BitSet {
         let mut result = sat_b.clone();
         loop {
+            self.poll_abort();
             let mut pre = self.pre_exists(&result);
             pre.intersect_with(sat_a);
             pre.union_with(&result);
@@ -426,7 +459,12 @@ impl<'a> ModelChecker<'a> {
                 eliminated.push(s as u32);
             }
         }
+        let mut pops = 0usize;
         while let Some(s) = eliminated.pop() {
+            pops += 1;
+            if pops.is_multiple_of(ABORT_POLL_STRIDE) {
+                self.poll_abort();
+            }
             for &p in self.kripke.predecessors(s as usize) {
                 let p_usize = p as usize;
                 if result.contains(p_usize) {
@@ -445,6 +483,7 @@ impl<'a> ModelChecker<'a> {
     fn greatest_fixpoint_eg_rounds(&self, sat_f: &BitSet) -> BitSet {
         let mut result = sat_f.clone();
         loop {
+            self.poll_abort();
             let mut pre = self.pre_exists(&result);
             pre.intersect_with(sat_f);
             if pre == result {
@@ -483,7 +522,13 @@ impl<'a> ModelChecker<'a> {
     /// threshold (and for the explicit baseline) every formula recomputes — there
     /// each set operation is a single `u64` op, cheaper than cache bookkeeping.
     pub fn check_all(&self, formulas: &[Ctl]) -> Vec<CheckResult> {
-        formulas.iter().map(|f| self.check(f)).collect()
+        formulas
+            .iter()
+            .map(|f| {
+                self.poll_abort();
+                self.check(f)
+            })
+            .collect()
     }
 
     /// Builds a counter-example trace starting at `from`. For `AG f` the trace is the

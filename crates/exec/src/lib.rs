@@ -45,8 +45,10 @@ use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{LockResult, Mutex, MutexGuard};
 
+mod abort;
 mod pool;
 
+pub use abort::{current_abort, is_abort_payload, with_abort, AbortHandle, Aborted};
 pub use pool::{global_pool, pool_map, TaskId, WorkerPool};
 
 /// Locks a mutex, recovering the guard from a poisoned lock.
@@ -196,9 +198,14 @@ where
     let finished: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunk_count));
     let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
+    // Workers inherit the caller's abort handle: a stage aborted mid-map stops
+    // all of its scoped workers, and the sentinel unwind propagates to the
+    // caller through the normal first-panic path.
+    let abort_handle = current_abort();
     std::thread::scope(|scope| {
         let worker = || {
             let _guard = enter_par_worker();
+            let _abort_scope = abort::install_scoped(abort_handle.clone());
             loop {
                 if abort.load(Ordering::Relaxed) {
                     break;

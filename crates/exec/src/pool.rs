@@ -282,6 +282,9 @@ struct ScopedJob<'a, T, R, F> {
     chunk_count: usize,
     next_chunk: AtomicUsize,
     abort: AtomicBool,
+    /// The caller's in-stage abort handle, re-installed on every helper thread
+    /// so an aborted stage stops all of its workers (`crate::current_abort`).
+    stage_abort: Option<crate::AbortHandle>,
     finished: Mutex<Vec<(usize, Vec<R>)>>,
     first_panic: Mutex<Option<Box<dyn Any + Send>>>,
     /// Completion latch: helper tasks that have not yet finished running.
@@ -308,6 +311,7 @@ where
             chunk_count,
             next_chunk: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
+            stage_abort: crate::current_abort(),
             finished: Mutex::new(Vec::with_capacity(chunk_count)),
             first_panic: Mutex::new(None),
             latch: Mutex::new(0),
@@ -317,6 +321,7 @@ where
 
     /// Claims and maps chunks until none are left or a panic aborted the job.
     fn run_chunks(&self) {
+        let _abort_scope = crate::abort::install_scoped(self.stage_abort.clone());
         loop {
             if self.abort.load(Ordering::Relaxed) {
                 break;

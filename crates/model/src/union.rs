@@ -120,6 +120,11 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
     let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
     let mut lifted: Vec<Transition> = Vec::new();
     let threads = soteria_exec::resolve_threads(options.threads);
+    // In-stage abort (`soteria_exec::current_abort`): polled once per compiled
+    // edge — each edge enumerates the whole free sub-product, so a G.3-scale
+    // lift observes an abort within one edge's block rather than finishing a
+    // 47k-state union nobody wants. `None` on non-service paths: a dead branch.
+    let abort = soteria_exec::current_abort();
     // Dedup classes embed the contributing app's name, so lifts from models with
     // distinct names can never collide — the cross-model `seen` filter only has
     // work to do when the same app appears twice in the union.
@@ -228,6 +233,9 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
                 let mut out: Vec<Vec<Transition>> = (0..edges.len()).map(|_| Vec::new()).collect();
                 let mut rest = vec![0u8; rest_radices.len()];
                 for (ei, edge) in edges.iter().enumerate() {
+                    if let Some(abort) = &abort {
+                        abort.bail_if_aborted();
+                    }
                     rest.fill(0);
                     loop {
                         let from_id = edge.base
@@ -275,6 +283,9 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
             // sub-product in ascending id order (odometer over the free positions).
             let mut free_digits = vec![0u8; free.len()];
             for edge in &edges {
+                if let Some(abort) = &abort {
+                    abort.bail_if_aborted();
+                }
                 free_digits.fill(0);
                 loop {
                     let from_id = edge.base

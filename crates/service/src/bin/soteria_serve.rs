@@ -21,11 +21,22 @@
 //! * `--admission block|reject` — what a submission at the bound does: wait
 //!   for a slot, or answer immediately with a `queue full` error line
 //!   (default: `SOTERIA_ADMISSION`, else block);
+//! * `--deadline-ms N` — per-job pending *and* running deadline: jobs stuck
+//!   longer are auto-cancelled as timed out (default: `SOTERIA_DEADLINE_MS`,
+//!   else none; `0` disables);
+//! * `--quarantine N` — panic strikes before a source is rejected at admission
+//!   (default 2; `0` disables);
+//! * `--fault-marker S` / `--stall-marker S` — chaos injection for testing:
+//!   app sources containing the marker panic at ingest / stall abortably;
 //! * `--smoke` — run the self-check gate instead of serving: pipe the running
 //!   examples through the full protocol, diff every served report against the
 //!   direct `Soteria` API, verify a second pass is served byte-identically
-//!   from the cache, and exercise `cancel` plus a rejecting bounded queue.
-//!   Exits non-zero on any mismatch (the CI configuration).
+//!   from the cache, and exercise `cancel`, a rejecting bounded queue, injected
+//!   panics with quarantine, `faults`, and `drain`. Exits non-zero on any
+//!   mismatch (the CI configuration).
+//!
+//! Closing stdin drains the service: admission closes and every outstanding
+//! ticket is settled before the process exits.
 
 use soteria_service::protocol::{self, AppSource, Request};
 use soteria_service::{AdmissionPolicy, AppJob, EnvJob, Service, ServiceOptions};
@@ -38,6 +49,9 @@ enum PendingOut {
     Env(EnvJob),
     Cancel { name: String, cancelled: bool },
     Stats,
+    Faults,
+    Sync { settled: usize },
+    Drain(soteria_service::DrainReport),
     Error(String),
 }
 
@@ -72,6 +86,22 @@ impl LiveJobs {
         self.apps.retain(|_, job| !job.is_ready());
         self.envs.retain(|_, job| !job.is_ready());
     }
+
+    /// Blocks until every tracked in-flight job has settled (the `sync` verb),
+    /// returning how many were waited on. Serializes pipelined request streams:
+    /// the next line is not read until everything before the `sync` finished.
+    fn sync(&self) -> usize {
+        let mut settled = 0;
+        for job in self.apps.values() {
+            let _ = job.wait();
+            settled += 1;
+        }
+        for job in self.envs.values() {
+            let _ = job.wait();
+            settled += 1;
+        }
+        settled
+    }
 }
 
 fn resolve_source(source: AppSource) -> Result<String, String> {
@@ -91,10 +121,15 @@ fn resolve_source(source: AppSource) -> Result<String, String> {
 /// writes + flushes its response line the moment it — and everything before
 /// it — has finished. An interactive client therefore gets each response
 /// without having to send another line or close stdin first.
+/// `drain_on_eof` treats stdin closing as a shutdown request: admission is
+/// closed and every outstanding ticket settled before the writer is joined
+/// (the `main` serve path). The smoke gates pass `false` — they run several
+/// passes over one service, which a drain would close for good.
 fn serve(
     input: impl BufRead,
     out: &mut (impl Write + Send),
     service: &Service,
+    drain_on_eof: bool,
 ) -> std::io::Result<()> {
     let (tx, rx) = mpsc::channel::<(usize, PendingOut)>();
     std::thread::scope(|scope| {
@@ -117,6 +152,9 @@ fn serve(
                         protocol::cancel_response(index, &name, cancelled)
                     }
                     PendingOut::Stats => protocol::stats_response(index, &service.stats()),
+                    PendingOut::Faults => protocol::faults_response(index, &service.faults()),
+                    PendingOut::Sync { settled } => protocol::sync_response(index, settled),
+                    PendingOut::Drain(report) => protocol::drain_response(index, &report),
                     PendingOut::Error(error) => protocol::error_response(index, &error),
                 };
                 writeln!(out, "{}", response.render())?;
@@ -157,6 +195,14 @@ fn serve(
                     PendingOut::Cancel { name, cancelled }
                 }
                 Ok(Some(Request::Stats)) => PendingOut::Stats,
+                Ok(Some(Request::Faults)) => PendingOut::Faults,
+                Ok(Some(Request::Sync)) => PendingOut::Sync { settled: live.sync() },
+                // Synchronous in the reader: no further request is even parsed
+                // until the drain settled everything (requests still in the
+                // pipe then fail with a "draining" error line — by design).
+                Ok(Some(Request::Drain { deadline_ms })) => PendingOut::Drain(
+                    service.drain(deadline_ms.map(std::time::Duration::from_millis)),
+                ),
             };
             live.prune_finished();
             // A send only fails after the writer bailed on an I/O error (client
@@ -169,6 +215,12 @@ fn serve(
             service.forget_finished();
         }
         drop(tx); // EOF: the writer drains the remaining jobs, then exits
+        if drain_on_eof {
+            // Stdin closed = shutdown: settle every outstanding ticket (jobs
+            // past their deadlines are already being timed out by the sweeper)
+            // so the writer finishes every response line and exits.
+            let _ = service.drain(None);
+        }
         let result = writer.join().expect("writer thread panicked");
         service.forget_finished();
         result
@@ -192,7 +244,7 @@ fn run_smoke(service: &Service) {
 
     let pass = |label: &str| -> Vec<JsonValue> {
         let mut out = Vec::new();
-        serve(requests.as_bytes(), &mut out, service).expect("serve pass");
+        serve(requests.as_bytes(), &mut out, service, false).expect("serve pass");
         String::from_utf8(out)
             .expect("utf-8 responses")
             .lines()
@@ -302,7 +354,7 @@ fn run_cancel_and_backpressure_smoke() {
                     app a4 corpus:SmokeAlarm\n\
                     stats\n";
     let mut out = Vec::new();
-    serve(requests.as_bytes(), &mut out, &service).expect("serve pass");
+    serve(requests.as_bytes(), &mut out, &service, false).expect("serve pass");
     let lines: Vec<JsonValue> = String::from_utf8(out)
         .expect("utf-8 responses")
         .lines()
@@ -343,6 +395,76 @@ fn run_cancel_and_backpressure_smoke() {
     );
 }
 
+/// The crash-only smoke leg: a service with deterministic fault injection, fed
+/// a panicking source repeatedly with `sync` serialization points so each
+/// resubmission re-runs (and strikes) instead of coalescing. Checks the panic
+/// surfaces as an `error` response (service alive), the second strike
+/// quarantines the content, `faults` dumps both strikes, `drain` settles
+/// everything exactly once, and post-drain submissions are rejected.
+fn run_fault_and_drain_smoke() {
+    use soteria::JsonValue;
+
+    let service = Service::new(
+        soteria::Soteria::new(),
+        ServiceOptions {
+            workers: 1,
+            fault_marker: Some("chaos-panic".to_string()),
+            ..ServiceOptions::default()
+        },
+    );
+    let requests = "app ok corpus:SmokeAlarm\n\
+                    app bad inline:definition(name: \"chaos-panic\")\n\
+                    sync\n\
+                    app bad inline:definition(name: \"chaos-panic\")\n\
+                    sync\n\
+                    app bad inline:definition(name: \"chaos-panic\")\n\
+                    faults\n\
+                    stats\n\
+                    drain 5000\n\
+                    app late corpus:SmokeAlarm\n";
+    let mut out = Vec::new();
+    serve(requests.as_bytes(), &mut out, &service, false).expect("serve pass");
+    let lines: Vec<JsonValue> = String::from_utf8(out)
+        .expect("utf-8 responses")
+        .lines()
+        .map(|line| JsonValue::parse(line).expect("response parses"))
+        .collect();
+    assert_eq!(lines.len(), 10, "one response per request");
+    let field = |v: &JsonValue, key: &str| -> String {
+        v.get(key).and_then(|f| f.as_str()).unwrap_or_default().to_string()
+    };
+
+    // The healthy app is unaffected by its panicking neighbour.
+    assert_eq!(field(&lines[0], "status"), "ok");
+    // Strikes one and two surface as error responses (the service survived)...
+    assert!(field(&lines[1], "error").contains("injected fault"), "{}", lines[1].render());
+    assert!(field(&lines[3], "error").contains("injected fault"));
+    // ... and the third submission is rejected at admission, quarantined.
+    assert!(
+        field(&lines[5], "error").contains("quarantined"),
+        "third strike not quarantined: {}",
+        lines[5].render()
+    );
+    // The fault log retains both panics, with matching fingerprints.
+    let faults = lines[6].get("faults").and_then(|f| f.as_array()).expect("fault array");
+    assert_eq!(faults.len(), 2, "expected exactly two fault records");
+    assert_eq!(field(&faults[0], "key"), field(&faults[1], "key"), "strike keys differ");
+    assert!(faults.iter().all(|f| field(f, "kind") == "panic"));
+    // Counters agree.
+    let stats = lines[7].get("stats").expect("stats object");
+    assert_eq!(stats.get("faults"), Some(&JsonValue::Number(2.0)));
+    assert_eq!(stats.get("quarantined"), Some(&JsonValue::Number(1.0)));
+    // The drain settles with nothing left over, and later submissions bounce.
+    let drain = lines[8].get("drain").expect("drain object");
+    assert_eq!(drain.get("timed_out"), Some(&JsonValue::Number(0.0)), "drain timed out jobs");
+    assert!(field(&lines[9], "error").contains("draining"), "{}", lines[9].render());
+    assert_eq!(service.stats().pending, 0, "pending jobs leaked after the drain");
+    println!(
+        "soteria-serve fault/drain smoke: OK (2 injected panics -> quarantine on strike 3; \
+         fault log + stats agree; drain settled; post-drain submission rejected)"
+    );
+}
+
 fn main() {
     let mut options = ServiceOptions::default();
     let mut smoke = false;
@@ -374,11 +496,36 @@ fn main() {
                     other => panic!("--admission needs block|reject, got {other:?}"),
                 };
             }
+            "--deadline-ms" => {
+                let deadline = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .expect("--deadline-ms needs a number");
+                let deadline =
+                    (deadline > 0).then(|| std::time::Duration::from_millis(deadline));
+                options.pending_deadline = deadline;
+                options.running_deadline = deadline;
+            }
+            "--quarantine" => {
+                options.quarantine_threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--quarantine needs a number (0 disables)");
+            }
+            "--fault-marker" => {
+                options.fault_marker =
+                    Some(args.next().expect("--fault-marker needs a marker string"));
+            }
+            "--stall-marker" => {
+                options.stall_marker =
+                    Some(args.next().expect("--stall-marker needs a marker string"));
+            }
             "--smoke" => smoke = true,
             other => {
                 eprintln!(
                     "unknown flag '{other}' (expected --workers N, --cache N, \
-                     --max-pending N, --admission block|reject, --smoke)"
+                     --max-pending N, --admission block|reject, --deadline-ms N, \
+                     --quarantine N, --fault-marker S, --stall-marker S, --smoke)"
                 );
                 std::process::exit(2);
             }
@@ -389,13 +536,14 @@ fn main() {
     if smoke {
         run_smoke(&service);
         run_cancel_and_backpressure_smoke();
+        run_fault_and_drain_smoke();
         return;
     }
     let stdin = std::io::stdin();
     // `Stdout` locks internally per write and is `Send`, which the writer
     // thread needs; the serve loop flushes after every response line anyway.
     let mut out = std::io::stdout();
-    serve(stdin.lock(), &mut out, &service).expect("serve loop");
+    serve(stdin.lock(), &mut out, &service, true).expect("serve loop");
     let _ = out.flush();
     let stats = service.stats();
     eprintln!(

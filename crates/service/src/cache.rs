@@ -67,6 +67,14 @@ pub fn app_cache_key(
     ]))
 }
 
+/// The fault-layer address of app *source bytes*: like [`app_cache_key`] but
+/// name-independent, so quarantine strikes follow the offending content no
+/// matter what name it is resubmitted under.
+pub fn source_fingerprint(source: &str, config_fingerprint: u64, engine: &str) -> CacheKey {
+    let fingerprint = config_fingerprint.to_le_bytes();
+    CacheKey(fnv128(&[b"src", source.as_bytes(), &fingerprint, engine.as_bytes()]))
+}
+
 /// The content address of an environment analysis: group name plus the member
 /// *app keys* in submission order (member content changes propagate through
 /// their keys) and the configuration fingerprint.
@@ -200,6 +208,17 @@ mod tests {
             app_cache_key("ab", "c", 0, "e"),
             app_cache_key("a", "bc", 0, "e")
         );
+    }
+
+    #[test]
+    fn source_fingerprints_ignore_the_submitted_name() {
+        let base = source_fingerprint("def installed() {}", 7, "Symbolic");
+        assert_eq!(base, source_fingerprint("def installed() {}", 7, "Symbolic"));
+        assert_ne!(base, source_fingerprint("def installed() { }", 7, "Symbolic"));
+        assert_ne!(base, source_fingerprint("def installed() {}", 8, "Symbolic"));
+        assert_ne!(base, source_fingerprint("def installed() {}", 7, "Explicit"));
+        // Distinct address space from the name-sensitive cache keys.
+        assert_ne!(base, app_cache_key("a", "def installed() {}", 7, "Symbolic"));
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //!
 //! * **Job queue** — [`Service::submit_app`] / [`Service::submit_environment`]
 //!   return [`AppJob`] / [`EnvJob`] ticket handles immediately; results are
-//!   awaited individually ([`AppJob::wait`]) or drained in submission order
-//!   ([`Service::drain`]).
+//!   awaited individually ([`AppJob::wait`]) or collected in submission order
+//!   ([`Service::collect`]).
 //! * **Persistent worker pool** — jobs run on `soteria-exec`'s long-lived
 //!   [`WorkerPool`](soteria_exec::WorkerPool) (no per-call thread spawns). An
 //!   app job is two pipeline stages — ingest (parse → IR → model) and verify —
@@ -32,6 +32,16 @@
 //!   which removes not-yet-claimed pipeline stages from the queue, revokes
 //!   parked environment jobs, and settles the ticket as
 //!   [`JobError::Cancelled`] without caching anything.
+//! * **Crash-only fault layer** — stage panics are caught at the job boundary,
+//!   recorded in a bounded fault log ([`Service::faults`]), and counted as
+//!   quarantine strikes: content that panicked the analyzer
+//!   [`ServiceOptions::quarantine_threshold`] times is rejected at admission
+//!   with [`ServiceError::Quarantined`]. Per-job deadlines
+//!   ([`ServiceOptions::pending_deadline`] / [`ServiceOptions::running_deadline`],
+//!   or [`DEADLINE_ENV`]) auto-cancel stuck jobs as [`JobError::TimedOut`],
+//!   aborting a *running* stage at its next poll point instead of letting it
+//!   finish; [`Service::drain`] closes admission and settles every outstanding
+//!   ticket exactly once for graceful shutdown.
 //!
 //! Determinism is inherited, not re-proven: each job's analysis is the same pure
 //! function the batch path runs, so pooled + streamed + cached results are
@@ -72,11 +82,12 @@ pub mod protocol;
 mod service;
 mod ticket;
 
-pub use cache::{app_cache_key, env_cache_key, CacheKey, CacheStats};
+pub use cache::{app_cache_key, env_cache_key, source_fingerprint, CacheKey, CacheStats};
 pub use service::{
-    AdmissionPolicy, AppJob, AppResult, CacheDisposition, Cancellable, CancelOnDrop, EnvJob,
-    EnvResult, JobError, JobHandle, JobOutcome, Service, ServiceError, ServiceOptions,
-    ServiceStats, ADMISSION_ENV, MAX_PENDING_ENV,
+    AdmissionPolicy, AppJob, AppResult, CacheDisposition, Cancellable, CancelOnDrop,
+    DrainReport, EnvJob, EnvResult, FaultKind, FaultRecord, JobError, JobHandle, JobOutcome,
+    Service, ServiceError, ServiceOptions, ServiceStats, ADMISSION_ENV, DEADLINE_ENV,
+    MAX_PENDING_ENV,
 };
 pub use ticket::Ticket;
 
@@ -259,8 +270,8 @@ mod tests {
         submit(&service, "on", SMOKE_ON); // may still be in flight
         let dropped = service.forget_finished();
         assert!(dropped >= 1, "finished job kept in the log");
-        // Whatever remains in the log is still drainable, in order.
-        let drained = service.drain();
+        // Whatever remains in the log is still collectable, in order.
+        let drained = service.collect();
         assert!(drained.len() <= 1);
         assert_eq!(service.stats().submitted, 2);
     }
@@ -285,7 +296,7 @@ mod tests {
         submit(&service, "on", SMOKE_ON);
         let on = submit(&service, "on", SMOKE_ON); // hit or coalesced
         submit_env_names(&service, "G", &["on"]).unwrap();
-        let outcomes = service.drain();
+        let outcomes = service.collect();
         assert_eq!(outcomes.len(), 4);
         let names: Vec<&str> = outcomes
             .iter()
@@ -296,8 +307,8 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["w", "on", "on", "G"]);
         assert_ne!(on.disposition(), CacheDisposition::Miss, "identical resubmission recomputed");
-        // Drained log resets; stats survive.
-        assert_eq!(service.drain().len(), 0);
+        // Collected log resets; stats survive.
+        assert_eq!(service.collect().len(), 0);
         let stats = service.stats();
         assert_eq!(stats.submitted, 4);
         assert!(stats.app_cache.hits + stats.coalesced >= 1);
@@ -330,7 +341,7 @@ mod tests {
         // No safe corpus input makes the analyzer panic, so the catch_unwind →
         // JobError::Internal funnel in schedule_app/schedule_environment is
         // covered structurally; this gate proves the failure surface itself:
-        // errors flow through tickets, drain() completes, later jobs still run.
+        // errors flow through tickets, collect() completes, later jobs still run.
         assert_eq!(
             JobError::Internal("boom at model build".to_string()).to_string(),
             "analysis failed: boom at model build"
@@ -338,7 +349,7 @@ mod tests {
         let service = service_with_workers(1);
         submit(&service, "bad", "definition(");
         submit(&service, "w", WATER_LEAK);
-        let outcomes = service.drain();
+        let outcomes = service.collect();
         assert_eq!(outcomes.len(), 2);
         assert!(matches!(
             &outcomes[0],

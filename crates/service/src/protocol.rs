@@ -13,6 +13,9 @@
 //! env <group> <member,member,...>     # union analysis over prior app jobs, by name
 //! cancel <name>                       # cancel an in-flight app or env job, by name
 //! stats                               # service counter snapshot
+//! faults                              # dump the retained fault log
+//! sync                                # block until every in-flight job settles
+//! drain [<deadline_ms>]               # close admission, settle everything, report
 //! ```
 //!
 //! # Responses
@@ -26,17 +29,27 @@
 //! {"job":3,"kind":"app","name":...,"status":"cancelled","cache":...,"error":"cancelled"}
 //! {"job":4,"kind":"cancel","name":...,"status":"ok","cancelled":true|false}
 //! {"job":5,"kind":"stats","status":"ok","stats":{...}}
+//! {"job":6,"kind":"app","name":...,"status":"timeout","cache":...,"error":"timed out"}
+//! {"job":7,"kind":"faults","status":"ok","faults":[{"seq":...,"name":...,"key":...,
+//!                                                   "stage":...,"kind":...,"message":...},...]}
+//! {"job":8,"kind":"drain","status":"ok","drain":{"settled":...,"completed":...,
+//!                              "failed":...,"cancelled":...,"timed_out":...,"elapsed_ms":...}}
+//! {"job":9,"kind":"sync","status":"ok","settled":...}
 //! ```
 //!
 //! `report` objects are [`soteria::app_analysis_json`] /
 //! [`soteria::environment_json`] — cached responses are byte-identical to the
 //! original, including the measured timings frozen with the result. A job whose
 //! computation was cancelled (its own `cancel` request or a coalesced holder's)
-//! reports `"status":"cancelled"`; a submission rejected by a full queue under
-//! `--admission reject` is an `error` response whose message starts with
-//! `queue full`.
+//! reports `"status":"cancelled"`; one auto-cancelled by a deadline (or the
+//! drain) reports `"status":"timeout"`. A submission rejected by a full queue
+//! under `--admission reject` is an `error` response whose message starts with
+//! `queue full`; one rejected by the input quarantine has a message starting
+//! with `'<name>' is quarantined`.
 
-use crate::service::{AppResult, CacheDisposition, EnvResult, JobError, ServiceStats};
+use crate::service::{
+    AppResult, CacheDisposition, DrainReport, EnvResult, FaultRecord, JobError, ServiceStats,
+};
 use soteria::{app_analysis_json, environment_json, JsonValue};
 
 /// Where an `app` request's source comes from.
@@ -74,6 +87,20 @@ pub enum Request {
     },
     /// Emit a service counter snapshot.
     Stats,
+    /// Dump the retained fault log as one JSON response line.
+    Faults,
+    /// Block request intake until every in-flight job has settled. The
+    /// serialization point pipelined clients need: without it, resubmitting
+    /// content whose job is still in flight coalesces instead of re-running —
+    /// so, e.g., a panicking source could never deterministically accumulate
+    /// quarantine strikes from one piped request stream.
+    Sync,
+    /// Close admission, settle every outstanding job, and report the tally.
+    Drain {
+        /// Force-settle whatever outlives this many milliseconds as timed out;
+        /// `None` waits indefinitely.
+        deadline_ms: Option<u64>,
+    },
 }
 
 /// Escapes source text for the `inline:` request form.
@@ -179,6 +206,24 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Ok(Some(Request::Cancel { name: name.to_string() }))
         }
         "stats" => Ok(Some(Request::Stats)),
+        "faults" => Ok(Some(Request::Faults)),
+        "sync" => Ok(Some(Request::Sync)),
+        "drain" => {
+            let (deadline, rest) = next_field(rest);
+            if !rest.is_empty() {
+                return Err(format!("drain: unexpected trailing input '{rest}'"));
+            }
+            let deadline_ms = if deadline.is_empty() {
+                None
+            } else {
+                Some(
+                    deadline
+                        .parse::<u64>()
+                        .map_err(|_| format!("drain: invalid deadline '{deadline}'"))?,
+                )
+            };
+            Ok(Some(Request::Drain { deadline_ms }))
+        }
         other => Err(format!("unknown request '{other}'")),
     }
 }
@@ -191,11 +236,13 @@ fn response_header(job: usize, kind: &str, status: &str) -> Vec<(&'static str, J
     ]
 }
 
-/// The response status of a job result: `ok`, `cancelled`, or `error`.
+/// The response status of a job result: `ok`, `cancelled`, `timeout`, or
+/// `error`.
 fn result_status<T>(result: &Result<T, JobError>) -> &'static str {
     match result {
         Ok(_) => "ok",
         Err(JobError::Cancelled) => "cancelled",
+        Err(JobError::TimedOut) => "timeout",
         Err(_) => "error",
     }
 }
@@ -271,10 +318,62 @@ pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
             ("coalesced", JsonValue::Number(stats.coalesced as f64)),
             ("rejected", JsonValue::Number(stats.rejected as f64)),
             ("cancelled", JsonValue::Number(stats.cancelled as f64)),
+            ("timed_out", JsonValue::Number(stats.timed_out as f64)),
+            ("quarantined", JsonValue::Number(stats.quarantined as f64)),
+            ("faults", JsonValue::Number(stats.faults as f64)),
+            ("draining", JsonValue::Bool(stats.draining)),
             ("pending", JsonValue::uint(stats.pending)),
             ("registry_entries", JsonValue::uint(stats.registry_entries)),
             ("app_cache", cache(stats.app_cache)),
             ("env_cache", cache(stats.env_cache)),
+        ]),
+    ));
+    JsonValue::object(members)
+}
+
+/// The response line for a `faults` request: the retained fault log, oldest
+/// first. `key` is the offending input's 32-hex content fingerprint — the same
+/// value quarantine matches resubmissions against.
+pub fn faults_response(job: usize, faults: &[FaultRecord]) -> JsonValue {
+    let records: Vec<JsonValue> = faults
+        .iter()
+        .map(|f| {
+            JsonValue::object([
+                ("seq", JsonValue::Number(f.seq as f64)),
+                ("name", JsonValue::string(f.name.clone())),
+                ("key", JsonValue::string(f.key.to_string())),
+                ("stage", JsonValue::string(f.stage)),
+                ("kind", JsonValue::string(f.kind.as_str())),
+                ("message", JsonValue::string(f.message.clone())),
+            ])
+        })
+        .collect();
+    let mut members = response_header(job, "faults", "ok");
+    members.push(("faults", JsonValue::Array(records)));
+    JsonValue::object(members)
+}
+
+/// The response line for a `sync` request: how many in-flight jobs were waited
+/// on before intake resumed.
+pub fn sync_response(job: usize, settled: usize) -> JsonValue {
+    let mut members = response_header(job, "sync", "ok");
+    members.push(("settled", JsonValue::uint(settled)));
+    JsonValue::object(members)
+}
+
+/// The response line for a `drain` request. `settled` counts every job the
+/// drain report covers; the remaining counters partition it.
+pub fn drain_response(job: usize, report: &DrainReport) -> JsonValue {
+    let mut members = response_header(job, "drain", "ok");
+    members.push((
+        "drain",
+        JsonValue::object([
+            ("settled", JsonValue::uint(report.outcomes.len())),
+            ("completed", JsonValue::uint(report.completed)),
+            ("failed", JsonValue::uint(report.failed)),
+            ("cancelled", JsonValue::uint(report.cancelled)),
+            ("timed_out", JsonValue::uint(report.timed_out)),
+            ("elapsed_ms", JsonValue::Number(report.elapsed.as_secs_f64() * 1e3)),
         ]),
     ));
     JsonValue::object(members)
@@ -323,6 +422,16 @@ mod tests {
             Some(Request::Cancel { name: "wld".into() })
         );
         assert_eq!(parse_request("stats").unwrap(), Some(Request::Stats));
+        assert_eq!(parse_request("faults").unwrap(), Some(Request::Faults));
+        assert_eq!(parse_request("sync").unwrap(), Some(Request::Sync));
+        assert_eq!(
+            parse_request("drain").unwrap(),
+            Some(Request::Drain { deadline_ms: None })
+        );
+        assert_eq!(
+            parse_request("drain 250").unwrap(),
+            Some(Request::Drain { deadline_ms: Some(250) })
+        );
         // Separator runs collapse: doubled spaces and tabs parse identically.
         assert_eq!(
             parse_request("app  demo \t corpus:SmokeAlarm").unwrap(),
@@ -347,6 +456,8 @@ mod tests {
             "cancel two names",
             "frobnicate x",
             "app n inline:bad\\q",
+            "drain soon",
+            "drain 5 extra",
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }

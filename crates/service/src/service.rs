@@ -1,15 +1,19 @@
 //! The long-lived analysis service: job queue + worker pool + result cache,
-//! with admission control (queue bounds) and job cancellation.
+//! with admission control (queue bounds), job cancellation, and the crash-only
+//! fault layer (fault log, input quarantine, deadlines, in-stage abort, drain).
 
-use crate::cache::{app_cache_key, env_cache_key, CacheKey, CacheStats, ResultCache};
+use crate::cache::{
+    app_cache_key, env_cache_key, source_fingerprint, CacheKey, CacheStats, ResultCache,
+};
 use crate::ticket::{PendingJob, Ticket};
 use soteria::{AppAnalysis, EnvironmentAnalysis, Soteria};
-use soteria_exec::{lock_recover, recover, TaskId, WorkerPool};
+use soteria_exec::{lock_recover, recover, AbortHandle, TaskId, WorkerPool};
 use soteria_lang::ParseError;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 /// Why a job failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,11 +29,16 @@ pub enum JobError {
     },
     /// The analysis itself panicked. The panic is caught at the job boundary
     /// and reported through the ticket — one adversarial input must never wedge
-    /// the response stream of a long-lived service.
+    /// the response stream of a long-lived service. Internal results are never
+    /// cached, and each one counts a quarantine strike against the source.
     Internal(String),
     /// The job was cancelled before it produced a result. Cancelled jobs are
     /// never cached: resubmitting the same content schedules a fresh analysis.
     Cancelled,
+    /// The job breached its [pending or running deadline](ServiceOptions) (or a
+    /// drain deadline) and was auto-cancelled. Timed-out jobs are never cached;
+    /// a running stage is aborted at its next poll point.
+    TimedOut,
 }
 
 impl fmt::Display for JobError {
@@ -41,6 +50,7 @@ impl fmt::Display for JobError {
             }
             JobError::Internal(message) => write!(f, "analysis failed: {message}"),
             JobError::Cancelled => write!(f, "cancelled"),
+            JobError::TimedOut => write!(f, "timed out"),
         }
     }
 }
@@ -61,6 +71,18 @@ pub enum ServiceError {
     /// An environment member's frozen result was evicted from the result cache;
     /// resubmit the app to reanalyze it.
     EvictedMember(String),
+    /// The submitted content has panicked the analyzer
+    /// [`ServiceOptions::quarantine_threshold`] times and is rejected at
+    /// admission — a poisoned *input* must not be resubmitted forever.
+    Quarantined {
+        /// The submitted name.
+        name: String,
+        /// Panic strikes recorded against this content fingerprint.
+        strikes: u32,
+    },
+    /// The service is [draining](Service::drain) (or dropped): admission is
+    /// closed and no new work is accepted.
+    Draining,
 }
 
 impl fmt::Display for ServiceError {
@@ -76,9 +98,63 @@ impl fmt::Display for ServiceError {
                 f,
                 "environment member '{member}' was evicted from the result cache; resubmit it"
             ),
+            ServiceError::Quarantined { name, strikes } => write!(
+                f,
+                "'{name}' is quarantined: this content panicked the analyzer {strikes} times"
+            ),
+            ServiceError::Draining => write!(f, "service is draining; submission rejected"),
         }
     }
 }
+
+/// What kind of failure a [`FaultRecord`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A stage panicked; the payload message is in the record. Counts a
+    /// quarantine strike against the input's content fingerprint.
+    Panic,
+    /// A deadline (per-job or drain) auto-cancelled the job. Never counts
+    /// toward quarantine — slowness is a property of load, not of the input.
+    Timeout,
+}
+
+impl FaultKind {
+    /// Lower-case protocol tag (`"panic"` / `"timeout"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// One entry of the service's bounded fault log: what failed, where, and the
+/// content fingerprint of the input that made it fail (the quarantine key).
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// Monotonic sequence number (total faults ever, not just retained ones).
+    pub seq: u64,
+    /// The submitted app or group name.
+    pub name: String,
+    /// The offending submission's fault-layer address. For apps this is the
+    /// name-independent [`source_fingerprint`](crate::source_fingerprint):
+    /// resubmitting byte-identical content maps to the same key *under any
+    /// name*, which is how quarantine recognises it. For environments it is the
+    /// group's cache key (membership is the content).
+    pub key: CacheKey,
+    /// The pipeline stage that failed (`"ingest"`, `"verify"`, `"environment"`)
+    /// or the state the job was in when its deadline fired (`"parked"`,
+    /// `"queued"`, `"running"`).
+    pub stage: &'static str,
+    /// Panic or timeout.
+    pub kind: FaultKind,
+    /// The panic payload message, or a deadline description.
+    pub message: String,
+}
+
+/// Fault log retention bound: the log keeps the most recent entries only (the
+/// `seq` field stays monotonic across evictions, so observers can detect gaps).
+const FAULT_LOG_CAP: usize = 256;
 
 /// Extracts a printable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -131,6 +207,16 @@ enum Stage {
     /// The ticket was settled as [`JobError::Cancelled`]; any still-running
     /// stage discards its result, any still-queued stage is skipped.
     Cancelled,
+    /// The ticket was settled as [`JobError::TimedOut`] by the deadline sweeper
+    /// or a drain; otherwise behaves exactly like `Cancelled`.
+    TimedOut,
+}
+
+impl Stage {
+    /// True for the three stages no transition leaves.
+    fn is_terminal(&self) -> bool {
+        matches!(self, Stage::Finished | Stage::Cancelled | Stage::TimedOut)
+    }
 }
 
 struct ControlState {
@@ -141,12 +227,22 @@ struct ControlState {
     /// The parked dependency job (environment jobs only), revoked on cancel so
     /// member completion releases nothing.
     parked: Option<Arc<PendingJob>>,
+    /// When the job's first stage started running, for the running deadline
+    /// (set once; the pending deadline applies while this is `None`).
+    running_since: Option<Instant>,
 }
 
 /// Per-scheduled-job cancellation state, shared by the submitter's handle (and
 /// any coalesced handles), the pipeline-stage tasks, and the service.
 pub(crate) struct JobControl {
     state: Mutex<ControlState>,
+    /// When the job was admitted, for the pending deadline.
+    submitted_at: Instant,
+    /// The in-stage abort flag: installed thread-locally around every stage
+    /// body, latched by cancel/timeout so a *running* stage stops at its next
+    /// poll point (checker fixpoint rounds, union edge blocks) instead of
+    /// finishing a result nobody wants.
+    abort: AbortHandle,
 }
 
 impl JobControl {
@@ -156,21 +252,27 @@ impl JobControl {
                 stage: Stage::Parked,
                 admitted: true,
                 parked: None,
+                running_since: None,
             }),
+            submitted_at: Instant::now(),
+            abort: AbortHandle::new(),
         })
     }
 
     /// Worker-stage prologue: transitions to `Running` and releases the
     /// admission slot on the job's first stage. Returns `false` when the job
-    /// was cancelled — the stage must be skipped entirely (the ticket is
-    /// already settled).
+    /// was cancelled or timed out — the stage must be skipped entirely (the
+    /// ticket is already settled).
     fn begin_stage(&self, admission: &Admission) -> bool {
         let mut state = lock_recover(&self.state);
-        if matches!(state.stage, Stage::Cancelled) {
+        if state.stage.is_terminal() {
             return false;
         }
         state.stage = Stage::Running;
         state.parked = None; // the parked phase is over; free the job record
+        if state.running_since.is_none() {
+            state.running_since = Some(Instant::now());
+        }
         let release = std::mem::take(&mut state.admitted);
         drop(state);
         if release {
@@ -180,29 +282,32 @@ impl JobControl {
     }
 
     /// Terminal transition for a stage that produced the job's result. Returns
-    /// `false` when a concurrent cancel won the race — the result must be
-    /// discarded (the ticket is already settled as `Cancelled`, and nothing may
-    /// be cached).
+    /// `false` when a concurrent cancel or timeout won the race — the result
+    /// must be discarded (the ticket is already settled, and nothing may be
+    /// cached).
     fn mark_finished(&self) -> bool {
         let mut state = lock_recover(&self.state);
-        if matches!(state.stage, Stage::Cancelled) {
+        if state.stage.is_terminal() {
             return false;
         }
         state.stage = Stage::Finished;
         true
     }
 
-    /// The shared first half of cancellation: transitions to `Cancelled`,
-    /// removes a still-queued stage from the injector queue (or revokes the
-    /// parked dependency job), and releases the admission slot. Returns `false`
-    /// when the job already finished or was already cancelled. The caller
-    /// settles the ticket and cleans the service maps afterwards.
-    fn cancel_stage(&self, inner: &ServiceInner) -> bool {
+    /// The shared first half of cancellation (and, via `to`, of a deadline
+    /// timeout): transitions to the terminal stage, removes a still-queued
+    /// stage from the injector queue (or revokes the parked dependency job),
+    /// latches the abort flag for a running stage, and releases the admission
+    /// slot. Returns `false` when the job already reached a terminal stage.
+    /// The caller settles the ticket and cleans the service maps afterwards.
+    fn cancel_stage_as(&self, inner: &ServiceInner, to: Stage) -> bool {
+        debug_assert!(matches!(to, Stage::Cancelled | Stage::TimedOut));
         let mut state = lock_recover(&self.state);
         match state.stage {
-            Stage::Finished | Stage::Cancelled => return false,
+            Stage::Finished | Stage::Cancelled | Stage::TimedOut => return false,
             // If a worker claimed the task between our revoke and now, its
-            // prologue observes `Cancelled` under this same lock and skips.
+            // prologue observes the terminal stage under this same lock and
+            // skips.
             Stage::Queued(id) => {
                 let _ = inner.pool.try_revoke(id);
             }
@@ -211,17 +316,59 @@ impl JobControl {
                     parked.revoke();
                 }
             }
-            // A running stage finishes its computation but `mark_finished`
-            // returns false, so the result is discarded, never cached.
+            // A running stage is aborted at its next poll point; whether it
+            // bails or completes first, `mark_finished` returns false and the
+            // result is discarded, never cached.
             Stage::Running => {}
         }
-        state.stage = Stage::Cancelled;
+        state.stage = to;
+        // Latch unconditionally: the terminal stage is set under this lock
+        // *before* the flag, so an unwinding stage always finds it terminal.
+        self.abort.abort();
         let release = std::mem::take(&mut state.admitted);
         drop(state);
         if release {
             inner.admission.release();
         }
         true
+    }
+
+    fn cancel_stage(&self, inner: &ServiceInner) -> bool {
+        self.cancel_stage_as(inner, Stage::Cancelled)
+    }
+
+    /// True once no further transition can occur (finished, cancelled, or
+    /// timed out) — the watch-list pruning predicate.
+    fn is_terminal(&self) -> bool {
+        lock_recover(&self.state).stage.is_terminal()
+    }
+
+    /// The deadline the job is currently accountable to, if breached at `now`:
+    /// pending (admission → first stage start) before any stage ran, running
+    /// (first start → settle) after. Returns the stage label for the fault
+    /// record. Terminal jobs never breach.
+    fn breached_deadline(
+        &self,
+        now: Instant,
+        pending: Option<Duration>,
+        running: Option<Duration>,
+    ) -> Option<&'static str> {
+        let state = lock_recover(&self.state);
+        if state.stage.is_terminal() {
+            return None;
+        }
+        let label = match state.stage {
+            Stage::Parked => "parked",
+            Stage::Queued(_) => "queued",
+            Stage::Running => "running",
+            _ => unreachable!("terminal stages returned above"),
+        };
+        match state.running_since {
+            Some(since) => running.filter(|d| now.duration_since(since) >= *d).map(|_| label),
+            None => pending
+                .filter(|d| now.duration_since(self.submitted_at) >= *d)
+                .map(|_| label),
+        }
     }
 }
 
@@ -249,11 +396,21 @@ struct Admission {
     policy: AdmissionPolicy,
     pending: Mutex<usize>,
     freed: Condvar,
+    /// Latched by drain (and service drop): no further admissions, and blocked
+    /// submitters are woken to observe [`ServiceError::Draining`] instead of
+    /// waiting on a queue that will never accept them.
+    closed: AtomicBool,
 }
 
 impl Admission {
     fn new(max_pending: usize, policy: AdmissionPolicy) -> Self {
-        Admission { max_pending, policy, pending: Mutex::new(0), freed: Condvar::new() }
+        Admission {
+            max_pending,
+            policy,
+            pending: Mutex::new(0),
+            freed: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
     }
 
     fn try_acquire(&self) -> Admit {
@@ -276,14 +433,25 @@ impl Admission {
         self.freed.notify_all();
     }
 
-    /// Blocks until the pending count is below the bound. The caller re-runs
-    /// its whole admission decision afterwards (another submitter may have
-    /// taken the slot first).
+    /// Blocks until the pending count is below the bound — or the admission is
+    /// closed by a drain, which every blocked submitter must observe rather
+    /// than hang. The caller re-runs its whole admission decision afterwards
+    /// (another submitter may have taken the slot first, or the service may be
+    /// draining).
     fn wait_for_capacity(&self) {
         let mut pending = lock_recover(&self.pending);
-        while self.max_pending != 0 && *pending >= self.max_pending {
+        while self.max_pending != 0
+            && *pending >= self.max_pending
+            && !self.closed.load(Ordering::Relaxed)
+        {
             pending = recover(self.freed.wait(pending));
         }
+    }
+
+    /// Closes admission and wakes every blocked submitter.
+    fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        self.freed.notify_all();
     }
 
     fn pending(&self) -> usize {
@@ -541,6 +709,11 @@ pub const MAX_PENDING_ENV: &str = "SOTERIA_MAX_PENDING";
 /// The environment variable behind [`ServiceOptions::admission`]'s default
 /// (`"reject"` selects [`AdmissionPolicy::Reject`]; anything else blocks).
 pub const ADMISSION_ENV: &str = "SOTERIA_ADMISSION";
+/// The environment variable behind the deadline defaults: a millisecond value
+/// that becomes *both* [`ServiceOptions::pending_deadline`] and
+/// [`ServiceOptions::running_deadline`] (`0` or unset = no deadlines). How CI
+/// runs a tiny-deadline chaos leg over the whole service suite.
+pub const DEADLINE_ENV: &str = "SOTERIA_DEADLINE_MS";
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -561,12 +734,36 @@ pub struct ServiceOptions {
     /// ([`AdmissionPolicy::Block`]) or fail fast with
     /// [`ServiceError::QueueFull`] ([`AdmissionPolicy::Reject`]).
     pub admission: AdmissionPolicy,
+    /// Auto-cancel a job that has not started its first stage within this long
+    /// of admission (parked environment jobs and queued app pipelines alike):
+    /// the ticket settles as [`JobError::TimedOut`]. `None` = no bound.
+    pub pending_deadline: Option<Duration>,
+    /// Auto-cancel a job still unsettled this long after its first stage
+    /// started: queued later stages are revoked, a running stage is aborted at
+    /// its next poll point, and the ticket settles as [`JobError::TimedOut`].
+    /// `None` = no bound.
+    pub running_deadline: Option<Duration>,
+    /// Panic strikes before a content fingerprint is rejected at admission with
+    /// [`ServiceError::Quarantined`]. `0` disables quarantine. Strikes count
+    /// *panics* only — parse errors are honest results and timeouts blame load,
+    /// not content.
+    pub quarantine_threshold: u32,
+    /// Chaos injection (tests and the serve smoke): an app source containing
+    /// this marker panics at ingest, exercising the fault log and quarantine
+    /// deterministically. `None` in production.
+    pub fault_marker: Option<String>,
+    /// Chaos injection: an app source containing this marker stalls at ingest
+    /// — polling its abort flag, so cancel/timeout/drain interrupt it — until
+    /// aborted or a safety cap elapses. Makes deadline and drain behaviour
+    /// deterministically testable. `None` in production.
+    pub stall_marker: Option<String>,
 }
 
 impl Default for ServiceOptions {
-    /// Unbounded blocking admission, overridable through [`MAX_PENDING_ENV`]
-    /// and [`ADMISSION_ENV`] — which is how CI runs the whole service test
-    /// suite once with a 2-deep rejecting queue.
+    /// Unbounded blocking admission, overridable through [`MAX_PENDING_ENV`],
+    /// [`ADMISSION_ENV`], and [`DEADLINE_ENV`] — which is how CI runs the whole
+    /// service test suite once with a 2-deep rejecting queue and once with tiny
+    /// deadlines. Quarantine defaults to two strikes.
     fn default() -> Self {
         let max_pending = std::env::var(MAX_PENDING_ENV)
             .ok()
@@ -576,8 +773,41 @@ impl Default for ServiceOptions {
             Some("reject") => AdmissionPolicy::Reject,
             _ => AdmissionPolicy::Block,
         };
-        ServiceOptions { workers: 0, cache_capacity: 1024, max_pending, admission }
+        let deadline = std::env::var(DEADLINE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis);
+        ServiceOptions {
+            workers: 0,
+            cache_capacity: 1024,
+            max_pending,
+            admission,
+            pending_deadline: deadline,
+            running_deadline: deadline,
+            quarantine_threshold: 2,
+            fault_marker: None,
+            stall_marker: None,
+        }
     }
+}
+
+/// What [`Service::drain`] settled, in submission order, plus how each ticket
+/// resolved. `completed + failed + cancelled + timed_out == outcomes.len()`.
+pub struct DrainReport {
+    /// Every job still in the submission log, settled exactly once.
+    pub outcomes: Vec<JobOutcome>,
+    /// Jobs that finished with a result.
+    pub completed: usize,
+    /// Jobs that failed (parse errors, member failures, internal faults).
+    pub failed: usize,
+    /// Jobs settled as [`JobError::Cancelled`] before or during the drain.
+    pub cancelled: usize,
+    /// Jobs force-settled as [`JobError::TimedOut`] — by their own deadlines or
+    /// by the drain deadline.
+    pub timed_out: usize,
+    /// Wall-clock time the drain took.
+    pub elapsed: Duration,
 }
 
 /// Counter snapshot of a running service.
@@ -596,6 +826,15 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Jobs settled as [`JobError::Cancelled`].
     pub cancelled: u64,
+    /// Jobs settled as [`JobError::TimedOut`] (deadline sweeper or drain).
+    pub timed_out: u64,
+    /// Submissions rejected with [`ServiceError::Quarantined`].
+    pub quarantined: u64,
+    /// Faults recorded ever (panics + timeouts; the log retains the most
+    /// recent [`Service::faults`] entries).
+    pub faults: u64,
+    /// True once [`Service::drain`] has closed admission.
+    pub draining: bool,
     /// Queued-but-unstarted jobs right now (the quantity
     /// [`ServiceOptions::max_pending`] bounds).
     pub pending: usize,
@@ -624,6 +863,24 @@ struct RegistryEntry {
 /// An in-flight environment job's shared ticket and cancellation control.
 type InFlightEnv = (Ticket<EnvResult>, Arc<JobControl>);
 
+/// The ticket of a watched job, either kind — what the deadline sweeper, the
+/// drain, and the drop path settle when they force an outcome.
+#[derive(Clone)]
+enum TicketRef {
+    App(Ticket<AppResult>),
+    Env(Ticket<EnvResult>),
+}
+
+/// One scheduled (miss-path) job under deadline/drain supervision. Entries are
+/// pruned once their control reaches a terminal stage.
+#[derive(Clone)]
+struct Watched {
+    name: String,
+    key: CacheKey,
+    control: Arc<JobControl>,
+    ticket: TicketRef,
+}
+
 struct ServiceInner {
     soteria: Soteria,
     /// Engine discriminator folded into cache keys (engine choice can change
@@ -642,10 +899,41 @@ struct ServiceInner {
     /// `env` submissions coalesce instead of running the union twice. Entries
     /// are removed at completion or cancellation.
     envs_in_flight: Mutex<HashMap<u128, InFlightEnv>>,
+    /// Every scheduled job not yet terminal, for the deadline sweeper, the
+    /// drain, and the drop-settles-everything path. Pruned at every settle.
+    watched: Mutex<Vec<Watched>>,
+    /// The most recent [`FAULT_LOG_CAP`] fault records.
+    fault_log: Mutex<VecDeque<FaultRecord>>,
+    /// Panic strikes per content fingerprint, LRU-bounded like the result
+    /// caches so adversarial key churn cannot grow it without bound.
+    strikes: Mutex<ResultCache<u32>>,
+    /// Panic strikes before admission rejects a fingerprint (0 = disabled).
+    quarantine_threshold: u32,
+    pending_deadline: Option<Duration>,
+    running_deadline: Option<Duration>,
+    fault_marker: Option<String>,
+    stall_marker: Option<String>,
+    /// Latched by [`Service::drain`] (and drop): admission closed for good.
+    draining: AtomicBool,
     submitted: AtomicU64,
     coalesced: AtomicU64,
     rejected: AtomicU64,
     cancelled: AtomicU64,
+    timed_out: AtomicU64,
+    quarantined: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// Whether a settled result may freeze into the result caches. Successes and
+/// *honest* failures (parse errors, member failures — pure functions of the
+/// content) are cached; faults are not: an `Internal` result must re-run on
+/// resubmission so quarantine can count strikes, and `Cancelled`/`TimedOut`
+/// describe this execution, not the content.
+fn cacheable<T>(result: &Result<T, JobError>) -> bool {
+    !matches!(
+        result,
+        Err(JobError::Internal(_)) | Err(JobError::Cancelled) | Err(JobError::TimedOut)
+    )
 }
 
 impl ServiceInner {
@@ -656,33 +944,191 @@ impl ServiceInner {
         ticket: &Ticket<AppResult>,
         result: AppResult,
     ) {
-        let evicted = lock_recover(&self.apps).insert(key, result.clone());
-        // The cache owns the frozen result now; stop pinning it via the name
-        // registry (unless a newer submission already replaced the entry), and
-        // drop the bare keys of whatever the insert evicted — a name must never
-        // outlive its frozen result. All before fulfilling, so a waiter that
-        // wakes up observes a consistent registry.
-        let mut registry = lock_recover(&self.registry);
-        if let Some(entry) = registry.get_mut(name) {
-            if entry.key == key {
-                entry.ticket = None;
-                entry.control = None;
+        if cacheable(&result) {
+            let evicted = lock_recover(&self.apps).insert(key, result.clone());
+            // The cache owns the frozen result now; stop pinning it via the name
+            // registry (unless a newer submission already replaced the entry), and
+            // drop the bare keys of whatever the insert evicted — a name must never
+            // outlive its frozen result. All before fulfilling, so a waiter that
+            // wakes up observes a consistent registry.
+            let mut registry = lock_recover(&self.registry);
+            if let Some(entry) = registry.get_mut(name) {
+                if entry.key == key {
+                    entry.ticket = None;
+                    entry.control = None;
+                }
             }
+            if let Some(evicted) = evicted {
+                registry.retain(|_, entry| entry.ticket.is_some() || entry.key != evicted);
+            }
+            drop(registry);
+        } else {
+            // A faulted result is never frozen: un-register the name entirely
+            // (it must not promise a result), so resubmitting the same content
+            // schedules a fresh run — which is how a repeat offender reaches
+            // the quarantine threshold.
+            let mut registry = lock_recover(&self.registry);
+            let stale = registry
+                .get(name)
+                .is_some_and(|entry| entry.ticket.as_ref().is_some_and(|t| t.same(ticket)));
+            if stale {
+                registry.remove(name);
+            }
+            drop(registry);
         }
-        if let Some(evicted) = evicted {
-            registry.retain(|_, entry| entry.ticket.is_some() || entry.key != evicted);
-        }
-        drop(registry);
         self.release(ticket.fulfil(result));
+        self.prune_watched();
     }
 
     fn finish_env(&self, key: CacheKey, ticket: &Ticket<EnvResult>, result: EnvResult) {
         // Freeze into the cache before leaving the in-flight map, so a
         // concurrent submitter always finds the result in one place or the
         // other; fulfil last, so in-flight tickets are never already ready.
-        let _ = lock_recover(&self.envs).insert(key, result.clone());
+        // Faulted results (see `cacheable`) skip the freeze and just leave.
+        if cacheable(&result) {
+            let _ = lock_recover(&self.envs).insert(key, result.clone());
+        }
         lock_recover(&self.envs_in_flight).remove(&key.0);
         self.release(ticket.fulfil(result));
+        self.prune_watched();
+    }
+
+    /// Appends to the bounded fault log; a panic also counts a quarantine
+    /// strike against the content fingerprint.
+    fn record_fault(
+        &self,
+        name: &str,
+        key: CacheKey,
+        stage: &'static str,
+        kind: FaultKind,
+        message: String,
+    ) {
+        let seq = self.faults.fetch_add(1, Ordering::Relaxed);
+        let record =
+            FaultRecord { seq, name: name.to_string(), key, stage, kind, message };
+        let mut log = lock_recover(&self.fault_log);
+        if log.len() >= FAULT_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(record);
+        drop(log);
+        if kind == FaultKind::Panic && self.quarantine_threshold > 0 {
+            let mut strikes = lock_recover(&self.strikes);
+            let count = strikes.get(key).unwrap_or(0) + 1;
+            strikes.insert(key, count);
+        }
+    }
+
+    /// Admission gate: rejects a fingerprint that has reached the quarantine
+    /// threshold, counting the rejection. Returns the error to surface.
+    fn check_quarantine(&self, name: &str, key: CacheKey) -> Result<(), ServiceError> {
+        if self.quarantine_threshold == 0 {
+            return Ok(());
+        }
+        let strikes = lock_recover(&self.strikes).get(key).unwrap_or(0);
+        if strikes >= self.quarantine_threshold {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Quarantined { name: name.to_string(), strikes });
+        }
+        Ok(())
+    }
+
+    /// Chaos hooks for the ingest stage, driven by the test-only markers:
+    /// deterministic panics (fault log / quarantine coverage) and abortable
+    /// stalls (deadline / drain coverage). Both are dead `None` branches in
+    /// production. Runs inside the stage's `catch_unwind` + abort scope.
+    fn chaos(&self, source: &str) {
+        if let Some(marker) = &self.fault_marker {
+            if source.contains(marker.as_str()) {
+                panic!("injected fault: source contains marker '{marker}'");
+            }
+        }
+        if let Some(marker) = &self.stall_marker {
+            if source.contains(marker.as_str()) {
+                let abort = soteria_exec::current_abort();
+                // Safety cap so a configuration mistake cannot wedge a worker
+                // forever even with no deadline and no cancel.
+                let cap = Instant::now() + Duration::from_secs(10);
+                while Instant::now() < cap {
+                    if let Some(abort) = &abort {
+                        abort.bail_if_aborted();
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Puts a freshly scheduled job under deadline/drain supervision.
+    fn watch(&self, name: &str, key: CacheKey, control: &Arc<JobControl>, ticket: TicketRef) {
+        lock_recover(&self.watched).push(Watched {
+            name: name.to_string(),
+            key,
+            control: Arc::clone(control),
+            ticket,
+        });
+    }
+
+    /// Drops watch entries whose jobs reached a terminal stage. Called at every
+    /// settle, so the list tracks live jobs only (bounded by admission).
+    fn prune_watched(&self) {
+        lock_recover(&self.watched).retain(|w| !w.control.is_terminal());
+    }
+
+    /// Force-settles a watched job as [`JobError::TimedOut`] if it has not
+    /// reached a terminal stage first. Returns `true` when this call settled it.
+    fn timeout_watched(&self, watched: &Watched, stage: &'static str, why: &str) -> bool {
+        if !watched.control.cancel_stage_as(self, Stage::TimedOut) {
+            return false;
+        }
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+        self.record_fault(&watched.name, watched.key, stage, FaultKind::Timeout, why.to_string());
+        match &watched.ticket {
+            TicketRef::App(ticket) => {
+                self.release(ticket.fulfil(Err(JobError::TimedOut)));
+                let mut registry = lock_recover(&self.registry);
+                let stale = registry.get(&watched.name).is_some_and(|entry| {
+                    entry.ticket.as_ref().is_some_and(|t| t.same(ticket))
+                });
+                if stale {
+                    registry.remove(&watched.name);
+                }
+            }
+            TicketRef::Env(ticket) => {
+                let mut in_flight = lock_recover(&self.envs_in_flight);
+                if in_flight.get(&watched.key.0).is_some_and(|(t, _)| t.same(ticket)) {
+                    in_flight.remove(&watched.key.0);
+                }
+                drop(in_flight);
+                self.release(ticket.fulfil(Err(JobError::TimedOut)));
+            }
+        }
+        self.prune_watched();
+        true
+    }
+
+    /// One deadline sweep: times out every watched job past its pending or
+    /// running deadline. Returns how many jobs this sweep settled.
+    fn sweep_deadlines(&self) -> usize {
+        let (pending, running) = (self.pending_deadline, self.running_deadline);
+        if pending.is_none() && running.is_none() {
+            return 0;
+        }
+        let now = Instant::now();
+        let snapshot: Vec<Watched> = lock_recover(&self.watched).clone();
+        let mut settled = 0;
+        for watched in &snapshot {
+            if let Some(stage) = watched.control.breached_deadline(now, pending, running) {
+                if self.timeout_watched(watched, stage, "deadline exceeded") {
+                    settled += 1;
+                }
+            }
+        }
+        settled
     }
 
     /// The bookkeeping half of an app-job cancellation (after
@@ -765,7 +1211,7 @@ impl ServiceInner {
     /// without consuming a queue slot when the job was already cancelled.
     fn spawn_controlled(&self, task: crate::ticket::Task, control: &JobControl) {
         let mut state = lock_recover(&control.state);
-        if matches!(state.stage, Stage::Cancelled) {
+        if state.stage.is_terminal() {
             return;
         }
         state.stage = Stage::Queued(self.pool.spawn(task));
@@ -821,6 +1267,61 @@ impl ServiceInner {
 pub struct Service {
     inner: Arc<ServiceInner>,
     submissions: Mutex<Vec<JobHandle>>,
+    /// The deadline sweeper thread; `None` when no deadline is configured.
+    sweeper: Option<Sweeper>,
+}
+
+/// The background thread behind the job deadlines: periodically sweeps the
+/// watch list and force-settles breached jobs as [`JobError::TimedOut`]. Holds
+/// only a [`Weak`] reference to the service, so it can never keep a dropped
+/// service's pool alive; the service's drop stops and joins it explicitly.
+struct Sweeper {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sweeper {
+    /// Spawns a sweeper when at least one deadline is configured. The tick is a
+    /// quarter of the shortest deadline (clamped to 5–100 ms), so a breach is
+    /// detected well within one deadline's worth of slack.
+    fn spawn(inner: &Arc<ServiceInner>) -> Option<Sweeper> {
+        let shortest = match (inner.pending_deadline, inner.running_deadline) {
+            (None, None) => return None,
+            (Some(p), None) => p,
+            (None, Some(r)) => r,
+            (Some(p), Some(r)) => p.min(r),
+        };
+        let interval =
+            (shortest / 4).clamp(Duration::from_millis(5), Duration::from_millis(100));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let weak = Arc::downgrade(inner);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("soteria-deadlines".to_string())
+            .spawn(move || {
+                let (flag, signal) = &*thread_stop;
+                loop {
+                    let stopped = lock_recover(flag);
+                    let (stopped, _) = recover(signal.wait_timeout(stopped, interval));
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped); // never sweep while holding the stop lock
+                    let Some(inner) = weak.upgrade() else { return };
+                    inner.sweep_deadlines();
+                }
+            })
+            .expect("spawn deadline sweeper thread");
+        Some(Sweeper { stop, handle: Some(handle) })
+    }
+
+    fn stop(&mut self) {
+        *lock_recover(&self.stop.0) = true;
+        self.stop.1.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl Service {
@@ -837,13 +1338,27 @@ impl Service {
             envs: Mutex::new(ResultCache::new(options.cache_capacity)),
             registry: Mutex::new(HashMap::new()),
             envs_in_flight: Mutex::new(HashMap::new()),
+            watched: Mutex::new(Vec::new()),
+            fault_log: Mutex::new(VecDeque::new()),
+            strikes: Mutex::new(ResultCache::new(options.cache_capacity)),
+            quarantine_threshold: options.quarantine_threshold,
+            pending_deadline: options.pending_deadline,
+            running_deadline: options.running_deadline,
+            fault_marker: options.fault_marker,
+            stall_marker: options.stall_marker,
+            draining: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
             soteria,
         };
-        Service { inner: Arc::new(inner), submissions: Mutex::new(Vec::new()) }
+        let inner = Arc::new(inner);
+        let sweeper = Sweeper::spawn(&inner);
+        Service { inner, submissions: Mutex::new(Vec::new()), sweeper }
     }
 
     /// A service with the paper's analyzer and default options.
@@ -908,12 +1423,21 @@ impl Service {
         let inner = &self.inner;
         let key =
             app_cache_key(name, source, inner.config_fingerprint, &inner.engine_tag);
+        // Fault accounting is keyed by the *source bytes alone* — a quarantined
+        // input stays quarantined no matter what name it is resubmitted under.
+        let fault_key = source_fingerprint(source, inner.config_fingerprint, &inner.engine_tag);
 
         // One registry lock spans the coalesce/cache/admit decision, so
         // concurrent identical submissions cannot both schedule: the second one
         // either coalesces onto the in-flight ticket or — since finish_app
-        // freezes the cache *before* fulfilling — hits the cache.
+        // freezes the cache *before* fulfilling — hits the cache. Re-checked on
+        // every trip around the loop, since a blocked submitter may wake into a
+        // draining service.
         let job = loop {
+            if inner.is_draining() {
+                return Err(ServiceError::Draining);
+            }
+            inner.check_quarantine(name, fault_key)?;
             let mut registry = lock_recover(&inner.registry);
             let in_flight = registry.get(name).and_then(|entry| {
                 entry
@@ -956,8 +1480,12 @@ impl Service {
                         },
                     );
                     drop(registry);
+                    // Under supervision before the first spawn, so no stuck job
+                    // can ever escape the deadline sweeper or a drain.
+                    inner.watch(name, fault_key, &control, TicketRef::App(ticket.clone()));
                     self.schedule_app(
                         key,
+                        fault_key,
                         name.to_string(),
                         source.to_string(),
                         ticket.clone(),
@@ -987,6 +1515,7 @@ impl Service {
     fn schedule_app(
         &self,
         key: CacheKey,
+        fault_key: CacheKey,
         name: String,
         source: String,
         ticket: Ticket<AppResult>,
@@ -999,14 +1528,30 @@ impl Service {
                 return; // cancelled while queued; the ticket is already settled
             }
             // Panics are job failures, not worker deaths: an unfulfilled ticket
-            // would wedge drain() and every later serve response forever.
+            // would wedge drain() and every later serve response forever. The
+            // job's abort handle is installed around the stage body so the
+            // engine hot loops (and scoped helper threads) can poll it.
             let ingested = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                inner.soteria.ingest_app(&name, &source)
+                soteria_exec::with_abort(Some(task_control.abort.clone()), || {
+                    inner.chaos(&source);
+                    inner.soteria.ingest_app(&name, &source)
+                })
             }));
             match ingested {
                 Err(payload) => {
-                    let error = JobError::Internal(panic_message(payload));
-                    inner.settle_app(&task_control, &name, key, &ticket, Err(error));
+                    // NB: `&payload` would coerce the *Box* to `&dyn Any`.
+                    if soteria_exec::is_abort_payload(payload.as_ref()) {
+                        return; // cancel/timeout settled the ticket already
+                    }
+                    let message = panic_message(payload);
+                    inner.record_fault(&name, fault_key, "ingest", FaultKind::Panic, message.clone());
+                    inner.settle_app(
+                        &task_control,
+                        &name,
+                        key,
+                        &ticket,
+                        Err(JobError::Internal(message)),
+                    );
                 }
                 Ok(Err(e)) => {
                     inner.settle_app(&task_control, &name, key, &ticket, Err(JobError::Parse(e)));
@@ -1017,8 +1562,8 @@ impl Service {
                     // Spawned under the control lock: a cancelled ingest must not
                     // leave an orphaned (unrevocable) verify stage behind.
                     let mut state = lock_recover(&task_control.state);
-                    if matches!(state.stage, Stage::Cancelled) {
-                        return; // ticket settled by the cancel path
+                    if state.stage.is_terminal() {
+                        return; // ticket settled by the cancel/timeout path
                     }
                     let verify_inner = Arc::clone(&inner);
                     let verify_control = Arc::clone(&task_control);
@@ -1030,13 +1575,27 @@ impl Service {
                         }
                         let analysis = std::panic::catch_unwind(
                             std::panic::AssertUnwindSafe(|| {
-                                verify_inner.soteria.verify_app(ingested)
+                                soteria_exec::with_abort(
+                                    Some(verify_control.abort.clone()),
+                                    || verify_inner.soteria.verify_app(ingested),
+                                )
                             }),
                         );
                         let result = match analysis {
                             Ok(analysis) => Ok(Arc::new(analysis)),
                             Err(payload) => {
-                                Err(JobError::Internal(panic_message(payload)))
+                                if soteria_exec::is_abort_payload(payload.as_ref()) {
+                                    return;
+                                }
+                                let message = panic_message(payload);
+                                verify_inner.record_fault(
+                                    &verify_name,
+                                    fault_key,
+                                    "verify",
+                                    FaultKind::Panic,
+                                    message.clone(),
+                                );
+                                Err(JobError::Internal(message))
                             }
                         };
                         verify_inner.settle_app(
@@ -1053,9 +1612,9 @@ impl Service {
         };
         // Same spawn-under-the-lock discipline for the first stage, so the
         // Queued(TaskId) registration cannot race a cancel from a coalesced
-        // handle.
+        // handle (or a timeout from the deadline sweeper).
         let mut state = lock_recover(&control.state);
-        if matches!(state.stage, Stage::Cancelled) {
+        if state.stage.is_terminal() {
             return;
         }
         let id = self.inner.pool.spawn(task);
@@ -1079,6 +1638,10 @@ impl Service {
         // identical concurrent environment submissions coalesce onto one union
         // computation instead of both scheduling.
         let job = loop {
+            if inner.is_draining() {
+                return Err(ServiceError::Draining);
+            }
+            inner.check_quarantine(group, key)?;
             let mut in_flight = lock_recover(&inner.envs_in_flight);
             if let Some((ticket, control)) = in_flight.get(&key.0) {
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -1100,6 +1663,7 @@ impl Service {
                     let control = JobControl::new();
                     in_flight.insert(key.0, (ticket.clone(), Arc::clone(&control)));
                     drop(in_flight);
+                    inner.watch(group, key, &control, TicketRef::Env(ticket.clone()));
                     self.schedule_environment(
                         key,
                         group.to_string(),
@@ -1203,21 +1767,37 @@ impl Service {
             }
             // Members stay behind their frozen Arcs — no per-job deep copies.
             let env = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let refs: Vec<&AppAnalysis> = analyses.iter().map(Arc::as_ref).collect();
-                inner.soteria.analyze_environment_refs(&group, &refs)
+                soteria_exec::with_abort(Some(task_control.abort.clone()), || {
+                    let refs: Vec<&AppAnalysis> =
+                        analyses.iter().map(Arc::as_ref).collect();
+                    inner.soteria.analyze_environment_refs(&group, &refs)
+                })
             }));
             let result = match env {
                 Ok(env) => Ok(Arc::new(env)),
-                Err(payload) => Err(JobError::Internal(panic_message(payload))),
+                Err(payload) => {
+                    if soteria_exec::is_abort_payload(payload.as_ref()) {
+                        return;
+                    }
+                    let message = panic_message(payload);
+                    inner.record_fault(
+                        &group,
+                        key,
+                        "environment",
+                        FaultKind::Panic,
+                        message.clone(),
+                    );
+                    Err(JobError::Internal(message))
+                }
             };
             inner.settle_env(&task_control, key, &ticket, result);
         });
         let job = PendingJob::new(task, Some(Arc::downgrade(&control)));
         {
             // Attach the parked job to the control so a cancel can revoke it; a
-            // cancel that already won revokes it right here instead.
+            // cancel (or timeout) that already won revokes it right here instead.
             let mut state = lock_recover(&control.state);
-            if matches!(state.stage, Stage::Cancelled) {
+            if state.stage.is_terminal() {
                 job.revoke();
             } else {
                 state.parked = Some(Arc::clone(&job));
@@ -1259,15 +1839,90 @@ impl Service {
     }
 
     /// Takes the submission log and waits for every job, returning outcomes in
-    /// submission order.
-    pub fn drain(&self) -> Vec<JobOutcome> {
+    /// submission order. Purely observational: admission stays open and the
+    /// service keeps serving (for shutdown, see [`Service::drain`]).
+    pub fn collect(&self) -> Vec<JobOutcome> {
         let handles: Vec<JobHandle> =
             std::mem::take(lock_recover(&self.submissions).as_mut());
         handles.iter().map(JobHandle::outcome).collect()
     }
 
+    /// Gracefully shuts the service down: closes admission for good (subsequent
+    /// submissions — including submitters blocked on a full queue, who are
+    /// woken — fail with [`ServiceError::Draining`]), lets in-flight work
+    /// finish, and settles every outstanding ticket exactly once. With a
+    /// `deadline`, whatever is still unsettled when it expires is force-settled
+    /// as [`JobError::TimedOut`] (queued stages revoked, running stages aborted
+    /// at their next poll point); without one, the drain waits indefinitely.
+    ///
+    /// Returns the settled submission log in submission order plus a tally.
+    /// Idempotent: a second drain finds nothing outstanding and returns the
+    /// (now empty) log immediately.
+    pub fn drain(&self, deadline: Option<Duration>) -> DrainReport {
+        let started = Instant::now();
+        let cutoff = deadline.map(|d| started + d);
+        self.inner.draining.store(true, Ordering::Relaxed);
+        self.inner.admission.close();
+        // Settle the watch list until it is empty. Re-snapshotting catches a
+        // submission that raced past the draining check while we closed
+        // admission; nothing new can be watched after that window.
+        loop {
+            self.inner.prune_watched();
+            let snapshot: Vec<Watched> = lock_recover(&self.inner.watched).clone();
+            if snapshot.is_empty() {
+                break;
+            }
+            for watched in &snapshot {
+                let settled = match (&watched.ticket, cutoff) {
+                    (TicketRef::App(t), Some(cutoff)) => t.wait_deadline(cutoff).is_some(),
+                    (TicketRef::Env(t), Some(cutoff)) => t.wait_deadline(cutoff).is_some(),
+                    (TicketRef::App(t), None) => {
+                        let _ = t.wait();
+                        true
+                    }
+                    (TicketRef::Env(t), None) => {
+                        let _ = t.wait();
+                        true
+                    }
+                };
+                if !settled {
+                    self.inner.timeout_watched(watched, "drain", "drain deadline exceeded");
+                }
+            }
+        }
+        // Every ticket is settled now, so collecting the log never blocks.
+        let outcomes = self.collect();
+        let (mut completed, mut failed, mut cancelled, mut timed_out) = (0, 0, 0, 0);
+        for outcome in &outcomes {
+            let error = match outcome {
+                JobOutcome::App { result, .. } => result.as_ref().err(),
+                JobOutcome::Environment { result, .. } => result.as_ref().err(),
+            };
+            match error {
+                None => completed += 1,
+                Some(JobError::Cancelled) => cancelled += 1,
+                Some(JobError::TimedOut) => timed_out += 1,
+                Some(_) => failed += 1,
+            }
+        }
+        DrainReport {
+            outcomes,
+            completed,
+            failed,
+            cancelled,
+            timed_out,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// The retained fault log, oldest first: the most recent panics and
+    /// timeouts, up to the retention bound (gaps in `seq` mean eviction).
+    pub fn faults(&self) -> Vec<FaultRecord> {
+        lock_recover(&self.inner.fault_log).iter().cloned().collect()
+    }
+
     /// Counter snapshot (cache hit/miss/eviction, pool throughput, coalescing,
-    /// backpressure, and cancellation).
+    /// backpressure, cancellation, and the fault layer).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             workers: self.inner.pool.workers(),
@@ -1276,10 +1931,42 @@ impl Service {
             coalesced: self.inner.coalesced.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            timed_out: self.inner.timed_out.load(Ordering::Relaxed),
+            quarantined: self.inner.quarantined.load(Ordering::Relaxed),
+            faults: self.inner.faults.load(Ordering::Relaxed),
+            draining: self.inner.is_draining(),
             pending: self.inner.admission.pending(),
             registry_entries: lock_recover(&self.inner.registry).len(),
             app_cache: lock_recover(&self.inner.apps).stats(),
             env_cache: lock_recover(&self.inner.envs).stats(),
+        }
+    }
+}
+
+impl Drop for Service {
+    /// Crash-only teardown: a dropped service must strand nobody. Admission is
+    /// closed (waking submitters blocked on a full queue to observe
+    /// [`ServiceError::Draining`]) and every watched job that has not settled —
+    /// parked, queued, or running — is force-settled as [`JobError::Cancelled`],
+    /// so outstanding handles on other threads wake instead of hanging on
+    /// tickets whose pool is being torn down. Queued stages are revoked and
+    /// running stages aborted, so the pool's own drop joins promptly.
+    fn drop(&mut self) {
+        if let Some(sweeper) = &mut self.sweeper {
+            sweeper.stop();
+        }
+        self.inner.draining.store(true, Ordering::Relaxed);
+        self.inner.admission.close();
+        let snapshot: Vec<Watched> =
+            std::mem::take(lock_recover(&self.inner.watched).as_mut());
+        for watched in &snapshot {
+            if !watched.control.cancel_stage(&self.inner) {
+                continue;
+            }
+            match &watched.ticket {
+                TicketRef::App(ticket) => self.inner.cancel_app(&watched.name, ticket),
+                TicketRef::Env(ticket) => self.inner.cancel_env(watched.key, ticket),
+            }
         }
     }
 }

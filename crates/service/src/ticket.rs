@@ -162,6 +162,25 @@ impl<T: Clone> Ticket<T> {
         }
         cell.value.as_ref().unwrap().clone()
     }
+
+    /// Blocks until the result is available or `deadline` passes, returning
+    /// `None` on timeout (the ticket stays pending — the drain path uses the
+    /// `None` to force-settle the job as timed out, then waits again).
+    pub fn wait_deadline(&self, deadline: std::time::Instant) -> Option<T> {
+        let mut cell = lock_recover(&self.state.cell);
+        loop {
+            if let Some(value) = cell.value.as_ref() {
+                return Some(value.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) =
+                recover(self.state.ready.wait_timeout(cell, deadline - now));
+            cell = guard;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@ use soteria_bench::{
 };
 use soteria_corpus::{all_market_apps, maliot_suite, CorpusApp};
 use soteria_exec::{par_map, scoped_map};
-use soteria_service::{JobError, Service, ServiceOptions};
+use soteria_service::{JobError, Service, ServiceError, ServiceOptions};
+use std::time::{Duration, Instant};
 
 fn assert_sweeps_identical(
     name: &str,
@@ -186,6 +187,131 @@ fn cancellation_interleaving_preserves_surviving_reports() {
             );
         }
     }
+}
+
+/// ISSUE 6 gate: drain a service mid-burst, with cancellations racing the
+/// worker claims, at every worker count. Every survivor the drain settles must
+/// be byte-identical to the sequential path — force-settling and admission
+/// closure must not perturb the analyses that do complete.
+#[test]
+fn drain_interleaving_preserves_surviving_reports() {
+    let apps = maliot_suite();
+    let soteria = soteria_with_threads(1);
+    let reference: Vec<String> = apps
+        .iter()
+        .map(|a| {
+            stable_app_report(
+                &soteria.analyze_app(&a.id, &a.source).unwrap_or_else(|e| panic!("{}: {e}", a.id)),
+            )
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let service = Service::new(
+            soteria_with_threads(1),
+            ServiceOptions {
+                workers,
+                // Pinned off so the CI deadline knob cannot turn survivors into
+                // timeouts — this gate is about drain + cancel interleaving.
+                pending_deadline: None,
+                running_deadline: None,
+                ..ServiceOptions::default()
+            },
+        );
+        let jobs: Vec<_> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| {
+                let job = submit_app_admitted(&service, &app.id, &app.source);
+                if i % 3 == 2 {
+                    job.cancel();
+                }
+                (i, job)
+            })
+            .collect();
+        // Drain races the busy pool: admission closes, every ticket settles
+        // exactly once, and the report partitions the outcomes.
+        let report = service.drain(Some(Duration::from_secs(300)));
+        assert_eq!(report.outcomes.len(), jobs.len(), "{workers} workers: tickets lost in drain");
+        assert_eq!(
+            report.completed + report.failed + report.cancelled + report.timed_out,
+            jobs.len(),
+            "{workers} workers: drain counters do not partition the outcomes"
+        );
+        assert_eq!(report.timed_out, 0, "{workers} workers: generous drain deadline timed out");
+        assert_eq!(report.failed, 0, "{workers} workers: a MalIoT analysis failed");
+
+        for (i, job) in &jobs {
+            match job.wait() {
+                Ok(analysis) => assert_eq!(
+                    stable_app_report(&analysis),
+                    reference[*i],
+                    "{workers} workers: surviving report for {} diverges after drain",
+                    apps[*i].id
+                ),
+                Err(JobError::Cancelled) => {
+                    assert!(i % 3 == 2, "{workers} workers: uncancelled job settled Cancelled");
+                }
+                Err(e) => panic!("{workers} workers: {} failed: {e}", apps[*i].id),
+            }
+        }
+        assert!(
+            matches!(service.submit_app("late", &apps[0].source), Err(ServiceError::Draining)),
+            "{workers} workers: drained service admitted new work"
+        );
+        assert_eq!(service.pending_jobs(), 0, "{workers} workers: pending slots leaked");
+    }
+}
+
+/// ISSUE 6 gate: abort a job *inside* its verify stage (the heavy corpus
+/// analysis gives a wide window), then resubmit the same bytes on the same
+/// service. The in-stage abort must leave no trace: the resubmission is a cache
+/// miss that reproduces the never-aborted sequential report byte for byte.
+#[test]
+fn aborted_then_resubmitted_job_is_byte_identical() {
+    let (name, source) =
+        soteria_corpus::find_app("ThermostatEnergyControl").expect("corpus app");
+    let soteria = soteria_with_threads(1);
+    let reference = stable_app_report(
+        &soteria.analyze_app(&name, &source).unwrap_or_else(|e| panic!("{name}: {e}")),
+    );
+
+    let service = Service::new(
+        soteria_with_threads(1),
+        ServiceOptions {
+            workers: 1,
+            pending_deadline: None,
+            running_deadline: None,
+            ..ServiceOptions::default()
+        },
+    );
+    let job = submit_app_admitted(&service, &name, &source);
+    // Wait for the single worker to claim the job, then cancel: the abort latch
+    // interrupts the engine at its next poll point, mid-stage. (The heavy
+    // analysis runs orders of magnitude longer than this polling loop, so the
+    // cancel lands while the stage is executing.)
+    let start = Instant::now();
+    while service.pending_jobs() > 0 {
+        assert!(start.elapsed() < Duration::from_secs(60), "worker never claimed the job");
+        std::thread::yield_now();
+    }
+    assert!(job.cancel(), "running job not cancellable");
+    assert!(matches!(job.wait(), Err(JobError::Cancelled)));
+
+    // Nothing was cached and no engine state was poisoned: the same bytes
+    // reanalyze from scratch and match the sequential reference exactly.
+    let again = submit_app_admitted(&service, &name, &source);
+    assert_eq!(
+        again.disposition(),
+        soteria_service::CacheDisposition::Miss,
+        "aborted result leaked into the cache"
+    );
+    let analysis = again.wait().unwrap_or_else(|e| panic!("resubmitted {name} failed: {e}"));
+    assert_eq!(
+        stable_app_report(&analysis),
+        reference,
+        "aborted-then-resubmitted report diverges from the never-aborted run"
+    );
 }
 
 #[test]

@@ -168,8 +168,8 @@ fn cancelled_member_fails_the_parent_environment() {
         }
         other => panic!("expected MemberFailed, got ok={:?}", other.is_ok()),
     }
-    // The drain sees both terminal states; nothing wedges.
-    let outcomes = service.drain();
+    // Collecting the log sees both terminal states; nothing wedges.
+    let outcomes = service.collect();
     assert_eq!(outcomes.len(), 3);
 }
 
@@ -206,6 +206,7 @@ fn registry_never_outgrows_live_tickets_plus_cache_capacity() {
         cache_capacity,
         max_pending: 0,
         admission: AdmissionPolicy::Block,
+        ..ServiceOptions::default()
     });
     let base = light_source();
     let mut jobs = Vec::new();
