@@ -30,6 +30,18 @@ pub struct AnalysisConfig {
     /// variable if set, otherwise the machine's available parallelism. Results are
     /// byte-identical at every value.
     pub threads: usize,
+    /// State-count threshold for the property-level check fan-out
+    /// (`soteria_checker::check_all_parallel`). `0` means auto: the
+    /// `SOTERIA_SHARD_STATES` environment variable if set, otherwise
+    /// `soteria_checker::PARALLEL_UNIVERSE` (2,048 states). Like `threads`,
+    /// thresholds only move work between schedules — results are byte-identical
+    /// at every value.
+    pub property_shard_states: usize,
+    /// State-count threshold for in-formula fixpoint sharding
+    /// (`ModelChecker::with_sharding`). `0` means auto: `SOTERIA_SHARD_STATES`
+    /// if set, otherwise `soteria_checker::FIXPOINT_SHARD_STATES` (16,384
+    /// states). Byte-identical at every value.
+    pub fixpoint_shard_states: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -42,6 +54,8 @@ impl Default for AnalysisConfig {
             inline_depth: 3,
             max_paths: 256,
             threads: 0,
+            property_shard_states: 0,
+            fixpoint_shard_states: 0,
         }
     }
 }
@@ -70,10 +84,11 @@ impl AnalysisConfig {
     /// A stable 64-bit fingerprint of every configuration field that can change
     /// an analysis *result* (FNV-1a over a fixed field encoding).
     ///
-    /// `threads` is deliberately excluded: worker counts only change scheduling,
-    /// never output (the determinism gates enforce this), so a result computed at
-    /// one thread count is valid for all of them. The service's content-addressed
-    /// cache keys on this fingerprint plus the app source.
+    /// `threads` and the two sharding thresholds are deliberately excluded:
+    /// worker counts and shard thresholds only change scheduling, never output
+    /// (the determinism gates enforce this), so a result computed at one
+    /// setting is valid for all of them. The service's content-addressed cache
+    /// keys on this fingerprint plus the app source.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -122,6 +137,12 @@ mod tests {
         let base = AnalysisConfig::paper();
         let threaded = AnalysisConfig { threads: 8, ..base.clone() };
         assert_eq!(base.fingerprint(), threaded.fingerprint());
+        let sharded = AnalysisConfig {
+            property_shard_states: 1,
+            fixpoint_shard_states: 1,
+            ..base.clone()
+        };
+        assert_eq!(base.fingerprint(), sharded.fingerprint());
         assert_ne!(base.fingerprint(), AnalysisConfig::without_esp_merge().fingerprint());
         assert_ne!(
             base.fingerprint(),

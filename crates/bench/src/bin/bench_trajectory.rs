@@ -1,0 +1,95 @@
+//! Aggregates every `BENCH_pr*.json` in the repository root into one markdown
+//! speedup table, so the perf history across PRs is readable in one place
+//! (the README's "Performance trajectory" section is this binary's output).
+//!
+//! The files are tiny and share one flat shape — a `benchmarks` array of
+//! one-line objects plus scalar summary fields — so they are scanned with a
+//! purpose-built field extractor instead of pulling in a JSON dependency.
+//!
+//! Usage: `cargo run --release -p soteria-bench --bin bench_trajectory [dir]`.
+
+use std::fmt::Write as _;
+
+/// Extracts the raw text of `"key": <value>` from a flat JSON object slice.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    if let Some(inner) = rest.strip_prefix('"') {
+        inner.split('"').next()
+    } else {
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn field_f64(obj: &str, key: &str) -> Option<f64> {
+    field(obj, key)?.parse().ok()
+}
+
+/// `new_ns`/`old_ns` with PR 1's `packed_ns`/`legacy_ns` spelling as fallback.
+fn side_ns(obj: &str, primary: &str, fallback: &str) -> Option<f64> {
+    field_f64(obj, primary).or_else(|| field_f64(obj, fallback))
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut files: Vec<(u32, String)> = std::fs::read_dir(&dir)
+        .expect("readable directory")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            let pr: u32 =
+                name.strip_prefix("BENCH_pr")?.strip_suffix(".json")?.parse().ok()?;
+            Some((pr, name))
+        })
+        .collect();
+    files.sort_unstable();
+    assert!(!files.is_empty(), "no BENCH_pr*.json found in {dir}");
+
+    let mut table = String::new();
+    let _ = writeln!(table, "| PR | scenario | before | after | speedup |");
+    let _ = writeln!(table, "|---:|----------|-------:|------:|--------:|");
+    for (pr, name) in &files {
+        let text = std::fs::read_to_string(format!("{dir}/{name}")).expect("readable file");
+        let array_start = text.find('[').expect("benchmarks array");
+        let array_end = text.rfind(']').expect("benchmarks array end");
+        let mut rows = 0usize;
+        for obj in text[array_start..array_end].split('{').skip(1) {
+            let obj = obj.split('}').next().unwrap_or(obj);
+            let scenario = field(obj, "name").expect("benchmark name").to_string();
+            // PR 3's rows repeat one name across thread counts; keep them apart.
+            let scenario = match field(obj, "threads") {
+                Some(t) => format!("{scenario}@{t}T"),
+                None => scenario,
+            };
+            let old = side_ns(obj, "old_ns", "legacy_ns").expect("old-side nanoseconds");
+            let new = side_ns(obj, "new_ns", "packed_ns").expect("new-side nanoseconds");
+            let speedup =
+                field_f64(obj, "speedup").unwrap_or_else(|| old / new.max(f64::MIN_POSITIVE));
+            let _ = writeln!(
+                table,
+                "| {pr} | {scenario} | {} | {} | {speedup:.2}x |",
+                human(old),
+                human(new)
+            );
+            rows += 1;
+        }
+        assert!(rows > 0, "{name}: empty benchmarks array");
+        if let Some(geomean) = field_f64(&text[array_end..], "speedup_geomean") {
+            let _ = writeln!(table, "| {pr} | *geomean* | | | *{geomean:.2}x* |");
+        }
+    }
+    print!("{table}");
+}

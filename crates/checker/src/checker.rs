@@ -29,6 +29,7 @@ use crate::ctl::Ctl;
 use crate::kripke::Kripke;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which fixpoint engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +59,17 @@ pub struct CheckResult {
 /// bookkeeping costs more than it saves.
 const SMALL_UNIVERSE: usize = 64;
 
+/// Default state-count threshold above which the symbolic `E [a U b]` and `EG`
+/// fixpoints shard each round across worker threads
+/// ([`ModelChecker::with_sharding`]). Below it the sequential worklist /
+/// elimination loops win: a fixpoint round must process tens of thousands of
+/// pre-image edges before the per-round merge barrier amortizes. Overridable
+/// per call site ([`soteria_exec::resolve_shard_states`]) and globally via
+/// `SOTERIA_SHARD_STATES`; the sharded fixpoints are byte-identical to the
+/// sequential ones at every thread count, so the threshold only moves work
+/// between schedules, never changes a verdict.
+pub const FIXPOINT_SHARD_STATES: usize = 16_384;
+
 /// A hash-consed CTL node: operator discriminant plus dense child ids. Atoms are
 /// resolved to their labelling-row index at intern time (all unknown atoms collapse
 /// to the same `Atom(None)` node — they satisfy the empty set either way), so node
@@ -84,24 +96,74 @@ enum NodeOp {
 
 /// The interner + satisfaction-set memo behind the symbolic engine's cache:
 /// structurally identical subformulas intern to the same node id, and each node's
-/// sat set is computed at most once per checker.
+/// sat set is computed at most once per checker. The parallel `keys`/`prop`
+/// vectors (one entry per node, like `ops` and `sat`) support cross-checker
+/// reuse: `keys` holds each node's canonical structure-independent key (atoms
+/// by *name*, so the key survives a re-labelled universe), and `prop` marks
+/// nodes whose cone is purely propositional — the only sets that can be
+/// projected onto a changed structure (see [`SatSnapshot`]).
 #[derive(Default)]
 struct SatMemo {
     node_ids: HashMap<NodeOp, u32>,
     ops: Vec<NodeOp>,
+    /// Canonical key per node: atoms by name, composites by operator + child keys.
+    keys: Vec<String>,
+    /// True when the node's cone contains no temporal operator (and no
+    /// unknown-atom / constant node — those are excluded from reuse as trivial).
+    prop: Vec<bool>,
+    /// True when the node is propositional *and* every atom in its cone was
+    /// verified stable against the reuse snapshot — the projectable nodes.
+    clean: Vec<bool>,
     sat: Vec<Option<BitSet>>,
 }
 
-impl SatMemo {
-    fn intern(&mut self, op: NodeOp) -> u32 {
-        if let Some(&id) = self.node_ids.get(&op) {
-            return id;
-        }
-        let id = self.ops.len() as u32;
-        self.node_ids.insert(op, id);
-        self.ops.push(op);
-        self.sat.push(None);
-        id
+/// A frozen export of one checker's memoized satisfaction sets, keyed by the
+/// canonical node keys, plus an owned clone of the structure they were computed
+/// over. Produced by [`ModelChecker::snapshot`] and consumed by
+/// [`ModelChecker::reuse_from`] on a later (possibly changed) structure:
+///
+/// * if the new structure equals the old one field-for-field, *every* entry is
+///   reusable as-is (temporal sets included);
+/// * otherwise only propositional entries over verified-unchanged atoms are
+///   reusable, re-indexed through the state projection (propositional
+///   satisfaction is pointwise over atom values, so a projected set is exact;
+///   temporal sets depend globally on the changed transition relation and are
+///   always recomputed).
+#[derive(Debug, Clone)]
+pub struct SatSnapshot {
+    /// The structure the sets were computed over, behind an [`Arc`] so a
+    /// snapshot export can share the checker's structure instead of cloning
+    /// ~50k states of CSR arrays, and so a no-op resubmission can hand the same
+    /// allocation back to the next checker (pointer equality then short-cuts
+    /// the identical-structure comparison in [`ModelChecker::reuse_from`]).
+    kripke: Arc<Kripke>,
+    sets: HashMap<String, SnapEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct SnapEntry {
+    set: BitSet,
+    /// The origin node's `SatMemo::prop` flag: projectable onto a changed
+    /// structure. Entries with `false` are only reusable on an identical one.
+    propositional: bool,
+}
+
+impl SatSnapshot {
+    /// Number of memoized sets in the snapshot.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if the snapshot holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The structure the sets were computed over. An incremental caller can
+    /// hand this same allocation to the next check (no-op resubmission) or use
+    /// it as the base of a delta rebuild.
+    pub fn kripke(&self) -> &Arc<Kripke> {
+        &self.kripke
     }
 }
 
@@ -121,6 +183,24 @@ pub struct ModelChecker<'a> {
     /// non-service path) makes each poll a single branch, and polling never
     /// mutates state — the determinism gates hold byte-identically.
     abort: Option<soteria_exec::AbortHandle>,
+    /// Worker threads for the sharded in-formula fixpoints (resolved at
+    /// construction; 1 disables sharding — including automatically on parallel
+    /// worker threads, where `resolve_threads` self-disables nested fan-out).
+    shard_threads: usize,
+    /// State-count threshold above which the fixpoints shard
+    /// ([`FIXPOINT_SHARD_STATES`] unless overridden).
+    shard_states: usize,
+    /// Sat sets imported from a previous checker's [`SatSnapshot`], keyed by
+    /// canonical node key and already expressed over *this* structure's state
+    /// universe. Consulted once per node at intern time.
+    reuse: HashMap<String, BitSet>,
+    /// True in the identical-structure reuse tier: every imported entry
+    /// (temporal sets included) seeds its node. False in the projected tier,
+    /// where only `clean` nodes may be seeded.
+    reuse_all: bool,
+    /// Per atom row: verified stable against the reuse snapshot (pointwise
+    /// equal through the state projection and not matching a dirty prefix).
+    stable_atoms: Vec<bool>,
 }
 
 /// Worklist iterations between abort polls: coarse enough that the relaxed
@@ -129,17 +209,173 @@ pub struct ModelChecker<'a> {
 /// thousand pops.
 const ABORT_POLL_STRIDE: usize = 4096;
 
+/// Partitions `words` bitset words into at most `shards` contiguous
+/// `[lo, hi)` ranges of near-equal length (empty ranges dropped). Word
+/// granularity keeps shard boundaries off bit boundaries: a worker owns whole
+/// words of the frontier, so segment extraction never splits or locks a word.
+fn word_ranges(words: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.min(words).max(1);
+    let len = words.div_ceil(shards);
+    (0..shards)
+        .map(|i| (i * len, ((i + 1) * len).min(words)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
 impl<'a> ModelChecker<'a> {
     /// Creates a checker. The transition relation (forward and reverse) is read
     /// directly from the Kripke structure's CSR arrays; nothing is rebuilt per
-    /// checker.
+    /// checker. Equivalent to [`ModelChecker::with_sharding`] with both knobs
+    /// on auto.
     pub fn new(kripke: &'a Kripke, engine: Engine) -> Self {
+        Self::with_sharding(kripke, engine, 0, 0)
+    }
+
+    /// Creates a checker with explicit in-formula sharding knobs: `threads`
+    /// workers (0 = auto: `SOTERIA_THREADS` / available parallelism; always 1 on
+    /// a parallel worker thread, so sharding nested under a property-level
+    /// fan-out self-disables) and the `shard_states` state-count threshold
+    /// (0 = auto: `SOTERIA_SHARD_STATES` / [`FIXPOINT_SHARD_STATES`]). Above the
+    /// threshold, with more than one worker and the symbolic engine, the
+    /// `E [a U b]` and `EG` fixpoints run their rounds sharded by word ranges of
+    /// the frontier — byte-identical to the sequential fixpoints at every
+    /// thread count.
+    pub fn with_sharding(
+        kripke: &'a Kripke,
+        engine: Engine,
+        threads: usize,
+        shard_states: usize,
+    ) -> Self {
         ModelChecker {
             kripke,
             engine,
             memo: RefCell::new(SatMemo::default()),
             abort: soteria_exec::current_abort(),
+            shard_threads: soteria_exec::resolve_threads(threads),
+            shard_states: soteria_exec::resolve_shard_states(
+                shard_states,
+                FIXPOINT_SHARD_STATES,
+            ),
+            reuse: HashMap::new(),
+            reuse_all: false,
+            stable_atoms: Vec::new(),
         }
+    }
+
+    /// Arms this checker with sat-set reuse from a previous check's
+    /// [`SatSnapshot`] (the incremental re-verification path).
+    ///
+    /// Two tiers, decided here at construction:
+    ///
+    /// * **Identical** — the snapshot's structure equals this one
+    ///   field-for-field: every snapshot entry seeds its node as-is, temporal
+    ///   sets included.
+    /// * **Projected** — the structures differ: a state projection
+    ///   `new → old` is built from the per-state identity
+    ///   `(model state, incoming event, incoming app)` (unique by
+    ///   construction). If the projection is total, each shared atom is
+    ///   verified *pointwise stable* through it — unless its name matches a
+    ///   `dirty_atom_prefixes` entry (the changed member's attribute partition:
+    ///   its `attr:{handle}.{attribute}=` prefixes and `by-app:{name}`), which
+    ///   skips the scan outright. Snapshot entries that are propositional over
+    ///   stable atoms are then projected onto this universe and seed their
+    ///   nodes; everything else (temporal sets, dirty cones) is recomputed.
+    ///
+    /// Seeded sets equal what recomputation would produce — propositional
+    /// satisfaction is pointwise over the (verified-equal) atom values — so
+    /// every verdict, violating-state count, and counterexample trace is
+    /// byte-identical to a fresh check; only work is saved. If no reuse is
+    /// possible (partial projection, ambiguous identity) the checker simply
+    /// stays cold.
+    pub fn reuse_from(mut self, prev: &SatSnapshot, dirty_atom_prefixes: &[String]) -> Self {
+        // Pointer equality first: a no-op resubmission hands the snapshot's own
+        // structure back, making the identical tier free of the deep comparison.
+        if std::ptr::eq(Arc::as_ptr(&prev.kripke), self.kripke) || *prev.kripke == *self.kripke {
+            self.reuse_all = true;
+            self.stable_atoms = vec![true; self.kripke.atoms.len()];
+            self.reuse =
+                prev.sets.iter().map(|(k, e)| (k.clone(), e.set.clone())).collect();
+            return self;
+        }
+        let n = self.kripke.state_count();
+        fn identity(k: &Kripke, s: usize) -> (soteria_model::StateId, Option<&str>, Option<&str>) {
+            (k.model_state[s], k.incoming_event[s].as_deref(), k.incoming_app[s].as_deref())
+        }
+        let mut old_ids: HashMap<_, usize> =
+            HashMap::with_capacity(prev.kripke.state_count());
+        for s in 0..prev.kripke.state_count() {
+            if old_ids.insert(identity(&prev.kripke, s), s).is_some() {
+                return self; // ambiguous identity: no safe projection
+            }
+        }
+        let mut proj: Vec<usize> = Vec::with_capacity(n);
+        for s in 0..n {
+            match old_ids.get(&identity(self.kripke, s)) {
+                Some(&old) => proj.push(old),
+                None => return self, // a genuinely new state: no reuse
+            }
+        }
+        let mut stable = vec![false; self.kripke.atoms.len()];
+        for (i, atom) in self.kripke.atoms.iter().enumerate() {
+            if dirty_atom_prefixes.iter().any(|p| atom.starts_with(p.as_str())) {
+                continue;
+            }
+            let Some(old_row) = prev.kripke.atom_index(atom).map(|j| prev.kripke.atom_row(j))
+            else {
+                continue;
+            };
+            let new_row = self.kripke.atom_row(i);
+            if (0..n).all(|s| old_row.contains(proj[s]) == new_row.contains(s)) {
+                stable[i] = true;
+            }
+        }
+        self.stable_atoms = stable;
+        for (key, entry) in &prev.sets {
+            if !entry.propositional {
+                continue;
+            }
+            let mut set = BitSet::empty(n);
+            for (s, &old) in proj.iter().enumerate() {
+                if entry.set.contains(old) {
+                    set.insert(s);
+                }
+            }
+            self.reuse.insert(key.clone(), set);
+        }
+        self
+    }
+
+    /// Exports this checker's memoized sat sets (plus an owned clone of the
+    /// structure) for reuse by a later [`ModelChecker::reuse_from`] checker.
+    /// Callers that already own the structure behind an [`Arc`] should prefer
+    /// [`ModelChecker::snapshot_with`], which skips the clone.
+    pub fn snapshot(&self) -> SatSnapshot {
+        self.export_sets(Arc::new(self.kripke.clone()))
+    }
+
+    /// Exports this checker's memoized sat sets against a caller-supplied
+    /// handle to the *same* structure the checker was built over, avoiding the
+    /// structure clone of [`ModelChecker::snapshot`].
+    pub fn snapshot_with(&self, kripke: Arc<Kripke>) -> SatSnapshot {
+        debug_assert!(
+            std::ptr::eq(Arc::as_ptr(&kripke), self.kripke),
+            "snapshot_with must receive the checker's own structure"
+        );
+        self.export_sets(kripke)
+    }
+
+    fn export_sets(&self, kripke: Arc<Kripke>) -> SatSnapshot {
+        let memo = self.memo.borrow();
+        let mut sets = HashMap::with_capacity(memo.ops.len());
+        for (id, slot) in memo.sat.iter().enumerate() {
+            if let Some(set) = slot {
+                sets.insert(
+                    memo.keys[id].clone(),
+                    SnapEntry { set: set.clone(), propositional: memo.prop[id] },
+                );
+            }
+        }
+        SatSnapshot { kripke, sets }
     }
 
     /// Abort poll point: unwinds with the abort sentinel when the constructing
@@ -185,7 +421,64 @@ impl<'a> ModelChecker<'a> {
             Ctl::Ag(f) => NodeOp::Ag(self.intern(f)),
             Ctl::Au(a, b) => NodeOp::Au(self.intern(a), self.intern(b)),
         };
-        self.memo.borrow_mut().intern(op)
+        self.intern_op(op)
+    }
+
+    /// Interns one node: assigns its dense id, derives its canonical key and
+    /// reuse flags from the (already interned) children, and — on a checker
+    /// armed by [`ModelChecker::reuse_from`] — seeds its sat slot from the
+    /// imported sets when eligible (every node in the identical tier; only
+    /// `clean` nodes, propositional over verified-stable atoms, in the
+    /// projected tier).
+    fn intern_op(&self, op: NodeOp) -> u32 {
+        if let Some(&id) = self.memo.borrow().node_ids.get(&op) {
+            return id;
+        }
+        let (key, prop, clean) = {
+            let memo = self.memo.borrow();
+            let k = |id: u32| memo.keys[id as usize].as_str();
+            let p = |id: u32| memo.prop[id as usize];
+            let c = |id: u32| memo.clean[id as usize];
+            match op {
+                NodeOp::True => ("T".to_string(), false, false),
+                NodeOp::False => ("F".to_string(), false, false),
+                NodeOp::Atom(Some(row)) => (
+                    format!("@{}", self.kripke.atoms[row as usize]),
+                    true,
+                    self.stable_atoms.get(row as usize).copied().unwrap_or(false),
+                ),
+                NodeOp::Atom(None) => ("@none".to_string(), false, false),
+                NodeOp::Not(f) => (format!("!({})", k(f)), p(f), c(f)),
+                NodeOp::And(a, b) => {
+                    (format!("&({},{})", k(a), k(b)), p(a) && p(b), c(a) && c(b))
+                }
+                NodeOp::Or(a, b) => {
+                    (format!("|({},{})", k(a), k(b)), p(a) && p(b), c(a) && c(b))
+                }
+                NodeOp::Implies(a, b) => {
+                    (format!("->({},{})", k(a), k(b)), p(a) && p(b), c(a) && c(b))
+                }
+                NodeOp::Ex(f) => (format!("EX({})", k(f)), false, false),
+                NodeOp::Ef(f) => (format!("EF({})", k(f)), false, false),
+                NodeOp::Eg(f) => (format!("EG({})", k(f)), false, false),
+                NodeOp::Eu(a, b) => (format!("EU({},{})", k(a), k(b)), false, false),
+                NodeOp::Ax(f) => (format!("AX({})", k(f)), false, false),
+                NodeOp::Af(f) => (format!("AF({})", k(f)), false, false),
+                NodeOp::Ag(f) => (format!("AG({})", k(f)), false, false),
+                NodeOp::Au(a, b) => (format!("AU({},{})", k(a), k(b)), false, false),
+            }
+        };
+        let seeded =
+            if self.reuse_all || clean { self.reuse.get(&key).cloned() } else { None };
+        let mut memo = self.memo.borrow_mut();
+        let id = memo.ops.len() as u32;
+        memo.node_ids.insert(op, id);
+        memo.ops.push(op);
+        memo.keys.push(key);
+        memo.prop.push(prop);
+        memo.clean.push(clean);
+        memo.sat.push(seeded);
+        id
     }
 
     /// The satisfaction set of an interned node, memoized.
@@ -394,9 +687,16 @@ impl<'a> ModelChecker<'a> {
     /// states newly added in the previous step are expanded, so every reverse edge is
     /// processed at most once — O(V + E) total, versus the round-based loop's
     /// O(rounds × E) re-scan of the entire accumulated set.
+    /// Above the sharding threshold with more than one worker, each round of the
+    /// reverse-frontier expansion is sharded by word ranges of the frontier
+    /// bitset instead ([`Self::least_fixpoint_eu_sharded`]); the least fixpoint
+    /// is unique, so every schedule converges to the same set.
     fn least_fixpoint_eu(&self, sat_a: &BitSet, sat_b: &BitSet) -> BitSet {
         if self.engine == Engine::Explicit || self.kripke.state_count() <= SMALL_UNIVERSE {
             return self.least_fixpoint_eu_rounds(sat_a, sat_b);
+        }
+        if self.shard_threads > 1 && self.kripke.state_count() >= self.shard_states {
+            return self.least_fixpoint_eu_sharded(sat_a, sat_b);
         }
         let mut result = sat_b.clone();
         let mut frontier: Vec<u32> = sat_b.iter().map(|s| s as u32).collect();
@@ -415,6 +715,66 @@ impl<'a> ModelChecker<'a> {
             }
         }
         result
+    }
+
+    /// Word-sharded least fixpoint for `E [a U b]`: each round partitions the
+    /// current frontier's backing words into contiguous ranges
+    /// ([`word_ranges`]), one worker per range computes the pre-image of its
+    /// segment into a private bitset (reading the shared CSR arrays and the
+    /// round-start `result` — no shared writes), and a merge barrier unions the
+    /// segments into the next frontier. Workers poll a cloned [`AbortHandle`]
+    /// every [`ABORT_POLL_STRIDE`] frontier members, same stride as the
+    /// sequential worklist.
+    ///
+    /// Byte-identical to the sequential worklist at every thread count: the
+    /// rounds compute exactly the breadth-first layers of the (unique) least
+    /// fixpoint of `λS. b ∪ (a ∩ pre∃(S))`, the merge is an order-insensitive
+    /// union, and the bitset representation is canonical.
+    fn least_fixpoint_eu_sharded(&self, sat_a: &BitSet, sat_b: &BitSet) -> BitSet {
+        let n = self.kripke.state_count();
+        let kripke = self.kripke;
+        let abort = self.abort.clone();
+        let mut result = sat_b.clone();
+        let mut frontier = sat_b.clone();
+        loop {
+            self.poll_abort();
+            let words = frontier.words();
+            let ranges = word_ranges(words.len(), self.shard_threads);
+            let snapshot = &result;
+            let locals = soteria_exec::par_map(&ranges, self.shard_threads, |&(lo, hi)| {
+                let mut local = BitSet::empty(n);
+                let mut visits = 0usize;
+                for wi in lo..hi {
+                    let mut word = words[wi];
+                    while word != 0 {
+                        let s = wi * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        visits += 1;
+                        if visits.is_multiple_of(ABORT_POLL_STRIDE) {
+                            if let Some(handle) = &abort {
+                                handle.bail_if_aborted();
+                            }
+                        }
+                        for &p in kripke.predecessors(s) {
+                            let p = p as usize;
+                            if sat_a.contains(p) && !snapshot.contains(p) {
+                                local.insert(p);
+                            }
+                        }
+                    }
+                }
+                local
+            });
+            let mut grown = BitSet::empty(n);
+            for local in &locals {
+                grown.union_with(local);
+            }
+            if grown.is_empty() {
+                return result;
+            }
+            result.union_with(&grown);
+            frontier = grown;
+        }
     }
 
     /// Round-based least fixpoint (the explicit engine's baseline algorithm).
@@ -438,9 +798,16 @@ impl<'a> ModelChecker<'a> {
     /// tracks how many of its successors remain viable; states whose count reaches
     /// zero are eliminated and their predecessors decremented through the reverse
     /// CSR edges. Each edge is touched a constant number of times — O(V + E).
+    /// Above the sharding threshold with more than one worker, elimination runs
+    /// in word-sharded rounds instead ([`Self::greatest_fixpoint_eg_sharded`]);
+    /// the greatest fixpoint is unique, so every schedule converges to the same
+    /// set.
     fn greatest_fixpoint_eg(&self, sat_f: &BitSet) -> BitSet {
         if self.engine == Engine::Explicit || self.kripke.state_count() <= SMALL_UNIVERSE {
             return self.greatest_fixpoint_eg_rounds(sat_f);
+        }
+        if self.shard_threads > 1 && self.kripke.state_count() >= self.shard_states {
+            return self.greatest_fixpoint_eg_sharded(sat_f);
         }
         let n = self.kripke.state_count();
         let mut result = sat_f.clone();
@@ -477,6 +844,77 @@ impl<'a> ModelChecker<'a> {
             }
         }
         result
+    }
+
+    /// Word-sharded greatest fixpoint for `EG f`: each round re-examines a
+    /// *dirty* set (initially all of `sat f`, thereafter the surviving
+    /// predecessors of the states eliminated last round), sharded by word
+    /// ranges — each worker marks the members of its segment that have no
+    /// remaining successor in the round-start `result` into a private bitset,
+    /// and a merge barrier unions the eliminations. Workers poll a cloned
+    /// [`AbortHandle`] every [`ABORT_POLL_STRIDE`] dirty members.
+    ///
+    /// Byte-identical to sequential successor-count elimination at every thread
+    /// count: a state is ever eliminated only when it has no viable successor
+    /// (against a conservative, round-start snapshot), a state that loses its
+    /// last viable successor mid-round is re-checked next round via the dirty
+    /// set, so the loop terminates exactly at the (unique) greatest fixpoint of
+    /// `λS. sat f ∩ pre∃(S)`.
+    fn greatest_fixpoint_eg_sharded(&self, sat_f: &BitSet) -> BitSet {
+        let n = self.kripke.state_count();
+        let kripke = self.kripke;
+        let abort = self.abort.clone();
+        let mut result = sat_f.clone();
+        let mut dirty = sat_f.clone();
+        loop {
+            self.poll_abort();
+            let words = dirty.words();
+            let ranges = word_ranges(words.len(), self.shard_threads);
+            let snapshot = &result;
+            let locals = soteria_exec::par_map(&ranges, self.shard_threads, |&(lo, hi)| {
+                let mut local = BitSet::empty(n);
+                let mut visits = 0usize;
+                for wi in lo..hi {
+                    let mut word = words[wi];
+                    while word != 0 {
+                        let s = wi * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        visits += 1;
+                        if visits.is_multiple_of(ABORT_POLL_STRIDE) {
+                            if let Some(handle) = &abort {
+                                handle.bail_if_aborted();
+                            }
+                        }
+                        if snapshot.contains(s)
+                            && !kripke
+                                .successors(s)
+                                .iter()
+                                .any(|&t| snapshot.contains(t as usize))
+                        {
+                            local.insert(s);
+                        }
+                    }
+                }
+                local
+            });
+            let mut gone = BitSet::empty(n);
+            for local in &locals {
+                gone.union_with(local);
+            }
+            if gone.is_empty() {
+                return result;
+            }
+            result.difference_with(&gone);
+            let mut next = BitSet::empty(n);
+            for s in gone.iter() {
+                for &p in kripke.predecessors(s) {
+                    if result.contains(p as usize) {
+                        next.insert(p as usize);
+                    }
+                }
+            }
+            dirty = next;
+        }
     }
 
     /// Round-based greatest fixpoint (the explicit engine's baseline algorithm).
@@ -739,6 +1177,120 @@ mod tests {
         drop(memo);
         checker.sat(&Ctl::atom("q").exists_finally());
         assert_eq!(checker.memo.borrow().ops.len(), 5);
+    }
+
+    #[test]
+    fn sharded_fixpoints_match_sequential_at_every_thread_count() {
+        let kripke = ring_kripke();
+        let formulas = vec![
+            Ctl::atom("q").exists_finally(),
+            Ctl::atom("q").always_finally(),
+            Ctl::Eg(Box::new(Ctl::atom("p").or(Ctl::atom("q").not()))),
+            Ctl::Eu(Box::new(Ctl::atom("p")), Box::new(Ctl::atom("q"))),
+            Ctl::atom("p").implies(Ctl::atom("q").exists_finally()).always_globally(),
+            Ctl::Au(Box::new(Ctl::True), Box::new(Ctl::atom("q"))),
+        ];
+        // shard_states = 1 forces the threshold so the 100-state ring shards.
+        let sequential = ModelChecker::with_sharding(&kripke, Engine::Symbolic, 1, 1);
+        for threads in [1, 2, 4, 8] {
+            let sharded = ModelChecker::with_sharding(&kripke, Engine::Symbolic, threads, 1);
+            for f in &formulas {
+                assert_eq!(
+                    sequential.sat(f),
+                    sharded.sat(f),
+                    "sharded sat differs at {threads} threads on {f}"
+                );
+                assert_eq!(
+                    sequential.check(f),
+                    sharded.check(f),
+                    "sharded check differs at {threads} threads on {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_ranges_cover_exactly_once() {
+        for words in [0, 1, 3, 64, 65, 1000] {
+            for shards in [1, 2, 4, 7, 64, 2000] {
+                let ranges = word_ranges(words, shards);
+                let mut covered = 0;
+                let mut cursor = 0;
+                for &(lo, hi) in &ranges {
+                    assert!(lo >= cursor && lo < hi, "range ({lo},{hi}) out of order");
+                    assert_eq!(lo, cursor, "gap before ({lo},{hi})");
+                    covered += hi - lo;
+                    cursor = hi;
+                }
+                assert_eq!(covered, words, "words={words} shards={shards}");
+                assert!(ranges.len() <= shards.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reuse_on_identical_structure_is_byte_identical() {
+        let kripke = ring_kripke();
+        let formulas = vec![
+            Ctl::atom("p").implies(Ctl::atom("q").exists_finally()).always_globally(),
+            Ctl::atom("q").always_finally(),
+            Ctl::atom("p").and(Ctl::atom("q").not()).exists_finally(),
+        ];
+        let cold = ModelChecker::new(&kripke, Engine::Symbolic);
+        let cold_results = cold.check_all(&formulas);
+        let snapshot = cold.snapshot();
+        assert!(!snapshot.is_empty());
+        let warm =
+            ModelChecker::new(&kripke, Engine::Symbolic).reuse_from(&snapshot, &[]);
+        // Identical tier: every node (temporal included) is seeded, so the memo
+        // holds a sat set for each formula's root before any computation.
+        assert!(warm.reuse_all);
+        assert_eq!(warm.check_all(&formulas), cold_results);
+    }
+
+    #[test]
+    fn snapshot_reuse_projects_propositional_sets_onto_a_changed_structure() {
+        // Old: the 100-ring. New: the same ring with one extra edge (99 -> 50),
+        // same states and labels — so atoms are stable but temporal sets are not.
+        let old = ring_kripke();
+        let n = 100;
+        let succs: Vec<Vec<usize>> =
+            (0..n).map(|s| if s == 99 { vec![0, 50] } else { vec![(s + 1) % n] }).collect();
+        let names: Vec<String> = (0..n).map(|s| format!("r{s}")).collect();
+        let mut new =
+            Kripke::from_lists(vec!["p".into(), "q".into()], names, &succs, vec![0]);
+        let labels: Vec<Vec<usize>> = (0..n)
+            .map(|s| {
+                let mut l = Vec::new();
+                if s % 2 == 0 {
+                    l.push(0);
+                }
+                if s == 99 {
+                    l.push(1);
+                }
+                l
+            })
+            .collect();
+        new.set_labels(&labels);
+        let formulas = vec![
+            Ctl::atom("p").implies(Ctl::atom("q").exists_finally()).always_globally(),
+            Ctl::atom("p").and(Ctl::atom("q").not()).exists_finally(),
+            Ctl::Eg(Box::new(Ctl::atom("p").not())),
+        ];
+        let cold = ModelChecker::new(&old, Engine::Symbolic);
+        cold.check_all(&formulas);
+        let snapshot = cold.snapshot();
+        let warm = ModelChecker::new(&new, Engine::Symbolic).reuse_from(&snapshot, &[]);
+        assert!(!warm.reuse_all);
+        assert!(warm.stable_atoms.iter().all(|&s| s), "unchanged labels must verify stable");
+        assert!(!warm.reuse.is_empty(), "propositional sets must project");
+        let fresh = ModelChecker::new(&new, Engine::Symbolic);
+        assert_eq!(warm.check_all(&formulas), fresh.check_all(&formulas));
+        // A dirty prefix masks its atoms: nothing over `p` may seed.
+        let masked = ModelChecker::new(&new, Engine::Symbolic)
+            .reuse_from(&snapshot, &["p".to_string()]);
+        assert!(!masked.stable_atoms[0]);
+        assert_eq!(masked.check_all(&formulas), fresh.check_all(&formulas));
     }
 
     #[test]

@@ -28,11 +28,17 @@
 
 use crate::bitset::BitSet;
 use soteria_model::{StateId, StateModel};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A Kripke structure: states labelled with atomic propositions and a total
 /// transition relation stored as forward + reverse CSR arrays.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field (atoms, labelling rows, both CSR arrays,
+/// naming data); two equal structures are interchangeable for checking, which
+/// is what lets a [`crate::SatSnapshot`] from a previous check be reused
+/// wholesale when the structure did not change.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Kripke {
     /// The atomic-proposition universe.
     pub atoms: Vec<String>,
@@ -40,10 +46,12 @@ pub struct Kripke {
     pub initial: Vec<usize>,
     /// The underlying model state of each Kripke state.
     pub model_state: Vec<StateId>,
-    /// The event label (if any) that produced each Kripke state.
-    pub incoming_event: Vec<Option<String>>,
+    /// The event label (if any) that produced each Kripke state. Shared
+    /// (`Arc<str>`) so the incremental rebuild copies unchanged members' states
+    /// with refcount bumps instead of tens of thousands of string allocations.
+    pub incoming_event: Vec<Option<Arc<str>>>,
     /// The app (if any) whose transition produced each Kripke state.
-    pub incoming_app: Vec<Option<String>>,
+    pub incoming_app: Vec<Option<Arc<str>>>,
     /// CSR offsets into `succ_targets`: the successors of state `s` are
     /// `succ_targets[succ_offsets[s]..succ_offsets[s + 1]]`.
     succ_offsets: Vec<u32>,
@@ -67,6 +75,12 @@ pub struct Kripke {
     /// For each atom, the set of states where it holds, packed as a bitset row over
     /// the state universe.
     pub(crate) atom_rows: Vec<BitSet>,
+    /// For model-derived structures, the Kripke target state of each model
+    /// transition, aligned with the model's transition order. Lets
+    /// [`Kripke::from_state_model_delta`] recover the edge relation of a
+    /// mostly-identical model without re-hashing unchanged labels. Empty for
+    /// hand-built structures.
+    pub(crate) transition_targets: Vec<u32>,
 }
 
 impl Kripke {
@@ -245,40 +259,7 @@ impl Kripke {
         let mut kripke = Kripke::default();
         let schema = &model.schema;
         let mut atom_lookup: HashMap<String, usize> = HashMap::new();
-        let mut intern = |atoms: &mut Vec<String>, name: String| -> usize {
-            if let Some(&i) = atom_lookup.get(&name) {
-                return i;
-            }
-            let i = atoms.len();
-            atom_lookup.insert(name.clone(), i);
-            atoms.push(name);
-            i
-        };
-
-        // Attribute propositions, formatted once per (attribute, value) pair of the
-        // schema instead of once per state. The state-name fragments reuse the same
-        // iteration so names can be derived lazily from a model-state id alone.
-        let mut attr_atoms: Vec<Vec<usize>> = Vec::with_capacity(schema.attr_count());
-        for a in 0..schema.attr_count() {
-            let attr = a as soteria_model::AttrId;
-            let (handle, attribute) = &schema.keys()[a];
-            let mut atoms_row = Vec::new();
-            let mut fragments = Vec::new();
-            for value in schema.domain(attr) {
-                atoms_row.push(intern(
-                    &mut kripke.atoms,
-                    format!("attr:{handle}.{attribute}={value}"),
-                ));
-                fragments.push(soteria_model::label_fragment(handle, attribute, value));
-            }
-            attr_atoms.push(atoms_row);
-            kripke.name_fragments.push(fragments);
-        }
-        // The schema's own mixed-radix strides, so digit extraction in `state_name`
-        // uses the same state-id arithmetic as the model layer.
-        kripke.name_strides = (0..schema.attr_count())
-            .map(|a| schema.stride(a as soteria_model::AttrId))
-            .collect();
+        let attr_atoms = install_schema_atoms(&mut kripke, model, &mut atom_lookup);
 
         // Per-state atom-index lists, turned into bitset rows by `set_labels` once
         // the state universe is complete.
@@ -306,15 +287,29 @@ impl Kripke {
             event_state.entry((t.to, event.clone(), app.clone())).or_insert_with(|| {
                 let id = per_state.len();
                 let mut labels: Vec<usize> = (0..schema.attr_count())
-                    .map(|a| attr_atoms[a][schema.digit_of(t.to, a as soteria_model::AttrId) as usize])
+                    .map(|a| {
+                        attr_atoms[a][schema.digit_of(t.to, a as soteria_model::AttrId) as usize]
+                    })
                     .collect();
-                labels.push(intern(&mut kripke.atoms, format!("event:{event}")));
-                labels.push(intern(&mut kripke.atoms, "triggered".to_string()));
-                labels.push(intern(&mut kripke.atoms, format!("by-app:{app}")));
+                labels.push(intern_atom(
+                    &mut kripke.atoms,
+                    &mut atom_lookup,
+                    format!("event:{event}"),
+                ));
+                labels.push(intern_atom(
+                    &mut kripke.atoms,
+                    &mut atom_lookup,
+                    "triggered".to_string(),
+                ));
+                labels.push(intern_atom(
+                    &mut kripke.atoms,
+                    &mut atom_lookup,
+                    format!("by-app:{app}"),
+                ));
                 per_state.push(labels);
                 kripke.model_state.push(t.to);
-                kripke.incoming_event.push(Some(event.clone()));
-                kripke.incoming_app.push(Some(app.clone()));
+                kripke.incoming_event.push(Some(Arc::from(event.as_str())));
+                kripke.incoming_app.push(Some(Arc::from(app.as_str())));
                 id
             });
         }
@@ -322,23 +317,504 @@ impl Kripke {
         // Transitions: every Kripke state sharing the source model state gets an edge
         // to the (destination, label) Kripke state. Kripke states are grouped by
         // model state up front, so this is O(edges) rather than the seed's
-        // O(transitions x states) scan.
+        // O(transitions x states) scan. The per-transition target is also recorded
+        // on the structure: it is what lets [`Kripke::from_state_model_delta`]
+        // recover the edge relation of a later, mostly-identical model without
+        // re-hashing every unchanged transition's label.
         let mut states_of_model: Vec<Vec<usize>> = vec![Vec::new(); model.state_count()];
         for (id, &ms) in kripke.model_state.iter().enumerate() {
             states_of_model[ms].push(id);
         }
         let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut targets: Vec<u32> = Vec::with_capacity(model.transitions.len());
         for t in &model.transitions {
             let key = (t.to, t.label.event.kind.label(), t.label.app.clone());
             let to_id = event_state[&key] as u32;
+            targets.push(to_id);
             for &from_id in &states_of_model[t.from] {
                 edges.push((from_id as u32, to_id));
             }
         }
+        kripke.transition_targets = targets;
         kripke.set_transitions(edges);
         kripke.set_labels(&per_state);
         kripke
     }
+
+    /// Rebuilds the Kripke structure of a model that differs from `base`'s
+    /// source model in exactly one member's contiguous transition block — the
+    /// delta-union contract (`soteria_model::union_models_delta`): unchanged
+    /// members' transitions are the base's own, spliced by handle. Everything
+    /// derivable from the unchanged members is copied from `base` — state
+    /// vectors by slice, label rows by word-level bitset blit, per-source edge
+    /// lists straight out of the base's CSR arrays (suffix ids shifted
+    /// uniformly) — and only the changed member's block is walked with the
+    /// full label-hashing construction.
+    ///
+    /// The result is **byte-identical** to `Kripke::from_state_model(model)`
+    /// with `base.initial` applied — same atom order (the event-atom interning
+    /// sequence is replayed in state order, which is creation order), same
+    /// state numbering (a member's event states are contiguous because its
+    /// `(destination, event, app)` keys carry its own name), and the same CSR
+    /// arrays (per-source target lists keep their sorted order under the
+    /// segment splice: prefix ids < changed ids < shifted suffix ids).
+    ///
+    /// Returns `None` — the caller falls back to a scratch build — whenever a
+    /// precondition cannot be verified cheaply: `base` is not a model-derived
+    /// structure over the same schema, either side's changed block is not
+    /// contiguous, or a prefix/suffix transition disagrees with `base`'s
+    /// recorded target on destination or app (the event kind and source state
+    /// are the delta-union contract's: unchanged blocks are spliced, not
+    /// rebuilt). The second tuple field reports whether every changed-member
+    /// event state already existed in `base` — only then can a
+    /// [`crate::SatSnapshot`] projection onto the new structure be total.
+    pub fn from_state_model_delta(
+        base: &Kripke,
+        model: &StateModel,
+        changed_app: &str,
+    ) -> Option<(Kripke, bool)> {
+        let q = model.state_count();
+        let schema = &model.schema;
+        let n_old = base.state_count();
+        if n_old < q || base.transition_targets.is_empty() || !base.name_override.is_empty() {
+            return None;
+        }
+        // `base` must have the quiescent-prefix shape this module builds...
+        if (0..q).any(|s| base.model_state[s] != s || base.incoming_event[s].is_some()) {
+            return None;
+        }
+        // ...over the same schema.
+        let strides: Vec<usize> =
+            (0..schema.attr_count()).map(|a| schema.stride(a as soteria_model::AttrId)).collect();
+        if base.name_strides != strides || base.name_fragments.len() != schema.attr_count() {
+            return None;
+        }
+        if (0..schema.attr_count()).any(|a| {
+            base.name_fragments[a].len() != schema.domain(a as soteria_model::AttrId).len()
+        }) {
+            return None;
+        }
+
+        // The changed member's block in the new model: exactly one contiguous run.
+        let (mut ns, mut ne) = (usize::MAX, 0usize);
+        for (i, t) in model.transitions.iter().enumerate() {
+            if t.label.app == changed_app {
+                if ns == usize::MAX {
+                    (ns, ne) = (i, i + 1);
+                } else if i == ne {
+                    ne = i + 1;
+                } else {
+                    return None;
+                }
+            }
+        }
+        // The changed member's event states in `base`: one contiguous run (its
+        // keys carry its own app name, so no other member contributes to it);
+        // fused with the per-state event-label sanity check.
+        let (mut cs, mut ce) = (usize::MAX, 0usize);
+        for s in q..n_old {
+            let Some(app) = base.incoming_app[s].as_deref() else { return None };
+            if base.incoming_event[s].is_none() {
+                return None;
+            }
+            if app == changed_app {
+                if cs == usize::MAX {
+                    (cs, ce) = (s, s + 1);
+                } else if s == ce {
+                    ce = s + 1;
+                } else {
+                    return None;
+                }
+            }
+        }
+        // Its transition block in `base`, recovered from the recorded targets:
+        // only the changed member's transitions point into `cs..ce`.
+        let old_total = base.transition_targets.len();
+        let (mut os, mut oe) = (usize::MAX, 0usize);
+        for (i, &t) in base.transition_targets.iter().enumerate() {
+            if (cs..ce).contains(&(t as usize)) {
+                if os == usize::MAX {
+                    (os, oe) = (i, i + 1);
+                } else if i == oe {
+                    oe = i + 1;
+                } else {
+                    return None;
+                }
+            }
+        }
+        if ns == usize::MAX
+            || os != ns
+            || old_total - oe != model.transitions.len() - ne
+        {
+            return None;
+        }
+        // Prefix and suffix transitions must agree with the recorded targets on
+        // destination and app (the cheap two fields of the event-state key).
+        for (i, t) in model.transitions[..ns].iter().enumerate() {
+            let tgt = base.transition_targets[i] as usize;
+            if tgt < q
+                || tgt >= cs
+                || base.model_state[tgt] != t.to
+                || base.incoming_app[tgt].as_deref() != Some(t.label.app.as_str())
+            {
+                return None;
+            }
+        }
+        for (k, t) in model.transitions[ne..].iter().enumerate() {
+            let tgt = base.transition_targets[oe + k] as usize;
+            if tgt < ce
+                || tgt >= n_old
+                || base.model_state[tgt] != t.to
+                || base.incoming_app[tgt].as_deref() != Some(t.label.app.as_str())
+            {
+                return None;
+            }
+        }
+
+        // The changed member's event states, in creation (first-transition)
+        // order, plus each of its transitions' Kripke target. Every transition
+        // in the block carries `changed_app`, so the app is dropped from the
+        // keys; event labels are interned through a cache keyed by the label
+        // *allocation* (the delta union shares one `Arc<TransitionLabel>` per
+        // member transition across its lifted copies, so the cache renders each
+        // distinct label once and the per-transition step hashes a pointer).
+        // `all_in_base` tracks whether the block introduces any state `base`
+        // did not have.
+        let old_event_keys: HashSet<(StateId, &str)> = (cs..ce)
+            .map(|s| (base.model_state[s], base.incoming_event[s].as_deref().unwrap_or_default()))
+            .collect();
+        let app_arc: Arc<str> = Arc::from(changed_app);
+        let mut labels: Vec<Arc<str>> = Vec::new();
+        let mut label_lookup: HashMap<Arc<str>, u32> = HashMap::new();
+        let mut label_of_ptr: HashMap<usize, u32> = HashMap::new();
+        let mut event_state: HashMap<(StateId, u32), u32> = HashMap::new();
+        let mut changed_states: Vec<(StateId, u32)> = Vec::new();
+        let mut changed_targets: Vec<u32> = Vec::with_capacity(ne - ns);
+        let mut all_in_base = true;
+        for t in &model.transitions[ns..ne] {
+            let ptr = Arc::as_ptr(&t.label) as usize;
+            let lid = match label_of_ptr.get(&ptr) {
+                Some(&l) => l,
+                None => {
+                    let rendered = t.label.event.kind.label();
+                    let l = match label_lookup.get(rendered.as_str()) {
+                        Some(&l) => l,
+                        None => {
+                            let l = labels.len() as u32;
+                            let arc: Arc<str> = Arc::from(rendered.as_str());
+                            label_lookup.insert(arc.clone(), l);
+                            labels.push(arc);
+                            l
+                        }
+                    };
+                    label_of_ptr.insert(ptr, l);
+                    l
+                }
+            };
+            let key = (t.to, lid);
+            let id = match event_state.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = (cs + changed_states.len()) as u32;
+                    all_in_base &=
+                        old_event_keys.contains(&(t.to, &*labels[lid as usize]));
+                    changed_states.push(key);
+                    event_state.insert(key, id);
+                    id
+                }
+            };
+            changed_targets.push(id);
+        }
+        let new_ce = cs + changed_states.len();
+        let n_new = new_ce + (n_old - ce);
+        let shift = new_ce as i64 - ce as i64;
+
+        let mut kripke = Kripke::default();
+        let mut atom_lookup: HashMap<String, usize> = HashMap::new();
+        let attr_atoms = install_schema_atoms(&mut kripke, model, &mut atom_lookup);
+        // The attribute atoms' names must match the base's exactly for the row
+        // splice (and the replay skip below) to hold; the fragment tables pin
+        // the full (handle, attribute, value) triples, not just the counts.
+        if base.name_fragments != kripke.name_fragments {
+            return None;
+        }
+
+        // Quiescent states: same ids, no incoming labels; their attribute-atom
+        // bits arrive with the row splice below.
+        kripke.model_state.extend(0..q);
+        kripke.incoming_event.resize(q, None);
+        kripke.incoming_app.resize(q, None);
+
+        // Atom-interning replay without walking the unchanged states. The
+        // scratch build interns `event:`/`triggered`/`by-app:` atoms at each
+        // event state's creation, in state order; so the prefix's intern
+        // sequence is the base's own atom order restricted to atoms whose
+        // first occurrence is below `cs`, the changed block interns at its
+        // states' creation, and the suffix interns whatever remains, ordered
+        // by first occurrence at or after `ce` with the per-state intern order
+        // (event, then `triggered`, then `by-app:`) as the tie-break.
+        let mut deferred: Vec<(usize, u8)> = Vec::new();
+        for (bi, name) in base.atoms.iter().enumerate() {
+            if atom_lookup.contains_key(name) {
+                continue; // schema atom, interned above in schema order
+            }
+            match base.atom_rows[bi].first_set_at_or_after(0) {
+                Some(f) if f < cs => {
+                    intern_atom(&mut kripke.atoms, &mut atom_lookup, name.clone());
+                }
+                _ => {
+                    let rank = match name.as_str() {
+                        "triggered" => 1,
+                        n if n.starts_with("by-app:") => 2,
+                        _ => 0,
+                    };
+                    deferred.push((bi, rank));
+                }
+            }
+        }
+        // Prefix members' event states: ids unchanged, labels shared.
+        kripke.model_state.extend_from_slice(&base.model_state[q..cs]);
+        kripke.incoming_event.extend(base.incoming_event[q..cs].iter().cloned());
+        kripke.incoming_app.extend(base.incoming_app[q..cs].iter().cloned());
+
+        // The changed member's block: the one part that is genuinely new.
+        let mut event_atom: Vec<usize> = vec![usize::MAX; labels.len()];
+        let mut triggered = usize::MAX;
+        let mut app_atom = usize::MAX;
+        for &(to, lid) in &changed_states {
+            if event_atom[lid as usize] == usize::MAX {
+                event_atom[lid as usize] = intern_atom(
+                    &mut kripke.atoms,
+                    &mut atom_lookup,
+                    format!("event:{}", labels[lid as usize]),
+                );
+            }
+            if triggered == usize::MAX {
+                triggered =
+                    intern_atom(&mut kripke.atoms, &mut atom_lookup, "triggered".to_string());
+            }
+            if app_atom == usize::MAX {
+                app_atom = intern_atom(
+                    &mut kripke.atoms,
+                    &mut atom_lookup,
+                    format!("by-app:{changed_app}"),
+                );
+            }
+            kripke.model_state.push(to);
+            kripke.incoming_event.push(Some(labels[lid as usize].clone()));
+            kripke.incoming_app.push(Some(app_arc.clone()));
+        }
+
+        // Suffix members' event states: ids shifted uniformly, labels shared.
+        // (An atom the changed block just interned is no longer "remaining";
+        // one set only in the old changed block with no suffix occurrence is
+        // dropped entirely, exactly as a scratch build would never see it.)
+        let mut suffix_intro: Vec<(u32, u8, usize)> = deferred
+            .into_iter()
+            .filter(|&(bi, _)| !atom_lookup.contains_key(&base.atoms[bi]))
+            .filter_map(|(bi, rank)| {
+                base.atom_rows[bi].first_set_at_or_after(ce).map(|f| (f as u32, rank, bi))
+            })
+            .collect();
+        suffix_intro.sort_unstable();
+        for &(_, _, bi) in &suffix_intro {
+            intern_atom(&mut kripke.atoms, &mut atom_lookup, base.atoms[bi].clone());
+        }
+        kripke.model_state.extend_from_slice(&base.model_state[ce..]);
+        kripke.incoming_event.extend(base.incoming_event[ce..].iter().cloned());
+        kripke.incoming_app.extend(base.incoming_app[ce..].iter().cloned());
+
+        // Label rows: splice each atom's unchanged regions out of the base's
+        // row by name (bitset blit), then set the changed block's bits from its
+        // states' labels. Atoms the base did not have can only hold in the
+        // changed block; base atoms that no longer occur are simply absent.
+        let mut rows: Vec<BitSet> = Vec::with_capacity(kripke.atoms.len());
+        for name in &kripke.atoms {
+            let mut row = BitSet::empty(n_new);
+            if let Some(&old) = base.atom_lookup.get(name) {
+                let old_row = base.atom_row(old);
+                row.copy_range(old_row, 0, 0, cs);
+                row.copy_range(old_row, ce, new_ce, n_old - ce);
+            }
+            rows.push(row);
+        }
+        for (i, &(to, lid)) in changed_states.iter().enumerate() {
+            let s = cs + i;
+            for a in 0..schema.attr_count() {
+                let digit = schema.digit_of(to, a as soteria_model::AttrId) as usize;
+                rows[attr_atoms[a][digit]].insert(s);
+            }
+            rows[event_atom[lid as usize]].insert(s);
+            rows[triggered].insert(s);
+            rows[app_atom].insert(s);
+        }
+        kripke.atom_rows = rows;
+        kripke.atom_lookup = atom_lookup;
+
+        // Per-transition targets: prefix copied, changed block computed, suffix
+        // copied with the shift applied.
+        let mut targets: Vec<u32> = Vec::with_capacity(model.transitions.len());
+        targets.extend_from_slice(&base.transition_targets[..ns]);
+        targets.extend_from_slice(&changed_targets);
+        for &t in &base.transition_targets[oe..] {
+            targets.push((t as i64 + shift) as u32);
+        }
+        kripke.transition_targets = targets;
+
+        // The changed member's edges grouped by source model state: sorting
+        // the (from, target) pairs groups, orders, and dedups them in one shot.
+        let mut changed_pairs: Vec<(u32, u32)> = model.transitions[ns..ne]
+            .iter()
+            .zip(&changed_targets)
+            .map(|(t, &tgt)| (t.from as u32, tgt))
+            .collect();
+        changed_pairs.sort_unstable();
+        changed_pairs.dedup();
+
+        // Per-model-state target lists, from the base's own CSR, as one flat
+        // array (no per-state allocation): a quiescent state's successor list
+        // *is* its model state's sorted, deduplicated target list (its only
+        // sub-`q` entry can be the totalising self-loop, which the CSR rebuild
+        // re-adds). The three segments keep sorted order: prefix ids <
+        // changed-block ids < shifted suffix ids.
+        let mut group_offsets: Vec<u32> = Vec::with_capacity(q + 1);
+        group_offsets.push(0);
+        let mut cursor = 0usize;
+        let mut total = 0u32;
+        for ms in 0..q {
+            let mut count = 0u32;
+            for &t in base.successors(ms) {
+                let t = t as usize;
+                if (q..cs).contains(&t) || t >= ce {
+                    count += 1;
+                }
+            }
+            while cursor < changed_pairs.len() && changed_pairs[cursor].0 == ms as u32 {
+                cursor += 1;
+                count += 1;
+            }
+            total += count;
+            group_offsets.push(total);
+        }
+        let mut grouped: Vec<u32> = Vec::with_capacity(total as usize);
+        let mut cursor = 0usize;
+        for ms in 0..q {
+            let old = base.successors(ms);
+            grouped.extend(old.iter().copied().filter(|&t| (q..cs).contains(&(t as usize))));
+            while cursor < changed_pairs.len() && changed_pairs[cursor].0 == ms as u32 {
+                grouped.push(changed_pairs[cursor].1);
+                cursor += 1;
+            }
+            grouped
+                .extend(old.iter().filter(|&&t| t as usize >= ce).map(|&t| (t as i64 + shift) as u32));
+        }
+        kripke.set_transitions_grouped(&group_offsets, &grouped);
+        kripke.initial = base.initial.clone();
+        Some((kripke, all_in_base))
+    }
+
+    /// Installs the transition relation from a flat per-model-state CSR of
+    /// target lists (`grouped[group_offsets[ms]..group_offsets[ms + 1]]` is
+    /// model state `ms`'s sorted, deduplicated target list). Produces the same
+    /// CSR arrays as [`Kripke::set_transitions`] over the equivalent edge
+    /// list: iterating sources in ascending order with ascending targets per
+    /// source *is* the globally sorted edge order, so no sort is needed.
+    /// States with no
+    /// outgoing edge get the same totalising self-loop.
+    fn set_transitions_grouped(&mut self, group_offsets: &[u32], grouped: &[u32]) {
+        let n = self.state_count();
+        debug_assert!(n <= u32::MAX as usize, "state universe exceeds u32 indexing");
+        self.succ_offsets = Vec::with_capacity(n + 1);
+        self.succ_offsets.push(0);
+        let mut acc = 0u32;
+        let mut total = 0usize;
+        for s in 0..n {
+            let ms = self.model_state[s];
+            let degree = ((group_offsets[ms + 1] - group_offsets[ms]) as usize).max(1);
+            acc += degree as u32;
+            total += degree;
+            self.succ_offsets.push(acc);
+        }
+        let mut succ_targets: Vec<u32> = Vec::with_capacity(total);
+        for s in 0..n {
+            let ms = self.model_state[s];
+            let (lo, hi) = (group_offsets[ms] as usize, group_offsets[ms + 1] as usize);
+            if lo == hi {
+                succ_targets.push(s as u32);
+            } else {
+                succ_targets.extend_from_slice(&grouped[lo..hi]);
+            }
+        }
+        // Reverse CSR by counting sort; filling in (source asc, target asc)
+        // order matches `set_transitions`' sorted-edge fill.
+        let mut in_degree = vec![0u32; n];
+        for &to in &succ_targets {
+            in_degree[to as usize] += 1;
+        }
+        self.pred_offsets = Vec::with_capacity(n + 1);
+        self.pred_offsets.push(0);
+        let mut acc = 0u32;
+        for &degree in &in_degree {
+            acc += degree;
+            self.pred_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = self.pred_offsets[..n].to_vec();
+        let mut pred_targets = vec![0u32; succ_targets.len()];
+        for s in 0..n {
+            let (lo, hi) = (self.succ_offsets[s] as usize, self.succ_offsets[s + 1] as usize);
+            for &to in &succ_targets[lo..hi] {
+                let slot = cursor[to as usize];
+                pred_targets[slot as usize] = s as u32;
+                cursor[to as usize] += 1;
+            }
+        }
+        self.succ_targets = succ_targets;
+        self.pred_targets = pred_targets;
+    }
+}
+
+/// Interns one atom name, returning its stable index.
+fn intern_atom(atoms: &mut Vec<String>, lookup: &mut HashMap<String, usize>, name: String) -> usize {
+    if let Some(&i) = lookup.get(&name) {
+        return i;
+    }
+    let i = atoms.len();
+    lookup.insert(name.clone(), i);
+    atoms.push(name);
+    i
+}
+
+/// Interns the schema-derived attribute atoms and installs the lazy-naming
+/// tables (fragments and strides) shared by the scratch and delta builds.
+/// Returns the atom ids per `(attribute, value digit)` pair.
+fn install_schema_atoms(
+    kripke: &mut Kripke,
+    model: &StateModel,
+    atom_lookup: &mut HashMap<String, usize>,
+) -> Vec<Vec<usize>> {
+    let schema = &model.schema;
+    let mut attr_atoms: Vec<Vec<usize>> = Vec::with_capacity(schema.attr_count());
+    for a in 0..schema.attr_count() {
+        let attr = a as soteria_model::AttrId;
+        let (handle, attribute) = &schema.keys()[a];
+        let mut atoms_row = Vec::new();
+        let mut fragments = Vec::new();
+        for value in schema.domain(attr) {
+            atoms_row.push(intern_atom(
+                &mut kripke.atoms,
+                atom_lookup,
+                format!("attr:{handle}.{attribute}={value}"),
+            ));
+            fragments.push(soteria_model::label_fragment(handle, attribute, value));
+        }
+        attr_atoms.push(atoms_row);
+        kripke.name_fragments.push(fragments);
+    }
+    // The schema's own mixed-radix strides, so digit extraction in `state_name`
+    // uses the same state-id arithmetic as the model layer.
+    kripke.name_strides =
+        (0..schema.attr_count()).map(|a| schema.stride(a as soteria_model::AttrId)).collect();
+    attr_atoms
 }
 
 #[cfg(test)]
@@ -374,13 +850,13 @@ mod tests {
             transitions.push(Transition {
                 from,
                 to: wet_closed,
-                label: TransitionLabel {
+                label: std::sync::Arc::new(TransitionLabel {
                     event: Event::new("sensor", EventKind::device("waterSensor", "water", Some("wet"))),
                     condition: PathCondition::top(),
                     app: "WaterLeak".into(),
                     handler: "h".into(),
                     via_reflection: false,
-                },
+                }),
             });
         }
         for t in transitions {

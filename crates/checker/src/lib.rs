@@ -13,7 +13,12 @@
 //!   [`ModelChecker::check_all`] entry point, and counter-example extraction;
 //! * [`check_all_parallel`] — property-level fan-out: shards a batch of
 //!   independent root formulas across per-thread checkers (one sat-set memo per
-//!   shard) on large universes, byte-identical to the sequential batch;
+//!   shard) on large universes, byte-identical to the sequential batch
+//!   ([`check_all_parallel_with`] exposes both sharding thresholds);
+//! * [`SatSnapshot`] — a frozen export of one checker's memoized satisfaction
+//!   sets for incremental re-verification: a later checker over the same (or a
+//!   single-member-edited) structure seeds its memo from the snapshot via
+//!   [`ModelChecker::reuse_from`] instead of recomputing, byte-identically;
 //! * [`LegacyModelChecker`] — the frozen pre-CSR round-based checker, kept as the
 //!   "old" side of the `verification_old_vs_new` engine-equivalence gate;
 //! * [`render_smv`] — SMV-format output of models and specs for external inspection.
@@ -27,9 +32,9 @@ pub mod parallel;
 pub mod smv;
 
 pub use bitset::BitSet;
-pub use checker::{CheckResult, Engine, ModelChecker};
+pub use checker::{CheckResult, Engine, ModelChecker, SatSnapshot, FIXPOINT_SHARD_STATES};
 pub use ctl::Ctl;
 pub use kripke::Kripke;
 pub use legacy::LegacyModelChecker;
-pub use parallel::{check_all_parallel, PARALLEL_UNIVERSE};
+pub use parallel::{check_all_parallel, check_all_parallel_with, PARALLEL_UNIVERSE};
 pub use smv::{render_smv, smv_formula};

@@ -34,13 +34,40 @@ pub fn check_all_parallel(
     formulas: &[Ctl],
     threads: usize,
 ) -> Vec<CheckResult> {
-    if threads <= 1 || formulas.len() <= 1 || kripke.state_count() <= PARALLEL_UNIVERSE {
-        return ModelChecker::new(kripke, engine).check_all(formulas);
+    check_all_parallel_with(kripke, engine, formulas, threads, 0, 0)
+}
+
+/// [`check_all_parallel`] with both sharding thresholds explicit (0 = auto).
+///
+/// * `property_shard_states` — minimum universe for the property-level fan-out
+///   (default [`PARALLEL_UNIVERSE`], or `SOTERIA_SHARD_STATES` when set).
+/// * `fixpoint_shard_states` — the in-formula fixpoint-sharding threshold
+///   passed down to every [`ModelChecker::with_sharding`] (default
+///   [`crate::checker::FIXPOINT_SHARD_STATES`], or `SOTERIA_SHARD_STATES`).
+///
+/// The two levels compose without oversubscription: property-shard workers run
+/// with `threads = 0`, which `resolve_threads` pins to 1 on a parallel worker
+/// thread, so in-formula sharding self-disables under a property fan-out. The
+/// sequential fallback keeps the caller's thread budget, so a single huge
+/// formula (or a small batch) still shards *inside* its fixpoints.
+pub fn check_all_parallel_with(
+    kripke: &Kripke,
+    engine: Engine,
+    formulas: &[Ctl],
+    threads: usize,
+    property_shard_states: usize,
+    fixpoint_shard_states: usize,
+) -> Vec<CheckResult> {
+    let property_threshold =
+        soteria_exec::resolve_shard_states(property_shard_states, PARALLEL_UNIVERSE);
+    if threads <= 1 || formulas.len() <= 1 || kripke.state_count() <= property_threshold {
+        return ModelChecker::with_sharding(kripke, engine, threads, fixpoint_shard_states)
+            .check_all(formulas);
     }
     let shard_len = formulas.len().div_ceil(threads);
     let shards: Vec<&[Ctl]> = formulas.chunks(shard_len).collect();
     let results = soteria_exec::par_map(&shards, threads, |shard| {
-        ModelChecker::new(kripke, engine).check_all(shard)
+        ModelChecker::with_sharding(kripke, engine, 0, fixpoint_shard_states).check_all(shard)
     });
     results.concat()
 }

@@ -74,6 +74,35 @@ pub fn recover<T>(result: LockResult<T>) -> T {
 /// The environment variable overriding the worker count (`0` or unset = auto).
 pub const THREADS_ENV: &str = "SOTERIA_THREADS";
 
+/// The environment variable overriding every state-count sharding threshold
+/// (`0` or unset = the call site's default). One knob covers both the
+/// property-level shard threshold (`soteria_checker::PARALLEL_UNIVERSE`) and
+/// the in-formula fixpoint-shard threshold
+/// (`soteria_checker::FIXPOINT_SHARD_STATES`): sharding is byte-identical to
+/// sequential execution everywhere, so forcing it on (`SOTERIA_SHARD_STATES=1`)
+/// only changes scheduling — which is exactly how CI exercises the sharded
+/// fixpoints on small models.
+pub const SHARD_STATES_ENV: &str = "SOTERIA_SHARD_STATES";
+
+/// Resolves a state-count sharding threshold.
+///
+/// Priority: an explicit non-zero `configured` value (e.g.
+/// `AnalysisConfig::fixpoint_shard_states`), then a non-zero
+/// [`SHARD_STATES_ENV`] environment variable, then the call site's `default`.
+pub fn resolve_shard_states(configured: usize, default: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(value) = std::env::var(SHARD_STATES_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    default
+}
+
 thread_local! {
     /// True on parallel worker threads (pool workers, scoped workers, and callers
     /// participating in a pooled map). Nested fan-out sites (a batch analysis
@@ -310,6 +339,14 @@ mod tests {
     fn resolve_threads_prefers_explicit_configuration() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn resolve_shard_states_prefers_explicit_configuration() {
+        assert_eq!(resolve_shard_states(123, 500), 123);
+        // Unconfigured resolution is the env override (the CI leg sets
+        // SOTERIA_SHARD_STATES=1) or the call site's default — positive either way.
+        assert!(resolve_shard_states(0, 500) >= 1);
     }
 
     #[test]

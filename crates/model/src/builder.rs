@@ -89,7 +89,7 @@ pub fn build_state_model(
 /// earlier ones — the same overwrite order the seed applied to state maps).
 struct CompiledSpec {
     updates: Vec<(AttrId, ValueId)>,
-    label: TransitionLabel,
+    label: std::sync::Arc<TransitionLabel>,
     class: usize,
 }
 
@@ -176,13 +176,13 @@ fn compile_spec(
 
     CompiledSpec {
         updates,
-        label: TransitionLabel {
+        label: std::sync::Arc::new(TransitionLabel {
             event: spec.event.clone(),
             condition: spec.condition.clone(),
             app: app.to_string(),
             handler: spec.handler.clone(),
             via_reflection: spec.via_reflection,
-        },
+        }),
         class: interner.class_of(&spec.event, &spec.condition, app, &spec.handler),
     }
 }

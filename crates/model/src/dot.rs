@@ -66,13 +66,13 @@ mod tests {
         m.add_transition(Transition {
             from: 0,
             to: 1,
-            label: TransitionLabel {
+            label: std::sync::Arc::new(TransitionLabel {
                 event: Event::new("w", EventKind::device("waterSensor", "water", Some("wet"))),
                 condition: PathCondition::top(),
                 app: "WaterLeakDetector".into(),
                 handler: "h".into(),
                 via_reflection: false,
-            },
+            }),
         });
         m
     }

@@ -107,13 +107,13 @@ pub fn build_state_model_legacy(
             new_transitions.push(Transition {
                 from: from_id,
                 to: to_id,
-                label: TransitionLabel {
+                label: std::sync::Arc::new(TransitionLabel {
                     event: spec.event.clone(),
                     condition: spec.condition.clone(),
                     app: name.to_string(),
                     handler: spec.handler.clone(),
                     via_reflection: spec.via_reflection,
-                },
+                }),
             });
         }
     }
@@ -241,13 +241,13 @@ pub fn union_models_legacy(
                 lifted.push(Transition {
                     from: from_id,
                     to: to_id,
-                    label: TransitionLabel {
+                    label: std::sync::Arc::new(TransitionLabel {
                         event: t.label.event.clone(),
                         condition: t.label.condition.clone(),
                         app: model.name.clone(),
                         handler: t.label.handler.clone(),
                         via_reflection: t.label.via_reflection,
-                    },
+                    }),
                 });
             }
         }

@@ -13,7 +13,8 @@
 //!   index arithmetic;
 //! * [`build_state_model`] — construction from the analysis crate's transition
 //!   specifications and property abstraction;
-//! * [`union_models`] — Algorithm 2, the multi-app union model;
+//! * [`union_models`] — Algorithm 2, the multi-app union model (and
+//!   [`union_models_delta`], its single-member-edit incremental variant);
 //! * [`render_dot`] — GraphViz output equivalent to the paper's Fig. 9 visualisation.
 //!
 //! # The packed fast path
@@ -54,4 +55,4 @@ pub use dot::render_dot;
 pub use model::{Nondeterminism, StateId, StateModel, Transition, TransitionLabel};
 pub use schema::{AttrId, PackedState, StateSchema, ValueId};
 pub use state::{label_fragment, AttrKey, State};
-pub use union::{union_models, UnionOptions};
+pub use union::{union_models, union_models_delta, UnionOptions};

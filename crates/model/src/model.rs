@@ -6,6 +6,7 @@ use soteria_analysis::PathCondition;
 use soteria_capability::{AttributeValue, Event};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a state within a [`StateModel`] (index into `states`).
 pub type StateId = usize;
@@ -38,14 +39,20 @@ impl fmt::Display for TransitionLabel {
 }
 
 /// A labelled transition between two states.
+///
+/// The label is behind an [`Arc`] so that union-model splices (the incremental
+/// re-verification path keeps every unchanged member's transition block and
+/// replaces only the edited member's) copy two indices and a refcount instead
+/// of deep-cloning the label's strings. Equality and hashing still compare the
+/// label by value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Transition {
     /// Source state.
     pub from: StateId,
     /// Destination state.
     pub to: StateId,
-    /// Label.
-    pub label: TransitionLabel,
+    /// Label (shared, compared by value).
+    pub label: Arc<TransitionLabel>,
 }
 
 /// A nondeterminism witness: one source state and one event with two feasible
@@ -249,14 +256,14 @@ mod tests {
         Event::new("sensor", EventKind::device("waterSensor", "water", Some("wet")))
     }
 
-    fn label(event: Event) -> TransitionLabel {
-        TransitionLabel {
+    fn label(event: Event) -> Arc<TransitionLabel> {
+        Arc::new(TransitionLabel {
             event,
             condition: PathCondition::top(),
             app: "Water-Leak-Detector".into(),
             handler: "h".into(),
             via_reflection: false,
-        }
+        })
     }
 
     #[test]
@@ -319,12 +326,14 @@ mod tests {
         use soteria_lang::BinOp;
         let mut model = two_attr_model();
         let power = SymValue::DeviceAttr { handle: "pm".into(), attribute: "power".into() };
-        let mut high = label(wet_event());
+        let mut high = (*label(wet_event())).clone();
         high.condition =
             PathCondition::top().and(Atom::new(power.clone(), BinOp::Gt, SymValue::number(50)));
-        let mut low = label(wet_event());
+        let high = Arc::new(high);
+        let mut low = (*label(wet_event())).clone();
         low.condition =
             PathCondition::top().and(Atom::new(power, BinOp::Lt, SymValue::number(5)));
+        let low = Arc::new(low);
         model.add_transition(Transition { from: 0, to: 1, label: high });
         model.add_transition(Transition { from: 0, to: 2, label: low });
         assert!(model.nondeterminism().is_empty());

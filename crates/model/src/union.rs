@@ -9,7 +9,7 @@
 
 use crate::builder::LabelInterner;
 use crate::model::{StateModel, Transition, TransitionLabel};
-use crate::schema::{AttrId, ValueId};
+use crate::schema::{AttrId, StateSchema, ValueId};
 use crate::state::AttrKey;
 use soteria_capability::AttributeValue;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -45,7 +45,7 @@ struct LiftedEdge {
     base: usize,
     offset: isize,
     class: usize,
-    label: TransitionLabel,
+    label: std::sync::Arc<TransitionLabel>,
 }
 
 /// Advances `digits` as a mixed-radix odometer over `radices` (last position
@@ -91,9 +91,47 @@ fn digit_combos(radices: &[u8]) -> Vec<Vec<u8>> {
 /// transition block of one partition, and the blocks merge back in enumeration
 /// order — the resulting model is byte-identical at every thread count.
 pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) -> StateModel {
-    // Line 1: the union's states come from the combined attribute domains; attributes
-    // of duplicate devices (same handle + attribute across apps) are merged. A side
-    // set gives O(1) duplicate checks while keeping first-seen value order.
+    let attributes = merged_attributes(models, options);
+    let mut union = StateModel::with_attributes(name, attributes);
+    let uschema = &union.schema;
+    let mut interner = LabelInterner::default();
+    let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
+    let mut lifted: Vec<Transition> = Vec::new();
+    let threads = soteria_exec::resolve_threads(options.threads);
+    // In-stage abort (`soteria_exec::current_abort`): polled once per compiled
+    // edge — each edge enumerates the whole free sub-product, so a G.3-scale
+    // lift observes an abort within one edge's block rather than finishing a
+    // 47k-state union nobody wants. `None` on non-service paths: a dead branch.
+    let abort = soteria_exec::current_abort();
+    let names_unique = unique_names(models);
+
+    // Lines 2–12: iterate over every app's transitions and lift them to the union.
+    for model in models {
+        lift_model(
+            model,
+            uschema,
+            &mut interner,
+            &mut seen,
+            &mut lifted,
+            threads,
+            names_unique,
+            &abort,
+        );
+    }
+    union.transitions = lifted;
+    union
+}
+
+/// Line 1 of Algorithm 2: the union's combined attribute domains. Attributes of
+/// duplicate devices (same handle + attribute across apps) are merged with a
+/// side set for O(1) duplicate checks while keeping first-seen value order;
+/// untouched attributes are pruned per [`UnionOptions`]. Deterministic in the
+/// member models alone, which is what lets [`union_models_delta`] validate a
+/// cached base model by comparing this map against `base.attributes`.
+fn merged_attributes(
+    models: &[&StateModel],
+    options: &UnionOptions,
+) -> BTreeMap<AttrKey, Vec<AttributeValue>> {
     let mut attributes: BTreeMap<AttrKey, Vec<AttributeValue>> = BTreeMap::new();
     let mut known: HashMap<AttrKey, HashSet<AttributeValue>> = HashMap::new();
     for model in models {
@@ -107,35 +145,42 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
             }
         }
     }
-
     let product: usize = attributes.values().map(|d| d.len().max(1)).product();
     if options.prune_untouched_attributes || product > options.max_states {
         let touched = touched_union_keys(models);
         attributes.retain(|k, _| touched.contains(k));
     }
+    attributes
+}
 
-    let mut union = StateModel::with_attributes(name, attributes);
-    let uschema = &union.schema;
-    let mut interner = LabelInterner::default();
-    let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
-    let mut lifted: Vec<Transition> = Vec::new();
-    let threads = soteria_exec::resolve_threads(options.threads);
-    // In-stage abort (`soteria_exec::current_abort`): polled once per compiled
-    // edge — each edge enumerates the whole free sub-product, so a G.3-scale
-    // lift observes an abort within one edge's block rather than finishing a
-    // 47k-state union nobody wants. `None` on non-service paths: a dead branch.
-    let abort = soteria_exec::current_abort();
-    // Dedup classes embed the contributing app's name, so lifts from models with
-    // distinct names can never collide — the cross-model `seen` filter only has
-    // work to do when the same app appears twice in the union.
-    let names_unique = {
-        let mut names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
-        names.sort_unstable();
-        names.windows(2).all(|w| w[0] != w[1])
-    };
+/// True when no two models share a name. Dedup classes embed the contributing
+/// app's name, so lifts from models with distinct names can never collide —
+/// the cross-model `seen` filter only has work to do when the same app appears
+/// twice in the union.
+fn unique_names(models: &[&StateModel]) -> bool {
+    let mut names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+    names.sort_unstable();
+    names.windows(2).all(|w| w[0] != w[1])
+}
 
-    // Lines 2–12: iterate over every app's transitions and lift them to the union.
-    for model in models {
+/// Lifts one member model's transitions into the union schema, appending its
+/// block to `lifted` in the canonical enumeration order (transition-major, free
+/// sub-product minor). Factored out of [`union_models`] so
+/// [`union_models_delta`] can re-lift exactly one member; both callers feed the
+/// same arguments, so a block produced here is byte-identical wherever it is
+/// produced.
+#[allow(clippy::too_many_arguments)]
+fn lift_model(
+    model: &StateModel,
+    uschema: &StateSchema,
+    interner: &mut LabelInterner,
+    seen: &mut HashSet<(usize, usize, usize)>,
+    lifted: &mut Vec<Transition>,
+    threads: usize,
+    names_unique: bool,
+    abort: &Option<soteria_exec::AbortHandle>,
+) {
+    {
         let aschema = &model.schema;
         // App attribute -> union attribute (None when pruned from the union), and app
         // value digit -> union value digit (union domains are supersets, so mapped
@@ -192,13 +237,13 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
                     offset += (ud as isize - vd as isize) * stride as isize;
                 }
             }
-            let label = TransitionLabel {
+            let label = std::sync::Arc::new(TransitionLabel {
                 event: t.label.event.clone(),
                 condition: t.label.condition.clone(),
                 app: model.name.clone(),
                 handler: t.label.handler.clone(),
                 via_reflection: t.label.via_reflection,
-            };
+            });
             let class = *label_class.entry(&t.label).or_insert_with(|| {
                 interner.class_of(
                     &t.label.event,
@@ -309,8 +354,101 @@ pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) 
             }
         }
     }
-    union.transitions = lifted;
-    union
+}
+
+/// Rebuilds the union model after a single member changed, re-lifting only that
+/// member and splicing every other member's transition block from the cached
+/// `base` — the incremental half of ROADMAP item 3. Returns `None` whenever the
+/// delta path cannot guarantee byte-identity with a from-scratch
+/// [`union_models`] call, in which case the caller falls back to the full
+/// rebuild:
+///
+/// * a member index out of range, or duplicate member names (with duplicates
+///   the shared dedup set couples the members' blocks);
+/// * a changed *attribute domain*: [`merged_attributes`] over the new member
+///   list must equal `base.attributes` exactly — equal domain maps intern to
+///   an identical [`StateSchema`] (same dense ids, radices, and strides), which
+///   is what makes the base's untouched blocks valid in the new union;
+/// * a base whose transitions do not partition into per-member runs (a model
+///   that did not come from `union_models` over these members).
+///
+/// Unlike the from-scratch signature, the delta takes the full member list
+/// (with the *edited* model at `changed_member_idx`), because validating the
+/// schema — and rebuilding on fallback — needs every member, not just the
+/// changed one.
+///
+/// The stride math mirrors the lift itself: a member's block depends only on
+/// the union schema (its own digits fix the constrained positions; the free
+/// sub-product supplies `base + offset` enumeration) and on its own
+/// transitions. Editing member *i* therefore leaves every other block
+/// bit-for-bit unchanged, and the blocks splice in member order — the exact
+/// edge-major order `union_models` emits.
+pub fn union_models_delta(
+    base: &StateModel,
+    members: &[&StateModel],
+    changed_member_idx: usize,
+    options: &UnionOptions,
+) -> Option<StateModel> {
+    if changed_member_idx >= members.len() || !unique_names(members) {
+        return None;
+    }
+    let attributes = merged_attributes(members, options);
+    if attributes != base.attributes {
+        return None;
+    }
+    // Recover the per-member blocks of the base: maximal runs of transitions
+    // labelled with each member's name, in member order. With unique names a
+    // lift emits exactly one contiguous block per member, so the runs must
+    // cover the base's transitions completely.
+    let mut blocks: Vec<(usize, usize)> = Vec::with_capacity(members.len());
+    let mut cursor = 0usize;
+    for member in members {
+        let start = cursor;
+        while cursor < base.transitions.len()
+            && base.transitions[cursor].label.app == member.name
+        {
+            cursor += 1;
+        }
+        blocks.push((start, cursor));
+    }
+    if cursor != base.transitions.len() {
+        return None;
+    }
+
+    let mut union = StateModel::with_attributes(&base.name, attributes);
+    let uschema = &union.schema;
+    // A fresh interner and dedup set are sound here: with unique member names
+    // the shared set never filters across members, and dedup classes only
+    // distinguish labels *within* the one re-lifted member — class ids never
+    // reach the output transitions.
+    let mut interner = LabelInterner::default();
+    let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
+    let mut new_block: Vec<Transition> = Vec::new();
+    let threads = soteria_exec::resolve_threads(options.threads);
+    let abort = soteria_exec::current_abort();
+    lift_model(
+        members[changed_member_idx],
+        uschema,
+        &mut interner,
+        &mut seen,
+        &mut new_block,
+        threads,
+        true,
+        &abort,
+    );
+
+    let (start, end) = blocks[changed_member_idx];
+    let mut transitions =
+        Vec::with_capacity(base.transitions.len() - (end - start) + new_block.len());
+    for (i, &(start, end)) in blocks.iter().enumerate() {
+        if i == changed_member_idx {
+            transitions.append(&mut new_block);
+        } else {
+            transitions.extend_from_slice(&base.transitions[start..end]);
+        }
+    }
+    union.transitions = transitions;
+    Some(union)
 }
 
 /// Attribute keys any app's transitions touch: attributes whose value changes across
@@ -372,13 +510,13 @@ mod tests {
                     new.push(Transition {
                         from: id,
                         to,
-                        label: TransitionLabel {
+                        label: std::sync::Arc::new(TransitionLabel {
                             event: event.clone(),
                             condition: PathCondition::top(),
                             app: name.to_string(),
                             handler: "h".to_string(),
                             via_reflection: false,
-                        },
+                        }),
                     });
                 }
             }
@@ -532,6 +670,130 @@ mod tests {
         );
         assert_eq!(parallel.transitions, sequential.transitions);
         assert_eq!(sequential.transition_count(), 1 << 13);
+    }
+
+    #[test]
+    fn delta_union_is_byte_identical_to_from_scratch() {
+        let smoke_alarm = mini_model(
+            "Smoke-Alarm",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        let app1 = mini_model(
+            "App1",
+            &[("sw", "switch", &["off", "on"]), ("location", "mode", &["away", "home"])],
+            &[(switch_on_event(), "location", "mode", "home")],
+        );
+        let app2 = mini_model(
+            "App2",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "off")],
+        );
+        let options = UnionOptions::default();
+        let members = [&smoke_alarm, &app1, &app2];
+        let base = union_models("G", &members, &options);
+        // Edit each member in turn to a same-domain variant and compare the
+        // delta against a from-scratch rebuild.
+        let edited = [
+            mini_model(
+                "Smoke-Alarm",
+                &[("sw", "switch", &["off", "on"])],
+                &[(smoke_event(), "sw", "switch", "off")],
+            ),
+            mini_model(
+                "App1",
+                &[("sw", "switch", &["off", "on"]), ("location", "mode", &["away", "home"])],
+                &[
+                    (switch_on_event(), "location", "mode", "home"),
+                    (smoke_event(), "location", "mode", "away"),
+                ],
+            ),
+            mini_model(
+                "App2",
+                &[("sw", "switch", &["off", "on"])],
+                &[(smoke_event(), "sw", "switch", "on")],
+            ),
+        ];
+        for (idx, new_member) in edited.iter().enumerate() {
+            let mut new_members = members;
+            new_members[idx] = new_member;
+            let scratch = union_models("G", &new_members, &options);
+            let delta = union_models_delta(&base, &new_members, idx, &options)
+                .expect("same-domain edit must take the delta path");
+            assert_eq!(delta.name, scratch.name);
+            assert_eq!(delta.attributes, scratch.attributes);
+            assert_eq!(delta.transitions, scratch.transitions, "edited member {idx}");
+        }
+    }
+
+    #[test]
+    fn delta_union_matches_across_the_parallel_lift_threshold() {
+        // "Wide" gives the changed member a 4096-state free sub-product per edge,
+        // so the re-lift inside the delta takes the partitioned path when
+        // threads > 1 — the spliced output must not depend on that.
+        let narrow = mini_model(
+            "Narrow",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        let wide_attrs: Vec<(String, String)> =
+            (0..12).map(|i| (format!("w{i}"), "switch".to_string())).collect();
+        let wide_attr_refs: Vec<(&str, &str, &[&str])> =
+            wide_attrs.iter().map(|(h, a)| (h.as_str(), a.as_str(), &["off", "on"][..])).collect();
+        let wide = mini_model("Wide", &wide_attr_refs, &[]);
+        let edited = mini_model(
+            "Narrow",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "off")],
+        );
+        for threads in [1, 2, 4] {
+            let options = UnionOptions {
+                prune_untouched_attributes: false,
+                threads,
+                ..UnionOptions::default()
+            };
+            let base = union_models("G", &[&narrow, &wide], &options);
+            let scratch = union_models("G", &[&edited, &wide], &options);
+            let delta = union_models_delta(&base, &[&edited, &wide], 0, &options)
+                .expect("same-domain edit must take the delta path");
+            assert_eq!(delta.transitions, scratch.transitions, "threads = {threads}");
+            assert_eq!(delta.state_count(), scratch.state_count());
+        }
+    }
+
+    #[test]
+    fn delta_union_falls_back_when_identity_cannot_be_guaranteed() {
+        let smoke_alarm = mini_model(
+            "Smoke-Alarm",
+            &[("sw", "switch", &["off", "on"])],
+            &[(smoke_event(), "sw", "switch", "on")],
+        );
+        let app1 = mini_model(
+            "App1",
+            &[("sw", "switch", &["off", "on"]), ("location", "mode", &["away", "home"])],
+            &[(switch_on_event(), "location", "mode", "home")],
+        );
+        let options = UnionOptions::default();
+        let base = union_models("G", &[&smoke_alarm, &app1], &options);
+        // Out-of-range member index.
+        assert!(union_models_delta(&base, &[&smoke_alarm, &app1], 2, &options).is_none());
+        // Duplicate member names couple the dedup blocks.
+        assert!(
+            union_models_delta(&base, &[&smoke_alarm, &smoke_alarm], 0, &options).is_none()
+        );
+        // An edit that changes the attribute domain changes the schema: no delta.
+        let widened = mini_model(
+            "App1",
+            &[
+                ("sw", "switch", &["off", "on"]),
+                ("location", "mode", &["away", "home", "night"]),
+            ],
+            &[(switch_on_event(), "location", "mode", "night")],
+        );
+        assert!(union_models_delta(&base, &[&smoke_alarm, &widened], 1, &options).is_none());
+        // A base that is not a union of these members (blocks don't partition).
+        let foreign = union_models("G", &[&app1, &smoke_alarm], &options);
+        assert!(union_models_delta(&foreign, &[&smoke_alarm, &app1], 0, &options).is_none());
     }
 
     #[test]

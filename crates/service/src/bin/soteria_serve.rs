@@ -39,7 +39,9 @@
 //! ticket is settled before the process exits.
 
 use soteria_service::protocol::{self, AppSource, Request};
-use soteria_service::{AdmissionPolicy, AppJob, EnvJob, Service, ServiceOptions};
+use soteria_service::{
+    AdmissionPolicy, AppJob, CacheDisposition, EnvJob, EnvResult, Service, ServiceOptions,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
@@ -47,6 +49,7 @@ use std::sync::mpsc;
 enum PendingOut {
     App(AppJob),
     Env(EnvJob),
+    Update { app: AppJob, envs: Vec<EnvJob> },
     Cancel { name: String, cancelled: bool },
     Stats,
     Faults,
@@ -148,6 +151,19 @@ fn serve(
                         job.disposition(),
                         &job.wait(),
                     ),
+                    PendingOut::Update { app, envs } => {
+                        let environments: Vec<(String, CacheDisposition, EnvResult)> = envs
+                            .iter()
+                            .map(|env| (env.name().to_string(), env.disposition(), env.wait()))
+                            .collect();
+                        protocol::update_response(
+                            index,
+                            app.name(),
+                            app.disposition(),
+                            &app.wait(),
+                            &environments,
+                        )
+                    }
                     PendingOut::Cancel { name, cancelled } => {
                         protocol::cancel_response(index, &name, cancelled)
                     }
@@ -190,6 +206,18 @@ fn serve(
                         Err(error) => PendingOut::Error(error.to_string()),
                     }
                 }
+                Ok(Some(Request::Update { name, source })) => match resolve_source(source)
+                    .and_then(|text| service.resubmit(&name, &text).map_err(|e| e.to_string()))
+                {
+                    Ok((app, envs)) => {
+                        live.track_app(&app);
+                        for env in &envs {
+                            live.track_env(env);
+                        }
+                        PendingOut::Update { app, envs }
+                    }
+                    Err(error) => PendingOut::Error(error),
+                },
                 Ok(Some(Request::Cancel { name })) => {
                     let cancelled = live.cancel(&name);
                     PendingOut::Cancel { name, cancelled }
@@ -312,10 +340,44 @@ fn run_smoke(service: &Service) {
         );
     }
 
+    // (3) The `update` verb: resubmit one member with a semantically identical
+    // source (an appended newline changes the content key, not the model) and
+    // check the resident group re-verifies through the incremental path with a
+    // report identical to the cold full analysis, modulo measured timings.
+    let wld = apps
+        .iter()
+        .find(|(id, _)| *id == "WaterLeakDetector")
+        .map(|(_, source)| *source)
+        .expect("running example present");
+    let update_request = format!(
+        "update WaterLeakDetector inline:{}\n",
+        protocol::escape(&format!("{wld}\n"))
+    );
+    let mut update_out = Vec::new();
+    serve(update_request.as_bytes(), &mut update_out, service, false).expect("serve pass");
+    let update_line = String::from_utf8(update_out).expect("utf-8 responses");
+    let update = JsonValue::parse(update_line.trim()).expect("update response parses");
+    assert_eq!(update.get("kind").and_then(|v| v.as_str()), Some("update"));
+    assert_eq!(update.get("status").and_then(|v| v.as_str()), Some("ok"));
+    let groups =
+        update.get("environments").and_then(|v| v.as_array()).expect("environments array");
+    assert_eq!(groups.len(), 1, "one resident group contains the updated member");
+    assert_eq!(groups[0].get("name").and_then(|v| v.as_str()), Some("RunningGroup"));
+    assert_eq!(groups[0].get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert_eq!(
+        strip_timings(groups[0].get("report").expect("updated env report")),
+        strip_timings(env_response.get("report").expect("env report")),
+        "incremental re-verification diverges from the cold analysis"
+    );
+    assert!(
+        service.stats().env_incremental >= 1,
+        "update did not route through the incremental path"
+    );
+
     let stats = service.stats();
     println!(
-        "soteria-serve smoke: OK ({} apps + 1 env served twice; warm pass all hits; \
-         cache: {} hits / {} misses; {} pool tasks on {} workers)",
+        "soteria-serve smoke: OK ({} apps + 1 env served twice + 1 incremental update; \
+         warm pass all hits; cache: {} hits / {} misses; {} pool tasks on {} workers)",
         apps.len(),
         stats.app_cache.hits + stats.env_cache.hits,
         stats.app_cache.misses + stats.env_cache.misses,

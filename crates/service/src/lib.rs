@@ -264,6 +264,70 @@ mod tests {
     }
 
     #[test]
+    fn resubmit_reverifies_resident_groups_incrementally() {
+        // Same definition name and devices as BROKEN_LEAK (so only this
+        // member's transitions change, not the attribute domains), with the
+        // handler fixed: the edit closes the valve instead of opening it.
+        const BROKEN_LEAK: &str = r#"
+            definition(name: "Broken-Leak-Detector", category: "Safety & Security")
+            preferences { section("d") {
+                input "water_sensor", "capability.waterSensor"
+                input "valve_device", "capability.valve"
+            } }
+            def installed() { subscribe(water_sensor, "water.wet", h) }
+            def h(evt) { valve_device.open() }
+        "#;
+        const FIXED_LEAK: &str = r#"
+            definition(name: "Broken-Leak-Detector", category: "Safety & Security")
+            preferences { section("d") {
+                input "water_sensor", "capability.waterSensor"
+                input "valve_device", "capability.valve"
+            } }
+            def installed() { subscribe(water_sensor, "water.wet", h) }
+            def h(evt) { valve_device.close() }
+        "#;
+        let service = service_with_workers(2);
+        let a = submit(&service, "a", WATER_LEAK);
+        let b = submit(&service, "b", BROKEN_LEAK);
+        let cold_env = submit_env(&service, "G", &[a, b]);
+        let cold = cold_env.wait().expect("members parse");
+
+        let (app, envs) = admitted(|| service.resubmit("b", FIXED_LEAK))
+            .unwrap_or_else(|e| panic!("{e}"));
+        app.wait().expect("edited source parses");
+        assert_eq!(envs.len(), 1, "one resident group contains b");
+        assert_eq!(envs[0].name(), "G");
+        let warm = envs[0].wait().expect("members parse");
+        assert_eq!(
+            service.stats().env_incremental,
+            1,
+            "single-member edit did not route through the incremental path"
+        );
+
+        // Byte-identical to analyzing the edited group from scratch — and the
+        // edit is actually visible (the cold run's verdicts differ).
+        let soteria = service.soteria();
+        let direct_a = soteria.analyze_app("a", WATER_LEAK).unwrap();
+        let direct_b = soteria.analyze_app("b", FIXED_LEAK).unwrap();
+        let direct = soteria.analyze_environment("G", &[direct_a, direct_b]);
+        assert_eq!(warm.violations, direct.violations);
+        assert_eq!(
+            soteria::render_environment_report(&warm),
+            soteria::render_environment_report(&direct)
+        );
+        assert_ne!(
+            soteria::render_environment_report(&warm),
+            soteria::render_environment_report(&cold),
+            "edit changed nothing the report can see"
+        );
+
+        // Resubmitting an app no resident group contains touches no environments.
+        let (_, none) = admitted(|| service.resubmit("lone", WATER_LEAK))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
     fn forget_finished_drops_only_completed_jobs_from_the_log() {
         let service = service_with_workers(1);
         submit(&service, "w", WATER_LEAK).wait().expect("parses");

@@ -11,6 +11,7 @@
 //! app <name> path:<file>               # source read from a file
 //! app <name> corpus:<id>              # a built-in corpus app (e.g. SmokeAlarm, App5, TP3)
 //! env <group> <member,member,...>     # union analysis over prior app jobs, by name
+//! update <name> inline:|path:|corpus: # resubmit an edited app + re-verify its groups
 //! cancel <name>                       # cancel an in-flight app or env job, by name
 //! stats                               # service counter snapshot
 //! faults                              # dump the retained fault log
@@ -35,6 +36,8 @@
 //! {"job":8,"kind":"drain","status":"ok","drain":{"settled":...,"completed":...,
 //!                              "failed":...,"cancelled":...,"timed_out":...,"elapsed_ms":...}}
 //! {"job":9,"kind":"sync","status":"ok","settled":...}
+//! {"job":10,"kind":"update","name":...,"status":...,"cache":...,"report":{...},
+//!           "environments":[{"name":...,"status":...,"cache":...,"report":{...}},...]}
 //! ```
 //!
 //! `report` objects are [`soteria::app_analysis_json`] /
@@ -79,6 +82,18 @@ pub enum Request {
         name: String,
         /// Member app job names.
         members: Vec<String>,
+    },
+    /// Resubmit an edited app and incrementally re-verify every resident
+    /// environment group that contains it ([`Service::resubmit`]): the union
+    /// is rebuilt by delta against the group's cached base and the check
+    /// reuses the previous run's satisfaction sets, byte-identically.
+    ///
+    /// [`Service::resubmit`]: crate::Service::resubmit
+    Update {
+        /// The app name being updated (also the member name groups know it by).
+        name: String,
+        /// The edited source location.
+        source: AppSource,
     },
     /// Cancel an in-flight job (app or environment) by its submitted name.
     Cancel {
@@ -157,28 +172,37 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         return Ok(None);
     }
     let (verb, rest) = next_field(line);
+    // `app` and `update` share the `<name> <scheme>:<location>` shape.
+    let name_and_source = |verb: &str, rest: &str| -> Result<(String, AppSource), String> {
+        let (name, rest) = next_field(rest);
+        if name.is_empty() {
+            return Err(format!("{verb}: missing name"));
+        }
+        let name = name.to_string();
+        let location = rest;
+        if location.is_empty() {
+            return Err(format!("{verb}: missing source"));
+        }
+        let source = match location.split_once(':') {
+            Some(("inline", text)) => AppSource::Inline(unescape(text)?),
+            Some(("path", path)) => AppSource::Path(path.to_string()),
+            Some(("corpus", id)) => AppSource::Corpus(id.to_string()),
+            _ => {
+                return Err(format!(
+                    "{verb}: source must be inline:<escaped>, path:<file>, or corpus:<id> (got '{location}')"
+                ))
+            }
+        };
+        Ok((name, source))
+    };
     match verb {
         "app" => {
-            let (name, rest) = next_field(rest);
-            if name.is_empty() {
-                return Err("app: missing name".to_string());
-            }
-            let name = name.to_string();
-            let location = rest;
-            if location.is_empty() {
-                return Err("app: missing source".to_string());
-            }
-            let source = match location.split_once(':') {
-                Some(("inline", text)) => AppSource::Inline(unescape(text)?),
-                Some(("path", path)) => AppSource::Path(path.to_string()),
-                Some(("corpus", id)) => AppSource::Corpus(id.to_string()),
-                _ => {
-                    return Err(format!(
-                        "app: source must be inline:<escaped>, path:<file>, or corpus:<id> (got '{location}')"
-                    ))
-                }
-            };
+            let (name, source) = name_and_source("app", rest)?;
             Ok(Some(Request::App { name, source }))
+        }
+        "update" => {
+            let (name, source) = name_and_source("update", rest)?;
+            Ok(Some(Request::Update { name, source }))
         }
         "env" => {
             let (name, rest) = next_field(rest);
@@ -281,6 +305,43 @@ pub fn env_response(
     JsonValue::object(members)
 }
 
+/// The response line for an `update` request: the resubmitted app's result in
+/// the `app_response` shape, plus one entry per re-verified environment group
+/// (in group-name order) under `"environments"`. An update that touches no
+/// resident group has an empty array.
+pub fn update_response(
+    job: usize,
+    name: &str,
+    disposition: CacheDisposition,
+    result: &AppResult,
+    environments: &[(String, CacheDisposition, EnvResult)],
+) -> JsonValue {
+    let mut members = response_header(job, "update", result_status(result));
+    members.push(("name", JsonValue::string(name)));
+    members.push(("cache", JsonValue::string(disposition.as_str())));
+    match result {
+        Ok(analysis) => members.push(("report", app_analysis_json(analysis))),
+        Err(error) => members.push(("error", JsonValue::string(error.to_string()))),
+    }
+    let groups: Vec<JsonValue> = environments
+        .iter()
+        .map(|(group, disposition, result)| {
+            let mut entry = vec![
+                ("name", JsonValue::string(group.clone())),
+                ("status", JsonValue::string(result_status(result))),
+                ("cache", JsonValue::string(disposition.as_str())),
+            ];
+            match result {
+                Ok(env) => entry.push(("report", environment_json(env))),
+                Err(error) => entry.push(("error", JsonValue::string(error.to_string()))),
+            }
+            JsonValue::object(entry)
+        })
+        .collect();
+    members.push(("environments", JsonValue::Array(groups)));
+    JsonValue::object(members)
+}
+
 /// The response line for a `cancel` request. `cancelled` is whether the request
 /// actually settled a job as cancelled (false: the name is unknown, or the job
 /// already finished — its result response line is/was a normal one).
@@ -316,6 +377,7 @@ pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
             ("tasks_executed", JsonValue::Number(stats.tasks_executed as f64)),
             ("submitted", JsonValue::Number(stats.submitted as f64)),
             ("coalesced", JsonValue::Number(stats.coalesced as f64)),
+            ("env_incremental", JsonValue::Number(stats.env_incremental as f64)),
             ("rejected", JsonValue::Number(stats.rejected as f64)),
             ("cancelled", JsonValue::Number(stats.cancelled as f64)),
             ("timed_out", JsonValue::Number(stats.timed_out as f64)),
@@ -418,6 +480,20 @@ mod tests {
             })
         );
         assert_eq!(
+            parse_request("update wld corpus:SmokeAlarm").unwrap(),
+            Some(Request::Update {
+                name: "wld".into(),
+                source: AppSource::Corpus("SmokeAlarm".into())
+            })
+        );
+        assert_eq!(
+            parse_request("update wld inline:def x() {\\n}").unwrap(),
+            Some(Request::Update {
+                name: "wld".into(),
+                source: AppSource::Inline("def x() {\n}".into())
+            })
+        );
+        assert_eq!(
             parse_request("cancel wld").unwrap(),
             Some(Request::Cancel { name: "wld".into() })
         );
@@ -452,6 +528,9 @@ mod tests {
             "app name file:/x",
             "env G",
             "env",
+            "update",
+            "update name",
+            "update name source-without-scheme",
             "cancel",
             "cancel two names",
             "frobnicate x",
@@ -472,6 +551,26 @@ mod tests {
         let ok = cancel_response(8, "wld", true);
         assert_eq!(ok.get("kind").and_then(|v| v.as_str()), Some("cancel"));
         assert_eq!(ok.get("cancelled"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn update_responses_carry_the_environment_array() {
+        let result: AppResult = Err(JobError::Cancelled);
+        let envs = vec![(
+            "G".to_string(),
+            CacheDisposition::Miss,
+            Err(JobError::MemberFailed { group: "G".into(), member: "wld".into() }),
+        )];
+        let line = update_response(3, "wld", CacheDisposition::Miss, &result, &envs);
+        assert_eq!(line.get("kind").and_then(|v| v.as_str()), Some("update"));
+        assert_eq!(line.get("status").and_then(|v| v.as_str()), Some("cancelled"));
+        let groups = match line.get("environments") {
+            Some(JsonValue::Array(groups)) => groups,
+            other => panic!("expected environments array, got {other:?}"),
+        };
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].get("name").and_then(|v| v.as_str()), Some("G"));
+        assert_eq!(groups[0].get("status").and_then(|v| v.as_str()), Some("error"));
     }
 
     /// A deterministic generator over source-shaped strings: every character

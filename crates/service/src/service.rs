@@ -6,6 +6,7 @@ use crate::cache::{
     app_cache_key, env_cache_key, source_fingerprint, CacheKey, CacheStats, ResultCache,
 };
 use crate::ticket::{PendingJob, Ticket};
+use soteria::checker::SatSnapshot;
 use soteria::{AppAnalysis, EnvironmentAnalysis, Soteria};
 use soteria_exec::{lock_recover, recover, AbortHandle, TaskId, WorkerPool};
 use soteria_lang::ParseError;
@@ -822,6 +823,9 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Submissions that attached to an identical in-flight job.
     pub coalesced: u64,
+    /// Environment jobs routed through the incremental re-verification path
+    /// (delta-union + sat-set reuse against the group's retained base).
+    pub env_incremental: u64,
     /// Submissions rejected with [`ServiceError::QueueFull`].
     pub rejected: u64,
     /// Jobs settled as [`JobError::Cancelled`].
@@ -863,6 +867,20 @@ struct RegistryEntry {
 /// An in-flight environment job's shared ticket and cancellation control.
 type InFlightEnv = (Ticket<EnvResult>, Arc<JobControl>);
 
+/// The incremental-reverification base retained per environment *group name*:
+/// the last successful analysis plus the checker's exported satisfaction sets.
+/// When the group is resubmitted with exactly one member's key changed, the
+/// union is rebuilt by `union_models_delta` against `analysis.union_model` and
+/// the check seeds its memo from `snapshot` — byte-identical to a cold run,
+/// just cheaper (see `Soteria::analyze_environment_incremental`). One entry
+/// per live group name; overwritten on every successful environment job.
+struct EnvBase {
+    member_names: Vec<String>,
+    member_keys: Vec<CacheKey>,
+    analysis: Arc<EnvironmentAnalysis>,
+    snapshot: Arc<SatSnapshot>,
+}
+
 /// The ticket of a watched job, either kind — what the deadline sweeper, the
 /// drain, and the drop path settle when they force an outcome.
 #[derive(Clone)]
@@ -899,6 +917,10 @@ struct ServiceInner {
     /// `env` submissions coalesce instead of running the union twice. Entries
     /// are removed at completion or cancellation.
     envs_in_flight: Mutex<HashMap<u128, InFlightEnv>>,
+    /// Latest successful analysis + sat-set snapshot per environment group
+    /// name, consumed by the incremental re-verification path (see
+    /// [`EnvBase`]). Bounded by distinct group names submitted to the service.
+    env_bases: Mutex<HashMap<String, EnvBase>>,
     /// Every scheduled job not yet terminal, for the deadline sweeper, the
     /// drain, and the drop-settles-everything path. Pruned at every settle.
     watched: Mutex<Vec<Watched>>,
@@ -917,6 +939,7 @@ struct ServiceInner {
     draining: AtomicBool,
     submitted: AtomicU64,
     coalesced: AtomicU64,
+    env_incremental: AtomicU64,
     rejected: AtomicU64,
     cancelled: AtomicU64,
     timed_out: AtomicU64,
@@ -1338,6 +1361,7 @@ impl Service {
             envs: Mutex::new(ResultCache::new(options.cache_capacity)),
             registry: Mutex::new(HashMap::new()),
             envs_in_flight: Mutex::new(HashMap::new()),
+            env_bases: Mutex::new(HashMap::new()),
             watched: Mutex::new(Vec::new()),
             fault_log: Mutex::new(VecDeque::new()),
             strikes: Mutex::new(ResultCache::new(options.cache_capacity)),
@@ -1349,6 +1373,7 @@ impl Service {
             draining: AtomicBool::new(false),
             submitted: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            env_incremental: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
@@ -1726,6 +1751,77 @@ impl Service {
         self.submit_environment(group, &member_jobs)
     }
 
+    /// Resubmits an edited app source and re-verifies every resident
+    /// environment group that contains it (the `update <name>` protocol verb).
+    ///
+    /// The app goes through [`Service::submit_app`] unchanged — coalescing,
+    /// caching, and admission all apply. Then, for every group whose retained
+    /// incremental base ([`EnvBase`]) lists `name` as a member, an environment
+    /// job is submitted over the new app job plus the other members' frozen
+    /// results; `schedule_environment` routes it through the delta-union +
+    /// sat-set-reuse path because exactly one member key changed. Groups with
+    /// a member that is no longer resolvable (evicted from both the registry
+    /// and the app cache) are skipped — their base is unusable anyway — so an
+    /// update never fails on behalf of an unrelated stale group. Environments
+    /// are returned in group-name order.
+    pub fn resubmit(
+        &self,
+        name: &str,
+        source: &str,
+    ) -> Result<(AppJob, Vec<EnvJob>), ServiceError> {
+        let app = self.submit_app(name, source)?;
+        let mut groups: Vec<(String, Vec<String>)> = {
+            let bases = lock_recover(&self.inner.env_bases);
+            bases
+                .iter()
+                .filter(|(_, base)| base.member_names.iter().any(|m| m == name))
+                .map(|(group, base)| (group.clone(), base.member_names.clone()))
+                .collect()
+        };
+        groups.sort();
+        let mut envs = Vec::with_capacity(groups.len());
+        for (group, member_names) in groups {
+            let mut member_jobs = Vec::with_capacity(member_names.len());
+            let mut resolvable = true;
+            let registry = lock_recover(&self.inner.registry);
+            for member in &member_names {
+                if member == name {
+                    member_jobs.push(app.clone());
+                    continue;
+                }
+                // Same resolution as submit_environment_by_names, except an
+                // unresolvable member skips the group instead of failing.
+                let Some(entry) = registry.get(member) else {
+                    resolvable = false;
+                    break;
+                };
+                let ticket = match &entry.ticket {
+                    Some(ticket) => ticket.clone(),
+                    None => match lock_recover(&self.inner.apps).get(entry.key) {
+                        Some(result) => Ticket::fulfilled(result),
+                        None => {
+                            resolvable = false;
+                            break;
+                        }
+                    },
+                };
+                member_jobs.push(AppJob {
+                    name: member.clone(),
+                    key: entry.key,
+                    disposition: CacheDisposition::Hit, // unused for members
+                    ticket,
+                    control: None,
+                    service: Arc::downgrade(&self.inner),
+                });
+            }
+            drop(registry);
+            if resolvable {
+                envs.push(self.submit_environment(&group, &member_jobs)?);
+            }
+        }
+        Ok((app, envs))
+    }
+
     /// Parks the environment job behind its member tickets and enqueues it once
     /// the last one resolves (immediately, if all are already frozen).
     fn schedule_environment(
@@ -1737,10 +1833,12 @@ impl Service {
         control: Arc<JobControl>,
     ) {
         let inner = Arc::clone(&self.inner);
-        let member_handles: Vec<(String, Ticket<AppResult>)> =
-            members.iter().map(|m| (m.name.clone(), m.ticket.clone())).collect();
+        let member_handles: Vec<(String, CacheKey, Ticket<AppResult>)> = members
+            .iter()
+            .map(|m| (m.name.clone(), m.key, m.ticket.clone()))
+            .collect();
         let member_tickets: Vec<Ticket<AppResult>> =
-            member_handles.iter().map(|(_, t)| t.clone()).collect();
+            member_handles.iter().map(|(_, _, t)| t.clone()).collect();
         let task_control = Arc::clone(&control);
         let task = Box::new(move || {
             if !task_control.begin_stage(&inner.admission) {
@@ -1748,7 +1846,7 @@ impl Service {
             }
             let mut analyses: Vec<Arc<AppAnalysis>> =
                 Vec::with_capacity(member_handles.len());
-            for (member, member_ticket) in &member_handles {
+            for (member, _, member_ticket) in &member_handles {
                 // Dependencies resolved before this task was enqueued, so the
                 // wait is a lock-and-read, never a block. A cancelled member
                 // reads Err(Cancelled) here, failing the environment
@@ -1765,16 +1863,83 @@ impl Service {
                     }
                 }
             }
+            // Incremental base: the last successful run of this group name with
+            // the same members in order and exactly one member key differing.
+            // Zero differing keys means the env cache was evicted (rerun cold);
+            // two or more voids the single-edit guarantee the delta union and
+            // sat-set projection rely on.
+            let base = {
+                let bases = lock_recover(&inner.env_bases);
+                bases.get(&group).and_then(|b| {
+                    if b.member_names.len() != member_handles.len()
+                        || b.member_names
+                            .iter()
+                            .zip(&member_handles)
+                            .any(|(n, (m, _, _))| n != m)
+                    {
+                        return None;
+                    }
+                    let mut changed = b
+                        .member_keys
+                        .iter()
+                        .zip(&member_handles)
+                        .enumerate()
+                        .filter(|(_, (k, (_, mk, _)))| *k != mk);
+                    match (changed.next(), changed.next()) {
+                        (Some((idx, _)), None) => Some((
+                            Arc::clone(&b.analysis),
+                            Arc::clone(&b.snapshot),
+                            idx,
+                        )),
+                        _ => None,
+                    }
+                })
+            };
+            if base.is_some() {
+                inner.env_incremental.fetch_add(1, Ordering::Relaxed);
+            }
             // Members stay behind their frozen Arcs — no per-job deep copies.
             let env = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 soteria_exec::with_abort(Some(task_control.abort.clone()), || {
                     let refs: Vec<&AppAnalysis> =
                         analyses.iter().map(Arc::as_ref).collect();
-                    inner.soteria.analyze_environment_refs(&group, &refs)
+                    match &base {
+                        Some((analysis, snapshot, changed)) => inner
+                            .soteria
+                            .analyze_environment_incremental(
+                                &group, &refs, analysis, snapshot, *changed,
+                            ),
+                        None => inner
+                            .soteria
+                            .analyze_environment_with_snapshot(&group, &refs),
+                    }
                 })
             }));
             let result = match env {
-                Ok(env) => Ok(Arc::new(env)),
+                Ok((env, snapshot)) => {
+                    let env = Arc::new(env);
+                    // Retain this run as the next incremental base (before the
+                    // settle, so a resubmit racing the fulfilment never reads a
+                    // base staler than the result it just observed).
+                    if let Some(snapshot) = snapshot {
+                        lock_recover(&inner.env_bases).insert(
+                            group.clone(),
+                            EnvBase {
+                                member_names: member_handles
+                                    .iter()
+                                    .map(|(n, _, _)| n.clone())
+                                    .collect(),
+                                member_keys: member_handles
+                                    .iter()
+                                    .map(|(_, k, _)| *k)
+                                    .collect(),
+                                analysis: Arc::clone(&env),
+                                snapshot: Arc::new(snapshot),
+                            },
+                        );
+                    }
+                    Ok(env)
+                }
                 Err(payload) => {
                     if soteria_exec::is_abort_payload(payload.as_ref()) {
                         return;
@@ -1929,6 +2094,7 @@ impl Service {
             tasks_executed: self.inner.pool.tasks_executed(),
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             coalesced: self.inner.coalesced.load(Ordering::Relaxed),
+            env_incremental: self.inner.env_incremental.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             cancelled: self.inner.cancelled.load(Ordering::Relaxed),
             timed_out: self.inner.timed_out.load(Ordering::Relaxed),

@@ -3,15 +3,49 @@
 use crate::report::{AppAnalysis, EnvironmentAnalysis, IngestedApp};
 use soteria_analysis::{abstract_domains, AnalysisConfig, SymbolicExecutor, TransitionSpec};
 use soteria_capability::CapabilityRegistry;
-use soteria_checker::{check_all_parallel, Ctl, Engine, Kripke};
+use soteria_checker::{
+    check_all_parallel_with, Ctl, Engine, Kripke, ModelChecker, SatSnapshot,
+};
 use soteria_ir::AppIr;
 use soteria_lang::ParseError;
-use soteria_model::{build_state_model, union_models, BuildOptions, StateModel, UnionOptions};
+use soteria_model::{
+    build_state_model, union_models, union_models_delta, BuildOptions, StateModel, Transition,
+    UnionOptions,
+};
 use soteria_properties::{
     applicable_properties, check_general, formula, property_info, AppUnderTest, DeviceContext,
     PropertyId, Violation,
 };
+use std::sync::Arc;
 use std::time::Instant;
+
+/// How an environment analysis builds its union model and runs its checks.
+///
+/// Every mode produces a byte-identical [`EnvironmentAnalysis`]; the modes only
+/// differ in how much work they reuse and whether they export a
+/// [`SatSnapshot`] for the *next* analysis of the same group.
+enum EnvMode<'a> {
+    /// From scratch, property-level parallel check, no snapshot (the batch /
+    /// corpus-sweep path — zero overhead when nobody will re-verify).
+    Batch,
+    /// From scratch on a single memo-sharing checker, exporting its sat sets
+    /// (the service's cold path: first analysis of a resident group).
+    Snapshot,
+    /// One member changed: delta-union against the cached base model, sat-set
+    /// reuse from the cached snapshot, fresh snapshot exported.
+    Incremental {
+        base: &'a EnvironmentAnalysis,
+        snapshot: &'a SatSnapshot,
+        changed_member: usize,
+    },
+}
+
+/// The checking half of [`EnvMode`], passed into `check_specific_on_model`.
+enum CheckMode<'a> {
+    Batch,
+    Snapshot,
+    Reuse { snapshot: &'a SatSnapshot, dirty_prefixes: &'a [String] },
+}
 
 /// The Soteria analyzer (Fig. 3): obtains the IR of an app, constructs its state
 /// model, and performs model checking against the general and app-specific properties,
@@ -183,13 +217,77 @@ impl Soteria {
         group_name: &str,
         apps: &[&AppAnalysis],
     ) -> EnvironmentAnalysis {
+        self.analyze_environment_impl(group_name, apps, EnvMode::Batch).0
+    }
+
+    /// [`Soteria::analyze_environment_refs`] plus a [`SatSnapshot`] of the
+    /// union check's memoized satisfaction sets — the cold half of incremental
+    /// re-verification. The analysis itself is byte-identical to the plain
+    /// call; the snapshot (when the group had checkable properties) is what a
+    /// later [`Soteria::analyze_environment_incremental`] consumes.
+    pub fn analyze_environment_with_snapshot(
+        &self,
+        group_name: &str,
+        apps: &[&AppAnalysis],
+    ) -> (EnvironmentAnalysis, Option<SatSnapshot>) {
+        self.analyze_environment_impl(group_name, apps, EnvMode::Snapshot)
+    }
+
+    /// Re-analyzes an environment after exactly one member changed, reusing a
+    /// cached base: the union model is rebuilt by
+    /// [`union_models_delta`] (re-lifting only the changed member and splicing
+    /// the rest from `base`), and the property check seeds its sat-set memo
+    /// from `snapshot` for every subformula over unchanged members' attributes
+    /// ([`ModelChecker::reuse_from`]). Falls back to full recomputation —
+    /// silently, member by mechanism — whenever a guarantee fails (changed
+    /// attribute domains, unprojectable states), so the result is always
+    /// byte-identical to [`Soteria::analyze_environment_refs`] on the same
+    /// members. Returns the fresh analysis and the next snapshot.
+    pub fn analyze_environment_incremental(
+        &self,
+        group_name: &str,
+        apps: &[&AppAnalysis],
+        base: &EnvironmentAnalysis,
+        snapshot: &SatSnapshot,
+        changed_member: usize,
+    ) -> (EnvironmentAnalysis, Option<SatSnapshot>) {
+        self.analyze_environment_impl(
+            group_name,
+            apps,
+            EnvMode::Incremental { base, snapshot, changed_member },
+        )
+    }
+
+    /// Shared body of the three environment entry points; see [`EnvMode`].
+    fn analyze_environment_impl(
+        &self,
+        group_name: &str,
+        apps: &[&AppAnalysis],
+        mode: EnvMode<'_>,
+    ) -> (EnvironmentAnalysis, Option<SatSnapshot>) {
+        // An out-of-range changed member cannot be incremental; degrade to the
+        // cold snapshot path rather than indexing past the member list.
+        let mode = match mode {
+            EnvMode::Incremental { changed_member, .. } if changed_member >= apps.len() => {
+                EnvMode::Snapshot
+            }
+            m => m,
+        };
         let started = Instant::now();
         let models: Vec<&StateModel> = apps.iter().map(|a| &a.model).collect();
         // Thread the configured worker count into the union lift (Algorithm 2's free
         // sub-product enumeration parallelizes; the result is byte-identical).
         let union_options =
             UnionOptions { threads: self.config.threads, ..UnionOptions::default() };
-        let union_model = union_models(group_name, &models, &union_options);
+        let union_model = match &mode {
+            EnvMode::Incremental { base, changed_member, .. }
+                if base.union_model.name == group_name =>
+            {
+                union_models_delta(&base.union_model, &models, *changed_member, &union_options)
+                    .unwrap_or_else(|| union_models(group_name, &models, &union_options))
+            }
+            _ => union_models(group_name, &models, &union_options),
+        };
         let union_time = started.elapsed();
 
         let verification_started = Instant::now();
@@ -220,14 +318,59 @@ impl Soteria {
                 Some(start)
             })
             .collect();
+        // The changed member's attribute partition: its own attributes' `attr:`
+        // prefixes plus its `by-app:` atom. These atoms are force-marked dirty in
+        // the reuse tier (anything over them recomputes); everything else is
+        // pointwise-verified stable before reuse, so the partition is a work
+        // hint, never a soundness input.
+        let dirty_prefixes: Vec<String> = match &mode {
+            EnvMode::Incremental { changed_member, .. } => {
+                let changed = apps[*changed_member];
+                let mut prefixes: Vec<String> = changed
+                    .model
+                    .attributes
+                    .keys()
+                    .map(|(handle, attribute)| format!("attr:{handle}.{attribute}="))
+                    .collect();
+                prefixes.push(format!("by-app:{}", changed.ir.name));
+                prefixes
+            }
+            _ => Vec::new(),
+        };
+        // Incremental structure reuse: rebuild the union's Kripke structure from
+        // the snapshot's (no-op resubmissions hand back the very same
+        // allocation; single-member edits copy the unchanged members' states)
+        // instead of from scratch. `projectable` reports whether the sat-set
+        // projection onto the rebuilt structure can be total; when it cannot,
+        // the doomed projection attempt is skipped outright (snapshot-only
+        // mode), which changes no verdict — an untotal projection stays cold.
+        let (prebuilt, projectable) = match &mode {
+            EnvMode::Incremental { base, snapshot, changed_member } => incremental_kripke(
+                &union_model,
+                base,
+                snapshot,
+                apps[*changed_member].ir.name.as_str(),
+            ),
+            _ => (None, true),
+        };
+        let check_mode = match &mode {
+            EnvMode::Batch => CheckMode::Batch,
+            EnvMode::Snapshot => CheckMode::Snapshot,
+            EnvMode::Incremental { snapshot, .. } if projectable => {
+                CheckMode::Reuse { snapshot, dirty_prefixes: &dirty_prefixes }
+            }
+            EnvMode::Incremental { .. } => CheckMode::Snapshot,
+        };
         // The union model uses the abstractions already baked into the per-app models;
         // an aggregate abstraction is only needed for FP re-checking, so reuse the
         // first app's (values outside any domain collapse to `other`).
-        violations.extend(self.check_specific_on_model(
+        let (specific, out_snapshot) = self.check_specific_on_model(
             &union_model,
+            prebuilt,
             &ctx,
             &app_names,
             &all_specs,
+            check_mode,
             |kept| {
                 let filtered_models: Vec<StateModel> = apps
                     .iter()
@@ -251,7 +394,8 @@ impl Soteria {
                 let refs: Vec<&StateModel> = filtered_models.iter().collect();
                 union_models(group_name, &refs, &union_options)
             },
-        ));
+        );
+        violations.extend(specific);
         // Individual-app violations are reported by individual analysis; keep only the
         // findings that need the environment (multiple apps involved or not present in
         // any single app's report).
@@ -264,14 +408,17 @@ impl Soteria {
         });
         let verification_time = verification_started.elapsed();
 
-        EnvironmentAnalysis {
-            name: group_name.to_string(),
-            app_names,
-            union_model,
-            violations,
-            union_time,
-            verification_time,
-        }
+        (
+            EnvironmentAnalysis {
+                name: group_name.to_string(),
+                app_names,
+                union_model,
+                violations,
+                union_time,
+                verification_time,
+            },
+            out_snapshot,
+        )
     }
 
     /// Nondeterministic state models are reported as a safety violation (Sec. 4.2).
@@ -304,11 +451,12 @@ impl Soteria {
         ctx: &DeviceContext,
         apps: &[String],
     ) -> Vec<Violation> {
-        self.check_specific_on_model(model, ctx, apps, specs, |kept| {
+        self.check_specific_on_model(model, None, ctx, apps, specs, CheckMode::Batch, |kept| {
             let kept_owned: Vec<TransitionSpec> =
                 kept.iter().map(|&i| specs[i].clone()).collect();
             build_state_model(&model.name, abstraction, &kept_owned, &BuildOptions::default())
         })
+        .0
     }
 
     /// Shared logic for checking P.1–P.30 on a model. `rebuild_without_reflection`
@@ -317,23 +465,30 @@ impl Soteria {
     /// reflection over-approximation can be marked as possible false positives (the
     /// MalIoT App5 case).
     ///
-    /// The applicable formulas are checked as one batch ([`check_all_parallel`]):
-    /// on larger-than-one-word state universes the ~30 properties share cached
-    /// subformula satisfaction sets within a shard, and above the checker's
-    /// `PARALLEL_UNIVERSE` threshold the shards fan out across per-thread checkers
-    /// (small universes recompute — see the checker's `SMALL_UNIVERSE` note); the
-    /// reflection-free re-check batches the failing formulas the same way.
+    /// The applicable formulas are checked as one batch: in [`CheckMode::Batch`]
+    /// via [`check_all_parallel_with`] (on larger-than-one-word state universes
+    /// the ~30 properties share cached subformula satisfaction sets within a
+    /// shard, and above the property threshold the shards fan out across
+    /// per-thread checkers; small universes recompute — see the checker's
+    /// `SMALL_UNIVERSE` note). The snapshot modes run the whole batch on one
+    /// memo-sharing checker instead so its sat sets can be exported (and, in
+    /// [`CheckMode::Reuse`], seeded from the previous check) — the existing
+    /// parallel-identity gate makes the two schedules byte-identical. The
+    /// reflection-free re-check batches the failing formulas the parallel way
+    /// in every mode.
     fn check_specific_on_model(
         &self,
         model: &StateModel,
+        prebuilt: Option<Arc<Kripke>>,
         ctx: &DeviceContext,
         apps: &[String],
         specs: &[TransitionSpec],
+        mode: CheckMode<'_>,
         rebuild_without_reflection: impl Fn(&[usize]) -> StateModel,
-    ) -> Vec<Violation> {
+    ) -> (Vec<Violation>, Option<SatSnapshot>) {
         let applicable = applicable_properties(ctx);
         if applicable.is_empty() {
-            return Vec::new();
+            return (Vec::new(), None);
         }
         let mut ids: Vec<u8> = Vec::new();
         let mut formulas: Vec<Ctl> = Vec::new();
@@ -346,18 +501,54 @@ impl Soteria {
             formulas.push(f);
         }
         if formulas.is_empty() {
-            return Vec::new();
+            return (Vec::new(), None);
         }
-        // Property-level fan-out: the root formulas are independent, so on large
-        // universes they shard across per-thread checkers (each with its own
-        // sat-set memo); small universes run the memoized sequential batch.
-        let kripke = default_initial_kripke(model);
-        let results = check_all_parallel(&kripke, self.engine, &formulas, self.threads());
+        // `prebuilt` (the incremental paths) is byte-identical to this scratch
+        // build by the delta builder's contract; it just skips re-deriving ~50k
+        // states from an unchanged-but-for-one-member model.
+        let kripke: Arc<Kripke> =
+            prebuilt.unwrap_or_else(|| Arc::new(default_initial_kripke(model)));
+        let (results, snapshot) = match mode {
+            CheckMode::Batch => (
+                check_all_parallel_with(
+                    &kripke,
+                    self.engine,
+                    &formulas,
+                    self.threads(),
+                    self.config.property_shard_states,
+                    self.config.fixpoint_shard_states,
+                ),
+                None,
+            ),
+            CheckMode::Snapshot => {
+                let checker = ModelChecker::with_sharding(
+                    &kripke,
+                    self.engine,
+                    self.config.threads,
+                    self.config.fixpoint_shard_states,
+                );
+                let results = checker.check_all(&formulas);
+                let exported = checker.snapshot_with(kripke.clone());
+                (results, Some(exported))
+            }
+            CheckMode::Reuse { snapshot, dirty_prefixes } => {
+                let checker = ModelChecker::with_sharding(
+                    &kripke,
+                    self.engine,
+                    self.config.threads,
+                    self.config.fixpoint_shard_states,
+                )
+                .reuse_from(snapshot, dirty_prefixes);
+                let results = checker.check_all(&formulas);
+                let exported = checker.snapshot_with(kripke.clone());
+                (results, Some(exported))
+            }
+        };
 
         let failing: Vec<usize> =
             (0..results.len()).filter(|&i| !results[i].holds).collect();
         if failing.is_empty() {
-            return Vec::new();
+            return (Vec::new(), snapshot);
         }
         // Re-check the failures on the reflection-free model (built once) to flag
         // possible false positives.
@@ -368,10 +559,17 @@ impl Soteria {
             let k = default_initial_kripke(&m);
             let failing_formulas: Vec<Ctl> =
                 failing.iter().map(|&i| formulas[i].clone()).collect();
-            check_all_parallel(&k, self.engine, &failing_formulas, self.threads())
-                .iter()
-                .map(|r| r.holds)
-                .collect()
+            check_all_parallel_with(
+                &k,
+                self.engine,
+                &failing_formulas,
+                self.threads(),
+                self.config.property_shard_states,
+                self.config.fixpoint_shard_states,
+            )
+            .iter()
+            .map(|r| r.holds)
+            .collect()
         } else {
             vec![false; failing.len()]
         };
@@ -393,7 +591,7 @@ impl Soteria {
             }
             violations.push(violation);
         }
-        violations
+        (violations, snapshot)
     }
 }
 
@@ -406,6 +604,55 @@ pub fn default_initial_kripke(model: &StateModel) -> Kripke {
     // the Kripke id of the default state equals the model's initial state id.
     kripke.initial = vec![model.initial];
     kripke
+}
+
+/// Rebuilds the union's Kripke structure from the snapshot's for the
+/// incremental path, returning `(prebuilt structure, sat-set projection can be
+/// total)`. Three outcomes, in order:
+///
+/// * the rebuilt union equals the base's (a no-op resubmission): the
+///   snapshot's own allocation is handed back, so the checker's reuse tier
+///   resolves on pointer equality;
+/// * the union differs in one member's block: [`Kripke::from_state_model_delta`]
+///   copies every unchanged member's states (byte-identical to a scratch
+///   build); projection is only worth attempting if the changed member's event
+///   states all existed before;
+/// * the delta preconditions fail: `None`, and the caller builds from scratch
+///   exactly as the cold path does.
+fn incremental_kripke(
+    union_model: &StateModel,
+    base: &EnvironmentAnalysis,
+    snapshot: &SatSnapshot,
+    changed_app: &str,
+) -> (Option<Arc<Kripke>>, bool) {
+    let base_kripke = snapshot.kripke();
+    if base_kripke.initial.as_slice() == [union_model.initial]
+        && union_model.name == base.union_model.name
+        && union_model.initial == base.union_model.initial
+        && union_model.attributes == base.union_model.attributes
+        && transitions_equal(&union_model.transitions, &base.union_model.transitions)
+    {
+        return (Some(base_kripke.clone()), true);
+    }
+    match Kripke::from_state_model_delta(base_kripke, union_model, changed_app) {
+        Some((mut kripke, all_in_base)) => {
+            kripke.initial = vec![union_model.initial];
+            (Some(Arc::new(kripke)), all_in_base)
+        }
+        None => (None, true),
+    }
+}
+
+/// Value equality of two transition lists, short-cutting on shared labels: the
+/// delta union splices unchanged members' transitions by `Arc` handle, so for a
+/// no-op resubmission all but one member's block compares by pointer.
+fn transitions_equal(a: &[Transition], b: &[Transition]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.from == y.from
+                && x.to == y.to
+                && (Arc::ptr_eq(&x.label, &y.label) || x.label == y.label)
+        })
 }
 
 #[cfg(test)]
@@ -536,6 +783,50 @@ mod tests {
             assert_eq!(got.violations, want.violations);
             assert_eq!(got.union_model.transitions, want.union_model.transitions);
         }
+    }
+
+    #[test]
+    fn incremental_environment_is_byte_identical_to_batch() {
+        // The same app name and devices as BROKEN_LEAK, with the handler fixed
+        // (close instead of open) — a same-domain single-member edit.
+        let fixed_leak = r#"
+            definition(name: "Broken-Leak-Detector", category: "Safety & Security")
+            preferences { section("d") {
+                input "water_sensor", "capability.waterSensor"
+                input "valve_device", "capability.valve"
+            } }
+            def installed() { subscribe(water_sensor, "water.wet", h) }
+            def h(evt) { valve_device.close() }
+        "#;
+        let soteria = Soteria::new();
+        let a = soteria.analyze_app("wld", WATER_LEAK).unwrap();
+        let b = soteria.analyze_app("broken", BROKEN_LEAK).unwrap();
+        let refs = [&a, &b];
+        let (cold, snapshot) = soteria.analyze_environment_with_snapshot("G", &refs);
+        let batch = soteria.analyze_environment_refs("G", &refs);
+        assert_eq!(cold.violations, batch.violations);
+        assert_eq!(cold.union_model.transitions, batch.union_model.transitions);
+        let snapshot = snapshot.expect("a checkable group exports a snapshot");
+
+        // Edit member 1, re-verify incrementally, and compare to a full rebuild.
+        let edited = soteria.analyze_app("broken", fixed_leak).unwrap();
+        let new_refs = [&a, &edited];
+        let (incremental, next_snapshot) =
+            soteria.analyze_environment_incremental("G", &new_refs, &cold, &snapshot, 1);
+        let scratch = soteria.analyze_environment_refs("G", &new_refs);
+        assert_eq!(incremental.violations, scratch.violations);
+        assert_eq!(incremental.app_names, scratch.app_names);
+        assert_eq!(
+            incremental.union_model.transitions,
+            scratch.union_model.transitions
+        );
+        assert!(next_snapshot.is_some());
+
+        // A no-op "edit" (identical members) exercises the identical-structure
+        // reuse tier and must also reproduce the batch result.
+        let (warm, _) = soteria.analyze_environment_incremental("G", &refs, &cold, &snapshot, 1);
+        assert_eq!(warm.violations, batch.violations);
+        assert_eq!(warm.union_model.transitions, batch.union_model.transitions);
     }
 
     #[test]
