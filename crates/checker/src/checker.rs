@@ -744,8 +744,10 @@ impl<'a> ModelChecker<'a> {
             let locals = soteria_exec::par_map(&ranges, self.shard_threads, |&(lo, hi)| {
                 let mut local = BitSet::empty(n);
                 let mut visits = 0usize;
-                for wi in lo..hi {
-                    let mut word = words[wi];
+                for (wi, &frontier_word) in
+                    words.iter().enumerate().take(hi).skip(lo)
+                {
+                    let mut word = frontier_word;
                     while word != 0 {
                         let s = wi * 64 + word.trailing_zeros() as usize;
                         word &= word - 1;
@@ -874,8 +876,10 @@ impl<'a> ModelChecker<'a> {
             let locals = soteria_exec::par_map(&ranges, self.shard_threads, |&(lo, hi)| {
                 let mut local = BitSet::empty(n);
                 let mut visits = 0usize;
-                for wi in lo..hi {
-                    let mut word = words[wi];
+                for (wi, &frontier_word) in
+                    words.iter().enumerate().take(hi).skip(lo)
+                {
+                    let mut word = frontier_word;
                     while word != 0 {
                         let s = wi * 64 + word.trailing_zeros() as usize;
                         word &= word - 1;

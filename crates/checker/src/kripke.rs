@@ -413,10 +413,8 @@ impl Kripke {
         // fused with the per-state event-label sanity check.
         let (mut cs, mut ce) = (usize::MAX, 0usize);
         for s in q..n_old {
-            let Some(app) = base.incoming_app[s].as_deref() else { return None };
-            if base.incoming_event[s].is_none() {
-                return None;
-            }
+            let app = base.incoming_app[s].as_deref()?;
+            base.incoming_event[s].as_ref()?;
             if app == changed_app {
                 if cs == usize::MAX {
                     (cs, ce) = (s, s + 1);

@@ -28,6 +28,10 @@
 //!   (default 2; `0` disables);
 //! * `--fault-marker S` / `--stall-marker S` — chaos injection for testing:
 //!   app sources containing the marker panic at ingest / stall abortably;
+//! * `--store-dir PATH` — persistent result store: frozen results are written
+//!   through to `PATH` (crash-safe temp+rename with checksum framing) and a
+//!   restarted service restores them from disk instead of recomputing
+//!   (default: `SOTERIA_STORE_DIR`, else memory-only);
 //! * `--smoke` — run the self-check gate instead of serving: pipe the running
 //!   examples through the full protocol, diff every served report against the
 //!   direct `Soteria` API, verify a second pass is served byte-identically
@@ -400,6 +404,9 @@ fn run_cancel_and_backpressure_smoke() {
             workers: 1,
             max_pending: 2,
             admission: AdmissionPolicy::Reject,
+            // Exact-count assertions below; keep the leg memory-only even when
+            // the environment configures a store for the serving process.
+            store_dir: None,
             ..ServiceOptions::default()
         },
     );
@@ -471,6 +478,9 @@ fn run_fault_and_drain_smoke() {
         ServiceOptions {
             workers: 1,
             fault_marker: Some("chaos-panic".to_string()),
+            // The `"faults":2` / `"quarantined":1` assertions are exact; a
+            // store would add its own fault records under injection.
+            store_dir: None,
             ..ServiceOptions::default()
         },
     );
@@ -582,12 +592,17 @@ fn main() {
                 options.stall_marker =
                     Some(args.next().expect("--stall-marker needs a marker string"));
             }
+            "--store-dir" => {
+                options.store_dir =
+                    Some(args.next().expect("--store-dir needs a directory path").into());
+            }
             "--smoke" => smoke = true,
             other => {
                 eprintln!(
                     "unknown flag '{other}' (expected --workers N, --cache N, \
                      --max-pending N, --admission block|reject, --deadline-ms N, \
-                     --quarantine N, --fault-marker S, --stall-marker S, --smoke)"
+                     --quarantine N, --fault-marker S, --stall-marker S, \
+                     --store-dir PATH, --smoke)"
                 );
                 std::process::exit(2);
             }

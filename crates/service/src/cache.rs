@@ -24,7 +24,7 @@ const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 /// FNV-1a 128 over a sequence of length-prefixed chunks. The 8-byte length
 /// prefix keeps chunk boundaries unambiguous (`("ab", "c")` and `("a", "bc")`
 /// hash differently).
-fn fnv128(chunks: &[&[u8]]) -> u128 {
+pub(crate) fn fnv128(chunks: &[&[u8]]) -> u128 {
     let mut hash = FNV128_OFFSET;
     let mut eat = |bytes: &[u8]| {
         for &byte in bytes {
@@ -157,10 +157,12 @@ impl<V: Clone> ResultCache<V> {
     }
 
     /// Inserts (or refreshes) `key`, evicting the least recently used entry if
-    /// the bound would be exceeded. Returns the evicted key, if any, so callers
-    /// keeping per-key side tables (the service's name registry) can drop their
-    /// entries alongside the cache's instead of pinning them forever.
-    pub fn insert(&mut self, key: CacheKey, value: V) -> Option<CacheKey> {
+    /// the bound would be exceeded. Returns the evicted entry, if any, so
+    /// callers keeping per-key side tables (the service's name registry) can
+    /// drop their entries alongside the cache's instead of pinning them
+    /// forever — and so a persistent tier can demote the evicted value to disk
+    /// instead of losing it.
+    pub fn insert(&mut self, key: CacheKey, value: V) -> Option<(CacheKey, V)> {
         self.tick += 1;
         let mut evicted = None;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key.0) {
@@ -170,9 +172,10 @@ impl<V: Clone> ResultCache<V> {
                 .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(k, _)| k)
             {
-                self.entries.remove(&oldest);
-                self.evictions += 1;
-                evicted = Some(CacheKey(oldest));
+                if let Some(old) = self.entries.remove(&oldest) {
+                    self.evictions += 1;
+                    evicted = Some((CacheKey(oldest), old.value));
+                }
             }
         }
         self.entries.insert(key.0, Entry { value, last_used: self.tick });
@@ -239,7 +242,7 @@ mod tests {
         assert_eq!(cache.insert(k(1), 10), None);
         assert_eq!(cache.insert(k(2), 20), None);
         assert_eq!(cache.get(k(1)), Some(10)); // refresh 1: 2 is now oldest
-        assert_eq!(cache.insert(k(3), 30), Some(k(2))); // evicts 2, and says so
+        assert_eq!(cache.insert(k(3), 30), Some((k(2), 20))); // evicts 2, and says so
         assert_eq!(cache.get(k(2)), None);
         assert_eq!(cache.get(k(1)), Some(10));
         assert_eq!(cache.get(k(3)), Some(30));

@@ -1,0 +1,358 @@
+//! Injectable filesystem layer for the persistent store.
+//!
+//! All store I/O goes through the [`FileSystem`] trait so the fault-injection
+//! implementation ([`FaultFs`]) can fail opens, writes, and renames, truncate a
+//! write at an arbitrary offset, corrupt bytes in flight, or report `ENOSPC` —
+//! driving both the unit tests and the chaos CI leg without ever touching a
+//! real broken disk. Production uses [`RealFs`].
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The handful of filesystem operations the persistent store needs. Every
+/// method is fallible; the store's circuit breaker decides what failures mean.
+pub trait FileSystem: Send + Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Durably writes `bytes` to `path`: create/truncate, write, fsync. Callers
+    /// wanting crash atomicity write to a temp path and [`FileSystem::rename`].
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (same directory in store usage).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Creates a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// The names (not paths) of the plain files directly under `path`.
+    fn list_files(&self, path: &Path) -> io::Result<Vec<String>>;
+}
+
+/// The real filesystem. `write` fsyncs the file; `rename` best-effort fsyncs
+/// the parent directory so the rename itself is durable, not just atomic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl FileSystem for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        // Durability of the rename needs the directory entry flushed too; not
+        // every platform lets you open a directory, so this stays best-effort.
+        if let Some(parent) = to.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn list_files(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// What a [`FaultFs`] does to one filesystem operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass the operation through untouched.
+    Allow,
+    /// Fail with a generic injected I/O error.
+    FailIo,
+    /// Fail with `ENOSPC` (disk full).
+    FailEnospc,
+    /// On a write: persist only the first `n` bytes (clamped to the payload
+    /// length; `usize::MAX` means "half the payload") and report success — a
+    /// torn write. On any other operation: [`FaultAction::FailIo`].
+    TruncateWrite(usize),
+    /// On a write: XOR the byte at `offset` (clamped into range; `usize::MAX`
+    /// means "the middle byte") with `xor` and report success — silent
+    /// corruption. On any other operation: [`FaultAction::FailIo`].
+    CorruptWrite {
+        /// Byte offset to damage.
+        offset: usize,
+        /// XOR mask applied to that byte (`0` is a no-op; use a non-zero mask).
+        xor: u8,
+    },
+}
+
+/// The rotation the periodic chaos mode cycles through.
+const CHAOS_ROTATION: [FaultAction; 4] = [
+    FaultAction::FailIo,
+    FaultAction::TruncateWrite(usize::MAX),
+    FaultAction::FailEnospc,
+    FaultAction::CorruptWrite { offset: usize::MAX, xor: 0x41 },
+];
+
+/// A fault-injecting [`FileSystem`] wrapper.
+///
+/// Two sources of faults, checked in order per operation:
+///
+/// 1. a scripted plan — tests [`FaultFs::push`] exact actions, consumed FIFO;
+/// 2. a deterministic periodic mode (`every=N`, parsed from
+///    `SOTERIA_STORE_FAULTS` by [`FaultFs::from_spec`]) — every Nth operation
+///    fails with the next action from a fixed rotation (I/O error, torn write,
+///    `ENOSPC`, corrupt write).
+///
+/// Both are deterministic per instance: the op counter, not wall-clock or
+/// randomness, decides what fails.
+pub struct FaultFs {
+    inner: Arc<dyn FileSystem>,
+    plan: Mutex<VecDeque<FaultAction>>,
+    every: u64,
+    ops: AtomicU64,
+}
+
+impl std::fmt::Debug for FaultFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultFs")
+            .field("every", &self.every)
+            .field("ops", &self.ops.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultFs {
+    /// Wraps `inner` with no faults planned (script them with [`FaultFs::push`]).
+    pub fn new(inner: Arc<dyn FileSystem>) -> Self {
+        FaultFs { inner, plan: Mutex::new(VecDeque::new()), every: 0, ops: AtomicU64::new(0) }
+    }
+
+    /// Wraps the real filesystem with a periodic chaos spec: `"every=N"` fails
+    /// every Nth operation with a rotating fault kind. `None` if the spec does
+    /// not parse (or `N` is `0`).
+    pub fn from_spec(spec: &str) -> Option<Self> {
+        let every: u64 = spec.trim().strip_prefix("every=")?.parse().ok()?;
+        if every == 0 {
+            return None;
+        }
+        Some(FaultFs { every, ..FaultFs::new(Arc::new(RealFs)) })
+    }
+
+    /// Queues the next scripted action (consumed FIFO, one per operation).
+    pub fn push(&self, action: FaultAction) {
+        self.plan.lock().unwrap_or_else(|e| e.into_inner()).push_back(action);
+    }
+
+    /// Queues `n` consecutive generic I/O failures.
+    pub fn fail_next(&self, n: usize) {
+        for _ in 0..n {
+            self.push(FaultAction::FailIo);
+        }
+    }
+
+    fn next_action(&self) -> FaultAction {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(action) =
+            self.plan.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        {
+            return action;
+        }
+        if self.every > 0 && op.is_multiple_of(self.every) {
+            let slot = ((op / self.every - 1) % CHAOS_ROTATION.len() as u64) as usize;
+            return CHAOS_ROTATION[slot];
+        }
+        FaultAction::Allow
+    }
+
+    fn injected() -> io::Error {
+        io::Error::other("injected store fault")
+    }
+
+    fn enospc() -> io::Error {
+        io::Error::from_raw_os_error(28) // ENOSPC
+    }
+
+    /// Resolves the action for a non-write operation (write-shaped actions
+    /// degrade to a generic failure so the rotation still bites).
+    fn gate(&self) -> io::Result<()> {
+        match self.next_action() {
+            FaultAction::Allow => Ok(()),
+            FaultAction::FailEnospc => Err(Self::enospc()),
+            FaultAction::FailIo
+            | FaultAction::TruncateWrite(_)
+            | FaultAction::CorruptWrite { .. } => Err(Self::injected()),
+        }
+    }
+}
+
+impl FileSystem for FaultFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.next_action() {
+            FaultAction::Allow => self.inner.write(path, bytes),
+            FaultAction::FailIo => Err(Self::injected()),
+            FaultAction::FailEnospc => Err(Self::enospc()),
+            FaultAction::TruncateWrite(n) => {
+                let len = if n == usize::MAX { bytes.len() / 2 } else { n.min(bytes.len()) };
+                self.inner.write(path, &bytes[..len])
+            }
+            FaultAction::CorruptWrite { offset, xor } => {
+                let mut damaged = bytes.to_vec();
+                if !damaged.is_empty() {
+                    let at = if offset == usize::MAX {
+                        damaged.len() / 2
+                    } else {
+                        offset.min(damaged.len() - 1)
+                    };
+                    damaged[at] ^= xor;
+                }
+                self.inner.write(path, &damaged)
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_files(&self, path: &Path) -> io::Result<Vec<String>> {
+        self.gate()?;
+        self.inner.list_files(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::path::PathBuf;
+
+    /// An in-memory filesystem for exercising the fault wrapper without disk.
+    #[derive(Default)]
+    struct MemFs {
+        files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+    }
+
+    impl FileSystem for MemFs {
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            self.files
+                .lock()
+                .unwrap()
+                .get(path)
+                .cloned()
+                .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            self.files.lock().unwrap().insert(path.to_path_buf(), bytes.to_vec());
+            Ok(())
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            let mut files = self.files.lock().unwrap();
+            let bytes = files
+                .remove(from)
+                .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))?;
+            files.insert(to.to_path_buf(), bytes);
+            Ok(())
+        }
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            self.files
+                .lock()
+                .unwrap()
+                .remove(path)
+                .map(|_| ())
+                .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))
+        }
+        fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn list_files(&self, _path: &Path) -> io::Result<Vec<String>> {
+            Ok(Vec::new())
+        }
+    }
+
+    #[test]
+    fn scripted_actions_fire_in_order_then_allow() {
+        let fs = FaultFs::new(Arc::new(MemFs::default()));
+        fs.push(FaultAction::FailIo);
+        fs.push(FaultAction::FailEnospc);
+        let p = Path::new("x");
+        assert!(fs.write(p, b"abc").is_err());
+        let err = fs.write(p, b"abc").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert!(fs.write(p, b"abc").is_ok());
+        assert_eq!(fs.read(p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn torn_and_corrupt_writes_report_success_but_damage_bytes() {
+        let fs = FaultFs::new(Arc::new(MemFs::default()));
+        let p = Path::new("x");
+        fs.push(FaultAction::TruncateWrite(2));
+        assert!(fs.write(p, b"abcdef").is_ok());
+        assert_eq!(fs.read(p).unwrap(), b"ab");
+        fs.push(FaultAction::CorruptWrite { offset: 1, xor: 0xff });
+        assert!(fs.write(p, b"abc").is_ok());
+        assert_eq!(fs.read(p).unwrap(), [b'a', b'b' ^ 0xff, b'c']);
+    }
+
+    #[test]
+    fn periodic_spec_fails_every_nth_op_deterministically() {
+        assert!(FaultFs::from_spec("every=0").is_none());
+        assert!(FaultFs::from_spec("nonsense").is_none());
+        assert_eq!(FaultFs::from_spec(" every=7 ").map(|f| f.every), Some(7));
+
+        // every=3 over 12 writes: ops 3/6/9/12 fire the rotation — I/O error,
+        // torn write, ENOSPC, corrupt write. Each is either an Err or silent
+        // byte damage; the other 8 writes land intact.
+        let fs = FaultFs { every: 3, ..FaultFs::new(Arc::new(MemFs::default())) };
+        let path = Path::new("y");
+        let mut injected = 0;
+        for _ in 0..12 {
+            let ok = fs.write(path, b"0123456789").is_ok();
+            let damaged =
+                fs.inner.read(path).map(|b| b != b"0123456789").unwrap_or(true);
+            if !ok || damaged {
+                injected += 1;
+            }
+            // Reset content so damage detection stays per-operation.
+            fs.inner.write(path, b"0123456789").unwrap();
+        }
+        assert_eq!(injected, 4, "every=3 over 12 ops injects exactly 4 faults");
+    }
+}

@@ -42,6 +42,18 @@
 //!   aborting a *running* stage at its next poll point instead of letting it
 //!   finish; [`Service::drain`] closes admission and settles every outstanding
 //!   ticket exactly once for graceful shutdown.
+//! * **Crash-safe persistent result store** — with
+//!   [`ServiceOptions::store_dir`] (or [`STORE_DIR_ENV`]) set, finished
+//!   results are durably written through to a content-addressed on-disk tier
+//!   ([`store`]): every write is temp-file + fsync + atomic rename, every
+//!   entry carries a length + checksum footer, and a restarted service —
+//!   killed cleanly or not — restores prior results byte-identically instead
+//!   of recomputing them. Torn, truncated, or bit-flipped entries are
+//!   detected, quarantined, and transparently recomputed; repeated I/O errors
+//!   trip a breaker that degrades the service to memory-only and probes to
+//!   re-enable. All store I/O runs behind the injectable [`fs::FileSystem`]
+//!   trait, whose [`fs::FaultFs`] implementation injects failures, torn
+//!   writes, corruption, and ENOSPC for the fault tests and CI chaos legs.
 //!
 //! Determinism is inherited, not re-proven: each job's analysis is the same pure
 //! function the batch path runs, so pooled + streamed + cached results are
@@ -78,16 +90,23 @@
 //! ```
 
 pub mod cache;
+pub mod fs;
 pub mod protocol;
 mod service;
+pub mod store;
 mod ticket;
 
 pub use cache::{app_cache_key, env_cache_key, source_fingerprint, CacheKey, CacheStats};
+pub use fs::{FaultAction, FaultFs, FileSystem, RealFs};
 pub use service::{
     AdmissionPolicy, AppJob, AppResult, CacheDisposition, Cancellable, CancelOnDrop,
     DrainReport, EnvJob, EnvResult, FaultKind, FaultRecord, JobError, JobHandle, JobOutcome,
     Service, ServiceError, ServiceOptions, ServiceStats, ADMISSION_ENV, DEADLINE_ENV,
-    MAX_PENDING_ENV,
+    FAULT_LOG_ENV, MAX_PENDING_ENV, STORE_DIR_ENV, STORE_FAULTS_ENV,
+};
+pub use store::{
+    frame_entry, parse_entry, EntryError, PersistentStore, StoreBucket, StoreStats,
+    StoreTuning,
 };
 pub use ticket::Ticket;
 
@@ -249,10 +268,17 @@ mod tests {
         assert!(env.wait().is_ok());
         // If the frozen result is evicted, the name goes with it: the registry
         // drops bare-key entries alongside their cache entries, so the member
-        // is simply unknown again (no dangling name promising a result).
+        // is simply unknown again (no dangling name promising a result). The
+        // store is pinned off — with a disk tier the eviction would demote
+        // instead (tests/persistent_store.rs covers that side).
         let tiny = Service::new(
             Soteria::with_config(AnalysisConfig { threads: 1, ..AnalysisConfig::paper() }),
-            ServiceOptions { workers: 1, cache_capacity: 1, ..ServiceOptions::default() },
+            ServiceOptions {
+                workers: 1,
+                cache_capacity: 1,
+                store_dir: None,
+                ..ServiceOptions::default()
+            },
         );
         submit(&tiny, "a", WATER_LEAK).wait().expect("parses");
         submit(&tiny, "b", SMOKE_ON).wait().expect("parses"); // evicts a (and its name)

@@ -49,6 +49,12 @@
 //! under `--admission reject` is an `error` response whose message starts with
 //! `queue full`; one rejected by the input quarantine has a message starting
 //! with `'<name>' is quarantined`.
+//!
+//! When the service runs with a persistent store (`--store-dir`), the `stats`
+//! object carries an extra `"store"` member with the disk-tier counters
+//! (`disk_hits`, `disk_misses`, `writes`, `corrupt_quarantined`, `read_errors`,
+//! `write_errors`, `degraded_events`, `recoveries`, `degraded`, `app_entries`,
+//! `env_entries`). Memory-only runs omit it entirely.
 
 use crate::service::{
     AppResult, CacheDisposition, DrainReport, EnvResult, FaultRecord, JobError, ServiceStats,
@@ -369,27 +375,45 @@ pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
             ("entries", JsonValue::uint(c.entries)),
         ])
     };
-    let mut members = response_header(job, "stats", "ok");
-    members.push((
-        "stats",
+    // The persistent store block is present only when a store is configured,
+    // so memory-only deployments keep byte-identical stats lines.
+    let store = stats.store.map(|s| {
         JsonValue::object([
-            ("workers", JsonValue::uint(stats.workers)),
-            ("tasks_executed", JsonValue::Number(stats.tasks_executed as f64)),
-            ("submitted", JsonValue::Number(stats.submitted as f64)),
-            ("coalesced", JsonValue::Number(stats.coalesced as f64)),
-            ("env_incremental", JsonValue::Number(stats.env_incremental as f64)),
-            ("rejected", JsonValue::Number(stats.rejected as f64)),
-            ("cancelled", JsonValue::Number(stats.cancelled as f64)),
-            ("timed_out", JsonValue::Number(stats.timed_out as f64)),
-            ("quarantined", JsonValue::Number(stats.quarantined as f64)),
-            ("faults", JsonValue::Number(stats.faults as f64)),
-            ("draining", JsonValue::Bool(stats.draining)),
-            ("pending", JsonValue::uint(stats.pending)),
-            ("registry_entries", JsonValue::uint(stats.registry_entries)),
-            ("app_cache", cache(stats.app_cache)),
-            ("env_cache", cache(stats.env_cache)),
-        ]),
-    ));
+            ("disk_hits", JsonValue::Number(s.disk_hits as f64)),
+            ("disk_misses", JsonValue::Number(s.disk_misses as f64)),
+            ("writes", JsonValue::Number(s.writes as f64)),
+            ("corrupt_quarantined", JsonValue::Number(s.corrupt_quarantined as f64)),
+            ("read_errors", JsonValue::Number(s.read_errors as f64)),
+            ("write_errors", JsonValue::Number(s.write_errors as f64)),
+            ("degraded_events", JsonValue::Number(s.degraded_events as f64)),
+            ("recoveries", JsonValue::Number(s.recoveries as f64)),
+            ("degraded", JsonValue::Bool(s.degraded)),
+            ("app_entries", JsonValue::uint(s.app_entries)),
+            ("env_entries", JsonValue::uint(s.env_entries)),
+        ])
+    });
+    let mut body = vec![
+        ("workers", JsonValue::uint(stats.workers)),
+        ("tasks_executed", JsonValue::Number(stats.tasks_executed as f64)),
+        ("submitted", JsonValue::Number(stats.submitted as f64)),
+        ("coalesced", JsonValue::Number(stats.coalesced as f64)),
+        ("env_incremental", JsonValue::Number(stats.env_incremental as f64)),
+        ("rejected", JsonValue::Number(stats.rejected as f64)),
+        ("cancelled", JsonValue::Number(stats.cancelled as f64)),
+        ("timed_out", JsonValue::Number(stats.timed_out as f64)),
+        ("quarantined", JsonValue::Number(stats.quarantined as f64)),
+        ("faults", JsonValue::Number(stats.faults as f64)),
+        ("draining", JsonValue::Bool(stats.draining)),
+        ("pending", JsonValue::uint(stats.pending)),
+        ("registry_entries", JsonValue::uint(stats.registry_entries)),
+        ("app_cache", cache(stats.app_cache)),
+        ("env_cache", cache(stats.env_cache)),
+    ];
+    if let Some(store) = store {
+        body.push(("store", store));
+    }
+    let mut members = response_header(job, "stats", "ok");
+    members.push(("stats", JsonValue::object(body)));
     JsonValue::object(members)
 }
 

@@ -5,7 +5,9 @@
 use crate::cache::{
     app_cache_key, env_cache_key, source_fingerprint, CacheKey, CacheStats, ResultCache,
 };
+use crate::store::{PersistentStore, StoreBucket, StoreStats};
 use crate::ticket::{PendingJob, Ticket};
+use soteria::JsonValue;
 use soteria::checker::SatSnapshot;
 use soteria::{AppAnalysis, EnvironmentAnalysis, Soteria};
 use soteria_exec::{lock_recover, recover, AbortHandle, TaskId, WorkerPool};
@@ -117,14 +119,24 @@ pub enum FaultKind {
     /// A deadline (per-job or drain) auto-cancelled the job. Never counts
     /// toward quarantine — slowness is a property of load, not of the input.
     Timeout,
+    /// The persistent store hit repeated I/O errors and degraded to
+    /// memory-only. Never counts toward quarantine — a sick disk says nothing
+    /// about the input.
+    Io,
+    /// A persistent-store entry failed its checksum or validation and was
+    /// quarantined to the sidecar directory (then transparently recomputed).
+    /// Never counts toward input quarantine.
+    Corrupt,
 }
 
 impl FaultKind {
-    /// Lower-case protocol tag (`"panic"` / `"timeout"`).
+    /// Lower-case protocol tag (`"panic"` / `"timeout"` / `"io"` / `"corrupt"`).
     pub fn as_str(self) -> &'static str {
         match self {
             FaultKind::Panic => "panic",
             FaultKind::Timeout => "timeout",
+            FaultKind::Io => "io",
+            FaultKind::Corrupt => "corrupt",
         }
     }
 }
@@ -143,9 +155,9 @@ pub struct FaultRecord {
     /// name*, which is how quarantine recognises it. For environments it is the
     /// group's cache key (membership is the content).
     pub key: CacheKey,
-    /// The pipeline stage that failed (`"ingest"`, `"verify"`, `"environment"`)
-    /// or the state the job was in when its deadline fired (`"parked"`,
-    /// `"queued"`, `"running"`).
+    /// The pipeline stage that failed (`"ingest"`, `"verify"`, `"environment"`),
+    /// the state the job was in when its deadline fired (`"parked"`,
+    /// `"queued"`, `"running"`), or `"store"` for persistent-tier faults.
     pub stage: &'static str,
     /// Panic or timeout.
     pub kind: FaultKind,
@@ -153,8 +165,10 @@ pub struct FaultRecord {
     pub message: String,
 }
 
-/// Fault log retention bound: the log keeps the most recent entries only (the
-/// `seq` field stays monotonic across evictions, so observers can detect gaps).
+/// Default fault-log retention bound (overridable via
+/// [`ServiceOptions::fault_log_capacity`] / `SOTERIA_FAULT_LOG`): the log keeps
+/// the most recent entries only (the `seq` field stays monotonic across
+/// evictions, so observers can detect gaps).
 const FAULT_LOG_CAP: usize = 256;
 
 /// Extracts a printable message from a caught panic payload.
@@ -715,9 +729,20 @@ pub const ADMISSION_ENV: &str = "SOTERIA_ADMISSION";
 /// [`ServiceOptions::running_deadline`] (`0` or unset = no deadlines). How CI
 /// runs a tiny-deadline chaos leg over the whole service suite.
 pub const DEADLINE_ENV: &str = "SOTERIA_DEADLINE_MS";
+/// The environment variable behind [`ServiceOptions::store_dir`]'s default: a
+/// directory path enabling the persistent result store.
+pub const STORE_DIR_ENV: &str = "SOTERIA_STORE_DIR";
+/// The environment variable behind [`ServiceOptions::fault_log_capacity`]'s
+/// default: how many [`FaultRecord`]s the bounded fault log retains.
+pub const FAULT_LOG_ENV: &str = "SOTERIA_FAULT_LOG";
+/// The environment variable selecting persistent-store chaos: a
+/// [`FaultFs`](crate::fs::FaultFs) spec (`every=N`) wrapped around the real
+/// filesystem when [`ServiceOptions::store_dir`] is set. How CI runs the
+/// service suites with I/O fault injection enabled.
+pub const STORE_FAULTS_ENV: &str = "SOTERIA_STORE_FAULTS";
 
 /// Service configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceOptions {
     /// Long-lived worker threads (`0` = the analyzer's resolved thread count:
     /// `AnalysisConfig::threads`, then `SOTERIA_THREADS`, then available
@@ -758,6 +783,41 @@ pub struct ServiceOptions {
     /// aborted or a safety cap elapses. Makes deadline and drain behaviour
     /// deterministically testable. `None` in production.
     pub stall_marker: Option<String>,
+    /// Root directory of the persistent result store (`None` = memory-only).
+    /// When set, finished app/environment results are durably written beneath
+    /// the in-memory caches, eviction demotes to disk instead of dropping, and
+    /// a restarted service warm-starts from the same directory.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// The filesystem the store runs on (`None` = the real one). Tests inject
+    /// [`FaultFs`](crate::fs::FaultFs) here; [`STORE_FAULTS_ENV`] does the same
+    /// from the environment.
+    pub store_fs: Option<Arc<dyn crate::fs::FileSystem>>,
+    /// Store retry/breaker tuning (`None` = [`StoreTuning::default`]).
+    pub store_tuning: Option<crate::store::StoreTuning>,
+    /// Bound on the retained fault log ([`FAULT_LOG_ENV`]; default 256), so
+    /// long soak runs with injected I/O faults can keep a deeper history
+    /// instead of silently wrapping.
+    pub fault_log_capacity: usize,
+}
+
+impl fmt::Debug for ServiceOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceOptions")
+            .field("workers", &self.workers)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("max_pending", &self.max_pending)
+            .field("admission", &self.admission)
+            .field("pending_deadline", &self.pending_deadline)
+            .field("running_deadline", &self.running_deadline)
+            .field("quarantine_threshold", &self.quarantine_threshold)
+            .field("fault_marker", &self.fault_marker)
+            .field("stall_marker", &self.stall_marker)
+            .field("store_dir", &self.store_dir)
+            .field("store_fs", &self.store_fs.as_ref().map(|_| "<injected>"))
+            .field("store_tuning", &self.store_tuning)
+            .field("fault_log_capacity", &self.fault_log_capacity)
+            .finish()
+    }
 }
 
 impl Default for ServiceOptions {
@@ -779,6 +839,20 @@ impl Default for ServiceOptions {
             .and_then(|v| v.trim().parse::<u64>().ok())
             .filter(|&ms| ms > 0)
             .map(Duration::from_millis);
+        let store_dir = std::env::var(STORE_DIR_ENV)
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from);
+        let store_fs: Option<Arc<dyn crate::fs::FileSystem>> = std::env::var(STORE_FAULTS_ENV)
+            .ok()
+            .and_then(|spec| crate::fs::FaultFs::from_spec(&spec))
+            .map(|fs| Arc::new(fs) as Arc<dyn crate::fs::FileSystem>);
+        let fault_log_capacity = std::env::var(FAULT_LOG_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(FAULT_LOG_CAP);
         ServiceOptions {
             workers: 0,
             cache_capacity: 1024,
@@ -789,6 +863,10 @@ impl Default for ServiceOptions {
             quarantine_threshold: 2,
             fault_marker: None,
             stall_marker: None,
+            store_dir,
+            store_fs,
+            store_tuning: None,
+            fault_log_capacity,
         }
     }
 }
@@ -850,6 +928,8 @@ pub struct ServiceStats {
     pub app_cache: CacheStats,
     /// Environment result cache counters.
     pub env_cache: CacheStats,
+    /// Persistent store counters (`None` = memory-only, no store configured).
+    pub store: Option<StoreStats>,
 }
 
 /// The latest submission under one app name. While the job is in flight the
@@ -924,8 +1004,15 @@ struct ServiceInner {
     /// Every scheduled job not yet terminal, for the deadline sweeper, the
     /// drain, and the drop-settles-everything path. Pruned at every settle.
     watched: Mutex<Vec<Watched>>,
-    /// The most recent [`FAULT_LOG_CAP`] fault records.
+    /// The persistent disk tier beneath the result caches (`None` =
+    /// memory-only). Finished results are written through on completion,
+    /// eviction demotes instead of dropping, and misses consult it before
+    /// computing.
+    store: Option<PersistentStore>,
+    /// The most recent [`ServiceOptions::fault_log_capacity`] fault records.
     fault_log: Mutex<VecDeque<FaultRecord>>,
+    /// Bound on `fault_log`.
+    fault_log_capacity: usize,
     /// Panic strikes per content fingerprint, LRU-bounded like the result
     /// caches so adversarial key churn cannot grow it without bound.
     strikes: Mutex<ResultCache<u32>>,
@@ -972,8 +1059,11 @@ impl ServiceInner {
             // The cache owns the frozen result now; stop pinning it via the name
             // registry (unless a newer submission already replaced the entry), and
             // drop the bare keys of whatever the insert evicted — a name must never
-            // outlive its frozen result. All before fulfilling, so a waiter that
-            // wakes up observes a consistent registry.
+            // promise an unresolvable result. With the disk tier enabled the
+            // eviction is a *demotion*: successful results were written through
+            // at completion, so a still-stored key stays resolvable (and keeps
+            // its bare names) through the store. All before fulfilling, so a
+            // waiter that wakes up observes a consistent registry.
             let mut registry = lock_recover(&self.registry);
             if let Some(entry) = registry.get_mut(name) {
                 if entry.key == key {
@@ -981,8 +1071,15 @@ impl ServiceInner {
                     entry.control = None;
                 }
             }
-            if let Some(evicted) = evicted {
-                registry.retain(|_, entry| entry.ticket.is_some() || entry.key != evicted);
+            if let Some((evicted_key, _)) = evicted {
+                let demoted = self
+                    .store
+                    .as_ref()
+                    .is_some_and(|s| s.contains(StoreBucket::Apps, evicted_key));
+                if !demoted {
+                    registry
+                        .retain(|_, entry| entry.ticket.is_some() || entry.key != evicted_key);
+                }
             }
             drop(registry);
         } else {
@@ -1030,7 +1127,7 @@ impl ServiceInner {
         let record =
             FaultRecord { seq, name: name.to_string(), key, stage, kind, message };
         let mut log = lock_recover(&self.fault_log);
-        if log.len() >= FAULT_LOG_CAP {
+        if log.len() >= self.fault_log_capacity {
             log.pop_front();
         }
         log.push_back(record);
@@ -1054,6 +1151,167 @@ impl ServiceInner {
             return Err(ServiceError::Quarantined { name: name.to_string(), strikes });
         }
         Ok(())
+    }
+
+    /// Appends the persistent store's buffered faults (breaker degrades,
+    /// quarantined entries) to the main fault log. Store faults never count
+    /// quarantine strikes — they blame the disk, not the submitted content —
+    /// and carry no submitted name, so the record's name is empty and its
+    /// stage is `"store"`.
+    fn drain_store_faults(&self) {
+        let Some(store) = &self.store else { return };
+        for fault in store.take_faults() {
+            let key = fault.key.unwrap_or(CacheKey(0));
+            self.record_fault("", key, "store", fault.kind, fault.message);
+        }
+    }
+
+    /// Write-through: durably persists a finished app analysis (when the disk
+    /// tier is enabled), so a restart — even an unclean one — warm-starts from
+    /// it and an LRU eviction demotes instead of dropping. Failures degrade
+    /// into the store's own breaker accounting; the analysis is unaffected.
+    fn persist_app(&self, key: CacheKey, name: &str, source: &str, analysis: &AppAnalysis) {
+        if let Some(store) = &self.store {
+            store.save(StoreBucket::Apps, key, &soteria::app_store_json(name, source, analysis));
+            self.drain_store_faults();
+        }
+    }
+
+    /// Write-through for a finished environment analysis. The payload embeds
+    /// its own content address (`env_key`): unlike an app record — whose key is
+    /// recomputable from the stored name and source — an environment's key
+    /// derives from its member *app keys*, which the record does not carry, so
+    /// the embedded copy is what ties the payload to its filename on restore.
+    fn persist_env(&self, key: CacheKey, env: &EnvironmentAnalysis) {
+        if let Some(store) = &self.store {
+            let payload = JsonValue::object([
+                ("env_key", JsonValue::string(key.to_string())),
+                ("record", soteria::env_store_json(env)),
+            ]);
+            store.save(StoreBucket::Envs, key, &payload);
+            self.drain_store_faults();
+        }
+    }
+
+    /// Attempts to serve an app miss from the disk tier: load (checksum
+    /// already validated by the store), decode, *re-verify the content
+    /// address* against the stored name and source, and deterministically
+    /// rebuild the full analysis — re-running extraction and attaching the
+    /// stored verdicts, skipping verification. Any mismatch, decode failure,
+    /// or panic quarantines the entry and returns `None`, falling back to a
+    /// fresh computation: a damaged store costs a recompute, never a wrong
+    /// answer.
+    fn restore_app_from_disk(&self, key: CacheKey) -> Option<Arc<AppAnalysis>> {
+        let store = self.store.as_ref()?;
+        let value = store.load(StoreBucket::Apps, key)?;
+        let restored = soteria::app_from_store_json(&value)
+            .filter(|stored| {
+                app_cache_key(
+                    &stored.name,
+                    &stored.source,
+                    self.config_fingerprint,
+                    &self.engine_tag,
+                ) == key
+            })
+            .and_then(|stored| {
+                // Extraction is deterministic and the address proves it
+                // succeeded on this exact content once — but a panic here must
+                // degrade to recomputing, never kill the worker.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.soteria.restore_app_analysis(stored).ok()
+                }))
+                .ok()
+                .flatten()
+            });
+        let result = match restored {
+            Some(analysis) => {
+                store.note_restored();
+                Some(Arc::new(analysis))
+            }
+            None => {
+                store.quarantine(
+                    StoreBucket::Apps,
+                    key,
+                    "payload does not decode to this key's app record",
+                );
+                None
+            }
+        };
+        self.drain_store_faults();
+        result
+    }
+
+    /// Attempts to serve an environment miss from the disk tier, given the
+    /// already-resolved member analyses. The embedded `env_key` must match the
+    /// filename's address, the group and member names must match the
+    /// submission, and the union is rebuilt from the *live* members (it is
+    /// never stored) with the stored verdicts attached — so a swapped or
+    /// stale payload is rejected, never rendered.
+    fn restore_env_from_disk(
+        &self,
+        key: CacheKey,
+        group: &str,
+        members: &[Arc<AppAnalysis>],
+    ) -> Option<Arc<EnvironmentAnalysis>> {
+        let store = self.store.as_ref()?;
+        let value = store.load(StoreBucket::Envs, key)?;
+        let restored = (|| {
+            let recorded = u128::from_str_radix(value.get("env_key")?.as_str()?, 16).ok()?;
+            if recorded != key.0 {
+                return None;
+            }
+            let stored = soteria::env_from_store_json(value.get("record")?)?;
+            if stored.name != group {
+                return None;
+            }
+            let refs: Vec<&AppAnalysis> = members.iter().map(Arc::as_ref).collect();
+            if stored.app_names.len() != refs.len()
+                || stored.app_names.iter().zip(&refs).any(|(n, a)| *n != a.ir.name)
+            {
+                return None;
+            }
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.soteria.restore_environment(stored, &refs)
+            }))
+            .ok()
+        })();
+        let result = match restored {
+            Some(env) => {
+                store.note_restored();
+                Some(Arc::new(env))
+            }
+            None => {
+                store.quarantine(
+                    StoreBucket::Envs,
+                    key,
+                    "payload does not decode to this key's environment record",
+                );
+                None
+            }
+        };
+        self.drain_store_faults();
+        result
+    }
+
+    /// Resolves an evicted member's frozen result through the disk tier and
+    /// promotes it back into the in-memory cache (which may demote something
+    /// else). How a registry bare key outlives its LRU slot. Must not be
+    /// called with the registry lock held.
+    fn promote_app_from_disk(&self, key: CacheKey) -> Option<AppResult> {
+        let analysis = self.restore_app_from_disk(key)?;
+        let result: AppResult = Ok(analysis);
+        let evicted = lock_recover(&self.apps).insert(key, result.clone());
+        if let Some((evicted_key, _)) = evicted {
+            let demoted = self
+                .store
+                .as_ref()
+                .is_some_and(|s| s.contains(StoreBucket::Apps, evicted_key));
+            if !demoted {
+                lock_recover(&self.registry)
+                    .retain(|_, entry| entry.ticket.is_some() || entry.key != evicted_key);
+            }
+        }
+        Some(result)
     }
 
     /// Chaos hooks for the ingest stage, driven by the test-only markers:
@@ -1352,6 +1610,13 @@ impl Service {
     pub fn new(soteria: Soteria, options: ServiceOptions) -> Self {
         let workers =
             if options.workers > 0 { options.workers } else { soteria.threads() };
+        let store = options.store_dir.as_deref().map(|dir| {
+            let fs = options.store_fs.clone().unwrap_or_else(|| {
+                Arc::new(crate::fs::RealFs) as Arc<dyn crate::fs::FileSystem>
+            });
+            let tuning = options.store_tuning.clone().unwrap_or_default();
+            PersistentStore::open(dir, fs, tuning)
+        });
         let inner = ServiceInner {
             engine_tag: format!("{:?}", soteria.engine),
             config_fingerprint: soteria.config.fingerprint(),
@@ -1363,7 +1628,9 @@ impl Service {
             envs_in_flight: Mutex::new(HashMap::new()),
             env_bases: Mutex::new(HashMap::new()),
             watched: Mutex::new(Vec::new()),
+            store,
             fault_log: Mutex::new(VecDeque::new()),
+            fault_log_capacity: options.fault_log_capacity.max(1),
             strikes: Mutex::new(ResultCache::new(options.cache_capacity)),
             quarantine_threshold: options.quarantine_threshold,
             pending_deadline: options.pending_deadline,
@@ -1382,6 +1649,9 @@ impl Service {
             soteria,
         };
         let inner = Arc::new(inner);
+        // Surface any faults the store buffered while opening (a failed
+        // directory creation or warm scan) in the service's own log.
+        inner.drain_store_faults();
         let sweeper = Sweeper::spawn(&inner);
         Service { inner, submissions: Mutex::new(Vec::new()), sweeper }
     }
@@ -1552,6 +1822,15 @@ impl Service {
             if !task_control.begin_stage(&inner.admission) {
                 return; // cancelled while queued; the ticket is already settled
             }
+            // Disk tier first: a validated stored record rebuilds the full
+            // analysis without a verify stage. A miss (or any damage — which
+            // quarantines and recomputes) falls through to the normal
+            // pipeline. Chaos markers are unaffected: a source that panics at
+            // ingest never produced a record to restore.
+            if let Some(analysis) = inner.restore_app_from_disk(key) {
+                inner.settle_app(&task_control, &name, key, &ticket, Ok(analysis));
+                return;
+            }
             // Panics are job failures, not worker deaths: an unfulfilled ticket
             // would wedge drain() and every later serve response forever. The
             // job's abort handle is installed around the stage body so the
@@ -1594,6 +1873,7 @@ impl Service {
                     let verify_control = Arc::clone(&task_control);
                     let verify_ticket = ticket.clone();
                     let verify_name = name.clone();
+                    let verify_source = source;
                     let id = inner.pool.spawn(move || {
                         if !verify_control.begin_stage(&verify_inner.admission) {
                             return;
@@ -1607,7 +1887,18 @@ impl Service {
                             }),
                         );
                         let result = match analysis {
-                            Ok(analysis) => Ok(Arc::new(analysis)),
+                            Ok(analysis) => {
+                                // Write-through before settling: even an
+                                // unclean death right after the response
+                                // leaves the result durably restorable.
+                                verify_inner.persist_app(
+                                    key,
+                                    &verify_name,
+                                    &verify_source,
+                                    &analysis,
+                                );
+                                Ok(Arc::new(analysis))
+                            }
                             Err(payload) => {
                                 if soteria_exec::is_abort_payload(payload.as_ref()) {
                                     return;
@@ -1713,33 +2004,48 @@ impl Service {
     /// Submits an environment whose members are named app jobs already submitted
     /// to this service (the `soteria-serve` protocol shape). Fails fast on a
     /// member name that was never submitted (or whose job was cancelled), or
-    /// whose frozen result has since been evicted from the cache (resubmit the
-    /// app to reanalyze it).
+    /// whose frozen result has since been evicted from the cache *and* is not
+    /// restorable from the disk tier (resubmit the app to reanalyze it).
     pub fn submit_environment_by_names(
         &self,
         group: &str,
         members: &[&str],
     ) -> Result<EnvJob, ServiceError> {
-        let registry = lock_recover(&self.inner.registry);
-        let member_jobs: Vec<AppJob> = members
-            .iter()
-            .map(|&member| {
-                let entry = registry
-                    .get(member)
-                    .ok_or_else(|| ServiceError::UnknownMember(member.to_string()))?;
-                let ticket = match &entry.ticket {
-                    Some(ticket) => ticket.clone(), // still in flight
+        // Snapshot the registry first, then resolve frozen results without the
+        // lock — a disk-tier promotion re-enters the registry to demote.
+        let resolved: Vec<(String, CacheKey, Option<Ticket<AppResult>>)> = {
+            let registry = lock_recover(&self.inner.registry);
+            members
+                .iter()
+                .map(|&member| {
+                    let entry = registry
+                        .get(member)
+                        .ok_or_else(|| ServiceError::UnknownMember(member.to_string()))?;
+                    Ok((member.to_string(), entry.key, entry.ticket.clone()))
+                })
+                .collect::<Result<_, ServiceError>>()?
+        };
+        let member_jobs: Vec<AppJob> = resolved
+            .into_iter()
+            .map(|(member, key, ticket)| {
+                let ticket = match ticket {
+                    Some(ticket) => ticket, // still in flight
                     None => {
-                        // Frozen: rebuild a fulfilled ticket from the cache.
-                        let result = lock_recover(&self.inner.apps)
-                            .get(entry.key)
-                            .ok_or_else(|| ServiceError::EvictedMember(member.to_string()))?;
+                        // Frozen: rebuild a fulfilled ticket from the cache,
+                        // falling back to the disk tier for demoted entries.
+                        // Two statements on purpose: the cache guard is a
+                        // temporary that would otherwise live through the
+                        // promotion, which re-locks the cache to insert.
+                        let cached = lock_recover(&self.inner.apps).get(key);
+                        let result = cached
+                            .or_else(|| self.inner.promote_app_from_disk(key))
+                            .ok_or_else(|| ServiceError::EvictedMember(member.clone()))?;
                         Ticket::fulfilled(result)
                     }
                 };
                 Ok(AppJob {
-                    name: member.to_string(),
-                    key: entry.key,
+                    name: member,
+                    key,
                     disposition: CacheDisposition::Hit, // unused for members
                     ticket,
                     control: None, // members are not cancellable through the env
@@ -1747,7 +2053,6 @@ impl Service {
                 })
             })
             .collect::<Result<_, ServiceError>>()?;
-        drop(registry);
         self.submit_environment(group, &member_jobs)
     }
 
@@ -1781,40 +2086,59 @@ impl Service {
         groups.sort();
         let mut envs = Vec::with_capacity(groups.len());
         for (group, member_names) in groups {
-            let mut member_jobs = Vec::with_capacity(member_names.len());
+            // Same resolution as submit_environment_by_names — snapshot the
+            // registry, then resolve (with the disk-tier fallback) unlocked —
+            // except an unresolvable member skips the group instead of failing.
+            // name, key, and the frozen ticket (None = the edited app itself).
+            type ResolvedMember = (String, CacheKey, Option<Ticket<AppResult>>);
+            let plan: Option<Vec<ResolvedMember>> = {
+                let registry = lock_recover(&self.inner.registry);
+                member_names
+                    .iter()
+                    .map(|member| {
+                        if member == name {
+                            return Some((member.clone(), app.key, None));
+                        }
+                        registry
+                            .get(member)
+                            .map(|entry| (member.clone(), entry.key, entry.ticket.clone()))
+                    })
+                    .collect()
+            };
+            let Some(plan) = plan else { continue };
+            let mut member_jobs = Vec::with_capacity(plan.len());
             let mut resolvable = true;
-            let registry = lock_recover(&self.inner.registry);
-            for member in &member_names {
+            for (member, key, ticket) in plan {
                 if member == name {
                     member_jobs.push(app.clone());
                     continue;
                 }
-                // Same resolution as submit_environment_by_names, except an
-                // unresolvable member skips the group instead of failing.
-                let Some(entry) = registry.get(member) else {
-                    resolvable = false;
-                    break;
-                };
-                let ticket = match &entry.ticket {
-                    Some(ticket) => ticket.clone(),
-                    None => match lock_recover(&self.inner.apps).get(entry.key) {
-                        Some(result) => Ticket::fulfilled(result),
-                        None => {
-                            resolvable = false;
-                            break;
+                let ticket = match ticket {
+                    Some(ticket) => ticket,
+                    None => {
+                        // Guard dropped before the promotion re-locks the
+                        // cache (see submit_environment_by_names).
+                        let cached = lock_recover(&self.inner.apps).get(key);
+                        let frozen =
+                            cached.or_else(|| self.inner.promote_app_from_disk(key));
+                        match frozen {
+                            Some(result) => Ticket::fulfilled(result),
+                            None => {
+                                resolvable = false;
+                                break;
+                            }
                         }
-                    },
+                    }
                 };
                 member_jobs.push(AppJob {
-                    name: member.clone(),
-                    key: entry.key,
+                    name: member,
+                    key,
                     disposition: CacheDisposition::Hit, // unused for members
                     ticket,
                     control: None,
                     service: Arc::downgrade(&self.inner),
                 });
             }
-            drop(registry);
             if resolvable {
                 envs.push(self.submit_environment(&group, &member_jobs)?);
             }
@@ -1862,6 +2186,16 @@ impl Service {
                         return;
                     }
                 }
+            }
+            // Disk tier first: a validated stored record rebuilds the union
+            // from the live member analyses (the union model is never stored)
+            // and attaches the stored verdicts, skipping verification. No
+            // incremental base is retained for a restored run — the first
+            // *edited* resubmission after a warm start runs cold, then
+            // re-seeds the base. Damage quarantines and falls through.
+            if let Some(env) = inner.restore_env_from_disk(key, &group, &analyses) {
+                inner.settle_env(&task_control, key, &ticket, Ok(env));
+                return;
             }
             // Incremental base: the last successful run of this group name with
             // the same members in order and exactly one member key differing.
@@ -1938,6 +2272,8 @@ impl Service {
                             },
                         );
                     }
+                    // Write-through before settling (see `persist_app`).
+                    inner.persist_env(key, &env);
                     Ok(env)
                 }
                 Err(payload) => {
@@ -2089,6 +2425,9 @@ impl Service {
     /// Counter snapshot (cache hit/miss/eviction, pool throughput, coalescing,
     /// backpressure, cancellation, and the fault layer).
     pub fn stats(&self) -> ServiceStats {
+        // Fold any store faults not yet drained by an operation into the
+        // counters first, so `faults` and the log agree with the snapshot.
+        self.inner.drain_store_faults();
         ServiceStats {
             workers: self.inner.pool.workers(),
             tasks_executed: self.inner.pool.tasks_executed(),
@@ -2105,7 +2444,13 @@ impl Service {
             registry_entries: lock_recover(&self.inner.registry).len(),
             app_cache: lock_recover(&self.inner.apps).stats(),
             env_cache: lock_recover(&self.inner.envs).stats(),
+            store: self.inner.store.as_ref().map(PersistentStore::stats),
         }
+    }
+
+    /// The persistent store's root directory, when one is configured.
+    pub fn store_dir(&self) -> Option<&std::path::Path> {
+        self.inner.store.as_ref().map(PersistentStore::root)
     }
 }
 

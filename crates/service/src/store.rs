@@ -1,0 +1,738 @@
+//! Crash-safe persistent result store: the on-disk tier beneath the in-memory
+//! [`ResultCache`](crate::cache::ResultCache).
+//!
+//! Layout: one file per FNV-128 cache key — `<root>/apps/<key:032x>.json`,
+//! `<root>/envs/<key:032x>.json` — plus a `<root>/quarantine/` sidecar for
+//! entries that failed validation. Every write is crash-safe (temp file +
+//! fsync + same-directory atomic rename), and every entry is framed with a
+//! length + checksum footer so torn writes, truncation, and bit flips are
+//! *detected* on read: a bad entry is quarantined, counted, and transparently
+//! recomputed by the service — never returned.
+//!
+//! The store is an optimization, never a dependency: repeated I/O errors trip
+//! a circuit breaker (bounded retries with backoff, then degrade to
+//! memory-only with a fault record, periodically probing to re-enable), so a
+//! sick disk costs warm starts, not availability.
+
+use crate::cache::{fnv128, CacheKey};
+use crate::fs::FileSystem;
+use crate::service::FaultKind;
+use soteria::JsonValue;
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Magic string anchoring the entry footer (versioned: bump on format change).
+const FOOTER_MAGIC: &str = "#SOTSTOR1";
+/// Footer: `"\n#SOTSTOR1 <len:016x> <fnv:032x>\n"`.
+const FOOTER_LEN: usize = 1 + FOOTER_MAGIC.len() + 1 + 16 + 1 + 32 + 1;
+
+/// Frames a store payload: the payload bytes followed by a fixed-size footer
+/// carrying the payload length and its FNV-128 checksum. [`parse_entry`] is
+/// the inverse; any torn write, truncation, or bit flip breaks at least one of
+/// magic, length, or checksum.
+pub fn frame_entry(payload: &[u8]) -> Vec<u8> {
+    let checksum = fnv128(&[payload]);
+    let mut framed = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    framed.extend_from_slice(payload);
+    framed.extend_from_slice(
+        format!("\n{FOOTER_MAGIC} {:016x} {checksum:032x}\n", payload.len()).as_bytes(),
+    );
+    framed
+}
+
+/// Why a framed entry was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryError {
+    /// Shorter than a footer — truncated before any payload survived.
+    TooShort,
+    /// The footer magic is absent or damaged.
+    BadMagic,
+    /// The footer's recorded length disagrees with the actual payload length.
+    LengthMismatch,
+    /// The payload's checksum disagrees with the footer's.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for EntryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EntryError::TooShort => "entry truncated below footer size",
+            EntryError::BadMagic => "entry footer magic damaged",
+            EntryError::LengthMismatch => "entry length mismatch",
+            EntryError::ChecksumMismatch => "entry checksum mismatch",
+        })
+    }
+}
+
+/// Validates a framed entry and returns the payload slice. Errors instead of
+/// panicking on *any* malformed input — a store that is read back after an
+/// unclean death treats damage as an expected input, not an exception.
+pub fn parse_entry(bytes: &[u8]) -> Result<&[u8], EntryError> {
+    if bytes.len() < FOOTER_LEN {
+        return Err(EntryError::TooShort);
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    let footer = std::str::from_utf8(footer).map_err(|_| EntryError::BadMagic)?;
+    let body = footer
+        .strip_prefix('\n')
+        .and_then(|f| f.strip_suffix('\n'))
+        .and_then(|f| f.strip_prefix(FOOTER_MAGIC))
+        .and_then(|f| f.strip_prefix(' '))
+        .ok_or(EntryError::BadMagic)?;
+    let (len_hex, checksum_hex) = body.split_at(16);
+    let checksum_hex = checksum_hex.strip_prefix(' ').ok_or(EntryError::BadMagic)?;
+    let len = u64::from_str_radix(len_hex, 16).map_err(|_| EntryError::BadMagic)?;
+    let checksum =
+        u128::from_str_radix(checksum_hex, 16).map_err(|_| EntryError::BadMagic)?;
+    if len != payload.len() as u64 {
+        return Err(EntryError::LengthMismatch);
+    }
+    if checksum != fnv128(&[payload]) {
+        return Err(EntryError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// Which keyspace an entry lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreBucket {
+    /// App analyses.
+    Apps,
+    /// Environment analyses.
+    Envs,
+}
+
+impl StoreBucket {
+    fn dir_name(self) -> &'static str {
+        match self {
+            StoreBucket::Apps => "apps",
+            StoreBucket::Envs => "envs",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StoreBucket::Apps => 0,
+            StoreBucket::Envs => 1,
+        }
+    }
+}
+
+/// Retry and circuit-breaker parameters. Injectable so the fault tests can
+/// degrade and recover in microseconds; the defaults suit a real disk.
+#[derive(Debug, Clone)]
+pub struct StoreTuning {
+    /// Consecutive failed operations before degrading to memory-only.
+    pub breaker_threshold: u32,
+    /// Retries per operation (on top of the first attempt).
+    pub retries: u32,
+    /// Sleep before retry `n` is `retry_backoff * n`.
+    pub retry_backoff: Duration,
+    /// Delay before the first re-enable probe after degrading; doubles per
+    /// failed probe.
+    pub probe_backoff: Duration,
+    /// Upper bound on the probe delay.
+    pub probe_cap: Duration,
+}
+
+impl Default for StoreTuning {
+    fn default() -> Self {
+        StoreTuning {
+            breaker_threshold: 3,
+            retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            probe_backoff: Duration::from_millis(100),
+            probe_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counter snapshot of the persistent tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups served from disk (validated, decoded, and restored).
+    pub disk_hits: u64,
+    /// Lookups that found nothing usable on disk.
+    pub disk_misses: u64,
+    /// Entries durably written.
+    pub writes: u64,
+    /// Entries that failed framing/validation and were quarantined.
+    pub corrupt_quarantined: u64,
+    /// Operations that failed after exhausting retries (read side).
+    pub read_errors: u64,
+    /// Operations that failed after exhausting retries (write side).
+    pub write_errors: u64,
+    /// Times the breaker degraded the store to memory-only.
+    pub degraded_events: u64,
+    /// Times a probe re-enabled the store after a degrade.
+    pub recoveries: u64,
+    /// Whether the store is degraded (memory-only) right now.
+    pub degraded: bool,
+    /// App entries currently indexed.
+    pub app_entries: usize,
+    /// Environment entries currently indexed.
+    pub env_entries: usize,
+}
+
+/// A fault the store observed, buffered for the service to drain into its main
+/// fault log (the store cannot call back into the service without an
+/// ownership cycle).
+#[derive(Debug, Clone)]
+pub struct StoreFault {
+    /// [`FaultKind::Io`] for breaker trips, [`FaultKind::Corrupt`] for
+    /// quarantined entries.
+    pub kind: FaultKind,
+    /// The entry involved, when the fault concerns one.
+    pub key: Option<CacheKey>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Circuit-breaker state (under one mutex; operations are rare and cheap).
+struct Breaker {
+    consecutive_errors: u32,
+    degraded: bool,
+    /// When degraded: the earliest instant the next operation may probe.
+    probe_at: Instant,
+    /// Current probe delay (doubles per failed probe, capped).
+    backoff: Duration,
+}
+
+enum Gate {
+    /// Healthy, or a probe is due: run the operation.
+    Proceed,
+    /// Degraded and the probe window has not opened: skip disk entirely.
+    Skip,
+}
+
+/// The on-disk tier. All methods are infallible from the caller's view: any
+/// failure degrades to "the disk knows nothing" (`None` / `false`), with the
+/// details counted in [`StoreStats`] and buffered as [`StoreFault`]s.
+pub struct PersistentStore {
+    fs: Arc<dyn FileSystem>,
+    root: PathBuf,
+    tuning: StoreTuning,
+    /// Keys present on disk, per bucket — misses skip disk I/O entirely, and
+    /// membership survives in-memory eviction (that is the point of the tier).
+    indexes: [Mutex<HashSet<u128>>; 2],
+    breaker: Mutex<Breaker>,
+    faults: Mutex<Vec<StoreFault>>,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt_quarantined: AtomicU64,
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+    degraded_events: AtomicU64,
+    recoveries: AtomicU64,
+    degraded_now: AtomicBool,
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentStore")
+            .field("root", &self.root)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl PersistentStore {
+    /// Opens (creating if needed) a store rooted at `root` and warm-scans the
+    /// bucket directories into the key indexes. Never fails: if the directories
+    /// cannot even be created, the store opens degraded and the service runs
+    /// memory-only exactly as if every lookup missed.
+    pub fn open(root: &Path, fs: Arc<dyn FileSystem>, tuning: StoreTuning) -> Self {
+        let store = PersistentStore {
+            fs,
+            root: root.to_path_buf(),
+            tuning,
+            indexes: [Mutex::new(HashSet::new()), Mutex::new(HashSet::new())],
+            breaker: Mutex::new(Breaker {
+                consecutive_errors: 0,
+                degraded: false,
+                probe_at: Instant::now(),
+                backoff: Duration::ZERO,
+            }),
+            faults: Mutex::new(Vec::new()),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            corrupt_quarantined: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            degraded_events: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            degraded_now: AtomicBool::new(false),
+        };
+        for dir in [
+            store.bucket_dir(StoreBucket::Apps),
+            store.bucket_dir(StoreBucket::Envs),
+            store.quarantine_dir(),
+        ] {
+            let fs = store.fs.clone();
+            store.run_io(false, &mut || fs.create_dir_all(&dir));
+        }
+        for bucket in [StoreBucket::Apps, StoreBucket::Envs] {
+            store.scan_bucket(bucket);
+        }
+        store
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn bucket_dir(&self, bucket: StoreBucket) -> PathBuf {
+        self.root.join(bucket.dir_name())
+    }
+
+    /// The sidecar directory quarantined entries are moved to.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// The on-disk path of one entry (used by the torn-write tests and the CI
+    /// kill-and-restart leg to mangle entries between runs).
+    pub fn entry_path(&self, bucket: StoreBucket, key: CacheKey) -> PathBuf {
+        self.bucket_dir(bucket).join(format!("{key}.json"))
+    }
+
+    fn scan_bucket(&self, bucket: StoreBucket) {
+        let dir = self.bucket_dir(bucket);
+        let fs = self.fs.clone();
+        let Some(names) = self.run_io(false, &mut || fs.list_files(&dir)) else {
+            return;
+        };
+        let mut index = lock(&self.indexes[bucket.index()]);
+        for name in names {
+            if let Some(stem) = name.strip_suffix(".json") {
+                if stem.len() == 32 {
+                    if let Ok(key) = u128::from_str_radix(stem, 16) {
+                        index.insert(key);
+                        continue;
+                    }
+                }
+            }
+            // A stale temp file is a write the process died inside; the rename
+            // never happened, so it is garbage by construction.
+            if name.ends_with(".tmp") {
+                let _ = self.fs.remove_file(&dir.join(&name));
+            }
+        }
+    }
+
+    /// True if the disk tier has (or believes it has) an entry for `key`.
+    /// Index-only: no I/O, no counter movement.
+    pub fn contains(&self, bucket: StoreBucket, key: CacheKey) -> bool {
+        lock(&self.indexes[bucket.index()]).contains(&key.0)
+    }
+
+    /// Reads, checksum-validates, and JSON-parses one entry. `None` counts a
+    /// disk miss (absent, unreadable, or corrupt — corrupt entries are also
+    /// quarantined). A `Some` payload still needs caller-side validation and
+    /// decoding; the caller reports the outcome via [`PersistentStore::note_restored`]
+    /// (hit) or [`PersistentStore::quarantine`] (reject).
+    pub fn load(&self, bucket: StoreBucket, key: CacheKey) -> Option<JsonValue> {
+        if !self.contains(bucket, key) {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let path = self.entry_path(bucket, key);
+        let fs = self.fs.clone();
+        let Some(bytes) = self.run_io(false, &mut || fs.read(&path)) else {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let payload = match parse_entry(&bytes) {
+            Ok(payload) => payload,
+            Err(err) => {
+                self.quarantine(bucket, key, &err.to_string());
+                return None;
+            }
+        };
+        let text = match std::str::from_utf8(payload) {
+            Ok(text) => text,
+            Err(_) => {
+                self.quarantine(bucket, key, "entry payload is not UTF-8");
+                return None;
+            }
+        };
+        match JsonValue::parse(text) {
+            Ok(value) => Some(value),
+            Err(err) => {
+                self.quarantine(bucket, key, &format!("entry payload unparseable: {err}"));
+                None
+            }
+        }
+    }
+
+    /// Records one successfully restored entry (a disk hit).
+    pub fn note_restored(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Durably writes one entry, if absent: frame, write `<key>.tmp` (fsync),
+    /// atomically rename over `<key>.json`. Present entries are skipped —
+    /// content-addressed payloads never change, so the first durable write
+    /// wins. Returns whether the entry is on disk afterwards.
+    pub fn save(&self, bucket: StoreBucket, key: CacheKey, payload: &JsonValue) -> bool {
+        if self.contains(bucket, key) {
+            return true;
+        }
+        let framed = frame_entry(payload.render().as_bytes());
+        let dir = self.bucket_dir(bucket);
+        let tmp = dir.join(format!("{key}.tmp"));
+        let path = dir.join(format!("{key}.json"));
+        let fs = self.fs.clone();
+        let written = self.run_io(true, &mut || {
+            fs.write(&tmp, &framed)?;
+            fs.rename(&tmp, &path)
+        });
+        if written.is_some() {
+            lock(&self.indexes[bucket.index()]).insert(key.0);
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            let _ = self.fs.remove_file(&tmp);
+            false
+        }
+    }
+
+    /// Moves one entry to the quarantine sidecar (falling back to deletion),
+    /// removes it from the index, counts it, records a corruption fault, and
+    /// also counts the lookup as a disk miss — the caller recomputes.
+    pub fn quarantine(&self, bucket: StoreBucket, key: CacheKey, reason: &str) {
+        let from = self.entry_path(bucket, key);
+        let to = self
+            .quarantine_dir()
+            .join(format!("{}-{key}.json", bucket.dir_name()));
+        let fs = self.fs.clone();
+        if self.run_io(true, &mut || fs.rename(&from, &to)).is_none() {
+            // The sidecar move failed; at minimum get the bad entry out of the
+            // read path. The index removal below guarantees it is never
+            // consulted again either way.
+            let fs = self.fs.clone();
+            self.run_io(true, &mut || fs.remove_file(&from));
+        }
+        lock(&self.indexes[bucket.index()]).remove(&key.0);
+        self.corrupt_quarantined.fetch_add(1, Ordering::Relaxed);
+        self.disk_misses.fetch_add(1, Ordering::Relaxed);
+        lock(&self.faults).push(StoreFault {
+            kind: FaultKind::Corrupt,
+            key: Some(key),
+            message: format!(
+                "persistent store entry {}/{key} quarantined: {reason}; recomputing",
+                bucket.dir_name()
+            ),
+        });
+    }
+
+    /// Drains the buffered fault records (the service appends them to its main
+    /// fault log).
+    pub fn take_faults(&self) -> Vec<StoreFault> {
+        std::mem::take(&mut lock(&self.faults))
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            corrupt_quarantined: self.corrupt_quarantined.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            degraded_events: self.degraded_events.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            degraded: self.degraded_now.load(Ordering::Relaxed),
+            app_entries: lock(&self.indexes[0]).len(),
+            env_entries: lock(&self.indexes[1]).len(),
+        }
+    }
+
+    /// Runs one fallible filesystem operation through the breaker: skip when
+    /// degraded (until a probe is due), retry with linear backoff, and on final
+    /// failure count the error and advance the breaker. `None` means "the disk
+    /// has no answer" — the caller falls back to computing.
+    fn run_io<T>(&self, write: bool, op: &mut dyn FnMut() -> io::Result<T>) -> Option<T> {
+        match self.gate() {
+            Gate::Skip => return None,
+            Gate::Proceed => {}
+        }
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => {
+                    self.on_success();
+                    return Some(value);
+                }
+                Err(err) => {
+                    if attempt < self.tuning.retries {
+                        attempt += 1;
+                        let backoff = self.tuning.retry_backoff * attempt;
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        continue;
+                    }
+                    if write {
+                        self.write_errors.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.read_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.on_failure(&err);
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn gate(&self) -> Gate {
+        let breaker = lock(&self.breaker);
+        if breaker.degraded && Instant::now() < breaker.probe_at {
+            Gate::Skip
+        } else {
+            Gate::Proceed
+        }
+    }
+
+    fn on_success(&self) {
+        let mut breaker = lock(&self.breaker);
+        breaker.consecutive_errors = 0;
+        if breaker.degraded {
+            breaker.degraded = false;
+            breaker.backoff = Duration::ZERO;
+            drop(breaker);
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+            self.degraded_now.store(false, Ordering::Relaxed);
+        }
+    }
+
+    fn on_failure(&self, err: &io::Error) {
+        let mut breaker = lock(&self.breaker);
+        breaker.consecutive_errors += 1;
+        if breaker.degraded {
+            // A failed probe: back the next probe off exponentially.
+            breaker.backoff = (breaker.backoff * 2).min(self.tuning.probe_cap);
+            breaker.probe_at = Instant::now() + breaker.backoff;
+            return;
+        }
+        if breaker.consecutive_errors >= self.tuning.breaker_threshold {
+            breaker.degraded = true;
+            breaker.backoff = self.tuning.probe_backoff;
+            breaker.probe_at = Instant::now() + breaker.backoff;
+            let errors = breaker.consecutive_errors;
+            drop(breaker);
+            self.degraded_events.fetch_add(1, Ordering::Relaxed);
+            self.degraded_now.store(true, Ordering::Relaxed);
+            lock(&self.faults).push(StoreFault {
+                kind: FaultKind::Io,
+                key: None,
+                message: format!(
+                    "persistent store degraded to memory-only after {errors} \
+                     consecutive I/O errors (last: {err}); probing to re-enable"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{FaultAction, FaultFs, RealFs};
+
+    fn instant_tuning() -> StoreTuning {
+        StoreTuning {
+            breaker_threshold: 2,
+            retries: 0,
+            retry_backoff: Duration::ZERO,
+            probe_backoff: Duration::ZERO,
+            probe_cap: Duration::ZERO,
+        }
+    }
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("soteria-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn payload(n: usize) -> JsonValue {
+        JsonValue::object([("kind", JsonValue::string("app")), ("n", JsonValue::uint(n))])
+    }
+
+    #[test]
+    fn framing_detects_every_truncation_and_every_bit_flip() {
+        let body = payload(7).render();
+        let framed = frame_entry(body.as_bytes());
+        assert_eq!(parse_entry(&framed).unwrap(), body.as_bytes());
+        // Truncation at every byte offset is detected.
+        for cut in 0..framed.len() {
+            assert!(parse_entry(&framed[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // A flip of any single byte is detected.
+        for at in 0..framed.len() {
+            let mut damaged = framed.clone();
+            damaged[at] ^= 0x01;
+            assert!(parse_entry(&damaged).is_err(), "flip at {at} accepted");
+        }
+        // Appended garbage is detected too.
+        let mut extended = framed.clone();
+        extended.extend_from_slice(b"tail");
+        assert!(parse_entry(&extended).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trips_and_survives_reopen() {
+        let root = test_dir("roundtrip");
+        let key = CacheKey(0xabcdef);
+        {
+            let store = PersistentStore::open(&root, Arc::new(RealFs), StoreTuning::default());
+            assert!(!store.contains(StoreBucket::Apps, key));
+            assert!(store.save(StoreBucket::Apps, key, &payload(1)));
+            assert_eq!(store.load(StoreBucket::Apps, key), Some(payload(1)));
+            store.note_restored();
+            let stats = store.stats();
+            assert_eq!((stats.writes, stats.disk_hits, stats.app_entries), (1, 1, 1));
+            // Saving an existing key is a no-op (content-addressed).
+            assert!(store.save(StoreBucket::Apps, key, &payload(1)));
+            assert_eq!(store.stats().writes, 1);
+        }
+        // A new store on the same root warm-scans the entry back.
+        let store = PersistentStore::open(&root, Arc::new(RealFs), StoreTuning::default());
+        assert!(store.contains(StoreBucket::Apps, key));
+        assert!(!store.contains(StoreBucket::Envs, key));
+        assert_eq!(store.load(StoreBucket::Apps, key), Some(payload(1)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_and_never_returned() {
+        let root = test_dir("corrupt");
+        let store = PersistentStore::open(&root, Arc::new(RealFs), StoreTuning::default());
+        let key = CacheKey(0x42);
+        assert!(store.save(StoreBucket::Envs, key, &payload(2)));
+        // Mangle the file on disk: flip one payload byte.
+        let path = store.entry_path(StoreBucket::Envs, key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(store.load(StoreBucket::Envs, key), None);
+        assert!(!store.contains(StoreBucket::Envs, key));
+        assert!(!path.exists(), "bad entry left in the read path");
+        let quarantined = store.quarantine_dir().join(format!("envs-{key}.json"));
+        assert!(quarantined.exists(), "bad entry not moved to the sidecar");
+        let stats = store.stats();
+        assert_eq!((stats.corrupt_quarantined, stats.disk_hits), (1, 0));
+        let faults = store.take_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Corrupt);
+        assert_eq!(faults[0].key, Some(key));
+        assert!(store.take_faults().is_empty(), "faults drained twice");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn breaker_degrades_after_repeated_errors_and_probes_back() {
+        let root = test_dir("breaker");
+        std::fs::create_dir_all(&root).unwrap();
+        let fault_fs = Arc::new(FaultFs::new(Arc::new(RealFs)));
+        let store = PersistentStore::open(&root, fault_fs.clone(), instant_tuning());
+        let key = CacheKey(0x7);
+
+        // Two consecutive failed operations (threshold) trip the breaker. A
+        // failed save is a failed write plus a best-effort temp cleanup that
+        // also consults the plan — hence the Allow between the failures.
+        fault_fs.push(FaultAction::FailIo);
+        fault_fs.push(FaultAction::Allow);
+        fault_fs.push(FaultAction::FailIo);
+        assert!(!store.save(StoreBucket::Apps, key, &payload(3)));
+        assert!(!store.save(StoreBucket::Apps, CacheKey(0x8), &payload(4)));
+        let stats = store.stats();
+        assert!(stats.degraded, "breaker did not trip");
+        assert_eq!(stats.degraded_events, 1);
+        let faults = store.take_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Io);
+        assert!(faults[0].message.contains("degraded to memory-only"));
+
+        // probe_backoff is zero, so the very next operation probes; the fault
+        // plan is empty, so it succeeds and the store recovers.
+        assert!(store.save(StoreBucket::Apps, key, &payload(3)));
+        let stats = store.stats();
+        assert!(!stats.degraded);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(store.load(StoreBucket::Apps, key), Some(payload(3)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn degraded_store_skips_disk_until_the_probe_window_opens() {
+        let root = test_dir("degraded-skip");
+        std::fs::create_dir_all(&root).unwrap();
+        let fault_fs = Arc::new(FaultFs::new(Arc::new(RealFs)));
+        let tuning = StoreTuning {
+            probe_backoff: Duration::from_secs(600),
+            probe_cap: Duration::from_secs(600),
+            ..instant_tuning()
+        };
+        let store = PersistentStore::open(&root, fault_fs.clone(), tuning);
+        let key = CacheKey(0x9);
+        assert!(store.save(StoreBucket::Apps, key, &payload(5)));
+
+        fault_fs.push(FaultAction::FailIo);
+        fault_fs.push(FaultAction::Allow); // failed-save temp cleanup
+        fault_fs.push(FaultAction::FailIo);
+        assert!(!store.save(StoreBucket::Apps, CacheKey(0xa), &payload(6)));
+        assert!(!store.save(StoreBucket::Apps, CacheKey(0xb), &payload(7)));
+        assert!(store.stats().degraded);
+
+        // Degraded with a 10-minute probe window: operations skip the disk
+        // outright — an *indexed* entry reads as a miss, and no new I/O errors
+        // accumulate (the fault plan is empty; a probe would succeed).
+        assert_eq!(store.load(StoreBucket::Apps, key), None);
+        assert!(!store.save(StoreBucket::Apps, CacheKey(0xc), &payload(8)));
+        let stats = store.stats();
+        assert!(stats.degraded, "probe ran despite the backoff window");
+        assert_eq!(stats.recoveries, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_writes_from_the_fault_layer_are_detected_on_read() {
+        let root = test_dir("torn");
+        std::fs::create_dir_all(&root).unwrap();
+        let fault_fs = Arc::new(FaultFs::new(Arc::new(RealFs)));
+        let store =
+            PersistentStore::open(&root, fault_fs.clone(), StoreTuning::default());
+        let key = CacheKey(0x11);
+
+        // The write is torn mid-payload but *reports success* — the lying-disk
+        // case. The read side must detect it, quarantine, and miss.
+        fault_fs.push(FaultAction::TruncateWrite(10));
+        assert!(store.save(StoreBucket::Apps, key, &payload(9)));
+        assert_eq!(store.load(StoreBucket::Apps, key), None);
+        assert_eq!(store.stats().corrupt_quarantined, 1);
+
+        // Same for a silently corrupted byte.
+        let key2 = CacheKey(0x12);
+        fault_fs.push(FaultAction::CorruptWrite { offset: 4, xor: 0x10 });
+        assert!(store.save(StoreBucket::Apps, key2, &payload(10)));
+        assert_eq!(store.load(StoreBucket::Apps, key2), None);
+        assert_eq!(store.stats().corrupt_quarantined, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

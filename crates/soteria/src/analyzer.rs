@@ -1,6 +1,9 @@
 //! The end-to-end Soteria analyzer: source code → IR → state model → model checking.
 
-use crate::report::{AppAnalysis, EnvironmentAnalysis, IngestedApp};
+use crate::report::{
+    AppAnalysis, EnvironmentAnalysis, IngestedApp, StoredAppAnalysis,
+    StoredEnvironmentAnalysis,
+};
 use soteria_analysis::{abstract_domains, AnalysisConfig, SymbolicExecutor, TransitionSpec};
 use soteria_capability::CapabilityRegistry;
 use soteria_checker::{
@@ -421,6 +424,64 @@ impl Soteria {
         )
     }
 
+    /// Rebuilds a full [`AppAnalysis`] from a persistent-store record: re-runs
+    /// the deterministic ingestion stage ([`Soteria::ingest_app`]) on the stored
+    /// source — reproducing the IR, specs, abstraction, and state model exactly —
+    /// and attaches the stored verdicts and original timings, skipping
+    /// verification entirely. The result serializes byte-identical to the
+    /// analysis the record was taken from (including timing fields, which
+    /// round-trip as exact nanoseconds).
+    pub fn restore_app_analysis(
+        &self,
+        stored: StoredAppAnalysis,
+    ) -> Result<AppAnalysis, ParseError> {
+        let IngestedApp {
+            ir,
+            specs,
+            summaries,
+            abstraction,
+            model,
+            states_before_reduction,
+            extraction_time: _,
+        } = self.ingest_app(&stored.name, &stored.source)?;
+        Ok(AppAnalysis {
+            ir,
+            specs,
+            summaries,
+            abstraction,
+            model,
+            violations: stored.violations,
+            states_before_reduction,
+            extraction_time: stored.extraction_time,
+            verification_time: stored.verification_time,
+        })
+    }
+
+    /// Rebuilds a full [`EnvironmentAnalysis`] from a persistent-store record
+    /// and the (already restored or resident) member analyses: the union model
+    /// is a deterministic function of the member models, so it is reconstructed
+    /// rather than stored, and the stored verdicts and original timings are
+    /// attached — verification is skipped. Byte-identical serialization to the
+    /// original, like [`Soteria::restore_app_analysis`].
+    pub fn restore_environment(
+        &self,
+        stored: StoredEnvironmentAnalysis,
+        members: &[&AppAnalysis],
+    ) -> EnvironmentAnalysis {
+        let models: Vec<&StateModel> = members.iter().map(|a| &a.model).collect();
+        let union_options =
+            UnionOptions { threads: self.config.threads, ..UnionOptions::default() };
+        let union_model = union_models(&stored.name, &models, &union_options);
+        EnvironmentAnalysis {
+            name: stored.name,
+            app_names: stored.app_names,
+            union_model,
+            violations: stored.violations,
+            union_time: stored.union_time,
+            verification_time: stored.verification_time,
+        }
+    }
+
     /// Nondeterministic state models are reported as a safety violation (Sec. 4.2).
     fn determinism_violations(&self, model: &StateModel, apps: &[String]) -> Vec<Violation> {
         model
@@ -476,6 +537,7 @@ impl Soteria {
     /// parallel-identity gate makes the two schedules byte-identical. The
     /// reflection-free re-check batches the failing formulas the parallel way
     /// in every mode.
+    #[allow(clippy::too_many_arguments)]
     fn check_specific_on_model(
         &self,
         model: &StateModel,

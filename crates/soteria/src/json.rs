@@ -74,6 +74,37 @@ impl JsonValue {
         }
     }
 
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an unsigned integer, if this is a non-negative
+    /// number with no fractional part inside the exact-f64 range (< 2^53).
+    /// Decoders use this for counts and nanosecond timings: any such value that
+    /// was rendered with [`JsonValue::uint`] round-trips exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n)
+                if *n >= 0.0 && n.fract() == 0.0 && *n < 9.007_199_254_740_992e15 =>
+            {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Removes an object member (used to strip run-dependent fields — measured
     /// timings — before structural comparison). No-op on non-objects and missing
     /// keys; returns `self` for chaining.

@@ -57,8 +57,10 @@ pub mod report;
 pub use analyzer::{default_initial_kripke, Soteria};
 pub use json::{JsonError, JsonValue, MAX_PARSE_DEPTH};
 pub use report::{
-    app_analysis_json, environment_json, render_environment_report, render_report,
-    violation_json, AppAnalysis, EnvironmentAnalysis, IngestedApp,
+    app_analysis_json, app_from_store_json, app_store_json, env_from_store_json,
+    env_store_json, environment_json, render_environment_report, render_report,
+    violation_from_json, violation_json, AppAnalysis, EnvironmentAnalysis, IngestedApp,
+    StoredAppAnalysis, StoredEnvironmentAnalysis,
 };
 
 // Re-export the sub-crates so downstream users need a single dependency.

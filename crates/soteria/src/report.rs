@@ -244,6 +244,168 @@ pub fn environment_json(env: &EnvironmentAnalysis) -> JsonValue {
     ])
 }
 
+/// Deserializes one violation from its [`violation_json`] object. `None` on any
+/// structural mismatch — the persistent store treats that as a corrupt entry,
+/// never as a partially-decoded result.
+pub fn violation_from_json(value: &JsonValue) -> Option<Violation> {
+    let property = property_from_str(value.get("property")?.as_str()?)?;
+    let description = value.get("description")?.as_str()?.to_string();
+    let apps = string_array(value.get("apps")?)?;
+    let counterexample = match value.get("counterexample")? {
+        JsonValue::Null => None,
+        trace => Some(string_array(trace)?),
+    };
+    let possibly_false_positive = value.get("possibly_false_positive")?.as_bool()?;
+    Some(Violation { property, description, apps, counterexample, possibly_false_positive })
+}
+
+/// Parses the [`PropertyId`] display form (`S.n`, `P.n`, `DET`).
+fn property_from_str(s: &str) -> Option<PropertyId> {
+    if s == "DET" {
+        return Some(PropertyId::Determinism);
+    }
+    let number = |rest: &str| rest.parse::<u8>().ok();
+    if let Some(rest) = s.strip_prefix("S.") {
+        return number(rest).map(PropertyId::General);
+    }
+    if let Some(rest) = s.strip_prefix("P.") {
+        return number(rest).map(PropertyId::AppSpecific);
+    }
+    None
+}
+
+fn string_array(value: &JsonValue) -> Option<Vec<String>> {
+    value
+        .as_array()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect()
+}
+
+/// The input-side record of one app analysis, as the persistent store keeps it:
+/// the *submitted* name and source (everything [`Soteria::ingest_app`] needs to
+/// deterministically rebuild the IR, model, and abstraction) plus the verified
+/// verdicts and the original measured timings in exact nanoseconds.
+///
+/// [`Soteria::ingest_app`]: crate::Soteria::ingest_app
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredAppAnalysis {
+    /// The name the app was submitted under (the cache-key name — not
+    /// necessarily `ir.name`, which the definition block may override).
+    pub name: String,
+    /// The full source text.
+    pub source: String,
+    /// All property violations found by the original verification.
+    pub violations: Vec<Violation>,
+    /// The original extraction time.
+    pub extraction_time: Duration,
+    /// The original verification time.
+    pub verification_time: Duration,
+}
+
+/// The persistent-store record of one environment analysis: group name, member
+/// names, verdicts, and original timings. The union model is *not* stored — it
+/// is a deterministic function of the member models, which the restore path
+/// rebuilds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEnvironmentAnalysis {
+    /// Group name.
+    pub name: String,
+    /// The member app names (`ir.name`s), in submission order.
+    pub app_names: Vec<String>,
+    /// Violations found by the original combined verification.
+    pub violations: Vec<Violation>,
+    /// The original union-construction time.
+    pub union_time: Duration,
+    /// The original verification time.
+    pub verification_time: Duration,
+}
+
+/// Durations persist as exact integer nanoseconds: `u64` nanoseconds round-trip
+/// exactly through an f64 JSON number (all realistic values are far below
+/// 2^53), so a restored report renders timing fields byte-identical to the
+/// original's.
+fn duration_json(d: Duration) -> JsonValue {
+    JsonValue::uint(d.as_nanos() as usize)
+}
+
+fn duration_from_json(value: &JsonValue) -> Option<Duration> {
+    value.as_u64().map(Duration::from_nanos)
+}
+
+/// Serializes an app analysis as a persistent-store payload. Inverse:
+/// [`app_from_store_json`].
+pub fn app_store_json(name: &str, source: &str, analysis: &AppAnalysis) -> JsonValue {
+    JsonValue::object([
+        ("kind", JsonValue::string("app")),
+        ("name", JsonValue::string(name)),
+        ("source", JsonValue::string(source)),
+        (
+            "violations",
+            JsonValue::Array(analysis.violations.iter().map(violation_json).collect()),
+        ),
+        ("extraction_ns", duration_json(analysis.extraction_time)),
+        ("verification_ns", duration_json(analysis.verification_time)),
+    ])
+}
+
+/// Deserializes a persistent-store app payload. `None` on any mismatch.
+pub fn app_from_store_json(value: &JsonValue) -> Option<StoredAppAnalysis> {
+    if value.get("kind")?.as_str()? != "app" {
+        return None;
+    }
+    Some(StoredAppAnalysis {
+        name: value.get("name")?.as_str()?.to_string(),
+        source: value.get("source")?.as_str()?.to_string(),
+        violations: value
+            .get("violations")?
+            .as_array()?
+            .iter()
+            .map(violation_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        extraction_time: duration_from_json(value.get("extraction_ns")?)?,
+        verification_time: duration_from_json(value.get("verification_ns")?)?,
+    })
+}
+
+/// Serializes an environment analysis as a persistent-store payload. Inverse:
+/// [`env_from_store_json`].
+pub fn env_store_json(env: &EnvironmentAnalysis) -> JsonValue {
+    JsonValue::object([
+        ("kind", JsonValue::string("env")),
+        ("name", JsonValue::string(&env.name)),
+        (
+            "app_names",
+            JsonValue::Array(env.app_names.iter().map(JsonValue::string).collect()),
+        ),
+        (
+            "violations",
+            JsonValue::Array(env.violations.iter().map(violation_json).collect()),
+        ),
+        ("union_ns", duration_json(env.union_time)),
+        ("verification_ns", duration_json(env.verification_time)),
+    ])
+}
+
+/// Deserializes a persistent-store environment payload. `None` on any mismatch.
+pub fn env_from_store_json(value: &JsonValue) -> Option<StoredEnvironmentAnalysis> {
+    if value.get("kind")?.as_str()? != "env" {
+        return None;
+    }
+    Some(StoredEnvironmentAnalysis {
+        name: value.get("name")?.as_str()?.to_string(),
+        app_names: string_array(value.get("app_names")?)?,
+        violations: value
+            .get("violations")?
+            .as_array()?
+            .iter()
+            .map(violation_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        union_time: duration_from_json(value.get("union_ns")?)?,
+        verification_time: duration_from_json(value.get("verification_ns")?)?,
+    })
+}
+
 /// Renders a report for a multi-app environment.
 pub fn render_environment_report(env: &EnvironmentAnalysis) -> String {
     let mut out = String::new();
@@ -337,6 +499,45 @@ mod tests {
             violations[0].get("property").and_then(|v| v.as_str()),
             Some("P.30")
         );
+    }
+
+    #[test]
+    fn store_records_restore_byte_identically() {
+        let soteria = Soteria::new();
+        let analysis = soteria.analyze_app("r", APP).unwrap();
+
+        // App: encode → render → parse → decode → restore reproduces the exact
+        // report, *including* the measured timing fields (persisted as exact
+        // nanoseconds).
+        let rendered = app_store_json("r", APP, &analysis).render();
+        let stored = app_from_store_json(&JsonValue::parse(&rendered).unwrap())
+            .expect("app store payload decodes");
+        assert_eq!(stored.name, "r");
+        assert_eq!(stored.extraction_time, analysis.extraction_time);
+        let restored = soteria.restore_app_analysis(stored).unwrap();
+        assert_eq!(
+            app_analysis_json(&restored).render(),
+            app_analysis_json(&analysis).render()
+        );
+
+        // Environment: union model rebuilt from members, verdicts and timings
+        // from the record.
+        let env = soteria.analyze_environment("G", std::slice::from_ref(&analysis));
+        let env_rendered = env_store_json(&env).render();
+        let stored_env = env_from_store_json(&JsonValue::parse(&env_rendered).unwrap())
+            .expect("env store payload decodes");
+        let restored_env = soteria.restore_environment(stored_env, &[&restored]);
+        assert_eq!(
+            environment_json(&restored_env).render(),
+            environment_json(&env).render()
+        );
+
+        // Structural damage decodes to None, never to a partial record.
+        assert!(app_from_store_json(&JsonValue::Null).is_none());
+        assert!(app_from_store_json(&JsonValue::parse(&env_rendered).unwrap()).is_none());
+        let wrong_type = JsonValue::parse(&rendered).unwrap().without("source");
+        assert!(app_from_store_json(&wrong_type).is_none());
+        assert!(env_from_store_json(&JsonValue::parse(&rendered).unwrap()).is_none());
     }
 
     #[test]

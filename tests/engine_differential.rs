@@ -182,7 +182,7 @@ proptest! {
             spec.mutate(&mut rng);
             let kripke = spec.build();
             let dirty: Vec<String> = if rng.next_u64().is_multiple_of(2) {
-                ATOMS.iter().map(|a| format!("{a}")).collect()
+                ATOMS.iter().map(|a| a.to_string()).collect()
             } else {
                 Vec::new()
             };

@@ -206,6 +206,10 @@ fn registry_never_outgrows_live_tickets_plus_cache_capacity() {
         cache_capacity,
         max_pending: 0,
         admission: AdmissionPolicy::Block,
+        // Memory-only on purpose: with a disk tier, eviction *demotes* and the
+        // bare keys legitimately stay resolvable (tests/persistent_store.rs
+        // covers that side); this gate is about the memory-only bound.
+        store_dir: None,
         ..ServiceOptions::default()
     });
     let base = light_source();
