@@ -58,6 +58,15 @@ fn main() {
     files.sort_unstable();
     assert!(!files.is_empty(), "no BENCH_pr*.json found in {dir}");
 
+    // Surface holes in the PR sequence instead of silently compressing the
+    // history: a missing file is a PR that shipped no benchmark (PR 5, the
+    // crash-only fault layer, made no perf claim), not a missing data point.
+    let (first, last) = (files[0].0, files[files.len() - 1].0);
+    let missing: Vec<String> = (first..=last)
+        .filter(|pr| files.iter().all(|(have, _)| have != pr))
+        .map(|pr| pr.to_string())
+        .collect();
+
     let mut table = String::new();
     let _ = writeln!(table, "| PR | scenario | before | after | speedup |");
     let _ = writeln!(table, "|---:|----------|-------:|------:|--------:|");
@@ -92,4 +101,13 @@ fn main() {
         }
     }
     print!("{table}");
+    if !missing.is_empty() {
+        println!(
+            "\n> No BENCH_pr{{{}}}.json: that PR shipped no benchmark (PR 5 was the \
+             crash-only fault layer — resilience, not performance). PR 9's rows read \
+             differently too: before = tracing off, after = tracing on, so ~1.00x is \
+             the *goal* (observability overhead), not a missing win.",
+            missing.join(",")
+        );
+    }
 }

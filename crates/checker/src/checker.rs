@@ -692,6 +692,7 @@ impl<'a> ModelChecker<'a> {
     /// bitset instead ([`Self::least_fixpoint_eu_sharded`]); the least fixpoint
     /// is unique, so every schedule converges to the same set.
     fn least_fixpoint_eu(&self, sat_a: &BitSet, sat_b: &BitSet) -> BitSet {
+        let _span = soteria_obs::span("checker.fixpoint_eu");
         if self.engine == Engine::Explicit || self.kripke.state_count() <= SMALL_UNIVERSE {
             return self.least_fixpoint_eu_rounds(sat_a, sat_b);
         }
@@ -738,6 +739,7 @@ impl<'a> ModelChecker<'a> {
         let mut frontier = sat_b.clone();
         loop {
             self.poll_abort();
+            soteria_obs::add("checker.sharded_rounds", 1);
             let words = frontier.words();
             let ranges = word_ranges(words.len(), self.shard_threads);
             let snapshot = &result;
@@ -805,6 +807,7 @@ impl<'a> ModelChecker<'a> {
     /// the greatest fixpoint is unique, so every schedule converges to the same
     /// set.
     fn greatest_fixpoint_eg(&self, sat_f: &BitSet) -> BitSet {
+        let _span = soteria_obs::span("checker.fixpoint_eg");
         if self.engine == Engine::Explicit || self.kripke.state_count() <= SMALL_UNIVERSE {
             return self.greatest_fixpoint_eg_rounds(sat_f);
         }
@@ -870,6 +873,7 @@ impl<'a> ModelChecker<'a> {
         let mut dirty = sat_f.clone();
         loop {
             self.poll_abort();
+            soteria_obs::add("checker.sharded_rounds", 1);
             let words = dirty.words();
             let ranges = word_ranges(words.len(), self.shard_threads);
             let snapshot = &result;
@@ -964,6 +968,7 @@ impl<'a> ModelChecker<'a> {
     /// threshold (and for the explicit baseline) every formula recomputes — there
     /// each set operation is a single `u64` op, cheaper than cache bookkeeping.
     pub fn check_all(&self, formulas: &[Ctl]) -> Vec<CheckResult> {
+        let _span = soteria_obs::span("checker.check_all");
         formulas
             .iter()
             .map(|f| {

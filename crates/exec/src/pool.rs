@@ -44,6 +44,17 @@ use crate::{enter_par_worker, lock_recover, recover, resolve_threads};
 /// A fire-and-forget task on the injector queue.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Observability stamp captured at enqueue time (only when the collector is
+/// enabled — `None` costs nothing): the enqueue timestamp, from which the
+/// claiming worker records the task's queue-wait interval, and the
+/// submitter's trace id, re-installed on the worker for the task's duration
+/// so a job's spans land in its trace no matter which thread runs them.
+#[derive(Clone, Copy)]
+struct TaskObs {
+    enqueued_ns: u64,
+    trace: soteria_obs::TraceId,
+}
+
 /// The identity of one enqueued task, unique for the pool's lifetime.
 ///
 /// Returned by [`WorkerPool::spawn`] and accepted by [`WorkerPool::try_revoke`]
@@ -53,15 +64,23 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 pub struct TaskId(u64);
 
 struct QueueState {
-    tasks: VecDeque<(u64, Task)>,
+    tasks: VecDeque<(u64, Task, Option<TaskObs>)>,
     next_id: u64,
     shutdown: bool,
+    /// Workers currently inside a claimed task — incremented at claim time,
+    /// decremented only after the task's whole epilogue (span close, flush,
+    /// utilization counters) has run, so [`WorkerPool::quiesce`] is a real
+    /// barrier for everything a task records, not just its side effects.
+    busy: usize,
 }
 
 struct Shared {
     queue: Mutex<QueueState>,
     /// Signalled when a task is enqueued or shutdown is requested.
     work_available: Condvar,
+    /// Signalled when a worker finishes a task and the pool may have gone
+    /// quiet (empty queue, nobody busy) — the condvar behind `quiesce`.
+    quiet: Condvar,
     /// Tasks executed over the pool's lifetime (scoped helpers + spawned jobs).
     tasks_executed: AtomicU64,
 }
@@ -98,8 +117,10 @@ impl WorkerPool {
                 tasks: VecDeque::new(),
                 next_id: 0,
                 shutdown: false,
+                busy: 0,
             }),
             work_available: Condvar::new(),
+            quiet: Condvar::new(),
             tasks_executed: AtomicU64::new(0),
         });
         let handles = (0..workers.max(1))
@@ -136,10 +157,18 @@ impl WorkerPool {
     /// payload — submitters that care about failures report them through their
     /// own result channel (the service's tickets do).
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) -> TaskId {
+        let obs = if soteria_obs::enabled() {
+            Some(TaskObs {
+                enqueued_ns: soteria_obs::now_ns(),
+                trace: soteria_obs::current_trace(),
+            })
+        } else {
+            None
+        };
         let mut queue = lock_recover(&self.shared.queue);
         let id = queue.next_id;
         queue.next_id += 1;
-        queue.tasks.push_back((id, Box::new(task)));
+        queue.tasks.push_back((id, Box::new(task), obs));
         drop(queue);
         self.shared.work_available.notify_one();
         TaskId(id)
@@ -163,10 +192,26 @@ impl WorkerPool {
         let revoked = queue
             .tasks
             .iter()
-            .position(|(task_id, _)| *task_id == id.0)
+            .position(|(task_id, _, _)| *task_id == id.0)
             .and_then(|index| queue.tasks.remove(index));
         drop(queue);
         revoked.is_some()
+    }
+
+    /// Blocks until the injector queue is empty and no worker is inside a task
+    /// — including the task epilogue, where a worker closes and flushes its
+    /// observability spans. After `quiesce` returns, every span of every task
+    /// spawned before the call is in the global collector; a settled job
+    /// ticket alone does *not* guarantee that (settling happens inside the
+    /// task, before the worker's `pool.run` span closes).
+    ///
+    /// Must not be called from one of the pool's own workers (it would wait
+    /// for itself); scoped `install` helpers don't call it.
+    pub fn quiesce(&self) {
+        let mut queue = lock_recover(&self.shared.queue);
+        while !queue.tasks.is_empty() || queue.busy > 0 {
+            queue = recover(self.shared.quiet.wait(queue));
+        }
     }
 
     /// Maps `f` over `items` on the caller plus up to `threads - 1` pool workers,
@@ -250,11 +295,18 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let task = {
+        // Stamped only while the collector is on: the interval from here to
+        // the successful claim is this worker's idle time (condvar waits
+        // included), split from run time in the pool-utilization counters.
+        let idle_from = if soteria_obs::enabled() { Some(soteria_obs::now_ns()) } else { None };
+        let (task, obs) = {
             let mut queue = lock_recover(&shared.queue);
             loop {
-                if let Some((_, task)) = queue.tasks.pop_front() {
-                    break task;
+                if let Some((_, task, obs)) = queue.tasks.pop_front() {
+                    // Claim and busy-mark under one lock: `quiesce` can never
+                    // observe the gap between a popped task and a busy worker.
+                    queue.busy += 1;
+                    break (task, obs);
                 }
                 // Drain-then-exit on shutdown: every already-enqueued task still
                 // runs (scoped jobs count on it, and a dropped service should
@@ -266,10 +318,44 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        let claimed_ns = idle_from.map(|from| {
+            let now = soteria_obs::now_ns();
+            soteria_obs::add("pool.idle_ns", now.saturating_sub(from));
+            now
+        });
+        if let Some(obs) = obs {
+            soteria_obs::record_span(
+                "pool.queue_wait",
+                obs.trace,
+                obs.enqueued_ns,
+                claimed_ns.unwrap_or_else(soteria_obs::now_ns),
+            );
+        }
         // A panicking job must not take the worker thread with it. Scoped jobs
         // catch their own panics (and re-raise on the caller); service jobs
         // report failures through their tickets.
-        let _ = panic::catch_unwind(panic::AssertUnwindSafe(task));
+        {
+            // Re-install the submitter's trace so everything the task records
+            // (stage spans, checker fixpoints) lands in the owning job's trace.
+            let _trace = obs.map(|o| soteria_obs::install_trace(o.trace));
+            let _run = if obs.is_some() { Some(soteria_obs::span("pool.run")) } else { None };
+            let _ = panic::catch_unwind(panic::AssertUnwindSafe(task));
+        }
+        if let Some(claimed) = claimed_ns {
+            soteria_obs::add(
+                "pool.busy_ns",
+                soteria_obs::now_ns().saturating_sub(claimed),
+            );
+        }
+        {
+            // The spans above are closed and flushed; only now does the worker
+            // stop counting as busy (the `quiesce` barrier contract).
+            let mut queue = lock_recover(&shared.queue);
+            queue.busy -= 1;
+            if queue.busy == 0 && queue.tasks.is_empty() {
+                shared.quiet.notify_all();
+            }
+        }
     }
 }
 
@@ -521,6 +607,30 @@ mod tests {
         drop(pool); // drains the queue
         assert_eq!(ran.load(Ordering::Relaxed), 1, "revoked task ran anyway");
         assert!(keep_id != revoke_id);
+    }
+
+    #[test]
+    fn quiesce_waits_for_spawned_chains_including_epilogues() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let pool = Arc::new(WorkerPool::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            // Each task spawns a follow-up, like the service's ingest stage
+            // scheduling its verify stage; quiesce must cover the whole chain.
+            let pool2 = Arc::clone(&pool);
+            let done2 = Arc::clone(&done);
+            pool.spawn(move || {
+                let done3 = Arc::clone(&done2);
+                pool2.spawn(move || {
+                    done3.fetch_add(1, Ordering::Relaxed);
+                });
+                done2.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.quiesce();
+        assert_eq!(done.load(Ordering::Relaxed), 16, "quiesce returned with work in flight");
+        pool.quiesce(); // idempotent on an idle pool
     }
 
     #[test]

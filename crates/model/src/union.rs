@@ -91,6 +91,7 @@ fn digit_combos(radices: &[u8]) -> Vec<Vec<u8>> {
 /// transition block of one partition, and the blocks merge back in enumeration
 /// order — the resulting model is byte-identical at every thread count.
 pub fn union_models(name: &str, models: &[&StateModel], options: &UnionOptions) -> StateModel {
+    let _span = soteria_obs::span("union.build");
     let attributes = merged_attributes(models, options);
     let mut union = StateModel::with_attributes(name, attributes);
     let uschema = &union.schema;
@@ -392,6 +393,7 @@ pub fn union_models_delta(
     if changed_member_idx >= members.len() || !unique_names(members) {
         return None;
     }
+    let _span = soteria_obs::span("union.delta");
     let attributes = merged_attributes(members, options);
     if attributes != base.attributes {
         return None;

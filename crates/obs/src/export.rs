@@ -1,0 +1,189 @@
+//! Trace exporters: Chrome `trace_event` JSON and the human slow-jobs table.
+//!
+//! The Chrome format is the `traceEvents` array of complete-duration (`"ph":
+//! "X"`) events documented by the Trace Event Format spec; the output loads
+//! directly in `about:tracing` and Perfetto. Rendering is deterministic:
+//! events are sorted by `(start_ns, id)` before emission and timestamps are
+//! printed as exact microsecond decimals (`ns / 1000` with a 3-digit
+//! fraction), never through float formatting.
+
+use crate::SpanRecord;
+use std::fmt::Write as _;
+
+/// Renders spans as a Chrome `trace_event` JSON document (one `traceEvents`
+/// array of `"ph": "X"` complete events). Each event carries its span id,
+/// parent id, and owning trace id in `args`, so fault records (stamped with a
+/// trace id) correlate with the exported timeline. Deterministic for a given
+/// span set: events sort by `(start_ns, id)`.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.start_ns, s.id));
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, span) in ordered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        push_escaped(&mut out, span.label);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"soteria\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"id\":{},\"parent\":{},\"trace\":{}}}}}",
+            Micros(span.start_ns),
+            Micros(span.dur_ns),
+            span.thread,
+            span.id,
+            span.parent,
+            span.trace,
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Nanoseconds printed as exact decimal microseconds (`123456` ns → `123.456`).
+struct Micros(u64);
+
+impl std::fmt::Display for Micros {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{:03}", self.0 / 1_000, self.0 % 1_000)
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One per-trace roll-up used by [`slow_jobs_summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The trace id (never 0 — untraced spans are excluded).
+    pub trace: u64,
+    /// Earliest span start in the trace.
+    pub start_ns: u64,
+    /// `max(end) - min(start)` across the trace's spans.
+    pub wall_ns: u64,
+    /// Number of spans in the trace.
+    pub spans: usize,
+    /// Labels of the trace's root spans (`parent == 0`), first-seen order,
+    /// deduplicated — the stage skeleton of the job.
+    pub stages: Vec<&'static str>,
+}
+
+/// Rolls spans up by trace id, slowest wall-clock first (ties broken by trace
+/// id, so the ordering is total and deterministic). Untraced spans
+/// (`trace == 0`) are process-level work, not jobs, and are skipped.
+pub fn summarize_traces(spans: &[SpanRecord]) -> Vec<TraceSummary> {
+    let mut by_trace: std::collections::BTreeMap<u64, TraceSummary> =
+        std::collections::BTreeMap::new();
+    let mut ordered: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace != 0).collect();
+    ordered.sort_by_key(|s| (s.start_ns, s.id));
+    for span in ordered {
+        let entry = by_trace.entry(span.trace).or_insert(TraceSummary {
+            trace: span.trace,
+            start_ns: span.start_ns,
+            wall_ns: 0,
+            spans: 0,
+            stages: Vec::new(),
+        });
+        entry.start_ns = entry.start_ns.min(span.start_ns);
+        let end = span.end_ns().saturating_sub(entry.start_ns);
+        entry.wall_ns = entry.wall_ns.max(end);
+        entry.spans += 1;
+        if span.parent == 0 && !entry.stages.contains(&span.label) {
+            entry.stages.push(span.label);
+        }
+    }
+    let mut summaries: Vec<TraceSummary> = by_trace.into_values().collect();
+    summaries.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(a.trace.cmp(&b.trace)));
+    summaries
+}
+
+/// The human exporter: a top-`n` table of the slowest traces with their stage
+/// skeletons — what an operator reads before opening the full Chrome trace.
+pub fn slow_jobs_summary(spans: &[SpanRecord], n: usize) -> String {
+    let summaries = summarize_traces(spans);
+    let mut out = String::new();
+    let _ = writeln!(out, "slow jobs (top {} of {} traced)", n.min(summaries.len()), summaries.len());
+    let _ = writeln!(out, "{:>8} {:>12} {:>6}  stages", "trace", "wall", "spans");
+    for summary in summaries.iter().take(n) {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>6}  {}",
+            summary.trace,
+            human_ns(summary.wall_ns),
+            summary.spans,
+            summary.stages.join(" > "),
+        );
+    }
+    out
+}
+
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{}.{:02}s", ns / 1_000_000_000, (ns % 1_000_000_000) / 10_000_000)
+    } else if ns >= 1_000_000 {
+        format!("{}.{:01}ms", ns / 1_000_000, (ns % 1_000_000) / 100_000)
+    } else if ns >= 1_000 {
+        format!("{}.{:01}us", ns / 1_000, (ns % 1_000) / 100)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, trace: u64, label: &'static str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord { id, parent, trace, label, start_ns: start, dur_ns: dur, thread: 1 }
+    }
+
+    #[test]
+    fn chrome_export_is_sorted_and_deterministic() {
+        let spans = vec![
+            span(2, 1, 7, "stage.verify", 5_500, 1_500),
+            span(1, 0, 7, "stage.ingest", 1_000, 4_000),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert_eq!(json, chrome_trace_json(&spans));
+        // Events come out start-ordered regardless of input order.
+        let ingest = json.find("stage.ingest").unwrap();
+        let verify = json.find("stage.verify").unwrap();
+        assert!(ingest < verify);
+        assert!(json.contains("\"ts\":1.000,\"dur\":4.000"));
+        assert!(json.contains("\"args\":{\"id\":2,\"parent\":1,\"trace\":7}"));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn summaries_roll_up_by_trace_slowest_first() {
+        let spans = vec![
+            span(1, 0, 3, "stage.ingest", 0, 100),
+            span(2, 1, 3, "ingest.parse", 10, 20),
+            span(3, 0, 3, "stage.verify", 150, 50),
+            span(4, 0, 5, "stage.ingest", 0, 1_000),
+            span(5, 0, 0, "process.sweep", 0, 9_999), // untraced: excluded
+        ];
+        let summaries = summarize_traces(&spans);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].trace, 5);
+        assert_eq!(summaries[0].wall_ns, 1_000);
+        assert_eq!(summaries[1].trace, 3);
+        assert_eq!(summaries[1].wall_ns, 200); // min start 0, max end 200
+        assert_eq!(summaries[1].spans, 3);
+        assert_eq!(summaries[1].stages, vec!["stage.ingest", "stage.verify"]);
+        let table = slow_jobs_summary(&spans, 10);
+        assert!(table.contains("stage.ingest > stage.verify"), "table:\n{table}");
+    }
+}

@@ -1,0 +1,211 @@
+//! The metrics registry: named counters and fixed-bucket latency histograms.
+//!
+//! Histogram buckets are powers of two in nanoseconds — value `v` lands in
+//! the bucket indexed by its bit length, whose upper bound is `2^len - 1` ns.
+//! Quantiles walk the cumulative counts with integer ranks and report the
+//! containing bucket's upper bound, so p50/p90/p99 involve no floats anywhere
+//! (not in keys, not in ranks): a snapshot is a deterministic pure function
+//! of the recorded multiset of durations.
+//!
+//! Both maps key on `&'static str` (every instrumentation site names its
+//! metric with a literal), so recording allocates nothing; `BTreeMap` keeps
+//! snapshots name-ordered and therefore byte-stable when rendered.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Power-of-two buckets for u64 nanoseconds: index 0 holds exactly 0, index
+/// `i >= 1` holds `[2^(i-1), 2^i - 1]`; index 64 tops out at `u64::MAX`.
+const BUCKETS: usize = 65;
+
+#[derive(Clone)]
+struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram { counts: [0; BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// The upper bound of the bucket containing the `ceil(count * pct / 100)`-th
+    /// smallest recorded value (1-based). Integer arithmetic throughout.
+    fn quantile_ns(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * pct).div_ceil(100).max(1);
+        let mut cumulative = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= rank {
+                return bucket_upper_bound(index);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// One histogram's deterministic snapshot. Quantiles are bucket upper bounds
+/// (see [`MetricsSnapshot`]); `buckets` lists only the non-empty buckets as
+/// `(upper_bound_ns, count)` pairs, ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The histogram's name (a span label or an explicit metric name).
+    pub name: String,
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded nanoseconds (saturating).
+    pub sum_ns: u64,
+    /// 50th percentile, as the containing bucket's upper bound.
+    pub p50_ns: u64,
+    /// 90th percentile, as the containing bucket's upper bound.
+    pub p90_ns: u64,
+    /// 99th percentile, as the containing bucket's upper bound.
+    pub p99_ns: u64,
+    /// Largest recorded value, exact.
+    pub max_ns: u64,
+    /// Non-empty buckets as `(upper_bound_ns, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A name-ordered snapshot of every counter and histogram — the deterministic
+/// value behind the `metrics` protocol verb.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, name-ascending.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(Registry { counters: BTreeMap::new(), histograms: BTreeMap::new() })
+        })
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+pub(crate) fn add_counter(name: &'static str, delta: u64) {
+    *registry().counters.entry(name).or_insert(0) += delta;
+}
+
+pub(crate) fn record_histogram(name: &'static str, ns: u64) {
+    registry().histograms.entry(name).or_insert_with(Histogram::new).record(ns);
+}
+
+pub(crate) fn reset_metrics() {
+    let mut registry = registry();
+    registry.counters.clear();
+    registry.histograms.clear();
+}
+
+pub(crate) fn snapshot() -> MetricsSnapshot {
+    let registry = registry();
+    MetricsSnapshot {
+        counters: registry.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        histograms: registry
+            .histograms
+            .iter()
+            .map(|(&name, hist)| HistogramSnapshot {
+                name: name.to_string(),
+                count: hist.count,
+                sum_ns: hist.sum_ns,
+                p50_ns: hist.quantile_ns(50),
+                p90_ns: hist.quantile_ns(90),
+                p99_ns: hist.quantile_ns(99),
+                max_ns: hist.max_ns,
+                buckets: hist
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &count)| count > 0)
+                    .map(|(index, &count)| (bucket_upper_bound(index), count))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value's bucket bound is >= the value, and the previous bucket's
+        // bound is < the value: the mapping is a partition.
+        for v in [1u64, 2, 3, 5, 64, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_upper_bound(i) >= v);
+            assert!(bucket_upper_bound(i - 1) < v);
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts_with_integer_ranks() {
+        let mut hist = Histogram::new();
+        assert_eq!(hist.quantile_ns(50), 0, "empty histogram quantile is 0");
+        for ns in [0, 0, 10, 100] {
+            hist.record(ns);
+        }
+        // Ranks: p50 -> ceil(4*50/100) = 2 -> second zero (bucket 0).
+        assert_eq!(hist.quantile_ns(50), 0);
+        // p75 -> rank 3 -> 10's bucket (upper bound 15).
+        assert_eq!(hist.quantile_ns(75), 15);
+        // p99 -> rank 4 -> 100's bucket (upper bound 127).
+        assert_eq!(hist.quantile_ns(99), 127);
+        assert_eq!((hist.count, hist.sum_ns, hist.max_ns), (4, 110, 100));
+    }
+
+    #[test]
+    fn saturating_sum_survives_extreme_values() {
+        let mut hist = Histogram::new();
+        hist.record(u64::MAX);
+        hist.record(u64::MAX);
+        assert_eq!(hist.sum_ns, u64::MAX);
+        assert_eq!(hist.max_ns, u64::MAX);
+        assert_eq!(hist.quantile_ns(99), u64::MAX);
+    }
+}

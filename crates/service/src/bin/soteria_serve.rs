@@ -32,6 +32,10 @@
 //!   through to `PATH` (crash-safe temp+rename with checksum framing) and a
 //!   restarted service restores them from disk instead of recomputing
 //!   (default: `SOTERIA_STORE_DIR`, else memory-only);
+//! * `--trace-out PATH` — enable tracing (as if `SOTERIA_TRACE=1`) and, when
+//!   the serve loop exits, write every retained span to `PATH` as Chrome
+//!   `trace_event` JSON (load it at `chrome://tracing` or Perfetto) plus a
+//!   human slow-jobs top-N summary on stderr;
 //! * `--smoke` — run the self-check gate instead of serving: pipe the running
 //!   examples through the full protocol, diff every served report against the
 //!   direct `Soteria` API, verify a second pass is served byte-identically
@@ -56,6 +60,7 @@ enum PendingOut {
     Update { app: AppJob, envs: Vec<EnvJob> },
     Cancel { name: String, cancelled: bool },
     Stats,
+    Metrics,
     Faults,
     Sync { settled: usize },
     Drain(soteria_service::DrainReport),
@@ -172,6 +177,9 @@ fn serve(
                         protocol::cancel_response(index, &name, cancelled)
                     }
                     PendingOut::Stats => protocol::stats_response(index, &service.stats()),
+                    PendingOut::Metrics => {
+                        protocol::metrics_response(index, &soteria_obs::metrics_snapshot())
+                    }
                     PendingOut::Faults => protocol::faults_response(index, &service.faults()),
                     PendingOut::Sync { settled } => protocol::sync_response(index, settled),
                     PendingOut::Drain(report) => protocol::drain_response(index, &report),
@@ -227,6 +235,7 @@ fn serve(
                     PendingOut::Cancel { name, cancelled }
                 }
                 Ok(Some(Request::Stats)) => PendingOut::Stats,
+                Ok(Some(Request::Metrics)) => PendingOut::Metrics,
                 Ok(Some(Request::Faults)) => PendingOut::Faults,
                 Ok(Some(Request::Sync)) => PendingOut::Sync { settled: live.sync() },
                 // Synchronous in the reader: no further request is even parsed
@@ -540,6 +549,7 @@ fn run_fault_and_drain_smoke() {
 fn main() {
     let mut options = ServiceOptions::default();
     let mut smoke = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -596,19 +606,25 @@ fn main() {
                 options.store_dir =
                     Some(args.next().expect("--store-dir needs a directory path").into());
             }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a file path").into());
+            }
             "--smoke" => smoke = true,
             other => {
                 eprintln!(
                     "unknown flag '{other}' (expected --workers N, --cache N, \
                      --max-pending N, --admission block|reject, --deadline-ms N, \
                      --quarantine N, --fault-marker S, --stall-marker S, \
-                     --store-dir PATH, --smoke)"
+                     --store-dir PATH, --trace-out PATH, --smoke)"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    if trace_out.is_some() {
+        soteria_obs::set_enabled(true);
+    }
     let service = Service::new(soteria::Soteria::new(), options);
     if smoke {
         run_smoke(&service);
@@ -630,4 +646,21 @@ fn main() {
         stats.coalesced,
         stats.workers
     );
+    if let Some(path) = trace_out {
+        // Settling a job happens *inside* its pool task, before the worker's
+        // own `pool.run` span closes and flushes the thread's span tree — so
+        // the drain above does not mean every span is flushed yet. Quiesce is
+        // the real barrier: it waits out the workers' task epilogues.
+        service.quiesce();
+        let spans = soteria_obs::drain_spans();
+        match std::fs::write(&path, soteria_obs::chrome_trace_json(&spans)) {
+            Ok(()) => eprintln!(
+                "soteria-serve: wrote {} spans to {} (chrome://tracing format)",
+                spans.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("soteria-serve: cannot write {}: {e}", path.display()),
+        }
+        eprint!("{}", soteria_obs::slow_jobs_summary(&spans, 5));
+    }
 }

@@ -14,6 +14,7 @@
 //! update <name> inline:|path:|corpus: # resubmit an edited app + re-verify its groups
 //! cancel <name>                       # cancel an in-flight app or env job, by name
 //! stats                               # service counter snapshot
+//! metrics                             # observability snapshot (counters + latency histograms)
 //! faults                              # dump the retained fault log
 //! sync                                # block until every in-flight job settles
 //! drain [<deadline_ms>]               # close admission, settle everything, report
@@ -36,6 +37,8 @@
 //! {"job":8,"kind":"drain","status":"ok","drain":{"settled":...,"completed":...,
 //!                              "failed":...,"cancelled":...,"timed_out":...,"elapsed_ms":...}}
 //! {"job":9,"kind":"sync","status":"ok","settled":...}
+//! {"job":11,"kind":"metrics","status":"ok","metrics":{"counters":{...},
+//!           "histograms":[{"name":...,"count":...,"p50_ns":...,"p90_ns":...,"p99_ns":...},...]}}
 //! {"job":10,"kind":"update","name":...,"status":...,"cache":...,"report":{...},
 //!           "environments":[{"name":...,"status":...,"cache":...,"report":{...}},...]}
 //! ```
@@ -108,6 +111,10 @@ pub enum Request {
     },
     /// Emit a service counter snapshot.
     Stats,
+    /// Emit the observability registry — named counters and latency
+    /// histograms — as one JSON response line. Empty (but well-formed) when
+    /// tracing is off.
+    Metrics,
     /// Dump the retained fault log as one JSON response line.
     Faults,
     /// Block request intake until every in-flight job has settled. The
@@ -236,6 +243,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Ok(Some(Request::Cancel { name: name.to_string() }))
         }
         "stats" => Ok(Some(Request::Stats)),
+        "metrics" => Ok(Some(Request::Metrics)),
         "faults" => Ok(Some(Request::Faults)),
         "sync" => Ok(Some(Request::Sync)),
         "drain" => {
@@ -368,11 +376,17 @@ pub fn error_response(job: usize, error: &str) -> JsonValue {
 /// The response line for a `stats` request.
 pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
     let cache = |c: crate::cache::CacheStats| {
+        // Derived rate in basis points (integer — no float formatting drift):
+        // 10000 * hits / lookups, 0 when the cache was never consulted.
+        let lookups = c.hits + c.misses;
+        let hit_rate_bp = (c.hits * 10_000).checked_div(lookups).unwrap_or(0);
         JsonValue::object([
             ("hits", JsonValue::Number(c.hits as f64)),
             ("misses", JsonValue::Number(c.misses as f64)),
             ("evictions", JsonValue::Number(c.evictions as f64)),
             ("entries", JsonValue::uint(c.entries)),
+            ("lookups", JsonValue::Number(lookups as f64)),
+            ("hit_rate_bp", JsonValue::Number(hit_rate_bp as f64)),
         ])
     };
     // The persistent store block is present only when a store is configured,
@@ -405,6 +419,7 @@ pub fn stats_response(job: usize, stats: &ServiceStats) -> JsonValue {
         ("faults", JsonValue::Number(stats.faults as f64)),
         ("draining", JsonValue::Bool(stats.draining)),
         ("pending", JsonValue::uint(stats.pending)),
+        ("pending_peak", JsonValue::uint(stats.pending_peak)),
         ("registry_entries", JsonValue::uint(stats.registry_entries)),
         ("app_cache", cache(stats.app_cache)),
         ("env_cache", cache(stats.env_cache)),
@@ -431,11 +446,55 @@ pub fn faults_response(job: usize, faults: &[FaultRecord]) -> JsonValue {
                 ("stage", JsonValue::string(f.stage)),
                 ("kind", JsonValue::string(f.kind.as_str())),
                 ("message", JsonValue::string(f.message.clone())),
+                // Epoch-relative (process start) milliseconds; correlates the
+                // fault with the spans of its owning trace.
+                ("at_ms", JsonValue::Number(f.at_ns as f64 / 1e6)),
+                ("trace", JsonValue::Number(f.trace as f64)),
             ])
         })
         .collect();
     let mut members = response_header(job, "faults", "ok");
     members.push(("faults", JsonValue::Array(records)));
+    JsonValue::object(members)
+}
+
+/// The response line for a `metrics` request: the observability registry's
+/// deterministic snapshot — counters as one name-sorted object, histograms as
+/// an array of `{name, count, sum_ns, p50_ns, p90_ns, p99_ns, max_ns}` (the
+/// power-of-two buckets are summarized by their integer quantiles, never
+/// rendered raw). With tracing off both collections are empty but the shape
+/// is identical.
+pub fn metrics_response(job: usize, snapshot: &soteria_obs::MetricsSnapshot) -> JsonValue {
+    let counters = JsonValue::Object(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), JsonValue::Number(*value as f64)))
+            .collect(),
+    );
+    let histograms: Vec<JsonValue> = snapshot
+        .histograms
+        .iter()
+        .map(|h| {
+            JsonValue::object([
+                ("name", JsonValue::string(h.name.clone())),
+                ("count", JsonValue::Number(h.count as f64)),
+                ("sum_ns", JsonValue::Number(h.sum_ns as f64)),
+                ("p50_ns", JsonValue::Number(h.p50_ns as f64)),
+                ("p90_ns", JsonValue::Number(h.p90_ns as f64)),
+                ("p99_ns", JsonValue::Number(h.p99_ns as f64)),
+                ("max_ns", JsonValue::Number(h.max_ns as f64)),
+            ])
+        })
+        .collect();
+    let mut members = response_header(job, "metrics", "ok");
+    members.push((
+        "metrics",
+        JsonValue::object([
+            ("counters", counters),
+            ("histograms", JsonValue::Array(histograms)),
+        ]),
+    ));
     JsonValue::object(members)
 }
 
@@ -522,6 +581,7 @@ mod tests {
             Some(Request::Cancel { name: "wld".into() })
         );
         assert_eq!(parse_request("stats").unwrap(), Some(Request::Stats));
+        assert_eq!(parse_request("metrics").unwrap(), Some(Request::Metrics));
         assert_eq!(parse_request("faults").unwrap(), Some(Request::Faults));
         assert_eq!(parse_request("sync").unwrap(), Some(Request::Sync));
         assert_eq!(

@@ -163,6 +163,13 @@ pub struct FaultRecord {
     pub kind: FaultKind,
     /// The panic payload message, or a deadline description.
     pub message: String,
+    /// When the fault was recorded, in nanoseconds relative to the
+    /// observability epoch (process start; the fake clock under test) — always
+    /// stamped, tracing on or off.
+    pub at_ns: u64,
+    /// The owning job's trace id (`0` = tracing was off, or the fault has no
+    /// owning job — store faults blame the disk, not a job).
+    pub trace: u64,
 }
 
 /// Default fault-log retention bound (overridable via
@@ -253,6 +260,10 @@ pub(crate) struct JobControl {
     state: Mutex<ControlState>,
     /// When the job was admitted, for the pending deadline.
     submitted_at: Instant,
+    /// The job's trace identity: every span its stages emit (and every fault
+    /// it records) carries this id, so per-job traces can be stitched back
+    /// together from the global span buffer. `NONE` when tracing is off.
+    trace: soteria_obs::TraceId,
     /// The in-stage abort flag: installed thread-locally around every stage
     /// body, latched by cancel/timeout so a *running* stage stops at its next
     /// poll point (checker fixpoint rounds, union edge blocks) instead of
@@ -270,6 +281,11 @@ impl JobControl {
                 running_since: None,
             }),
             submitted_at: Instant::now(),
+            trace: if soteria_obs::enabled() {
+                soteria_obs::next_trace_id()
+            } else {
+                soteria_obs::TraceId::NONE
+            },
             abort: AbortHandle::new(),
         })
     }
@@ -410,6 +426,9 @@ struct Admission {
     max_pending: usize,
     policy: AdmissionPolicy,
     pending: Mutex<usize>,
+    /// High-water mark of `pending` over the service's life (written under the
+    /// `pending` lock, read lock-free by stats).
+    peak: AtomicU64,
     freed: Condvar,
     /// Latched by drain (and service drop): no further admissions, and blocked
     /// submitters are woken to observe [`ServiceError::Draining`] instead of
@@ -423,6 +442,7 @@ impl Admission {
             max_pending,
             policy,
             pending: Mutex::new(0),
+            peak: AtomicU64::new(0),
             freed: Condvar::new(),
             closed: AtomicBool::new(false),
         }
@@ -438,6 +458,9 @@ impl Admission {
             self.max_pending == 0 || *pending <= self.max_pending,
             "pending jobs exceed max_pending"
         );
+        if *pending as u64 > self.peak.load(Ordering::Relaxed) {
+            self.peak.store(*pending as u64, Ordering::Relaxed);
+        }
         Admit::Granted
     }
 
@@ -471,6 +494,10 @@ impl Admission {
 
     fn pending(&self) -> usize {
         *lock_recover(&self.pending)
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed) as usize
     }
 }
 
@@ -920,6 +947,9 @@ pub struct ServiceStats {
     /// Queued-but-unstarted jobs right now (the quantity
     /// [`ServiceOptions::max_pending`] bounds).
     pub pending: usize,
+    /// High-water mark of `pending` over the service's life — how close the
+    /// queue ever came to its bound.
+    pub pending_peak: usize,
     /// Per-name registry entries right now (bounded by live tickets plus the
     /// app cache capacity — bare keys are evicted alongside their cache
     /// entries).
@@ -1076,7 +1106,9 @@ impl ServiceInner {
                     .store
                     .as_ref()
                     .is_some_and(|s| s.contains(StoreBucket::Apps, evicted_key));
-                if !demoted {
+                if demoted {
+                    soteria_obs::add("store.demote", 1);
+                } else {
                     registry
                         .retain(|_, entry| entry.ticket.is_some() || entry.key != evicted_key);
                 }
@@ -1122,10 +1154,20 @@ impl ServiceInner {
         stage: &'static str,
         kind: FaultKind,
         message: String,
+        trace: soteria_obs::TraceId,
     ) {
         let seq = self.faults.fetch_add(1, Ordering::Relaxed);
-        let record =
-            FaultRecord { seq, name: name.to_string(), key, stage, kind, message };
+        soteria_obs::add("service.faults", 1);
+        let record = FaultRecord {
+            seq,
+            name: name.to_string(),
+            key,
+            stage,
+            kind,
+            message,
+            at_ns: soteria_obs::now_ns(),
+            trace: trace.0,
+        };
         let mut log = lock_recover(&self.fault_log);
         if log.len() >= self.fault_log_capacity {
             log.pop_front();
@@ -1162,7 +1204,14 @@ impl ServiceInner {
         let Some(store) = &self.store else { return };
         for fault in store.take_faults() {
             let key = fault.key.unwrap_or(CacheKey(0));
-            self.record_fault("", key, "store", fault.kind, fault.message);
+            self.record_fault(
+                "",
+                key,
+                "store",
+                fault.kind,
+                fault.message,
+                soteria_obs::TraceId::NONE,
+            );
         }
     }
 
@@ -1172,6 +1221,8 @@ impl ServiceInner {
     /// into the store's own breaker accounting; the analysis is unaffected.
     fn persist_app(&self, key: CacheKey, name: &str, source: &str, analysis: &AppAnalysis) {
         if let Some(store) = &self.store {
+            let _span = soteria_obs::span("store.persist");
+            soteria_obs::add("store.persist", 1);
             store.save(StoreBucket::Apps, key, &soteria::app_store_json(name, source, analysis));
             self.drain_store_faults();
         }
@@ -1184,6 +1235,8 @@ impl ServiceInner {
     /// the embedded copy is what ties the payload to its filename on restore.
     fn persist_env(&self, key: CacheKey, env: &EnvironmentAnalysis) {
         if let Some(store) = &self.store {
+            let _span = soteria_obs::span("store.persist");
+            soteria_obs::add("store.persist", 1);
             let payload = JsonValue::object([
                 ("env_key", JsonValue::string(key.to_string())),
                 ("record", soteria::env_store_json(env)),
@@ -1226,9 +1279,11 @@ impl ServiceInner {
         let result = match restored {
             Some(analysis) => {
                 store.note_restored();
+                soteria_obs::add("store.restore", 1);
                 Some(Arc::new(analysis))
             }
             None => {
+                soteria_obs::add("store.quarantine", 1);
                 store.quarantine(
                     StoreBucket::Apps,
                     key,
@@ -1278,9 +1333,11 @@ impl ServiceInner {
         let result = match restored {
             Some(env) => {
                 store.note_restored();
+                soteria_obs::add("store.restore", 1);
                 Some(Arc::new(env))
             }
             None => {
+                soteria_obs::add("store.quarantine", 1);
                 store.quarantine(
                     StoreBucket::Envs,
                     key,
@@ -1299,6 +1356,7 @@ impl ServiceInner {
     /// called with the registry lock held.
     fn promote_app_from_disk(&self, key: CacheKey) -> Option<AppResult> {
         let analysis = self.restore_app_from_disk(key)?;
+        soteria_obs::add("store.promote", 1);
         let result: AppResult = Ok(analysis);
         let evicted = lock_recover(&self.apps).insert(key, result.clone());
         if let Some((evicted_key, _)) = evicted {
@@ -1306,7 +1364,9 @@ impl ServiceInner {
                 .store
                 .as_ref()
                 .is_some_and(|s| s.contains(StoreBucket::Apps, evicted_key));
-            if !demoted {
+            if demoted {
+                soteria_obs::add("store.demote", 1);
+            } else {
                 lock_recover(&self.registry)
                     .retain(|_, entry| entry.ticket.is_some() || entry.key != evicted_key);
             }
@@ -1367,7 +1427,14 @@ impl ServiceInner {
             return false;
         }
         self.timed_out.fetch_add(1, Ordering::Relaxed);
-        self.record_fault(&watched.name, watched.key, stage, FaultKind::Timeout, why.to_string());
+        self.record_fault(
+            &watched.name,
+            watched.key,
+            stage,
+            FaultKind::Timeout,
+            why.to_string(),
+            watched.control.trace,
+        );
         match &watched.ticket {
             TicketRef::App(ticket) => {
                 self.release(ticket.fulfil(Err(JobError::TimedOut)));
@@ -1400,6 +1467,7 @@ impl ServiceInner {
             return 0;
         }
         let now = Instant::now();
+        let sweep_started = if soteria_obs::enabled() { soteria_obs::now_ns() } else { 0 };
         let snapshot: Vec<Watched> = lock_recover(&self.watched).clone();
         let mut settled = 0;
         for watched in &snapshot {
@@ -1407,6 +1475,19 @@ impl ServiceInner {
                 if self.timeout_watched(watched, stage, "deadline exceeded") {
                     settled += 1;
                 }
+            }
+        }
+        // A span per settling sweep only — the idle ticks (every few ms for a
+        // service's whole life) would drown real work out of the span buffer.
+        if settled > 0 {
+            soteria_obs::add("sweeper.settled", settled as u64);
+            if soteria_obs::enabled() {
+                soteria_obs::record_span(
+                    "sweeper.sweep",
+                    soteria_obs::TraceId::NONE,
+                    sweep_started,
+                    soteria_obs::now_ns(),
+                );
             }
         }
         settled
@@ -1495,7 +1576,8 @@ impl ServiceInner {
         if state.stage.is_terminal() {
             return;
         }
-        state.stage = Stage::Queued(self.pool.spawn(task));
+        state.stage =
+            Stage::Queued(soteria_obs::with_trace(control.trace, || self.pool.spawn(task)));
     }
 
     /// One full-queue admission round: under [`AdmissionPolicy::Reject`] counts
@@ -1743,9 +1825,11 @@ impl Service {
             });
             if let Some((ticket, control)) = in_flight {
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                soteria_obs::add("cache.app.coalesced", 1);
                 break self.app_job(name, key, CacheDisposition::Coalesced, ticket, control);
             }
             if let Some(result) = lock_recover(&inner.apps).get(key) {
+                soteria_obs::add("cache.app.hit", 1);
                 // Frozen result: the registry needs only the key.
                 registry.insert(
                     name.to_string(),
@@ -1762,6 +1846,7 @@ impl Service {
             // Prospective miss: the job needs a queue slot.
             match inner.admission.try_acquire() {
                 Admit::Granted => {
+                    soteria_obs::add("cache.app.miss", 1);
                     let ticket = Ticket::new();
                     let control = JobControl::new();
                     // Register before scheduling, so a fast worker's completion
@@ -1822,6 +1907,7 @@ impl Service {
             if !task_control.begin_stage(&inner.admission) {
                 return; // cancelled while queued; the ticket is already settled
             }
+            let _stage = soteria_obs::span("stage.ingest");
             // Disk tier first: a validated stored record rebuilds the full
             // analysis without a verify stage. A miss (or any damage — which
             // quarantines and recomputes) falls through to the normal
@@ -1848,7 +1934,14 @@ impl Service {
                         return; // cancel/timeout settled the ticket already
                     }
                     let message = panic_message(payload);
-                    inner.record_fault(&name, fault_key, "ingest", FaultKind::Panic, message.clone());
+                    inner.record_fault(
+                        &name,
+                        fault_key,
+                        "ingest",
+                        FaultKind::Panic,
+                        message.clone(),
+                        task_control.trace,
+                    );
                     inner.settle_app(
                         &task_control,
                         &name,
@@ -1874,10 +1967,12 @@ impl Service {
                     let verify_ticket = ticket.clone();
                     let verify_name = name.clone();
                     let verify_source = source;
-                    let id = inner.pool.spawn(move || {
+                    let id = soteria_obs::with_trace(task_control.trace, || {
+                        inner.pool.spawn(move || {
                         if !verify_control.begin_stage(&verify_inner.admission) {
                             return;
                         }
+                        let _stage = soteria_obs::span("stage.verify");
                         let analysis = std::panic::catch_unwind(
                             std::panic::AssertUnwindSafe(|| {
                                 soteria_exec::with_abort(
@@ -1910,6 +2005,7 @@ impl Service {
                                     "verify",
                                     FaultKind::Panic,
                                     message.clone(),
+                                    verify_control.trace,
                                 );
                                 Err(JobError::Internal(message))
                             }
@@ -1921,6 +2017,7 @@ impl Service {
                             &verify_ticket,
                             result,
                         );
+                        })
                     });
                     state.stage = Stage::Queued(id);
                 }
@@ -1933,7 +2030,7 @@ impl Service {
         if state.stage.is_terminal() {
             return;
         }
-        let id = self.inner.pool.spawn(task);
+        let id = soteria_obs::with_trace(control.trace, || self.inner.pool.spawn(task));
         state.stage = Stage::Queued(id);
     }
 
@@ -1961,10 +2058,12 @@ impl Service {
             let mut in_flight = lock_recover(&inner.envs_in_flight);
             if let Some((ticket, control)) = in_flight.get(&key.0) {
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                soteria_obs::add("cache.env.coalesced", 1);
                 let (ticket, control) = (ticket.clone(), Arc::clone(control));
                 break self.env_job(group, key, CacheDisposition::Coalesced, ticket, Some(control));
             }
             if let Some(result) = lock_recover(&inner.envs).get(key) {
+                soteria_obs::add("cache.env.hit", 1);
                 break self.env_job(
                     group,
                     key,
@@ -1975,6 +2074,7 @@ impl Service {
             }
             match inner.admission.try_acquire() {
                 Admit::Granted => {
+                    soteria_obs::add("cache.env.miss", 1);
                     let ticket = Ticket::new();
                     let control = JobControl::new();
                     in_flight.insert(key.0, (ticket.clone(), Arc::clone(&control)));
@@ -2168,6 +2268,7 @@ impl Service {
             if !task_control.begin_stage(&inner.admission) {
                 return; // cancelled while parked or queued
             }
+            let _stage = soteria_obs::span("stage.environment");
             let mut analyses: Vec<Arc<AppAnalysis>> =
                 Vec::with_capacity(member_handles.len());
             for (member, _, member_ticket) in &member_handles {
@@ -2231,6 +2332,7 @@ impl Service {
             };
             if base.is_some() {
                 inner.env_incremental.fetch_add(1, Ordering::Relaxed);
+                soteria_obs::add("env.incremental", 1);
             }
             // Members stay behind their frozen Arcs — no per-job deep copies.
             let env = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -2287,6 +2389,7 @@ impl Service {
                         "environment",
                         FaultKind::Panic,
                         message.clone(),
+                        task_control.trace,
                     );
                     Err(JobError::Internal(message))
                 }
@@ -2360,6 +2463,7 @@ impl Service {
     /// Idempotent: a second drain finds nothing outstanding and returns the
     /// (now empty) log immediately.
     pub fn drain(&self, deadline: Option<Duration>) -> DrainReport {
+        let _span = soteria_obs::span("service.drain");
         let started = Instant::now();
         let cutoff = deadline.map(|d| started + d);
         self.inner.draining.store(true, Ordering::Relaxed);
@@ -2441,6 +2545,7 @@ impl Service {
             faults: self.inner.faults.load(Ordering::Relaxed),
             draining: self.inner.is_draining(),
             pending: self.inner.admission.pending(),
+            pending_peak: self.inner.admission.peak(),
             registry_entries: lock_recover(&self.inner.registry).len(),
             app_cache: lock_recover(&self.inner.apps).stats(),
             env_cache: lock_recover(&self.inner.envs).stats(),
@@ -2451,6 +2556,16 @@ impl Service {
     /// The persistent store's root directory, when one is configured.
     pub fn store_dir(&self) -> Option<&std::path::Path> {
         self.inner.store.as_ref().map(PersistentStore::root)
+    }
+
+    /// Blocks until the worker pool is idle — empty queue, no worker inside a
+    /// task *or its epilogue*. A settled job ticket means its result is
+    /// available, not that the worker has finished closing the job's
+    /// observability spans (settling happens inside the task); trace exporters
+    /// must quiesce before draining the span collector or they race the last
+    /// flush. See [`soteria_exec::WorkerPool::quiesce`].
+    pub fn quiesce(&self) {
+        self.inner.pool.quiesce();
     }
 }
 

@@ -138,15 +138,26 @@ impl Soteria {
     /// runs the symbolic executor, and builds the state model — everything up to
     /// (but not including) property verification.
     pub fn ingest_app(&self, name: &str, source: &str) -> Result<IngestedApp, ParseError> {
+        let _span = soteria_obs::span("soteria.ingest");
         let started = Instant::now();
-        let ir = AppIr::from_source(name, source, &self.registry)?;
-        let executor = SymbolicExecutor::new(&ir, &self.registry, self.config.clone());
-        let specs = executor.transition_specs();
-        let summaries = executor.handler_summaries();
-        let abstraction = abstract_domains(&ir, &self.registry, &specs);
+        let ir = {
+            let _s = soteria_obs::span("ingest.parse");
+            AppIr::from_source(name, source, &self.registry)?
+        };
+        let (specs, summaries) = {
+            let _s = soteria_obs::span("ingest.symbolic");
+            let executor = SymbolicExecutor::new(&ir, &self.registry, self.config.clone());
+            (executor.transition_specs(), executor.handler_summaries())
+        };
+        let abstraction = {
+            let _s = soteria_obs::span("ingest.abstraction");
+            abstract_domains(&ir, &self.registry, &specs)
+        };
         let states_before_reduction = abstraction.states_before();
-        let model =
-            build_state_model(&ir.name, &abstraction, &specs, &BuildOptions::default());
+        let model = {
+            let _s = soteria_obs::span("ingest.model");
+            build_state_model(&ir.name, &abstraction, &specs, &BuildOptions::default())
+        };
         let extraction_time = started.elapsed();
         Ok(IngestedApp {
             ir,
@@ -164,6 +175,7 @@ impl Soteria {
     /// analyzer's configuration — results are identical whether the two stages run
     /// back-to-back or pipelined on different workers.
     pub fn verify_app(&self, ingested: IngestedApp) -> AppAnalysis {
+        let _span = soteria_obs::span("soteria.verify");
         let IngestedApp {
             ir,
             specs,
@@ -571,18 +583,22 @@ impl Soteria {
         let kripke: Arc<Kripke> =
             prebuilt.unwrap_or_else(|| Arc::new(default_initial_kripke(model)));
         let (results, snapshot) = match mode {
-            CheckMode::Batch => (
-                check_all_parallel_with(
-                    &kripke,
-                    self.engine,
-                    &formulas,
-                    self.threads(),
-                    self.config.property_shard_states,
-                    self.config.fixpoint_shard_states,
-                ),
-                None,
-            ),
+            CheckMode::Batch => {
+                let _s = soteria_obs::span("check.batch");
+                (
+                    check_all_parallel_with(
+                        &kripke,
+                        self.engine,
+                        &formulas,
+                        self.threads(),
+                        self.config.property_shard_states,
+                        self.config.fixpoint_shard_states,
+                    ),
+                    None,
+                )
+            }
             CheckMode::Snapshot => {
+                let _s = soteria_obs::span("check.cold");
                 let checker = ModelChecker::with_sharding(
                     &kripke,
                     self.engine,
@@ -594,6 +610,7 @@ impl Soteria {
                 (results, Some(exported))
             }
             CheckMode::Reuse { snapshot, dirty_prefixes } => {
+                let _s = soteria_obs::span("check.reuse");
                 let checker = ModelChecker::with_sharding(
                     &kripke,
                     self.engine,
