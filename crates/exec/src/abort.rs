@@ -28,7 +28,7 @@
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use soteria_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A shared abort flag: cloned handles observe the same flag.

@@ -42,8 +42,8 @@
 use std::any::Any;
 use std::cell::Cell;
 use std::panic;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{LockResult, Mutex, MutexGuard};
+use soteria_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use soteria_sync::Mutex;
 
 mod abort;
 mod pool;
@@ -51,25 +51,11 @@ mod pool;
 pub use abort::{current_abort, is_abort_payload, with_abort, AbortHandle, Aborted};
 pub use pool::{global_pool, pool_map, TaskId, WorkerPool};
 
-/// Locks a mutex, recovering the guard from a poisoned lock.
-///
-/// Every mutex in this workspace's execution layer protects a *plain value*
-/// (queues, counters, finished-chunk lists) whose invariants hold between any
-/// two operations — a panic while the guard was held cannot leave the state
-/// half-updated in a way later readers would misinterpret. Propagating the
-/// poison instead would turn one panicking analysis job into a cascade of
-/// unrelated `PoisonError` panics across every other job sharing the service,
-/// which is exactly what a long-lived service must not do.
-pub fn lock_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    recover(mutex.lock())
-}
-
-/// Unwraps any [`LockResult`] (a `lock()`, a `Condvar::wait`, or an
-/// `into_inner()`), recovering the value from a poisoned lock — same rationale
-/// as [`lock_recover`].
-pub fn recover<T>(result: LockResult<T>) -> T {
-    result.unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+// The poison-recovery helpers moved into `soteria-sync` with the rest of the
+// synchronization facade. They are re-exported for callers still holding raw
+// `std::sync` locks (interop only): facade locks recover poison on their own,
+// so code on the facade never needs them.
+pub use soteria_sync::{lock_recover, recover};
 
 /// The environment variable overriding the worker count (`0` or unset = auto).
 pub const THREADS_ENV: &str = "SOTERIA_THREADS";
@@ -231,7 +217,7 @@ where
     // all of its scoped workers, and the sentinel unwind propagates to the
     // caller through the normal first-panic path.
     let abort_handle = current_abort();
-    std::thread::scope(|scope| {
+    soteria_sync::thread::scope(|scope| {
         let worker = || {
             let _guard = enter_par_worker();
             let _abort_scope = abort::install_scoped(abort_handle.clone());
@@ -249,10 +235,10 @@ where
                     items[start..end].iter().map(&f).collect::<Vec<R>>()
                 }));
                 match mapped {
-                    Ok(mapped) => lock_recover(&finished).push((chunk, mapped)),
+                    Ok(mapped) => finished.lock().push((chunk, mapped)),
                     Err(payload) => {
                         abort.store(true, Ordering::Relaxed);
-                        let mut slot = lock_recover(&first_panic);
+                        let mut slot = first_panic.lock();
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
@@ -266,10 +252,10 @@ where
         }
     });
 
-    if let Some(payload) = recover(first_panic.into_inner()) {
+    if let Some(payload) = first_panic.into_inner() {
         panic::resume_unwind(payload);
     }
-    let mut chunks = recover(finished.into_inner());
+    let mut chunks = finished.into_inner();
     chunks.sort_unstable_by_key(|&(index, _)| index);
     debug_assert_eq!(chunks.len(), chunk_count);
     chunks.into_iter().flat_map(|(_, mapped)| mapped).collect()
@@ -322,17 +308,17 @@ mod tests {
     }
 
     #[test]
-    fn lock_recover_reads_through_a_poisoned_mutex() {
+    fn facade_mutex_recovers_from_poisoning() {
         let shared = Mutex::new(41);
         let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
-            let mut guard = shared.lock().unwrap();
+            let mut guard = shared.lock();
             *guard = 42; // complete the update, *then* panic: state is consistent
             panic!("poisoning panic");
         }));
         assert!(caught.is_err());
         assert!(shared.is_poisoned());
-        assert_eq!(*lock_recover(&shared), 42);
-        assert_eq!(recover(shared.into_inner()), 42);
+        assert_eq!(*shared.lock(), 42);
+        assert_eq!(shared.into_inner(), 42);
     }
 
     #[test]

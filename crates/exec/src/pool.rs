@@ -35,11 +35,12 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+use soteria_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use soteria_sync::{Condvar, Mutex};
+use std::sync::{Arc, OnceLock};
+use soteria_sync::thread::JoinHandle;
 
-use crate::{enter_par_worker, lock_recover, recover, resolve_threads};
+use crate::{enter_par_worker, resolve_threads};
 
 /// A fire-and-forget task on the injector queue.
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -126,7 +127,7 @@ impl WorkerPool {
         let handles = (0..workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
+                soteria_sync::thread::spawn(move || {
                     // Pool threads are parallel workers for their whole lifetime:
                     // anything they run resolves nested fan-out to 1 thread.
                     let _guard = enter_par_worker();
@@ -165,7 +166,7 @@ impl WorkerPool {
         } else {
             None
         };
-        let mut queue = lock_recover(&self.shared.queue);
+        let mut queue = self.shared.queue.lock();
         let id = queue.next_id;
         queue.next_id += 1;
         queue.tasks.push_back((id, Box::new(task), obs));
@@ -188,7 +189,7 @@ impl WorkerPool {
     /// The revoked closure is dropped outside the lock (dropping it can release
     /// arbitrary captured state).
     pub fn try_revoke(&self, id: TaskId) -> bool {
-        let mut queue = lock_recover(&self.shared.queue);
+        let mut queue = self.shared.queue.lock();
         let revoked = queue
             .tasks
             .iter()
@@ -208,9 +209,9 @@ impl WorkerPool {
     /// Must not be called from one of the pool's own workers (it would wait
     /// for itself); scoped `install` helpers don't call it.
     pub fn quiesce(&self) {
-        let mut queue = lock_recover(&self.shared.queue);
+        let mut queue = self.shared.queue.lock();
         while !queue.tasks.is_empty() || queue.busy > 0 {
-            queue = recover(self.shared.quiet.wait(queue));
+            queue = self.shared.quiet.wait(queue);
         }
     }
 
@@ -244,7 +245,7 @@ impl WorkerPool {
         // queue behind the others and usually find no chunks left), but they buy
         // no concurrency — don't enqueue more than the pool can run.
         let helpers = (threads - 1).min(self.workers());
-        *lock_recover(&job.latch) = helpers;
+        *job.latch.lock() = helpers;
         let job_addr = &job as *const ScopedJob<'_, T, R, F> as usize;
         for _ in 0..helpers {
             // SAFETY (of the later deref): `job` outlives every enqueued task
@@ -263,9 +264,9 @@ impl WorkerPool {
             let _guard = enter_par_worker();
             job.run_chunks();
         }
-        let mut outstanding = lock_recover(&job.latch);
+        let mut outstanding = job.latch.lock();
         while *outstanding > 0 {
-            outstanding = recover(job.done.wait(outstanding));
+            outstanding = job.done.wait(outstanding);
         }
         drop(outstanding);
         job.into_output()
@@ -275,7 +276,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut queue = lock_recover(&self.shared.queue);
+            let mut queue = self.shared.queue.lock();
             queue.shutdown = true;
         }
         self.shared.work_available.notify_all();
@@ -300,7 +301,7 @@ fn worker_loop(shared: &Shared) {
         // included), split from run time in the pool-utilization counters.
         let idle_from = if soteria_obs::enabled() { Some(soteria_obs::now_ns()) } else { None };
         let (task, obs) = {
-            let mut queue = lock_recover(&shared.queue);
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some((_, task, obs)) = queue.tasks.pop_front() {
                     // Claim and busy-mark under one lock: `quiesce` can never
@@ -314,7 +315,7 @@ fn worker_loop(shared: &Shared) {
                 if queue.shutdown {
                     return;
                 }
-                queue = recover(shared.work_available.wait(queue));
+                queue = shared.work_available.wait(queue);
             }
         };
         shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
@@ -350,7 +351,7 @@ fn worker_loop(shared: &Shared) {
         {
             // The spans above are closed and flushed; only now does the worker
             // stop counting as busy (the `quiesce` barrier contract).
-            let mut queue = lock_recover(&shared.queue);
+            let mut queue = shared.queue.lock();
             queue.busy -= 1;
             if queue.busy == 0 && queue.tasks.is_empty() {
                 shared.quiet.notify_all();
@@ -422,10 +423,10 @@ where
                 self.items[start..end].iter().map(self.f).collect::<Vec<R>>()
             }));
             match mapped {
-                Ok(mapped) => lock_recover(&self.finished).push((chunk, mapped)),
+                Ok(mapped) => self.finished.lock().push((chunk, mapped)),
                 Err(payload) => {
                     self.abort.store(true, Ordering::Relaxed);
-                    let mut slot = lock_recover(&self.first_panic);
+                    let mut slot = self.first_panic.lock();
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
@@ -437,7 +438,7 @@ where
 
     /// Counts one helper task down; wakes the caller when all have finished.
     fn complete_helper(&self) {
-        let mut latch = lock_recover(&self.latch);
+        let mut latch = self.latch.lock();
         *latch -= 1;
         if *latch == 0 {
             self.done.notify_all();
@@ -447,10 +448,10 @@ where
     /// Reassembles the output (or re-raises the first panic). Caller must have
     /// waited for the latch first.
     fn into_output(self) -> Vec<R> {
-        if let Some(payload) = recover(self.first_panic.into_inner()) {
+        if let Some(payload) = self.first_panic.into_inner() {
             panic::resume_unwind(payload);
         }
-        let mut chunks = recover(self.finished.into_inner());
+        let mut chunks = self.finished.into_inner();
         chunks.sort_unstable_by_key(|&(index, _)| index);
         debug_assert_eq!(chunks.len(), self.chunk_count);
         chunks.into_iter().flat_map(|(_, mapped)| mapped).collect()
@@ -580,9 +581,9 @@ mod tests {
         let wedge = Arc::clone(&gate);
         pool.spawn(move || {
             let (open, signal) = &*wedge;
-            let mut open = lock_recover(open);
+            let mut open = open.lock();
             while !*open {
-                open = recover(signal.wait(open));
+                open = signal.wait(open);
             }
         });
 
@@ -601,7 +602,7 @@ mod tests {
         // Open the gate; the kept task runs, the revoked one never does.
         {
             let (open, signal) = &*gate;
-            *lock_recover(open) = true;
+            *open.lock() = true;
             signal.notify_all();
         }
         drop(pool); // drains the queue

@@ -1,0 +1,542 @@
+//! Token-level lint enforcing the `soteria-sync` facade across the workspace.
+//!
+//! Four rules, matched on a comment- and string-stripped token stream (so a
+//! `std::sync::Mutex` in a doc comment or a log message never trips them):
+//!
+//! * **`std-sync`** — raw `std::sync::Mutex` / `std::sync::Condvar` /
+//!   `std::sync::RwLock` paths or imports. Locks go through
+//!   `soteria_sync::{Mutex, Condvar, RwLock}`, which bake in the workspace
+//!   poisoning policy. (`crates/sync` itself is exempt: it is the wrapper.)
+//! * **`thread-spawn`** — raw `std::thread::spawn` / `std::thread::Builder`.
+//!   Spawns go through `soteria_sync::thread`, so the model backend can mirror
+//!   the exact surface the workspace uses.
+//! * **`lock-unwrap`** — bare `.lock().unwrap()` (and `.read()`/`.write()`/
+//!   `.wait(..)` unwraps). Unwrapping a `LockResult` propagates poison across
+//!   unrelated jobs; facade locks recover, raw std locks use `lock_recover`.
+//! * **`wall-clock`** — `Instant::now()` / `SystemTime` outside `soteria-obs`.
+//!   Wall-clock reads belong behind the observability clock (`obs::now_ns`),
+//!   which tests can freeze; scattered `Instant::now()` calls are untestable
+//!   and invisible to the trace layer.
+//!
+//! Violations that are *meant* to exist (benches timing real work, deadline
+//! arithmetic on `Instant`s) are declared in an allowlist file — explicit,
+//! reviewed, and diffable — rather than silently skipped.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule categories the lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    StdSync,
+    ThreadSpawn,
+    LockUnwrap,
+    WallClock,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::StdSync => "std-sync",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::LockUnwrap => "lock-unwrap",
+            Rule::WallClock => "wall-clock",
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "std-sync" => Some(Rule::StdSync),
+            "thread-spawn" => Some(Rule::ThreadSpawn),
+            "lock-unwrap" => Some(Rule::LockUnwrap),
+            "wall-clock" => Some(Rule::WallClock),
+            _ => None,
+        }
+    }
+}
+
+/// One finding: a rule tripped at a file/line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub what: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.id(), self.what)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer: Rust source → (token, line) stream, comments and strings gone
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub text: String,
+    pub line: usize,
+}
+
+/// Strips comments, string/char literals, and lifetimes; yields identifiers
+/// and punctuation (`::` fused) with 1-based line numbers.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&chars, i, &mut line),
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                i = skip_raw_or_byte_string(&chars, i, &mut line)
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`)?
+                let mut j = i + 1;
+                if j < chars.len() && chars[j] == '\\' {
+                    // Escaped char literal.
+                    j += 2;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else if j + 1 < chars.len() && chars[j + 1] == '\'' && chars[j] != '\'' {
+                    // Single-char literal, including punctuation ('"', ':').
+                    i = j + 2;
+                } else {
+                    let mut k = j;
+                    while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                        k += 1;
+                    }
+                    if k < chars.len() && chars[k] == '\'' && k > j {
+                        i = k + 1; // char literal like 'x'
+                    } else if k == j && chars.get(j) == Some(&'\'') {
+                        i = j + 1; // degenerate ''
+                    } else {
+                        i = k; // lifetime: skip the quote + ident
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token { text: chars[start..i].iter().collect(), line });
+            }
+            ':' if chars.get(i + 1) == Some(&':') => {
+                tokens.push(Token { text: "::".to_string(), line });
+                i += 2;
+            }
+            _ => {
+                tokens.push(Token { text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    // r"...", r#"..."#, b"...", br"...", br#"..."#
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return chars.get(j) == Some(&'"');
+    }
+    chars[i] == 'b' && chars.get(j) == Some(&'"')
+}
+
+fn skip_string(chars: &[char], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_or_byte_string(chars: &[char], start: usize, line: &mut usize) -> usize {
+    let mut i = start;
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        i += 1;
+        let mut hashes = 0;
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            if i >= chars.len() {
+                return i;
+            }
+            if chars[i] == '\n' {
+                *line += 1;
+            }
+            if chars[i] == '"' {
+                let mut k = 0;
+                while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+    }
+    // plain byte string b"..."
+    skip_string(chars, i, line)
+}
+
+// ---------------------------------------------------------------------------
+// Rule matching over the token stream
+// ---------------------------------------------------------------------------
+
+fn texts(tokens: &[Token]) -> Vec<&str> {
+    tokens.iter().map(|t| t.text.as_str()).collect()
+}
+
+fn matches_at(stream: &[&str], at: usize, pattern: &[&str]) -> bool {
+    stream.len() >= at + pattern.len() && stream[at..at + pattern.len()] == *pattern
+}
+
+/// Scans one file's tokens and returns every rule hit (before exemptions).
+pub fn scan_tokens(tokens: &[Token], path: &str) -> Vec<Violation> {
+    let stream = texts(tokens);
+    let mut out = Vec::new();
+    let mut push = |rule: Rule, index: usize, what: &str| {
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line: tokens[index].line,
+            what: what.to_string(),
+        });
+    };
+    for i in 0..stream.len() {
+        // --- std-sync: direct paths and use-imports of the lock types ------
+        if matches_at(&stream, i, &["std", "::", "sync", "::"]) {
+            let after = i + 4;
+            match stream.get(after) {
+                Some(&"Mutex") | Some(&"Condvar") | Some(&"RwLock") => {
+                    push(Rule::StdSync, i, &format!("raw std::sync::{}", stream[after]));
+                }
+                Some(&"{") => {
+                    let mut j = after + 1;
+                    while j < stream.len() && stream[j] != "}" && stream[j] != ";" {
+                        if matches!(stream[j], "Mutex" | "Condvar" | "RwLock")
+                            // `Mutex as StdMutex` renames are how sanctioned
+                            // engine internals (crates/sync) use std locks;
+                            // everywhere else the rename is still the type.
+                            && stream.get(j.wrapping_sub(1)).copied() != Some("as")
+                        {
+                            push(
+                                Rule::StdSync,
+                                j,
+                                &format!("std::sync::{} imported", stream[j]),
+                            );
+                        }
+                        j += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // --- thread-spawn: raw std thread creation -------------------------
+        if matches_at(&stream, i, &["std", "::", "thread", "::"]) {
+            let after = i + 4;
+            match stream.get(after) {
+                Some(&"spawn") | Some(&"Builder") => {
+                    push(Rule::ThreadSpawn, i, &format!("raw std::thread::{}", stream[after]));
+                }
+                Some(&"{") => {
+                    let mut j = after + 1;
+                    while j < stream.len() && stream[j] != "}" && stream[j] != ";" {
+                        if matches!(stream[j], "spawn" | "Builder") {
+                            push(
+                                Rule::ThreadSpawn,
+                                j,
+                                &format!("std::thread::{} imported", stream[j]),
+                            );
+                        }
+                        j += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // --- lock-unwrap: unwrapping a LockResult --------------------------
+        for method in ["lock", "read", "write", "try_lock"] {
+            if matches_at(&stream, i, &[".", method, "(", ")", ".", "unwrap", "("]) {
+                push(Rule::LockUnwrap, i, &format!("bare .{method}().unwrap()"));
+            }
+        }
+        // `.wait(guard).unwrap()` / `.wait_timeout(..).unwrap()`: find the
+        // matching close paren, then look for `.unwrap(`.
+        for method in ["wait", "wait_timeout"] {
+            if matches_at(&stream, i, &[".", method, "("]) {
+                let mut depth = 1usize;
+                let mut j = i + 3;
+                while j < stream.len() && depth > 0 {
+                    match stream[j] {
+                        "(" => depth += 1,
+                        ")" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth == 0 && matches_at(&stream, j, &[".", "unwrap", "("]) {
+                    push(Rule::LockUnwrap, i, &format!("bare .{method}(..).unwrap()"));
+                }
+            }
+        }
+        // --- wall-clock: untracked time reads ------------------------------
+        if matches_at(&stream, i, &["Instant", "::", "now"]) {
+            push(Rule::WallClock, i, "Instant::now()");
+        }
+        if stream[i] == "SystemTime"
+            && stream.get(i.wrapping_sub(1)).copied() != Some("::")
+            && stream.get(i.wrapping_sub(2)).copied() != Some("time")
+        {
+            // Bare `SystemTime` use; fully-qualified `std::time::SystemTime`
+            // is caught by its own final identifier, so dedupe on the
+            // qualified form by only flagging the head of the path.
+            push(Rule::WallClock, i, "SystemTime");
+        }
+        if matches_at(&stream, i, &["std", "::", "time", "::", "SystemTime"]) {
+            push(Rule::WallClock, i, "std::time::SystemTime");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Built-in exemptions and the allowlist
+// ---------------------------------------------------------------------------
+
+/// One allowlist entry: this rule is permitted under this path prefix.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: Rule,
+    pub prefix: String,
+}
+
+/// Parses the allowlist file format: one `<rule-id> <path-prefix>` per line,
+/// `#` comments, blank lines ignored. Unknown rule ids are an error (a typo'd
+/// allowlist silently allowing nothing is worse than failing).
+pub fn parse_allowlist(content: &str) -> Result<Vec<Allow>, String> {
+    let mut allows = Vec::new();
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule_id), Some(prefix), None) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("allowlist line {}: expected `<rule> <path-prefix>`", lineno + 1));
+        };
+        let rule = Rule::from_id(rule_id)
+            .ok_or_else(|| format!("allowlist line {}: unknown rule `{rule_id}`", lineno + 1))?;
+        allows.push(Allow { rule, prefix: prefix.to_string() });
+    }
+    Ok(allows)
+}
+
+/// Built-in exemptions: the facade wraps std (sync rules don't apply inside
+/// it), the obs crate owns the clock, and vendored shims are out of scope.
+fn built_in_exempt(rule: Rule, path: &str) -> bool {
+    if path.starts_with("crates/shims/") {
+        return true;
+    }
+    match rule {
+        Rule::StdSync | Rule::ThreadSpawn | Rule::LockUnwrap => path.starts_with("crates/sync/"),
+        Rule::WallClock => path.starts_with("crates/obs/"),
+    }
+}
+
+fn allowed(allows: &[Allow], rule: Rule, path: &str) -> bool {
+    built_in_exempt(rule, path)
+        || allows.iter().any(|a| a.rule == rule && path.starts_with(&a.prefix))
+}
+
+// ---------------------------------------------------------------------------
+// Repo walking
+// ---------------------------------------------------------------------------
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the repository rooted at `root`, honoring `allows`. Returns the
+/// surviving violations, sorted by path and line.
+pub fn lint_repo(root: &Path, allows: &[Allow]) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        let tokens = tokenize(&source);
+        violations.extend(
+            scan_tokens(&tokens, &rel)
+                .into_iter()
+                .filter(|v| !allowed(allows, v.rule, &v.path)),
+        );
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(source: &str) -> Vec<Violation> {
+        scan_tokens(&tokenize(source), "test.rs")
+    }
+
+    #[test]
+    fn flags_raw_std_sync_paths_and_imports() {
+        let hits = scan("fn f() { let m = std::sync::Mutex::new(0); }");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::StdSync);
+        let hits = scan("use std::sync::{Arc, Mutex, Condvar};");
+        assert_eq!(hits.len(), 2, "Mutex and Condvar flagged, Arc not: {hits:?}");
+        assert!(scan("use std::sync::Arc;").is_empty());
+        assert!(scan("use std::sync::atomic::AtomicUsize;").is_empty());
+    }
+
+    #[test]
+    fn flags_raw_thread_spawn_but_not_facade_thread() {
+        assert_eq!(scan("std::thread::spawn(|| {});").len(), 1);
+        assert_eq!(scan("std::thread::Builder::new();").len(), 1);
+        assert!(scan("use soteria_sync::thread; thread::spawn(|| {});").is_empty());
+        assert!(scan("std::thread::sleep(d);").is_empty());
+    }
+
+    #[test]
+    fn flags_bare_lock_unwrap_variants() {
+        assert_eq!(scan("let g = m.lock().unwrap();").len(), 1);
+        assert_eq!(scan("let g = m.read().unwrap();").len(), 1);
+        assert_eq!(scan("let g = cv.wait(g).unwrap();").len(), 1);
+        assert!(scan("let g = lock_recover(&m);").is_empty());
+        assert!(scan("let g = m.lock();").is_empty());
+        // Non-lock unwraps don't trip it.
+        assert!(scan("let v = opt.take().unwrap();").is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_reads() {
+        assert_eq!(scan("let t = Instant::now();").len(), 1);
+        assert_eq!(scan("let t = std::time::SystemTime::now();").len(), 1);
+        assert!(scan("let d = Duration::from_millis(5);").is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        assert!(scan("// std::sync::Mutex is forbidden\n").is_empty());
+        assert!(scan("/* m.lock().unwrap() */").is_empty());
+        assert!(scan(r#"let s = "std::sync::Mutex";"#).is_empty());
+        assert!(scan("let s = r#\"Instant::now()\"#;").is_empty());
+        assert!(scan("/// Docs mention std::thread::spawn\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_tokenize_cleanly() {
+        let hits = scan("fn f<'a>(x: &'a str) -> char { let c = ':'; let m = std::sync::Mutex::new(0); c }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        // Punctuation char literals (a quote as a char!) must not desync the
+        // string stripper for the rest of the file.
+        let hits = scan("let q = '\"'; let m = std::sync::Mutex::new(0); let s = \"std::sync::Condvar\";");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn allowlist_parses_and_applies() {
+        let allows = parse_allowlist(
+            "# timing benches measure real work\nwall-clock crates/bench/ # ok\n\n",
+        )
+        .unwrap();
+        assert_eq!(allows.len(), 1);
+        assert!(allowed(&allows, Rule::WallClock, "crates/bench/src/lib.rs"));
+        assert!(!allowed(&allows, Rule::WallClock, "crates/service/src/lib.rs"));
+        assert!(parse_allowlist("no-such-rule crates/").is_err());
+        assert!(parse_allowlist("wall-clock").is_err());
+    }
+
+    #[test]
+    fn built_in_exemptions_cover_the_wrappers() {
+        assert!(allowed(&[], Rule::StdSync, "crates/sync/src/real.rs"));
+        assert!(allowed(&[], Rule::WallClock, "crates/obs/src/lib.rs"));
+        assert!(allowed(&[], Rule::StdSync, "crates/shims/proptest/src/lib.rs"));
+        assert!(!allowed(&[], Rule::StdSync, "crates/service/src/service.rs"));
+    }
+}

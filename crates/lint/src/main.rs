@@ -1,0 +1,75 @@
+//! `soteria-lint`: the facade-enforcement lint, run as a CI gate.
+//!
+//! Usage: `soteria-lint [--root <dir>] [--allowlist <file>]`
+//!
+//! Exits 0 when the tree is clean, 1 with one line per violation otherwise.
+//! The allowlist (default `<root>/lint-allow.txt`) records the sanctioned
+//! exceptions; see `soteria_lint` for the rules and the file format.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(file) => allowlist = Some(PathBuf::from(file)),
+                None => return usage("--allowlist needs a file"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: soteria-lint [--root <dir>] [--allowlist <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let allowlist = allowlist.unwrap_or_else(|| root.join("lint-allow.txt"));
+    let allows = match std::fs::read_to_string(&allowlist) {
+        Ok(content) => match soteria_lint::parse_allowlist(&content) {
+            Ok(allows) => allows,
+            Err(err) => {
+                eprintln!("soteria-lint: {}: {err}", allowlist.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        // No allowlist file just means no exceptions beyond the built-ins.
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(err) => {
+            eprintln!("soteria-lint: {}: {err}", allowlist.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match soteria_lint::lint_repo(&root, &allows) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("soteria-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for violation in &violations {
+                println!("{violation}");
+            }
+            eprintln!(
+                "soteria-lint: {} violation(s); sanctioned exceptions go in {}",
+                violations.len(),
+                allowlist.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("soteria-lint: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("soteria-lint: {message}\nusage: soteria-lint [--root <dir>] [--allowlist <file>]");
+    ExitCode::FAILURE
+}

@@ -47,7 +47,8 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use soteria_sync::{Mutex, MutexGuard};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 mod export;
@@ -379,7 +380,9 @@ pub struct Collector {
 
 impl Collector {
     fn lock(&self) -> MutexGuard<'_, CollectorState> {
-        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        // Facade locks recover poison; one panicking span emitter cannot
+        // wedge the collector for every other thread.
+        self.state.lock()
     }
 
     /// Removes and returns every retained span, oldest first.
@@ -475,7 +478,7 @@ mod tests {
     /// Every test that toggles the global collector serialises on this lock.
     fn test_lock() -> MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        LOCK.lock()
     }
 
     fn enabled_scope() -> impl Drop {

@@ -12,7 +12,8 @@
 //! snapshots name-ordered and therefore byte-stable when rendered.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use soteria_sync::{Mutex, MutexGuard};
+use std::sync::OnceLock;
 
 /// Power-of-two buckets for u64 nanoseconds: index 0 holds exactly 0, index
 /// `i >= 1` holds `[2^(i-1), 2^i - 1]`; index 64 tops out at `u64::MAX`.
@@ -113,7 +114,6 @@ fn registry() -> MutexGuard<'static, Registry> {
             Mutex::new(Registry { counters: BTreeMap::new(), histograms: BTreeMap::new() })
         })
         .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 pub(crate) fn add_counter(name: &'static str, delta: u64) {

@@ -10,8 +10,9 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, Write as _};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use soteria_sync::atomic::{AtomicU64, Ordering};
+use soteria_sync::Mutex;
+use std::sync::Arc;
 
 /// The handful of filesystem operations the persistent store needs. Every
 /// method is fallible; the store's circuit breaker decides what failures mean.
@@ -161,7 +162,7 @@ impl FaultFs {
 
     /// Queues the next scripted action (consumed FIFO, one per operation).
     pub fn push(&self, action: FaultAction) {
-        self.plan.lock().unwrap_or_else(|e| e.into_inner()).push_back(action);
+        self.plan.lock().push_back(action);
     }
 
     /// Queues `n` consecutive generic I/O failures.
@@ -174,7 +175,7 @@ impl FaultFs {
     fn next_action(&self) -> FaultAction {
         let op = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(action) =
-            self.plan.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+            self.plan.lock().pop_front()
         {
             return action;
         }
@@ -273,17 +274,16 @@ mod tests {
         fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
             self.files
                 .lock()
-                .unwrap()
                 .get(path)
                 .cloned()
                 .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))
         }
         fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-            self.files.lock().unwrap().insert(path.to_path_buf(), bytes.to_vec());
+            self.files.lock().insert(path.to_path_buf(), bytes.to_vec());
             Ok(())
         }
         fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-            let mut files = self.files.lock().unwrap();
+            let mut files = self.files.lock();
             let bytes = files
                 .remove(from)
                 .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))?;
@@ -293,7 +293,6 @@ mod tests {
         fn remove_file(&self, path: &Path) -> io::Result<()> {
             self.files
                 .lock()
-                .unwrap()
                 .remove(path)
                 .map(|_| ())
                 .ok_or_else(|| io::Error::from(io::ErrorKind::NotFound))

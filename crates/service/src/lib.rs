@@ -412,8 +412,8 @@ mod tests {
         // the cache (first already finished) or coalesces — never a second miss.
         let second = submit(&service, "w", WATER_LEAK);
         assert_ne!(second.disposition(), CacheDisposition::Miss);
-        let a = first.wait().unwrap();
-        let b = second.wait().unwrap();
+        let a = first.wait().expect("first job fails");
+        let b = second.wait().expect("second job fails");
         assert!(std::sync::Arc::ptr_eq(&a, &b), "coalesced job recomputed");
         // Environments coalesce the same way: identical group over identical
         // member content, submitted back-to-back, computes the union once.
@@ -421,7 +421,10 @@ mod tests {
         let env_second = submit_env_names(&service, "G", &["w"]).unwrap();
         assert_ne!(env_second.disposition(), CacheDisposition::Miss);
         assert!(
-            std::sync::Arc::ptr_eq(&env_first.wait().unwrap(), &env_second.wait().unwrap()),
+            std::sync::Arc::ptr_eq(
+                &env_first.wait().expect("first env fails"),
+                &env_second.wait().expect("second env fails")
+            ),
             "coalesced environment recomputed"
         );
     }

@@ -10,12 +10,13 @@ use crate::ticket::{PendingJob, Ticket};
 use soteria::JsonValue;
 use soteria::checker::SatSnapshot;
 use soteria::{AppAnalysis, EnvironmentAnalysis, Soteria};
-use soteria_exec::{lock_recover, recover, AbortHandle, TaskId, WorkerPool};
+use soteria_exec::{AbortHandle, TaskId, WorkerPool};
 use soteria_lang::ParseError;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use soteria_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use soteria_sync::{Condvar, Mutex};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Why a job failed.
@@ -295,7 +296,7 @@ impl JobControl {
     /// was cancelled or timed out — the stage must be skipped entirely (the
     /// ticket is already settled).
     fn begin_stage(&self, admission: &Admission) -> bool {
-        let mut state = lock_recover(&self.state);
+        let mut state = self.state.lock();
         if state.stage.is_terminal() {
             return false;
         }
@@ -317,7 +318,7 @@ impl JobControl {
     /// must be discarded (the ticket is already settled, and nothing may be
     /// cached).
     fn mark_finished(&self) -> bool {
-        let mut state = lock_recover(&self.state);
+        let mut state = self.state.lock();
         if state.stage.is_terminal() {
             return false;
         }
@@ -333,7 +334,7 @@ impl JobControl {
     /// The caller settles the ticket and cleans the service maps afterwards.
     fn cancel_stage_as(&self, inner: &ServiceInner, to: Stage) -> bool {
         debug_assert!(matches!(to, Stage::Cancelled | Stage::TimedOut));
-        let mut state = lock_recover(&self.state);
+        let mut state = self.state.lock();
         match state.stage {
             Stage::Finished | Stage::Cancelled | Stage::TimedOut => return false,
             // If a worker claimed the task between our revoke and now, its
@@ -371,7 +372,7 @@ impl JobControl {
     /// True once no further transition can occur (finished, cancelled, or
     /// timed out) — the watch-list pruning predicate.
     fn is_terminal(&self) -> bool {
-        lock_recover(&self.state).stage.is_terminal()
+        self.state.lock().stage.is_terminal()
     }
 
     /// The deadline the job is currently accountable to, if breached at `now`:
@@ -384,7 +385,7 @@ impl JobControl {
         pending: Option<Duration>,
         running: Option<Duration>,
     ) -> Option<&'static str> {
-        let state = lock_recover(&self.state);
+        let state = self.state.lock();
         if state.stage.is_terminal() {
             return None;
         }
@@ -449,7 +450,7 @@ impl Admission {
     }
 
     fn try_acquire(&self) -> Admit {
-        let mut pending = lock_recover(&self.pending);
+        let mut pending = self.pending.lock();
         if self.max_pending != 0 && *pending >= self.max_pending {
             return Admit::Full(*pending);
         }
@@ -465,7 +466,7 @@ impl Admission {
     }
 
     fn release(&self) {
-        let mut pending = lock_recover(&self.pending);
+        let mut pending = self.pending.lock();
         *pending = pending.saturating_sub(1);
         drop(pending);
         self.freed.notify_all();
@@ -477,12 +478,12 @@ impl Admission {
     /// (another submitter may have taken the slot first, or the service may be
     /// draining).
     fn wait_for_capacity(&self) {
-        let mut pending = lock_recover(&self.pending);
+        let mut pending = self.pending.lock();
         while self.max_pending != 0
             && *pending >= self.max_pending
             && !self.closed.load(Ordering::Relaxed)
         {
-            pending = recover(self.freed.wait(pending));
+            pending = self.freed.wait(pending);
         }
     }
 
@@ -493,7 +494,7 @@ impl Admission {
     }
 
     fn pending(&self) -> usize {
-        *lock_recover(&self.pending)
+        *self.pending.lock()
     }
 
     fn peak(&self) -> usize {
@@ -1085,7 +1086,7 @@ impl ServiceInner {
         result: AppResult,
     ) {
         if cacheable(&result) {
-            let evicted = lock_recover(&self.apps).insert(key, result.clone());
+            let evicted = self.apps.lock().insert(key, result.clone());
             // The cache owns the frozen result now; stop pinning it via the name
             // registry (unless a newer submission already replaced the entry), and
             // drop the bare keys of whatever the insert evicted — a name must never
@@ -1094,7 +1095,7 @@ impl ServiceInner {
             // at completion, so a still-stored key stays resolvable (and keeps
             // its bare names) through the store. All before fulfilling, so a
             // waiter that wakes up observes a consistent registry.
-            let mut registry = lock_recover(&self.registry);
+            let mut registry = self.registry.lock();
             if let Some(entry) = registry.get_mut(name) {
                 if entry.key == key {
                     entry.ticket = None;
@@ -1119,7 +1120,7 @@ impl ServiceInner {
             // (it must not promise a result), so resubmitting the same content
             // schedules a fresh run — which is how a repeat offender reaches
             // the quarantine threshold.
-            let mut registry = lock_recover(&self.registry);
+            let mut registry = self.registry.lock();
             let stale = registry
                 .get(name)
                 .is_some_and(|entry| entry.ticket.as_ref().is_some_and(|t| t.same(ticket)));
@@ -1138,9 +1139,9 @@ impl ServiceInner {
         // other; fulfil last, so in-flight tickets are never already ready.
         // Faulted results (see `cacheable`) skip the freeze and just leave.
         if cacheable(&result) {
-            let _ = lock_recover(&self.envs).insert(key, result.clone());
+            let _ = self.envs.lock().insert(key, result.clone());
         }
-        lock_recover(&self.envs_in_flight).remove(&key.0);
+        self.envs_in_flight.lock().remove(&key.0);
         self.release(ticket.fulfil(result));
         self.prune_watched();
     }
@@ -1168,14 +1169,14 @@ impl ServiceInner {
             at_ns: soteria_obs::now_ns(),
             trace: trace.0,
         };
-        let mut log = lock_recover(&self.fault_log);
+        let mut log = self.fault_log.lock();
         if log.len() >= self.fault_log_capacity {
             log.pop_front();
         }
         log.push_back(record);
         drop(log);
         if kind == FaultKind::Panic && self.quarantine_threshold > 0 {
-            let mut strikes = lock_recover(&self.strikes);
+            let mut strikes = self.strikes.lock();
             let count = strikes.get(key).unwrap_or(0) + 1;
             strikes.insert(key, count);
         }
@@ -1187,7 +1188,7 @@ impl ServiceInner {
         if self.quarantine_threshold == 0 {
             return Ok(());
         }
-        let strikes = lock_recover(&self.strikes).get(key).unwrap_or(0);
+        let strikes = self.strikes.lock().get(key).unwrap_or(0);
         if strikes >= self.quarantine_threshold {
             self.quarantined.fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::Quarantined { name: name.to_string(), strikes });
@@ -1358,7 +1359,7 @@ impl ServiceInner {
         let analysis = self.restore_app_from_disk(key)?;
         soteria_obs::add("store.promote", 1);
         let result: AppResult = Ok(analysis);
-        let evicted = lock_recover(&self.apps).insert(key, result.clone());
+        let evicted = self.apps.lock().insert(key, result.clone());
         if let Some((evicted_key, _)) = evicted {
             let demoted = self
                 .store
@@ -1367,7 +1368,7 @@ impl ServiceInner {
             if demoted {
                 soteria_obs::add("store.demote", 1);
             } else {
-                lock_recover(&self.registry)
+                self.registry.lock()
                     .retain(|_, entry| entry.ticket.is_some() || entry.key != evicted_key);
             }
         }
@@ -1406,7 +1407,7 @@ impl ServiceInner {
 
     /// Puts a freshly scheduled job under deadline/drain supervision.
     fn watch(&self, name: &str, key: CacheKey, control: &Arc<JobControl>, ticket: TicketRef) {
-        lock_recover(&self.watched).push(Watched {
+        self.watched.lock().push(Watched {
             name: name.to_string(),
             key,
             control: Arc::clone(control),
@@ -1417,7 +1418,7 @@ impl ServiceInner {
     /// Drops watch entries whose jobs reached a terminal stage. Called at every
     /// settle, so the list tracks live jobs only (bounded by admission).
     fn prune_watched(&self) {
-        lock_recover(&self.watched).retain(|w| !w.control.is_terminal());
+        self.watched.lock().retain(|w| !w.control.is_terminal());
     }
 
     /// Force-settles a watched job as [`JobError::TimedOut`] if it has not
@@ -1438,7 +1439,7 @@ impl ServiceInner {
         match &watched.ticket {
             TicketRef::App(ticket) => {
                 self.release(ticket.fulfil(Err(JobError::TimedOut)));
-                let mut registry = lock_recover(&self.registry);
+                let mut registry = self.registry.lock();
                 let stale = registry.get(&watched.name).is_some_and(|entry| {
                     entry.ticket.as_ref().is_some_and(|t| t.same(ticket))
                 });
@@ -1447,7 +1448,7 @@ impl ServiceInner {
                 }
             }
             TicketRef::Env(ticket) => {
-                let mut in_flight = lock_recover(&self.envs_in_flight);
+                let mut in_flight = self.envs_in_flight.lock();
                 if in_flight.get(&watched.key.0).is_some_and(|(t, _)| t.same(ticket)) {
                     in_flight.remove(&watched.key.0);
                 }
@@ -1468,7 +1469,7 @@ impl ServiceInner {
         }
         let now = Instant::now();
         let sweep_started = if soteria_obs::enabled() { soteria_obs::now_ns() } else { 0 };
-        let snapshot: Vec<Watched> = lock_recover(&self.watched).clone();
+        let snapshot: Vec<Watched> = self.watched.lock().clone();
         let mut settled = 0;
         for watched in &snapshot {
             if let Some(stage) = watched.control.breached_deadline(now, pending, running) {
@@ -1501,7 +1502,7 @@ impl ServiceInner {
     fn cancel_app(&self, name: &str, ticket: &Ticket<AppResult>) {
         self.cancelled.fetch_add(1, Ordering::Relaxed);
         self.release(ticket.fulfil(Err(JobError::Cancelled)));
-        let mut registry = lock_recover(&self.registry);
+        let mut registry = self.registry.lock();
         let stale = registry
             .get(name)
             .is_some_and(|entry| entry.ticket.as_ref().is_some_and(|t| t.same(ticket)));
@@ -1514,7 +1515,7 @@ impl ServiceInner {
     /// in-flight map (so identical resubmissions schedule fresh), then settle.
     fn cancel_env(&self, key: CacheKey, ticket: &Ticket<EnvResult>) {
         self.cancelled.fetch_add(1, Ordering::Relaxed);
-        let mut in_flight = lock_recover(&self.envs_in_flight);
+        let mut in_flight = self.envs_in_flight.lock();
         if in_flight.get(&key.0).is_some_and(|(t, _)| t.same(ticket)) {
             in_flight.remove(&key.0);
         }
@@ -1572,7 +1573,7 @@ impl ServiceInner {
     /// the control lock so a cancel can revoke it — or dropping the task
     /// without consuming a queue slot when the job was already cancelled.
     fn spawn_controlled(&self, task: crate::ticket::Task, control: &JobControl) {
-        let mut state = lock_recover(&control.state);
+        let mut state = control.state.lock();
         if state.stage.is_terminal() {
             return;
         }
@@ -1659,13 +1660,13 @@ impl Sweeper {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let weak = Arc::downgrade(inner);
         let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
+        let handle = soteria_sync::thread::Builder::new()
             .name("soteria-deadlines".to_string())
             .spawn(move || {
                 let (flag, signal) = &*thread_stop;
                 loop {
-                    let stopped = lock_recover(flag);
-                    let (stopped, _) = recover(signal.wait_timeout(stopped, interval));
+                    let stopped = flag.lock();
+                    let (stopped, _) = signal.wait_timeout(stopped, interval);
                     if *stopped {
                         return;
                     }
@@ -1679,7 +1680,7 @@ impl Sweeper {
     }
 
     fn stop(&mut self) {
-        *lock_recover(&self.stop.0) = true;
+        *self.stop.0.lock() = true;
         self.stop.1.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -1815,7 +1816,7 @@ impl Service {
                 return Err(ServiceError::Draining);
             }
             inner.check_quarantine(name, fault_key)?;
-            let mut registry = lock_recover(&inner.registry);
+            let mut registry = inner.registry.lock();
             let in_flight = registry.get(name).and_then(|entry| {
                 entry
                     .ticket
@@ -1828,7 +1829,7 @@ impl Service {
                 soteria_obs::add("cache.app.coalesced", 1);
                 break self.app_job(name, key, CacheDisposition::Coalesced, ticket, control);
             }
-            if let Some(result) = lock_recover(&inner.apps).get(key) {
+            if let Some(result) = inner.apps.lock().get(key) {
                 soteria_obs::add("cache.app.hit", 1);
                 // Frozen result: the registry needs only the key.
                 registry.insert(
@@ -1884,7 +1885,7 @@ impl Service {
             }
         };
         inner.submitted.fetch_add(1, Ordering::Relaxed);
-        lock_recover(&self.submissions).push(JobHandle::App(job.clone()));
+        self.submissions.lock().push(JobHandle::App(job.clone()));
         Ok(job)
     }
 
@@ -1958,7 +1959,7 @@ impl Service {
                     // the next submission before (or while) this one verifies.
                     // Spawned under the control lock: a cancelled ingest must not
                     // leave an orphaned (unrevocable) verify stage behind.
-                    let mut state = lock_recover(&task_control.state);
+                    let mut state = task_control.state.lock();
                     if state.stage.is_terminal() {
                         return; // ticket settled by the cancel/timeout path
                     }
@@ -2026,7 +2027,7 @@ impl Service {
         // Same spawn-under-the-lock discipline for the first stage, so the
         // Queued(TaskId) registration cannot race a cancel from a coalesced
         // handle (or a timeout from the deadline sweeper).
-        let mut state = lock_recover(&control.state);
+        let mut state = control.state.lock();
         if state.stage.is_terminal() {
             return;
         }
@@ -2055,14 +2056,14 @@ impl Service {
                 return Err(ServiceError::Draining);
             }
             inner.check_quarantine(group, key)?;
-            let mut in_flight = lock_recover(&inner.envs_in_flight);
+            let mut in_flight = inner.envs_in_flight.lock();
             if let Some((ticket, control)) = in_flight.get(&key.0) {
                 inner.coalesced.fetch_add(1, Ordering::Relaxed);
                 soteria_obs::add("cache.env.coalesced", 1);
                 let (ticket, control) = (ticket.clone(), Arc::clone(control));
                 break self.env_job(group, key, CacheDisposition::Coalesced, ticket, Some(control));
             }
-            if let Some(result) = lock_recover(&inner.envs).get(key) {
+            if let Some(result) = inner.envs.lock().get(key) {
                 soteria_obs::add("cache.env.hit", 1);
                 break self.env_job(
                     group,
@@ -2097,7 +2098,7 @@ impl Service {
             }
         };
         inner.submitted.fetch_add(1, Ordering::Relaxed);
-        lock_recover(&self.submissions).push(JobHandle::Environment(job.clone()));
+        self.submissions.lock().push(JobHandle::Environment(job.clone()));
         Ok(job)
     }
 
@@ -2114,7 +2115,7 @@ impl Service {
         // Snapshot the registry first, then resolve frozen results without the
         // lock — a disk-tier promotion re-enters the registry to demote.
         let resolved: Vec<(String, CacheKey, Option<Ticket<AppResult>>)> = {
-            let registry = lock_recover(&self.inner.registry);
+            let registry = self.inner.registry.lock();
             members
                 .iter()
                 .map(|&member| {
@@ -2136,7 +2137,7 @@ impl Service {
                         // Two statements on purpose: the cache guard is a
                         // temporary that would otherwise live through the
                         // promotion, which re-locks the cache to insert.
-                        let cached = lock_recover(&self.inner.apps).get(key);
+                        let cached = self.inner.apps.lock().get(key);
                         let result = cached
                             .or_else(|| self.inner.promote_app_from_disk(key))
                             .ok_or_else(|| ServiceError::EvictedMember(member.clone()))?;
@@ -2176,7 +2177,7 @@ impl Service {
     ) -> Result<(AppJob, Vec<EnvJob>), ServiceError> {
         let app = self.submit_app(name, source)?;
         let mut groups: Vec<(String, Vec<String>)> = {
-            let bases = lock_recover(&self.inner.env_bases);
+            let bases = self.inner.env_bases.lock();
             bases
                 .iter()
                 .filter(|(_, base)| base.member_names.iter().any(|m| m == name))
@@ -2192,7 +2193,7 @@ impl Service {
             // name, key, and the frozen ticket (None = the edited app itself).
             type ResolvedMember = (String, CacheKey, Option<Ticket<AppResult>>);
             let plan: Option<Vec<ResolvedMember>> = {
-                let registry = lock_recover(&self.inner.registry);
+                let registry = self.inner.registry.lock();
                 member_names
                     .iter()
                     .map(|member| {
@@ -2218,7 +2219,7 @@ impl Service {
                     None => {
                         // Guard dropped before the promotion re-locks the
                         // cache (see submit_environment_by_names).
-                        let cached = lock_recover(&self.inner.apps).get(key);
+                        let cached = self.inner.apps.lock().get(key);
                         let frozen =
                             cached.or_else(|| self.inner.promote_app_from_disk(key));
                         match frozen {
@@ -2304,7 +2305,7 @@ impl Service {
             // two or more voids the single-edit guarantee the delta union and
             // sat-set projection rely on.
             let base = {
-                let bases = lock_recover(&inner.env_bases);
+                let bases = inner.env_bases.lock();
                 bases.get(&group).and_then(|b| {
                     if b.member_names.len() != member_handles.len()
                         || b.member_names
@@ -2358,7 +2359,7 @@ impl Service {
                     // settle, so a resubmit racing the fulfilment never reads a
                     // base staler than the result it just observed).
                     if let Some(snapshot) = snapshot {
-                        lock_recover(&inner.env_bases).insert(
+                        inner.env_bases.lock().insert(
                             group.clone(),
                             EnvBase {
                                 member_names: member_handles
@@ -2400,7 +2401,7 @@ impl Service {
         {
             // Attach the parked job to the control so a cancel can revoke it; a
             // cancel (or timeout) that already won revokes it right here instead.
-            let mut state = lock_recover(&control.state);
+            let mut state = control.state.lock();
             if state.stage.is_terminal() {
                 job.revoke();
             } else {
@@ -2421,7 +2422,7 @@ impl Service {
     /// Jobs submitted since the last [`Service::drain`] whose results are not
     /// yet available.
     pub fn pending(&self) -> usize {
-        lock_recover(&self.submissions).iter().filter(|j| !j.is_ready()).count()
+        self.submissions.lock().iter().filter(|j| !j.is_ready()).count()
     }
 
     /// Queued-but-unstarted jobs right now — the quantity
@@ -2436,7 +2437,7 @@ impl Service {
     /// job's frozen result in the log forever, defeating the cache's LRU bound.
     /// Jobs forgotten here are simply absent from a later [`Service::drain`].
     pub fn forget_finished(&self) -> usize {
-        let mut log = lock_recover(&self.submissions);
+        let mut log = self.submissions.lock();
         let before = log.len();
         log.retain(|job| !job.is_ready());
         before - log.len()
@@ -2447,7 +2448,7 @@ impl Service {
     /// service keeps serving (for shutdown, see [`Service::drain`]).
     pub fn collect(&self) -> Vec<JobOutcome> {
         let handles: Vec<JobHandle> =
-            std::mem::take(lock_recover(&self.submissions).as_mut());
+            std::mem::take(self.submissions.lock().as_mut());
         handles.iter().map(JobHandle::outcome).collect()
     }
 
@@ -2473,7 +2474,7 @@ impl Service {
         // admission; nothing new can be watched after that window.
         loop {
             self.inner.prune_watched();
-            let snapshot: Vec<Watched> = lock_recover(&self.inner.watched).clone();
+            let snapshot: Vec<Watched> = self.inner.watched.lock().clone();
             if snapshot.is_empty() {
                 break;
             }
@@ -2523,7 +2524,7 @@ impl Service {
     /// The retained fault log, oldest first: the most recent panics and
     /// timeouts, up to the retention bound (gaps in `seq` mean eviction).
     pub fn faults(&self) -> Vec<FaultRecord> {
-        lock_recover(&self.inner.fault_log).iter().cloned().collect()
+        self.inner.fault_log.lock().iter().cloned().collect()
     }
 
     /// Counter snapshot (cache hit/miss/eviction, pool throughput, coalescing,
@@ -2546,9 +2547,9 @@ impl Service {
             draining: self.inner.is_draining(),
             pending: self.inner.admission.pending(),
             pending_peak: self.inner.admission.peak(),
-            registry_entries: lock_recover(&self.inner.registry).len(),
-            app_cache: lock_recover(&self.inner.apps).stats(),
-            env_cache: lock_recover(&self.inner.envs).stats(),
+            registry_entries: self.inner.registry.lock().len(),
+            app_cache: self.inner.apps.lock().stats(),
+            env_cache: self.inner.envs.lock().stats(),
             store: self.inner.store.as_ref().map(PersistentStore::stats),
         }
     }
@@ -2584,7 +2585,7 @@ impl Drop for Service {
         self.inner.draining.store(true, Ordering::Relaxed);
         self.inner.admission.close();
         let snapshot: Vec<Watched> =
-            std::mem::take(lock_recover(&self.inner.watched).as_mut());
+            std::mem::take(self.inner.watched.lock().as_mut());
         for watched in &snapshot {
             if !watched.control.cancel_stage(&self.inner) {
                 continue;
@@ -2632,17 +2633,17 @@ mod poison_tests {
         };
         let registry = Arc::clone(&inner);
         poison(Box::new(move || {
-            let _guard = registry.registry.lock().unwrap();
+            let _guard = registry.registry.lock();
             panic!("poison registry");
         }));
         let apps = Arc::clone(&inner);
         poison(Box::new(move || {
-            let _guard = apps.apps.lock().unwrap();
+            let _guard = apps.apps.lock();
             panic!("poison app cache");
         }));
         let in_flight = Arc::clone(&inner);
         poison(Box::new(move || {
-            let _guard = in_flight.envs_in_flight.lock().unwrap();
+            let _guard = in_flight.envs_in_flight.lock();
             panic!("poison env in-flight map");
         }));
         assert!(inner.registry.is_poisoned());

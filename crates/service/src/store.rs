@@ -21,8 +21,9 @@ use soteria::JsonValue;
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use soteria_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use soteria_sync::{Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Magic string anchoring the entry footer (versioned: bump on format change).
@@ -241,8 +242,8 @@ impl std::fmt::Debug for PersistentStore {
     }
 }
 
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock()
 }
 
 impl PersistentStore {

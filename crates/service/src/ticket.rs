@@ -12,9 +12,9 @@
 //! ticket hands the job's task back to the fulfiller, which enqueues it. By the
 //! time the task runs, every dependency wait returns immediately.
 
-use soteria_exec::{lock_recover, recover};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use soteria_sync::atomic::{AtomicUsize, Ordering};
+use soteria_sync::{Condvar, Mutex};
+use std::sync::{Arc, Weak};
 
 /// A fire-and-forget task, identical to the pool's task shape.
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -63,7 +63,7 @@ impl PendingJob {
     /// to nobody, if the job was [revoked](PendingJob::revoke) first).
     pub(crate) fn dep_ready(&self) -> Option<Task> {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            lock_recover(&self.task).take()
+            self.task.lock().take()
         } else {
             None
         }
@@ -74,7 +74,7 @@ impl PendingJob {
     /// consumed. The cancellation path for jobs parked on member tickets — the
     /// caller is responsible for settling the job's own ticket.
     pub(crate) fn revoke(&self) {
-        drop(lock_recover(&self.task).take());
+        drop(self.task.lock().take());
     }
 }
 
@@ -114,7 +114,7 @@ impl<T: Clone> Ticket<T> {
     /// A ticket born fulfilled (cache hits resolve at submission time).
     pub(crate) fn fulfilled(value: T) -> Self {
         let ticket = Ticket::new();
-        lock_recover(&ticket.state.cell).value = Some(value);
+        ticket.state.cell.lock().value = Some(value);
         ticket
     }
 
@@ -127,7 +127,7 @@ impl<T: Clone> Ticket<T> {
     /// subscribed so the caller can count their dependency down (and enqueue any
     /// that became runnable). Must be called at most once.
     pub(crate) fn fulfil(&self, value: T) -> Vec<Arc<PendingJob>> {
-        let mut cell = lock_recover(&self.state.cell);
+        let mut cell = self.state.cell.lock();
         debug_assert!(cell.value.is_none(), "ticket fulfilled twice");
         cell.value = Some(value);
         let subscribers = std::mem::take(&mut cell.subscribers);
@@ -140,7 +140,7 @@ impl<T: Clone> Ticket<T> {
     /// dependency on it and `true` is returned; if already fulfilled, nothing is
     /// registered and `false` is returned.
     pub(crate) fn subscribe(&self, job: &Arc<PendingJob>) -> bool {
-        let mut cell = lock_recover(&self.state.cell);
+        let mut cell = self.state.cell.lock();
         if cell.value.is_some() {
             return false;
         }
@@ -151,14 +151,14 @@ impl<T: Clone> Ticket<T> {
 
     /// True once the result is available ([`Ticket::wait`] would not block).
     pub fn is_ready(&self) -> bool {
-        lock_recover(&self.state.cell).value.is_some()
+        self.state.cell.lock().value.is_some()
     }
 
     /// Blocks until the result is available and returns a clone of it.
     pub fn wait(&self) -> T {
-        let mut cell = lock_recover(&self.state.cell);
+        let mut cell = self.state.cell.lock();
         while cell.value.is_none() {
-            cell = recover(self.state.ready.wait(cell));
+            cell = self.state.ready.wait(cell);
         }
         cell.value.as_ref().unwrap().clone()
     }
@@ -167,7 +167,7 @@ impl<T: Clone> Ticket<T> {
     /// `None` on timeout (the ticket stays pending — the drain path uses the
     /// `None` to force-settle the job as timed out, then waits again).
     pub fn wait_deadline(&self, deadline: std::time::Instant) -> Option<T> {
-        let mut cell = lock_recover(&self.state.cell);
+        let mut cell = self.state.cell.lock();
         loop {
             if let Some(value) = cell.value.as_ref() {
                 return Some(value.clone());
@@ -177,7 +177,7 @@ impl<T: Clone> Ticket<T> {
                 return None;
             }
             let (guard, _timed_out) =
-                recover(self.state.ready.wait_timeout(cell, deadline - now));
+                self.state.ready.wait_timeout(cell, deadline - now);
             cell = guard;
         }
     }
@@ -200,7 +200,7 @@ mod tests {
         let ticket: Ticket<String> = Ticket::new();
         assert!(!ticket.is_ready());
         let fulfiller = ticket.clone();
-        let handle = std::thread::spawn(move || {
+        let handle = soteria_sync::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(10));
             fulfiller.fulfil("done".to_string());
         });

@@ -1,0 +1,688 @@
+//! The deterministic execution engine behind the model backend.
+//!
+//! One [`Execution`] is one run of a user closure under one schedule. Model
+//! threads are real OS threads, but *serialized*: exactly one — the `active`
+//! thread — runs user code at any instant. Every synchronization operation
+//! first yields to the scheduler ([`sync_point`]), which picks the next thread
+//! to dispatch among the currently *eligible* ones; with more than one option
+//! the pick is a recorded [`DecisionRecord`] the exploration layer replays,
+//! enumerates (DFS), or draws from a seeded PRNG. Blocked threads are not
+//! eligible, so a state with no eligible, unfinished threads is a detected
+//! deadlock — including classic lost-wakeup states, which on the host OS
+//! would just hang.
+//!
+//! Happens-before is tracked with per-thread [`VClock`]s: lock releases and
+//! `Release`-or-stronger atomic stores publish the releasing thread's clock
+//! into the object; acquires join it back. `Relaxed` atomics deliberately
+//! publish nothing, which is exactly what lets the race detector flag
+//! flag-publication patterns that look synchronized but are not.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// The environment variable that pins exploration to a single replayable
+/// schedule seed (see [`crate::model::Model::explore_seeds`]).
+pub const SCHED_SEED_ENV: &str = "SOTERIA_SCHED_SEED";
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over model-thread ids (grows lazily as threads register).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, tid: usize, value: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value;
+    }
+
+    /// Advances this thread's own component (a new epoch).
+    pub(crate) fn tick(&mut self, tid: usize) {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (tid, &value) in other.0.iter().enumerate() {
+            if self.get(tid) < value {
+                self.set(tid, value);
+            }
+        }
+    }
+
+    /// Iterate the non-zero components.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.0.iter().copied().enumerate().filter(|&(_, v)| v > 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG (SplitMix64 — tiny, seedable, dependency-free)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n` (`n > 0`).
+    pub(crate) fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread and object state
+// ---------------------------------------------------------------------------
+
+/// Why a condvar wait returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WakeReason {
+    None,
+    Notified,
+    TimedOut,
+    Spurious,
+}
+
+/// What a model thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunState {
+    /// Dispatchable: running user code (if `active`) or ready to.
+    Runnable,
+    /// Blocked acquiring a lock object (`write` covers mutexes and rw-writes).
+    Lock { obj: usize, write: bool },
+    /// Parked on a condvar, holding nothing; `timeout` marks a `wait_timeout`
+    /// that the scheduler may *choose* to fire.
+    CondWait { cv: usize, mutex: usize, timeout: bool },
+    /// Blocked joining another model thread.
+    Join { child: usize },
+    Finished,
+}
+
+pub(crate) struct ThreadInfo {
+    pub(crate) state: RunState,
+    pub(crate) clock: VClock,
+    pub(crate) wake: WakeReason,
+    /// Timeout/spurious wakeups fired for this thread this run. Bounded by
+    /// `Limits::max_timeout_fires` so a `wait_timeout` predicate loop is a
+    /// finite subtree instead of an infinite timeout-again path.
+    pub(crate) forced_wakes: usize,
+}
+
+/// One registered synchronization object.
+pub(crate) enum Obj {
+    Mutex {
+        owner: Option<usize>,
+        clock: VClock,
+    },
+    Rw {
+        writer: Option<usize>,
+        readers: u32,
+        clock: VClock,
+    },
+    Condvar {
+        waiters: Vec<usize>,
+    },
+    Atomic {
+        value: u64,
+        clock: VClock,
+    },
+    /// Unsynchronized shared state under race detection: the epoch of the last
+    /// write and a clock of last reads per thread.
+    Cell {
+        name: &'static str,
+        write: Option<(usize, u64)>,
+        reads: VClock,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Decisions, failures, schedules
+// ---------------------------------------------------------------------------
+
+/// One recorded branch point: which threads were eligible, which was running,
+/// and which was chosen. Only points with more than one option are recorded —
+/// forced switches are not branches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DecisionRecord {
+    pub(crate) options: Vec<usize>,
+    pub(crate) prev: usize,
+    pub(crate) chosen: usize,
+}
+
+impl DecisionRecord {
+    /// True when picking `index` would preempt a still-eligible `prev`.
+    pub(crate) fn is_preemption(&self, index: usize) -> bool {
+        self.options.contains(&self.prev) && self.options[index] != self.prev
+    }
+}
+
+/// What went wrong in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The vector-clock detector flagged an unordered access pair on a
+    /// [`ModelCell`](crate::model::ModelCell).
+    Race,
+    /// No eligible thread and not all finished (includes lost wakeups).
+    Deadlock,
+    /// User code panicked (a protocol invariant assertion, usually).
+    Panic,
+    /// The run exceeded the step bound (a livelock, usually).
+    StepLimit,
+}
+
+/// A violation found in one run.
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    pub(crate) kind: FailureKind,
+    pub(crate) message: String,
+}
+
+/// The outcome of one fully-executed (or aborted) schedule.
+pub(crate) struct RunResult {
+    pub(crate) failure: Option<Failure>,
+    pub(crate) decisions: Vec<DecisionRecord>,
+    /// FNV-1a hash of the chosen-thread sequence at branch points: the
+    /// schedule's identity for distinct-schedule counting.
+    pub(crate) signature: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The execution
+// ---------------------------------------------------------------------------
+
+pub(crate) enum Chooser {
+    /// Pseudo-random choices from a replayable seed.
+    Seeded(SplitMix64),
+    /// Replay recorded branch indices; beyond them, continue the running
+    /// thread when possible (minimizing preemptions) else take option 0.
+    Replay { path: Vec<u32>, cursor: usize },
+}
+
+pub(crate) struct Limits {
+    pub(crate) max_steps: usize,
+    pub(crate) max_threads: usize,
+    pub(crate) spurious_wakeups: bool,
+    pub(crate) max_timeout_fires: usize,
+}
+
+pub(crate) struct ExecInner {
+    pub(crate) threads: Vec<ThreadInfo>,
+    pub(crate) objects: Vec<Obj>,
+    pub(crate) active: usize,
+    pub(crate) chooser: Chooser,
+    pub(crate) decisions: Vec<DecisionRecord>,
+    pub(crate) signature: u64,
+    pub(crate) steps: usize,
+    pub(crate) limits: Limits,
+    pub(crate) abort: bool,
+    pub(crate) failure: Option<Failure>,
+    /// OS-thread handles of every spawned model thread; the runner joins them
+    /// all before the run result is read.
+    pub(crate) handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    pub(crate) inner: StdMutex<ExecInner>,
+    pub(crate) cv: StdCondvar,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Execution {
+    pub(crate) fn new(limits: Limits, chooser: Chooser) -> Arc<Self> {
+        Arc::new(Execution {
+            inner: StdMutex::new(ExecInner {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                active: 0,
+                chooser,
+                decisions: Vec::new(),
+                signature: FNV_OFFSET,
+                steps: 0,
+                limits,
+                abort: false,
+                failure: None,
+                handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, ExecInner> {
+        crate::recover(self.inner.lock())
+    }
+}
+
+impl ExecInner {
+    pub(crate) fn register_thread(&mut self, clock: VClock) -> usize {
+        let tid = self.threads.len();
+        self.threads.push(ThreadInfo {
+            state: RunState::Runnable,
+            clock,
+            wake: WakeReason::None,
+            forced_wakes: 0,
+        });
+        tid
+    }
+
+    pub(crate) fn register_object(&mut self, obj: Obj) -> usize {
+        self.objects.push(obj);
+        self.objects.len() - 1
+    }
+
+    /// Records a failure (first one wins) and tells every thread to unwind.
+    pub(crate) fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure { kind, message });
+        }
+        self.abort = true;
+    }
+
+    /// True when `tid` could be dispatched right now.
+    fn eligible(&self, tid: usize) -> bool {
+        match self.threads[tid].state {
+            RunState::Runnable => true,
+            RunState::Lock { obj, write } => match &self.objects[obj] {
+                Obj::Mutex { owner, .. } => owner.is_none(),
+                Obj::Rw { writer, readers, .. } => {
+                    if write {
+                        writer.is_none() && *readers == 0
+                    } else {
+                        writer.is_none()
+                    }
+                }
+                _ => false,
+            },
+            RunState::CondWait { mutex, timeout, .. } => {
+                // Firing a timeout (or, when enabled, a spurious wakeup) is a
+                // scheduler choice — but only once the mutex can be reacquired,
+                // so the dispatch is a single step back into user code; and
+                // only up to the per-thread fire bound, so predicate loops
+                // over wait_timeout stay a finite subtree.
+                let mutex_free = matches!(&self.objects[mutex], Obj::Mutex { owner: None, .. });
+                mutex_free
+                    && (timeout || self.limits.spurious_wakeups)
+                    && self.threads[tid].forced_wakes < self.limits.max_timeout_fires
+            }
+            RunState::Join { child } => {
+                matches!(self.threads[child].state, RunState::Finished)
+            }
+            RunState::Finished => false,
+        }
+    }
+
+    /// Applies the state transition that makes `tid` runnable. Only call on an
+    /// eligible thread.
+    fn dispatch(&mut self, tid: usize) {
+        match self.threads[tid].state {
+            RunState::Runnable => {}
+            RunState::Lock { obj, write } => {
+                let thread_clock = &mut self.threads[tid].clock as *mut VClock;
+                match &mut self.objects[obj] {
+                    Obj::Mutex { owner, clock } => {
+                        *owner = Some(tid);
+                        // Acquire: the new owner's clock joins the lock's.
+                        unsafe { (*thread_clock).join(clock) };
+                    }
+                    Obj::Rw { writer, readers, clock } => {
+                        if write {
+                            *writer = Some(tid);
+                        } else {
+                            *readers += 1;
+                        }
+                        unsafe { (*thread_clock).join(clock) };
+                    }
+                    _ => unreachable!("lock-blocked on a non-lock object"),
+                }
+                self.threads[tid].state = RunState::Runnable;
+            }
+            RunState::CondWait { cv, mutex, timeout } => {
+                if let Obj::Condvar { waiters } = &mut self.objects[cv] {
+                    waiters.retain(|&w| w != tid);
+                }
+                let thread_clock = &mut self.threads[tid].clock as *mut VClock;
+                if let Obj::Mutex { owner, clock } = &mut self.objects[mutex] {
+                    debug_assert!(owner.is_none());
+                    *owner = Some(tid);
+                    unsafe { (*thread_clock).join(clock) };
+                }
+                self.threads[tid].wake =
+                    if timeout { WakeReason::TimedOut } else { WakeReason::Spurious };
+                self.threads[tid].forced_wakes += 1;
+                self.threads[tid].state = RunState::Runnable;
+            }
+            RunState::Join { child } => {
+                let child_clock = self.threads[child].clock.clone();
+                self.threads[tid].clock.join(&child_clock);
+                self.threads[tid].state = RunState::Runnable;
+            }
+            RunState::Finished => unreachable!("dispatching a finished thread"),
+        }
+    }
+
+    /// Picks and dispatches the next thread; records the decision when it is a
+    /// real branch. On deadlock, fails the run.
+    pub(crate) fn advance(&mut self) {
+        if self.abort {
+            return;
+        }
+        let mut options: Vec<usize> =
+            (0..self.threads.len()).filter(|&tid| self.eligible(tid)).collect();
+        // Order the previously-active thread first: option 0 is always
+        // "continue without preempting", so a DFS default path takes zero
+        // preemptions and backtracking (which bumps indices upward from the
+        // default) enumerates every option exactly once.
+        if let Some(position) = options.iter().position(|&tid| tid == self.active) {
+            options.remove(position);
+            options.insert(0, self.active);
+        }
+        if options.is_empty() {
+            if self.threads.iter().all(|t| matches!(t.state, RunState::Finished)) {
+                return; // run complete
+            }
+            let stuck: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.state, RunState::Finished))
+                .map(|(tid, t)| format!("thread {tid} {:?}", t.state))
+                .collect();
+            self.fail(
+                FailureKind::Deadlock,
+                format!("deadlock: no eligible thread ({})", stuck.join(", ")),
+            );
+            return;
+        }
+        let index = self.choose(&options);
+        let next = options[index];
+        self.dispatch(next);
+        self.active = next;
+    }
+
+    /// A scheduler decision driven by the same chooser but made *inside* an
+    /// effect (e.g. which waiter `notify_one` wakes). Recorded like any other
+    /// branch so replay and DFS cover it.
+    pub(crate) fn choose_external(&mut self, options: &[usize]) -> usize {
+        self.choose(options)
+    }
+
+    /// Chooses among `options` (recording the decision when there is a branch).
+    fn choose(&mut self, options: &[usize]) -> usize {
+        if options.len() == 1 {
+            return 0;
+        }
+        let prev = self.active;
+        let index = match &mut self.chooser {
+            Chooser::Seeded(rng) => rng.next_below(options.len()),
+            Chooser::Replay { path, cursor } => {
+                let index = if *cursor < path.len() {
+                    let recorded = path[*cursor] as usize;
+                    // Divergence (the closure was not deterministic) shows up
+                    // as an out-of-range recorded index.
+                    recorded.min(options.len() - 1)
+                } else {
+                    // Beyond the replayed prefix: option 0 is "continue the
+                    // running thread" by the ordering above — the canonical
+                    // zero-preemption default every DFS suffix starts from.
+                    0
+                };
+                *cursor += 1;
+                index
+            }
+        };
+        self.decisions.push(DecisionRecord { options: options.to_vec(), prev, chosen: index });
+        let chosen_tid = options[index] as u64;
+        self.signature = (self.signature ^ chosen_tid).wrapping_mul(FNV_PRIME);
+        index
+    }
+
+    /// Counts one scheduler step against the run bound.
+    pub(crate) fn step(&mut self) {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            self.fail(
+                FailureKind::StepLimit,
+                format!("step bound exceeded ({} scheduler steps)", self.limits.max_steps),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local execution context and the sentinel unwind
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The recognized unwind payload that tears a model thread down when the run
+/// aborts. Raised with `resume_unwind`, so it never hits the panic hook.
+pub(crate) struct ModelAbort;
+
+pub(crate) fn abort_unwind() -> ! {
+    std::panic::resume_unwind(Box::new(ModelAbort))
+}
+
+pub(crate) fn is_model_abort(payload: &(dyn Any + Send)) -> bool {
+    payload.is::<ModelAbort>()
+}
+
+/// The execution the current OS thread belongs to. Panics (with a usable
+/// message) outside a model run — model sync objects only work under
+/// [`crate::model::Model`] exploration.
+pub(crate) fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|(exec, tid)| (Arc::clone(exec), *tid))
+            .expect("soteria_sync::model primitives may only be used inside a model run")
+    })
+}
+
+pub(crate) fn current_execution_weak() -> std::sync::Weak<Execution> {
+    let (exec, _) = current();
+    Arc::downgrade(&exec)
+}
+
+/// True when this OS thread is a model thread of `exec`.
+pub(crate) fn same_execution(weak: &std::sync::Weak<Execution>) -> Option<(Arc<Execution>, usize)> {
+    let exec = weak.upgrade()?;
+    let (cur, tid) = CURRENT.with(|slot| {
+        slot.borrow().as_ref().map(|(e, t)| (Arc::clone(e), *t)).unzip()
+    });
+    match (cur, tid) {
+        (Some(cur), Some(tid)) if Arc::ptr_eq(&cur, &exec) => Some((exec, tid)),
+        _ => None,
+    }
+}
+
+fn install(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|slot| *slot.borrow_mut() = Some((exec, tid)));
+}
+
+fn uninstall() {
+    CURRENT.with(|slot| *slot.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling entry points used by the sync objects
+// ---------------------------------------------------------------------------
+
+/// Parks until this thread is the dispatched active thread again.
+pub(crate) fn wait_until_dispatched(exec: &Execution, me: usize) {
+    let mut g = exec.lock();
+    loop {
+        if g.abort {
+            drop(g);
+            abort_unwind();
+        }
+        if g.active == me && matches!(g.threads[me].state, RunState::Runnable) {
+            return;
+        }
+        g = crate::recover(exec.cv.wait(g));
+    }
+}
+
+/// The scheduling point every operation passes through: set the desired state
+/// (usually `Runnable`, for a pure preemption opportunity; or a blocked state),
+/// let the scheduler pick the next thread, and park until dispatched again.
+pub(crate) fn sync_point(desired: RunState) {
+    let (exec, me) = current();
+    {
+        let mut g = exec.lock();
+        if g.abort {
+            drop(g);
+            abort_unwind();
+        }
+        g.step();
+        g.threads[me].state = desired;
+        g.advance();
+        exec.cv.notify_all();
+    }
+    wait_until_dispatched(&exec, me);
+}
+
+/// Runs `effect` on the execution state without yielding: the mutation half of
+/// an operation, executed atomically right after its scheduling point.
+pub(crate) fn with_state<R>(effect: impl FnOnce(&mut ExecInner, usize) -> R) -> R {
+    let (exec, me) = current();
+    let mut g = exec.lock();
+    let result = effect(&mut g, me);
+    if g.abort && !std::thread::panicking() {
+        drop(g);
+        exec.cv.notify_all();
+        abort_unwind();
+    }
+    // Effects can change eligibility (an unlock frees waiters) — waiters are
+    // reconsidered at the next scheduling point, but wake the condvar so an
+    // aborting run tears down promptly.
+    exec.cv.notify_all();
+    result
+}
+
+/// Marks the current thread finished and hands control onward.
+pub(crate) fn thread_finish() {
+    let (exec, me) = current();
+    let mut g = exec.lock();
+    g.threads[me].state = RunState::Finished;
+    g.advance();
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Spawning model threads and running a schedule
+// ---------------------------------------------------------------------------
+
+/// The body every model OS thread runs: install context, wait to be
+/// dispatched, run the user closure, finish. Real panics become run failures;
+/// the sentinel unwind is absorbed silently.
+pub(crate) fn model_thread_body(exec: Arc<Execution>, tid: usize, body: impl FnOnce()) {
+    install(Arc::clone(&exec), tid);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        wait_until_dispatched(&exec, tid);
+        body();
+        thread_finish();
+    }));
+    if let Err(payload) = result {
+        let mut g = exec.lock();
+        if !is_model_abort(payload.as_ref()) {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            g.fail(FailureKind::Panic, format!("thread {tid} panicked: {message}"));
+        }
+        g.threads[tid].state = RunState::Finished;
+        g.advance();
+        exec.cv.notify_all();
+    }
+    uninstall();
+}
+
+/// Spawns the OS thread for a new model thread and registers its handle.
+pub(crate) fn spawn_model_thread(
+    exec: &Arc<Execution>,
+    g: &mut ExecInner,
+    tid: usize,
+    body: impl FnOnce() + Send + 'static,
+) {
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("soteria-model-{tid}"))
+        .spawn(move || model_thread_body(exec2, tid, body))
+        .expect("spawning a model thread");
+    g.handles.push(handle);
+}
+
+/// Runs one schedule of `f` to completion and returns what happened.
+///
+/// `f` runs as model thread 0 on a fresh OS thread; the caller blocks until
+/// every model OS thread has exited (joins them all), so borrowing `f` across
+/// the unsafe `'static` erasure below is sound.
+pub(crate) fn run_once<F>(limits: Limits, chooser: Chooser, f: &F) -> RunResult
+where
+    F: Fn() + Sync,
+{
+    let exec = Execution::new(limits, chooser);
+    {
+        let mut g = exec.lock();
+        let root = g.register_thread(VClock::default());
+        debug_assert_eq!(root, 0);
+        g.active = 0;
+        // SAFETY: every model OS thread is joined in the loop below before
+        // this function returns, so the reference cannot outlive `f`.
+        let f_addr = f as *const F as usize;
+        spawn_model_thread(&exec, &mut g, 0, move || {
+            let f = unsafe { &*(f_addr as *const F) };
+            f();
+        });
+    }
+    exec.cv.notify_all();
+    loop {
+        let handle = {
+            let mut g = exec.lock();
+            g.handles.pop()
+        };
+        match handle {
+            Some(handle) => {
+                let _ = handle.join();
+            }
+            None => break,
+        }
+    }
+    let inner = crate::recover(exec.inner.lock());
+    debug_assert!(
+        inner.abort || inner.threads.iter().all(|t| matches!(t.state, RunState::Finished)),
+        "run ended with live threads and no abort"
+    );
+    RunResult {
+        failure: inner.failure.clone(),
+        decisions: inner.decisions.clone(),
+        signature: inner.signature,
+    }
+}

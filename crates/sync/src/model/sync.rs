@@ -1,0 +1,785 @@
+//! Model-backend synchronization objects: the same vocabulary as the real
+//! backend (`Mutex`/`Condvar`/`RwLock`/atomics/`thread::spawn`), re-implemented
+//! on the deterministic scheduler in [`super::exec`], plus [`ModelCell`] — the
+//! race-detected wrapper for state that is *supposed* to be protected by
+//! something else.
+//!
+//! Every operation is two halves: a scheduling point (the scheduler may run
+//! any other eligible thread first — this is where interleavings come from)
+//! and an effect applied atomically under the execution lock (this is where
+//! vector clocks propagate and races are checked). Blocking operations park
+//! the thread in a state the scheduler understands (`Lock`, `CondWait`,
+//! `Join`), so a cycle of blocked threads is reported as a deadlock instead of
+//! hanging the test.
+
+use super::exec::{
+    self, current_execution_weak, same_execution, sync_point, with_state, Execution, FailureKind,
+    Obj, RunState, VClock, WakeReason,
+};
+use std::cell::UnsafeCell;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Atomic memory orderings, mirrored from `std::sync::atomic::Ordering`.
+///
+/// In the model, `Acquire`/`Release`/`AcqRel`/`SeqCst` operations propagate
+/// vector clocks (they establish happens-before); `Relaxed` operations touch
+/// the value only. That asymmetry is the race detector's teeth: publishing a
+/// pointer with a `Relaxed` store *looks* synchronized but orders nothing, and
+/// the detector flags the subsequent read.
+pub use std::sync::atomic::Ordering;
+
+fn resolve(weak: &Weak<Execution>, what: &str) -> (Arc<Execution>, usize) {
+    same_execution(weak).unwrap_or_else(|| {
+        panic!("model {what} used outside the model run that created it")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// The model mutex: acquisition order is a scheduler choice, release publishes
+/// the holder's vector clock.
+pub struct Mutex<T> {
+    exec: Weak<Execution>,
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler serializes model threads (exactly one runs user code
+// at a time) and the `owner` field gates data access, so `&Mutex<T>` may cross
+// threads whenever the protected value may.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+unsafe impl<T: Send> Send for Mutex<T> {}
+
+/// Guard for a locked model [`Mutex`]; unlocking on drop is itself an effect
+/// (clock release), not a scheduling point.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex registered with the current model run. Panics outside
+    /// a run: model objects are per-schedule, create them inside the closure.
+    pub fn new(value: T) -> Self {
+        let weak = current_execution_weak();
+        let id = with_state(|g, _| g.register_object(Obj::Mutex { owner: None, clock: VClock::default() }));
+        Mutex { exec: weak, id, data: UnsafeCell::new(value) }
+    }
+
+    /// Acquires the lock; blocks (in model time) while held elsewhere.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        resolve(&self.exec, "Mutex");
+        sync_point(RunState::Lock { obj: self.id, write: true });
+        MutexGuard { lock: self }
+    }
+
+    /// Acquires the lock only if free at this scheduling point.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        resolve(&self.exec, "Mutex");
+        sync_point(RunState::Runnable);
+        let acquired = with_state(|g, me| {
+            let thread_clock = &mut g.threads[me].clock as *mut VClock;
+            if let Obj::Mutex { owner, clock } = &mut g.objects[self.id] {
+                if owner.is_none() {
+                    *owner = Some(me);
+                    // SAFETY: threads and objects are disjoint Vec fields.
+                    unsafe { (*thread_clock).join(clock) };
+                    return true;
+                }
+            }
+            false
+        });
+        // `then`, not `then_some`: the guard must only exist (and ever drop)
+        // when the lock was actually acquired.
+        acquired.then(|| MutexGuard { lock: self })
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T> MutexGuard<'_, T> {
+    fn unlock(&self) {
+        if std::thread::panicking() {
+            // Teardown path: release the object state so other unwinding
+            // threads stay consistent, but never yield or park mid-unwind.
+            let (exec, _) = exec::current();
+            let mut g = exec.lock();
+            if let Obj::Mutex { owner, .. } = &mut g.objects[self.lock.id] {
+                *owner = None;
+            }
+            return;
+        }
+        with_state(|g, me| {
+            g.threads[me].clock.tick(me);
+            let thread_clock = g.threads[me].clock.clone();
+            if let Obj::Mutex { owner, clock } = &mut g.objects[self.lock.id] {
+                debug_assert_eq!(*owner, Some(me), "unlocking a mutex the thread does not hold");
+                *owner = None;
+                clock.join(&thread_clock);
+            }
+        });
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.unlock();
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: this thread holds the model lock, and the scheduler runs one
+        // thread at a time.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, plus `&mut self` for uniqueness of this guard.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Whether a [`Condvar::wait_timeout`] returned by timing out. In the model,
+/// "the timeout fired" is a schedule branch, not a clock read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// The model condition variable. `notify_one`'s choice of waiter is a recorded
+/// scheduler decision; lost wakeups become deadlock reports.
+pub struct Condvar {
+    exec: Weak<Execution>,
+    id: usize,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        let weak = current_execution_weak();
+        let id = with_state(|g, _| g.register_object(Obj::Condvar { waiters: Vec::new() }));
+        Condvar { exec: weak, id }
+    }
+
+    fn park<'a, T>(&self, guard: MutexGuard<'a, T>, timeout: bool) -> (MutexGuard<'a, T>, bool) {
+        let (exec, me) = resolve(&self.exec, "Condvar");
+        let mutex = guard.lock;
+        // The wait releases the mutex and parks atomically — run it as one
+        // effect, bypassing the guard's drop-unlock.
+        std::mem::forget(guard);
+        {
+            let mut g = exec.lock();
+            if g.abort {
+                if let Obj::Mutex { owner, .. } = &mut g.objects[mutex.id] {
+                    *owner = None;
+                }
+                drop(g);
+                exec::abort_unwind();
+            }
+            g.step();
+            g.threads[me].clock.tick(me);
+            let thread_clock = g.threads[me].clock.clone();
+            if let Obj::Mutex { owner, clock } = &mut g.objects[mutex.id] {
+                debug_assert_eq!(*owner, Some(me), "waiting on a condvar without holding the mutex");
+                *owner = None;
+                clock.join(&thread_clock);
+            }
+            if let Obj::Condvar { waiters } = &mut g.objects[self.id] {
+                waiters.push(me);
+            }
+            g.threads[me].wake = WakeReason::None;
+            g.threads[me].state = RunState::CondWait { cv: self.id, mutex: mutex.id, timeout };
+            g.advance();
+            exec.cv.notify_all();
+        }
+        exec::wait_until_dispatched(&exec, me);
+        let timed_out = with_state(|g, me| g.threads[me].wake == WakeReason::TimedOut);
+        (MutexGuard { lock: mutex }, timed_out)
+    }
+
+    /// Releases the guard, parks until notified (or a spurious wakeup, when
+    /// the model enables them), and re-acquires the lock.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.park(guard, false).0
+    }
+
+    /// [`wait`](Condvar::wait) where the scheduler may also *choose* to fire
+    /// the timeout (the duration itself is ignored — model time is schedule
+    /// order, not wall clock).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (guard, timed_out) = self.park(guard, true);
+        (guard, WaitTimeoutResult { timed_out })
+    }
+
+    /// Wakes one waiter — *which* one is a recorded scheduler decision.
+    pub fn notify_one(&self) {
+        resolve(&self.exec, "Condvar");
+        sync_point(RunState::Runnable);
+        with_state(|g, _| {
+            let waiters = match &g.objects[self.id] {
+                Obj::Condvar { waiters } => waiters.clone(),
+                _ => unreachable!(),
+            };
+            if waiters.is_empty() {
+                return;
+            }
+            let index = g.choose_external(&waiters);
+            let woken = waiters[index];
+            self.wake_waiter(g, woken);
+        });
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        resolve(&self.exec, "Condvar");
+        sync_point(RunState::Runnable);
+        with_state(|g, _| {
+            let waiters = match &g.objects[self.id] {
+                Obj::Condvar { waiters } => waiters.clone(),
+                _ => unreachable!(),
+            };
+            for woken in waiters {
+                self.wake_waiter(g, woken);
+            }
+        });
+    }
+
+    fn wake_waiter(&self, g: &mut exec::ExecInner, woken: usize) {
+        if let Obj::Condvar { waiters } = &mut g.objects[self.id] {
+            waiters.retain(|&w| w != woken);
+        }
+        if let RunState::CondWait { mutex, .. } = g.threads[woken].state {
+            g.threads[woken].wake = WakeReason::Notified;
+            g.threads[woken].state = RunState::Lock { obj: mutex, write: true };
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// The model reader-writer lock. Reader/writer admission order is explored.
+pub struct RwLock<T> {
+    exec: Weak<Execution>,
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Sync for RwLock<T> {}
+unsafe impl<T: Send> Send for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        let weak = current_execution_weak();
+        let id = with_state(|g, _| {
+            g.register_object(Obj::Rw { writer: None, readers: 0, clock: VClock::default() })
+        });
+        RwLock { exec: weak, id, data: UnsafeCell::new(value) }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        resolve(&self.exec, "RwLock");
+        sync_point(RunState::Lock { obj: self.id, write: false });
+        RwLockReadGuard { lock: self }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        resolve(&self.exec, "RwLock");
+        sync_point(RunState::Lock { obj: self.id, write: true });
+        RwLockWriteGuard { lock: self }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    fn release(&self, write: bool) {
+        if std::thread::panicking() {
+            let (exec, _) = exec::current();
+            let mut g = exec.lock();
+            if let Obj::Rw { writer, readers, .. } = &mut g.objects[self.id] {
+                if write {
+                    *writer = None;
+                } else {
+                    *readers = readers.saturating_sub(1);
+                }
+            }
+            return;
+        }
+        with_state(|g, me| {
+            g.threads[me].clock.tick(me);
+            let thread_clock = g.threads[me].clock.clone();
+            if let Obj::Rw { writer, readers, clock } = &mut g.objects[self.id] {
+                if write {
+                    debug_assert_eq!(*writer, Some(me));
+                    *writer = None;
+                } else {
+                    debug_assert!(*readers > 0);
+                    *readers -= 1;
+                }
+                // Reader releases publish too: a writer admitted after a
+                // reader happens-after that reader's critical section.
+                clock.join(&thread_clock);
+            }
+        });
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release(false);
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release(true);
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: readers admitted concurrently only with other readers;
+        // shared reference matches.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive writer admission.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive writer admission plus `&mut self`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+fn hb_on_load(ordering: Ordering) -> bool {
+    matches!(ordering, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn hb_on_store(ordering: Ordering) -> bool {
+    matches!(ordering, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// The shared machinery behind every model atomic: a `u64` cell plus a clock
+/// that `Release`-or-stronger stores publish into and `Acquire`-or-stronger
+/// loads join from. `Relaxed` operations move the value and nothing else.
+struct AtomicInner {
+    exec: Weak<Execution>,
+    id: usize,
+}
+
+impl AtomicInner {
+    fn new(value: u64) -> Self {
+        let weak = current_execution_weak();
+        let id =
+            with_state(|g, _| g.register_object(Obj::Atomic { value, clock: VClock::default() }));
+        AtomicInner { exec: weak, id }
+    }
+
+    fn load(&self, ordering: Ordering) -> u64 {
+        resolve(&self.exec, "atomic");
+        sync_point(RunState::Runnable);
+        with_state(|g, me| {
+            let thread_clock = &mut g.threads[me].clock as *mut VClock;
+            if let Obj::Atomic { value, clock } = &mut g.objects[self.id] {
+                if hb_on_load(ordering) {
+                    // SAFETY: threads and objects are disjoint Vec fields.
+                    unsafe { (*thread_clock).join(clock) };
+                }
+                *value
+            } else {
+                unreachable!()
+            }
+        })
+    }
+
+    fn rmw(&self, ordering: Ordering, op: impl FnOnce(u64) -> u64) -> u64 {
+        resolve(&self.exec, "atomic");
+        sync_point(RunState::Runnable);
+        with_state(|g, me| {
+            if hb_on_store(ordering) {
+                g.threads[me].clock.tick(me);
+            }
+            let thread_clock = &mut g.threads[me].clock as *mut VClock;
+            if let Obj::Atomic { value, clock } = &mut g.objects[self.id] {
+                if hb_on_load(ordering) {
+                    unsafe { (*thread_clock).join(clock) };
+                }
+                let old = *value;
+                *value = op(old);
+                if hb_on_store(ordering) {
+                    unsafe { clock.join(&*thread_clock) };
+                }
+                old
+            } else {
+                unreachable!()
+            }
+        })
+    }
+
+    fn store(&self, value: u64, ordering: Ordering) {
+        self.rmw(ordering, |_| value);
+    }
+
+    fn compare_exchange(&self, current: u64, new: u64, success: Ordering) -> Result<u64, u64> {
+        let mut swapped = false;
+        let old = self.rmw(success, |v| {
+            if v == current {
+                swapped = true;
+                new
+            } else {
+                v
+            }
+        });
+        if swapped {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $ty:ty) => {
+        /// A model atomic mirroring the std type of the same name.
+        pub struct $name(AtomicInner);
+
+        // The widening casts are identity for u64 itself; keep the macro uniform.
+        #[allow(clippy::unnecessary_cast)]
+        impl $name {
+            pub fn new(value: $ty) -> Self {
+                $name(AtomicInner::new(value as u64))
+            }
+
+            pub fn load(&self, ordering: Ordering) -> $ty {
+                self.0.load(ordering) as $ty
+            }
+
+            pub fn store(&self, value: $ty, ordering: Ordering) {
+                self.0.store(value as u64, ordering);
+            }
+
+            pub fn swap(&self, value: $ty, ordering: Ordering) -> $ty {
+                self.0.rmw(ordering, |_| value as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, delta: $ty, ordering: Ordering) -> $ty {
+                self.0.rmw(ordering, |v| (v as $ty).wrapping_add(delta) as u64) as $ty
+            }
+
+            pub fn fetch_sub(&self, delta: $ty, ordering: Ordering) -> $ty {
+                self.0.rmw(ordering, |v| (v as $ty).wrapping_sub(delta) as u64) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.0
+                    .compare_exchange(current as u64, new as u64, success)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicUsize, usize);
+model_atomic!(AtomicU64, u64);
+model_atomic!(AtomicU32, u32);
+model_atomic!(AtomicU16, u16);
+model_atomic!(AtomicU8, u8);
+
+/// A model `AtomicBool` (backed by the same machinery).
+pub struct AtomicBool(AtomicInner);
+
+impl AtomicBool {
+    pub fn new(value: bool) -> Self {
+        AtomicBool(AtomicInner::new(value as u64))
+    }
+
+    pub fn load(&self, ordering: Ordering) -> bool {
+        self.0.load(ordering) != 0
+    }
+
+    pub fn store(&self, value: bool, ordering: Ordering) {
+        self.0.store(value as u64, ordering);
+    }
+
+    pub fn swap(&self, value: bool, ordering: Ordering) -> bool {
+        self.0.rmw(ordering, |_| value as u64) != 0
+    }
+
+    pub fn fetch_or(&self, value: bool, ordering: Ordering) -> bool {
+        self.0.rmw(ordering, |v| v | value as u64) != 0
+    }
+
+    pub fn fetch_and(&self, value: bool, ordering: Ordering) -> bool {
+        self.0.rmw(ordering, |v| v & value as u64) != 0
+    }
+
+    /// The `failure` ordering is ignored: the model's failed CAS performs the
+    /// load side of `success` already (conservative, never weaker).
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.0
+            .compare_exchange(current as u64, new as u64, success)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ModelCell — race-detected shared state
+// ---------------------------------------------------------------------------
+
+/// Shared state the protocol under test believes is synchronized *by
+/// something else* (a lock, a published flag, a join). Every access is checked
+/// against the happens-before clocks: a read unordered with the last write, or
+/// a write unordered with any prior read/write, fails the run as a data race
+/// with both access sites' threads named.
+pub struct ModelCell<T> {
+    exec: Weak<Execution>,
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Sync for ModelCell<T> {}
+unsafe impl<T: Send> Send for ModelCell<T> {}
+
+impl<T> ModelCell<T> {
+    pub fn new(value: T) -> Self {
+        Self::named("cell", value)
+    }
+
+    /// Like [`new`](ModelCell::new) with a name used in race reports.
+    pub fn named(name: &'static str, value: T) -> Self {
+        let weak = current_execution_weak();
+        let id = with_state(|g, _| {
+            g.register_object(Obj::Cell { name, write: None, reads: VClock::default() })
+        });
+        ModelCell { exec: weak, id, data: UnsafeCell::new(value) }
+    }
+
+    fn check(&self, is_write: bool) {
+        with_state(|g, me| {
+            let my_clock = g.threads[me].clock.clone();
+            let my_epoch = my_clock.get(me);
+            if let Obj::Cell { name, write, reads } = &mut g.objects[self.id] {
+                let name = *name;
+                if let Some((writer, epoch)) = *write {
+                    if writer != me && my_clock.get(writer) < epoch {
+                        let kind = if is_write { "write/write" } else { "read/write" };
+                        let msg = format!(
+                            "data race on ModelCell `{name}`: {kind} — thread {me} is not \
+                             ordered after the write by thread {writer}"
+                        );
+                        g.fail(FailureKind::Race, msg);
+                        return;
+                    }
+                }
+                if is_write {
+                    let racy_reader = reads
+                        .entries()
+                        .find(|&(reader, epoch)| reader != me && my_clock.get(reader) < epoch);
+                    if let Some((reader, _)) = racy_reader {
+                        let msg = format!(
+                            "data race on ModelCell `{name}`: write by thread {me} is not \
+                             ordered after the read by thread {reader}"
+                        );
+                        g.fail(FailureKind::Race, msg);
+                        return;
+                    }
+                    *write = Some((me, my_epoch));
+                    *reads = VClock::default();
+                } else {
+                    reads.set(me, my_epoch);
+                }
+            }
+        });
+    }
+
+    /// Reads through a shared reference to the value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        resolve(&self.exec, "ModelCell");
+        sync_point(RunState::Runnable);
+        self.check(false);
+        // SAFETY: the scheduler runs one thread at a time; the race check
+        // above reports (and aborts) unordered pairs rather than letting two
+        // model threads overlap here.
+        f(unsafe { &*self.data.get() })
+    }
+
+    /// Writes through an exclusive reference to the value.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        resolve(&self.exec, "ModelCell");
+        sync_point(RunState::Runnable);
+        self.check(true);
+        // SAFETY: as above; serialization makes the exclusive borrow sound.
+        f(unsafe { &mut *self.data.get() })
+    }
+
+    /// Convenience read for `Copy` values.
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.with(|v| *v)
+    }
+
+    /// Convenience write.
+    pub fn set(&self, value: T) {
+        self.with_mut(|v| *v = value);
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread — spawn/join/yield in model time
+// ---------------------------------------------------------------------------
+
+pub mod thread {
+    //! Model threads: serialized OS threads whose interleaving the scheduler
+    //! owns. Mirrors the `soteria_sync::thread` surface the workspace uses.
+
+    use super::super::exec::{
+        self, spawn_model_thread, sync_point, with_state, RunState, VClock,
+    };
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        child: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the child finishes, establishing
+        /// happens-before from everything the child did.
+        ///
+        /// Always `Ok`: a child panic aborts the whole run as a violation, so
+        /// there is no panic payload to hand back. The `Result` mirrors
+        /// `std::thread::JoinHandle::join` so call sites read identically.
+        pub fn join(self) -> std::thread::Result<T> {
+            sync_point(RunState::Join { child: self.child });
+            let value = crate::lock_recover(&self.result)
+                .take()
+                .expect("joined model thread left no result");
+            Ok(value)
+        }
+    }
+
+    /// Spawns a model thread. The spawn point is a scheduler decision; the
+    /// child inherits the parent's vector clock (spawn establishes
+    /// happens-before, like the real thing).
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, _) = exec::current();
+        sync_point(RunState::Runnable);
+        let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let slot = Arc::clone(&result);
+        let child = with_state(|g, me| {
+            if g.threads.len() >= g.limits.max_threads {
+                g.fail(
+                    super::super::exec::FailureKind::Panic,
+                    format!("model thread limit exceeded ({} threads)", g.limits.max_threads),
+                );
+                return None;
+            }
+            g.threads[me].clock.tick(me);
+            let mut child_clock = VClock::default();
+            child_clock.join(&g.threads[me].clock);
+            let child = g.register_thread(child_clock);
+            g.threads[child].clock.set(child, 1);
+            Some(child)
+        });
+        let child = match child {
+            Some(child) => child,
+            None => exec::abort_unwind(),
+        };
+        {
+            let mut g = exec.lock();
+            spawn_model_thread(&exec, &mut g, child, move || {
+                let value = f();
+                *crate::lock_recover(&slot) = Some(value);
+            });
+        }
+        JoinHandle { child, result }
+    }
+
+    /// A pure scheduling point: lets the scheduler preempt here.
+    pub fn yield_now() {
+        sync_point(RunState::Runnable);
+    }
+
+    /// The current model thread's id (stable within a run; used in tests and
+    /// race reports).
+    pub fn current_id() -> usize {
+        let (_, me) = exec::current();
+        me
+    }
+}

@@ -1,0 +1,247 @@
+//! Real-vs-model backend agreement on randomly scripted traces.
+//!
+//! The facade's promise is that the `model` backend is *semantically* the real
+//! backend with an adversarial scheduler bolted on: the same program, run over
+//! either set of types, must converge to the same final state. These tests
+//! generate small lock/condvar/atomic scripts with the workspace proptest
+//! shim, execute each once on real OS threads and across many model schedules,
+//! and require the final `(counter, atomic, flag)` triple to agree everywhere.
+//!
+//! A deliberately racy fixture closes the loop in the other direction: the
+//! detector must flag it, and the failing schedule's seed must replay the same
+//! violation deterministically.
+
+use proptest::{proptest, ProptestConfig, TestRng};
+use soteria_sync::model::{FailureKind, Model, ModelCell};
+use std::sync::Arc;
+
+/// One step of a scripted thread. The script language is deliberately tiny:
+/// enough to cross a mutex, a condvar hand-off, and an atomic in one trace.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Lock the shared mutex and add to the counter behind it.
+    LockAdd(u64),
+    /// `fetch_add` on the shared atomic.
+    AtomicAdd(u64),
+    /// Block until the flag thread sets the condvar-guarded flag.
+    WaitFlag,
+    /// Set the flag and `notify_all` (always the flag thread's last op).
+    SetFlagNotify,
+    /// A scheduling point with no effect.
+    Yield,
+}
+
+/// A script: one op-list per thread. Thread 0 never waits and always ends
+/// with [`Op::SetFlagNotify`], which makes every script deadlock-free: any
+/// `WaitFlag` either observes the flag already set or is woken by that final
+/// `notify_all` (waiters re-check the flag under the lock, so there is no
+/// lost-wakeup window).
+type Script = Vec<Vec<Op>>;
+
+fn gen_script(rng: &mut TestRng, threads: usize, ops_per_thread: usize) -> Script {
+    let mut script = Vec::with_capacity(threads);
+    for tid in 0..threads {
+        let mut ops = Vec::with_capacity(ops_per_thread + 1);
+        for _ in 0..ops_per_thread {
+            let roll = (rng.next_u64() % 8) as usize;
+            ops.push(match roll {
+                0 | 1 => Op::LockAdd(1 + rng.next_u64() % 9),
+                2 | 3 => Op::AtomicAdd(1 + rng.next_u64() % 9),
+                4 if tid != 0 => Op::WaitFlag,
+                _ => Op::Yield,
+            });
+        }
+        if tid == 0 {
+            ops.push(Op::SetFlagNotify);
+        }
+        script.push(ops);
+    }
+    script
+}
+
+/// The schedule-independent final state every run must reach: the adds are
+/// commutative and the flag ends set, so *any* interleaving that terminates
+/// agrees on this triple.
+fn expected(script: &Script) -> (u64, u64, bool) {
+    let mut counter = 0;
+    let mut atomic = 0;
+    for ops in script {
+        for op in ops {
+            match op {
+                Op::LockAdd(n) => counter += n,
+                Op::AtomicAdd(n) => atomic += n,
+                _ => {}
+            }
+        }
+    }
+    (counter, atomic, true)
+}
+
+/// Runs the script on the real backend: actual OS threads over the facade's
+/// zero-cost `std::sync` newtypes.
+fn run_real(script: &Script) -> (u64, u64, bool) {
+    use soteria_sync::atomic::{AtomicU64, Ordering};
+    use soteria_sync::{Condvar, Mutex};
+
+    struct Shared {
+        counter: Mutex<u64>,
+        atomic: AtomicU64,
+        flag: Mutex<bool>,
+        flag_set: Condvar,
+    }
+    let shared = Arc::new(Shared {
+        counter: Mutex::new(0),
+        atomic: AtomicU64::new(0),
+        flag: Mutex::new(false),
+        flag_set: Condvar::new(),
+    });
+    let handles: Vec<_> = script
+        .iter()
+        .map(|ops| {
+            let shared = Arc::clone(&shared);
+            let ops = ops.clone();
+            soteria_sync::thread::spawn(move || {
+                for op in ops {
+                    match op {
+                        Op::LockAdd(n) => *shared.counter.lock() += n,
+                        Op::AtomicAdd(n) => {
+                            shared.atomic.fetch_add(n, Ordering::SeqCst);
+                        }
+                        Op::WaitFlag => {
+                            let mut flag = shared.flag.lock();
+                            while !*flag {
+                                flag = shared.flag_set.wait(flag);
+                            }
+                        }
+                        Op::SetFlagNotify => {
+                            *shared.flag.lock() = true;
+                            shared.flag_set.notify_all();
+                        }
+                        Op::Yield => soteria_sync::thread::yield_now(),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("scripted thread panicked on the real backend");
+    }
+    let counter = *shared.counter.lock();
+    let atomic = shared.atomic.load(Ordering::SeqCst);
+    let flag = *shared.flag.lock();
+    (counter, atomic, flag)
+}
+
+/// Runs the script once per explored schedule on the model backend and asserts
+/// the final state inside the execution (an assertion failure surfaces as a
+/// [`FailureKind::Panic`] violation carrying the replayable schedule).
+fn check_model(script: &Script, want: (u64, u64, bool), seeds: usize) {
+    use soteria_sync::model::atomic::{AtomicU64, Ordering};
+    use soteria_sync::model::{thread, Condvar, Mutex};
+
+    struct Shared {
+        counter: Mutex<u64>,
+        atomic: AtomicU64,
+        flag: Mutex<bool>,
+        flag_set: Condvar,
+    }
+    let model = Model::new();
+    let report = model.explore_seeds(0x5EED5, seeds, || {
+        let shared = Arc::new(Shared {
+            counter: Mutex::new(0),
+            atomic: AtomicU64::new(0),
+            flag: Mutex::new(false),
+            flag_set: Condvar::new(),
+        });
+        let handles: Vec<_> = script
+            .iter()
+            .map(|ops| {
+                let shared = Arc::clone(&shared);
+                let ops = ops.clone();
+                thread::spawn(move || {
+                    for op in ops {
+                        match op {
+                            Op::LockAdd(n) => *shared.counter.lock() += n,
+                            Op::AtomicAdd(n) => {
+                                shared.atomic.fetch_add(n, Ordering::SeqCst);
+                            }
+                            Op::WaitFlag => {
+                                let mut flag = shared.flag.lock();
+                                while !*flag {
+                                    flag = shared.flag_set.wait(flag);
+                                }
+                            }
+                            Op::SetFlagNotify => {
+                                *shared.flag.lock() = true;
+                                shared.flag_set.notify_all();
+                            }
+                            Op::Yield => thread::yield_now(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("scripted thread panicked on the model backend");
+        }
+        let got = (
+            *shared.counter.lock(),
+            shared.atomic.load(Ordering::SeqCst),
+            *shared.flag.lock(),
+        );
+        assert_eq!(got, want, "model schedule diverged from the real backend");
+    });
+    report.assert_ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary deadlock-free scripts reach the same final state on real OS
+    /// threads and on every explored model schedule.
+    #[test]
+    fn backends_agree_on_scripted_traces(case in 0usize..1_000_000) {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..(case % 89) {
+            rng.next_u64();
+        }
+        let threads = 2 + (rng.next_u64() % 2) as usize; // 2..=3 script threads
+        let ops = 2 + (rng.next_u64() % 3) as usize; // 2..=4 ops each
+        let script = gen_script(&mut rng, threads, ops);
+        let want = expected(&script);
+
+        // Real backend: one run per case (real schedules are not enumerable).
+        assert_eq!(run_real(&script), want, "real backend diverged: {script:?}");
+
+        // Model backend: many seeded schedules of the same script.
+        check_model(&script, want, 40);
+    }
+}
+
+/// The deliberately racy fixture the detector must flag: two threads write a
+/// [`ModelCell`] with no ordering between them. The failing schedule's seed
+/// must reproduce the identical violation on replay.
+#[test]
+fn detector_flags_racy_fixture_and_seed_replays() {
+    let model = Model::new();
+    let fixture = || {
+        let cell = Arc::new(ModelCell::named("racy-slot", 0u32));
+        let other = {
+            let cell = Arc::clone(&cell);
+            soteria_sync::model::thread::spawn(move || cell.set(1))
+        };
+        cell.set(2);
+        other.join().expect("writer thread");
+    };
+    let report = model.explore_seeds(0xFEED, 512, fixture);
+    let violation = report.violation.expect("unsynchronized writers must race");
+    assert_eq!(violation.kind, FailureKind::Race);
+    let seed = violation.seed.expect("seeded runs report their seed");
+    for _ in 0..3 {
+        let replay =
+            model.run_seed(seed, fixture).violation.expect("seed must reproduce the race");
+        assert_eq!(replay.kind, violation.kind);
+        assert_eq!(replay.message, violation.message);
+        assert_eq!(replay.schedule, violation.schedule);
+    }
+}

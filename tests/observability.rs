@@ -16,13 +16,13 @@ use soteria_corpus::{all_market_apps, maliot_suite, CorpusApp};
 use soteria_obs::SpanRecord;
 use soteria_service::{FaultKind, JobError, Service, ServiceOptions};
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard};
+use soteria_sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Every test toggles the process-global collector; serialise them.
 fn obs_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    LOCK.lock()
 }
 
 /// Restores the global collector to its disabled, empty state on drop, so a

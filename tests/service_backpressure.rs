@@ -104,7 +104,7 @@ fn block_policy_blocks_until_a_slot_frees() {
     // full while the heavy member runs.
     let submitted = Arc::new(AtomicBool::new(false));
     let (flag, svc) = (Arc::clone(&submitted), Arc::clone(&service));
-    let submitter = std::thread::spawn(move || {
+    let submitter = soteria_sync::thread::spawn(move || {
         let job = svc.submit_environment_by_names("G2", &["heavy"]).expect("admitted");
         flag.store(true, Ordering::Relaxed);
         job

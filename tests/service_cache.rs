@@ -189,7 +189,7 @@ fn environment_results_are_cached_through_member_keys() {
     submit(&service, "a", WATER_LEAK);
     let warm_env = submit_env(&service, "G", &["a"]);
     assert_eq!(warm_env.disposition(), CacheDisposition::Hit);
-    assert!(Arc::ptr_eq(&cold, &warm_env.wait().unwrap()));
+    assert!(Arc::ptr_eq(&cold, &warm_env.wait().expect("warm env fails")));
 
     // Changing a member's *content* changes the environment key, even with the
     // same member name and group name.

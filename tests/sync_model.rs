@@ -1,0 +1,431 @@
+//! Model-checked reproductions of the service stack's scariest protocols.
+//!
+//! Each test rebuilds one concurrency protocol from the workspace — the job
+//! settlement ladder, pool drain, admission backpressure, collector quiesce,
+//! the abort latch — out of `soteria_sync::model` types, then lets the
+//! deterministic scheduler enumerate interleavings. `explore_dfs` walks the
+//! schedule tree exhaustively at these sizes (every test asserts `complete`
+//! and at least 1,000 distinct schedules), so a pass is a proof over the whole
+//! space, not a sample. Data that the protocol claims to order is carried in
+//! [`ModelCell`]s, so the vector-clock race detector independently verifies
+//! the happens-before edges the protocol is supposed to provide.
+//!
+//! On failure, the report prints a seed/schedule; replay it with
+//! `Model::replay` or by exporting `SOTERIA_SCHED_SEED` (see README
+//! "Concurrency model").
+
+#![cfg(not(miri))] // model runs spawn many short-lived OS threads; Miri covers the unit tests
+
+use soteria_sync::model::atomic::{AtomicBool, AtomicUsize, Ordering};
+use soteria_sync::model::{thread, Condvar, Model, ModelCell, Mutex, Report};
+use std::sync::Arc;
+
+/// Every protocol below must hold over at least this many distinct schedules.
+const MIN_SCHEDULES: usize = 1_000;
+
+fn assert_exhaustive(report: &Report) {
+    eprintln!("[dfs] runs={} distinct={} complete={}", report.runs, report.distinct_schedules, report.complete);
+    report.assert_ok();
+    assert!(report.complete, "DFS hit the run bound before finishing the schedule space");
+    assert!(
+        report.distinct_schedules >= MIN_SCHEDULES,
+        "only {} distinct schedules explored (< {MIN_SCHEDULES}); grow the protocol",
+        report.distinct_schedules
+    );
+}
+
+/// Job stages, mirroring `soteria_service`'s `Stage` ladder.
+const PARKED: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const DONE: u8 = 3;
+const CANCELLED: u8 = 4;
+
+struct JobControl {
+    stage: Mutex<u8>,
+    settled: Condvar,
+    settlements: AtomicUsize,
+    result: ModelCell<Option<u32>>,
+}
+
+impl JobControl {
+    fn new() -> Self {
+        JobControl {
+            stage: Mutex::new(PARKED),
+            settled: Condvar::new(),
+            settlements: AtomicUsize::new(0),
+            result: ModelCell::named("job-result", None),
+        }
+    }
+
+    /// One terminal transition wins; everyone else sees it as a no-op.
+    fn settle(&self, terminal: u8) -> bool {
+        let mut stage = self.stage.lock();
+        if *stage >= DONE {
+            return false;
+        }
+        *stage = terminal;
+        self.settlements.fetch_add(1, Ordering::SeqCst);
+        self.settled.notify_all();
+        true
+    }
+
+    fn await_terminal(&self) -> u8 {
+        let mut stage = self.stage.lock();
+        while *stage < DONE {
+            stage = self.settled.wait(stage);
+        }
+        *stage
+    }
+}
+
+/// PR 4/6's exactly-once settlement: a worker walks the job up the
+/// `Parked → Queued → Running → Done` ladder while a canceller races it to the
+/// terminal stage and a waiter parks on the condvar. Exactly one settlement
+/// may ever happen, the waiter must always wake, and the worker's result write
+/// must be ordered before any read that observed `Done`.
+#[test]
+fn job_settlement_is_exactly_once_under_all_schedules() {
+    let model = Model::new();
+    let report = model.explore_dfs(|| {
+        let job = Arc::new(JobControl::new());
+        let worker = {
+            let job = Arc::clone(&job);
+            thread::spawn(move || {
+                for stage in [QUEUED, RUNNING] {
+                    let mut s = job.stage.lock();
+                    if *s >= DONE {
+                        return; // cancelled while parked or queued
+                    }
+                    *s = stage;
+                }
+                job.result.set(Some(42)); // publish, *then* settle
+                job.settle(DONE);
+            })
+        };
+        let canceller = {
+            let job = Arc::clone(&job);
+            thread::spawn(move || {
+                job.settle(CANCELLED);
+            })
+        };
+        let terminal = job.await_terminal();
+        worker.join().expect("worker");
+        canceller.join().expect("canceller");
+        assert_eq!(job.settlements.load(Ordering::SeqCst), 1, "settlement must be exactly-once");
+        let result = job.result.get();
+        assert!(terminal == DONE || terminal == CANCELLED);
+        if terminal == DONE {
+            assert_eq!(result, Some(42), "Done must order the result write before readers");
+        }
+    });
+    assert_exhaustive(&report);
+}
+
+/// The cancel-vs-complete race in isolation: completion publishes a result and
+/// settles `Done`; cancellation settles `Cancelled` with no result. The
+/// invariant is the biconditional — a result is visible *iff* `Done` won — and
+/// the race detector checks the result cell is never touched unordered.
+#[test]
+fn cancel_vs_complete_agree_on_the_winner() {
+    let model = Model::new();
+    let report = model.explore_dfs(|| {
+        let job = Arc::new(JobControl::new());
+        let completer = {
+            let job = Arc::clone(&job);
+            thread::spawn(move || {
+                job.result.set(Some(7));
+                thread::yield_now(); // widen the window between publish and settle
+                if !job.settle(DONE) {
+                    // Lost the race: retract the speculative result. The
+                    // settlement lock orders this after the canceller's win
+                    // and before any reader that observed the terminal stage.
+                    job.result.set(None);
+                }
+            })
+        };
+        let canceller = {
+            let job = Arc::clone(&job);
+            thread::spawn(move || {
+                thread::yield_now(); // let the completer get anywhere first
+                job.settle(CANCELLED)
+            })
+        };
+        let terminal = job.await_terminal();
+        completer.join().expect("completer");
+        let cancelled = canceller.join().expect("canceller");
+        let _ = terminal;
+        let final_stage = *job.stage.lock();
+        let result = job.result.get();
+        if cancelled {
+            assert_eq!(final_stage, CANCELLED);
+            assert_eq!(result, None, "cancelled job must not leak a result");
+        } else {
+            assert_eq!(final_stage, DONE);
+            assert_eq!(result, Some(7), "completed job must surface its result");
+        }
+        assert_eq!(job.settlements.load(Ordering::SeqCst), 1);
+    });
+    assert_exhaustive(&report);
+}
+
+struct PoolQueue {
+    jobs: Mutex<(Vec<u32>, bool)>, // (queue, open)
+    work_available: Condvar,
+}
+
+/// PR 4's drain-vs-submit: submitters race the pool's close+drain. A job is
+/// either accepted (and then must be consumed exactly once) or rejected after
+/// close — never dropped, never run twice, and the consumer must not miss the
+/// close notification (the classic lost-wakeup shape `explore_dfs` exists
+/// for).
+#[test]
+fn pool_drain_never_drops_or_duplicates_submissions() {
+    // Unbounded, this space is millions of schedules; two preemptions already
+    // cover every drop/duplicate/lost-wakeup shape (the classic result that
+    // most concurrency bugs need at most two context switches to surface).
+    let model = Model { preemption_bound: Some(2), ..Model::new() };
+    let report = model.explore_dfs(|| {
+        let queue = Arc::new(PoolQueue {
+            jobs: Mutex::new((Vec::new(), true)),
+            work_available: Condvar::new(),
+        });
+        let consumed = Arc::new(ModelCell::named("consumed-jobs", Vec::<u32>::new()));
+        let submitters: Vec<_> = [1u32, 2]
+            .into_iter()
+            .map(|id| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut jobs = queue.jobs.lock();
+                    if !jobs.1 {
+                        return false; // rejected: pool already closed
+                    }
+                    jobs.0.push(id);
+                    drop(jobs);
+                    queue.work_available.notify_all();
+                    true
+                })
+            })
+            .collect();
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            let consumed = Arc::clone(&consumed);
+            thread::spawn(move || loop {
+                let mut jobs = queue.jobs.lock();
+                while jobs.0.is_empty() && jobs.1 {
+                    jobs = queue.work_available.wait(jobs);
+                }
+                if let Some(job) = jobs.0.pop() {
+                    drop(jobs);
+                    // The queue lock orders this write against the drain's read.
+                    consumed.with_mut(|done| done.push(job));
+                } else {
+                    return; // closed and empty: drained
+                }
+            })
+        };
+        // Drain: close the queue, wake the consumer, wait for it to finish.
+        {
+            let mut jobs = queue.jobs.lock();
+            jobs.1 = false;
+        }
+        queue.work_available.notify_all();
+        let accepted = submitters
+            .into_iter()
+            .map(|s| s.join().expect("submitter"))
+            .filter(|accepted| *accepted)
+            .count();
+        consumer.join().expect("consumer");
+        let consumed = consumed.with(Vec::clone);
+        assert_eq!(consumed.len(), accepted, "accepted jobs must drain exactly once");
+        assert!(queue.jobs.lock().0.is_empty(), "drain left jobs behind");
+    });
+    assert_exhaustive(&report);
+}
+
+struct Admission {
+    pending: Mutex<usize>,
+    freed: Condvar,
+    capacity: usize,
+}
+
+/// PR 6's admission control under a full queue: a `Block` submitter parks on
+/// the `freed` condvar while a `Reject` submitter bounces; the worker frees
+/// slots. Capacity must never be exceeded, the blocked submitter must
+/// eventually admit (a lost wakeup here is a deadlock the scheduler reports),
+/// and rejects happen only while the queue is genuinely full.
+#[test]
+fn admission_blocks_and_rejects_without_overshooting_capacity() {
+    let model = Model::new();
+    let report = model.explore_dfs(|| {
+        let gate = Arc::new(Admission {
+            pending: Mutex::new(1), // one job already queued: at capacity
+            freed: Condvar::new(),
+            capacity: 1,
+        });
+        let blocker = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                let mut pending = gate.pending.lock();
+                while *pending >= gate.capacity {
+                    pending = gate.freed.wait(pending);
+                }
+                *pending += 1;
+                assert!(*pending <= gate.capacity, "Block admission overshot capacity");
+            })
+        };
+        let rejector = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                let pending = gate.pending.lock();
+                if *pending >= gate.capacity {
+                    return false; // Reject policy: bounce instead of waiting
+                }
+                true // a free slot was visible; Reject would have admitted too
+            })
+        };
+        let worker = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                // Finish the queued job: free its slot and wake one waiter.
+                let mut pending = gate.pending.lock();
+                *pending -= 1;
+                drop(pending);
+                gate.freed.notify_one();
+            })
+        };
+        blocker.join().expect("blocker");
+        let _ = rejector.join().expect("rejector");
+        worker.join().expect("worker");
+        // The blocker admitted into the freed slot: back at capacity, not over.
+        assert_eq!(*gate.pending.lock(), 1);
+    });
+    assert_exhaustive(&report);
+}
+
+struct SpanCollector {
+    state: Mutex<(usize, usize)>, // (in_flight epilogues, flushed spans)
+    idle: Condvar,
+    trace: ModelCell<Vec<u32>>,
+}
+
+/// PR 9's `quiesce()` vs span-flush epilogues: emitters flush their spans and
+/// decrement the in-flight count; `quiesce` waits for zero and then reads the
+/// trace buffer. Every span flushed by an epilogue must be visible to the
+/// post-quiesce reader — the detector proves the condvar hand-off carries the
+/// happens-before edge, not luck.
+#[test]
+fn quiesce_observes_every_span_flush_epilogue() {
+    // Three emitters unbounded is ~116k schedules; a three-preemption bound
+    // keeps the suite fast while still covering every early-return shape.
+    let model = Model { preemption_bound: Some(3), ..Model::new() };
+    let report = model.explore_dfs(|| {
+        let collector = Arc::new(SpanCollector {
+            state: Mutex::new((3, 0)), // all emitters registered up front
+            idle: Condvar::new(),
+            trace: ModelCell::named("span-buffer", Vec::new()),
+        });
+        let emitters: Vec<_> = [10u32, 20, 30]
+            .into_iter()
+            .map(|span| {
+                let collector = Arc::clone(&collector);
+                thread::spawn(move || {
+                    thread::yield_now(); // the span body: a scheduling point
+                    let mut state = collector.state.lock();
+                    collector.trace.with_mut(|trace| trace.push(span));
+                    state.1 += 1;
+                    state.0 -= 1;
+                    if state.0 == 0 {
+                        collector.idle.notify_all();
+                    }
+                })
+            })
+            .collect();
+        // quiesce(): wait for all epilogues, then read the full trace.
+        let mut state = collector.state.lock();
+        while state.0 > 0 {
+            state = collector.idle.wait(state);
+        }
+        let flushed = state.1;
+        drop(state);
+        let mut trace = collector.trace.with(Vec::clone);
+        trace.sort_unstable();
+        assert_eq!(flushed, 3, "quiesce returned before every epilogue ran");
+        assert_eq!(trace, vec![10, 20, 30], "a flushed span is missing from the trace");
+        for emitter in emitters {
+            emitter.join().expect("emitter");
+        }
+    });
+    assert_exhaustive(&report);
+}
+
+struct StageLatch {
+    abort: AtomicBool,
+    outstanding: Mutex<usize>,
+    done: Condvar,
+}
+
+/// PR 5's abort latch vs the stage prologue: workers check the abort flag in
+/// their prologue, do stage work (a cell write) if clear, and always count
+/// down the latch in the epilogue. The aborter raises the flag mid-flight.
+/// The latch must reach zero regardless of who aborted whom (a missed
+/// decrement deadlocks the join and the scheduler reports it), and the
+/// joiner's read of the stage output must be ordered after every worker's
+/// write.
+#[test]
+fn abort_latch_settles_even_when_racing_stage_prologues() {
+    // Exhaustive within a two-preemption bound, like the pool-drain test.
+    let model = Model { preemption_bound: Some(2), ..Model::new() };
+    let report = model.explore_dfs(|| {
+        let latch = Arc::new(StageLatch {
+            abort: AtomicBool::new(false),
+            outstanding: Mutex::new(2),
+            done: Condvar::new(),
+        });
+        let output = Arc::new(ModelCell::named("stage-output", 0usize));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                let output = Arc::clone(&output);
+                thread::spawn(move || {
+                    // Prologue: an aborted stage skips its work entirely.
+                    let ran = if latch.abort.load(Ordering::SeqCst) {
+                        false
+                    } else {
+                        // The latch mutex orders these writes between workers
+                        // and before the joiner's read.
+                        let guard = latch.outstanding.lock();
+                        output.with_mut(|sum| *sum += 1);
+                        drop(guard);
+                        true
+                    };
+                    // Epilogue: the latch counts down on every path.
+                    let mut outstanding = latch.outstanding.lock();
+                    *outstanding -= 1;
+                    if *outstanding == 0 {
+                        latch.done.notify_all();
+                    }
+                    ran
+                })
+            })
+            .collect();
+        let aborter = {
+            let latch = Arc::clone(&latch);
+            thread::spawn(move || latch.abort.store(true, Ordering::SeqCst))
+        };
+        // Join the stage: wait for the latch, then read the combined output.
+        let mut outstanding = latch.outstanding.lock();
+        while *outstanding > 0 {
+            outstanding = latch.done.wait(outstanding);
+        }
+        drop(outstanding);
+        let ran = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker"))
+            .filter(|ran| *ran)
+            .count();
+        aborter.join().expect("aborter");
+        assert_eq!(output.get(), ran, "latch released before a worker's write landed");
+    });
+    assert_exhaustive(&report);
+}
